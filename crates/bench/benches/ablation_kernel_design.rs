@@ -1,0 +1,54 @@
+//! Kernel-design ablation bench: shuffle overhead, metadata prefetch, vector-size
+//! sweep (§4, §6.2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_sim::GpuArch;
+use shfl_bench::experiments::ablation;
+use shfl_bench::synth;
+use shfl_kernels::spmm::{shfl_bw_spmm_profile_with, ShflBwKernelConfig};
+use std::hint::black_box;
+
+fn bench_ablation(c: &mut Criterion) {
+    println!(
+        "{}",
+        ablation::to_table(
+            &ablation::shuffle_overhead(),
+            &ablation::prefetch_ablation(),
+            &ablation::vector_size_sweep(),
+        )
+    );
+
+    let (m, n, k) = ablation::ABLATION_SHAPE;
+    let shfl = synth::shfl_bw_matrix(3, m, k, 64, ablation::ABLATION_DENSITY);
+    let arch = GpuArch::v100();
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.bench_function("shfl_bw_profile_with_prefetch", |b| {
+        b.iter(|| {
+            black_box(shfl_bw_spmm_profile_with(
+                &arch,
+                &shfl,
+                n,
+                &ShflBwKernelConfig::paper_default(),
+            ))
+        })
+    });
+    group.bench_function("shfl_bw_profile_without_prefetch", |b| {
+        b.iter(|| {
+            black_box(shfl_bw_spmm_profile_with(
+                &arch,
+                &shfl,
+                n,
+                &ShflBwKernelConfig::without_prefetch(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ablation
+}
+criterion_main!(benches);

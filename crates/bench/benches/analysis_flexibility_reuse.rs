@@ -1,0 +1,43 @@
+//! §3.2 analysis bench: regenerates the flexibility / data-reuse comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shfl_bench::experiments::analysis;
+use shfl_core::analysis::{ln_candidate_structures, max_reuse};
+use shfl_core::SparsePattern;
+use std::hint::black_box;
+
+fn bench_analysis(c: &mut Criterion) {
+    println!("{}", analysis::to_table(&analysis::run()));
+
+    let mut group = c.benchmark_group("analysis");
+    group.bench_function("ln_candidates_shfl_bw_v64_4096x4096", |b| {
+        b.iter(|| {
+            black_box(ln_candidate_structures(
+                SparsePattern::ShflBw { v: 64 },
+                4096,
+                4096,
+                0.25,
+            ))
+        })
+    });
+    group.bench_function("max_reuse_all_patterns", |b| {
+        b.iter(|| {
+            for pattern in [
+                SparsePattern::Unstructured,
+                SparsePattern::Balanced { m: 2, n: 4 },
+                SparsePattern::BlockWise { v: 64 },
+                SparsePattern::ShflBw { v: 64 },
+            ] {
+                black_box(max_reuse(pattern, 0.25, analysis::REGFILE_BYTES));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_analysis
+}
+criterion_main!(benches);

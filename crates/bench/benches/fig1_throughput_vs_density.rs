@@ -1,0 +1,43 @@
+//! Figure 1 bench: regenerates the throughput-vs-density sweep and benchmarks the
+//! kernel simulations that produce it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_sim::GpuArch;
+use shfl_bench::experiments::fig1;
+use shfl_bench::experiments::speedup::{layer_time_us, KernelChoice};
+use std::hint::black_box;
+
+fn bench_fig1(c: &mut Criterion) {
+    // Print the reproduced figure once so `cargo bench` output contains the series.
+    for arch in GpuArch::all() {
+        println!("[{arch}]");
+        println!("{}", fig1::to_table(&fig1::run(&arch)));
+    }
+
+    let (m, n, k) = fig1::FIG1_SHAPE;
+    let arch = GpuArch::v100();
+    let mut group = c.benchmark_group("fig1");
+    group.bench_function("dense_gemm_profile_2048x128x2048", |b| {
+        b.iter(|| {
+            black_box(layer_time_us(&arch, m, n, k, 1, 0.0, KernelChoice::Dense));
+        })
+    });
+    group.bench_function("shfl_bw_profile_75pct_2048x128x2048", |b| {
+        b.iter(|| {
+            black_box(layer_time_us(&arch, m, n, k, 1, 0.75, KernelChoice::ShflBw(64)));
+        })
+    });
+    group.bench_function("sputnik_profile_75pct_2048x128x2048", |b| {
+        b.iter(|| {
+            black_box(layer_time_us(&arch, m, n, k, 1, 0.75, KernelChoice::Sputnik));
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig1
+}
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Figure 2 bench: regenerates the GNMT accuracy–speedup trade-off curve.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shfl_bench::experiments::fig2;
+use shfl_core::SparsePattern;
+use shfl_models::accuracy::AccuracyModel;
+use shfl_models::workload::DnnModel;
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    println!("{}", fig2::to_table(&fig2::run()));
+
+    let proxy = AccuracyModel::new(DnnModel::Gnmt);
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    group.bench_function("accuracy_proxy_shfl_bw_v32_80pct", |b| {
+        b.iter(|| black_box(proxy.evaluate(SparsePattern::ShflBw { v: 32 }, 0.8)))
+    });
+    group.bench_function("accuracy_proxy_vector_wise_v32_80pct", |b| {
+        b.iter(|| black_box(proxy.evaluate(SparsePattern::VectorWise { v: 32 }, 0.8)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig2
+}
+criterion_main!(benches);

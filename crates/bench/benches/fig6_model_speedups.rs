@@ -1,0 +1,57 @@
+//! Figure 6 bench: regenerates the full speedup grid (3 GPUs × 3 models × sparsity ×
+//! pattern) and the abstract's headline numbers, and benchmarks representative
+//! model-level speedup computations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_sim::GpuArch;
+use shfl_bench::experiments::fig6;
+use shfl_bench::experiments::speedup::{model_speedup, KernelChoice};
+use shfl_models::workload::DnnModel;
+use std::hint::black_box;
+
+fn bench_fig6(c: &mut Criterion) {
+    println!("Headline: Shfl-BW speedup on Transformer GEMM layers at 75% sparsity");
+    println!("(paper reports 1.81x on V100, 4.18x on T4, 1.90x on A100)");
+    for (gpu, speedup) in fig6::headline_transformer_speedups() {
+        println!("  {gpu:5}: {speedup:.2}x");
+    }
+    println!();
+    println!("{}", fig6::to_table(&fig6::run(false)));
+
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    let t4 = GpuArch::t4();
+    group.bench_function("transformer_shfl_bw_v64_75pct_t4", |b| {
+        b.iter(|| {
+            black_box(model_speedup(
+                &t4,
+                DnnModel::Transformer,
+                fig6::BATCH,
+                fig6::SEQ_LEN,
+                0.75,
+                KernelChoice::ShflBw(64),
+            ))
+        })
+    });
+    let a100 = GpuArch::a100();
+    group.bench_function("resnet50_shfl_bw_v32_85pct_a100", |b| {
+        b.iter(|| {
+            black_box(model_speedup(
+                &a100,
+                DnnModel::Resnet50,
+                fig6::BATCH,
+                fig6::SEQ_LEN,
+                0.85,
+                KernelChoice::ShflBw(32),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig6
+}
+criterion_main!(benches);

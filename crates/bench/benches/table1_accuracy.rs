@@ -1,0 +1,33 @@
+//! Table 1 bench: regenerates the pruned-model quality table and benchmarks the
+//! Shfl-BW pattern search on a proxy-sized matrix.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use shfl_bench::experiments::table1;
+use shfl_core::DenseMatrix;
+use shfl_pruning::{Pruner, ShflBwPruner, VectorWisePruner};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    println!("{}", table1::to_table(&table1::run()));
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let scores = DenseMatrix::random(&mut rng, 256, 512).abs();
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("shfl_bw_search_v32_256x512_20pct", |b| {
+        b.iter(|| black_box(ShflBwPruner::new(32).prune(&scores, 0.2).unwrap()))
+    });
+    group.bench_function("vector_wise_prune_v32_256x512_20pct", |b| {
+        b.iter(|| black_box(VectorWisePruner::new(32).prune(&scores, 0.2).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1
+}
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! `repro` — regenerates the paper's tables and figures from the command line.
+//!
+//! ```text
+//! repro [--experiment fig1|fig2|fig6|table1|ablation|analysis|headline|all]
+//! ```
+//!
+//! With no arguments every experiment is run. The output is plain text, one section
+//! per experiment, mirroring the rows/series the paper reports.
+
+use gpu_sim::GpuArch;
+use shfl_bench::experiments::{ablation, analysis, fig1, fig2, fig6, table1};
+use std::env;
+use std::process::ExitCode;
+
+fn print_fig1() {
+    for arch in GpuArch::all() {
+        println!("[{}]", arch);
+        println!("{}", fig1::to_table(&fig1::run(&arch)));
+    }
+}
+
+fn print_fig2() {
+    println!("{}", fig2::to_table(&fig2::run()));
+}
+
+fn print_fig6() {
+    println!("{}", fig6::to_table(&fig6::run(false)));
+}
+
+fn print_headline() {
+    println!("Headline: Shfl-BW speedup on Transformer GEMM layers at 75% sparsity");
+    println!("(paper reports 1.81x on V100, 4.18x on T4, 1.90x on A100)");
+    for (gpu, speedup) in fig6::headline_transformer_speedups() {
+        println!("  {gpu:5}: {speedup:.2}x");
+    }
+    println!();
+}
+
+fn print_table1() {
+    println!("{}", table1::to_table(&table1::run()));
+}
+
+fn print_ablation() {
+    println!(
+        "{}",
+        ablation::to_table(
+            &ablation::shuffle_overhead(),
+            &ablation::prefetch_ablation(),
+            &ablation::vector_size_sweep(),
+        )
+    );
+}
+
+fn print_analysis() {
+    println!("{}", analysis::to_table(&analysis::run()));
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().collect();
+    let mut experiment = "all".to_string();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--experiment" | "-e" => {
+                if i + 1 >= args.len() {
+                    eprintln!("error: --experiment requires a value");
+                    return ExitCode::FAILURE;
+                }
+                experiment = args[i + 1].clone();
+                i += 2;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--experiment fig1|fig2|fig6|table1|ablation|analysis|headline|all]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    match experiment.as_str() {
+        "fig1" => print_fig1(),
+        "fig2" => print_fig2(),
+        "fig6" => print_fig6(),
+        "headline" => print_headline(),
+        "table1" => print_table1(),
+        "ablation" => print_ablation(),
+        "analysis" => print_analysis(),
+        "all" => {
+            print_analysis();
+            print_fig1();
+            print_fig2();
+            print_headline();
+            print_fig6();
+            print_table1();
+            print_ablation();
+        }
+        other => {
+            eprintln!("error: unknown experiment {other}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,119 @@
+//! §3.2 analysis: flexibility (candidate counting) and computation efficiency
+//! (operation intensity) of the sparsity patterns.
+//!
+//! Reproduces the two analytical arguments of the paper: the row-shuffle multiplier
+//! `M!/(V!)^(M/V)` (which already exceeds `e^700` at `M = 512`, `V = 128`) and the
+//! `√α · Reuse_dense` vs `Reuse_dense` data-reuse comparison.
+
+use shfl_core::analysis::{
+    compare_patterns, dense_max_reuse, ln_row_shuffle_candidates, PatternAnalysis,
+};
+use shfl_core::SparsePattern;
+
+/// Register budget (bytes per threadblock) used for the reuse analysis — the paper's
+/// `Size_regfile` with fp32 accumulators.
+pub const REGFILE_BYTES: usize = 256 * 1024;
+
+/// The result of the §3.2 comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisReport {
+    /// Per-pattern flexibility / reuse rows at the evaluated configuration.
+    pub rows: Vec<PatternAnalysis>,
+    /// `ln` of the paper's example row-shuffle multiplier (M = 512, V = 128).
+    pub paper_example_ln_multiplier: f64,
+    /// Dense data-reuse bound (FLOP/byte) for the register budget.
+    pub dense_reuse: f64,
+}
+
+/// Runs the comparison on a 1024×1024 weight matrix at 25% density.
+pub fn run() -> AnalysisReport {
+    let patterns = [
+        SparsePattern::Unstructured,
+        SparsePattern::Balanced { m: 2, n: 4 },
+        SparsePattern::BlockWise { v: 32 },
+        SparsePattern::VectorWise { v: 32 },
+        SparsePattern::ShflBw { v: 32 },
+        SparsePattern::ShflBw { v: 64 },
+        SparsePattern::ShflBw { v: 128 },
+    ];
+    AnalysisReport {
+        rows: compare_patterns(&patterns, 1024, 1024, 0.25, REGFILE_BYTES),
+        paper_example_ln_multiplier: ln_row_shuffle_candidates(512, 128),
+        dense_reuse: dense_max_reuse(REGFILE_BYTES),
+    }
+}
+
+/// Formats the report as a text table.
+pub fn to_table(report: &AnalysisReport) -> String {
+    let mut out = String::from(
+        "Section 3.2 analysis: flexibility and data reuse (1024x1024 weights, 25% density)\n",
+    );
+    out.push_str(&format!(
+        "dense reuse bound: {:.1} FLOP/byte; paper example ln(M!/(V!)^(M/V)) at M=512,V=128: {:.0} (> 700)\n",
+        report.dense_reuse, report.paper_example_ln_multiplier
+    ));
+    out.push_str("pattern          ln(candidates)   max reuse (FLOP/byte)\n");
+    for row in &report.rows {
+        out.push_str(&format!(
+            "{:16} {:14.0}   {:10.1}\n",
+            row.pattern.label(),
+            row.ln_candidates,
+            row.max_reuse_flop_per_byte
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_exceeds_e_700() {
+        assert!(run().paper_example_ln_multiplier > 700.0);
+    }
+
+    #[test]
+    fn shfl_bw_is_more_flexible_than_vw_and_bw_with_equal_reuse() {
+        let report = run();
+        let get = |label: &str| {
+            report
+                .rows
+                .iter()
+                .find(|r| r.pattern.label() == label)
+                .unwrap()
+                .clone()
+        };
+        let shfl = get("Shfl-BW,V=32");
+        let vw = get("VW,V=32");
+        let bw = get("BW,V=32");
+        assert!(shfl.ln_candidates > vw.ln_candidates);
+        assert!(vw.ln_candidates > bw.ln_candidates);
+        assert!((shfl.max_reuse_flop_per_byte - bw.max_reuse_flop_per_byte).abs() < 1e-9);
+        // Unstructured is the most flexible of all.
+        let un = get("unstructured");
+        assert!(un.ln_candidates > shfl.ln_candidates);
+    }
+
+    #[test]
+    fn larger_v_buys_more_reuse() {
+        let report = run();
+        let reuse = |label: &str| {
+            report
+                .rows
+                .iter()
+                .find(|r| r.pattern.label() == label)
+                .unwrap()
+                .max_reuse_flop_per_byte
+        };
+        assert!(reuse("Shfl-BW,V=128") > reuse("Shfl-BW,V=64"));
+        assert!(reuse("Shfl-BW,V=64") > reuse("Shfl-BW,V=32"));
+        assert!(reuse("Shfl-BW,V=128") <= report.dense_reuse + 1e-9);
+    }
+
+    #[test]
+    fn table_mentions_the_dense_bound() {
+        let report = run();
+        assert!(to_table(&report).contains("dense reuse bound"));
+    }
+}

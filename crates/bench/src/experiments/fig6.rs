@@ -1,0 +1,165 @@
+//! Figure 6: kernel speedup over the dense baseline for 3 GPUs × 3 models ×
+//! sparsity levels × sparsity patterns.
+//!
+//! This is the paper's main kernel-performance result. The headline numbers it quotes
+//! in the abstract — accelerating the computation-intensive layers of Transformer by
+//! 1.81×, 4.18× and 1.90× on V100, T4 and A100 at 75% sparsity — are the Shfl-BW
+//! entries of this figure.
+
+use crate::experiments::speedup::{model_speedup, KernelChoice};
+use gpu_sim::GpuArch;
+use shfl_models::workload::DnnModel;
+
+/// One bar of the Figure 6 grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig6Row {
+    /// GPU name.
+    pub gpu: &'static str,
+    /// Model name.
+    pub model: &'static str,
+    /// Weight sparsity.
+    pub sparsity: f64,
+    /// Kernel / pattern label.
+    pub kernel: String,
+    /// Speedup over the dense tensor-core baseline (`None` when the kernel is not
+    /// available for this GPU / sparsity, e.g. 2:4 off 50%).
+    pub speedup: Option<f64>,
+}
+
+/// Sparsity levels of the paper's Figure 6.
+pub fn sparsities() -> Vec<f64> {
+    vec![0.50, 0.75, 0.85, 0.95]
+}
+
+/// Batch / sequence configuration used for the kernel shapes.
+pub const BATCH: usize = 8;
+/// Sequence length for the sequence models.
+pub const SEQ_LEN: usize = 128;
+
+/// Runs the full Figure 6 grid. `quick` restricts the sweep to one sparsity (75%) and
+/// the Shfl-BW / dense kernels only, for use in unit tests.
+pub fn run(quick: bool) -> Vec<Fig6Row> {
+    let archs = GpuArch::all();
+    let models = DnnModel::all();
+    let sparsity_list = if quick { vec![0.75] } else { sparsities() };
+
+    let mut rows = Vec::new();
+    for arch in &archs {
+        let kernel_set = if quick {
+            vec![KernelChoice::ShflBw(64)]
+        } else {
+            KernelChoice::figure6_set(arch)
+        };
+        for model in models {
+            for &sparsity in &sparsity_list {
+                for kernel in &kernel_set {
+                    let speedup =
+                        model_speedup(arch, model, BATCH, SEQ_LEN, sparsity, *kernel);
+                    rows.push(Fig6Row {
+                        gpu: arch.name,
+                        model: model.name(),
+                        sparsity,
+                        kernel: kernel.label(),
+                        speedup,
+                    });
+                }
+            }
+        }
+    }
+    rows
+}
+
+/// Formats the grid as a text table grouped by GPU and model.
+pub fn to_table(rows: &[Fig6Row]) -> String {
+    let mut out = String::from(
+        "Figure 6: speedup over the dense baseline (3 GPUs x 3 models x sparsity x pattern)\n",
+    );
+    let mut current_header = String::new();
+    for r in rows {
+        let header = format!("--- {} / {} ---", r.gpu, r.model);
+        if header != current_header {
+            out.push_str(&header);
+            out.push('\n');
+            current_header = header;
+        }
+        match r.speedup {
+            Some(s) => out.push_str(&format!(
+                "  {:24} @ {:3.0}% sparsity: {:6.2}x\n",
+                r.kernel,
+                r.sparsity * 100.0,
+                s
+            )),
+            None => out.push_str(&format!(
+                "  {:24} @ {:3.0}% sparsity:    n/a\n",
+                r.kernel,
+                r.sparsity * 100.0
+            )),
+        }
+    }
+    out
+}
+
+/// The headline Shfl-BW speedups at 75% sparsity for the Transformer GEMM layers
+/// (best of V=32/64), in the paper's GPU order (V100, T4, A100). The paper reports
+/// 1.81 / 4.18 / 1.90.
+pub fn headline_transformer_speedups() -> Vec<(String, f64)> {
+    GpuArch::all()
+        .into_iter()
+        .map(|arch| {
+            let best = [32usize, 64]
+                .iter()
+                .filter_map(|&v| {
+                    model_speedup(
+                        &arch,
+                        DnnModel::Transformer,
+                        BATCH,
+                        SEQ_LEN,
+                        0.75,
+                        KernelChoice::ShflBw(v),
+                    )
+                })
+                .fold(0.0f64, f64::max);
+            (arch.name.to_string(), best)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_grid_has_one_row_per_gpu_model() {
+        let rows = run(true);
+        assert_eq!(rows.len(), 3 * 3);
+        assert!(rows.iter().all(|r| r.speedup.is_some()));
+    }
+
+    #[test]
+    fn headline_shfl_bw_beats_dense_everywhere_and_t4_wins() {
+        let headline = headline_transformer_speedups();
+        assert_eq!(headline.len(), 3);
+        for (gpu, speedup) in &headline {
+            assert!(*speedup > 1.0, "{gpu}: headline speedup {speedup:.2} not > 1");
+        }
+        let v100 = headline[0].1;
+        let t4 = headline[1].1;
+        let a100 = headline[2].1;
+        // The paper's qualitative finding: the T4 speedup is the largest of the three.
+        assert!(t4 > v100, "T4 {t4:.2} should exceed V100 {v100:.2}");
+        assert!(t4 > a100, "T4 {t4:.2} should exceed A100 {a100:.2}");
+    }
+
+    #[test]
+    fn table_formats_na_for_unavailable_kernels() {
+        let rows = vec![Fig6Row {
+            gpu: "V100",
+            model: "GNMT",
+            sparsity: 0.75,
+            kernel: "Balanced 2in4".to_string(),
+            speedup: None,
+        }];
+        let table = to_table(&rows);
+        assert!(table.contains("n/a"));
+    }
+}

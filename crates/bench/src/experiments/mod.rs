@@ -1,0 +1,11 @@
+//! Experiment runners, one per table / figure of the paper.
+
+pub mod ablation;
+pub mod analysis;
+pub mod fig1;
+pub mod fig2;
+pub mod fig6;
+pub mod speedup;
+pub mod table1;
+
+pub use speedup::{model_speedup, KernelChoice};

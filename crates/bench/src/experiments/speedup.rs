@@ -1,0 +1,291 @@
+//! Model-level kernel speedup computation shared by Figures 1, 2 and 6.
+//!
+//! The paper reports speedups of sparse kernels over the dense baseline aggregated
+//! over the computation-intensive (linear and convolution) layers of each model
+//! (§6.1: "We only calculate the speedup to the linear and 2D convolution layers …
+//! we use the shapes in real model"). This module reproduces that aggregation: every
+//! prunable layer shape is instantiated with a synthetic pattern-conforming weight
+//! matrix, profiled with the chosen kernel, and the per-layer times are summed with
+//! their multiplicities.
+
+use crate::synth;
+use gpu_sim::GpuArch;
+use shfl_core::tiling;
+use shfl_kernels::gemm::{dense_gemm_cuda_core_profile, dense_gemm_profile};
+use shfl_kernels::spmm::{
+    balanced_spmm_profile, block_wise_spmm_profile, cuda_core_spmm_profile,
+    cusparse_csr_spmm_profile, shfl_bw_spmm_profile, vector_wise_spmm_profile,
+    VectorWiseKernelConfig,
+};
+use shfl_models::workload::{model_workload, DnnModel, Layer};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// The kernel (and therefore sparsity pattern) used for the sparse side of a speedup
+/// measurement. The labels match the legend of the paper's Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelChoice {
+    /// cuBLAS/cuDNN dense tensor-core baseline (speedup 1.0 by definition).
+    Dense,
+    /// Dense GEMM on CUDA cores (the Figure 1 normalisation baseline).
+    DenseCudaCore,
+    /// cuSPARSE unstructured CSR SpMM.
+    CusparseCsr,
+    /// Sputnik unstructured CSR SpMM.
+    Sputnik,
+    /// VectorSparse: vector-wise kernel with `V = 8`.
+    VectorSparse,
+    /// TileWise: multi-stream vector-wise kernel with `V = 128`.
+    TileWise,
+    /// cuSPARSE block-wise SpMM with block size `V`.
+    BlockWise(usize),
+    /// The authors' vector-wise kernel with vector size `V`.
+    VectorWise(usize),
+    /// The paper's Shfl-BW kernel with vector size `V`.
+    ShflBw(usize),
+    /// cuSPARSELt balanced 2:4 kernel (A100 only, 50% sparsity only).
+    Balanced2in4,
+}
+
+impl KernelChoice {
+    /// The label used in the paper's Figure 6 legend.
+    pub fn label(&self) -> String {
+        match self {
+            KernelChoice::Dense => "Dense".to_string(),
+            KernelChoice::DenseCudaCore => "Dense (CUDA-core)".to_string(),
+            KernelChoice::CusparseCsr => "cuSPARSE".to_string(),
+            KernelChoice::Sputnik => "Unstructured (Sputnik)".to_string(),
+            KernelChoice::VectorSparse => "VectorSparse (VW,V=8)".to_string(),
+            KernelChoice::TileWise => "TileWise (VW,V=128)".to_string(),
+            KernelChoice::BlockWise(v) => format!("BW,V={v}"),
+            KernelChoice::VectorWise(v) => format!("VW,V={v}"),
+            KernelChoice::ShflBw(v) => format!("Shfl-BW,V={v}"),
+            KernelChoice::Balanced2in4 => "Balanced 2in4".to_string(),
+        }
+    }
+
+    /// The Figure 6 kernel set evaluated on a given architecture (the balanced 2:4
+    /// kernel only exists on Ampere).
+    pub fn figure6_set(arch: &GpuArch) -> Vec<KernelChoice> {
+        let mut set = vec![
+            KernelChoice::CusparseCsr,
+            KernelChoice::Sputnik,
+            KernelChoice::VectorSparse,
+            KernelChoice::TileWise,
+            KernelChoice::BlockWise(32),
+            KernelChoice::BlockWise(64),
+            KernelChoice::VectorWise(32),
+            KernelChoice::VectorWise(64),
+            KernelChoice::ShflBw(32),
+            KernelChoice::ShflBw(64),
+        ];
+        if arch.supports_sparse_tensor_core {
+            set.push(KernelChoice::Balanced2in4);
+        }
+        set
+    }
+}
+
+/// Layers of a model that the paper prunes: linear and convolution layers excluding
+/// the embedding/softmax projection and the 3-channel stem, de-duplicated by GEMM
+/// shape (multiplicities summed).
+pub fn prunable_layers(model: DnnModel, batch: usize, seq_len: usize) -> Vec<Layer> {
+    let mut by_shape: HashMap<(usize, usize, usize), Layer> = HashMap::new();
+    for layer in model_workload(model, batch, seq_len) {
+        if layer.name.contains("softmax") || layer.name.contains("stem") {
+            continue;
+        }
+        let shape = layer.kind.gemm_shape();
+        by_shape
+            .entry(shape)
+            .and_modify(|l| l.count += layer.count)
+            .or_insert(layer);
+    }
+    let mut layers: Vec<Layer> = by_shape.into_values().collect();
+    layers.sort_by_key(|l| std::cmp::Reverse(l.total_flops()));
+    layers
+}
+
+fn shape_seed(m: usize, n: usize, k: usize, sparsity_pct: u64, tag: u64) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    (m, n, k, sparsity_pct, tag).hash(&mut hasher);
+    hasher.finish()
+}
+
+/// Simulated execution time (µs) of one layer (`count` applications of an `m×n×k`
+/// GEMM/implicit-GEMM) with the chosen kernel at the given weight sparsity.
+///
+/// Returns `None` when the kernel does not exist on the architecture (balanced 2:4 on
+/// pre-Ampere GPUs) or cannot express the sparsity (balanced 2:4 at anything other
+/// than 50%).
+pub fn layer_time_us(
+    arch: &GpuArch,
+    m: usize,
+    n: usize,
+    k: usize,
+    count: usize,
+    sparsity: f64,
+    kernel: KernelChoice,
+) -> Option<f64> {
+    let density = (1.0 - sparsity).clamp(0.0, 1.0);
+    let sparsity_pct = (sparsity * 100.0).round() as u64;
+    let seed = shape_seed(m, n, k, sparsity_pct, 17);
+    let time = match kernel {
+        KernelChoice::Dense => dense_gemm_profile(arch, m, n, k).time_us(),
+        KernelChoice::DenseCudaCore => dense_gemm_cuda_core_profile(arch, m, n, k).time_us(),
+        KernelChoice::CusparseCsr => {
+            let a = synth::unstructured_csr(seed, m, k, density);
+            cusparse_csr_spmm_profile(arch, &a, n).time_us()
+        }
+        KernelChoice::Sputnik => {
+            let a = synth::unstructured_csr(seed, m, k, density);
+            cuda_core_spmm_profile(arch, &a, n).time_us()
+        }
+        KernelChoice::VectorSparse => {
+            let a = synth::vector_wise_matrix(seed, m, k, 8, density);
+            vector_wise_spmm_profile(arch, &a, n, &VectorWiseKernelConfig::vector_sparse())
+                .time_us()
+        }
+        KernelChoice::TileWise => {
+            let v = 128.min(tiling::TileConfig::dense_default().tm);
+            let a = synth::vector_wise_matrix(seed, m, k, v, density);
+            vector_wise_spmm_profile(arch, &a, n, &VectorWiseKernelConfig::tile_wise(8)).time_us()
+        }
+        KernelChoice::BlockWise(v) => {
+            let a = synth::block_wise_matrix(seed, m, k, v, density);
+            block_wise_spmm_profile(arch, &a, n).time_us()
+        }
+        KernelChoice::VectorWise(v) => {
+            let a = synth::vector_wise_matrix(seed, m, k, v, density);
+            vector_wise_spmm_profile(arch, &a, n, &VectorWiseKernelConfig::ours()).time_us()
+        }
+        KernelChoice::ShflBw(v) => {
+            let a = synth::shfl_bw_matrix(seed, m, k, v, density);
+            shfl_bw_spmm_profile(arch, &a, n).time_us()
+        }
+        KernelChoice::Balanced2in4 => {
+            if !arch.supports_sparse_tensor_core || (sparsity - 0.5).abs() > 1e-6 {
+                return None;
+            }
+            let a = synth::balanced_matrix(seed, m, k);
+            balanced_spmm_profile(arch, &a, n).ok()?.time_us()
+        }
+    };
+    Some(time * count as f64)
+}
+
+/// Speedup of the chosen sparse kernel over the dense tensor-core baseline, aggregated
+/// over all prunable layers of the model.
+///
+/// Returns `None` when the kernel is unavailable for this architecture/sparsity.
+pub fn model_speedup(
+    arch: &GpuArch,
+    model: DnnModel,
+    batch: usize,
+    seq_len: usize,
+    sparsity: f64,
+    kernel: KernelChoice,
+) -> Option<f64> {
+    let layers = prunable_layers(model, batch, seq_len);
+    let mut dense_total = 0.0;
+    let mut sparse_total = 0.0;
+    for layer in &layers {
+        let (m, n, k) = layer.kind.gemm_shape();
+        dense_total +=
+            layer_time_us(arch, m, n, k, layer.count, sparsity, KernelChoice::Dense)?;
+        sparse_total += layer_time_us(arch, m, n, k, layer.count, sparsity, kernel)?;
+    }
+    if sparse_total <= 0.0 {
+        None
+    } else {
+        Some(dense_total / sparse_total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prunable_layers_exclude_softmax_and_stem() {
+        let gnmt = prunable_layers(DnnModel::Gnmt, 64, 32);
+        assert!(gnmt.iter().all(|l| !l.name.contains("softmax")));
+        let resnet = prunable_layers(DnnModel::Resnet50, 4, 0);
+        assert!(resnet.iter().all(|l| !l.name.contains("stem")));
+        assert!(!resnet.is_empty());
+    }
+
+    #[test]
+    fn dedup_merges_repeated_shapes() {
+        let layers = prunable_layers(DnnModel::Transformer, 4, 64);
+        let shapes: Vec<_> = layers.iter().map(|l| l.kind.gemm_shape()).collect();
+        let mut unique = shapes.clone();
+        unique.dedup();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(shapes.len(), unique.len(), "shapes should be de-duplicated");
+    }
+
+    #[test]
+    fn dense_speedup_is_one() {
+        let arch = GpuArch::v100();
+        let s =
+            model_speedup(&arch, DnnModel::Transformer, 1, 32, 0.75, KernelChoice::Dense).unwrap();
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shfl_bw_beats_dense_at_75_percent_on_a_small_workload() {
+        let arch = GpuArch::t4();
+        let s = model_speedup(
+            &arch,
+            DnnModel::Transformer,
+            1,
+            32,
+            0.75,
+            KernelChoice::ShflBw(64),
+        )
+        .unwrap();
+        assert!(s > 1.0, "Shfl-BW speedup {s:.2} should exceed 1.0");
+    }
+
+    #[test]
+    fn balanced_is_unavailable_off_a100_or_off_50_percent() {
+        let v100 = GpuArch::v100();
+        assert!(model_speedup(
+            &v100,
+            DnnModel::Transformer,
+            1,
+            32,
+            0.5,
+            KernelChoice::Balanced2in4
+        )
+        .is_none());
+        let a100 = GpuArch::a100();
+        assert!(model_speedup(
+            &a100,
+            DnnModel::Transformer,
+            1,
+            32,
+            0.75,
+            KernelChoice::Balanced2in4
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn figure6_set_includes_balanced_only_on_a100() {
+        assert!(KernelChoice::figure6_set(&GpuArch::a100())
+            .contains(&KernelChoice::Balanced2in4));
+        assert!(!KernelChoice::figure6_set(&GpuArch::v100())
+            .contains(&KernelChoice::Balanced2in4));
+    }
+
+    #[test]
+    fn labels_match_the_figure_legend() {
+        assert_eq!(KernelChoice::ShflBw(64).label(), "Shfl-BW,V=64");
+        assert_eq!(KernelChoice::BlockWise(32).label(), "BW,V=32");
+        assert_eq!(KernelChoice::Balanced2in4.label(), "Balanced 2in4");
+    }
+}

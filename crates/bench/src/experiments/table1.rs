@@ -1,0 +1,151 @@
+//! Table 1: quality of pruned models (BLEU / Top-1) per sparsity pattern at 80% and
+//! 90% sparsity.
+//!
+//! The paper's table compares block-wise (V=32), vector-wise (V=32) and Shfl-BW
+//! (V=32, V=64) pruning on Transformer, GNMT and ResNet-50. The reproduction runs the
+//! real pattern-search algorithms on the accuracy proxy (see
+//! `shfl_models::accuracy`); the orderings and gap sizes are the reproduced quantity.
+
+use shfl_core::SparsePattern;
+use shfl_models::accuracy::AccuracyModel;
+use shfl_models::workload::DnnModel;
+
+/// One row of Table 1 (one pattern at one sparsity, evaluated on all three models).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Weight sparsity.
+    pub sparsity: f64,
+    /// Pattern label as used in the paper.
+    pub pattern: String,
+    /// Proxy BLEU of the pruned Transformer.
+    pub transformer_bleu: f64,
+    /// Proxy BLEU of the pruned GNMT.
+    pub gnmt_bleu: f64,
+    /// Proxy Top-1 accuracy of the pruned ResNet-50.
+    pub resnet_top1: f64,
+}
+
+/// Patterns evaluated by the paper's Table 1 at each sparsity level.
+fn patterns_for(sparsity: f64) -> Vec<SparsePattern> {
+    if (sparsity - 0.8).abs() < 1e-9 {
+        vec![
+            SparsePattern::BlockWise { v: 32 },
+            SparsePattern::VectorWise { v: 32 },
+            SparsePattern::ShflBw { v: 32 },
+            SparsePattern::ShflBw { v: 64 },
+        ]
+    } else {
+        vec![
+            SparsePattern::VectorWise { v: 32 },
+            SparsePattern::ShflBw { v: 32 },
+            SparsePattern::ShflBw { v: 64 },
+        ]
+    }
+}
+
+/// Runs the Table 1 evaluation (80% and 90% sparsity).
+pub fn run() -> Vec<Table1Row> {
+    let transformer = AccuracyModel::new(DnnModel::Transformer);
+    let gnmt = AccuracyModel::new(DnnModel::Gnmt);
+    let resnet = AccuracyModel::new(DnnModel::Resnet50);
+
+    let mut rows = Vec::new();
+    for &sparsity in &[0.8, 0.9] {
+        for pattern in patterns_for(sparsity) {
+            rows.push(Table1Row {
+                sparsity,
+                pattern: pattern.label(),
+                transformer_bleu: transformer.evaluate(pattern, sparsity),
+                gnmt_bleu: gnmt.evaluate(pattern, sparsity),
+                resnet_top1: resnet.evaluate(pattern, sparsity),
+            });
+        }
+    }
+    rows
+}
+
+/// Formats the rows as a text table shaped like the paper's Table 1.
+pub fn to_table(rows: &[Table1Row]) -> String {
+    let mut out = String::from(
+        "Table 1: quality of pruned models (proxy) per sparse pattern\n",
+    );
+    out.push_str("sparsity  pattern        Transformer(BLEU)  GNMT(BLEU)  ResNet50(Top-1 %)\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{:7.0}%  {:13} {:18.2} {:11.2} {:18.2}\n",
+            r.sparsity * 100.0,
+            r.pattern,
+            r.transformer_bleu,
+            r.gnmt_bleu,
+            r.resnet_top1
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn find<'a>(rows: &'a [Table1Row], pattern: &str, sparsity: f64) -> &'a Table1Row {
+        rows.iter()
+            .find(|r| r.pattern == pattern && (r.sparsity - sparsity).abs() < 1e-9)
+            .expect("row exists")
+    }
+
+    #[test]
+    fn shfl_bw_beats_vw_and_bw_on_every_model_at_80_percent() {
+        let rows = run();
+        let bw = find(&rows, "BW,V=32", 0.8);
+        let vw = find(&rows, "VW,V=32", 0.8);
+        let shfl = find(&rows, "Shfl-BW,V=32", 0.8);
+        assert!(shfl.transformer_bleu > vw.transformer_bleu);
+        assert!(shfl.gnmt_bleu > vw.gnmt_bleu);
+        assert!(shfl.resnet_top1 > vw.resnet_top1);
+        assert!(vw.transformer_bleu > bw.transformer_bleu);
+        assert!(vw.gnmt_bleu > bw.gnmt_bleu);
+        assert!(vw.resnet_top1 > bw.resnet_top1);
+    }
+
+    #[test]
+    fn gnmt_block_wise_collapse_is_reproduced() {
+        // The paper's most striking Table 1 entry: GNMT BLEU collapses under
+        // block-wise pruning (13.8 vs ~23-24 for the other patterns).
+        let rows = run();
+        let bw = find(&rows, "BW,V=32", 0.8);
+        let shfl = find(&rows, "Shfl-BW,V=32", 0.8);
+        assert!(
+            shfl.gnmt_bleu - bw.gnmt_bleu > 2.0,
+            "GNMT gap Shfl-BW {:.2} vs BW {:.2} too small",
+            shfl.gnmt_bleu,
+            bw.gnmt_bleu
+        );
+    }
+
+    #[test]
+    fn ninety_percent_is_worse_than_eighty_percent() {
+        let rows = run();
+        let s80 = find(&rows, "Shfl-BW,V=32", 0.8);
+        let s90 = find(&rows, "Shfl-BW,V=32", 0.9);
+        assert!(s90.transformer_bleu < s80.transformer_bleu);
+        assert!(s90.gnmt_bleu < s80.gnmt_bleu);
+        assert!(s90.resnet_top1 < s80.resnet_top1);
+    }
+
+    #[test]
+    fn values_are_in_plausible_metric_ranges() {
+        for r in run() {
+            assert!(r.transformer_bleu > 20.0 && r.transformer_bleu < 29.0);
+            assert!(r.gnmt_bleu > 5.0 && r.gnmt_bleu < 25.0);
+            assert!(r.resnet_top1 > 60.0 && r.resnet_top1 < 77.0);
+        }
+    }
+
+    #[test]
+    fn table_has_seven_data_rows() {
+        let rows = run();
+        assert_eq!(rows.len(), 7);
+        let table = to_table(&rows);
+        assert_eq!(table.lines().count(), 9);
+    }
+}

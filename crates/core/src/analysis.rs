@@ -1,0 +1,332 @@
+//! Flexibility and computation-efficiency analysis of sparsity patterns (§3.2).
+//!
+//! The paper quantifies two properties of a sparsity pattern:
+//!
+//! * **Flexibility** — the number of candidate weight structures available at a given
+//!   sparsity. More candidates means the pruning search can retain more important
+//!   weights. We report natural logarithms because the counts overflow any integer
+//!   type (the paper's own example is `> e^700`).
+//! * **Computation efficiency** — the operation intensity (FLOP per byte of global
+//!   memory traffic) a kernel for the pattern can reach, which determines whether the
+//!   kernel can feed the tensor cores. §3.2.2 derives `Max_reuse = √α · Reuse_dense`
+//!   for patterns whose tiles stay sparse (unstructured, balanced), and
+//!   `Reuse_dense` for patterns whose tiles can be made dense (block-wise,
+//!   vector-wise, Shfl-BW) provided `V ≥ T_opt`.
+
+use crate::pattern::SparsePattern;
+
+/// Natural logarithm of the Gamma function via the Lanczos approximation.
+///
+/// Accurate to ~1e-10 relative error for positive arguments, which is more than enough
+/// for counting candidate structures.
+pub fn ln_gamma(x: f64) -> f64 {
+    // Lanczos coefficients for g = 7, n = 9.
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEFFS[0];
+    let t = x + 7.5;
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Natural logarithm of `n!`.
+pub fn ln_factorial(n: u64) -> f64 {
+    ln_gamma(n as f64 + 1.0)
+}
+
+/// Natural logarithm of the binomial coefficient `C(n, k)`.
+///
+/// Returns `f64::NEG_INFINITY` when `k > n` (no candidate exists).
+pub fn ln_binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Natural logarithm of the number of ways to partition `m` rows into ordered groups
+/// of size `v` — the paper's row-shuffling multiplier `M! / (V!)^(M/V)` (§3.2.1).
+///
+/// Returns 0.0 (a single candidate) when `v` does not divide `m` or either is zero,
+/// since no shuffling freedom exists in that case.
+pub fn ln_row_shuffle_candidates(m: u64, v: u64) -> f64 {
+    if v == 0 || m == 0 || m % v != 0 {
+        return 0.0;
+    }
+    ln_factorial(m) - (m / v) as f64 * ln_factorial(v)
+}
+
+/// Natural logarithm of the number of candidate weight structures for a pattern on an
+/// `rows × cols` matrix at non-zero ratio `density` (§3.2.1).
+///
+/// * Unstructured: choose `α·M·K` positions out of `M·K`.
+/// * Block-wise: choose kept blocks out of `(M/V)·(K/V)`.
+/// * Vector-wise: per row group, choose kept columns out of `K`; `M/V` groups.
+/// * Balanced N:M: per aligned group of `n`, choose `m` positions; structure count is
+///   fixed by the hardware so the density argument is ignored beyond the `m/n` ratio.
+/// * Shfl-BW: vector-wise count multiplied by the row-shuffling factor.
+///
+/// The density is clamped to `[0, 1]`; fractional element counts are rounded to the
+/// nearest integer.
+pub fn ln_candidate_structures(
+    pattern: SparsePattern,
+    rows: usize,
+    cols: usize,
+    density: f64,
+) -> f64 {
+    let density = density.clamp(0.0, 1.0);
+    let rows_u = rows as u64;
+    let cols_u = cols as u64;
+    match pattern {
+        SparsePattern::Unstructured => {
+            let total = rows_u * cols_u;
+            let kept = ((total as f64) * density).round() as u64;
+            ln_binomial(total, kept)
+        }
+        SparsePattern::BlockWise { v } => {
+            if v == 0 || rows % v != 0 || cols % v != 0 {
+                return 0.0;
+            }
+            let blocks = (rows_u / v as u64) * (cols_u / v as u64);
+            let kept = ((blocks as f64) * density).round() as u64;
+            ln_binomial(blocks, kept)
+        }
+        SparsePattern::VectorWise { v } => {
+            if v == 0 || rows % v != 0 {
+                return 0.0;
+            }
+            let groups = rows_u / v as u64;
+            let kept_cols = ((cols_u as f64) * density).round() as u64;
+            groups as f64 * ln_binomial(cols_u, kept_cols)
+        }
+        SparsePattern::Balanced { m, n } => {
+            if n == 0 || cols % n != 0 {
+                return 0.0;
+            }
+            let groups = rows_u * (cols_u / n as u64);
+            groups as f64 * ln_binomial(n as u64, m as u64)
+        }
+        SparsePattern::ShflBw { v } => {
+            let vw = ln_candidate_structures(SparsePattern::VectorWise { v }, rows, cols, density);
+            vw + ln_row_shuffle_candidates(rows_u, v as u64)
+        }
+    }
+}
+
+/// The register-file-optimal square output tile edge `T_opt = sqrt(regfile_elements)`
+/// used by the reuse analysis (§3.2.2). `regfile_bytes` is the per-threadblock
+/// register budget available for output accumulators; accumulators are fp32.
+pub fn optimal_tile_edge(regfile_bytes: usize) -> f64 {
+    ((regfile_bytes / std::mem::size_of::<f32>()) as f64).sqrt()
+}
+
+/// Maximum data reuse of a *dense* GEMM in FLOP per byte: `T_opt / 2` with fp16
+/// operands (each loaded 2-byte value participates in `T_opt` MACs).
+pub fn dense_max_reuse(regfile_bytes: usize) -> f64 {
+    optimal_tile_edge(regfile_bytes) / 2.0
+}
+
+/// Maximum operation intensity (FLOP per byte of global traffic) achievable by an
+/// SpMM kernel for `pattern` at non-zero ratio `density`, per the paper's §3.2.2
+/// analysis:
+///
+/// * Unstructured / balanced: the tiled sparse matrix stays sparse, giving
+///   `√α · Reuse_dense`.
+/// * Block-wise / vector-wise / Shfl-BW with `V ≥ T_opt`: the tiles are dense, giving
+///   `Reuse_dense`.
+/// * Block-wise / vector-wise / Shfl-BW with `V < T_opt`: the output tile height is
+///   capped at `V`, giving `S / (V + S/V) / 2` FLOP per byte where `S` is the register
+///   budget in elements (equals `Reuse_dense` at `V = T_opt`).
+pub fn max_reuse(pattern: SparsePattern, density: f64, regfile_bytes: usize) -> f64 {
+    let density = density.clamp(0.0, 1.0);
+    let dense_reuse = dense_max_reuse(regfile_bytes);
+    match pattern {
+        SparsePattern::Unstructured | SparsePattern::Balanced { .. } => {
+            density.sqrt() * dense_reuse
+        }
+        SparsePattern::BlockWise { v }
+        | SparsePattern::VectorWise { v }
+        | SparsePattern::ShflBw { v } => {
+            let t_opt = optimal_tile_edge(regfile_bytes);
+            let v = v as f64;
+            if v >= t_opt {
+                dense_reuse
+            } else if v <= 0.0 {
+                0.0
+            } else {
+                let s = (regfile_bytes / std::mem::size_of::<f32>()) as f64;
+                // TM = V, TN = S / V. MACs per loaded element = TM·TN / (TM + TN);
+                // with fp16 operands (2 bytes) and 2 FLOPs per MAC the factors cancel,
+                // so FLOP/byte equals MACs per element. At V = T_opt this reduces to
+                // T_opt / 2 = Reuse_dense, keeping the expression continuous.
+                let tn = s / v;
+                (v * tn) / (v + tn)
+            }
+        }
+    }
+}
+
+/// Summary of the §3.2 comparison for one pattern, produced by [`compare_patterns`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternAnalysis {
+    /// The pattern analysed.
+    pub pattern: SparsePattern,
+    /// Natural log of the candidate-structure count at the requested density.
+    pub ln_candidates: f64,
+    /// Maximum achievable operation intensity in FLOP/byte.
+    pub max_reuse_flop_per_byte: f64,
+}
+
+/// Runs the §3.2 flexibility / efficiency comparison for a set of patterns on an
+/// `rows × cols` weight matrix at the given non-zero ratio.
+pub fn compare_patterns(
+    patterns: &[SparsePattern],
+    rows: usize,
+    cols: usize,
+    density: f64,
+    regfile_bytes: usize,
+) -> Vec<PatternAnalysis> {
+    patterns
+        .iter()
+        .map(|&pattern| PatternAnalysis {
+            pattern,
+            ln_candidates: ln_candidate_structures(pattern, rows, cols, density),
+            max_reuse_flop_per_byte: max_reuse(pattern, density, regfile_bytes),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const REGFILE: usize = 256 * 1024;
+
+    #[test]
+    fn ln_gamma_matches_known_values() {
+        // Γ(5) = 24, Γ(1) = 1, Γ(0.5) = √π.
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-9);
+        assert!(ln_gamma(1.0).abs() < 1e-9);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ln_factorial_and_binomial() {
+        assert!((ln_factorial(10) - 3_628_800.0f64.ln()).abs() < 1e-6);
+        assert!((ln_binomial(10, 3) - 120.0f64.ln()).abs() < 1e-6);
+        assert_eq!(ln_binomial(3, 10), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn row_shuffle_candidates_match_paper_example() {
+        // Paper §3.2.1: for M = 512 rows and V = 128 the multiplier already exceeds
+        // e^700.
+        let ln = ln_row_shuffle_candidates(512, 128);
+        assert!(ln > 700.0, "ln multiplier = {ln}");
+        // No freedom when V does not divide M or for the degenerate sizes.
+        assert_eq!(ln_row_shuffle_candidates(10, 3), 0.0);
+        assert_eq!(ln_row_shuffle_candidates(0, 4), 0.0);
+    }
+
+    #[test]
+    fn flexibility_ordering_matches_figure_3() {
+        // unstructured > Shfl-BW > vector-wise > block-wise at the same density.
+        let (rows, cols, density) = (512, 512, 0.25);
+        let un = ln_candidate_structures(SparsePattern::Unstructured, rows, cols, density);
+        let shfl =
+            ln_candidate_structures(SparsePattern::ShflBw { v: 32 }, rows, cols, density);
+        let vw =
+            ln_candidate_structures(SparsePattern::VectorWise { v: 32 }, rows, cols, density);
+        let bw = ln_candidate_structures(SparsePattern::BlockWise { v: 32 }, rows, cols, density);
+        assert!(un > shfl, "unstructured {un} vs shfl {shfl}");
+        assert!(shfl > vw, "shfl {shfl} vs vw {vw}");
+        assert!(vw > bw, "vw {vw} vs bw {bw}");
+    }
+
+    #[test]
+    fn shfl_bw_flexibility_grows_with_row_shuffling_factor() {
+        let vw = ln_candidate_structures(SparsePattern::VectorWise { v: 64 }, 1024, 1024, 0.2);
+        let shfl = ln_candidate_structures(SparsePattern::ShflBw { v: 64 }, 1024, 1024, 0.2);
+        let expected_gap = ln_row_shuffle_candidates(1024, 64);
+        assert!((shfl - vw - expected_gap).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reuse_of_dense_tiling_patterns_reaches_dense_reuse() {
+        let dense = dense_max_reuse(REGFILE);
+        for v in [256usize, 512] {
+            for pattern in [
+                SparsePattern::BlockWise { v },
+                SparsePattern::VectorWise { v },
+                SparsePattern::ShflBw { v },
+            ] {
+                let r = max_reuse(pattern, 0.25, REGFILE);
+                assert!((r - dense).abs() < 1e-9, "{pattern} reuse {r} vs dense {dense}");
+            }
+        }
+    }
+
+    #[test]
+    fn reuse_of_unstructured_follows_sqrt_alpha() {
+        let dense = dense_max_reuse(REGFILE);
+        for alpha in [0.0625, 0.25, 0.5] {
+            let r = max_reuse(SparsePattern::Unstructured, alpha, REGFILE);
+            assert!((r - alpha.sqrt() * dense).abs() < 1e-9);
+        }
+        // Balanced sparsity has the same memory-bound behaviour.
+        let r = max_reuse(SparsePattern::Balanced { m: 2, n: 4 }, 0.5, REGFILE);
+        assert!((r - 0.5f64.sqrt() * dense).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_v_limits_reuse() {
+        let dense = dense_max_reuse(REGFILE);
+        let r8 = max_reuse(SparsePattern::VectorWise { v: 8 }, 0.25, REGFILE);
+        let r64 = max_reuse(SparsePattern::VectorWise { v: 64 }, 0.25, REGFILE);
+        assert!(r8 < r64, "V=8 reuse {r8} should be below V=64 reuse {r64}");
+        assert!(r64 <= dense + 1e-9);
+        // This is the paper's explanation of why VectorSparse (V ≤ 8) underperforms.
+        assert!(r8 < 0.1 * dense);
+    }
+
+    #[test]
+    fn compare_patterns_reports_all_requested_patterns() {
+        let patterns = [
+            SparsePattern::Unstructured,
+            SparsePattern::BlockWise { v: 32 },
+            SparsePattern::ShflBw { v: 32 },
+        ];
+        let rows = compare_patterns(&patterns, 256, 256, 0.25, REGFILE);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2].pattern, SparsePattern::ShflBw { v: 32 });
+        // Shfl-BW matches block-wise reuse at the same V (the paper's claim) while
+        // being strictly more flexible.
+        assert!(
+            (rows[2].max_reuse_flop_per_byte - rows[1].max_reuse_flop_per_byte).abs() < 1e-9
+        );
+        assert!(rows[2].ln_candidates > rows[1].ln_candidates);
+        assert!(rows[0].ln_candidates > rows[2].ln_candidates);
+    }
+
+    #[test]
+    fn optimal_tile_edge_is_sqrt_of_elements() {
+        assert!((optimal_tile_edge(4 * 256 * 256) - 256.0).abs() < 1e-9);
+    }
+}

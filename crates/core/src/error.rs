@@ -1,0 +1,115 @@
+//! Error type shared by the `shfl-core` public API.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors returned by `shfl-core` constructors and conversions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A matrix or mask was constructed with a data length that does not match its
+    /// declared dimensions.
+    DimensionMismatch {
+        /// Expected number of elements (`rows * cols`).
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two operands have incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Human-readable description of the incompatibility.
+        context: String,
+    },
+    /// A vector/block size `V` does not divide the dimension it partitions.
+    InvalidGroupSize {
+        /// The group (vector or block) size that was requested.
+        group: usize,
+        /// The dimension the group size must divide.
+        dimension: usize,
+    },
+    /// A permutation vector is not a valid permutation of `0..len`.
+    InvalidPermutation {
+        /// Expected length of the permutation.
+        len: usize,
+        /// Description of what is wrong with it.
+        reason: String,
+    },
+    /// A sparsity/density parameter is outside `[0, 1]`.
+    InvalidDensity {
+        /// The offending value.
+        value: f64,
+    },
+    /// A matrix does not satisfy the structural constraints of the sparse pattern it
+    /// was being converted to.
+    PatternViolation {
+        /// Description of the violated constraint.
+        context: String,
+    },
+    /// A balanced-sparsity parameter pair (`m` non-zeros in `n`) is invalid.
+    InvalidBalancedShape {
+        /// Non-zeros kept per group.
+        m: usize,
+        /// Group length.
+        n: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DimensionMismatch { expected, actual } => write!(
+                f,
+                "data length {actual} does not match declared dimensions ({expected} elements expected)"
+            ),
+            Error::ShapeMismatch { context } => write!(f, "shape mismatch: {context}"),
+            Error::InvalidGroupSize { group, dimension } => write!(
+                f,
+                "group size {group} does not divide dimension {dimension}"
+            ),
+            Error::InvalidPermutation { len, reason } => {
+                write!(f, "invalid permutation of length {len}: {reason}")
+            }
+            Error::InvalidDensity { value } => {
+                write!(f, "density {value} is outside the range [0, 1]")
+            }
+            Error::PatternViolation { context } => write!(f, "pattern violation: {context}"),
+            Error::InvalidBalancedShape { m, n } => {
+                write!(f, "balanced sparsity requires 0 < m <= n, got {m} in {n}")
+            }
+        }
+    }
+}
+
+impl StdError for Error {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = Error::DimensionMismatch {
+            expected: 6,
+            actual: 5,
+        };
+        let s = format!("{e}");
+        assert!(s.contains('6') && s.contains('5'));
+
+        let e = Error::InvalidGroupSize {
+            group: 32,
+            dimension: 100,
+        };
+        assert!(format!("{e}").contains("32"));
+
+        let e = Error::InvalidDensity { value: 1.5 };
+        assert!(format!("{e}").contains("1.5"));
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        fn assert_err<E: StdError + Send + Sync + 'static>() {}
+        assert_err::<Error>();
+    }
+}

@@ -1,0 +1,234 @@
+//! Balanced N:M sparsity storage (the A100's 2-in-4 pattern).
+//!
+//! Balanced sparsity keeps at most `m` non-zeros inside every aligned group of `n`
+//! consecutive elements of a row. The A100 tensor cores accelerate `m = 2, n = 4` at
+//! exactly 50% sparsity (§2.2). The format stores, per group, exactly `m` value slots
+//! plus 2-bit-style position indices (stored as `u8` here); groups with fewer than `m`
+//! non-zeros pad with explicit zeros.
+
+use crate::error::{Error, Result};
+use crate::matrix::DenseMatrix;
+use std::fmt;
+
+/// A balanced N:M sparse matrix (`m` kept out of every `n` consecutive row elements).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BalancedMatrix {
+    rows: usize,
+    cols: usize,
+    m: usize,
+    n: usize,
+    /// `rows × (cols / n) × m` values, row-major by (row, group, slot).
+    values: Vec<f32>,
+    /// Position of each stored value inside its group (`0..n`), same layout.
+    indices: Vec<u8>,
+}
+
+impl BalancedMatrix {
+    /// Compresses a dense matrix whose non-zero structure already satisfies the N:M
+    /// constraint.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidBalancedShape`] if `m == 0`, `n == 0` or `m > n`.
+    /// * [`Error::InvalidGroupSize`] if `n` does not divide the column count.
+    /// * [`Error::PatternViolation`] if any group of `n` elements holds more than `m`
+    ///   non-zeros.
+    pub fn from_dense(dense: &DenseMatrix, m: usize, n: usize) -> Result<Self> {
+        if m == 0 || n == 0 || m > n {
+            return Err(Error::InvalidBalancedShape { m, n });
+        }
+        let (rows, cols) = dense.shape();
+        if cols % n != 0 {
+            return Err(Error::InvalidGroupSize {
+                group: n,
+                dimension: cols,
+            });
+        }
+        let groups_per_row = cols / n;
+        let mut values = Vec::with_capacity(rows * groups_per_row * m);
+        let mut indices = Vec::with_capacity(rows * groups_per_row * m);
+        for r in 0..rows {
+            for g in 0..groups_per_row {
+                let mut kept: Vec<(u8, f32)> = Vec::with_capacity(m);
+                for i in 0..n {
+                    let v = dense.get(r, g * n + i);
+                    if v != 0.0 {
+                        kept.push((i as u8, v));
+                    }
+                }
+                if kept.len() > m {
+                    return Err(Error::PatternViolation {
+                        context: format!(
+                            "row {r}, group {g} has {} non-zeros but the pattern allows {m} in {n}",
+                            kept.len()
+                        ),
+                    });
+                }
+                while kept.len() < m {
+                    kept.push((0, 0.0));
+                }
+                for (idx, v) in kept {
+                    indices.push(idx);
+                    values.push(v);
+                }
+            }
+        }
+        Ok(BalancedMatrix {
+            rows,
+            cols,
+            m,
+            n,
+            values,
+            indices,
+        })
+    }
+
+    /// Number of rows of the logical matrix.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns of the logical matrix.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Non-zeros kept per group (`m`).
+    pub fn kept_per_group(&self) -> usize {
+        self.m
+    }
+
+    /// Group length (`n`).
+    pub fn group_length(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored value slots (`rows × cols × m / n`), including padding zeros.
+    pub fn stored_values(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Storage density relative to the dense matrix (`m / n`).
+    pub fn storage_density(&self) -> f64 {
+        self.m as f64 / self.n as f64
+    }
+
+    /// Bytes of stored values assuming fp16 storage.
+    pub fn value_bytes_fp16(&self) -> u64 {
+        (self.values.len() * 2) as u64
+    }
+
+    /// Bytes of position metadata. Each index needs `ceil(log2(n))` bits; the A100
+    /// packs four 2-bit indices per byte, which is what this models for `n = 4`.
+    pub fn metadata_bytes(&self) -> u64 {
+        let bits_per_index = (usize::BITS - (self.n - 1).leading_zeros()).max(1) as u64;
+        (self.indices.len() as u64 * bits_per_index).div_ceil(8)
+    }
+
+    /// Decompresses back to a dense matrix.
+    pub fn to_dense(&self) -> DenseMatrix {
+        let groups_per_row = self.cols / self.n;
+        let mut out = DenseMatrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for g in 0..groups_per_row {
+                for s in 0..self.m {
+                    let flat = (r * groups_per_row + g) * self.m + s;
+                    let v = self.values[flat];
+                    if v != 0.0 {
+                        let c = g * self.n + self.indices[flat] as usize;
+                        out.set(r, c, v);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for BalancedMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "BalancedMatrix {}x{} ({}:{} pattern, {} value slots)",
+            self.rows,
+            self.cols,
+            self.m,
+            self.n,
+            self.stored_values()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_in_four(rows: usize, cols: usize) -> DenseMatrix {
+        DenseMatrix::from_fn(rows, cols, |r, c| {
+            // Keep positions 0 and 2 of every group of four (shifted by row for variety).
+            let pos = c % 4;
+            if (pos + r) % 4 == 0 || (pos + r) % 4 == 2 {
+                (r * cols + c + 1) as f32
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn roundtrip_two_in_four() {
+        let dense = two_in_four(8, 16);
+        let bal = BalancedMatrix::from_dense(&dense, 2, 4).unwrap();
+        assert_eq!(bal.to_dense(), dense);
+        assert!((bal.storage_density() - 0.5).abs() < 1e-12);
+        assert_eq!(bal.stored_values(), 8 * 16 / 2);
+    }
+
+    #[test]
+    fn roundtrip_with_underfull_groups() {
+        // Groups with fewer than m non-zeros are allowed and round-trip exactly.
+        let mut dense = DenseMatrix::zeros(2, 8);
+        dense.set(0, 1, 5.0);
+        dense.set(1, 6, -2.0);
+        let bal = BalancedMatrix::from_dense(&dense, 2, 4).unwrap();
+        assert_eq!(bal.to_dense(), dense);
+    }
+
+    #[test]
+    fn rejects_violating_matrices() {
+        let mut dense = DenseMatrix::zeros(1, 4);
+        dense.set(0, 0, 1.0);
+        dense.set(0, 1, 1.0);
+        dense.set(0, 2, 1.0);
+        let err = BalancedMatrix::from_dense(&dense, 2, 4).unwrap_err();
+        assert!(matches!(err, Error::PatternViolation { .. }));
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let dense = DenseMatrix::zeros(2, 8);
+        assert!(BalancedMatrix::from_dense(&dense, 0, 4).is_err());
+        assert!(BalancedMatrix::from_dense(&dense, 5, 4).is_err());
+        let dense = DenseMatrix::zeros(2, 6);
+        assert!(BalancedMatrix::from_dense(&dense, 2, 4).is_err());
+    }
+
+    #[test]
+    fn metadata_is_two_bits_per_slot_for_2in4() {
+        let dense = two_in_four(4, 16);
+        let bal = BalancedMatrix::from_dense(&dense, 2, 4).unwrap();
+        // 4*16/4 groups * 2 slots = 32 slots, 2 bits each = 8 bytes.
+        assert_eq!(bal.metadata_bytes(), 8);
+    }
+
+    #[test]
+    fn accessors() {
+        let dense = two_in_four(4, 8);
+        let bal = BalancedMatrix::from_dense(&dense, 2, 4).unwrap();
+        assert_eq!(bal.kept_per_group(), 2);
+        assert_eq!(bal.group_length(), 4);
+        assert_eq!(bal.rows(), 4);
+        assert_eq!(bal.cols(), 8);
+        assert!(format!("{bal}").contains("2:4"));
+    }
+}

@@ -1,0 +1,264 @@
+//! Compressed Sparse Row storage for unstructured sparsity.
+//!
+//! CSR is the format the unstructured baselines in the paper (Sputnik and cuSPARSE)
+//! consume: one row-pointer array, one column-index array and one value array. It
+//! places no constraint on the non-zero structure, which is why CUDA-core SpMM kernels
+//! over CSR expose so little data reuse (§2.1, Figure 1).
+
+use crate::error::{Error, Result};
+use crate::matrix::DenseMatrix;
+use std::fmt;
+
+/// An unstructured sparse matrix in CSR form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Compresses the non-zero entries of a dense matrix.
+    pub fn from_dense(dense: &DenseMatrix) -> Self {
+        let (rows, cols) = dense.shape();
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = dense.get(r, c);
+                if v != 0.0 {
+                    col_idx.push(c as u32);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Builds a CSR matrix from raw arrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] if the arrays are inconsistent (wrong
+    /// row-pointer length, non-monotonic row pointers, column index out of range, or
+    /// values/col_idx length mismatch).
+    pub fn from_raw(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        values: Vec<f32>,
+    ) -> Result<Self> {
+        if row_ptr.len() != rows + 1 {
+            return Err(Error::ShapeMismatch {
+                context: format!("row_ptr length {} != rows + 1 = {}", row_ptr.len(), rows + 1),
+            });
+        }
+        if col_idx.len() != values.len() {
+            return Err(Error::ShapeMismatch {
+                context: format!(
+                    "col_idx length {} != values length {}",
+                    col_idx.len(),
+                    values.len()
+                ),
+            });
+        }
+        if row_ptr.first() != Some(&0) || row_ptr.last() != Some(&values.len()) {
+            return Err(Error::ShapeMismatch {
+                context: "row_ptr must start at 0 and end at nnz".to_string(),
+            });
+        }
+        if row_ptr.windows(2).any(|w| w[0] > w[1]) {
+            return Err(Error::ShapeMismatch {
+                context: "row_ptr must be non-decreasing".to_string(),
+            });
+        }
+        if col_idx.iter().any(|c| *c as usize >= cols) {
+            return Err(Error::ShapeMismatch {
+                context: "column index out of range".to_string(),
+            });
+        }
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Fraction of entries that are stored.
+    pub fn density(&self) -> f64 {
+        if self.rows * self.cols == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / (self.rows * self.cols) as f64
+        }
+    }
+
+    /// Row-pointer array (length `rows + 1`).
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Column indices of the stored entries.
+    pub fn col_idx(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    /// Stored values.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Column indices and values of one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows`.
+    pub fn row_entries(&self, row: usize) -> (&[u32], &[f32]) {
+        assert!(row < self.rows, "row index out of bounds");
+        let start = self.row_ptr[row];
+        let end = self.row_ptr[row + 1];
+        (&self.col_idx[start..end], &self.values[start..end])
+    }
+
+    /// Bytes of sparse metadata (row pointers as `u32` plus column indices as `u32`),
+    /// charged as DRAM traffic by the kernels.
+    pub fn metadata_bytes(&self) -> u64 {
+        ((self.row_ptr.len() + self.col_idx.len()) * std::mem::size_of::<u32>()) as u64
+    }
+
+    /// Bytes of stored values assuming fp16 storage (2 bytes per value), matching the
+    /// paper's half-precision kernels.
+    pub fn value_bytes_fp16(&self) -> u64 {
+        (self.values.len() * 2) as u64
+    }
+
+    /// Decompresses back to a dense matrix.
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            let (cols, vals) = self.row_entries(r);
+            for (c, v) in cols.iter().zip(vals.iter()) {
+                out.set(r, *c as usize, *v);
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for CsrMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CsrMatrix {}x{} ({} non-zeros, {:.1}% dense)",
+            self.rows,
+            self.cols,
+            self.nnz(),
+            self.density() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn roundtrip_small_matrix() {
+        let dense = DenseMatrix::from_vec(2, 3, vec![1.0, 0.0, 2.0, 0.0, 0.0, 3.0]).unwrap();
+        let csr = CsrMatrix::from_dense(&dense);
+        assert_eq!(csr.nnz(), 3);
+        assert_eq!(csr.row_ptr(), &[0, 2, 3]);
+        assert_eq!(csr.col_idx(), &[0, 2, 2]);
+        assert_eq!(csr.to_dense(), dense);
+    }
+
+    #[test]
+    fn roundtrip_random_sparse_matrix() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let dense = DenseMatrix::from_fn(37, 53, |_, _| {
+            if rng.gen_bool(0.2) {
+                rng.gen_range(-1.0..1.0)
+            } else {
+                0.0
+            }
+        });
+        let csr = CsrMatrix::from_dense(&dense);
+        assert_eq!(csr.to_dense(), dense);
+        assert_eq!(csr.nnz(), dense.nnz());
+    }
+
+    #[test]
+    fn row_entries_and_density() {
+        let dense = DenseMatrix::from_vec(2, 2, vec![0.0, 5.0, 0.0, 0.0]).unwrap();
+        let csr = CsrMatrix::from_dense(&dense);
+        let (cols, vals) = csr.row_entries(0);
+        assert_eq!(cols, &[1]);
+        assert_eq!(vals, &[5.0]);
+        assert!((csr.density() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_raw_validates() {
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 1, 1], vec![0], vec![1.0]).is_ok());
+        // Wrong row_ptr length.
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
+        // Mismatched col/value lengths.
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 1, 1], vec![0, 1], vec![1.0]).is_err());
+        // Column out of range.
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 1, 1], vec![7], vec![1.0]).is_err());
+        // Non-monotonic row_ptr.
+        assert!(CsrMatrix::from_raw(2, 2, vec![0, 1, 0], vec![0], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn metadata_and_value_bytes() {
+        let dense = DenseMatrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        let csr = CsrMatrix::from_dense(&dense);
+        assert_eq!(csr.metadata_bytes(), ((3 + 2) * 4) as u64);
+        assert_eq!(csr.value_bytes_fp16(), 4);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let dense = DenseMatrix::zeros(4, 4);
+        let csr = CsrMatrix::from_dense(&dense);
+        assert_eq!(csr.nnz(), 0);
+        assert_eq!(csr.to_dense(), dense);
+    }
+}

@@ -1,0 +1,28 @@
+//! Compressed sparse formats.
+//!
+//! One format per sparsity pattern the paper evaluates:
+//!
+//! * [`csr::CsrMatrix`] — compressed sparse rows, the storage unstructured kernels
+//!   (Sputnik, cuSPARSE) consume,
+//! * [`block::BlockSparseMatrix`] — block compressed rows (BSR) with `V×V` blocks,
+//! * [`vector_wise::VectorWiseMatrix`] — `V×1` column vectors grouped by `V`
+//!   consecutive rows; the storage the paper's kernels use *after* the offline
+//!   re-ordering step,
+//! * [`balanced::BalancedMatrix`] — N:M balanced sparsity (the A100's 2-in-4),
+//! * [`shfl_bw::ShflBwMatrix`] — the paper's format: a vector-wise matrix plus the
+//!   original row indices needed by the reordered write-back phase.
+//!
+//! Every format converts to and from [`crate::matrix::DenseMatrix`] losslessly and
+//! reports its metadata footprint so the kernels can charge it as DRAM traffic.
+
+pub mod balanced;
+pub mod block;
+pub mod csr;
+pub mod shfl_bw;
+pub mod vector_wise;
+
+pub use balanced::BalancedMatrix;
+pub use block::BlockSparseMatrix;
+pub use csr::CsrMatrix;
+pub use shfl_bw::ShflBwMatrix;
+pub use vector_wise::VectorWiseMatrix;

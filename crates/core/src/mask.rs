@@ -1,0 +1,330 @@
+//! Binary masks describing which weights a pruning decision keeps.
+//!
+//! The pruning algorithms in `shfl-pruning` all produce a [`BinaryMask`]: `true`
+//! entries are kept weights, `false` entries are pruned. The mask is the object the
+//! paper's pattern definitions (§3.1) constrain, and the object the Shfl-BW search
+//! algorithm (Figure 5) clusters when it groups rows with similar column patterns.
+
+use crate::error::{Error, Result};
+use crate::matrix::DenseMatrix;
+use std::fmt;
+
+/// A boolean keep/prune mask with the same shape as the weight matrix it applies to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinaryMask {
+    rows: usize,
+    cols: usize,
+    data: Vec<bool>,
+}
+
+impl BinaryMask {
+    /// Creates an all-`false` (everything pruned) mask.
+    pub fn all_pruned(rows: usize, cols: usize) -> Self {
+        BinaryMask {
+            rows,
+            cols,
+            data: vec![false; rows * cols],
+        }
+    }
+
+    /// Creates an all-`true` (everything kept) mask.
+    pub fn all_kept(rows: usize, cols: usize) -> Self {
+        BinaryMask {
+            rows,
+            cols,
+            data: vec![true; rows * cols],
+        }
+    }
+
+    /// Creates a mask from a row-major boolean vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<bool>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(Error::DimensionMismatch {
+                expected: rows * cols,
+                actual: data.len(),
+            });
+        }
+        Ok(BinaryMask { rows, cols, data })
+    }
+
+    /// Creates a mask by evaluating `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> bool) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        BinaryMask { rows, cols, data }
+    }
+
+    /// Creates the mask of non-zero entries of a dense matrix.
+    pub fn from_nonzeros(matrix: &DenseMatrix) -> Self {
+        BinaryMask {
+            rows: matrix.rows(),
+            cols: matrix.cols(),
+            data: matrix.as_slice().iter().map(|v| *v != 0.0).collect(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Whether position `(row, col)` is kept.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn is_kept(&self, row: usize, col: usize) -> bool {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets whether position `(row, col)` is kept.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, kept: bool) {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col] = kept;
+    }
+
+    /// Borrow of one row of the mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows`.
+    pub fn row(&self, row: usize) -> &[bool] {
+        assert!(row < self.rows, "row index out of bounds");
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Number of kept entries.
+    pub fn kept_count(&self) -> usize {
+        self.data.iter().filter(|k| **k).count()
+    }
+
+    /// Fraction of entries kept (the paper's non-zero ratio `α`).
+    pub fn density(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.kept_count() as f64 / self.data.len() as f64
+        }
+    }
+
+    /// Fraction of entries pruned (`1 - density`), the paper's "sparsity".
+    pub fn sparsity(&self) -> f64 {
+        1.0 - self.density()
+    }
+
+    /// Column indices kept in `row`, in increasing order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows`.
+    pub fn kept_columns(&self, row: usize) -> Vec<usize> {
+        self.row(row)
+            .iter()
+            .enumerate()
+            .filter_map(|(c, k)| if *k { Some(c) } else { None })
+            .collect()
+    }
+
+    /// Applies the mask to a matrix, zeroing pruned entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] if the shapes differ.
+    pub fn apply(&self, matrix: &DenseMatrix) -> Result<DenseMatrix> {
+        if self.shape() != matrix.shape() {
+            return Err(Error::ShapeMismatch {
+                context: format!(
+                    "mask {:?} applied to matrix {:?}",
+                    self.shape(),
+                    matrix.shape()
+                ),
+            });
+        }
+        let mut out = matrix.clone();
+        for (v, k) in out.as_mut_slice().iter_mut().zip(self.data.iter()) {
+            if !*k {
+                *v = 0.0;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Total importance score retained by this mask on a score matrix. This is the
+    /// objective every pattern-search algorithm in the paper maximises.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] if the shapes differ.
+    pub fn retained_score(&self, scores: &DenseMatrix) -> Result<f64> {
+        if self.shape() != scores.shape() {
+            return Err(Error::ShapeMismatch {
+                context: format!(
+                    "mask {:?} scored against matrix {:?}",
+                    self.shape(),
+                    scores.shape()
+                ),
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(scores.as_slice().iter())
+            .filter(|(k, _)| **k)
+            .map(|(_, v)| f64::from(*v))
+            .sum())
+    }
+
+    /// Returns a copy with rows re-ordered so that output row `i` is input row
+    /// `permutation[i]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidPermutation`] if `permutation` is not a permutation of
+    /// `0..rows`.
+    pub fn permuted_rows(&self, permutation: &[usize]) -> Result<BinaryMask> {
+        crate::matrix::validate_permutation(permutation, self.rows)?;
+        let mut out = BinaryMask::all_pruned(self.rows, self.cols);
+        for (dst, &src) in permutation.iter().enumerate() {
+            for c in 0..self.cols {
+                out.set(dst, c, self.is_kept(src, c));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Hamming distance between two rows of the mask (number of positions where the
+    /// keep decision differs). Used by the K-Means row-grouping stage of the Shfl-BW
+    /// search.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either row index is out of bounds.
+    pub fn row_hamming_distance(&self, row_a: usize, row_b: usize) -> usize {
+        self.row(row_a)
+            .iter()
+            .zip(self.row(row_b).iter())
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+}
+
+impl fmt::Display for BinaryMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "BinaryMask {}x{} ({} kept, {:.1}% dense)",
+            self.rows,
+            self.cols,
+            self.kept_count(),
+            self.density() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_counts() {
+        let m = BinaryMask::from_vec(2, 2, vec![true, false, false, true]).unwrap();
+        assert_eq!(m.kept_count(), 2);
+        assert!((m.density() - 0.5).abs() < 1e-12);
+        assert!((m.sparsity() - 0.5).abs() < 1e-12);
+        assert!(m.is_kept(0, 0));
+        assert!(!m.is_kept(0, 1));
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_length() {
+        assert!(BinaryMask::from_vec(2, 2, vec![true; 3]).is_err());
+    }
+
+    #[test]
+    fn all_kept_and_all_pruned() {
+        assert_eq!(BinaryMask::all_kept(3, 3).kept_count(), 9);
+        assert_eq!(BinaryMask::all_pruned(3, 3).kept_count(), 0);
+    }
+
+    #[test]
+    fn from_nonzeros_matches_matrix() {
+        let m = DenseMatrix::from_vec(2, 2, vec![0.0, 1.0, -2.0, 0.0]).unwrap();
+        let mask = BinaryMask::from_nonzeros(&m);
+        assert_eq!(mask.kept_count(), 2);
+        assert!(mask.is_kept(0, 1));
+        assert!(!mask.is_kept(1, 1));
+    }
+
+    #[test]
+    fn apply_zeroes_pruned_entries() {
+        let m = DenseMatrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let mask = BinaryMask::from_vec(2, 2, vec![true, false, false, true]).unwrap();
+        let out = mask.apply(&m).unwrap();
+        assert_eq!(out.as_slice(), &[1.0, 0.0, 0.0, 4.0]);
+        assert!(mask.apply(&DenseMatrix::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    fn retained_score_sums_kept_scores() {
+        let scores = DenseMatrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let mask = BinaryMask::from_vec(2, 2, vec![true, false, true, false]).unwrap();
+        assert!((mask.retained_score(&scores).unwrap() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kept_columns_lists_indices() {
+        let mask = BinaryMask::from_vec(1, 4, vec![false, true, true, false]).unwrap();
+        assert_eq!(mask.kept_columns(0), vec![1, 2]);
+    }
+
+    #[test]
+    fn permuted_rows_moves_patterns() {
+        let mask = BinaryMask::from_fn(3, 2, |r, _| r == 1);
+        let p = mask.permuted_rows(&[1, 2, 0]).unwrap();
+        assert!(p.is_kept(0, 0));
+        assert!(!p.is_kept(1, 0));
+        assert!(!p.is_kept(2, 0));
+        assert!(mask.permuted_rows(&[0, 0, 1]).is_err());
+    }
+
+    #[test]
+    fn hamming_distance_counts_differences() {
+        let mask =
+            BinaryMask::from_vec(2, 4, vec![true, true, false, false, true, false, false, true])
+                .unwrap();
+        assert_eq!(mask.row_hamming_distance(0, 1), 2);
+        assert_eq!(mask.row_hamming_distance(0, 0), 0);
+    }
+
+    #[test]
+    fn display_mentions_shape_and_density() {
+        let mask = BinaryMask::all_kept(2, 2);
+        let s = format!("{mask}");
+        assert!(s.contains("2x2") && s.contains("100.0%"));
+    }
+}

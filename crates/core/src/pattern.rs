@@ -1,0 +1,389 @@
+//! Sparsity pattern definitions and structural validation.
+//!
+//! The paper compares five families of sparsity patterns (§2.2, §3.1, Figure 3):
+//!
+//! * **Unstructured** — no structural constraint at all,
+//! * **Block-wise (BW)** — non-zeros form whole `V×V` blocks,
+//! * **Vector-wise (VW)** — non-zeros form whole `V×1` column vectors inside groups of
+//!   `V` consecutive rows,
+//! * **Balanced n:m** — at most `m` non-zeros inside every group of `n` consecutive
+//!   elements of a row (the A100's 2-in-4 pattern),
+//! * **Shfl-BW** — the paper's proposal: a vector-wise matrix composed with a row
+//!   permutation, i.e. rows can be *grouped arbitrarily* as long as every group of `V`
+//!   rows shares one column pattern.
+//!
+//! This module provides the [`SparsePattern`] enum used across the workspace and
+//! validators that check whether a [`BinaryMask`] satisfies each pattern.
+
+use crate::mask::BinaryMask;
+use std::collections::HashMap;
+use std::fmt;
+
+/// The sparsity pattern families the paper evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SparsePattern {
+    /// No structural constraint.
+    Unstructured,
+    /// Whole `V×V` blocks are kept or pruned together (rows and columns are both
+    /// partitioned into groups of `V` aligned to multiples of `V`).
+    BlockWise {
+        /// Block edge length `V`.
+        v: usize,
+    },
+    /// Whole `V×1` vertical vectors (inside groups of `V` consecutive rows) are kept
+    /// or pruned together.
+    VectorWise {
+        /// Vector length `V`.
+        v: usize,
+    },
+    /// At most `m` non-zeros in every aligned group of `n` consecutive elements of a
+    /// row. The A100 accelerates `m = 2`, `n = 4`.
+    Balanced {
+        /// Non-zeros kept per group.
+        m: usize,
+        /// Group length.
+        n: usize,
+    },
+    /// The paper's Shuffled Block-wise pattern: there exists a row permutation under
+    /// which the mask is vector-wise with vector length `V`.
+    ShflBw {
+        /// Vector length `V` (the size of each shuffled row group).
+        v: usize,
+    },
+}
+
+impl SparsePattern {
+    /// A short identifier matching the labels the paper uses in its figures
+    /// (`"unstructured"`, `"BW,V=32"`, `"VW,V=64"`, `"2in4"`, `"Shfl-BW,V=32"`).
+    pub fn label(&self) -> String {
+        match self {
+            SparsePattern::Unstructured => "unstructured".to_string(),
+            SparsePattern::BlockWise { v } => format!("BW,V={v}"),
+            SparsePattern::VectorWise { v } => format!("VW,V={v}"),
+            SparsePattern::Balanced { m, n } => format!("{m}in{n}"),
+            SparsePattern::ShflBw { v } => format!("Shfl-BW,V={v}"),
+        }
+    }
+
+    /// The granularity parameter `V` for the patterns that have one.
+    pub fn vector_size(&self) -> Option<usize> {
+        match self {
+            SparsePattern::BlockWise { v }
+            | SparsePattern::VectorWise { v }
+            | SparsePattern::ShflBw { v } => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Whether kernels for this pattern can use tensor cores with dense tiles — true
+    /// for the patterns that can be tiled into dense sub-matrices (§3.2.2).
+    pub fn tiles_densely(&self) -> bool {
+        matches!(
+            self,
+            SparsePattern::BlockWise { .. }
+                | SparsePattern::VectorWise { .. }
+                | SparsePattern::ShflBw { .. }
+        )
+    }
+
+    /// Checks whether `mask` satisfies this pattern's structural constraint.
+    pub fn validates(&self, mask: &BinaryMask) -> bool {
+        match self {
+            SparsePattern::Unstructured => true,
+            SparsePattern::BlockWise { v } => is_block_wise(mask, *v),
+            SparsePattern::VectorWise { v } => is_vector_wise(mask, *v),
+            SparsePattern::Balanced { m, n } => is_balanced(mask, *m, *n),
+            SparsePattern::ShflBw { v } => is_shfl_bw(mask, *v),
+        }
+    }
+}
+
+impl fmt::Display for SparsePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Whether all kept entries of `mask` form whole `v×v` blocks aligned to multiples of
+/// `v`. Rows and columns that are not multiples of `v` are treated as padded with
+/// pruned entries (a partial block must then be entirely kept in its valid region or
+/// entirely pruned).
+pub fn is_block_wise(mask: &BinaryMask, v: usize) -> bool {
+    if v == 0 {
+        return false;
+    }
+    let (rows, cols) = mask.shape();
+    let block_rows = rows.div_ceil(v);
+    let block_cols = cols.div_ceil(v);
+    for br in 0..block_rows {
+        for bc in 0..block_cols {
+            let mut kept = 0usize;
+            let mut total = 0usize;
+            for r in br * v..((br + 1) * v).min(rows) {
+                for c in bc * v..((bc + 1) * v).min(cols) {
+                    total += 1;
+                    if mask.is_kept(r, c) {
+                        kept += 1;
+                    }
+                }
+            }
+            if kept != 0 && kept != total {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Whether all kept entries of `mask` form whole `v×1` vectors: within every group of
+/// `v` consecutive rows, each column is either kept in all rows of the group or pruned
+/// in all of them.
+pub fn is_vector_wise(mask: &BinaryMask, v: usize) -> bool {
+    if v == 0 {
+        return false;
+    }
+    let (rows, cols) = mask.shape();
+    let groups = rows.div_ceil(v);
+    for g in 0..groups {
+        let start = g * v;
+        let end = ((g + 1) * v).min(rows);
+        for c in 0..cols {
+            let first = mask.is_kept(start, c);
+            for r in start + 1..end {
+                if mask.is_kept(r, c) != first {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Whether every aligned group of `n` consecutive elements in each row of `mask` keeps
+/// at most `m` entries (the balanced / N:M pattern).
+pub fn is_balanced(mask: &BinaryMask, m: usize, n: usize) -> bool {
+    if n == 0 || m == 0 || m > n {
+        return false;
+    }
+    let rows = mask.rows();
+    for r in 0..rows {
+        let row = mask.row(r);
+        for chunk in row.chunks(n) {
+            if chunk.iter().filter(|k| **k).count() > m {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Whether there exists a row permutation under which `mask` becomes vector-wise with
+/// vector length `v` — the definition of the Shfl-BW pattern.
+///
+/// Equivalently: when rows are grouped by their exact column pattern, every pattern's
+/// multiplicity must be divisible by `v` — rows with identical patterns can always be
+/// packed into full groups, and rows with different patterns can never share a group
+/// (inside a group every column must be kept by all `v` rows or none of them).
+/// All-pruned rows simply form all-pruned groups.
+pub fn is_shfl_bw(mask: &BinaryMask, v: usize) -> bool {
+    if v == 0 {
+        return false;
+    }
+    let rows = mask.rows();
+    if rows % v != 0 {
+        return false;
+    }
+    let mut counts: HashMap<Vec<bool>, usize> = HashMap::new();
+    for r in 0..rows {
+        let row = mask.row(r).to_vec();
+        if row.iter().any(|k| *k) {
+            *counts.entry(row).or_insert(0) += 1;
+        }
+    }
+    // Every non-empty pattern must fill whole groups; the remaining (all-pruned) rows
+    // are then automatically a multiple of `v` as well because `rows % v == 0`.
+    counts.values().all(|count| count % v == 0)
+}
+
+/// Finds a row permutation `perm` such that `mask.permuted_rows(&perm)` is vector-wise
+/// with vector length `v`, if one exists. Rows with identical column patterns are
+/// packed together; all-pruned rows fill the remaining slots.
+///
+/// Returns `None` when the mask does not satisfy the Shfl-BW pattern for this `v`.
+pub fn shfl_bw_grouping_permutation(mask: &BinaryMask, v: usize) -> Option<Vec<usize>> {
+    if !is_shfl_bw(mask, v) {
+        return None;
+    }
+    let rows = mask.rows();
+    let mut by_pattern: HashMap<Vec<bool>, Vec<usize>> = HashMap::new();
+    let mut empty_rows: Vec<usize> = Vec::new();
+    for r in 0..rows {
+        let row = mask.row(r).to_vec();
+        if row.iter().all(|k| !*k) {
+            empty_rows.push(r);
+        } else {
+            by_pattern.entry(row).or_default().push(r);
+        }
+    }
+    let mut perm = Vec::with_capacity(rows);
+    // Deterministic order: sort patterns by their first row index.
+    let mut groups: Vec<Vec<usize>> = by_pattern.into_values().collect();
+    groups.sort_by_key(|g| g[0]);
+    let mut partial: Vec<usize> = Vec::new();
+    for group in groups {
+        let mut rows_of_pattern = group;
+        while rows_of_pattern.len() >= v {
+            perm.extend(rows_of_pattern.drain(..v));
+        }
+        partial.extend(rows_of_pattern);
+    }
+    // Pad partially-filled patterns with empty rows (is_shfl_bw guarantees enough).
+    partial.extend(empty_rows);
+    perm.extend(partial);
+    debug_assert_eq!(perm.len(), rows);
+    Some(perm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mask_from_rows(rows: &[&[u8]]) -> BinaryMask {
+        let r = rows.len();
+        let c = rows[0].len();
+        BinaryMask::from_fn(r, c, |i, j| rows[i][j] != 0)
+    }
+
+    #[test]
+    fn labels_match_paper_nomenclature() {
+        assert_eq!(SparsePattern::Unstructured.label(), "unstructured");
+        assert_eq!(SparsePattern::BlockWise { v: 32 }.label(), "BW,V=32");
+        assert_eq!(SparsePattern::VectorWise { v: 64 }.label(), "VW,V=64");
+        assert_eq!(SparsePattern::Balanced { m: 2, n: 4 }.label(), "2in4");
+        assert_eq!(SparsePattern::ShflBw { v: 32 }.label(), "Shfl-BW,V=32");
+    }
+
+    #[test]
+    fn dense_tiling_capability() {
+        assert!(SparsePattern::BlockWise { v: 32 }.tiles_densely());
+        assert!(SparsePattern::ShflBw { v: 64 }.tiles_densely());
+        assert!(!SparsePattern::Unstructured.tiles_densely());
+        assert!(!SparsePattern::Balanced { m: 2, n: 4 }.tiles_densely());
+    }
+
+    #[test]
+    fn block_wise_detection() {
+        let good = mask_from_rows(&[
+            &[1, 1, 0, 0],
+            &[1, 1, 0, 0],
+            &[0, 0, 1, 1],
+            &[0, 0, 1, 1],
+        ]);
+        assert!(is_block_wise(&good, 2));
+        let bad = mask_from_rows(&[
+            &[1, 1, 0, 0],
+            &[1, 0, 0, 0],
+            &[0, 0, 1, 1],
+            &[0, 0, 1, 1],
+        ]);
+        assert!(!is_block_wise(&bad, 2));
+        assert!(!is_block_wise(&good, 0));
+    }
+
+    #[test]
+    fn vector_wise_detection() {
+        let good = mask_from_rows(&[
+            &[1, 0, 1, 0],
+            &[1, 0, 1, 0],
+            &[0, 1, 0, 0],
+            &[0, 1, 0, 0],
+        ]);
+        assert!(is_vector_wise(&good, 2));
+        // Vector-wise is weaker than block-wise: columns need not be contiguous.
+        assert!(!is_block_wise(&good, 2));
+        let bad = mask_from_rows(&[
+            &[1, 0, 1, 0],
+            &[1, 1, 1, 0],
+            &[0, 1, 0, 0],
+            &[0, 1, 0, 0],
+        ]);
+        assert!(!is_vector_wise(&bad, 2));
+    }
+
+    #[test]
+    fn balanced_detection() {
+        let good = mask_from_rows(&[&[1, 1, 0, 0, 0, 1, 1, 0], &[1, 0, 1, 0, 0, 0, 1, 1]]);
+        assert!(is_balanced(&good, 2, 4));
+        let bad = mask_from_rows(&[&[1, 1, 1, 0, 0, 1, 1, 0]]);
+        assert!(!is_balanced(&bad, 2, 4));
+        assert!(!is_balanced(&good, 0, 4));
+        assert!(!is_balanced(&good, 5, 4));
+    }
+
+    #[test]
+    fn shfl_bw_detection_with_scattered_rows() {
+        // Rows 0 and 2 share a pattern, rows 1 and 3 share another: valid for V=2 even
+        // though equal rows are not adjacent (this is exactly Figure 3(b)).
+        let mask = mask_from_rows(&[
+            &[1, 0, 1, 0],
+            &[0, 1, 0, 1],
+            &[1, 0, 1, 0],
+            &[0, 1, 0, 1],
+        ]);
+        assert!(is_shfl_bw(&mask, 2));
+        assert!(!is_vector_wise(&mask, 2));
+        // Three distinct patterns with multiplicity 1 cannot form groups of 2.
+        let bad = mask_from_rows(&[
+            &[1, 0, 0, 0],
+            &[0, 1, 0, 0],
+            &[0, 0, 1, 0],
+            &[0, 0, 1, 0],
+        ]);
+        assert!(!is_shfl_bw(&bad, 2));
+    }
+
+    #[test]
+    fn shfl_bw_allows_all_pruned_rows_to_form_their_own_groups() {
+        let mask = mask_from_rows(&[
+            &[1, 0, 1, 0],
+            &[0, 0, 0, 0],
+            &[1, 0, 1, 0],
+            &[0, 0, 0, 0],
+        ]);
+        assert!(is_shfl_bw(&mask, 2));
+    }
+
+    #[test]
+    fn shfl_bw_requires_divisible_row_count() {
+        let mask = mask_from_rows(&[&[1, 0], &[1, 0], &[1, 0]]);
+        assert!(!is_shfl_bw(&mask, 2));
+    }
+
+    #[test]
+    fn grouping_permutation_produces_vector_wise_mask() {
+        let mask = mask_from_rows(&[
+            &[1, 0, 1, 0],
+            &[0, 1, 0, 1],
+            &[1, 0, 1, 0],
+            &[0, 1, 0, 1],
+        ]);
+        let perm = shfl_bw_grouping_permutation(&mask, 2).expect("pattern is Shfl-BW");
+        let grouped = mask.permuted_rows(&perm).unwrap();
+        assert!(is_vector_wise(&grouped, 2));
+    }
+
+    #[test]
+    fn grouping_permutation_is_none_for_invalid_masks() {
+        let mask = mask_from_rows(&[&[1, 0], &[0, 1], &[1, 1], &[0, 0]]);
+        assert!(shfl_bw_grouping_permutation(&mask, 2).is_none());
+    }
+
+    #[test]
+    fn validates_dispatches_to_the_right_checker() {
+        let vw = mask_from_rows(&[&[1, 0], &[1, 0]]);
+        assert!(SparsePattern::VectorWise { v: 2 }.validates(&vw));
+        assert!(SparsePattern::Unstructured.validates(&vw));
+        assert!(SparsePattern::ShflBw { v: 2 }.validates(&vw));
+        assert!(!SparsePattern::BlockWise { v: 2 }.validates(&vw));
+    }
+}

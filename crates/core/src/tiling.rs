@@ -1,0 +1,191 @@
+//! Threadblock tiling configurations.
+//!
+//! Every kernel in `shfl-kernels` processes the output matrix in threadblock-scoped
+//! tiles of `T_M × T_N`, looping over the reduction dimension in steps of `T_K`
+//! (Figure 4). The tile shape determines the data reuse the kernel can reach and the
+//! shared-memory / register footprint of one threadblock, which in turn drives the
+//! occupancy model in `gpu-sim`. For vector-wise and Shfl-BW kernels the tile height
+//! `T_M` is bounded by the vector length `V`, because only `V` rows share one column
+//! pattern.
+
+use crate::error::{Error, Result};
+use std::fmt;
+
+/// A threadblock tile configuration for a GEMM-like kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TileConfig {
+    /// Output tile height (rows of the sparse/left operand).
+    pub tm: usize,
+    /// Output tile width (columns of the dense/right operand).
+    pub tn: usize,
+    /// Reduction step per main-loop iteration.
+    pub tk: usize,
+}
+
+impl TileConfig {
+    /// Creates a tile configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] if any dimension is zero.
+    pub fn new(tm: usize, tn: usize, tk: usize) -> Result<Self> {
+        if tm == 0 || tn == 0 || tk == 0 {
+            return Err(Error::ShapeMismatch {
+                context: format!("tile dimensions must be non-zero, got {tm}x{tn}x{tk}"),
+            });
+        }
+        Ok(TileConfig { tm, tn, tk })
+    }
+
+    /// The default dense-GEMM tile used by the cuBLAS-like baseline: 128×128×32.
+    pub fn dense_default() -> Self {
+        TileConfig {
+            tm: 128,
+            tn: 128,
+            tk: 32,
+        }
+    }
+
+    /// Output accumulator footprint in bytes (fp32 accumulators).
+    pub fn accumulator_bytes(&self) -> usize {
+        self.tm * self.tn * std::mem::size_of::<f32>()
+    }
+
+    /// Shared-memory footprint of one double-buffered main-loop stage in bytes with
+    /// fp16 operands: an `T_M×T_K` tile of the left operand plus a `T_K×T_N` tile of
+    /// the right operand, times `stages` buffers.
+    pub fn shared_memory_bytes(&self, stages: usize) -> usize {
+        2 * (self.tm * self.tk + self.tk * self.tn) * stages.max(1)
+    }
+
+    /// FLOPs performed per main-loop iteration of one threadblock.
+    pub fn flops_per_iteration(&self) -> u64 {
+        2 * (self.tm * self.tn * self.tk) as u64
+    }
+
+    /// Bytes loaded per main-loop iteration with fp16 operands (left tile + right
+    /// tile).
+    pub fn bytes_per_iteration(&self) -> u64 {
+        2 * (self.tm * self.tk + self.tk * self.tn) as u64
+    }
+
+    /// Operation intensity of the tile in FLOP per loaded byte — the tile-level data
+    /// reuse the paper's §3.2.2 maximises.
+    pub fn operation_intensity(&self) -> f64 {
+        self.flops_per_iteration() as f64 / self.bytes_per_iteration() as f64
+    }
+}
+
+impl fmt::Display for TileConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.tm, self.tn, self.tk)
+    }
+}
+
+/// Selects the threadblock tile for a dense tensor-core GEMM of shape `m × n × k`,
+/// shrinking the default 128×128 tile when the problem is smaller than one tile in a
+/// dimension (as a tuned library would).
+pub fn select_dense_tile(m: usize, n: usize, k: usize) -> TileConfig {
+    let tm = if m >= 128 { 128 } else { m.next_power_of_two().clamp(16, 128) };
+    let tn = if n >= 128 { 128 } else { n.next_power_of_two().clamp(16, 128) };
+    let tk = if k >= 32 { 32 } else { k.next_power_of_two().clamp(16, 32) };
+    TileConfig { tm, tn, tk }
+}
+
+/// Selects the threadblock tile for a vector-wise / Shfl-BW SpMM with vector length
+/// `v` on an output of `n` columns: the tile height is the vector length (only `V`
+/// rows share a column pattern), the width is up to 128 columns, and the reduction
+/// step is the paper's "V×16 or larger" stitched tile.
+pub fn select_vector_wise_tile(v: usize, n: usize) -> TileConfig {
+    let tn = if n >= 128 { 128 } else { n.next_power_of_two().clamp(8, 128) };
+    TileConfig {
+        tm: v.max(1),
+        tn,
+        tk: 16,
+    }
+}
+
+/// Number of threadblocks a GEMM-like kernel launches for an `m × n` output with the
+/// given tile, optionally splitting the reduction dimension `split_k` ways.
+pub fn grid_size(m: usize, n: usize, tile: TileConfig, split_k: usize) -> u64 {
+    (m.div_ceil(tile.tm) as u64) * (n.div_ceil(tile.tn) as u64) * split_k.max(1) as u64
+}
+
+/// Chooses a split-K factor so the grid has at least `target_blocks` threadblocks (as
+/// tuned GEMM libraries do for small outputs), capped at 8.
+pub fn select_split_k(m: usize, n: usize, k: usize, tile: TileConfig, target_blocks: u64) -> usize {
+    let base = grid_size(m, n, tile, 1);
+    if base >= target_blocks {
+        return 1;
+    }
+    let needed = target_blocks.div_ceil(base.max(1)) as usize;
+    let max_split = (k / tile.tk.max(1)).max(1);
+    needed.min(8).min(max_split).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_construction_validates() {
+        assert!(TileConfig::new(128, 128, 32).is_ok());
+        assert!(TileConfig::new(0, 128, 32).is_err());
+        assert!(TileConfig::new(128, 128, 0).is_err());
+    }
+
+    #[test]
+    fn footprints_and_intensity() {
+        let t = TileConfig::dense_default();
+        assert_eq!(t.accumulator_bytes(), 128 * 128 * 4);
+        assert_eq!(t.shared_memory_bytes(2), 2 * (128 * 32 + 32 * 128) * 2);
+        assert_eq!(t.flops_per_iteration(), 2 * 128 * 128 * 32);
+        // 128x128 square tile: intensity = TM*TN/(TM+TN) = 64 FLOP/byte.
+        assert!((t.operation_intensity() - 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dense_tile_shrinks_for_small_problems() {
+        let t = select_dense_tile(2048, 64, 2048);
+        assert_eq!(t.tn, 64);
+        assert_eq!(t.tm, 128);
+        let t = select_dense_tile(32, 32, 16);
+        assert_eq!((t.tm, t.tn, t.tk), (32, 32, 16));
+    }
+
+    #[test]
+    fn vector_wise_tile_height_is_v() {
+        let t = select_vector_wise_tile(64, 512);
+        assert_eq!(t.tm, 64);
+        assert_eq!(t.tn, 128);
+        assert_eq!(t.tk, 16);
+        let t = select_vector_wise_tile(32, 8);
+        assert_eq!(t.tn, 8);
+    }
+
+    #[test]
+    fn vector_wise_intensity_grows_with_v() {
+        let i32v = select_vector_wise_tile(32, 512).operation_intensity();
+        let i128v = select_vector_wise_tile(128, 512).operation_intensity();
+        assert!(i128v > i32v);
+    }
+
+    #[test]
+    fn grid_and_split_k() {
+        let tile = TileConfig::dense_default();
+        assert_eq!(grid_size(2048, 128, tile, 1), 16);
+        assert_eq!(grid_size(2048, 128, tile, 4), 64);
+        // Small grid: split-K kicks in to reach the target block count.
+        let split = select_split_k(2048, 128, 2048, tile, 128);
+        assert!(split > 1 && split <= 8);
+        // Large grid: no split needed.
+        assert_eq!(select_split_k(8192, 8192, 1024, tile, 128), 1);
+        // Split never exceeds the number of K steps.
+        assert_eq!(select_split_k(128, 128, 32, tile, 1024), 1);
+    }
+
+    #[test]
+    fn display_formats_shape() {
+        assert_eq!(format!("{}", TileConfig::dense_default()), "128x128x32");
+    }
+}

@@ -1,0 +1,327 @@
+//! Functional model of the tensor-core matrix-multiply-accumulate (MMA) instruction.
+//!
+//! The paper's kernels are built around the Volta/Turing/Ampere half-precision MMA
+//! instruction with granularity `M/N/K = 16/8/16` (§2.1). This module provides the
+//! fragment shapes and a functional warp-level MMA used by the simulated kernels in
+//! `shfl-kernels`. Operands are stored as `f32` in the simulator but can be rounded
+//! through fp16 on the way in to mimic half-precision inputs with fp32 accumulation.
+
+/// Tensor-core MMA instruction shapes relevant to the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MmaShape {
+    /// `mma.sync.m16n8k16` — the native half-precision shape on Volta/Turing/Ampere.
+    M16N8K16,
+    /// `mma.sync.m16n8k8` — the smaller reduction-depth variant.
+    M16N8K8,
+    /// `wmma` 16×16×16 — the CUDA C++ WMMA API tile.
+    M16N16K16,
+}
+
+impl MmaShape {
+    /// Rows of the accumulator fragment (`M`).
+    pub fn m(&self) -> usize {
+        16
+    }
+
+    /// Columns of the accumulator fragment (`N`).
+    pub fn n(&self) -> usize {
+        match self {
+            MmaShape::M16N8K16 | MmaShape::M16N8K8 => 8,
+            MmaShape::M16N16K16 => 16,
+        }
+    }
+
+    /// Reduction depth of one instruction (`K`).
+    pub fn k(&self) -> usize {
+        match self {
+            MmaShape::M16N8K16 | MmaShape::M16N16K16 => 16,
+            MmaShape::M16N8K8 => 8,
+        }
+    }
+
+    /// Multiply-accumulate operations performed by one instruction.
+    pub fn macs(&self) -> usize {
+        self.m() * self.n() * self.k()
+    }
+
+    /// FLOPs performed by one instruction (2 FLOPs per MAC).
+    pub fn flops(&self) -> usize {
+        2 * self.macs()
+    }
+
+    /// Number of MMA instructions needed to cover an `m × n × k` tile, rounding each
+    /// dimension up to the instruction granularity. This is the quantity the paper's
+    /// §2.1 calls the "matrix-shaped instruction granularity" cost: tiles smaller than
+    /// the instruction still pay for a full instruction.
+    pub fn instructions_for(&self, m: usize, n: usize, k: usize) -> usize {
+        let mi = m.div_ceil(self.m());
+        let ni = n.div_ceil(self.n());
+        let ki = k.div_ceil(self.k());
+        mi * ni * ki
+    }
+
+    /// Fraction of the MACs issued by [`MmaShape::instructions_for`] that are useful
+    /// for an `m × n × k` tile (1.0 when every dimension is a multiple of the
+    /// instruction shape).
+    pub fn utilization_for(&self, m: usize, n: usize, k: usize) -> f64 {
+        if m == 0 || n == 0 || k == 0 {
+            return 0.0;
+        }
+        let useful = (m * n * k) as f64;
+        let issued = (self.instructions_for(m, n, k) * self.macs()) as f64;
+        useful / issued
+    }
+}
+
+/// Rounds an `f32` value through IEEE 754 binary16 and back, mimicking the precision
+/// loss of storing kernel operands in fp16.
+///
+/// Values whose magnitude exceeds the fp16 range saturate to ±65504; subnormals are
+/// flushed following round-to-nearest-even semantics of the conversion.
+pub fn round_to_f16(value: f32) -> f32 {
+    f32::from(half_from_f32(value))
+}
+
+/// Minimal software fp16 conversion (round-to-nearest-even), returning the decoded
+/// value as `f32` via the bit pattern.
+fn half_from_f32(value: f32) -> HalfBits {
+    let bits = value.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let mant = bits & 0x007f_ffff;
+
+    if exp == 0xff {
+        // Inf / NaN.
+        let mant16 = if mant != 0 { 0x200 } else { 0 };
+        return HalfBits(sign | 0x7c00 | mant16);
+    }
+
+    // Re-bias from 127 to 15.
+    let unbiased = exp - 127;
+    let new_exp = unbiased + 15;
+
+    if new_exp >= 0x1f {
+        // Overflow: saturate to the largest finite fp16 value rather than infinity,
+        // matching the saturating behaviour most DNN frameworks configure.
+        return HalfBits(sign | 0x7bff);
+    }
+    if new_exp <= 0 {
+        // Subnormal or underflow to zero.
+        if new_exp < -10 {
+            return HalfBits(sign);
+        }
+        let full_mant = mant | 0x0080_0000;
+        let shift = (14 - new_exp) as u32;
+        let half_mant = full_mant >> shift;
+        // Round to nearest even.
+        let round_bit = 1u32 << (shift - 1);
+        let rounded = if (full_mant & round_bit) != 0
+            && ((full_mant & (round_bit - 1)) != 0 || (half_mant & 1) != 0)
+        {
+            half_mant + 1
+        } else {
+            half_mant
+        };
+        return HalfBits(sign | rounded as u16);
+    }
+
+    // Normalised result; round mantissa from 23 to 10 bits (nearest even).
+    let mant10 = mant >> 13;
+    let round_bit = mant & 0x0000_1000;
+    let sticky = mant & 0x0000_0fff;
+    let mut half = (new_exp as u16) << 10 | mant10 as u16;
+    if round_bit != 0 && (sticky != 0 || (half & 1) != 0) {
+        half = half.wrapping_add(1);
+        if half & 0x7c00 == 0x7c00 {
+            // Rounded up into the infinity encoding: saturate.
+            half = 0x7bff;
+        }
+    }
+    HalfBits(sign | half)
+}
+
+/// Raw fp16 bits produced by [`half_from_f32`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct HalfBits(u16);
+
+impl From<HalfBits> for f32 {
+    fn from(h: HalfBits) -> f32 {
+        let bits = h.0 as u32;
+        let sign = (bits & 0x8000) << 16;
+        let exp = (bits >> 10) & 0x1f;
+        let mant = bits & 0x03ff;
+        let out = if exp == 0 {
+            if mant == 0 {
+                sign
+            } else {
+                // Subnormal: normalise.
+                let mut exp32 = 127 - 15 - 10;
+                let mut m = mant;
+                while m & 0x0400 == 0 {
+                    m <<= 1;
+                    exp32 -= 1;
+                }
+                m &= 0x03ff;
+                sign | (((exp32 + 1 + 10) as u32) << 23) | (m << 13)
+            }
+        } else if exp == 0x1f {
+            sign | 0x7f80_0000 | (mant << 13)
+        } else {
+            sign | ((exp + 127 - 15) << 23) | (mant << 13)
+        };
+        f32::from_bits(out)
+    }
+}
+
+/// Performs one warp-level MMA: `c[m×n] += a[m×k] · b[k×n]`, all row-major dense
+/// fragments, with operands optionally rounded through fp16 and accumulation in f32.
+///
+/// This is the functional core of every tensor-core kernel in `shfl-kernels`: the
+/// kernels stage data into shared-memory-like buffers, then invoke `warp_mma` per
+/// fragment exactly as a CUDA kernel would issue `mma.sync`.
+///
+/// # Panics
+///
+/// Panics if the slices do not match the fragment dimensions
+/// (`a.len() == m*k`, `b.len() == k*n`, `c.len() == m*n`).
+pub fn warp_mma(
+    shape: MmaShape,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    round_operands_to_f16: bool,
+) {
+    let (m, n, k) = (shape.m(), shape.n(), shape.k());
+    assert_eq!(a.len(), m * k, "A fragment must be m*k elements");
+    assert_eq!(b.len(), k * n, "B fragment must be k*n elements");
+    assert_eq!(c.len(), m * n, "C fragment must be m*n elements");
+
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = c[i * n + j];
+            for p in 0..k {
+                let av = a[i * k + p];
+                let bv = b[p * n + j];
+                let (av, bv) = if round_operands_to_f16 {
+                    (round_to_f16(av), round_to_f16(bv))
+                } else {
+                    (av, bv)
+                };
+                acc += av * bv;
+            }
+            c[i * n + j] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_dimensions() {
+        assert_eq!(
+            (
+                MmaShape::M16N8K16.m(),
+                MmaShape::M16N8K16.n(),
+                MmaShape::M16N8K16.k()
+            ),
+            (16, 8, 16)
+        );
+        assert_eq!(MmaShape::M16N8K8.k(), 8);
+        assert_eq!(MmaShape::M16N16K16.n(), 16);
+    }
+
+    #[test]
+    fn macs_and_flops() {
+        assert_eq!(MmaShape::M16N8K16.macs(), 16 * 8 * 16);
+        assert_eq!(MmaShape::M16N8K16.flops(), 2 * 16 * 8 * 16);
+    }
+
+    #[test]
+    fn instruction_count_rounds_up() {
+        let s = MmaShape::M16N8K16;
+        assert_eq!(s.instructions_for(16, 8, 16), 1);
+        assert_eq!(s.instructions_for(17, 8, 16), 2);
+        assert_eq!(s.instructions_for(32, 16, 32), 2 * 2 * 2);
+        // The paper's point: a 1-wide reduction still pays a full instruction.
+        assert_eq!(s.instructions_for(16, 8, 1), 1);
+    }
+
+    #[test]
+    fn utilization_is_one_for_aligned_tiles_and_less_otherwise() {
+        let s = MmaShape::M16N8K16;
+        assert!((s.utilization_for(64, 64, 64) - 1.0).abs() < 1e-12);
+        assert!(s.utilization_for(16, 8, 1) < 0.1);
+        assert_eq!(s.utilization_for(0, 8, 16), 0.0);
+    }
+
+    #[test]
+    fn f16_roundtrip_preserves_representable_values() {
+        for v in [0.0f32, 1.0, -1.0, 0.5, 2.0, 1024.0, -0.25, 65504.0] {
+            assert_eq!(round_to_f16(v), v, "value {v} should be exactly representable");
+        }
+    }
+
+    #[test]
+    fn f16_rounding_introduces_bounded_error() {
+        let v = 0.1f32;
+        let r = round_to_f16(v);
+        assert!((r - v).abs() < 1e-3);
+        // Large values saturate instead of becoming infinite.
+        assert!(round_to_f16(1e9).is_finite());
+        assert!(round_to_f16(1e9) <= 65504.0);
+    }
+
+    #[test]
+    fn f16_handles_negative_and_subnormal() {
+        let v = -3.1415927f32;
+        assert!((round_to_f16(v) - v).abs() < 2e-3);
+        let tiny = 1e-6f32;
+        let r = round_to_f16(tiny);
+        assert!(r >= 0.0 && r < 1e-5);
+    }
+
+    #[test]
+    fn warp_mma_matches_reference() {
+        let shape = MmaShape::M16N8K16;
+        let (m, n, k) = (shape.m(), shape.n(), shape.k());
+        let a: Vec<f32> = (0..m * k).map(|i| (i % 7) as f32 * 0.25).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i % 5) as f32 * 0.5 - 1.0).collect();
+        let mut c = vec![0.25f32; m * n];
+        let mut expected = c.clone();
+        for i in 0..m {
+            for j in 0..n {
+                for p in 0..k {
+                    expected[i * n + j] += a[i * k + p] * b[p * n + j];
+                }
+            }
+        }
+        warp_mma(shape, &a, &b, &mut c, false);
+        for (x, y) in c.iter().zip(expected.iter()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "A fragment")]
+    fn warp_mma_rejects_wrong_fragment_size() {
+        let mut c = vec![0.0f32; 16 * 8];
+        warp_mma(MmaShape::M16N8K16, &[0.0; 3], &[0.0; 16 * 8], &mut c, false);
+    }
+
+    #[test]
+    fn warp_mma_with_f16_rounding_stays_close() {
+        let shape = MmaShape::M16N8K16;
+        let (m, n, k) = (shape.m(), shape.n(), shape.k());
+        let a: Vec<f32> = (0..m * k).map(|i| ((i * 37) % 11) as f32 * 0.01).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i * 13) % 17) as f32 * 0.02).collect();
+        let mut exact = vec![0.0f32; m * n];
+        let mut rounded = vec![0.0f32; m * n];
+        warp_mma(shape, &a, &b, &mut exact, false);
+        warp_mma(shape, &a, &b, &mut rounded, true);
+        for (x, y) in exact.iter().zip(rounded.iter()) {
+            assert!((x - y).abs() < 1e-2, "{x} vs {y}");
+        }
+    }
+}

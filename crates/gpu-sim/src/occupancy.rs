@@ -1,0 +1,133 @@
+//! Occupancy and wave-quantisation model.
+//!
+//! A GPU executes a kernel's threadblocks in "waves": at most
+//! `sm_count × blocks_per_sm` blocks are resident at once, so a grid that is not a
+//! multiple of that wave size wastes part of its last wave. The paper's dense baseline
+//! (cuBLAS) and its sparse kernels are both subject to this effect, and it is one of
+//! the reasons block-wise kernels with large `V` can under-perform on small problems:
+//! fewer, larger tiles mean fewer threadblocks and worse wave utilisation.
+
+use crate::arch::GpuArch;
+use crate::stats::KernelStats;
+
+/// Result of the occupancy calculation for one kernel launch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Occupancy {
+    /// Number of threadblocks that can be resident on one SM simultaneously
+    /// (latency-hiding residency; does not increase per-SM throughput).
+    pub blocks_per_sm: u32,
+    /// Number of threadblocks whose *throughput* can be serviced concurrently. Each
+    /// SM's functional units are shared by its resident blocks, so for throughput
+    /// quantisation this is simply the SM count.
+    pub wave_size: u64,
+    /// Number of SM-rounds needed to drain the grid (ceil division of the grid by the
+    /// SM count).
+    pub waves: u64,
+    /// Fraction of the device's compute throughput that is busy averaged over all
+    /// rounds (`grid / (waves × wave_size)`), in `(0, 1]`.
+    pub wave_efficiency: f64,
+}
+
+/// Computes occupancy and wave quantisation for a kernel on an architecture.
+///
+/// The per-block shared-memory and register footprints recorded in [`KernelStats`]
+/// bound how many blocks fit on one SM; the architecture's `max_blocks_per_sm` caps
+/// the result. A kernel that records no footprint gets the architectural maximum.
+pub fn occupancy(arch: &GpuArch, stats: &KernelStats) -> Occupancy {
+    let mut blocks_per_sm = arch.max_blocks_per_sm;
+
+    let smem = stats.shared_bytes_per_block();
+    if smem > 0 {
+        let by_smem = arch.shared_mem_per_sm_bytes / smem.max(1);
+        blocks_per_sm = blocks_per_sm.min(by_smem.max(1));
+    }
+    let regs = stats.regfile_bytes_per_block();
+    if regs > 0 {
+        let by_regs = arch.register_file_per_sm_bytes / regs.max(1);
+        blocks_per_sm = blocks_per_sm.min(by_regs.max(1));
+    }
+    // A block needs at least one warp slot; 2048 threads per SM / threads per block.
+    let threads = stats.threads_per_block().max(32);
+    let by_threads = (2048 / threads).max(1);
+    blocks_per_sm = blocks_per_sm.min(by_threads);
+
+    // Throughput quantisation: resident blocks on one SM share its functional units,
+    // so the effective "wave" for compute-time purposes is one block per SM.
+    let wave_size = u64::from(arch.sm_count);
+    let grid = stats.threadblocks().max(1);
+    let waves = grid.div_ceil(wave_size);
+    let wave_efficiency = grid as f64 / (waves * wave_size) as f64;
+
+    Occupancy {
+        blocks_per_sm,
+        wave_size,
+        waves,
+        wave_efficiency: wave_efficiency.clamp(1e-6, 1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::ComputeUnit;
+
+    fn stats_with(blocks: u64, smem: u32, regs: u32, threads: u32) -> KernelStats {
+        let mut s = KernelStats::new(ComputeUnit::TensorCore);
+        s.set_threadblocks(blocks);
+        s.set_shared_bytes_per_block(smem);
+        s.set_regfile_bytes_per_block(regs);
+        s.set_threads_per_block(threads);
+        s
+    }
+
+    #[test]
+    fn unconstrained_kernel_gets_thread_limited_occupancy() {
+        let arch = GpuArch::v100();
+        let occ = occupancy(&arch, &stats_with(10_000, 0, 0, 128));
+        // 2048 threads / 128 threads per block = 16 blocks per SM of residency, but
+        // the throughput wave is one block per SM.
+        assert_eq!(occ.blocks_per_sm, 16);
+        assert_eq!(occ.wave_size, 80);
+    }
+
+    #[test]
+    fn shared_memory_limits_occupancy() {
+        let arch = GpuArch::v100();
+        // 48 KiB per block on a 96 KiB SM -> 2 blocks per SM.
+        let occ = occupancy(&arch, &stats_with(1_000, 48 * 1024, 0, 128));
+        assert_eq!(occ.blocks_per_sm, 2);
+    }
+
+    #[test]
+    fn register_file_limits_occupancy() {
+        let arch = GpuArch::v100();
+        // 128 KiB of accumulators per block on a 256 KiB register file -> 2 blocks.
+        let occ = occupancy(&arch, &stats_with(1_000, 0, 128 * 1024, 256));
+        assert_eq!(occ.blocks_per_sm, 2);
+    }
+
+    #[test]
+    fn small_grids_waste_part_of_a_wave() {
+        let arch = GpuArch::t4();
+        let occ = occupancy(&arch, &stats_with(10, 48 * 1024, 0, 128));
+        assert_eq!(occ.waves, 1);
+        assert!(occ.wave_efficiency < 0.5);
+    }
+
+    #[test]
+    fn exact_multiple_of_wave_is_fully_efficient() {
+        let arch = GpuArch::t4();
+        // Grid equal to 3 × SM count drains in exactly three full rounds.
+        let occ = occupancy(&arch, &stats_with(u64::from(arch.sm_count) * 3, 64 * 1024, 0, 256));
+        assert_eq!(occ.waves, 3);
+        assert!((occ.wave_efficiency - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn at_least_one_block_per_sm() {
+        let arch = GpuArch::t4();
+        // Absurdly large footprint still yields one block per SM rather than zero.
+        let occ = occupancy(&arch, &stats_with(100, 10 * 1024 * 1024, 0, 1024));
+        assert_eq!(occ.blocks_per_sm, 1);
+    }
+}

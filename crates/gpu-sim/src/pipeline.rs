@@ -1,0 +1,265 @@
+//! Software-pipelining and metadata-prefetch model (the paper's Algorithm 1, §4.4).
+//!
+//! The Shfl-BW SpMM main loop walks the reduction dimension in steps of `T_K`. Each
+//! step needs (1) the column-index *metadata* of the weight tile, (2) the weight values
+//! and the activation rows the metadata points at, and (3) a tensor-core MMA on the
+//! stitched tile. Because the addresses of (2) depend on (1), a naive schedule stalls
+//! every iteration on a DRAM-latency round trip. The paper resolves the dependency by
+//! prefetching metadata in bulk (`MetaPrefetchStage` steps at a time) and multi-stage
+//! buffering of data tiles (`PipeStage`).
+//!
+//! This module reproduces that schedule and converts the residual stalls into time for
+//! the cost model.
+
+use crate::arch::GpuArch;
+
+/// Pipeline configuration of a sparse kernel main loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Number of data-tile buffers (`PipeStage` in Algorithm 1). 1 means no
+    /// double-buffering: every iteration waits for its tile load.
+    pub pipe_stages: usize,
+    /// Number of main-loop steps whose metadata is loaded in one bulk prefetch
+    /// (`MetaPrefetchStage`). 0 disables metadata prefetching entirely, so every
+    /// iteration pays a dependent-load stall.
+    pub meta_prefetch_stages: usize,
+}
+
+impl PipelineConfig {
+    /// The configuration used by the paper's kernels: multi-stage data buffering with
+    /// bulk metadata prefetch.
+    pub fn shfl_bw_default() -> Self {
+        PipelineConfig {
+            pipe_stages: 3,
+            meta_prefetch_stages: 8,
+        }
+    }
+
+    /// A naive single-buffer schedule with no metadata prefetch; used by the kernel
+    /// ablation study to quantify how much the prefetching contributes.
+    pub fn naive() -> Self {
+        PipelineConfig {
+            pipe_stages: 1,
+            meta_prefetch_stages: 0,
+        }
+    }
+
+    /// Whether metadata prefetching is enabled.
+    pub fn prefetches_metadata(&self) -> bool {
+        self.meta_prefetch_stages > 0
+    }
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig::shfl_bw_default()
+    }
+}
+
+/// One step of the simulated pipeline schedule (for inspection and tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineStep {
+    /// Main-loop step index (may be negative during the warm-up ramp, in which case
+    /// the MMA stage is idle; we only record steps ≥ 0 of the metadata counter).
+    pub metaload_step: i64,
+    /// Whether this step issues a bulk metadata prefetch.
+    pub issues_meta_prefetch: bool,
+    /// Data-tile load issued this step (the `load_step` counter), if in range.
+    pub load_step: Option<i64>,
+    /// MMA compute issued this step (the `step` counter), if in range.
+    pub compute_step: Option<i64>,
+    /// Whether the compute stage had to stall waiting for un-prefetched metadata.
+    pub stalled_on_metadata: bool,
+}
+
+/// Model of the pipelined main loop of Algorithm 1.
+#[derive(Debug, Clone)]
+pub struct PipelineModel {
+    config: PipelineConfig,
+    /// DRAM round-trip latency in cycles charged to an exposed dependent load.
+    dram_latency_cycles: f64,
+    /// How much of that latency concurrent warps hide on average (≥ 1).
+    latency_hiding_factor: f64,
+}
+
+impl PipelineModel {
+    /// Creates a pipeline model with the default latency parameters
+    /// (≈ 500-cycle DRAM round trip, 8× latency hiding from concurrent warps).
+    pub fn new(config: PipelineConfig) -> Self {
+        PipelineModel {
+            config,
+            dram_latency_cycles: 500.0,
+            latency_hiding_factor: 8.0,
+        }
+    }
+
+    /// Overrides the DRAM latency (cycles) and latency-hiding factor.
+    pub fn with_latency(mut self, dram_latency_cycles: f64, hiding_factor: f64) -> Self {
+        self.dram_latency_cycles = dram_latency_cycles;
+        self.latency_hiding_factor = hiding_factor.max(1.0);
+        self
+    }
+
+    /// The configuration this model simulates.
+    pub fn config(&self) -> PipelineConfig {
+        self.config
+    }
+
+    /// Generates the schedule of Algorithm 1 for a main loop of `total_steps`
+    /// iterations, reproducing the three staggered counters (`metaload_step`,
+    /// `load_step`, `step`).
+    pub fn schedule(&self, total_steps: usize) -> Vec<PipelineStep> {
+        let total = total_steps as i64;
+        let meta_ahead = self.config.meta_prefetch_stages.max(0) as i64;
+        let pipe = self.config.pipe_stages.max(1) as i64;
+
+        let mut steps = Vec::new();
+        let mut metaload_step: i64 = 0;
+        // load_step trails the metadata counter by the prefetch distance; the compute
+        // counter trails the load counter by the buffering depth, exactly as in
+        // Algorithm 1 lines 1-3.
+        let mut load_step: i64 = metaload_step - meta_ahead;
+        let mut step: i64 = load_step - pipe;
+
+        while step < total {
+            let issues_meta_prefetch = if self.config.prefetches_metadata() {
+                metaload_step % meta_ahead.max(1) == 0 && metaload_step < total
+            } else {
+                metaload_step < total
+            };
+            let in_load_range = load_step >= 0 && load_step < total;
+            let in_compute_range = step >= 0 && step < total;
+            let stalled_on_metadata = in_compute_range && !self.config.prefetches_metadata();
+            steps.push(PipelineStep {
+                metaload_step,
+                issues_meta_prefetch,
+                load_step: if in_load_range { Some(load_step) } else { None },
+                compute_step: if in_compute_range { Some(step) } else { None },
+                stalled_on_metadata,
+            });
+            metaload_step += 1;
+            load_step += 1;
+            step += 1;
+        }
+        steps
+    }
+
+    /// Number of main-loop iterations that expose a dependent-metadata stall for a
+    /// loop of `total_steps` iterations.
+    pub fn exposed_stalls(&self, total_steps: usize) -> u64 {
+        if self.config.prefetches_metadata() && self.config.pipe_stages >= 2 {
+            // Bulk prefetch removes the per-iteration dependency; only the first bulk
+            // load of each threadblock is exposed.
+            if total_steps == 0 {
+                0
+            } else {
+                1
+            }
+        } else if self.config.prefetches_metadata() {
+            // Metadata is ahead of time but single-buffered data loads still expose a
+            // fraction of the latency.
+            (total_steps as u64).div_ceil(2)
+        } else {
+            total_steps as u64
+        }
+    }
+
+    /// Converts a number of exposed stalls into microseconds on `arch`.
+    pub fn stall_time_us(&self, arch: &GpuArch, exposed_stalls: u64) -> f64 {
+        let cycles = self.dram_latency_cycles / self.latency_hiding_factor;
+        let us_per_stall = cycles / (arch.clock_ghz * 1e3);
+        exposed_stalls as f64 * us_per_stall
+    }
+}
+
+impl Default for PipelineModel {
+    fn default() -> Self {
+        PipelineModel::new(PipelineConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_prefetches() {
+        let c = PipelineConfig::default();
+        assert!(c.prefetches_metadata());
+        assert!(c.pipe_stages >= 2);
+    }
+
+    #[test]
+    fn naive_config_does_not_prefetch() {
+        assert!(!PipelineConfig::naive().prefetches_metadata());
+    }
+
+    #[test]
+    fn schedule_covers_every_compute_step_exactly_once() {
+        let model = PipelineModel::default();
+        let total = 37;
+        let schedule = model.schedule(total);
+        let computed: Vec<i64> = schedule.iter().filter_map(|s| s.compute_step).collect();
+        assert_eq!(computed.len(), total);
+        assert_eq!(computed.first(), Some(&0));
+        assert_eq!(computed.last(), Some(&((total - 1) as i64)));
+    }
+
+    #[test]
+    fn schedule_loads_lead_compute_by_pipeline_depth() {
+        let cfg = PipelineConfig {
+            pipe_stages: 3,
+            meta_prefetch_stages: 4,
+        };
+        let model = PipelineModel::new(cfg);
+        let schedule = model.schedule(20);
+        // Find the step where compute 0 happens; load counter must already be at 3.
+        let s = schedule
+            .iter()
+            .find(|s| s.compute_step == Some(0))
+            .expect("compute step 0 scheduled");
+        assert_eq!(s.load_step, Some(3));
+        assert_eq!(s.metaload_step, 3 + 4);
+    }
+
+    #[test]
+    fn bulk_prefetch_issues_every_n_steps() {
+        let cfg = PipelineConfig {
+            pipe_stages: 2,
+            meta_prefetch_stages: 4,
+        };
+        let model = PipelineModel::new(cfg);
+        let schedule = model.schedule(16);
+        let prefetches = schedule.iter().filter(|s| s.issues_meta_prefetch).count();
+        // One prefetch per 4 metadata steps over the in-range portion of the loop.
+        assert_eq!(prefetches, 4);
+    }
+
+    #[test]
+    fn exposed_stalls_prefetched_vs_naive() {
+        let prefetched = PipelineModel::new(PipelineConfig::shfl_bw_default());
+        let naive = PipelineModel::new(PipelineConfig::naive());
+        assert_eq!(prefetched.exposed_stalls(0), 0);
+        assert_eq!(prefetched.exposed_stalls(128), 1);
+        assert_eq!(naive.exposed_stalls(128), 128);
+    }
+
+    #[test]
+    fn stall_time_scales_with_stall_count_and_latency() {
+        let arch = GpuArch::v100();
+        let model = PipelineModel::new(PipelineConfig::naive()).with_latency(600.0, 1.0);
+        let t1 = model.stall_time_us(&arch, 1);
+        let t10 = model.stall_time_us(&arch, 10);
+        assert!((t10 / t1 - 10.0).abs() < 1e-9);
+        // 600 cycles at 1.53 GHz is ~0.39 us.
+        assert!((t1 - 0.392).abs() < 0.02);
+    }
+
+    #[test]
+    fn naive_schedule_marks_compute_steps_stalled() {
+        let model = PipelineModel::new(PipelineConfig::naive());
+        let schedule = model.schedule(8);
+        let stalled = schedule.iter().filter(|s| s.stalled_on_metadata).count();
+        assert_eq!(stalled, 8);
+    }
+}

@@ -1,0 +1,359 @@
+//! Kernel execution counters.
+//!
+//! The simulated kernels in `shfl-kernels` execute functionally (producing the actual
+//! output matrix) while accumulating the counters defined here. The counters are the
+//! interface between the functional simulation and the analytical cost model in
+//! [`crate::timing`]: they capture exactly the quantities the paper reasons about —
+//! floating-point work, DRAM/L2 traffic (operation intensity), MMA instruction count
+//! (tensor-core granularity) and the threadblock grid (wave quantisation).
+
+use std::fmt;
+
+/// Which functional units a kernel's inner loop occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ComputeUnit {
+    /// The kernel's FLOPs are issued to the tensor cores (MMA instructions).
+    TensorCore,
+    /// The kernel's FLOPs are issued to the ordinary CUDA cores (FMA instructions).
+    CudaCore,
+}
+
+impl fmt::Display for ComputeUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ComputeUnit::TensorCore => f.write_str("tensor-core"),
+            ComputeUnit::CudaCore => f.write_str("cuda-core"),
+        }
+    }
+}
+
+/// Counters accumulated by one simulated kernel launch.
+///
+/// All byte counters are *useful* application bytes; the cost model applies bandwidth
+/// efficiency factors for access-pattern effects (e.g. uncoalesced gathers) via
+/// [`KernelStats::set_coalescing_factor`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelStats {
+    compute_unit: ComputeUnit,
+    flops: u64,
+    dram_read_bytes: u64,
+    dram_write_bytes: u64,
+    l2_read_bytes: u64,
+    shared_bytes: u64,
+    metadata_bytes: u64,
+    mma_instructions: u64,
+    mma_utilization: f64,
+    threadblocks: u64,
+    threads_per_block: u32,
+    regfile_bytes_per_block: u32,
+    shared_bytes_per_block: u32,
+    coalescing_factor: f64,
+    compute_efficiency: f64,
+    dependent_metadata_stalls: u64,
+}
+
+impl KernelStats {
+    /// Creates an empty counter set for a kernel running on the given compute unit.
+    pub fn new(compute_unit: ComputeUnit) -> Self {
+        KernelStats {
+            compute_unit,
+            flops: 0,
+            dram_read_bytes: 0,
+            dram_write_bytes: 0,
+            l2_read_bytes: 0,
+            shared_bytes: 0,
+            metadata_bytes: 0,
+            mma_instructions: 0,
+            mma_utilization: 1.0,
+            threadblocks: 0,
+            threads_per_block: 128,
+            regfile_bytes_per_block: 0,
+            shared_bytes_per_block: 0,
+            coalescing_factor: 1.0,
+            compute_efficiency: 1.0,
+            dependent_metadata_stalls: 0,
+        }
+    }
+
+    /// The compute unit this kernel occupies.
+    pub fn compute_unit(&self) -> ComputeUnit {
+        self.compute_unit
+    }
+
+    /// Adds floating-point operations (multiply and add each count as one FLOP).
+    pub fn add_flops(&mut self, flops: u64) {
+        self.flops += flops;
+    }
+
+    /// Adds bytes read from DRAM (compulsory, first-touch traffic).
+    pub fn add_dram_read(&mut self, bytes: u64) {
+        self.dram_read_bytes += bytes;
+    }
+
+    /// Adds bytes written to DRAM.
+    pub fn add_dram_write(&mut self, bytes: u64) {
+        self.dram_write_bytes += bytes;
+    }
+
+    /// Adds bytes served from the L2 / last-level cache (tile re-reads that hit in
+    /// L2 rather than going to DRAM).
+    pub fn add_l2_read(&mut self, bytes: u64) {
+        self.l2_read_bytes += bytes;
+    }
+
+    /// Adds shared-memory traffic (staging buffers inside a threadblock).
+    pub fn add_shared(&mut self, bytes: u64) {
+        self.shared_bytes += bytes;
+    }
+
+    /// Adds sparse-metadata bytes (column indices, row pointers, shuffle indices).
+    /// Metadata is also DRAM traffic; this counter tracks it separately so the
+    /// overhead of a format can be reported.
+    pub fn add_metadata(&mut self, bytes: u64) {
+        self.metadata_bytes += bytes;
+        self.dram_read_bytes += bytes;
+    }
+
+    /// Adds tensor-core MMA instructions.
+    pub fn add_mma_instructions(&mut self, count: u64) {
+        self.mma_instructions += count;
+    }
+
+    /// Records the fraction of issued MMA MACs that were useful (1.0 = perfectly
+    /// aligned tiles). Multiplicatively combined with previous values so a kernel can
+    /// report independent utilisation losses.
+    pub fn scale_mma_utilization(&mut self, utilization: f64) {
+        self.mma_utilization *= utilization.clamp(0.0, 1.0);
+    }
+
+    /// Sets the threadblock grid size.
+    pub fn set_threadblocks(&mut self, blocks: u64) {
+        self.threadblocks = blocks;
+    }
+
+    /// Sets the number of threads per block (occupancy model input).
+    pub fn set_threads_per_block(&mut self, threads: u32) {
+        self.threads_per_block = threads;
+    }
+
+    /// Sets per-block register-file footprint in bytes (occupancy model input).
+    pub fn set_regfile_bytes_per_block(&mut self, bytes: u32) {
+        self.regfile_bytes_per_block = bytes;
+    }
+
+    /// Sets per-block shared-memory footprint in bytes (occupancy model input).
+    pub fn set_shared_bytes_per_block(&mut self, bytes: u32) {
+        self.shared_bytes_per_block = bytes;
+    }
+
+    /// Sets the fraction of peak DRAM bandwidth achievable given the kernel's access
+    /// pattern (1.0 = fully coalesced streaming; unstructured gathers are lower).
+    pub fn set_coalescing_factor(&mut self, factor: f64) {
+        self.coalescing_factor = factor.clamp(0.01, 1.0);
+    }
+
+    /// Sets the fraction of peak compute throughput the kernel's inner loop can issue
+    /// (instruction mix, bank conflicts, warp divergence).
+    pub fn set_compute_efficiency(&mut self, eff: f64) {
+        self.compute_efficiency = eff.clamp(0.01, 1.0);
+    }
+
+    /// Records main-loop iterations that stall on a load whose address depends on
+    /// sparse metadata that was *not* prefetched (see [`crate::pipeline`]).
+    pub fn add_dependent_metadata_stalls(&mut self, stalls: u64) {
+        self.dependent_metadata_stalls += stalls;
+    }
+
+    /// Total floating-point operations.
+    pub fn flops(&self) -> u64 {
+        self.flops
+    }
+
+    /// Bytes read from DRAM (including metadata).
+    pub fn dram_read_bytes(&self) -> u64 {
+        self.dram_read_bytes
+    }
+
+    /// Bytes written to DRAM.
+    pub fn dram_write_bytes(&self) -> u64 {
+        self.dram_write_bytes
+    }
+
+    /// Total DRAM traffic (read + write).
+    pub fn dram_bytes(&self) -> u64 {
+        self.dram_read_bytes + self.dram_write_bytes
+    }
+
+    /// Bytes served from L2 (tile re-reads).
+    pub fn l2_read_bytes(&self) -> u64 {
+        self.l2_read_bytes
+    }
+
+    /// Shared-memory traffic in bytes.
+    pub fn shared_bytes(&self) -> u64 {
+        self.shared_bytes
+    }
+
+    /// Sparse-metadata bytes (subset of DRAM reads).
+    pub fn metadata_bytes(&self) -> u64 {
+        self.metadata_bytes
+    }
+
+    /// Tensor-core MMA instruction count.
+    pub fn mma_instructions(&self) -> u64 {
+        self.mma_instructions
+    }
+
+    /// Fraction of issued MMA MACs that were useful.
+    pub fn mma_utilization(&self) -> f64 {
+        self.mma_utilization
+    }
+
+    /// Threadblock grid size.
+    pub fn threadblocks(&self) -> u64 {
+        self.threadblocks
+    }
+
+    /// Threads per block.
+    pub fn threads_per_block(&self) -> u32 {
+        self.threads_per_block
+    }
+
+    /// Per-block register-file footprint in bytes.
+    pub fn regfile_bytes_per_block(&self) -> u32 {
+        self.regfile_bytes_per_block
+    }
+
+    /// Per-block shared-memory footprint in bytes.
+    pub fn shared_bytes_per_block(&self) -> u32 {
+        self.shared_bytes_per_block
+    }
+
+    /// DRAM bandwidth derating for the access pattern.
+    pub fn coalescing_factor(&self) -> f64 {
+        self.coalescing_factor
+    }
+
+    /// Compute-throughput derating for the instruction mix.
+    pub fn compute_efficiency(&self) -> f64 {
+        self.compute_efficiency
+    }
+
+    /// Main-loop iterations stalled on un-prefetched metadata.
+    pub fn dependent_metadata_stalls(&self) -> u64 {
+        self.dependent_metadata_stalls
+    }
+
+    /// Operation intensity against DRAM in FLOP/byte — the quantity the paper's §3.2.2
+    /// uses to measure computation efficiency of a sparse pattern.
+    ///
+    /// Returns 0.0 when no DRAM traffic was recorded.
+    pub fn operational_intensity(&self) -> f64 {
+        let bytes = self.dram_bytes();
+        if bytes == 0 {
+            0.0
+        } else {
+            self.flops as f64 / bytes as f64
+        }
+    }
+
+    /// Merges counters from another kernel phase into this one (e.g. a fused
+    /// transposition epilogue).
+    pub fn merge(&mut self, other: &KernelStats) {
+        self.flops += other.flops;
+        self.dram_read_bytes += other.dram_read_bytes;
+        self.dram_write_bytes += other.dram_write_bytes;
+        self.l2_read_bytes += other.l2_read_bytes;
+        self.shared_bytes += other.shared_bytes;
+        self.metadata_bytes += other.metadata_bytes;
+        self.mma_instructions += other.mma_instructions;
+        self.mma_utilization *= other.mma_utilization;
+        self.threadblocks += other.threadblocks;
+        self.dependent_metadata_stalls += other.dependent_metadata_stalls;
+        self.coalescing_factor = self.coalescing_factor.min(other.coalescing_factor);
+        self.compute_efficiency = self.compute_efficiency.min(other.compute_efficiency);
+    }
+}
+
+impl fmt::Display for KernelStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} kernel: {:.3} GFLOP, {:.3} MB DRAM ({:.3} MB metadata), {:.1} FLOP/B, {} blocks",
+            self.compute_unit,
+            self.flops as f64 / 1e9,
+            self.dram_bytes() as f64 / 1e6,
+            self.metadata_bytes as f64 / 1e6,
+            self.operational_intensity(),
+            self.threadblocks
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = KernelStats::new(ComputeUnit::TensorCore);
+        s.add_flops(100);
+        s.add_flops(20);
+        s.add_dram_read(40);
+        s.add_dram_write(10);
+        s.add_l2_read(5);
+        s.add_shared(3);
+        assert_eq!(s.flops(), 120);
+        assert_eq!(s.dram_bytes(), 50);
+        assert_eq!(s.l2_read_bytes(), 5);
+        assert_eq!(s.shared_bytes(), 3);
+    }
+
+    #[test]
+    fn metadata_counts_as_dram_traffic() {
+        let mut s = KernelStats::new(ComputeUnit::TensorCore);
+        s.add_metadata(64);
+        assert_eq!(s.metadata_bytes(), 64);
+        assert_eq!(s.dram_read_bytes(), 64);
+    }
+
+    #[test]
+    fn operational_intensity() {
+        let mut s = KernelStats::new(ComputeUnit::CudaCore);
+        assert_eq!(s.operational_intensity(), 0.0);
+        s.add_flops(1000);
+        s.add_dram_read(100);
+        assert!((s.operational_intensity() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_clamps_and_multiplies() {
+        let mut s = KernelStats::new(ComputeUnit::TensorCore);
+        s.scale_mma_utilization(0.5);
+        s.scale_mma_utilization(0.5);
+        assert!((s.mma_utilization() - 0.25).abs() < 1e-12);
+        s.scale_mma_utilization(2.0);
+        assert!(s.mma_utilization() <= 0.25 + 1e-12);
+    }
+
+    #[test]
+    fn merge_combines_conservatively() {
+        let mut a = KernelStats::new(ComputeUnit::TensorCore);
+        a.add_flops(10);
+        a.set_coalescing_factor(1.0);
+        let mut b = KernelStats::new(ComputeUnit::TensorCore);
+        b.add_flops(5);
+        b.set_coalescing_factor(0.5);
+        b.set_compute_efficiency(0.7);
+        a.merge(&b);
+        assert_eq!(a.flops(), 15);
+        assert!((a.coalescing_factor() - 0.5).abs() < 1e-12);
+        assert!((a.compute_efficiency() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_contains_unit() {
+        let s = KernelStats::new(ComputeUnit::CudaCore);
+        assert!(format!("{s}").contains("cuda-core"));
+    }
+}

@@ -1,0 +1,330 @@
+//! Analytical latency model.
+//!
+//! The model is a hierarchical roofline: a kernel's execution time is bounded below by
+//! its compute time (FLOPs over achievable FLOP/s), its DRAM time (bytes over
+//! achievable bandwidth) and its L2 time, whichever is largest, plus exposed pipeline
+//! stalls and the fixed launch overhead. Wave quantisation (partially-filled last
+//! waves) inflates the compute component.
+//!
+//! This is exactly the reasoning the paper uses to argue about sparse kernel
+//! performance: tensor cores raise the compute roof by ~4× without changing the
+//! bandwidth roof, so a sparse kernel only profits when its operation intensity
+//! (FLOP/byte) stays high enough — which is what the Shfl-BW format restores by
+//! enabling dense `V×V` tiling.
+
+use crate::arch::GpuArch;
+use crate::occupancy::{occupancy, Occupancy};
+use crate::stats::{ComputeUnit, KernelStats};
+use std::fmt;
+
+/// Which roof a kernel ended up limited by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Bound {
+    /// Limited by functional-unit throughput (tensor-core or CUDA-core FLOP/s).
+    Compute,
+    /// Limited by DRAM bandwidth.
+    DramBandwidth,
+    /// Limited by L2 / last-level-cache bandwidth.
+    L2Bandwidth,
+    /// Limited by exposed dependent-load stalls or launch overhead (tiny kernels).
+    Latency,
+}
+
+impl fmt::Display for Bound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Bound::Compute => "compute-bound",
+            Bound::DramBandwidth => "DRAM-bandwidth-bound",
+            Bound::L2Bandwidth => "L2-bandwidth-bound",
+            Bound::Latency => "latency-bound",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Breakdown of one kernel's estimated execution time, in microseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelTiming {
+    /// Time to issue all FLOPs at the achievable compute throughput, inflated by wave
+    /// quantisation.
+    pub compute_us: f64,
+    /// Time to move all DRAM traffic at the achievable bandwidth.
+    pub dram_us: f64,
+    /// Time to move all L2 traffic at the L2 bandwidth.
+    pub l2_us: f64,
+    /// Exposed dependent-load stall time (see [`crate::pipeline`]).
+    pub stall_us: f64,
+    /// Fixed kernel launch overhead.
+    pub launch_us: f64,
+    /// Total estimated execution time (`max(compute, dram, l2) + stall + launch`).
+    pub total_us: f64,
+    /// Which component dominated.
+    pub bound: Bound,
+    /// Occupancy details used for the wave-quantisation correction.
+    pub occupancy: Occupancy,
+    /// Achieved fraction of the device's peak throughput for the unit the kernel
+    /// targets (useful for Figure-1-style normalised-throughput plots).
+    pub achieved_compute_fraction: f64,
+}
+
+impl KernelTiming {
+    /// Achieved throughput in TFLOP/s given the kernel's useful FLOPs.
+    pub fn achieved_tflops(&self, flops: u64) -> f64 {
+        if self.total_us <= 0.0 {
+            0.0
+        } else {
+            flops as f64 / (self.total_us * 1e-6) / 1e12
+        }
+    }
+}
+
+impl fmt::Display for KernelTiming {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.2} us total ({}; compute {:.2}, dram {:.2}, l2 {:.2}, stall {:.2}, launch {:.2})",
+            self.total_us,
+            self.bound,
+            self.compute_us,
+            self.dram_us,
+            self.l2_us,
+            self.stall_us,
+            self.launch_us
+        )
+    }
+}
+
+/// Converts [`KernelStats`] into [`KernelTiming`] for one architecture.
+#[derive(Debug, Clone)]
+pub struct CostModel<'a> {
+    arch: &'a GpuArch,
+    /// Extra stall time to add (computed by the kernel from its pipeline model).
+    extra_stall_us: f64,
+    /// Whether to include the fixed kernel launch overhead (model-level aggregation
+    /// over many layers usually keeps it; micro-benchmarks of a resident kernel may
+    /// disable it).
+    include_launch_overhead: bool,
+}
+
+impl<'a> CostModel<'a> {
+    /// Creates a cost model for an architecture with default settings.
+    pub fn new(arch: &'a GpuArch) -> Self {
+        CostModel {
+            arch,
+            extra_stall_us: 0.0,
+            include_launch_overhead: true,
+        }
+    }
+
+    /// Adds pre-computed stall time (e.g. from [`crate::pipeline::PipelineModel`]).
+    pub fn with_stall_us(mut self, stall_us: f64) -> Self {
+        self.extra_stall_us = stall_us.max(0.0);
+        self
+    }
+
+    /// Enables or disables the fixed launch overhead.
+    pub fn with_launch_overhead(mut self, include: bool) -> Self {
+        self.include_launch_overhead = include;
+        self
+    }
+
+    /// The architecture this model targets.
+    pub fn arch(&self) -> &GpuArch {
+        self.arch
+    }
+
+    /// Estimates the execution time of a kernel described by `stats`.
+    pub fn estimate(&self, stats: &KernelStats) -> KernelTiming {
+        let arch = self.arch;
+        let occ = occupancy(arch, stats);
+
+        // Achievable compute throughput: peak for the unit, derated by the kernel's
+        // instruction-mix efficiency and (for tensor cores) the MMA utilisation of the
+        // tile shapes it issues.
+        let peak_flops = match stats.compute_unit() {
+            ComputeUnit::TensorCore => arch.tensor_core_flops(),
+            ComputeUnit::CudaCore => arch.cuda_core_flops(),
+        };
+        let unit_utilization = match stats.compute_unit() {
+            ComputeUnit::TensorCore => stats.mma_utilization(),
+            ComputeUnit::CudaCore => 1.0,
+        };
+        let achievable_flops =
+            (peak_flops * stats.compute_efficiency() * unit_utilization).max(1.0);
+        let raw_compute_us = stats.flops() as f64 / achievable_flops * 1e6;
+        // Wave quantisation inflates the compute time: the last partially-filled wave
+        // runs as long as a full one.
+        let compute_us = raw_compute_us / occ.wave_efficiency;
+
+        // Achievable DRAM bandwidth: peak derated by streaming efficiency and the
+        // kernel's coalescing behaviour.
+        let achievable_bw =
+            arch.dram_bandwidth() * arch.streaming_efficiency * stats.coalescing_factor();
+        let dram_us = stats.dram_bytes() as f64 / achievable_bw.max(1.0) * 1e6;
+
+        let l2_us = stats.l2_read_bytes() as f64 / arch.l2_bandwidth().max(1.0) * 1e6;
+
+        let stall_us = self.extra_stall_us;
+        let launch_us = if self.include_launch_overhead {
+            arch.kernel_launch_overhead_us
+        } else {
+            0.0
+        };
+
+        let busy_us = compute_us.max(dram_us).max(l2_us);
+        let total_us = busy_us + stall_us + launch_us;
+
+        let bound = if stall_us + launch_us > busy_us {
+            Bound::Latency
+        } else if busy_us == compute_us {
+            Bound::Compute
+        } else if busy_us == dram_us {
+            Bound::DramBandwidth
+        } else {
+            Bound::L2Bandwidth
+        };
+
+        let achieved_compute_fraction = if total_us > 0.0 {
+            (stats.flops() as f64 / (total_us * 1e-6)) / peak_flops
+        } else {
+            0.0
+        };
+
+        KernelTiming {
+            compute_us,
+            dram_us,
+            l2_us,
+            stall_us,
+            launch_us,
+            total_us,
+            bound,
+            occupancy: occ,
+            achieved_compute_fraction,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds stats for a dense GEMM of the given shape with simple compulsory
+    /// traffic, fp16 operands. Emulates a library that splits the reduction dimension
+    /// (split-K) when the output grid alone cannot fill the device, as cuBLAS does.
+    fn gemm_stats(m: u64, n: u64, k: u64, unit: ComputeUnit, efficiency: f64) -> KernelStats {
+        let mut s = KernelStats::new(unit);
+        s.add_flops(2 * m * n * k);
+        s.add_dram_read(2 * (m * k + k * n));
+        s.add_dram_write(2 * m * n);
+        let output_blocks = (m.div_ceil(128)) * (n.div_ceil(128));
+        let split_k = (160u64.div_ceil(output_blocks)).clamp(1, 8);
+        s.set_threadblocks(output_blocks * split_k);
+        s.set_shared_bytes_per_block(64 * 1024);
+        s.set_compute_efficiency(efficiency);
+        s
+    }
+
+    #[test]
+    fn large_gemm_is_compute_bound_on_tensor_cores() {
+        let arch = GpuArch::v100();
+        let stats = gemm_stats(4096, 4096, 4096, ComputeUnit::TensorCore, 0.8);
+        let t = CostModel::new(&arch).estimate(&stats);
+        assert_eq!(t.bound, Bound::Compute);
+        assert!(t.total_us > 0.0);
+    }
+
+    #[test]
+    fn skinny_gemm_achieves_much_less_of_peak_than_large_gemm() {
+        // M/N/K = 2048/128/2048 (the paper's Figure 1 shape) exposes far less data
+        // reuse than a large square GEMM, so tensor cores are noticeably less
+        // utilised — the paper's motivation for caring about operation intensity.
+        for arch in GpuArch::all() {
+            let skinny = gemm_stats(2048, 128, 2048, ComputeUnit::TensorCore, 0.8);
+            let large = gemm_stats(4096, 4096, 4096, ComputeUnit::TensorCore, 0.8);
+            let ts = CostModel::new(&arch).estimate(&skinny);
+            let tl = CostModel::new(&arch).estimate(&large);
+            assert!(
+                ts.achieved_compute_fraction < 0.9 * tl.achieved_compute_fraction,
+                "arch {}: skinny {} vs large {}",
+                arch.name,
+                ts.achieved_compute_fraction,
+                tl.achieved_compute_fraction
+            );
+        }
+    }
+
+    #[test]
+    fn tensor_core_beats_cuda_core_on_compute_bound_gemm() {
+        let arch = GpuArch::a100();
+        let tc = CostModel::new(&arch).estimate(&gemm_stats(8192, 8192, 8192, ComputeUnit::TensorCore, 0.8));
+        let cc = CostModel::new(&arch).estimate(&gemm_stats(8192, 8192, 8192, ComputeUnit::CudaCore, 0.8));
+        let ratio = cc.total_us / tc.total_us;
+        assert!(ratio > 3.0, "tensor-core speedup was only {ratio}");
+    }
+
+    #[test]
+    fn less_dram_traffic_means_less_time_when_memory_bound() {
+        let arch = GpuArch::t4();
+        let dense = gemm_stats(2048, 128, 2048, ComputeUnit::TensorCore, 0.8);
+        let mut sparse = gemm_stats(2048, 128, 2048, ComputeUnit::TensorCore, 0.8);
+        // Pretend 75% of the weight bytes vanish.
+        sparse = {
+            let mut s = KernelStats::new(ComputeUnit::TensorCore);
+            s.add_flops(dense.flops() / 4);
+            s.add_dram_read(2 * (2048 * 2048 / 4 + 2048 * 128));
+            s.add_dram_write(2 * 2048 * 128);
+            s.set_threadblocks(sparse.threadblocks());
+            s.set_shared_bytes_per_block(64 * 1024);
+            s.set_compute_efficiency(0.8);
+            s
+        };
+        let td = CostModel::new(&arch).estimate(&dense);
+        let ts = CostModel::new(&arch).estimate(&sparse);
+        assert!(ts.total_us < td.total_us);
+    }
+
+    #[test]
+    fn stall_and_launch_overhead_are_added() {
+        let arch = GpuArch::v100();
+        let stats = gemm_stats(256, 128, 256, ComputeUnit::TensorCore, 0.8);
+        let base = CostModel::new(&arch)
+            .with_launch_overhead(false)
+            .estimate(&stats);
+        let with_overheads = CostModel::new(&arch)
+            .with_stall_us(50.0)
+            .estimate(&stats);
+        assert!(with_overheads.total_us > base.total_us + 50.0);
+        assert_eq!(with_overheads.bound, Bound::Latency);
+    }
+
+    #[test]
+    fn poor_coalescing_increases_memory_time() {
+        let arch = GpuArch::v100();
+        let mut good = gemm_stats(2048, 128, 2048, ComputeUnit::CudaCore, 0.8);
+        good.set_coalescing_factor(1.0);
+        let mut bad = good.clone();
+        bad.set_coalescing_factor(0.25);
+        let tg = CostModel::new(&arch).estimate(&good);
+        let tb = CostModel::new(&arch).estimate(&bad);
+        assert!(tb.dram_us > 3.0 * tg.dram_us);
+    }
+
+    #[test]
+    fn achieved_tflops_is_consistent() {
+        let arch = GpuArch::a100();
+        let stats = gemm_stats(4096, 4096, 4096, ComputeUnit::TensorCore, 0.8);
+        let t = CostModel::new(&arch).estimate(&stats);
+        let tflops = t.achieved_tflops(stats.flops());
+        assert!(tflops > 0.0);
+        assert!(tflops <= arch.tensor_core_tflops);
+    }
+
+    #[test]
+    fn timing_display_mentions_bound() {
+        let arch = GpuArch::v100();
+        let stats = gemm_stats(1024, 1024, 1024, ComputeUnit::TensorCore, 0.8);
+        let t = CostModel::new(&arch).estimate(&stats);
+        let s = format!("{t}");
+        assert!(s.contains("us total"));
+    }
+}

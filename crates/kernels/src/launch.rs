@@ -1,0 +1,167 @@
+//! Launch-configuration heuristics shared by the simulated kernels.
+//!
+//! These mirror what a tuned GPU library does before launching a GEMM-like kernel:
+//! pick the threadblock tile, decide whether to split the reduction dimension to fill
+//! the device, and estimate the DRAM re-load factor for operands that do not fit in
+//! the L2 cache.
+
+use gpu_sim::GpuArch;
+use shfl_core::tiling::{self, TileConfig};
+
+/// Bytes per stored element in the paper's kernels (fp16 operands).
+pub const FP16_BYTES: u64 = 2;
+
+/// Bytes per fp32 accumulator / output element when the output is written in fp16 as
+/// well (the paper's kernels write half-precision outputs).
+pub const OUTPUT_BYTES: u64 = 2;
+
+/// A fully-resolved launch configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// Threadblock tile.
+    pub tile: TileConfig,
+    /// Split-K factor (1 = no split).
+    pub split_k: usize,
+    /// Total number of threadblocks.
+    pub grid: u64,
+    /// Threads per block.
+    pub threads_per_block: u32,
+    /// Number of staging buffers in the software pipeline.
+    pub pipeline_stages: usize,
+}
+
+impl LaunchConfig {
+    /// Shared-memory footprint of one threadblock in bytes (double-buffered fp16
+    /// operand tiles).
+    pub fn shared_bytes_per_block(&self) -> u32 {
+        self.tile.shared_memory_bytes(self.pipeline_stages) as u32
+    }
+
+    /// Register-file footprint of one threadblock in bytes (fp32 output accumulators).
+    pub fn regfile_bytes_per_block(&self) -> u32 {
+        self.tile.accumulator_bytes() as u32
+    }
+}
+
+/// Builds the launch configuration for a dense tensor-core GEMM of shape `m×n×k` on
+/// `arch`, splitting K when the output grid cannot fill the device (cuBLAS-like).
+pub fn dense_launch(arch: &GpuArch, m: usize, n: usize, k: usize) -> LaunchConfig {
+    let tile = tiling::select_dense_tile(m, n, k);
+    let target_blocks = u64::from(arch.sm_count) * 2;
+    let split_k = tiling::select_split_k(m, n, k, tile, target_blocks);
+    let grid = tiling::grid_size(m, n, tile, split_k);
+    LaunchConfig {
+        tile,
+        split_k,
+        grid,
+        threads_per_block: 256,
+        pipeline_stages: 2,
+    }
+}
+
+/// Builds the launch configuration for a vector-wise / Shfl-BW SpMM: the tile height
+/// equals the vector length `v`, and the grid covers every (row group, column tile)
+/// pair.
+pub fn vector_wise_launch(
+    arch: &GpuArch,
+    m: usize,
+    n: usize,
+    nnz_k_per_group: usize,
+    v: usize,
+    pipeline_stages: usize,
+) -> LaunchConfig {
+    let tile = tiling::select_vector_wise_tile(v, n);
+    let groups = m.div_ceil(v.max(1)) as u64;
+    let col_tiles = n.div_ceil(tile.tn) as u64;
+    // Split the (compressed) reduction dimension when the grid is too small to fill
+    // the device, mirroring the dense heuristic.
+    let base_grid = groups * col_tiles;
+    let target_blocks = u64::from(arch.sm_count) * 2;
+    let split_k = if base_grid >= target_blocks || nnz_k_per_group == 0 {
+        1
+    } else {
+        let needed = target_blocks.div_ceil(base_grid.max(1)) as usize;
+        needed
+            .min(8)
+            .min((nnz_k_per_group / tile.tk.max(1)).max(1))
+            .max(1)
+    };
+    LaunchConfig {
+        tile,
+        split_k,
+        grid: base_grid * split_k as u64,
+        threads_per_block: 128,
+        pipeline_stages,
+    }
+}
+
+/// DRAM re-load factor for an operand of `bytes` bytes that is logically re-read
+/// `reuse_count` times by different threadblocks: 1 while it fits in the L2 cache
+/// (subsequent reads hit in L2), growing towards `reuse_count` as it exceeds the L2
+/// capacity.
+pub fn dram_reload_factor(arch: &GpuArch, bytes: u64, reuse_count: u64) -> u64 {
+    if bytes == 0 || reuse_count <= 1 {
+        return 1;
+    }
+    let l2 = arch.l2_capacity_bytes.max(1);
+    if bytes <= l2 {
+        1
+    } else {
+        // The fraction of the working set that cannot stay resident is re-fetched.
+        let over = bytes.div_ceil(l2);
+        over.min(reuse_count).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_launch_fills_the_device_with_split_k() {
+        let arch = GpuArch::a100();
+        let cfg = dense_launch(&arch, 2048, 128, 2048);
+        assert!(cfg.split_k > 1);
+        assert!(cfg.grid >= u64::from(arch.sm_count));
+        // Large outputs do not split.
+        let cfg = dense_launch(&arch, 8192, 8192, 1024);
+        assert_eq!(cfg.split_k, 1);
+    }
+
+    #[test]
+    fn vector_wise_launch_tile_height_is_v() {
+        let arch = GpuArch::v100();
+        let cfg = vector_wise_launch(&arch, 2048, 512, 512, 64, 3);
+        assert_eq!(cfg.tile.tm, 64);
+        assert_eq!(cfg.grid % (2048 / 64) as u64, 0);
+    }
+
+    #[test]
+    fn vector_wise_launch_splits_small_grids() {
+        let arch = GpuArch::a100();
+        // 4 groups x 1 column tile = 4 blocks: far below the 216-block target.
+        let cfg = vector_wise_launch(&arch, 256, 64, 512, 64, 3);
+        assert!(cfg.split_k > 1);
+    }
+
+    #[test]
+    fn footprints_are_consistent_with_tile() {
+        let arch = GpuArch::v100();
+        let cfg = dense_launch(&arch, 4096, 4096, 4096);
+        assert_eq!(
+            cfg.shared_bytes_per_block(),
+            cfg.tile.shared_memory_bytes(cfg.pipeline_stages) as u32
+        );
+        assert_eq!(cfg.regfile_bytes_per_block(), cfg.tile.accumulator_bytes() as u32);
+    }
+
+    #[test]
+    fn reload_factor_grows_past_l2_capacity() {
+        let arch = GpuArch::v100();
+        assert_eq!(dram_reload_factor(&arch, 1024, 100), 1);
+        assert_eq!(dram_reload_factor(&arch, arch.l2_capacity_bytes, 100), 1);
+        assert!(dram_reload_factor(&arch, arch.l2_capacity_bytes * 4, 100) > 1);
+        assert_eq!(dram_reload_factor(&arch, 0, 100), 1);
+        assert_eq!(dram_reload_factor(&arch, u64::MAX / 2, 1), 1);
+    }
+}

@@ -1,0 +1,63 @@
+//! # shfl-kernels — simulated GPU kernels for the Shfl-BW reproduction
+//!
+//! The paper's artifact is a set of CUDA tensor-core kernels. With no GPU available,
+//! this crate re-implements every kernel the evaluation compares as a *simulated*
+//! kernel with two faces:
+//!
+//! * a **functional** face (`*_execute`) that stages data exactly the way the CUDA
+//!   kernel would (offline re-ordering, in-buffer column stitching, warp-level MMA
+//!   fragments, reordered write-back) and produces the actual output matrix, verified
+//!   against a reference GEMM, and
+//! * an **analytical** face (`*_profile`) that derives the kernel's FLOP count, DRAM /
+//!   L2 traffic, MMA utilisation, pipeline stalls and threadblock grid from the sparse
+//!   format, and converts them into an estimated execution time through
+//!   [`gpu_sim::timing::CostModel`].
+//!
+//! Kernels provided (matching the paper's §6.1 baselines):
+//!
+//! | Kernel | Paper counterpart | Module |
+//! |---|---|---|
+//! | Dense tensor-core GEMM | cuBLAS | [`gemm`] |
+//! | Dense CUDA-core GEMM | CUDA-core baseline of Fig. 1 | [`gemm`] |
+//! | Unstructured CSR SpMM (CUDA cores) | Sputnik / cuSPARSE | [`spmm::cuda_core`] |
+//! | Block-wise SpMM (tensor cores) | cuSPARSE BSR | [`spmm::block_wise`] |
+//! | Vector-wise SpMM (tensor cores) | the authors' own VW kernel, VectorSparse, TileWise | [`spmm::vector_wise`] |
+//! | Balanced 2:4 SpMM | cuSPARSELt on A100 | [`spmm::balanced`] |
+//! | **Shfl-BW SpMM** | the paper's contribution (Algorithm 1) | [`spmm::shfl_bw`] |
+//! | Implicit-GEMM 2-D convolution (dense and Shfl-BW) | cuDNN / the paper's conv kernel | [`conv`] |
+//!
+//! ## Example
+//!
+//! ```
+//! use gpu_sim::GpuArch;
+//! use shfl_core::{DenseMatrix, ShflBwMatrix};
+//! use shfl_kernels::{gemm, spmm};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! # fn main() -> Result<(), shfl_kernels::KernelError> {
+//! let mut rng = StdRng::seed_from_u64(0);
+//! // A vector-wise-structured weight matrix (V = 8) and a dense activation.
+//! let weights = DenseMatrix::from_fn(64, 64, |r, c| {
+//!     if (c + r / 8) % 4 == 0 { 0.1 } else { 0.0 }
+//! });
+//! let activations = DenseMatrix::random(&mut rng, 64, 32);
+//!
+//! let arch = GpuArch::v100();
+//! let dense = gemm::dense_gemm_execute(&arch, &weights, &activations)?;
+//! let sparse_weights = ShflBwMatrix::from_dense(&weights, 8)?;
+//! let sparse = spmm::shfl_bw::shfl_bw_spmm_execute(&arch, &sparse_weights, &activations)?;
+//! assert!(sparse.output.approx_eq(&dense.output, 1e-3)?);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod conv;
+pub mod gemm;
+pub mod launch;
+pub mod profile;
+pub mod spmm;
+
+pub use profile::{KernelError, KernelOutput, KernelProfile, KernelResult};

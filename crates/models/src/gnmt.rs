@@ -1,0 +1,87 @@
+//! GNMT layer shapes for WMT translation.
+//!
+//! GNMT (Wu et al.) is an 8-layer LSTM encoder / 8-layer LSTM decoder seq2seq model
+//! with 1024 hidden units. Each LSTM layer's weight matrix computes the four gates at
+//! once (`4×1024` outputs) from the concatenated input and hidden state. During
+//! inference the decoder runs one token at a time, so the GEMM `N` dimension is the
+//! batch size times the number of positions evaluated together; the encoder can batch
+//! a whole source sentence.
+
+use crate::workload::Layer;
+
+/// LSTM hidden size.
+pub const HIDDEN: usize = 1024;
+/// Number of encoder LSTM layers.
+pub const ENCODER_LAYERS: usize = 8;
+/// Number of decoder LSTM layers.
+pub const DECODER_LAYERS: usize = 8;
+
+/// Weight-bearing GEMM layers of GNMT for the given batch size. The sequence
+/// dimension of the encoder is folded into the batch (the paper reports kernel-level
+/// speedups, for which only the GEMM shapes matter).
+pub fn layers(batch: usize) -> Vec<Layer> {
+    let n = batch;
+    let mut layers = Vec::new();
+
+    // Encoder layer 0 is bidirectional (input size 1024, two directions); remaining
+    // encoder layers take the 1024-dim output of the previous layer.
+    layers.push(Layer::gemm("encoder.l0.gates", 4 * HIDDEN, n, 2 * HIDDEN, 2));
+    layers.push(Layer::gemm(
+        "encoder.lstm.gates",
+        4 * HIDDEN,
+        n,
+        2 * HIDDEN,
+        ENCODER_LAYERS - 1,
+    ));
+
+    // Decoder layers consume the previous hidden state concatenated with the
+    // attention context (1024 + 1024).
+    layers.push(Layer::gemm(
+        "decoder.lstm.gates",
+        4 * HIDDEN,
+        n,
+        2 * HIDDEN,
+        DECODER_LAYERS,
+    ));
+    // Attention projections.
+    layers.push(Layer::gemm("attention.query", HIDDEN, n, HIDDEN, 1));
+    layers.push(Layer::gemm("attention.memory", HIDDEN, n, HIDDEN, 1));
+    // Output projection to the 32k-word vocabulary is usually kept dense in pruning
+    // papers, but it is a linear layer, so it is listed for completeness.
+    layers.push(Layer::gemm("decoder.softmax", 32_000, n, HIDDEN, 1));
+
+    layers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lstm_gate_shapes_are_4h_by_2h() {
+        let layers = layers(128);
+        let gates = layers
+            .iter()
+            .find(|l| l.name == "decoder.lstm.gates")
+            .unwrap();
+        assert_eq!(gates.kind.gemm_shape(), (4096, 128, 2048));
+        assert_eq!(gates.count, 8);
+    }
+
+    #[test]
+    fn total_layer_count_matches_the_architecture() {
+        let layers = layers(64);
+        let lstm_instances: usize = layers
+            .iter()
+            .filter(|l| l.name.contains("gates"))
+            .map(|l| l.count)
+            .sum();
+        assert_eq!(lstm_instances, ENCODER_LAYERS + 1 + DECODER_LAYERS);
+    }
+
+    #[test]
+    fn batch_drives_the_n_dimension() {
+        let (_, n, _) = layers(256)[0].kind.gemm_shape();
+        assert_eq!(n, 256);
+    }
+}

@@ -1,0 +1,105 @@
+//! ResNet-50 layer shapes for ImageNet classification.
+//!
+//! ResNet-50 is a stack of bottleneck blocks (1×1 reduce, 3×3, 1×1 expand) over four
+//! stages with feature maps of 56², 28², 14² and 7² pixels. The paper prunes and
+//! accelerates the convolution layers through the implicit-GEMM formulation, so each
+//! convolution is listed with its geometry and mapped to a GEMM shape by
+//! [`crate::workload::LayerKind::gemm_shape`]. The 7×7 stem convolution and the final
+//! fully-connected layer are included for completeness.
+
+use crate::workload::{Layer, LayerKind};
+
+/// Builds a convolution layer entry.
+fn conv(
+    name: &str,
+    batch: usize,
+    in_channels: usize,
+    out_channels: usize,
+    input_hw: usize,
+    kernel: usize,
+    stride: usize,
+    count: usize,
+) -> Layer {
+    Layer {
+        name: name.to_string(),
+        kind: LayerKind::Conv2d {
+            batch,
+            in_channels,
+            out_channels,
+            input_hw,
+            kernel,
+            stride,
+            padding: kernel / 2,
+        },
+        count,
+    }
+}
+
+/// Weight-bearing layers of ResNet-50 for the given batch size.
+pub fn layers(batch: usize) -> Vec<Layer> {
+    let mut layers = Vec::new();
+
+    // Stem.
+    layers.push(conv("stem.7x7", batch, 3, 64, 224, 7, 2, 1));
+
+    // Stage 1 (56x56, 3 bottleneck blocks, channels 64 -> 256).
+    layers.push(conv("conv2.reduce", batch, 256, 64, 56, 1, 1, 3));
+    layers.push(conv("conv2.3x3", batch, 64, 64, 56, 3, 1, 3));
+    layers.push(conv("conv2.expand", batch, 64, 256, 56, 1, 1, 3));
+
+    // Stage 2 (28x28, 4 blocks, channels 128 -> 512).
+    layers.push(conv("conv3.reduce", batch, 512, 128, 28, 1, 1, 4));
+    layers.push(conv("conv3.3x3", batch, 128, 128, 28, 3, 1, 4));
+    layers.push(conv("conv3.expand", batch, 128, 512, 28, 1, 1, 4));
+
+    // Stage 3 (14x14, 6 blocks, channels 256 -> 1024).
+    layers.push(conv("conv4.reduce", batch, 1024, 256, 14, 1, 1, 6));
+    layers.push(conv("conv4.3x3", batch, 256, 256, 14, 3, 1, 6));
+    layers.push(conv("conv4.expand", batch, 256, 1024, 14, 1, 1, 6));
+
+    // Stage 4 (7x7, 3 blocks, channels 512 -> 2048).
+    layers.push(conv("conv5.reduce", batch, 2048, 512, 7, 1, 1, 3));
+    layers.push(conv("conv5.3x3", batch, 512, 512, 7, 3, 1, 3));
+    layers.push(conv("conv5.expand", batch, 512, 2048, 7, 1, 1, 3));
+
+    // Classifier.
+    layers.push(Layer::gemm("fc", 1000, batch, 2048, 1));
+
+    layers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv4_3x3_maps_to_the_expected_gemm() {
+        let layers = layers(8);
+        let l = layers.iter().find(|l| l.name == "conv4.3x3").unwrap();
+        let (m, n, k) = l.kind.gemm_shape();
+        assert_eq!(m, 256);
+        assert_eq!(k, 256 * 9);
+        assert_eq!(n, 8 * 14 * 14);
+        assert_eq!(l.count, 6);
+    }
+
+    #[test]
+    fn total_flops_are_in_the_resnet50_ballpark() {
+        // ResNet-50 is ~4.1 GFLOP per 224x224 image (multiply-add counted as 2).
+        let layers = layers(1);
+        let total: u64 = layers.iter().map(|l| l.total_flops()).sum();
+        let gflop = total as f64 / 1e9;
+        assert!(
+            (5.0..12.0).contains(&gflop),
+            "total {gflop:.1} GFLOP outside the expected range"
+        );
+    }
+
+    #[test]
+    fn only_the_classifier_is_a_plain_gemm() {
+        let layers = layers(4);
+        let gemms: Vec<_> = layers.iter().filter(|l| !l.kind.is_conv()).collect();
+        assert_eq!(gemms.len(), 1);
+        assert_eq!(gemms[0].name, "fc");
+    }
+}

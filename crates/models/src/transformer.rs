@@ -1,0 +1,119 @@
+//! Transformer (big) layer shapes for WMT translation.
+//!
+//! The paper's Transformer workload is the standard "big" configuration from
+//! Vaswani et al.: model dimension 1024, feed-forward dimension 4096, 6 encoder and 6
+//! decoder layers. The computation-intensive layers the paper accelerates are the
+//! attention projections and the two feed-forward GEMMs; `N` is the number of token
+//! positions processed together (`batch × sequence length`).
+
+use crate::workload::Layer;
+
+/// Model dimension of Transformer big.
+pub const D_MODEL: usize = 1024;
+/// Feed-forward dimension of Transformer big.
+pub const D_FF: usize = 4096;
+/// Number of encoder layers.
+pub const ENCODER_LAYERS: usize = 6;
+/// Number of decoder layers.
+pub const DECODER_LAYERS: usize = 6;
+
+/// Weight-bearing GEMM layers of Transformer big for `batch` sentences of `seq_len`
+/// tokens.
+pub fn layers(batch: usize, seq_len: usize) -> Vec<Layer> {
+    let n = batch * seq_len;
+    let mut layers = Vec::new();
+
+    // Encoder: self-attention QKV + output projection, then the two FFN GEMMs.
+    layers.push(Layer::gemm(
+        "encoder.attn.qkv",
+        3 * D_MODEL,
+        n,
+        D_MODEL,
+        ENCODER_LAYERS,
+    ));
+    layers.push(Layer::gemm(
+        "encoder.attn.out",
+        D_MODEL,
+        n,
+        D_MODEL,
+        ENCODER_LAYERS,
+    ));
+    layers.push(Layer::gemm("encoder.ffn1", D_FF, n, D_MODEL, ENCODER_LAYERS));
+    layers.push(Layer::gemm("encoder.ffn2", D_MODEL, n, D_FF, ENCODER_LAYERS));
+
+    // Decoder: self-attention, cross-attention and FFN.
+    layers.push(Layer::gemm(
+        "decoder.self_attn.qkv",
+        3 * D_MODEL,
+        n,
+        D_MODEL,
+        DECODER_LAYERS,
+    ));
+    layers.push(Layer::gemm(
+        "decoder.self_attn.out",
+        D_MODEL,
+        n,
+        D_MODEL,
+        DECODER_LAYERS,
+    ));
+    layers.push(Layer::gemm(
+        "decoder.cross_attn.q",
+        D_MODEL,
+        n,
+        D_MODEL,
+        DECODER_LAYERS,
+    ));
+    layers.push(Layer::gemm(
+        "decoder.cross_attn.kv",
+        2 * D_MODEL,
+        n,
+        D_MODEL,
+        DECODER_LAYERS,
+    ));
+    layers.push(Layer::gemm(
+        "decoder.cross_attn.out",
+        D_MODEL,
+        n,
+        D_MODEL,
+        DECODER_LAYERS,
+    ));
+    layers.push(Layer::gemm("decoder.ffn1", D_FF, n, D_MODEL, DECODER_LAYERS));
+    layers.push(Layer::gemm("decoder.ffn2", D_MODEL, n, D_FF, DECODER_LAYERS));
+
+    layers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ffn_layers_dominate_the_flops() {
+        let layers = layers(8, 128);
+        let total: u64 = layers.iter().map(|l| l.total_flops()).sum();
+        let ffn: u64 = layers
+            .iter()
+            .filter(|l| l.name.contains("ffn"))
+            .map(|l| l.total_flops())
+            .sum();
+        assert!(ffn * 2 > total, "FFN layers should account for ≥ half the FLOPs");
+    }
+
+    #[test]
+    fn n_scales_with_batch_and_sequence() {
+        let small = layers(1, 32);
+        let large = layers(8, 128);
+        let (_, n_small, _) = small[0].kind.gemm_shape();
+        let (_, n_large, _) = large[0].kind.gemm_shape();
+        assert_eq!(n_small, 32);
+        assert_eq!(n_large, 1024);
+    }
+
+    #[test]
+    fn shapes_are_transformer_big() {
+        let layers = layers(4, 64);
+        let ffn1 = layers.iter().find(|l| l.name == "encoder.ffn1").unwrap();
+        assert_eq!(ffn1.kind.gemm_shape(), (4096, 256, 1024));
+        assert_eq!(ffn1.count, 6);
+    }
+}

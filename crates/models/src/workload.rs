@@ -1,0 +1,202 @@
+//! Workload definitions: the layer shapes the kernel experiments iterate over.
+
+use std::fmt;
+
+/// The three DNN models the paper evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DnnModel {
+    /// Transformer (big) for WMT translation — GEMM-dominated.
+    Transformer,
+    /// GNMT (8-layer LSTM seq2seq) for WMT translation — GEMM-dominated.
+    Gnmt,
+    /// ResNet-50 for ImageNet — convolution-dominated.
+    Resnet50,
+}
+
+impl DnnModel {
+    /// All three models in the order the paper reports them.
+    pub fn all() -> [DnnModel; 3] {
+        [DnnModel::Transformer, DnnModel::Gnmt, DnnModel::Resnet50]
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DnnModel::Transformer => "Transformer",
+            DnnModel::Gnmt => "GNMT",
+            DnnModel::Resnet50 => "ResNet50",
+        }
+    }
+
+    /// The quality metric the paper reports for this model.
+    pub fn metric_name(&self) -> &'static str {
+        match self {
+            DnnModel::Transformer | DnnModel::Gnmt => "BLEU",
+            DnnModel::Resnet50 => "Top-1 Acc.%",
+        }
+    }
+}
+
+impl fmt::Display for DnnModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The computation performed by one weight-bearing layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayerKind {
+    /// A linear layer: weight `M×K`, activation `K×N` (`N` = batch × sequence).
+    Gemm {
+        /// Output features (rows of the weight matrix).
+        m: usize,
+        /// Activation columns (batch × sequence positions).
+        n: usize,
+        /// Input features (reduction dimension).
+        k: usize,
+    },
+    /// A 2-D convolution, described by its geometry; kernels consume it through its
+    /// implicit-GEMM shape.
+    Conv2d {
+        /// Batch size.
+        batch: usize,
+        /// Input channels.
+        in_channels: usize,
+        /// Output channels.
+        out_channels: usize,
+        /// Input feature-map height (= width; the paper's ResNet stages are square).
+        input_hw: usize,
+        /// Kernel height/width (square kernels).
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Padding.
+        padding: usize,
+    },
+}
+
+impl LayerKind {
+    /// The GEMM shape `(M, N, K)` this layer maps to (identity for linear layers,
+    /// implicit GEMM for convolutions).
+    pub fn gemm_shape(&self) -> (usize, usize, usize) {
+        match *self {
+            LayerKind::Gemm { m, n, k } => (m, n, k),
+            LayerKind::Conv2d {
+                batch,
+                in_channels,
+                out_channels,
+                input_hw,
+                kernel,
+                stride,
+                padding,
+            } => {
+                let out_hw = (input_hw + 2 * padding - kernel) / stride + 1;
+                (
+                    out_channels,
+                    batch * out_hw * out_hw,
+                    in_channels * kernel * kernel,
+                )
+            }
+        }
+    }
+
+    /// FLOPs of the layer (`2·M·N·K` of its GEMM shape).
+    pub fn flops(&self) -> u64 {
+        let (m, n, k) = self.gemm_shape();
+        2 * m as u64 * n as u64 * k as u64
+    }
+
+    /// Whether this layer is a convolution.
+    pub fn is_conv(&self) -> bool {
+        matches!(self, LayerKind::Conv2d { .. })
+    }
+}
+
+/// One weight-bearing layer of a model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layer {
+    /// Descriptive name, e.g. `"encoder0.ffn1"` or `"conv3_2.3x3"`.
+    pub name: String,
+    /// The computation.
+    pub kind: LayerKind,
+    /// How many times this layer shape occurs in the model (repeated blocks are
+    /// listed once with a multiplicity to keep the inventory compact).
+    pub count: usize,
+}
+
+impl Layer {
+    /// Creates a GEMM layer.
+    pub fn gemm(name: &str, m: usize, n: usize, k: usize, count: usize) -> Self {
+        Layer {
+            name: name.to_string(),
+            kind: LayerKind::Gemm { m, n, k },
+            count,
+        }
+    }
+
+    /// Total FLOPs contributed by this layer including its multiplicity.
+    pub fn total_flops(&self) -> u64 {
+        self.kind.flops() * self.count as u64
+    }
+}
+
+/// Returns the weight-bearing layers of `model` for the given batch size and sequence
+/// length (the sequence length is ignored for ResNet-50).
+pub fn model_workload(model: DnnModel, batch: usize, seq_len: usize) -> Vec<Layer> {
+    match model {
+        DnnModel::Transformer => crate::transformer::layers(batch, seq_len),
+        DnnModel::Gnmt => crate::gnmt::layers(batch),
+        DnnModel::Resnet50 => crate::resnet50::layers(batch),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_names_and_metrics() {
+        assert_eq!(DnnModel::Transformer.metric_name(), "BLEU");
+        assert_eq!(DnnModel::Resnet50.metric_name(), "Top-1 Acc.%");
+        assert_eq!(DnnModel::all().len(), 3);
+        assert_eq!(format!("{}", DnnModel::Gnmt), "GNMT");
+    }
+
+    #[test]
+    fn conv_layers_map_to_implicit_gemm() {
+        let conv = LayerKind::Conv2d {
+            batch: 8,
+            in_channels: 256,
+            out_channels: 512,
+            input_hw: 14,
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        };
+        let (m, n, k) = conv.gemm_shape();
+        assert_eq!(m, 512);
+        assert_eq!(k, 256 * 9);
+        assert_eq!(n, 8 * 7 * 7);
+        assert!(conv.is_conv());
+        assert_eq!(conv.flops(), 2 * 512 * (8 * 49) as u64 * 2304);
+    }
+
+    #[test]
+    fn every_model_has_layers_with_positive_flops() {
+        for model in DnnModel::all() {
+            let layers = model_workload(model, 8, 128);
+            assert!(!layers.is_empty(), "{model} has no layers");
+            for layer in &layers {
+                assert!(layer.total_flops() > 0, "{model}/{} has zero flops", layer.name);
+            }
+        }
+    }
+
+    #[test]
+    fn resnet_is_convolution_dominated_and_others_are_not() {
+        let resnet = model_workload(DnnModel::Resnet50, 8, 128);
+        assert!(resnet.iter().filter(|l| l.kind.is_conv()).count() > resnet.len() / 2);
+        let transformer = model_workload(DnnModel::Transformer, 8, 128);
+        assert!(transformer.iter().all(|l| !l.kind.is_conv()));
+    }
+}

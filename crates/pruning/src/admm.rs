@@ -1,0 +1,199 @@
+//! ADMM-based pruning preparation (the workflow the paper uses for GNMT, §6.1).
+//!
+//! ADMM (alternating direction method of multipliers) pruning re-shapes the weight
+//! distribution *before* the hard pruning step: the weights are iteratively pulled
+//! towards the nearest matrix that satisfies the sparsity pattern, so that when the
+//! projection finally happens, the removed weights are already small and the accuracy
+//! loss shrinks. We implement the standard three-step iteration
+//!
+//! ```text
+//! Z_{t+1} = project_pattern(W_t + U_t)           // pattern projection
+//! U_{t+1} = U_t + W_t − Z_{t+1}                  // dual update
+//! W_{t+1} = argmin_W loss(W) + ρ/2‖W − Z + U‖²   // here: closed-form proximal step
+//! ```
+//!
+//! where the loss term is the synthetic regression objective of [`crate::trainer`]
+//! (keeping the weights close to the teacher solution), which admits a closed-form
+//! proximal update — so the iteration exercises the same re-weighting dynamics as the
+//! paper's training-based ADMM without requiring the WMT dataset.
+
+use crate::Pruner;
+use shfl_core::mask::BinaryMask;
+use shfl_core::matrix::DenseMatrix;
+use shfl_core::Result;
+
+/// Configuration of the ADMM re-weighting loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmmConfig {
+    /// Number of ADMM iterations.
+    pub iterations: usize,
+    /// Penalty parameter ρ balancing the loss term against the pattern constraint.
+    pub rho: f64,
+}
+
+impl Default for AdmmConfig {
+    fn default() -> Self {
+        AdmmConfig {
+            iterations: 8,
+            rho: 0.5,
+        }
+    }
+}
+
+/// Result of the ADMM pruning preparation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmmResult {
+    /// The re-weighted dense matrix right before the final projection.
+    pub reweighted: DenseMatrix,
+    /// The final pruned weights (re-weighted weights with the mask applied).
+    pub pruned: DenseMatrix,
+    /// The final keep mask.
+    pub mask: BinaryMask,
+    /// Fraction of the original weight energy (squared Frobenius norm) retained by the
+    /// final pruned matrix.
+    pub energy_retained: f64,
+}
+
+/// Runs ADMM re-weighting against the given pattern pruner and then applies the final
+/// hard projection at `density`.
+///
+/// # Errors
+///
+/// Propagates errors from the underlying pruner (invalid density or geometry).
+pub fn admm_prune<P: Pruner>(
+    weights: &DenseMatrix,
+    pruner: &P,
+    density: f64,
+    config: AdmmConfig,
+) -> Result<AdmmResult> {
+    let mut w = weights.clone();
+    let (rows, cols) = w.shape();
+    let mut u = DenseMatrix::zeros(rows, cols);
+
+    for _ in 0..config.iterations {
+        // Z-step: project (W + U) onto the pattern at the target density.
+        let mut w_plus_u = w.clone();
+        for (x, du) in w_plus_u.as_mut_slice().iter_mut().zip(u.as_slice()) {
+            *x += du;
+        }
+        let mask = pruner.prune(&w_plus_u.abs(), density)?;
+        let z = mask.apply(&w_plus_u)?;
+
+        // U-step: dual ascent on the constraint W = Z.
+        for ((du, wv), zv) in u
+            .as_mut_slice()
+            .iter_mut()
+            .zip(w.as_slice())
+            .zip(z.as_slice())
+        {
+            *du += wv - zv;
+        }
+
+        // W-step: proximal update pulling W towards Z − U while staying close to the
+        // original (teacher) weights: W = (W₀ + ρ(Z − U)) / (1 + ρ).
+        let rho = config.rho as f32;
+        for ((wv, w0), (zv, du)) in w
+            .as_mut_slice()
+            .iter_mut()
+            .zip(weights.as_slice())
+            .zip(z.as_slice().iter().zip(u.as_slice()))
+        {
+            *wv = (w0 + rho * (zv - du)) / (1.0 + rho);
+        }
+    }
+
+    let mask = pruner.prune(&w.abs(), density)?;
+    let pruned = mask.apply(&w)?;
+    let original_energy = weights.frobenius_norm().powi(2);
+    let retained_energy = pruned.frobenius_norm().powi(2);
+    Ok(AdmmResult {
+        reweighted: w,
+        pruned,
+        mask,
+        energy_retained: if original_energy > 0.0 {
+            retained_energy / original_energy
+        } else {
+            0.0
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector_wise::VectorWisePruner;
+    use crate::ShflBwPruner;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use shfl_core::pattern::is_vector_wise;
+
+    #[test]
+    fn admm_mask_satisfies_the_pattern_and_density() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let weights = DenseMatrix::random(&mut rng, 64, 64);
+        let pruner = VectorWisePruner::new(16);
+        let result = admm_prune(&weights, &pruner, 0.25, AdmmConfig::default()).unwrap();
+        assert!(is_vector_wise(&result.mask, 16));
+        assert!((result.mask.density() - 0.25).abs() < 0.01);
+        assert_eq!(result.pruned.nnz(), result.mask.kept_count());
+    }
+
+    #[test]
+    fn reweighting_concentrates_energy_in_the_kept_positions() {
+        // Compared to pruning the raw weights directly, ADMM re-weighting should
+        // retain at least as much of the weight energy after projection.
+        let mut rng = StdRng::seed_from_u64(11);
+        let weights = DenseMatrix::random(&mut rng, 64, 128);
+        let pruner = VectorWisePruner::new(16);
+        let density = 0.2;
+        let direct_mask = pruner.prune(&weights.abs(), density).unwrap();
+        let direct_energy = direct_mask.apply(&weights).unwrap().frobenius_norm().powi(2)
+            / weights.frobenius_norm().powi(2);
+        let admm = admm_prune(&weights, &pruner, density, AdmmConfig::default()).unwrap();
+        assert!(
+            admm.energy_retained >= direct_energy - 1e-6,
+            "ADMM retained {:.4} vs direct {:.4}",
+            admm.energy_retained,
+            direct_energy
+        );
+    }
+
+    #[test]
+    fn works_with_the_shfl_bw_pruner() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let weights = DenseMatrix::random(&mut rng, 64, 64);
+        let pruner = ShflBwPruner::new(16);
+        let result = admm_prune(
+            &weights,
+            &pruner,
+            0.25,
+            AdmmConfig {
+                iterations: 4,
+                rho: 0.5,
+            },
+        )
+        .unwrap();
+        assert!((result.mask.density() - 0.25).abs() < 0.02);
+        assert!(result.energy_retained > 0.0 && result.energy_retained <= 1.0);
+    }
+
+    #[test]
+    fn zero_iterations_degenerate_to_direct_pruning() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let weights = DenseMatrix::random(&mut rng, 32, 32);
+        let pruner = VectorWisePruner::new(8);
+        let result = admm_prune(
+            &weights,
+            &pruner,
+            0.5,
+            AdmmConfig {
+                iterations: 0,
+                rho: 0.5,
+            },
+        )
+        .unwrap();
+        let direct = pruner.prune(&weights.abs(), 0.5).unwrap();
+        assert_eq!(result.mask, direct);
+        assert_eq!(result.reweighted, weights);
+    }
+}

@@ -1,0 +1,110 @@
+//! Balanced N:M pruning (the A100's 2-in-4 pattern): keep the `m` highest-scoring
+//! weights inside every aligned group of `n` consecutive elements of a row.
+
+use crate::{validate_density, Pruner};
+use shfl_core::mask::BinaryMask;
+use shfl_core::matrix::DenseMatrix;
+use shfl_core::{Error, Result, SparsePattern};
+
+/// Balanced N:M pruner. The density is fixed by the pattern (`m / n`); the `density`
+/// argument passed to [`Pruner::prune`] is validated but otherwise ignored, matching
+/// the hardware constraint the paper highlights (only 50% on A100).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BalancedPruner {
+    m: usize,
+    n: usize,
+}
+
+impl BalancedPruner {
+    /// Creates an N:M pruner keeping `m` weights per group of `n`.
+    pub fn new(m: usize, n: usize) -> Self {
+        BalancedPruner { m, n }
+    }
+
+    /// The A100's 2-in-4 configuration.
+    pub fn two_in_four() -> Self {
+        BalancedPruner { m: 2, n: 4 }
+    }
+
+    /// The density this pattern enforces (`m / n`).
+    pub fn enforced_density(&self) -> f64 {
+        self.m as f64 / self.n as f64
+    }
+}
+
+impl Pruner for BalancedPruner {
+    fn pattern(&self) -> SparsePattern {
+        SparsePattern::Balanced {
+            m: self.m,
+            n: self.n,
+        }
+    }
+
+    fn prune(&self, scores: &DenseMatrix, density: f64) -> Result<BinaryMask> {
+        validate_density(density)?;
+        if self.m == 0 || self.n == 0 || self.m > self.n {
+            return Err(Error::InvalidBalancedShape {
+                m: self.m,
+                n: self.n,
+            });
+        }
+        let (rows, cols) = scores.shape();
+        if cols % self.n != 0 {
+            return Err(Error::InvalidGroupSize {
+                group: self.n,
+                dimension: cols,
+            });
+        }
+        let mut mask = BinaryMask::all_pruned(rows, cols);
+        for r in 0..rows {
+            for g in 0..cols / self.n {
+                let group: Vec<f32> = (0..self.n).map(|i| scores.get(r, g * self.n + i)).collect();
+                for i in crate::importance::top_k_indices(&group, self.m) {
+                    mask.set(r, g * self.n + i, true);
+                }
+            }
+        }
+        Ok(mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use shfl_core::pattern::is_balanced;
+
+    #[test]
+    fn produces_balanced_masks_at_half_density() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let scores = DenseMatrix::random(&mut rng, 32, 64).abs();
+        let mask = BalancedPruner::two_in_four().prune(&scores, 0.5).unwrap();
+        assert!(is_balanced(&mask, 2, 4));
+        assert!((mask.density() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn keeps_the_largest_in_each_group() {
+        let scores = DenseMatrix::from_vec(1, 4, vec![0.9, 0.1, 0.5, 0.2]).unwrap();
+        let mask = BalancedPruner::two_in_four().prune(&scores, 0.5).unwrap();
+        assert!(mask.is_kept(0, 0) && mask.is_kept(0, 2));
+        assert!(!mask.is_kept(0, 1) && !mask.is_kept(0, 3));
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let scores = DenseMatrix::zeros(4, 6);
+        assert!(BalancedPruner::two_in_four().prune(&scores, 0.5).is_err());
+        let scores = DenseMatrix::zeros(4, 8);
+        assert!(BalancedPruner::new(0, 4).prune(&scores, 0.5).is_err());
+        assert!(BalancedPruner::new(5, 4).prune(&scores, 0.5).is_err());
+        assert!(BalancedPruner::two_in_four().prune(&scores, 7.0).is_err());
+    }
+
+    #[test]
+    fn enforced_density_is_m_over_n() {
+        assert!((BalancedPruner::two_in_four().enforced_density() - 0.5).abs() < 1e-12);
+        assert!((BalancedPruner::new(1, 4).enforced_density() - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,115 @@
+//! Block-wise pruning: keep or prune whole `V×V` blocks by their aggregate score.
+//!
+//! The paper notes (§5) that for block-wise patterns a greedy method is optimal:
+//! selecting the highest-scoring blocks until the density target is met maximises the
+//! retained score, because block choices are independent.
+
+use crate::{validate_density, Pruner};
+use shfl_core::mask::BinaryMask;
+use shfl_core::matrix::DenseMatrix;
+use shfl_core::{Error, Result, SparsePattern};
+
+/// Greedy block-wise pruner with `V×V` blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockWisePruner {
+    v: usize,
+}
+
+impl BlockWisePruner {
+    /// Creates a block-wise pruner with block edge `v`.
+    pub fn new(v: usize) -> Self {
+        BlockWisePruner { v }
+    }
+
+    /// Block edge length.
+    pub fn block_size(&self) -> usize {
+        self.v
+    }
+}
+
+impl Pruner for BlockWisePruner {
+    fn pattern(&self) -> SparsePattern {
+        SparsePattern::BlockWise { v: self.v }
+    }
+
+    fn prune(&self, scores: &DenseMatrix, density: f64) -> Result<BinaryMask> {
+        let density = validate_density(density)?;
+        let (rows, cols) = scores.shape();
+        if self.v == 0 || rows % self.v != 0 {
+            return Err(Error::InvalidGroupSize {
+                group: self.v,
+                dimension: rows,
+            });
+        }
+        if cols % self.v != 0 {
+            return Err(Error::InvalidGroupSize {
+                group: self.v,
+                dimension: cols,
+            });
+        }
+        let block_scores = crate::importance::block_scores(scores, self.v);
+        let blocks_total = block_scores.len();
+        let keep_blocks = ((blocks_total as f64) * density).round() as usize;
+        let kept = crate::importance::top_k_indices(block_scores.as_slice(), keep_blocks);
+        let block_cols = cols / self.v;
+        let mut mask = BinaryMask::all_pruned(rows, cols);
+        for flat in kept {
+            let br = flat / block_cols;
+            let bc = flat % block_cols;
+            for r in 0..self.v {
+                for c in 0..self.v {
+                    mask.set(br * self.v + r, bc * self.v + c, true);
+                }
+            }
+        }
+        Ok(mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use shfl_core::pattern::is_block_wise;
+
+    #[test]
+    fn produces_block_wise_masks_at_the_target_density() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let scores = DenseMatrix::random(&mut rng, 64, 64).abs();
+        for density in [0.25, 0.5] {
+            let mask = BlockWisePruner::new(16).prune(&scores, density).unwrap();
+            assert!(is_block_wise(&mask, 16));
+            assert!((mask.density() - density).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn keeps_the_highest_scoring_blocks() {
+        // One block has overwhelmingly larger scores.
+        let scores = DenseMatrix::from_fn(4, 4, |r, c| if r < 2 && c < 2 { 10.0 } else { 0.1 });
+        let mask = BlockWisePruner::new(2).prune(&scores, 0.25).unwrap();
+        assert!(mask.is_kept(0, 0) && mask.is_kept(1, 1));
+        assert!(!mask.is_kept(2, 2));
+    }
+
+    #[test]
+    fn rejects_bad_geometry() {
+        let scores = DenseMatrix::zeros(30, 32);
+        assert!(BlockWisePruner::new(16).prune(&scores, 0.5).is_err());
+        let scores = DenseMatrix::zeros(32, 30);
+        assert!(BlockWisePruner::new(16).prune(&scores, 0.5).is_err());
+        let scores = DenseMatrix::zeros(32, 32);
+        assert!(BlockWisePruner::new(0).prune(&scores, 0.5).is_err());
+        assert!(BlockWisePruner::new(16).prune(&scores, -0.5).is_err());
+    }
+
+    #[test]
+    fn pattern_reports_v() {
+        assert_eq!(
+            BlockWisePruner::new(32).pattern(),
+            SparsePattern::BlockWise { v: 32 }
+        );
+        assert_eq!(BlockWisePruner::new(32).block_size(), 32);
+    }
+}

@@ -1,0 +1,103 @@
+//! Importance scores.
+//!
+//! The paper uses the absolute value of each weight as its importance score
+//! (magnitude pruning, following Han et al.), and block/vector pruners aggregate the
+//! per-weight scores over the block or vector they decide on.
+
+use shfl_core::matrix::DenseMatrix;
+
+/// Magnitude importance: the element-wise absolute value of the weights.
+pub fn magnitude_scores(weights: &DenseMatrix) -> DenseMatrix {
+    weights.abs()
+}
+
+/// Sum of scores inside each `v×v` block, returned as a `(rows/v) × (cols/v)` matrix.
+///
+/// # Panics
+///
+/// Panics if `v` is zero or does not divide both dimensions.
+pub fn block_scores(scores: &DenseMatrix, v: usize) -> DenseMatrix {
+    let (rows, cols) = scores.shape();
+    assert!(v > 0 && rows % v == 0 && cols % v == 0, "v must divide both dimensions");
+    DenseMatrix::from_fn(rows / v, cols / v, |br, bc| {
+        let mut sum = 0.0f32;
+        for r in 0..v {
+            for c in 0..v {
+                sum += scores.get(br * v + r, bc * v + c);
+            }
+        }
+        sum
+    })
+}
+
+/// Sum of scores of each `v×1` vector, returned as a `(rows/v) × cols` matrix whose
+/// entry `(g, c)` is the score of column `c` within row group `g`.
+///
+/// # Panics
+///
+/// Panics if `v` is zero or does not divide the row count.
+pub fn vector_scores(scores: &DenseMatrix, v: usize) -> DenseMatrix {
+    let (rows, cols) = scores.shape();
+    assert!(v > 0 && rows % v == 0, "v must divide the row count");
+    DenseMatrix::from_fn(rows / v, cols, |g, c| {
+        (0..v).map(|r| scores.get(g * v + r, c)).sum()
+    })
+}
+
+/// Indices of the `k` largest values of a slice, in descending score order. Ties are
+/// broken by the lower index to keep the result deterministic.
+pub fn top_k_indices(values: &[f32], k: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by(|&a, &b| {
+        values[b]
+            .partial_cmp(&values[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    order.truncate(k.min(values.len()));
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn magnitude_is_absolute_value() {
+        let w = DenseMatrix::from_vec(1, 3, vec![-2.0, 0.5, 0.0]).unwrap();
+        assert_eq!(magnitude_scores(&w).as_slice(), &[2.0, 0.5, 0.0]);
+    }
+
+    #[test]
+    fn block_scores_sum_blocks() {
+        let s = DenseMatrix::from_fn(4, 4, |r, c| (r * 4 + c) as f32);
+        let b = block_scores(&s, 2);
+        assert_eq!(b.shape(), (2, 2));
+        // Top-left block holds 0,1,4,5; bottom-right holds 10,11,14,15.
+        assert_eq!(b.get(0, 0), 10.0);
+        assert_eq!(b.get(1, 1), 50.0);
+    }
+
+    #[test]
+    fn vector_scores_sum_columns_per_group() {
+        let s = DenseMatrix::from_fn(4, 3, |r, _| r as f32);
+        let v = vector_scores(&s, 2);
+        assert_eq!(v.shape(), (2, 3));
+        assert_eq!(v.get(0, 0), 1.0);
+        assert_eq!(v.get(1, 2), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "v must divide")]
+    fn block_scores_reject_bad_v() {
+        block_scores(&DenseMatrix::zeros(4, 6), 4);
+    }
+
+    #[test]
+    fn top_k_is_descending_and_deterministic() {
+        let v = vec![0.5, 2.0, 2.0, -1.0, 3.0];
+        assert_eq!(top_k_indices(&v, 3), vec![4, 1, 2]);
+        assert_eq!(top_k_indices(&v, 10).len(), 5);
+        assert!(top_k_indices(&v, 0).is_empty());
+    }
+}

@@ -1,0 +1,260 @@
+//! Balanced K-Means clustering of binary row masks.
+//!
+//! The Shfl-BW pattern search (Figure 5) clusters the rows of the relaxed unstructured
+//! mask into groups of exactly `V` rows, so that rows keeping weights in similar
+//! column positions end up in the same group — the heuristic being that the subsequent
+//! vector-wise pruning will then be able to retain more of the important weights.
+//!
+//! This module implements a size-constrained (balanced) K-Means: standard centroid
+//! updates, but the assignment step fills every cluster to exactly `V` members by
+//! greedily assigning the globally closest (row, cluster) pairs while capacity
+//! remains.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use shfl_core::mask::BinaryMask;
+use shfl_core::{Error, Result};
+
+/// Result of the balanced K-Means row clustering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowClustering {
+    /// `groups[g]` lists the original row indices assigned to cluster `g`
+    /// (each of length exactly `V`).
+    pub groups: Vec<Vec<usize>>,
+    /// The row permutation that places the rows of group 0 first, then group 1, ...
+    /// (i.e. `permutation[new_row] = original_row`).
+    pub permutation: Vec<usize>,
+    /// Sum of squared distances of every row to its cluster centroid at convergence.
+    pub inertia: f64,
+}
+
+/// Configuration of the balanced K-Means search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KMeansConfig {
+    /// Number of Lloyd iterations.
+    pub iterations: usize,
+    /// Number of random restarts; the clustering with the lowest inertia wins.
+    pub restarts: usize,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig {
+            iterations: 10,
+            restarts: 2,
+        }
+    }
+}
+
+/// Clusters the rows of `mask` into groups of exactly `group_size` rows using
+/// balanced K-Means on the binary row vectors.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidGroupSize`] if `group_size` is zero or does not divide the
+/// row count.
+pub fn cluster_rows<R: Rng + ?Sized>(
+    rng: &mut R,
+    mask: &BinaryMask,
+    group_size: usize,
+    config: KMeansConfig,
+) -> Result<RowClustering> {
+    let rows = mask.rows();
+    let cols = mask.cols();
+    if group_size == 0 || rows % group_size != 0 {
+        return Err(Error::InvalidGroupSize {
+            group: group_size,
+            dimension: rows,
+        });
+    }
+    let k = rows / group_size;
+    let row_vectors: Vec<Vec<f32>> = (0..rows)
+        .map(|r| mask.row(r).iter().map(|b| if *b { 1.0 } else { 0.0 }).collect())
+        .collect();
+
+    let mut best: Option<RowClustering> = None;
+    for _ in 0..config.restarts.max(1) {
+        let clustering = run_once(rng, &row_vectors, rows, cols, k, group_size, config.iterations);
+        if best.as_ref().map_or(true, |b| clustering.inertia < b.inertia) {
+            best = Some(clustering);
+        }
+    }
+    Ok(best.expect("at least one restart runs"))
+}
+
+fn run_once<R: Rng + ?Sized>(
+    rng: &mut R,
+    row_vectors: &[Vec<f32>],
+    rows: usize,
+    cols: usize,
+    k: usize,
+    group_size: usize,
+    iterations: usize,
+) -> RowClustering {
+    // Initialise centroids from a random sample of distinct rows.
+    let mut indices: Vec<usize> = (0..rows).collect();
+    indices.shuffle(rng);
+    let mut centroids: Vec<Vec<f32>> = indices[..k].iter().map(|&i| row_vectors[i].clone()).collect();
+
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for _ in 0..iterations.max(1) {
+        groups = balanced_assignment(row_vectors, &centroids, group_size);
+        // Update centroids as the mean of their members.
+        for (g, members) in groups.iter().enumerate() {
+            if members.is_empty() {
+                continue;
+            }
+            let mut mean = vec![0.0f32; cols];
+            for &r in members {
+                for (m, x) in mean.iter_mut().zip(row_vectors[r].iter()) {
+                    *m += x;
+                }
+            }
+            for m in &mut mean {
+                *m /= members.len() as f32;
+            }
+            centroids[g] = mean;
+        }
+    }
+
+    let mut inertia = 0.0f64;
+    for (g, members) in groups.iter().enumerate() {
+        for &r in members {
+            inertia += squared_distance(&row_vectors[r], &centroids[g]);
+        }
+    }
+    let permutation: Vec<usize> = groups.iter().flatten().copied().collect();
+    RowClustering {
+        groups,
+        permutation,
+        inertia,
+    }
+}
+
+/// Assigns every row to a cluster such that each cluster receives exactly
+/// `group_size` rows, preferring globally closest (row, cluster) pairs.
+fn balanced_assignment(
+    row_vectors: &[Vec<f32>],
+    centroids: &[Vec<f32>],
+    group_size: usize,
+) -> Vec<Vec<usize>> {
+    let rows = row_vectors.len();
+    let k = centroids.len();
+    let mut pairs: Vec<(f64, usize, usize)> = Vec::with_capacity(rows * k);
+    for (r, row) in row_vectors.iter().enumerate() {
+        for (g, centroid) in centroids.iter().enumerate() {
+            pairs.push((squared_distance(row, centroid), r, g));
+        }
+    }
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); k];
+    let mut assigned = vec![false; rows];
+    for (_, r, g) in pairs {
+        if !assigned[r] && groups[g].len() < group_size {
+            groups[g].push(r);
+            assigned[r] = true;
+        }
+    }
+    // Any stragglers (possible when capacities filled early) go to the first cluster
+    // with room.
+    for r in 0..rows {
+        if !assigned[r] {
+            if let Some(group) = groups.iter_mut().find(|g| g.len() < group_size) {
+                group.push(r);
+                assigned[r] = true;
+            }
+        }
+    }
+    groups
+}
+
+fn squared_distance(a: &[f32], b: &[f32]) -> f64 {
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| {
+            let d = f64::from(x - y);
+            d * d
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn groups_have_exact_size_and_cover_all_rows() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mask = BinaryMask::from_fn(24, 16, |r, c| (r + c) % 3 == 0);
+        let clustering = cluster_rows(&mut rng, &mask, 4, KMeansConfig::default()).unwrap();
+        assert_eq!(clustering.groups.len(), 6);
+        for g in &clustering.groups {
+            assert_eq!(g.len(), 4);
+        }
+        let mut all: Vec<usize> = clustering.permutation.clone();
+        all.sort_unstable();
+        assert_eq!(all, (0..24).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn identical_rows_end_up_grouped_together() {
+        // Two clearly separated row patterns, 4 rows each: with group size 4 the
+        // clustering must recover them exactly.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mask = BinaryMask::from_fn(8, 32, |r, c| {
+            if r % 2 == 0 {
+                c < 16
+            } else {
+                c >= 16
+            }
+        });
+        let clustering = cluster_rows(&mut rng, &mask, 4, KMeansConfig::default()).unwrap();
+        for group in &clustering.groups {
+            let parity = group[0] % 2;
+            assert!(
+                group.iter().all(|r| r % 2 == parity),
+                "group {group:?} mixes the two patterns"
+            );
+        }
+        assert!(clustering.inertia < 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_group_size() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mask = BinaryMask::all_kept(10, 4);
+        assert!(cluster_rows(&mut rng, &mask, 3, KMeansConfig::default()).is_err());
+        assert!(cluster_rows(&mut rng, &mask, 0, KMeansConfig::default()).is_err());
+    }
+
+    #[test]
+    fn more_restarts_never_increase_inertia() {
+        let mut rng1 = StdRng::seed_from_u64(11);
+        let mut rng2 = StdRng::seed_from_u64(11);
+        let mask = BinaryMask::from_fn(32, 24, |r, c| (r * 7 + c * 3) % 5 == 0);
+        let one = cluster_rows(
+            &mut rng1,
+            &mask,
+            8,
+            KMeansConfig {
+                iterations: 8,
+                restarts: 1,
+            },
+        )
+        .unwrap();
+        let many = cluster_rows(
+            &mut rng2,
+            &mask,
+            8,
+            KMeansConfig {
+                iterations: 8,
+                restarts: 4,
+            },
+        )
+        .unwrap();
+        assert!(many.inertia <= one.inertia + 1e-9);
+    }
+}

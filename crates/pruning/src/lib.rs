@@ -1,0 +1,102 @@
+//! # shfl-pruning — pruning algorithms for the Shfl-BW reproduction
+//!
+//! This crate implements the model-accuracy side of the paper (§5): given an
+//! importance-score matrix (magnitude scores by default), decide which weights to keep
+//! under each sparsity pattern.
+//!
+//! * [`importance`] — magnitude importance scores and per-block / per-vector score
+//!   aggregation,
+//! * [`unstructured`], [`block_wise`], [`vector_wise`], [`balanced`] — the baseline
+//!   pattern pruners the paper compares against,
+//! * [`kmeans`] — balanced K-Means clustering of binary row masks into groups of `V`
+//!   rows (the row-grouping stage of Figure 5),
+//! * [`shfl_bw`] — the paper's two-stage Shfl-BW pattern search: relaxed unstructured
+//!   pre-pruning at `β = 2α`, K-Means row grouping, row shuffling, vector-wise pruning
+//!   at the target density `α`, reverse shuffle,
+//! * [`admm`] — the ADMM re-weighting workflow used for GNMT in the paper's §6.1,
+//! * [`grow_prune`] — the Grow-and-Prune schedule used for Transformer and ResNet-50,
+//! * [`trainer`] — a small synthetic-regression trainer used to measure the real
+//!   quality impact of each pattern on a trainable workload (the accuracy-proxy
+//!   substrate described in `DESIGN.md`).
+//!
+//! ## Example: prune a weight matrix into the Shfl-BW pattern
+//!
+//! ```
+//! use shfl_core::{DenseMatrix, SparsePattern};
+//! use shfl_pruning::{Pruner, shfl_bw::ShflBwPruner};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! # fn main() -> Result<(), shfl_core::Error> {
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let weights = DenseMatrix::random(&mut rng, 64, 128);
+//! let pruner = ShflBwPruner::new(16);
+//! let mask = pruner.prune(&weights.abs(), 0.25)?;
+//! assert!((mask.density() - 0.25).abs() < 0.02);
+//! assert!(SparsePattern::ShflBw { v: 16 }.validates(&mask));
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod admm;
+pub mod balanced;
+pub mod block_wise;
+pub mod grow_prune;
+pub mod importance;
+pub mod kmeans;
+pub mod shfl_bw;
+pub mod trainer;
+pub mod unstructured;
+pub mod vector_wise;
+
+use shfl_core::mask::BinaryMask;
+use shfl_core::matrix::DenseMatrix;
+use shfl_core::Result;
+
+/// A pattern pruner: given an importance-score matrix and a target non-zero ratio,
+/// produce the keep/prune mask that maximises retained score subject to the pattern's
+/// structural constraint.
+pub trait Pruner {
+    /// The pattern this pruner produces (used for labelling results).
+    fn pattern(&self) -> shfl_core::SparsePattern;
+
+    /// Produces the keep mask for `scores` at the target non-zero ratio `density`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `density` is outside `[0, 1]` or the score matrix shape
+    /// is incompatible with the pattern's granularity.
+    fn prune(&self, scores: &DenseMatrix, density: f64) -> Result<BinaryMask>;
+}
+
+pub use balanced::BalancedPruner;
+pub use block_wise::BlockWisePruner;
+pub use shfl_bw::{ShflBwPruneResult, ShflBwPruner};
+pub use unstructured::UnstructuredPruner;
+pub use vector_wise::VectorWisePruner;
+
+/// Validates a density argument shared by all pruners.
+pub(crate) fn validate_density(density: f64) -> Result<f64> {
+    if !(0.0..=1.0).contains(&density) || density.is_nan() {
+        Err(shfl_core::Error::InvalidDensity { value: density })
+    } else {
+        Ok(density)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_validation() {
+        assert!(validate_density(0.5).is_ok());
+        assert!(validate_density(0.0).is_ok());
+        assert!(validate_density(1.0).is_ok());
+        assert!(validate_density(-0.1).is_err());
+        assert!(validate_density(1.5).is_err());
+        assert!(validate_density(f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,272 @@
+//! The Shfl-BW pattern search algorithm (the paper's Figure 5).
+//!
+//! Given an importance-score matrix and a target non-zero ratio `α`, the search
+//! proceeds in two stages:
+//!
+//! 1. **Row-group search.** Apply *unstructured* pruning at a relaxed density
+//!    `β = 2α` (clamped to 1) to obtain a binary mask that reveals which column
+//!    positions matter for each row, then cluster the rows of that mask into groups of
+//!    exactly `V` with balanced K-Means ([`crate::kmeans`]). Rows that keep weights in
+//!    similar columns end up in the same group.
+//! 2. **Pruning.** Shuffle the rows of the score matrix by the discovered grouping,
+//!    apply ordinary vector-wise pruning at the target density `α`, and reverse the
+//!    shuffle so the final mask is expressed in the original row order.
+//!
+//! The result is a mask that satisfies the Shfl-BW structural constraint (each group
+//! of `V` rows — under the discovered permutation — shares one column pattern) while
+//! retaining noticeably more importance score than plain vector-wise or block-wise
+//! pruning at the same density (the paper's Table 1).
+
+use crate::kmeans::{cluster_rows, KMeansConfig};
+use crate::unstructured::UnstructuredPruner;
+use crate::vector_wise::VectorWisePruner;
+use crate::{validate_density, Pruner};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use shfl_core::mask::BinaryMask;
+use shfl_core::matrix::DenseMatrix;
+use shfl_core::{Error, Result, SparsePattern};
+
+/// Result of the Shfl-BW pattern search: the mask in the original row order plus the
+/// row permutation that groups matching rows (needed to build a
+/// [`shfl_core::formats::ShflBwMatrix`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShflBwPruneResult {
+    /// Keep mask in the original row order.
+    pub mask: BinaryMask,
+    /// Row permutation used for grouping: `permutation[new_row] = original_row`.
+    pub permutation: Vec<usize>,
+    /// Total importance score retained by the mask.
+    pub retained_score: f64,
+}
+
+/// The paper's Shfl-BW pruner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShflBwPruner {
+    v: usize,
+    /// Relaxation factor for the pre-pruning density (`β = relaxation × α`); the paper
+    /// finds 2.0 to work best.
+    relaxation: f64,
+    kmeans: KMeansConfig,
+    seed: u64,
+}
+
+impl ShflBwPruner {
+    /// Creates a Shfl-BW pruner with vector length `v`, the paper's `β = 2α`
+    /// relaxation, and default K-Means settings.
+    pub fn new(v: usize) -> Self {
+        ShflBwPruner {
+            v,
+            relaxation: 2.0,
+            kmeans: KMeansConfig::default(),
+            seed: DEFAULT_SEED,
+        }
+    }
+
+    /// Overrides the pre-pruning relaxation factor (`β = relaxation × α`).
+    pub fn with_relaxation(mut self, relaxation: f64) -> Self {
+        self.relaxation = relaxation.max(1.0);
+        self
+    }
+
+    /// Overrides the K-Means configuration.
+    pub fn with_kmeans(mut self, kmeans: KMeansConfig) -> Self {
+        self.kmeans = kmeans;
+        self
+    }
+
+    /// Overrides the random seed used by the K-Means restarts (the search is otherwise
+    /// deterministic).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Vector length `V`.
+    pub fn vector_size(&self) -> usize {
+        self.v
+    }
+
+    /// Runs the full two-stage search, returning the mask, the row grouping
+    /// permutation and the retained score.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the density is invalid or `V` does not divide the row
+    /// count.
+    pub fn prune_with_permutation(
+        &self,
+        scores: &DenseMatrix,
+        density: f64,
+    ) -> Result<ShflBwPruneResult> {
+        let density = validate_density(density)?;
+        let (rows, _cols) = scores.shape();
+        if self.v == 0 || rows % self.v != 0 {
+            return Err(Error::InvalidGroupSize {
+                group: self.v,
+                dimension: rows,
+            });
+        }
+
+        // Stage 1: relaxed unstructured pre-pruning reveals the important positions.
+        let beta = (density * self.relaxation).min(1.0);
+        let relaxed_mask = UnstructuredPruner::new().prune(scores, beta)?;
+
+        // Cluster rows of the relaxed mask into groups of V.
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let clustering = cluster_rows(&mut rng, &relaxed_mask, self.v, self.kmeans)?;
+        let permutation = clustering.permutation;
+
+        // Stage 2: shuffle, vector-wise prune at the target density, reverse shuffle.
+        let shuffled_scores = scores.permuted_rows(&permutation)?;
+        let shuffled_mask = VectorWisePruner::new(self.v).prune(&shuffled_scores, density)?;
+
+        let mut mask = BinaryMask::all_pruned(rows, scores.cols());
+        for (new_row, &original_row) in permutation.iter().enumerate() {
+            for c in 0..scores.cols() {
+                if shuffled_mask.is_kept(new_row, c) {
+                    mask.set(original_row, c, true);
+                }
+            }
+        }
+        let retained_score = mask.retained_score(scores)?;
+        Ok(ShflBwPruneResult {
+            mask,
+            permutation,
+            retained_score,
+        })
+    }
+}
+
+impl Pruner for ShflBwPruner {
+    fn pattern(&self) -> SparsePattern {
+        SparsePattern::ShflBw { v: self.v }
+    }
+
+    fn prune(&self, scores: &DenseMatrix, density: f64) -> Result<BinaryMask> {
+        Ok(self.prune_with_permutation(scores, density)?.mask)
+    }
+}
+
+/// Fixed default seed ("shfl-bw" as bytes) so search results are reproducible
+/// run-to-run.
+const DEFAULT_SEED: u64 = u64::from_le_bytes(*b"shfl-bw\0");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use shfl_core::pattern::{is_shfl_bw, is_vector_wise};
+
+    fn random_scores(seed: u64, rows: usize, cols: usize) -> DenseMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        DenseMatrix::from_fn(rows, cols, |_, _| rng.gen_range(0.0f32..1.0))
+    }
+
+    #[test]
+    fn produces_shfl_bw_masks_at_the_target_density() {
+        let scores = random_scores(1, 64, 128);
+        let pruner = ShflBwPruner::new(16);
+        for density in [0.1, 0.2, 0.25] {
+            let result = pruner.prune_with_permutation(&scores, density).unwrap();
+            assert!((result.mask.density() - density).abs() < 0.02);
+            assert!(is_shfl_bw(&result.mask, 16));
+            // The shuffled mask must be vector-wise under the discovered permutation.
+            let shuffled = result.mask.permuted_rows(&result.permutation).unwrap();
+            assert!(is_vector_wise(&shuffled, 16));
+        }
+    }
+
+    #[test]
+    fn retains_more_score_than_vector_wise_without_shuffling() {
+        // The central accuracy claim of the paper: at the same density and V, the
+        // shuffled search keeps more importance mass than plain vector-wise pruning.
+        let scores = random_scores(2, 128, 256);
+        let density = 0.2;
+        let v = 32;
+        let shfl = ShflBwPruner::new(v)
+            .prune_with_permutation(&scores, density)
+            .unwrap();
+        let vw_mask = VectorWisePruner::new(v).prune(&scores, density).unwrap();
+        let vw_score = vw_mask.retained_score(&scores).unwrap();
+        assert!(
+            shfl.retained_score > vw_score,
+            "Shfl-BW retained {} vs vector-wise {}",
+            shfl.retained_score,
+            vw_score
+        );
+    }
+
+    #[test]
+    fn recovers_a_perfect_grouping_when_one_exists() {
+        // Construct scores whose top positions form a scattered Shfl-BW structure:
+        // rows with the same residue mod 4 share their important columns.
+        let mut rng = StdRng::seed_from_u64(3);
+        let scores = DenseMatrix::from_fn(32, 64, |r, c| {
+            let important = (c + 7 * (r % 4)) % 4 == 0;
+            if important {
+                1.0 + rng.gen_range(0.0f32..0.1)
+            } else {
+                rng.gen_range(0.0f32..0.01)
+            }
+        });
+        let result = ShflBwPruner::new(8)
+            .prune_with_permutation(&scores, 0.25)
+            .unwrap();
+        // All the "important" weights are retained.
+        let mut kept_important = 0;
+        let mut total_important = 0;
+        for r in 0..32 {
+            for c in 0..64 {
+                if (c + 7 * (r % 4)) % 4 == 0 {
+                    total_important += 1;
+                    if result.mask.is_kept(r, c) {
+                        kept_important += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(kept_important, total_important);
+    }
+
+    #[test]
+    fn deterministic_for_a_fixed_seed() {
+        let scores = random_scores(9, 64, 64);
+        let a = ShflBwPruner::new(16)
+            .with_seed(42)
+            .prune_with_permutation(&scores, 0.25)
+            .unwrap();
+        let b = ShflBwPruner::new(16)
+            .with_seed(42)
+            .prune_with_permutation(&scores, 0.25)
+            .unwrap();
+        assert_eq!(a.mask, b.mask);
+        assert_eq!(a.permutation, b.permutation);
+    }
+
+    #[test]
+    fn rejects_bad_geometry_and_density() {
+        let scores = random_scores(4, 30, 16);
+        assert!(ShflBwPruner::new(16).prune(&scores, 0.5).is_err());
+        let scores = random_scores(4, 32, 16);
+        assert!(ShflBwPruner::new(0).prune(&scores, 0.5).is_err());
+        assert!(ShflBwPruner::new(16).prune(&scores, 1.5).is_err());
+    }
+
+    #[test]
+    fn relaxation_below_one_is_clamped() {
+        let scores = random_scores(5, 32, 32);
+        let pruner = ShflBwPruner::new(8).with_relaxation(0.1);
+        let result = pruner.prune_with_permutation(&scores, 0.25).unwrap();
+        assert!((result.mask.density() - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn pattern_reports_v() {
+        assert_eq!(
+            ShflBwPruner::new(64).pattern(),
+            SparsePattern::ShflBw { v: 64 }
+        );
+        assert_eq!(ShflBwPruner::new(64).vector_size(), 64);
+    }
+}

@@ -1,0 +1,85 @@
+//! Unstructured (element-wise magnitude) pruning.
+
+use crate::{validate_density, Pruner};
+use shfl_core::mask::BinaryMask;
+use shfl_core::matrix::DenseMatrix;
+use shfl_core::{Result, SparsePattern};
+
+/// Keeps the globally top-scoring `density` fraction of individual weights.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UnstructuredPruner;
+
+impl UnstructuredPruner {
+    /// Creates an unstructured pruner.
+    pub fn new() -> Self {
+        UnstructuredPruner
+    }
+}
+
+impl Pruner for UnstructuredPruner {
+    fn pattern(&self) -> SparsePattern {
+        SparsePattern::Unstructured
+    }
+
+    fn prune(&self, scores: &DenseMatrix, density: f64) -> Result<BinaryMask> {
+        let density = validate_density(density)?;
+        let (rows, cols) = scores.shape();
+        let total = rows * cols;
+        let keep = ((total as f64) * density).round() as usize;
+        let kept = crate::importance::top_k_indices(scores.as_slice(), keep);
+        let mut mask = BinaryMask::all_pruned(rows, cols);
+        for flat in kept {
+            mask.set(flat / cols, flat % cols, true);
+        }
+        Ok(mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn keeps_exactly_the_requested_fraction() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let scores = DenseMatrix::random(&mut rng, 32, 32).abs();
+        for density in [0.1, 0.25, 0.5, 0.9] {
+            let mask = UnstructuredPruner::new().prune(&scores, density).unwrap();
+            let expected = ((32.0 * 32.0) * density).round() as usize;
+            assert_eq!(mask.kept_count(), expected);
+        }
+    }
+
+    #[test]
+    fn keeps_the_largest_scores() {
+        let scores = DenseMatrix::from_vec(2, 2, vec![0.1, 0.9, 0.5, 0.3]).unwrap();
+        let mask = UnstructuredPruner::new().prune(&scores, 0.5).unwrap();
+        assert!(mask.is_kept(0, 1));
+        assert!(mask.is_kept(1, 0));
+        assert!(!mask.is_kept(0, 0));
+    }
+
+    #[test]
+    fn extreme_densities() {
+        let scores = DenseMatrix::from_fn(4, 4, |r, c| (r + c) as f32);
+        assert_eq!(
+            UnstructuredPruner::new().prune(&scores, 0.0).unwrap().kept_count(),
+            0
+        );
+        assert_eq!(
+            UnstructuredPruner::new().prune(&scores, 1.0).unwrap().kept_count(),
+            16
+        );
+        assert!(UnstructuredPruner::new().prune(&scores, 1.2).is_err());
+    }
+
+    #[test]
+    fn pattern_label() {
+        assert_eq!(
+            UnstructuredPruner::new().pattern(),
+            SparsePattern::Unstructured
+        );
+    }
+}

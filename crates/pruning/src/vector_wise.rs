@@ -1,0 +1,116 @@
+//! Vector-wise pruning: keep or prune whole `V×1` column vectors inside each group of
+//! `V` consecutive rows.
+//!
+//! Each row group keeps the same number of columns (the per-group quota implied by the
+//! target density), choosing the columns with the highest aggregate score inside the
+//! group — the "vector-wise prune" stage of the paper's Figure 5.
+
+use crate::{validate_density, Pruner};
+use shfl_core::mask::BinaryMask;
+use shfl_core::matrix::DenseMatrix;
+use shfl_core::{Error, Result, SparsePattern};
+
+/// Vector-wise pruner with vector length `V`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VectorWisePruner {
+    v: usize,
+}
+
+impl VectorWisePruner {
+    /// Creates a vector-wise pruner with vector length `v`.
+    pub fn new(v: usize) -> Self {
+        VectorWisePruner { v }
+    }
+
+    /// Vector length.
+    pub fn vector_size(&self) -> usize {
+        self.v
+    }
+
+    /// Number of columns each row group keeps at the given density over `cols`
+    /// columns.
+    pub fn columns_per_group(&self, cols: usize, density: f64) -> usize {
+        ((cols as f64) * density).round() as usize
+    }
+}
+
+impl Pruner for VectorWisePruner {
+    fn pattern(&self) -> SparsePattern {
+        SparsePattern::VectorWise { v: self.v }
+    }
+
+    fn prune(&self, scores: &DenseMatrix, density: f64) -> Result<BinaryMask> {
+        let density = validate_density(density)?;
+        let (rows, cols) = scores.shape();
+        if self.v == 0 || rows % self.v != 0 {
+            return Err(Error::InvalidGroupSize {
+                group: self.v,
+                dimension: rows,
+            });
+        }
+        let group_scores = crate::importance::vector_scores(scores, self.v);
+        let keep_cols = self.columns_per_group(cols, density);
+        let mut mask = BinaryMask::all_pruned(rows, cols);
+        for g in 0..rows / self.v {
+            let kept = crate::importance::top_k_indices(group_scores.row(g), keep_cols);
+            for c in kept {
+                for r in 0..self.v {
+                    mask.set(g * self.v + r, c, true);
+                }
+            }
+        }
+        Ok(mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use shfl_core::pattern::is_vector_wise;
+
+    #[test]
+    fn produces_vector_wise_masks_at_the_target_density() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let scores = DenseMatrix::random(&mut rng, 64, 128).abs();
+        for density in [0.125, 0.25, 0.5] {
+            let mask = VectorWisePruner::new(16).prune(&scores, density).unwrap();
+            assert!(is_vector_wise(&mask, 16));
+            assert!((mask.density() - density).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn keeps_the_best_columns_per_group() {
+        // Column 3 dominates group 0; column 0 dominates group 1.
+        let scores = DenseMatrix::from_fn(4, 4, |r, c| {
+            if (r < 2 && c == 3) || (r >= 2 && c == 0) {
+                5.0
+            } else {
+                0.1
+            }
+        });
+        let mask = VectorWisePruner::new(2).prune(&scores, 0.25).unwrap();
+        assert!(mask.is_kept(0, 3) && mask.is_kept(1, 3));
+        assert!(mask.is_kept(2, 0) && mask.is_kept(3, 0));
+        assert!(!mask.is_kept(0, 0));
+    }
+
+    #[test]
+    fn rejects_bad_geometry_and_density() {
+        let scores = DenseMatrix::zeros(30, 8);
+        assert!(VectorWisePruner::new(16).prune(&scores, 0.5).is_err());
+        let scores = DenseMatrix::zeros(32, 8);
+        assert!(VectorWisePruner::new(0).prune(&scores, 0.5).is_err());
+        assert!(VectorWisePruner::new(16).prune(&scores, 2.0).is_err());
+    }
+
+    #[test]
+    fn columns_per_group_rounds() {
+        let p = VectorWisePruner::new(8);
+        assert_eq!(p.columns_per_group(100, 0.25), 25);
+        assert_eq!(p.columns_per_group(10, 0.24), 2);
+        assert_eq!(p.vector_size(), 8);
+    }
+}

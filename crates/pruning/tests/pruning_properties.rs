@@ -1,0 +1,98 @@
+//! Property-based tests of the pruning algorithms: every pruner must hit the
+//! requested density, respect its structural constraint, and never retain less
+//! importance than an obviously-worse strategy.
+
+use proptest::prelude::*;
+use shfl_core::mask::BinaryMask;
+use shfl_core::matrix::DenseMatrix;
+use shfl_core::pattern::{is_balanced, is_block_wise, is_shfl_bw, is_vector_wise};
+use shfl_pruning::{
+    BalancedPruner, BlockWisePruner, Pruner, ShflBwPruner, UnstructuredPruner, VectorWisePruner,
+};
+
+/// Strategy producing a positive score matrix with dimensions that every granularity
+/// used below divides (multiples of 16), plus a density target.
+fn score_case() -> impl Strategy<Value = (DenseMatrix, f64)> {
+    (1usize..5, 1usize..5, 0.05f64..0.6, any::<u64>()).prop_map(|(rg, cg, density, seed)| {
+        let rows = rg * 16;
+        let cols = cg * 16;
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let scores = DenseMatrix::from_fn(rows, cols, |_, _| (next() % 10_000) as f32 / 10_000.0);
+        (scores, density)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn unstructured_hits_the_exact_density((scores, density) in score_case()) {
+        let mask = UnstructuredPruner::new().prune(&scores, density).unwrap();
+        let expected = ((scores.len() as f64) * density).round() as usize;
+        prop_assert_eq!(mask.kept_count(), expected);
+    }
+
+    #[test]
+    fn vector_wise_masks_validate_and_hit_density((scores, density) in score_case()) {
+        let mask = VectorWisePruner::new(8).prune(&scores, density).unwrap();
+        prop_assert!(is_vector_wise(&mask, 8));
+        prop_assert!((mask.density() - density).abs() < 0.06);
+    }
+
+    #[test]
+    fn block_wise_masks_validate((scores, density) in score_case()) {
+        let mask = BlockWisePruner::new(16).prune(&scores, density).unwrap();
+        prop_assert!(is_block_wise(&mask, 16));
+        // The achievable density is quantised to whole blocks; compare against the
+        // block-level quota rather than the raw target.
+        let blocks = (scores.rows() / 16) * (scores.cols() / 16);
+        let kept_blocks = ((blocks as f64) * density).round();
+        let expected_density = kept_blocks / blocks as f64;
+        prop_assert!((mask.density() - expected_density).abs() < 1e-9);
+    }
+
+    #[test]
+    fn balanced_masks_validate((scores, _density) in score_case()) {
+        let mask = BalancedPruner::two_in_four().prune(&scores, 0.5).unwrap();
+        prop_assert!(is_balanced(&mask, 2, 4));
+        prop_assert!(mask.density() <= 0.5 + 1e-9);
+    }
+
+    #[test]
+    fn shfl_bw_masks_validate_and_permutation_groups_them((scores, density) in score_case()) {
+        let pruner = ShflBwPruner::new(8);
+        let result = pruner.prune_with_permutation(&scores, density).unwrap();
+        prop_assert!(is_shfl_bw(&result.mask, 8));
+        let shuffled = result.mask.permuted_rows(&result.permutation).unwrap();
+        prop_assert!(is_vector_wise(&shuffled, 8));
+        prop_assert!((result.mask.density() - density).abs() < 0.06);
+    }
+
+    #[test]
+    fn retained_score_hierarchy_holds((scores, density) in score_case()) {
+        // Unstructured ⪆ Shfl-BW ⪆ vector-wise on the same score matrix at the same
+        // density quota. The comparisons carry a small tolerance: the per-group column
+        // quota rounds differently from the global element quota, and the K-Means
+        // grouping is a heuristic that may land marginally below the trivial
+        // consecutive grouping on structure-free random scores.
+        let retained = |mask: &BinaryMask| mask.retained_score(&scores).unwrap();
+        let un = retained(&UnstructuredPruner::new().prune(&scores, density).unwrap());
+        let shfl = retained(&ShflBwPruner::new(8).prune(&scores, density).unwrap());
+        let vw = retained(&VectorWisePruner::new(8).prune(&scores, density).unwrap());
+        prop_assert!(un >= shfl * 0.95);
+        prop_assert!(shfl >= vw * 0.95);
+    }
+
+    #[test]
+    fn pruners_reject_invalid_densities((scores, _d) in score_case()) {
+        prop_assert!(UnstructuredPruner::new().prune(&scores, -0.2).is_err());
+        prop_assert!(VectorWisePruner::new(8).prune(&scores, 1.7).is_err());
+        prop_assert!(ShflBwPruner::new(8).prune(&scores, f64::NAN).is_err());
+    }
+}

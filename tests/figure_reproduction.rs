@@ -1,0 +1,128 @@
+//! Integration tests asserting the qualitative claims of every reproduced table and
+//! figure, using the same experiment runners the benches and the `repro` binary use.
+//!
+//! These tests intentionally check *orderings and trends* (who wins, where crossovers
+//! fall) rather than absolute microseconds — the substrate is a simulator, not the
+//! authors' testbed.
+
+use gpu_sim::GpuArch;
+use shfl_bench::experiments::{ablation, analysis, fig1, fig2, fig6, table1};
+use shfl_bench::experiments::speedup::{model_speedup, KernelChoice};
+use shfl_models::workload::DnnModel;
+
+#[test]
+fn figure1_tensor_core_sparse_dominates_cuda_core_sparse() {
+    for arch in GpuArch::all() {
+        let rows = fig1::run(&arch);
+        for row in &rows {
+            assert!(
+                row.tensor_core_sparse > row.cuda_core_sparse,
+                "{}: at density {:.2} the tensor-core sparse kernel should beat the \
+                 CUDA-core sparse kernel",
+                arch.name,
+                row.density
+            );
+        }
+        // The sparse tensor-core curve must beat the dense tensor-core baseline well
+        // before 95% sparsity — the paper's region C.
+        let at_75 = rows.iter().find(|r| (r.density - 0.25).abs() < 1e-9).unwrap();
+        assert!(at_75.tensor_core_sparse > at_75.tensor_core_dense);
+    }
+}
+
+#[test]
+fn figure2_unstructured_never_reaches_practical_speedup() {
+    let points = fig2::run();
+    for p in points.iter().filter(|p| p.label == "Unstructured") {
+        assert!(p.speedup < 1.0, "unstructured at {:.0}% shows speedup {:.2}", p.sparsity * 100.0, p.speedup);
+    }
+    for p in points.iter().filter(|p| p.label.starts_with("Shfl-BW")) {
+        assert!(p.speedup > 1.0);
+    }
+}
+
+#[test]
+fn figure6_shfl_bw_speedup_grows_with_sparsity_and_v() {
+    let arch = GpuArch::t4();
+    let s75_v32 = model_speedup(&arch, DnnModel::Transformer, 8, 128, 0.75, KernelChoice::ShflBw(32)).unwrap();
+    let s75_v64 = model_speedup(&arch, DnnModel::Transformer, 8, 128, 0.75, KernelChoice::ShflBw(64)).unwrap();
+    let s85_v64 = model_speedup(&arch, DnnModel::Transformer, 8, 128, 0.85, KernelChoice::ShflBw(64)).unwrap();
+    assert!(s75_v64 >= s75_v32 * 0.98, "V=64 ({s75_v64:.2}) should not trail V=32 ({s75_v32:.2})");
+    assert!(s85_v64 > s75_v64, "85% sparsity should beat 75%");
+}
+
+#[test]
+fn figure6_headline_ordering_matches_the_paper() {
+    let headline = fig6::headline_transformer_speedups();
+    assert_eq!(headline.len(), 3);
+    let (v100, t4, a100) = (headline[0].1, headline[1].1, headline[2].1);
+    assert!(v100 > 1.0 && t4 > 1.0 && a100 > 1.0);
+    assert!(t4 > v100 && t4 > a100, "T4 should show the largest speedup");
+}
+
+#[test]
+fn figure6_balanced_sparsity_gives_only_modest_gains_on_a100() {
+    let arch = GpuArch::a100();
+    let balanced = model_speedup(
+        &arch,
+        DnnModel::Transformer,
+        8,
+        128,
+        0.5,
+        KernelChoice::Balanced2in4,
+    )
+    .unwrap();
+    let shfl_50 = model_speedup(&arch, DnnModel::Transformer, 8, 128, 0.5, KernelChoice::ShflBw(64))
+        .unwrap();
+    let shfl_75 = model_speedup(&arch, DnnModel::Transformer, 8, 128, 0.75, KernelChoice::ShflBw(64))
+        .unwrap();
+    // Balanced sparsity is stuck at a fixed, modest gain; Shfl-BW is comparable at the
+    // same 50% sparsity and clearly ahead once the sparsity it can actually express
+    // (75%+) is used — the paper's argument for flexibility in the sparsity level.
+    assert!(balanced > 0.95 && balanced < 1.4, "2:4 speedup {balanced:.2} should be modest");
+    assert!(shfl_50 > 0.85 * balanced, "Shfl-BW at 50% ({shfl_50:.2}) should be comparable to 2:4 ({balanced:.2})");
+    assert!(shfl_75 > balanced, "Shfl-BW at 75% ({shfl_75:.2}) should clearly beat 2:4 ({balanced:.2})");
+}
+
+#[test]
+fn table1_orderings_hold_at_both_sparsities() {
+    let rows = table1::run();
+    for &sparsity in &[0.8, 0.9] {
+        let get = |pattern: &str| {
+            rows.iter()
+                .find(|r| r.pattern == pattern && (r.sparsity - sparsity).abs() < 1e-9)
+        };
+        let vw = get("VW,V=32").unwrap();
+        let shfl = get("Shfl-BW,V=32").unwrap();
+        assert!(shfl.transformer_bleu > vw.transformer_bleu);
+        assert!(shfl.gnmt_bleu > vw.gnmt_bleu);
+        assert!(shfl.resnet_top1 > vw.resnet_top1);
+    }
+}
+
+#[test]
+fn ablations_confirm_free_shuffling_and_useful_prefetch() {
+    for row in ablation::shuffle_overhead() {
+        assert!((0.9..=1.15).contains(&row.shfl_over_vw));
+    }
+    for row in ablation::prefetch_ablation() {
+        assert!(row.without_prefetch_us >= row.with_prefetch_us);
+    }
+}
+
+#[test]
+fn analysis_reproduces_the_flexibility_hierarchy() {
+    let report = analysis::run();
+    assert!(report.paper_example_ln_multiplier > 700.0);
+    let ln = |label: &str| {
+        report
+            .rows
+            .iter()
+            .find(|r| r.pattern.label() == label)
+            .unwrap()
+            .ln_candidates
+    };
+    assert!(ln("unstructured") > ln("Shfl-BW,V=32"));
+    assert!(ln("Shfl-BW,V=32") > ln("VW,V=32"));
+    assert!(ln("VW,V=32") > ln("BW,V=32"));
+}
