@@ -24,12 +24,28 @@ fn bench_fig1(c: &mut Criterion) {
     });
     group.bench_function("shfl_bw_profile_75pct_2048x128x2048", |b| {
         b.iter(|| {
-            black_box(layer_time_us(&arch, m, n, k, 1, 0.75, KernelChoice::ShflBw(64)));
+            black_box(layer_time_us(
+                &arch,
+                m,
+                n,
+                k,
+                1,
+                0.75,
+                KernelChoice::ShflBw(64),
+            ));
         })
     });
     group.bench_function("sputnik_profile_75pct_2048x128x2048", |b| {
         b.iter(|| {
-            black_box(layer_time_us(&arch, m, n, k, 1, 0.75, KernelChoice::Sputnik));
+            black_box(layer_time_us(
+                &arch,
+                m,
+                n,
+                k,
+                1,
+                0.75,
+                KernelChoice::Sputnik,
+            ));
         })
     });
     group.finish();

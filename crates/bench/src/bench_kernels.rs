@@ -1,0 +1,332 @@
+//! Wall-clock kernel benchmark: naive reference vs the blocked engine.
+//!
+//! `repro --bench-kernels` times every functional kernel twice in the same
+//! run — once through the retained naive reference path
+//! (`shfl_kernels::reference`) and once through the blocked, parallel engine —
+//! and writes the per-kernel wall-clock numbers and speedups to
+//! `BENCH_kernels.json`. The file is the performance trajectory for this and
+//! future PRs: the two headline entries (1024³ dense GEMM and Shfl-BW SpMM at
+//! 70 % sparsity) carry a ≥5× speedup target, and each entry records whether
+//! the two paths produced bit-identical outputs, so a perf regression or a
+//! correctness drift both show up in the same artifact.
+
+use crate::synth;
+use gpu_sim::GpuArch;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use shfl_core::formats::{BlockSparseMatrix, CsrMatrix, VectorWiseMatrix};
+use shfl_core::matrix::DenseMatrix;
+use shfl_kernels::spmm::{
+    block_wise_spmm_execute, cuda_core_spmm_execute, shfl_bw_spmm_execute, vector_wise_spmm_execute,
+};
+use shfl_kernels::{conv, gemm, reference};
+use std::time::Instant;
+
+/// One benchmarked kernel: wall-clock of the naive and blocked paths.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Kernel name (matches the functional kernel it exercises).
+    pub kernel: String,
+    /// Problem shape, e.g. `"1024x1024x1024"`.
+    pub shape: String,
+    /// Wall-clock of the naive reference path in milliseconds (best of
+    /// [`REPEATS`] runs, same policy as the blocked path so the ratio is
+    /// comparable run-to-run).
+    pub naive_ms: f64,
+    /// Wall-clock of the blocked engine in milliseconds (best of
+    /// [`REPEATS`] runs).
+    pub blocked_ms: f64,
+    /// Whether the two paths produced bit-identical outputs.
+    pub bit_identical: bool,
+    /// Whether this entry carries the ≥5× acceptance target.
+    pub headline: bool,
+}
+
+impl BenchResult {
+    /// Naive-over-blocked wall-clock ratio.
+    pub fn speedup(&self) -> f64 {
+        if self.blocked_ms > 0.0 {
+            self.naive_ms / self.blocked_ms
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Both paths are timed best-of-N under the same policy; an asymmetric
+/// policy (single naive run vs best-of-N blocked) would let the blocked path
+/// shed cold-cache noise the naive path absorbs and inflate the ratio.
+const REPEATS: usize = 3;
+
+fn time_once<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1e3)
+}
+
+fn time_best<T>(mut f: impl FnMut() -> T) -> (T, f64) {
+    let (mut out, mut best) = time_once(&mut f);
+    for _ in 1..REPEATS {
+        let (next, ms) = time_once(&mut f);
+        if ms < best {
+            best = ms;
+            out = next;
+        }
+    }
+    (out, best)
+}
+
+fn bits_equal(a: &DenseMatrix, b: &DenseMatrix) -> bool {
+    a.shape() == b.shape()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice().iter())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Runs the full kernel benchmark suite. `quick` shrinks every shape (used by
+/// the unit test so CI does not pay the full 1024³ naive GEMM).
+pub fn run(quick: bool) -> Vec<BenchResult> {
+    let arch = GpuArch::v100();
+    let shape = arch.mma_shape;
+    let mut rng = StdRng::seed_from_u64(20220711);
+    let mut results = Vec::new();
+
+    // Headline 1: dense GEMM execute, 1024³ (the acceptance shape).
+    let s = if quick { 96 } else { 1024 };
+    let a = DenseMatrix::random(&mut rng, s, s);
+    let b = DenseMatrix::random(&mut rng, s, s);
+    let (naive_out, naive_ms) = time_best(|| reference::fragment_matmul_naive(shape, &a, &b));
+    let (blocked_out, blocked_ms) = time_best(|| gemm::fragment_matmul(shape, &a, &b));
+    results.push(BenchResult {
+        kernel: "dense_gemm_execute".to_string(),
+        shape: format!("{s}x{s}x{s}"),
+        naive_ms,
+        blocked_ms,
+        bit_identical: bits_equal(&naive_out, &blocked_out),
+        headline: true,
+    });
+
+    // Headline 2: Shfl-BW SpMM execute at 70 % sparsity (density 0.30).
+    let (m, k, n, v) = if quick {
+        (128, 128, 64, 16)
+    } else {
+        (1024, 1024, 256, 64)
+    };
+    let shfl = synth::shfl_bw_matrix(7, m, k, v, 0.30);
+    let b = DenseMatrix::random(&mut rng, k, n);
+    let (naive_out, naive_ms) = time_best(|| {
+        reference::stitched_spmm_naive(&arch, shfl.vector_wise(), &b, shfl.row_indices())
+    });
+    let (blocked_out, blocked_ms) = time_best(|| {
+        shfl_bw_spmm_execute(&arch, &shfl, &b)
+            .expect("shapes match")
+            .output
+    });
+    results.push(BenchResult {
+        kernel: "shfl_bw_spmm_execute".to_string(),
+        shape: format!("{m}x{k}x{n} V={v} 70% sparse"),
+        naive_ms,
+        blocked_ms,
+        bit_identical: bits_equal(&naive_out, &blocked_out),
+        headline: true,
+    });
+
+    // Trajectory entries: the remaining kernels on moderate shapes.
+    let (m, k, n, v) = if quick {
+        (64, 64, 32, 8)
+    } else {
+        (512, 512, 128, 32)
+    };
+    let b = DenseMatrix::random(&mut rng, k, n);
+
+    let vw_dense = synth::vector_wise_dense(11, m, k, v, 0.30);
+    let vw = VectorWiseMatrix::from_dense(&vw_dense, v).expect("m divides v");
+    let identity: Vec<u32> = (0..m as u32).collect();
+    let (naive_out, naive_ms) =
+        time_best(|| reference::stitched_spmm_naive(&arch, &vw, &b, &identity));
+    let (blocked_out, blocked_ms) = time_best(|| {
+        vector_wise_spmm_execute(&arch, &vw, &b)
+            .expect("shapes match")
+            .output
+    });
+    results.push(BenchResult {
+        kernel: "vector_wise_spmm_execute".to_string(),
+        shape: format!("{m}x{k}x{n} V={v}"),
+        naive_ms,
+        blocked_ms,
+        bit_identical: bits_equal(&naive_out, &blocked_out),
+        headline: false,
+    });
+
+    let csr_dense = synth::unstructured_dense(13, m, k, 0.30);
+    let csr = CsrMatrix::from_dense(&csr_dense);
+    let (naive_out, naive_ms) = time_best(|| reference::csr_spmm_naive(&csr, &b));
+    let (blocked_out, blocked_ms) = time_best(|| {
+        cuda_core_spmm_execute(&arch, &csr, &b)
+            .expect("shapes match")
+            .output
+    });
+    results.push(BenchResult {
+        kernel: "cuda_core_spmm_execute".to_string(),
+        shape: format!("{m}x{k}x{n}"),
+        naive_ms,
+        blocked_ms,
+        bit_identical: bits_equal(&naive_out, &blocked_out),
+        headline: false,
+    });
+
+    let bsr: BlockSparseMatrix = synth::block_wise_matrix(17, m, k, v, 0.30);
+    let (naive_out, naive_ms) = time_best(|| reference::block_spmm_naive(&arch, &bsr, &b));
+    let (blocked_out, blocked_ms) = time_best(|| {
+        block_wise_spmm_execute(&arch, &bsr, &b)
+            .expect("shapes match")
+            .output
+    });
+    results.push(BenchResult {
+        kernel: "block_wise_spmm_execute".to_string(),
+        shape: format!("{m}x{k}x{n} V={v}"),
+        naive_ms,
+        blocked_ms,
+        bit_identical: bits_equal(&naive_out, &blocked_out),
+        headline: false,
+    });
+
+    let a100 = GpuArch::a100();
+    let bal = synth::balanced_matrix(19, m, k);
+    let (naive_out, naive_ms) = time_best(|| reference::balanced_spmm_naive(&a100, &bal, &b));
+    let (blocked_out, blocked_ms) = time_best(|| {
+        shfl_kernels::spmm::balanced_spmm_execute(&a100, &bal, &b)
+            .expect("supported on A100")
+            .output
+    });
+    results.push(BenchResult {
+        kernel: "balanced_spmm_execute".to_string(),
+        shape: format!("{m}x{k}x{n} 2:4"),
+        naive_ms,
+        blocked_ms,
+        bit_identical: bits_equal(&naive_out, &blocked_out),
+        headline: false,
+    });
+
+    // Implicit-GEMM convolution (ResNet-like layer, shrunk in quick mode).
+    let params = conv::Conv2dParams {
+        batch: if quick { 1 } else { 4 },
+        in_channels: if quick { 8 } else { 64 },
+        out_channels: if quick { 8 } else { 64 },
+        input_h: 14,
+        input_w: 14,
+        kernel_h: 3,
+        kernel_w: 3,
+        stride: 1,
+        padding: 1,
+    };
+    let (cm, _, ck) = params.implicit_gemm_shape();
+    let weights = DenseMatrix::random(&mut rng, cm, ck);
+    let input = conv::Tensor4::random(
+        &mut rng,
+        params.batch,
+        params.in_channels,
+        params.input_h,
+        params.input_w,
+    );
+    let (naive_out, naive_ms) =
+        time_best(|| reference::conv2d_dense_naive(&arch, &weights, &input, &params));
+    let (blocked_out, blocked_ms) = time_best(|| {
+        conv::conv2d_dense_execute(&arch, &weights, &input, &params)
+            .expect("geometry matches")
+            .0
+    });
+    results.push(BenchResult {
+        kernel: "conv2d_dense_execute".to_string(),
+        shape: format!(
+            "b{} {}->{} {}x{}",
+            params.batch, params.in_channels, params.out_channels, params.input_h, params.input_w
+        ),
+        naive_ms,
+        blocked_ms,
+        bit_identical: naive_out == blocked_out,
+        headline: false,
+    });
+
+    results
+}
+
+/// Renders the plain-text report table.
+pub fn to_table(results: &[BenchResult]) -> String {
+    let mut out = String::from(
+        "Kernel wall-clock: naive reference vs blocked engine\n\
+         kernel                     | shape                      | naive ms | blocked ms | speedup | bit-identical\n\
+         ---------------------------+----------------------------+----------+------------+---------+--------------\n",
+    );
+    for r in results {
+        out.push_str(&format!(
+            "{:26} | {:26} | {:8.2} | {:10.2} | {:6.1}x | {}{}\n",
+            r.kernel,
+            r.shape,
+            r.naive_ms,
+            r.blocked_ms,
+            r.speedup(),
+            r.bit_identical,
+            if r.headline {
+                "  [headline, target >=5x]"
+            } else {
+                ""
+            }
+        ));
+    }
+    out
+}
+
+/// Serialises the results as the `BENCH_kernels.json` document (hand-rolled
+/// JSON: the offline build has no serde).
+pub fn to_json(results: &[BenchResult]) -> String {
+    fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"shfl-bw-repro/bench-kernels/v1\",\n");
+    out.push_str(&format!(
+        "  \"threads\": {},\n",
+        std::thread::available_parallelism().map_or(1, usize::from)
+    ));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"shape\": \"{}\", \"naive_ms\": {:.3}, \
+             \"blocked_ms\": {:.3}, \"speedup\": {:.2}, \"bit_identical\": {}, \
+             \"headline\": {}}}{}\n",
+            esc(&r.kernel),
+            esc(&r.shape),
+            r.naive_ms,
+            r.blocked_ms,
+            r.speedup(),
+            r.bit_identical,
+            r.headline,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_is_bit_identical_and_json_is_well_formed() {
+        let results = run(true);
+        assert_eq!(results.len(), 7);
+        assert!(results.iter().all(|r| r.bit_identical), "{results:?}");
+        assert_eq!(results.iter().filter(|r| r.headline).count(), 2);
+        let json = to_json(&results);
+        assert!(json.contains("\"dense_gemm_execute\""));
+        assert!(json.contains("\"shfl_bw_spmm_execute\""));
+        // Balanced braces / brackets as a cheap well-formedness check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        let table = to_table(&results);
+        assert!(table.contains("headline"));
+    }
+}

@@ -2,12 +2,17 @@
 //!
 //! ```text
 //! repro [--experiment fig1|fig2|fig6|table1|ablation|analysis|headline|all]
+//! repro --bench-kernels [--bench-output BENCH_kernels.json]
 //! ```
 //!
 //! With no arguments every experiment is run. The output is plain text, one section
 //! per experiment, mirroring the rows/series the paper reports.
+//!
+//! `--bench-kernels` instead runs the wall-clock kernel benchmark (naive
+//! reference vs blocked engine, same run) and writes `BENCH_kernels.json`.
 
 use gpu_sim::GpuArch;
+use shfl_bench::bench_kernels;
 use shfl_bench::experiments::{ablation, analysis, fig1, fig2, fig6, table1};
 use std::env;
 use std::process::ExitCode;
@@ -55,9 +60,40 @@ fn print_analysis() {
     println!("{}", analysis::to_table(&analysis::run()));
 }
 
+/// Runs the wall-clock kernel benchmark and writes the JSON trajectory.
+fn run_bench_kernels(output_path: &str) -> ExitCode {
+    println!("Running the kernel wall-clock benchmark (naive vs blocked, same run)...");
+    let results = bench_kernels::run(false);
+    print!("{}", bench_kernels::to_table(&results));
+    let json = bench_kernels::to_json(&results);
+    if let Err(err) = std::fs::write(output_path, &json) {
+        eprintln!("error: cannot write {output_path}: {err}");
+        return ExitCode::FAILURE;
+    }
+    println!("\nwrote {output_path}");
+    let mut ok = true;
+    for r in results.iter().filter(|r| r.headline) {
+        let speedup = r.speedup();
+        if speedup < 5.0 || !r.bit_identical {
+            eprintln!(
+                "error: headline kernel {} ({}) missed its target: {speedup:.1}x, bit_identical={}",
+                r.kernel, r.shape, r.bit_identical
+            );
+            ok = false;
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().collect();
     let mut experiment = "all".to_string();
+    let mut bench_kernels_mode = false;
+    let mut bench_output = "BENCH_kernels.json".to_string();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -69,9 +105,22 @@ fn main() -> ExitCode {
                 experiment = args[i + 1].clone();
                 i += 2;
             }
+            "--bench-kernels" => {
+                bench_kernels_mode = true;
+                i += 1;
+            }
+            "--bench-output" => {
+                if i + 1 >= args.len() {
+                    eprintln!("error: --bench-output requires a value");
+                    return ExitCode::FAILURE;
+                }
+                bench_output = args[i + 1].clone();
+                i += 2;
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--experiment fig1|fig2|fig6|table1|ablation|analysis|headline|all]"
+                    "usage: repro [--experiment fig1|fig2|fig6|table1|ablation|analysis|headline|all]\n\
+                     \x20      repro --bench-kernels [--bench-output BENCH_kernels.json]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -80,6 +129,10 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+
+    if bench_kernels_mode {
+        return run_bench_kernels(&bench_output);
     }
 
     match experiment.as_str() {

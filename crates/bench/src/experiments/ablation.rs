@@ -12,8 +12,8 @@
 use crate::synth;
 use gpu_sim::GpuArch;
 use shfl_kernels::spmm::{
-    shfl_bw_spmm_profile, shfl_bw_spmm_profile_with, vector_wise_spmm_profile,
-    ShflBwKernelConfig, VectorWiseKernelConfig,
+    shfl_bw_spmm_profile, shfl_bw_spmm_profile_with, vector_wise_spmm_profile, ShflBwKernelConfig,
+    VectorWiseKernelConfig,
 };
 
 /// GEMM shape used by the ablations (a Transformer FFN layer at batch×seq = 1024).
@@ -119,7 +119,10 @@ pub fn to_table(
     let mut out = String::from("Kernel-design ablations (4096x1024x1024 GEMM, 75% sparsity)\n");
     out.push_str("\n(a) Row-shuffle overhead: Shfl-BW time / vector-wise time\n");
     for r in shuffle {
-        out.push_str(&format!("  {:5} V={:3}: {:.3}\n", r.gpu, r.v, r.shfl_over_vw));
+        out.push_str(&format!(
+            "  {:5} V={:3}: {:.3}\n",
+            r.gpu, r.v, r.shfl_over_vw
+        ));
     }
     out.push_str("\n(b) Metadata prefetch (Algorithm 1) vs naive pipeline\n");
     for r in prefetch {
@@ -133,7 +136,10 @@ pub fn to_table(
     }
     out.push_str("\n(c) Vector-size sweep (Shfl-BW kernel time)\n");
     for r in sweep {
-        out.push_str(&format!("  {:5} V={:3}: {:8.2} us\n", r.gpu, r.v, r.time_us));
+        out.push_str(&format!(
+            "  {:5} V={:3}: {:8.2} us\n",
+            r.gpu, r.v, r.time_us
+        ));
     }
     out
 }
@@ -184,7 +190,11 @@ mod tests {
 
     #[test]
     fn report_contains_all_sections() {
-        let table = to_table(&shuffle_overhead(), &prefetch_ablation(), &vector_size_sweep());
+        let table = to_table(
+            &shuffle_overhead(),
+            &prefetch_ablation(),
+            &vector_size_sweep(),
+        );
         assert!(table.contains("(a)") && table.contains("(b)") && table.contains("(c)"));
     }
 }

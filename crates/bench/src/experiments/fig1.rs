@@ -49,8 +49,9 @@ pub fn run(arch: &GpuArch) -> Vec<Fig1Row> {
             let sparsity = 1.0 - density;
             let cuda_sparse_t = layer_time_us(arch, m, n, k, 1, sparsity, KernelChoice::Sputnik)
                 .expect("CSR kernel always available");
-            let tensor_sparse_t = layer_time_us(arch, m, n, k, 1, sparsity, KernelChoice::ShflBw(64))
-                .expect("Shfl-BW kernel always available");
+            let tensor_sparse_t =
+                layer_time_us(arch, m, n, k, 1, sparsity, KernelChoice::ShflBw(64))
+                    .expect("Shfl-BW kernel always available");
             Fig1Row {
                 density,
                 tensor_core_dense: cuda_dense_t / tensor_dense_t,
@@ -101,9 +102,9 @@ mod tests {
         // Region B exists: there is a density range where the CUDA-core sparse kernel
         // already beats the CUDA-core dense GEMM but still trails the tensor-core
         // dense baseline (the paper's region between the two crossovers).
-        assert!(rows.iter().any(|r| {
-            r.cuda_core_sparse > 1.0 && r.cuda_core_sparse < r.tensor_core_dense
-        }));
+        assert!(rows
+            .iter()
+            .any(|r| { r.cuda_core_sparse > 1.0 && r.cuda_core_sparse < r.tensor_core_dense }));
 
         // Region C: the tensor-core sparse kernel beats the tensor-core dense baseline
         // already at 25% density (75% sparsity), the quality-acceptable regime.

@@ -66,8 +66,8 @@ pub fn run() -> Vec<Fig2Point> {
     for (label, pattern, kernel) in &configs {
         for &sparsity in &sparsities {
             let bleu = proxy.evaluate(*pattern, sparsity);
-            let speedup = model_speedup(&arch, DnnModel::Gnmt, BATCH, 1, sparsity, *kernel)
-                .unwrap_or(0.0);
+            let speedup =
+                model_speedup(&arch, DnnModel::Gnmt, BATCH, 1, sparsity, *kernel).unwrap_or(0.0);
             points.push(Fig2Point {
                 label: label.clone(),
                 sparsity,

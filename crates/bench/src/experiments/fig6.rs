@@ -53,8 +53,7 @@ pub fn run(quick: bool) -> Vec<Fig6Row> {
         for model in models {
             for &sparsity in &sparsity_list {
                 for kernel in &kernel_set {
-                    let speedup =
-                        model_speedup(arch, model, BATCH, SEQ_LEN, sparsity, *kernel);
+                    let speedup = model_speedup(arch, model, BATCH, SEQ_LEN, sparsity, *kernel);
                     rows.push(Fig6Row {
                         gpu: arch.name,
                         model: model.name(),
@@ -140,7 +139,10 @@ mod tests {
         let headline = headline_transformer_speedups();
         assert_eq!(headline.len(), 3);
         for (gpu, speedup) in &headline {
-            assert!(*speedup > 1.0, "{gpu}: headline speedup {speedup:.2} not > 1");
+            assert!(
+                *speedup > 1.0,
+                "{gpu}: headline speedup {speedup:.2} not > 1"
+            );
         }
         let v100 = headline[0].1;
         let t4 = headline[1].1;

@@ -192,8 +192,7 @@ pub fn model_speedup(
     let mut sparse_total = 0.0;
     for layer in &layers {
         let (m, n, k) = layer.kind.gemm_shape();
-        dense_total +=
-            layer_time_us(arch, m, n, k, layer.count, sparsity, KernelChoice::Dense)?;
+        dense_total += layer_time_us(arch, m, n, k, layer.count, sparsity, KernelChoice::Dense)?;
         sparse_total += layer_time_us(arch, m, n, k, layer.count, sparsity, kernel)?;
     }
     if sparse_total <= 0.0 {
@@ -230,8 +229,15 @@ mod tests {
     #[test]
     fn dense_speedup_is_one() {
         let arch = GpuArch::v100();
-        let s =
-            model_speedup(&arch, DnnModel::Transformer, 1, 32, 0.75, KernelChoice::Dense).unwrap();
+        let s = model_speedup(
+            &arch,
+            DnnModel::Transformer,
+            1,
+            32,
+            0.75,
+            KernelChoice::Dense,
+        )
+        .unwrap();
         assert!((s - 1.0).abs() < 1e-9);
     }
 
@@ -276,10 +282,8 @@ mod tests {
 
     #[test]
     fn figure6_set_includes_balanced_only_on_a100() {
-        assert!(KernelChoice::figure6_set(&GpuArch::a100())
-            .contains(&KernelChoice::Balanced2in4));
-        assert!(!KernelChoice::figure6_set(&GpuArch::v100())
-            .contains(&KernelChoice::Balanced2in4));
+        assert!(KernelChoice::figure6_set(&GpuArch::a100()).contains(&KernelChoice::Balanced2in4));
+        assert!(!KernelChoice::figure6_set(&GpuArch::v100()).contains(&KernelChoice::Balanced2in4));
     }
 
     #[test]

@@ -66,9 +66,7 @@ pub fn run() -> Vec<Table1Row> {
 
 /// Formats the rows as a text table shaped like the paper's Table 1.
 pub fn to_table(rows: &[Table1Row]) -> String {
-    let mut out = String::from(
-        "Table 1: quality of pruned models (proxy) per sparse pattern\n",
-    );
+    let mut out = String::from("Table 1: quality of pruned models (proxy) per sparse pattern\n");
     out.push_str("sparsity  pattern        Transformer(BLEU)  GNMT(BLEU)  ResNet50(Top-1 %)\n");
     for r in rows {
         out.push_str(&format!(

@@ -15,10 +15,15 @@
 //! The `repro` binary runs any subset (`repro --experiment fig6`), and one Criterion
 //! bench per experiment wraps the same runners so `cargo bench` regenerates every
 //! figure and table.
+//!
+//! Beyond the paper's figures, [`bench_kernels`] times the functional kernels'
+//! naive reference paths against the blocked engine and emits the
+//! `BENCH_kernels.json` performance trajectory (`repro --bench-kernels`).
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod bench_kernels;
 pub mod experiments;
 pub mod synth;
 

@@ -8,7 +8,9 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use shfl_core::formats::{BalancedMatrix, BlockSparseMatrix, CsrMatrix, ShflBwMatrix, VectorWiseMatrix};
+use shfl_core::formats::{
+    BalancedMatrix, BlockSparseMatrix, CsrMatrix, ShflBwMatrix, VectorWiseMatrix,
+};
 use shfl_core::matrix::DenseMatrix;
 
 /// Rounds a dimension up to a multiple of `v` so every pattern granularity divides it.
@@ -42,7 +44,11 @@ pub fn vector_wise_dense(seed: u64, m: usize, k: usize, v: usize, density: f64) 
     let m = pad_to_multiple(m, v);
     let groups = m / v;
     let keep: Vec<Vec<bool>> = (0..groups)
-        .map(|_| (0..k).map(|_| rng.gen_bool(density.clamp(0.0, 1.0))).collect())
+        .map(|_| {
+            (0..k)
+                .map(|_| rng.gen_bool(density.clamp(0.0, 1.0)))
+                .collect()
+        })
         .collect();
     DenseMatrix::from_fn(m, k, |r, c| {
         if keep[r / v][c] {
@@ -54,7 +60,13 @@ pub fn vector_wise_dense(seed: u64, m: usize, k: usize, v: usize, density: f64) 
 }
 
 /// A vector-wise matrix with the given structure parameters.
-pub fn vector_wise_matrix(seed: u64, m: usize, k: usize, v: usize, density: f64) -> VectorWiseMatrix {
+pub fn vector_wise_matrix(
+    seed: u64,
+    m: usize,
+    k: usize,
+    v: usize,
+    density: f64,
+) -> VectorWiseMatrix {
     VectorWiseMatrix::from_dense(&vector_wise_dense(seed, m, k, v, density), v)
         .expect("padded dimensions divide v")
 }
@@ -69,7 +81,13 @@ pub fn shfl_bw_matrix(seed: u64, m: usize, k: usize, v: usize, density: f64) -> 
 }
 
 /// A block-sparse matrix with random `v×v` blocks kept at the given density.
-pub fn block_wise_matrix(seed: u64, m: usize, k: usize, v: usize, density: f64) -> BlockSparseMatrix {
+pub fn block_wise_matrix(
+    seed: u64,
+    m: usize,
+    k: usize,
+    v: usize,
+    density: f64,
+) -> BlockSparseMatrix {
     let mut rng = StdRng::seed_from_u64(seed);
     let m = pad_to_multiple(m, v);
     let k = pad_to_multiple(k, v);

@@ -22,14 +22,14 @@ use crate::pattern::SparsePattern;
 pub fn ln_gamma(x: f64) -> f64 {
     // Lanczos coefficients for g = 7, n = 9.
     const COEFFS: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
         -1_259.139_216_722_402_8,
-        771.323_428_777_653_13,
+        771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
         -0.138_571_095_265_720_12,
-        9.984_369_578_019_571_6e-6,
+        9.984_369_578_019_572e-6,
         1.505_632_735_149_311_6e-7,
     ];
     if x < 0.5 {
@@ -67,7 +67,7 @@ pub fn ln_binomial(n: u64, k: u64) -> f64 {
 /// Returns 0.0 (a single candidate) when `v` does not divide `m` or either is zero,
 /// since no shuffling freedom exists in that case.
 pub fn ln_row_shuffle_candidates(m: u64, v: u64) -> f64 {
-    if v == 0 || m == 0 || m % v != 0 {
+    if v == 0 || m == 0 || !m.is_multiple_of(v) {
         return 0.0;
     }
     ln_factorial(m) - (m / v) as f64 * ln_factorial(v)
@@ -101,7 +101,7 @@ pub fn ln_candidate_structures(
             ln_binomial(total, kept)
         }
         SparsePattern::BlockWise { v } => {
-            if v == 0 || rows % v != 0 || cols % v != 0 {
+            if v == 0 || !rows.is_multiple_of(v) || !cols.is_multiple_of(v) {
                 return 0.0;
             }
             let blocks = (rows_u / v as u64) * (cols_u / v as u64);
@@ -109,7 +109,7 @@ pub fn ln_candidate_structures(
             ln_binomial(blocks, kept)
         }
         SparsePattern::VectorWise { v } => {
-            if v == 0 || rows % v != 0 {
+            if v == 0 || !rows.is_multiple_of(v) {
                 return 0.0;
             }
             let groups = rows_u / v as u64;
@@ -117,7 +117,7 @@ pub fn ln_candidate_structures(
             groups as f64 * ln_binomial(cols_u, kept_cols)
         }
         SparsePattern::Balanced { m, n } => {
-            if n == 0 || cols % n != 0 {
+            if n == 0 || !cols.is_multiple_of(n) {
                 return 0.0;
             }
             let groups = rows_u * (cols_u / n as u64);
@@ -250,10 +250,8 @@ mod tests {
         // unstructured > Shfl-BW > vector-wise > block-wise at the same density.
         let (rows, cols, density) = (512, 512, 0.25);
         let un = ln_candidate_structures(SparsePattern::Unstructured, rows, cols, density);
-        let shfl =
-            ln_candidate_structures(SparsePattern::ShflBw { v: 32 }, rows, cols, density);
-        let vw =
-            ln_candidate_structures(SparsePattern::VectorWise { v: 32 }, rows, cols, density);
+        let shfl = ln_candidate_structures(SparsePattern::ShflBw { v: 32 }, rows, cols, density);
+        let vw = ln_candidate_structures(SparsePattern::VectorWise { v: 32 }, rows, cols, density);
         let bw = ln_candidate_structures(SparsePattern::BlockWise { v: 32 }, rows, cols, density);
         assert!(un > shfl, "unstructured {un} vs shfl {shfl}");
         assert!(shfl > vw, "shfl {shfl} vs vw {vw}");
@@ -278,7 +276,10 @@ mod tests {
                 SparsePattern::ShflBw { v },
             ] {
                 let r = max_reuse(pattern, 0.25, REGFILE);
-                assert!((r - dense).abs() < 1e-9, "{pattern} reuse {r} vs dense {dense}");
+                assert!(
+                    (r - dense).abs() < 1e-9,
+                    "{pattern} reuse {r} vs dense {dense}"
+                );
             }
         }
     }
@@ -318,9 +319,7 @@ mod tests {
         assert_eq!(rows[2].pattern, SparsePattern::ShflBw { v: 32 });
         // Shfl-BW matches block-wise reuse at the same V (the paper's claim) while
         // being strictly more flexible.
-        assert!(
-            (rows[2].max_reuse_flop_per_byte - rows[1].max_reuse_flop_per_byte).abs() < 1e-9
-        );
+        assert!((rows[2].max_reuse_flop_per_byte - rows[1].max_reuse_flop_per_byte).abs() < 1e-9);
         assert!(rows[2].ln_candidates > rows[1].ln_candidates);
         assert!(rows[0].ln_candidates > rows[2].ln_candidates);
     }

@@ -1,0 +1,162 @@
+//! Software IEEE 754 binary16 (fp16) rounding.
+//!
+//! The simulated kernels store operands as `f32` but mimic half-precision
+//! inputs by rounding every operand through fp16 on the way into the MMA
+//! pipeline. This module owns the conversion so that both the GPU substrate
+//! simulator (`gpu-sim`, which re-exports [`round_to_f16`] from its `mma`
+//! module) and [`crate::matrix::DenseMatrix::as_f16_rounded`] — the whole-matrix
+//! pre-pass the blocked kernels use to hoist rounding out of their inner loops —
+//! share one implementation.
+
+/// Rounds an `f32` value through IEEE 754 binary16 and back, mimicking the
+/// precision loss of storing kernel operands in fp16.
+///
+/// Values whose magnitude exceeds the fp16 range saturate to ±65504; subnormals
+/// are flushed following round-to-nearest-even semantics of the conversion.
+pub fn round_to_f16(value: f32) -> f32 {
+    f32::from(half_from_f32(value))
+}
+
+/// Minimal software fp16 conversion (round-to-nearest-even), returning the
+/// decoded value as `f32` via the bit pattern.
+fn half_from_f32(value: f32) -> HalfBits {
+    let bits = value.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let mant = bits & 0x007f_ffff;
+
+    if exp == 0xff {
+        // Inf / NaN.
+        let mant16 = if mant != 0 { 0x200 } else { 0 };
+        return HalfBits(sign | 0x7c00 | mant16);
+    }
+
+    // Re-bias from 127 to 15.
+    let unbiased = exp - 127;
+    let new_exp = unbiased + 15;
+
+    if new_exp >= 0x1f {
+        // Overflow: saturate to the largest finite fp16 value rather than infinity,
+        // matching the saturating behaviour most DNN frameworks configure.
+        return HalfBits(sign | 0x7bff);
+    }
+    if new_exp <= 0 {
+        // Subnormal or underflow to zero.
+        if new_exp < -10 {
+            return HalfBits(sign);
+        }
+        let full_mant = mant | 0x0080_0000;
+        let shift = (14 - new_exp) as u32;
+        let half_mant = full_mant >> shift;
+        // Round to nearest even.
+        let round_bit = 1u32 << (shift - 1);
+        let rounded = if (full_mant & round_bit) != 0
+            && ((full_mant & (round_bit - 1)) != 0 || (half_mant & 1) != 0)
+        {
+            half_mant + 1
+        } else {
+            half_mant
+        };
+        return HalfBits(sign | rounded as u16);
+    }
+
+    // Normalised result; round mantissa from 23 to 10 bits (nearest even).
+    let mant10 = mant >> 13;
+    let round_bit = mant & 0x0000_1000;
+    let sticky = mant & 0x0000_0fff;
+    let mut half = (new_exp as u16) << 10 | mant10 as u16;
+    if round_bit != 0 && (sticky != 0 || (half & 1) != 0) {
+        half = half.wrapping_add(1);
+        if half & 0x7c00 == 0x7c00 {
+            // Rounded up into the infinity encoding: saturate.
+            half = 0x7bff;
+        }
+    }
+    HalfBits(sign | half)
+}
+
+/// Raw fp16 bits produced by [`half_from_f32`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct HalfBits(u16);
+
+impl From<HalfBits> for f32 {
+    fn from(h: HalfBits) -> f32 {
+        let bits = h.0 as u32;
+        let sign = (bits & 0x8000) << 16;
+        let exp = (bits >> 10) & 0x1f;
+        let mant = bits & 0x03ff;
+        let out = if exp == 0 {
+            if mant == 0 {
+                sign
+            } else {
+                // Subnormal: normalise.
+                let mut exp32 = 127 - 15 - 10;
+                let mut m = mant;
+                while m & 0x0400 == 0 {
+                    m <<= 1;
+                    exp32 -= 1;
+                }
+                m &= 0x03ff;
+                sign | (((exp32 + 1 + 10) as u32) << 23) | (m << 13)
+            }
+        } else if exp == 0x1f {
+            sign | 0x7f80_0000 | (mant << 13)
+        } else {
+            sign | ((exp + 127 - 15) << 23) | (mant << 13)
+        };
+        f32::from_bits(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_representable_values() {
+        for v in [0.0f32, 1.0, -1.0, 0.5, 2.0, 1024.0, -0.25, 65504.0] {
+            assert_eq!(
+                round_to_f16(v),
+                v,
+                "value {v} should be exactly representable"
+            );
+        }
+    }
+
+    #[test]
+    fn rounding_introduces_bounded_error() {
+        let v = 0.1f32;
+        let r = round_to_f16(v);
+        assert!((r - v).abs() < 1e-3);
+        // Large values saturate instead of becoming infinite.
+        assert!(round_to_f16(1e9).is_finite());
+        assert!(round_to_f16(1e9) <= 65504.0);
+    }
+
+    #[test]
+    fn handles_negative_and_subnormal() {
+        let v = -std::f32::consts::PI;
+        assert!((round_to_f16(v) - v).abs() < 2e-3);
+        let tiny = 1e-6f32;
+        let r = round_to_f16(tiny);
+        assert!((0.0..1e-5).contains(&r));
+    }
+
+    #[test]
+    fn rounding_is_idempotent() {
+        for i in 0..10_000u32 {
+            let v = f32::from_bits(0x3f00_0000 ^ i.wrapping_mul(2_654_435_761));
+            if !v.is_finite() {
+                continue;
+            }
+            let once = round_to_f16(v);
+            assert_eq!(once.to_bits(), round_to_f16(once).to_bits(), "value {v}");
+        }
+    }
+
+    #[test]
+    fn preserves_zero_signs() {
+        assert_eq!(round_to_f16(0.0).to_bits(), 0.0f32.to_bits());
+        assert_eq!(round_to_f16(-0.0).to_bits(), (-0.0f32).to_bits());
+    }
+}

@@ -62,7 +62,11 @@ impl CsrMatrix {
     ) -> Result<Self> {
         if row_ptr.len() != rows + 1 {
             return Err(Error::ShapeMismatch {
-                context: format!("row_ptr length {} != rows + 1 = {}", row_ptr.len(), rows + 1),
+                context: format!(
+                    "row_ptr length {} != rows + 1 = {}",
+                    row_ptr.len(),
+                    rows + 1
+                ),
             });
         }
         if col_idx.len() != values.len() {

@@ -53,9 +53,10 @@ impl ShflBwMatrix {
             });
         }
         let mask = BinaryMask::from_nonzeros(dense);
-        let perm = shfl_bw_grouping_permutation(&mask, v).ok_or_else(|| Error::PatternViolation {
-            context: format!("matrix is not Shfl-BW for V={v}: no grouping permutation exists"),
-        })?;
+        let perm =
+            shfl_bw_grouping_permutation(&mask, v).ok_or_else(|| Error::PatternViolation {
+                context: format!("matrix is not Shfl-BW for V={v}: no grouping permutation exists"),
+            })?;
         Self::from_dense_with_permutation(dense, &perm, v)
     }
 
@@ -266,13 +267,17 @@ mod tests {
 
     #[test]
     fn identity_permutation_equals_vector_wise_storage() {
-        let dense = DenseMatrix::from_fn(4, 4, |r, c| {
-            if c % 2 == 0 {
-                (r + c + 1) as f32
-            } else {
-                0.0
-            }
-        });
+        let dense = DenseMatrix::from_fn(
+            4,
+            4,
+            |r, c| {
+                if c % 2 == 0 {
+                    (r + c + 1) as f32
+                } else {
+                    0.0
+                }
+            },
+        );
         let perm: Vec<usize> = (0..4).collect();
         let shfl = ShflBwMatrix::from_dense_with_permutation(&dense, &perm, 2).unwrap();
         let vw = VectorWiseMatrix::from_dense(&dense, 2).unwrap();

@@ -205,7 +205,7 @@ mod tests {
 
     fn vector_wise_dense(groups: usize, v: usize, cols: usize, keep_every: usize) -> DenseMatrix {
         DenseMatrix::from_fn(groups * v, cols, |r, c| {
-            if (c + (r / v)) % keep_every == 0 {
+            if (c + (r / v)).is_multiple_of(keep_every) {
                 (r * cols + c + 1) as f32
             } else {
                 0.0

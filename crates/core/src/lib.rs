@@ -13,7 +13,11 @@
 //!   original row indices used by the reordered write-back),
 //! * [`analysis`] — the §3.2 flexibility (candidate counting) and computation
 //!   efficiency (operation intensity / data reuse) analysis,
-//! * [`tiling`] — threadblock tile configurations shared with the simulated kernels.
+//! * [`tiling`] — threadblock tile configurations shared with the simulated kernels,
+//! * [`f16`] — the software fp16 rounding shared by the MMA model and the
+//!   [`matrix::DenseMatrix::as_f16_rounded`] whole-matrix pre-pass,
+//! * [`parallel`] — the fork-join chunk helper the blocked kernels use to spread
+//!   output row-tiles across cores (gated on the default `parallel` feature).
 //!
 //! ## Example: compress a Shfl-BW matrix and inspect its structure
 //!
@@ -40,9 +44,11 @@
 
 pub mod analysis;
 pub mod error;
+pub mod f16;
 pub mod formats;
 pub mod mask;
 pub mod matrix;
+pub mod parallel;
 pub mod pattern;
 pub mod tiling;
 

@@ -314,9 +314,12 @@ mod tests {
 
     #[test]
     fn hamming_distance_counts_differences() {
-        let mask =
-            BinaryMask::from_vec(2, 4, vec![true, true, false, false, true, false, false, true])
-                .unwrap();
+        let mask = BinaryMask::from_vec(
+            2,
+            4,
+            vec![true, true, false, false, true, false, false, true],
+        )
+        .unwrap();
         assert_eq!(mask.row_hamming_distance(0, 1), 2);
         assert_eq!(mask.row_hamming_distance(0, 0), 0);
     }

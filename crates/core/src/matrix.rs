@@ -127,6 +127,61 @@ impl DenseMatrix {
         &mut self.data[row * self.cols..(row + 1) * self.cols]
     }
 
+    /// Borrow of `num_rows` consecutive rows starting at `start_row` as one
+    /// contiguous row-major slice (`num_rows * cols` elements).
+    ///
+    /// This is the accessor the blocked kernels stage whole row-tiles with:
+    /// one bounds check per tile instead of one per element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start_row + num_rows > rows`.
+    #[inline]
+    pub fn rows_chunk(&self, start_row: usize, num_rows: usize) -> &[f32] {
+        assert!(
+            start_row + num_rows <= self.rows,
+            "row chunk {start_row}..{} out of bounds for {} rows",
+            start_row + num_rows,
+            self.rows
+        );
+        &self.data[start_row * self.cols..(start_row + num_rows) * self.cols]
+    }
+
+    /// Mutable borrow of `num_rows` consecutive rows starting at `start_row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start_row + num_rows > rows`.
+    #[inline]
+    pub fn rows_chunk_mut(&mut self, start_row: usize, num_rows: usize) -> &mut [f32] {
+        assert!(
+            start_row + num_rows <= self.rows,
+            "row chunk {start_row}..{} out of bounds for {} rows",
+            start_row + num_rows,
+            self.rows
+        );
+        &mut self.data[start_row * self.cols..(start_row + num_rows) * self.cols]
+    }
+
+    /// Returns a copy with every element rounded through fp16
+    /// ([`crate::f16::round_to_f16`]).
+    ///
+    /// The blocked kernels call this once per operand matrix before entering
+    /// their main loops, hoisting the (expensive, software) fp16 conversion out
+    /// of the per-fragment hot path. Rounding is element-wise, so pre-rounding a
+    /// whole matrix is bit-identical to rounding each operand at use time.
+    pub fn as_f16_rounded(&self) -> DenseMatrix {
+        DenseMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .map(|v| crate::f16::round_to_f16(*v))
+                .collect(),
+        }
+    }
+
     /// Borrow of the underlying row-major data.
     pub fn as_slice(&self) -> &[f32] {
         &self.data
@@ -199,7 +254,11 @@ impl DenseMatrix {
 
     /// Frobenius norm.
     pub fn frobenius_norm(&self) -> f64 {
-        self.data.iter().map(|v| f64::from(*v) * f64::from(*v)).sum::<f64>().sqrt()
+        self.data
+            .iter()
+            .map(|v| f64::from(*v) * f64::from(*v))
+            .sum::<f64>()
+            .sqrt()
     }
 
     /// Sum of all elements (as `f64` for accuracy).
@@ -256,33 +315,37 @@ impl DenseMatrix {
     /// Reference matrix-matrix product `self · rhs` computed in `f64` accumulation.
     /// This is the golden model every simulated kernel is verified against.
     ///
+    /// The implementation is blocked over output rows: every row of the result
+    /// only depends on one row of `self` and all of `rhs`, so rows are computed
+    /// as independent slice-level AXPY sweeps (skipping zero weights, which makes
+    /// the reference cheap on pruned matrices) and distributed across cores via
+    /// [`crate::parallel::par_chunks_mut`]. The per-element accumulation order is
+    /// identical to the historical scalar triple loop, so results are unchanged.
+    ///
     /// # Errors
     ///
     /// Returns [`Error::ShapeMismatch`] if `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &DenseMatrix) -> Result<DenseMatrix> {
         if self.cols != rhs.rows {
             return Err(Error::ShapeMismatch {
-                context: format!(
-                    "matmul of {:?} by {:?}",
-                    self.shape(),
-                    rhs.shape()
-                ),
+                context: format!("matmul of {:?} by {:?}", self.shape(), rhs.shape()),
             });
         }
-        let mut out = DenseMatrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for p in 0..self.cols {
-                let a = f64::from(self.data[i * self.cols + p]);
+        let n = rhs.cols;
+        let mut out = DenseMatrix::zeros(self.rows, n);
+        crate::parallel::par_chunks_mut_weighted(&mut out.data, n, self.cols, |i, out_row| {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            for (p, &a) in a_row.iter().enumerate() {
+                let a = f64::from(a);
                 if a == 0.0 {
                     continue;
                 }
-                for j in 0..rhs.cols {
-                    let prev = f64::from(out.data[i * rhs.cols + j]);
-                    out.data[i * rhs.cols + j] =
-                        (prev + a * f64::from(rhs.data[p * rhs.cols + j])) as f32;
+                let b_row = &rhs.data[p * n..(p + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o = (f64::from(*o) + a * f64::from(b)) as f32;
                 }
             }
-        }
+        });
         Ok(out)
     }
 }
@@ -346,7 +409,13 @@ mod tests {
     #[test]
     fn from_vec_rejects_bad_length() {
         let err = DenseMatrix::from_vec(2, 3, vec![1.0; 5]).unwrap_err();
-        assert!(matches!(err, Error::DimensionMismatch { expected: 6, actual: 5 }));
+        assert!(matches!(
+            err,
+            Error::DimensionMismatch {
+                expected: 6,
+                actual: 5
+            }
+        ));
     }
 
     #[test]
@@ -428,6 +497,53 @@ mod tests {
         let b = DenseMatrix::random(&mut rng2, 8, 8);
         assert_eq!(a, b);
         assert!(a.as_slice().iter().all(|v| (-1.0..1.0).contains(v)));
+    }
+
+    #[test]
+    fn rows_chunk_matches_row_accessor() {
+        let m = DenseMatrix::from_fn(6, 4, |r, c| (r * 4 + c) as f32);
+        assert_eq!(m.rows_chunk(2, 3), &m.as_slice()[8..20]);
+        assert_eq!(m.rows_chunk(0, 0), &[] as &[f32]);
+        let mut m2 = m.clone();
+        m2.rows_chunk_mut(1, 2).iter_mut().for_each(|v| *v = 0.0);
+        assert_eq!(m2.row(1), &[0.0; 4]);
+        assert_eq!(m2.row(3), m.row(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn rows_chunk_rejects_overflow() {
+        DenseMatrix::zeros(3, 2).rows_chunk(2, 2);
+    }
+
+    #[test]
+    fn as_f16_rounded_matches_elementwise_rounding() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let m = DenseMatrix::random(&mut rng, 13, 7);
+        let rounded = m.as_f16_rounded();
+        for r in 0..13 {
+            for c in 0..7 {
+                assert_eq!(
+                    rounded.get(r, c).to_bits(),
+                    crate::f16::round_to_f16(m.get(r, c)).to_bits()
+                );
+            }
+        }
+        // Idempotent: a pre-rounded matrix re-rounds to itself bit-exactly.
+        assert_eq!(rounded.as_f16_rounded(), rounded);
+    }
+
+    #[test]
+    fn matmul_handles_degenerate_shapes() {
+        let a = DenseMatrix::zeros(0, 3);
+        let b = DenseMatrix::zeros(3, 4);
+        assert_eq!(a.matmul(&b).unwrap().shape(), (0, 4));
+        let a = DenseMatrix::zeros(2, 0);
+        let b = DenseMatrix::zeros(0, 4);
+        assert_eq!(a.matmul(&b).unwrap(), DenseMatrix::zeros(2, 4));
+        let a = DenseMatrix::zeros(2, 3);
+        let b = DenseMatrix::zeros(3, 0);
+        assert_eq!(a.matmul(&b).unwrap().shape(), (2, 0));
     }
 
     #[test]

@@ -190,7 +190,7 @@ pub fn is_shfl_bw(mask: &BinaryMask, v: usize) -> bool {
         return false;
     }
     let rows = mask.rows();
-    if rows % v != 0 {
+    if !rows.is_multiple_of(v) {
         return false;
     }
     let mut counts: HashMap<Vec<bool>, usize> = HashMap::new();
@@ -273,40 +273,20 @@ mod tests {
 
     #[test]
     fn block_wise_detection() {
-        let good = mask_from_rows(&[
-            &[1, 1, 0, 0],
-            &[1, 1, 0, 0],
-            &[0, 0, 1, 1],
-            &[0, 0, 1, 1],
-        ]);
+        let good = mask_from_rows(&[&[1, 1, 0, 0], &[1, 1, 0, 0], &[0, 0, 1, 1], &[0, 0, 1, 1]]);
         assert!(is_block_wise(&good, 2));
-        let bad = mask_from_rows(&[
-            &[1, 1, 0, 0],
-            &[1, 0, 0, 0],
-            &[0, 0, 1, 1],
-            &[0, 0, 1, 1],
-        ]);
+        let bad = mask_from_rows(&[&[1, 1, 0, 0], &[1, 0, 0, 0], &[0, 0, 1, 1], &[0, 0, 1, 1]]);
         assert!(!is_block_wise(&bad, 2));
         assert!(!is_block_wise(&good, 0));
     }
 
     #[test]
     fn vector_wise_detection() {
-        let good = mask_from_rows(&[
-            &[1, 0, 1, 0],
-            &[1, 0, 1, 0],
-            &[0, 1, 0, 0],
-            &[0, 1, 0, 0],
-        ]);
+        let good = mask_from_rows(&[&[1, 0, 1, 0], &[1, 0, 1, 0], &[0, 1, 0, 0], &[0, 1, 0, 0]]);
         assert!(is_vector_wise(&good, 2));
         // Vector-wise is weaker than block-wise: columns need not be contiguous.
         assert!(!is_block_wise(&good, 2));
-        let bad = mask_from_rows(&[
-            &[1, 0, 1, 0],
-            &[1, 1, 1, 0],
-            &[0, 1, 0, 0],
-            &[0, 1, 0, 0],
-        ]);
+        let bad = mask_from_rows(&[&[1, 0, 1, 0], &[1, 1, 1, 0], &[0, 1, 0, 0], &[0, 1, 0, 0]]);
         assert!(!is_vector_wise(&bad, 2));
     }
 
@@ -324,32 +304,17 @@ mod tests {
     fn shfl_bw_detection_with_scattered_rows() {
         // Rows 0 and 2 share a pattern, rows 1 and 3 share another: valid for V=2 even
         // though equal rows are not adjacent (this is exactly Figure 3(b)).
-        let mask = mask_from_rows(&[
-            &[1, 0, 1, 0],
-            &[0, 1, 0, 1],
-            &[1, 0, 1, 0],
-            &[0, 1, 0, 1],
-        ]);
+        let mask = mask_from_rows(&[&[1, 0, 1, 0], &[0, 1, 0, 1], &[1, 0, 1, 0], &[0, 1, 0, 1]]);
         assert!(is_shfl_bw(&mask, 2));
         assert!(!is_vector_wise(&mask, 2));
         // Three distinct patterns with multiplicity 1 cannot form groups of 2.
-        let bad = mask_from_rows(&[
-            &[1, 0, 0, 0],
-            &[0, 1, 0, 0],
-            &[0, 0, 1, 0],
-            &[0, 0, 1, 0],
-        ]);
+        let bad = mask_from_rows(&[&[1, 0, 0, 0], &[0, 1, 0, 0], &[0, 0, 1, 0], &[0, 0, 1, 0]]);
         assert!(!is_shfl_bw(&bad, 2));
     }
 
     #[test]
     fn shfl_bw_allows_all_pruned_rows_to_form_their_own_groups() {
-        let mask = mask_from_rows(&[
-            &[1, 0, 1, 0],
-            &[0, 0, 0, 0],
-            &[1, 0, 1, 0],
-            &[0, 0, 0, 0],
-        ]);
+        let mask = mask_from_rows(&[&[1, 0, 1, 0], &[0, 0, 0, 0], &[1, 0, 1, 0], &[0, 0, 0, 0]]);
         assert!(is_shfl_bw(&mask, 2));
     }
 
@@ -361,12 +326,7 @@ mod tests {
 
     #[test]
     fn grouping_permutation_produces_vector_wise_mask() {
-        let mask = mask_from_rows(&[
-            &[1, 0, 1, 0],
-            &[0, 1, 0, 1],
-            &[1, 0, 1, 0],
-            &[0, 1, 0, 1],
-        ]);
+        let mask = mask_from_rows(&[&[1, 0, 1, 0], &[0, 1, 0, 1], &[1, 0, 1, 0], &[0, 1, 0, 1]]);
         let perm = shfl_bw_grouping_permutation(&mask, 2).expect("pattern is Shfl-BW");
         let grouped = mask.permuted_rows(&perm).unwrap();
         assert!(is_vector_wise(&grouped, 2));

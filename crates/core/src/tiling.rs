@@ -86,9 +86,21 @@ impl fmt::Display for TileConfig {
 /// shrinking the default 128×128 tile when the problem is smaller than one tile in a
 /// dimension (as a tuned library would).
 pub fn select_dense_tile(m: usize, n: usize, k: usize) -> TileConfig {
-    let tm = if m >= 128 { 128 } else { m.next_power_of_two().clamp(16, 128) };
-    let tn = if n >= 128 { 128 } else { n.next_power_of_two().clamp(16, 128) };
-    let tk = if k >= 32 { 32 } else { k.next_power_of_two().clamp(16, 32) };
+    let tm = if m >= 128 {
+        128
+    } else {
+        m.next_power_of_two().clamp(16, 128)
+    };
+    let tn = if n >= 128 {
+        128
+    } else {
+        n.next_power_of_two().clamp(16, 128)
+    };
+    let tk = if k >= 32 {
+        32
+    } else {
+        k.next_power_of_two().clamp(16, 32)
+    };
     TileConfig { tm, tn, tk }
 }
 
@@ -97,7 +109,11 @@ pub fn select_dense_tile(m: usize, n: usize, k: usize) -> TileConfig {
 /// rows share a column pattern), the width is up to 128 columns, and the reduction
 /// step is the paper's "V×16 or larger" stitched tile.
 pub fn select_vector_wise_tile(v: usize, n: usize) -> TileConfig {
-    let tn = if n >= 128 { 128 } else { n.next_power_of_two().clamp(8, 128) };
+    let tn = if n >= 128 {
+        128
+    } else {
+        n.next_power_of_two().clamp(8, 128)
+    };
     TileConfig {
         tm: v.max(1),
         tn,

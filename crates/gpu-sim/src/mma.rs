@@ -2,9 +2,30 @@
 //!
 //! The paper's kernels are built around the Volta/Turing/Ampere half-precision MMA
 //! instruction with granularity `M/N/K = 16/8/16` (§2.1). This module provides the
-//! fragment shapes and a functional warp-level MMA used by the simulated kernels in
-//! `shfl-kernels`. Operands are stored as `f32` in the simulator but can be rounded
-//! through fp16 on the way in to mimic half-precision inputs with fp32 accumulation.
+//! fragment shapes and the warp-level MMA building blocks used by the simulated
+//! kernels in `shfl-kernels`. Operands are stored as `f32` in the simulator but can
+//! be rounded through fp16 on the way in to mimic half-precision inputs with fp32
+//! accumulation.
+//!
+//! The execution model is split the way the blocked kernels consume it:
+//!
+//! * [`warp_mma`] — the boundary-tolerant entry point: complete, padded fragments
+//!   with optional fp16 rounding. Rounding is hoisted out of the `m·n·k` inner loop
+//!   by pre-rounding each operand fragment once — bit-identical to rounding every
+//!   element at its point of use, because the conversion is element-wise.
+//! * [`warp_mma_prerounded`] — the same arithmetic for operands that were already
+//!   rounded (e.g. by [`shfl_core::matrix::DenseMatrix::as_f16_rounded`]); no
+//!   rounding, no padding logic.
+//! * [`mma_row_block`] — the interior fast path: a staged `rows×kk` A-fragment
+//!   times `kk` full-width rows of a pre-rounded B, accumulated into full-width
+//!   output rows via contiguous-slice AXPY sweeps. No padding checks, no rounding,
+//!   and the innermost loop runs over whole rows so it vectorises.
+//!
+//! All three accumulate each output element in ascending-`k` order with a single
+//! `f32` accumulator, so any decomposition of a GEMM into these calls that visits
+//! `k` in ascending order produces bit-identical results.
+
+pub use shfl_core::f16::round_to_f16;
 
 /// Tensor-core MMA instruction shapes relevant to the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -73,143 +94,103 @@ impl MmaShape {
     }
 }
 
-/// Rounds an `f32` value through IEEE 754 binary16 and back, mimicking the precision
-/// loss of storing kernel operands in fp16.
-///
-/// Values whose magnitude exceeds the fp16 range saturate to ±65504; subnormals are
-/// flushed following round-to-nearest-even semantics of the conversion.
-pub fn round_to_f16(value: f32) -> f32 {
-    f32::from(half_from_f32(value))
-}
-
-/// Minimal software fp16 conversion (round-to-nearest-even), returning the decoded
-/// value as `f32` via the bit pattern.
-fn half_from_f32(value: f32) -> HalfBits {
-    let bits = value.to_bits();
-    let sign = ((bits >> 16) & 0x8000) as u16;
-    let exp = ((bits >> 23) & 0xff) as i32;
-    let mant = bits & 0x007f_ffff;
-
-    if exp == 0xff {
-        // Inf / NaN.
-        let mant16 = if mant != 0 { 0x200 } else { 0 };
-        return HalfBits(sign | 0x7c00 | mant16);
-    }
-
-    // Re-bias from 127 to 15.
-    let unbiased = exp - 127;
-    let new_exp = unbiased + 15;
-
-    if new_exp >= 0x1f {
-        // Overflow: saturate to the largest finite fp16 value rather than infinity,
-        // matching the saturating behaviour most DNN frameworks configure.
-        return HalfBits(sign | 0x7bff);
-    }
-    if new_exp <= 0 {
-        // Subnormal or underflow to zero.
-        if new_exp < -10 {
-            return HalfBits(sign);
-        }
-        let full_mant = mant | 0x0080_0000;
-        let shift = (14 - new_exp) as u32;
-        let half_mant = full_mant >> shift;
-        // Round to nearest even.
-        let round_bit = 1u32 << (shift - 1);
-        let rounded = if (full_mant & round_bit) != 0
-            && ((full_mant & (round_bit - 1)) != 0 || (half_mant & 1) != 0)
-        {
-            half_mant + 1
-        } else {
-            half_mant
-        };
-        return HalfBits(sign | rounded as u16);
-    }
-
-    // Normalised result; round mantissa from 23 to 10 bits (nearest even).
-    let mant10 = mant >> 13;
-    let round_bit = mant & 0x0000_1000;
-    let sticky = mant & 0x0000_0fff;
-    let mut half = (new_exp as u16) << 10 | mant10 as u16;
-    if round_bit != 0 && (sticky != 0 || (half & 1) != 0) {
-        half = half.wrapping_add(1);
-        if half & 0x7c00 == 0x7c00 {
-            // Rounded up into the infinity encoding: saturate.
-            half = 0x7bff;
-        }
-    }
-    HalfBits(sign | half)
-}
-
-/// Raw fp16 bits produced by [`half_from_f32`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct HalfBits(u16);
-
-impl From<HalfBits> for f32 {
-    fn from(h: HalfBits) -> f32 {
-        let bits = h.0 as u32;
-        let sign = (bits & 0x8000) << 16;
-        let exp = (bits >> 10) & 0x1f;
-        let mant = bits & 0x03ff;
-        let out = if exp == 0 {
-            if mant == 0 {
-                sign
-            } else {
-                // Subnormal: normalise.
-                let mut exp32 = 127 - 15 - 10;
-                let mut m = mant;
-                while m & 0x0400 == 0 {
-                    m <<= 1;
-                    exp32 -= 1;
-                }
-                m &= 0x03ff;
-                sign | (((exp32 + 1 + 10) as u32) << 23) | (m << 13)
-            }
-        } else if exp == 0x1f {
-            sign | 0x7f80_0000 | (mant << 13)
-        } else {
-            sign | ((exp + 127 - 15) << 23) | (mant << 13)
-        };
-        f32::from_bits(out)
-    }
-}
+/// Largest fragment buffer any [`MmaShape`] needs (`16×16` operands).
+const MAX_FRAGMENT: usize = 16 * 16;
 
 /// Performs one warp-level MMA: `c[m×n] += a[m×k] · b[k×n]`, all row-major dense
 /// fragments, with operands optionally rounded through fp16 and accumulation in f32.
 ///
-/// This is the functional core of every tensor-core kernel in `shfl-kernels`: the
-/// kernels stage data into shared-memory-like buffers, then invoke `warp_mma` per
-/// fragment exactly as a CUDA kernel would issue `mma.sync`.
+/// This is the boundary-path entry point of the functional kernels: callers stage
+/// complete (zero-padded) fragments and invoke it per `mma.sync`. When
+/// `round_operands_to_f16` is set, each operand fragment is pre-rounded once into a
+/// stack buffer before the multiply loops — the fp16 conversion is element-wise, so
+/// this produces bit-identical results to the historical implementation that
+/// re-rounded both operands inside the `m·n·k` inner loop, at `m·k + k·n` instead of
+/// `2·m·n·k` conversions.
 ///
 /// # Panics
 ///
 /// Panics if the slices do not match the fragment dimensions
 /// (`a.len() == m*k`, `b.len() == k*n`, `c.len() == m*n`).
-pub fn warp_mma(
-    shape: MmaShape,
-    a: &[f32],
-    b: &[f32],
-    c: &mut [f32],
-    round_operands_to_f16: bool,
-) {
+pub fn warp_mma(shape: MmaShape, a: &[f32], b: &[f32], c: &mut [f32], round_operands_to_f16: bool) {
     let (m, n, k) = (shape.m(), shape.n(), shape.k());
     assert_eq!(a.len(), m * k, "A fragment must be m*k elements");
     assert_eq!(b.len(), k * n, "B fragment must be k*n elements");
     assert_eq!(c.len(), m * n, "C fragment must be m*n elements");
 
+    if round_operands_to_f16 {
+        let mut a16 = [0.0f32; MAX_FRAGMENT];
+        let mut b16 = [0.0f32; MAX_FRAGMENT];
+        for (dst, src) in a16.iter_mut().zip(a.iter()) {
+            *dst = round_to_f16(*src);
+        }
+        for (dst, src) in b16.iter_mut().zip(b.iter()) {
+            *dst = round_to_f16(*src);
+        }
+        mma_loops(&a16[..a.len()], &b16[..b.len()], c, m, n, k);
+    } else {
+        mma_loops(a, b, c, m, n, k);
+    }
+}
+
+/// Warp-level MMA on operands that are already fp16-rounded (or intentionally kept
+/// in f32): `c[m×n] += a[m×k] · b[k×n]` with f32 accumulation and no rounding.
+///
+/// # Panics
+///
+/// Panics if the slices do not match the fragment dimensions.
+pub fn warp_mma_prerounded(shape: MmaShape, a: &[f32], b: &[f32], c: &mut [f32]) {
+    let (m, n, k) = (shape.m(), shape.n(), shape.k());
+    assert_eq!(a.len(), m * k, "A fragment must be m*k elements");
+    assert_eq!(b.len(), k * n, "B fragment must be k*n elements");
+    assert_eq!(c.len(), m * n, "C fragment must be m*n elements");
+    mma_loops(a, b, c, m, n, k);
+}
+
+/// The shared multiply-accumulate loops: ascending-`k` accumulation per output
+/// element, one f32 accumulator each.
+#[inline]
+fn mma_loops(a: &[f32], b: &[f32], c: &mut [f32], m: usize, n: usize, k: usize) {
     for i in 0..m {
         for j in 0..n {
             let mut acc = c[i * n + j];
             for p in 0..k {
-                let av = a[i * k + p];
-                let bv = b[p * n + j];
-                let (av, bv) = if round_operands_to_f16 {
-                    (round_to_f16(av), round_to_f16(bv))
-                } else {
-                    (av, bv)
-                };
-                acc += av * bv;
+                acc += a[i * k + p] * b[p * n + j];
             }
             c[i * n + j] = acc;
+        }
+    }
+}
+
+/// Interior fast path of the blocked kernels: multiplies a staged, pre-rounded
+/// `rows × kk` A-fragment by `kk` consecutive full-width rows of a pre-rounded B
+/// operand, accumulating into `rows` full-width output rows:
+/// `c[rows×width] += a[rows×kk] · b[kk×width]`.
+///
+/// There are no padding checks and no rounding — boundary tiles simply pass
+/// shortened `rows`/`kk` (zero-padding a fragment and running the full loops adds
+/// only exact zeros, so both conventions are bit-identical). The innermost loop is
+/// a contiguous-slice AXPY over `width` elements, which the compiler vectorises;
+/// per output element the `k` contributions still arrive in ascending order, so a
+/// k-ascending sequence of `mma_row_block` calls matches [`warp_mma`] bit for bit.
+///
+/// # Panics
+///
+/// Panics if the slices do not match the stated dimensions
+/// (`a.len() == rows*kk`, `b.len() == kk*width`, `c.len() == rows*width`).
+pub fn mma_row_block(a: &[f32], rows: usize, kk: usize, b: &[f32], c: &mut [f32], width: usize) {
+    assert_eq!(a.len(), rows * kk, "A fragment must be rows*kk elements");
+    assert_eq!(b.len(), kk * width, "B block must be kk*width elements");
+    assert_eq!(c.len(), rows * width, "C block must be rows*width elements");
+    if rows == 0 || kk == 0 || width == 0 {
+        return;
+    }
+    for (a_row, c_row) in a.chunks_exact(kk).zip(c.chunks_exact_mut(width)) {
+        for (p, &av) in a_row.iter().enumerate() {
+            let b_row = &b[p * width..(p + 1) * width];
+            for (o, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                *o += av * bv;
+            }
         }
     }
 }
@@ -259,7 +240,11 @@ mod tests {
     #[test]
     fn f16_roundtrip_preserves_representable_values() {
         for v in [0.0f32, 1.0, -1.0, 0.5, 2.0, 1024.0, -0.25, 65504.0] {
-            assert_eq!(round_to_f16(v), v, "value {v} should be exactly representable");
+            assert_eq!(
+                round_to_f16(v),
+                v,
+                "value {v} should be exactly representable"
+            );
         }
     }
 
@@ -271,15 +256,6 @@ mod tests {
         // Large values saturate instead of becoming infinite.
         assert!(round_to_f16(1e9).is_finite());
         assert!(round_to_f16(1e9) <= 65504.0);
-    }
-
-    #[test]
-    fn f16_handles_negative_and_subnormal() {
-        let v = -3.1415927f32;
-        assert!((round_to_f16(v) - v).abs() < 2e-3);
-        let tiny = 1e-6f32;
-        let r = round_to_f16(tiny);
-        assert!(r >= 0.0 && r < 1e-5);
     }
 
     #[test]
@@ -323,5 +299,125 @@ mod tests {
         for (x, y) in exact.iter().zip(rounded.iter()) {
             assert!((x - y).abs() < 1e-2, "{x} vs {y}");
         }
+    }
+
+    /// The historical implementation re-rounded both operands inside the
+    /// `m·n·k` inner loop. The hoisted pre-rounding must be bit-identical.
+    fn warp_mma_per_element_rounding(shape: MmaShape, a: &[f32], b: &[f32], c: &mut [f32]) {
+        let (m, n, k) = (shape.m(), shape.n(), shape.k());
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = c[i * n + j];
+                for p in 0..k {
+                    let av = round_to_f16(a[i * k + p]);
+                    let bv = round_to_f16(b[p * n + j]);
+                    acc += av * bv;
+                }
+                c[i * n + j] = acc;
+            }
+        }
+    }
+
+    #[test]
+    fn hoisted_rounding_is_bit_identical_to_per_element_rounding() {
+        for shape in [MmaShape::M16N8K16, MmaShape::M16N8K8, MmaShape::M16N16K16] {
+            let (m, n, k) = (shape.m(), shape.n(), shape.k());
+            // Values chosen to exercise rounding: irrational-ish magnitudes,
+            // negatives, exact zeros, subnormal-range and saturating entries.
+            let a: Vec<f32> = (0..m * k)
+                .map(|i| match i % 5 {
+                    0 => 0.0,
+                    1 => (i as f32 * 0.37).sin() * 3.3,
+                    2 => -(i as f32) * 1e-7,
+                    3 => i as f32 * 97.003,
+                    _ => 1.0 / (i as f32 + 0.7),
+                })
+                .collect();
+            let b: Vec<f32> = (0..k * n)
+                .map(|i| ((i * 31 + 7) % 23) as f32 * 0.0421 - 0.5)
+                .collect();
+            let c_init: Vec<f32> = (0..m * n).map(|i| (i % 9) as f32 * 0.125 - 0.5).collect();
+
+            let mut hoisted = c_init.clone();
+            warp_mma(shape, &a, &b, &mut hoisted, true);
+            let mut per_element = c_init.clone();
+            warp_mma_per_element_rounding(shape, &a, &b, &mut per_element);
+            for (x, y) in hoisted.iter().zip(per_element.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{shape:?}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn prerounded_matches_warp_mma_on_rounded_operands() {
+        let shape = MmaShape::M16N8K8;
+        let (m, n, k) = (shape.m(), shape.n(), shape.k());
+        let a: Vec<f32> = (0..m * k).map(|i| round_to_f16((i as f32).cos())).collect();
+        let b: Vec<f32> = (0..k * n)
+            .map(|i| round_to_f16(0.01 * i as f32 - 0.3))
+            .collect();
+        let mut via_flag = vec![0.0f32; m * n];
+        warp_mma(shape, &a, &b, &mut via_flag, true);
+        let mut via_prerounded = vec![0.0f32; m * n];
+        warp_mma_prerounded(shape, &a, &b, &mut via_prerounded);
+        assert_eq!(
+            via_flag.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            via_prerounded
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn row_block_matches_fragmented_warp_mma() {
+        // One 16-row tile times a 40-wide B, reduced over 16: the row-block fast
+        // path must equal zero-padded warp_mma fragments stitched over j0.
+        let shape = MmaShape::M16N8K16;
+        let (m, k) = (shape.m(), shape.k());
+        let n = 40;
+        let a: Vec<f32> = (0..m * k)
+            .map(|i| round_to_f16((i as f32 * 0.11).sin()))
+            .collect();
+        let b: Vec<f32> = (0..k * n)
+            .map(|i| round_to_f16((i as f32 * 0.07).cos()))
+            .collect();
+
+        let mut fast = vec![0.0f32; m * n];
+        mma_row_block(&a, m, k, &b, &mut fast, n);
+
+        let fn_ = shape.n();
+        let mut reference = vec![0.0f32; m * n];
+        let mut b_frag = vec![0.0f32; k * fn_];
+        let mut c_frag = vec![0.0f32; m * fn_];
+        for j0 in (0..n).step_by(fn_) {
+            c_frag.iter_mut().for_each(|x| *x = 0.0);
+            for p in 0..k {
+                for j in 0..fn_ {
+                    b_frag[p * fn_ + j] = if j0 + j < n { b[p * n + j0 + j] } else { 0.0 };
+                }
+            }
+            warp_mma_prerounded(shape, &a, &b_frag, &mut c_frag);
+            for i in 0..m {
+                for j in 0..fn_ {
+                    if j0 + j < n {
+                        reference[i * n + j0 + j] = c_frag[i * fn_ + j];
+                    }
+                }
+            }
+        }
+        assert_eq!(
+            fast.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            reference.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn row_block_handles_degenerate_dimensions() {
+        let mut c = vec![1.0f32; 0];
+        mma_row_block(&[], 0, 4, &[0.0; 8], &mut c, 2);
+        let mut c = vec![1.0f32; 6];
+        mma_row_block(&[], 3, 0, &[], &mut c, 2);
+        assert_eq!(c, vec![1.0f32; 6]);
     }
 }

@@ -118,7 +118,10 @@ mod tests {
     fn exact_multiple_of_wave_is_fully_efficient() {
         let arch = GpuArch::t4();
         // Grid equal to 3 × SM count drains in exactly three full rounds.
-        let occ = occupancy(&arch, &stats_with(u64::from(arch.sm_count) * 3, 64 * 1024, 0, 256));
+        let occ = occupancy(
+            &arch,
+            &stats_with(u64::from(arch.sm_count) * 3, 64 * 1024, 0, 256),
+        );
         assert_eq!(occ.waves, 3);
         assert!((occ.wave_efficiency - 1.0).abs() < 1e-12);
     }

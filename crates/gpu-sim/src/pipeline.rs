@@ -110,7 +110,7 @@ impl PipelineModel {
     /// `load_step`, `step`).
     pub fn schedule(&self, total_steps: usize) -> Vec<PipelineStep> {
         let total = total_steps as i64;
-        let meta_ahead = self.config.meta_prefetch_stages.max(0) as i64;
+        let meta_ahead = self.config.meta_prefetch_stages as i64;
         let pipe = self.config.pipe_stages.max(1) as i64;
 
         let mut steps = Vec::new();

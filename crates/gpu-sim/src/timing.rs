@@ -256,8 +256,20 @@ mod tests {
     #[test]
     fn tensor_core_beats_cuda_core_on_compute_bound_gemm() {
         let arch = GpuArch::a100();
-        let tc = CostModel::new(&arch).estimate(&gemm_stats(8192, 8192, 8192, ComputeUnit::TensorCore, 0.8));
-        let cc = CostModel::new(&arch).estimate(&gemm_stats(8192, 8192, 8192, ComputeUnit::CudaCore, 0.8));
+        let tc = CostModel::new(&arch).estimate(&gemm_stats(
+            8192,
+            8192,
+            8192,
+            ComputeUnit::TensorCore,
+            0.8,
+        ));
+        let cc = CostModel::new(&arch).estimate(&gemm_stats(
+            8192,
+            8192,
+            8192,
+            ComputeUnit::CudaCore,
+            0.8,
+        ));
         let ratio = cc.total_us / tc.total_us;
         assert!(ratio > 3.0, "tensor-core speedup was only {ratio}");
     }
@@ -290,9 +302,7 @@ mod tests {
         let base = CostModel::new(&arch)
             .with_launch_overhead(false)
             .estimate(&stats);
-        let with_overheads = CostModel::new(&arch)
-            .with_stall_us(50.0)
-            .estimate(&stats);
+        let with_overheads = CostModel::new(&arch).with_stall_us(50.0).estimate(&stats);
         assert!(with_overheads.total_us > base.total_us + 50.0);
         assert_eq!(with_overheads.bound, Bound::Latency);
     }

@@ -92,6 +92,39 @@ impl Tensor4 {
         self.data[((n * self.channels + c) * self.height + h) * self.width + w] = value;
     }
 
+    /// Borrow of one spatial row — the `width` contiguous elements at
+    /// `(n, c, h, ..)` — as a slice. The blocked im2col stages activation
+    /// segments from these with `copy_from_slice` instead of per-element
+    /// `get` calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    #[inline]
+    pub fn plane_row(&self, n: usize, c: usize, h: usize) -> &[f32] {
+        assert!(
+            n < self.batch && c < self.channels && h < self.height,
+            "tensor index out of bounds"
+        );
+        let offset = ((n * self.channels + c) * self.height + h) * self.width;
+        &self.data[offset..offset + self.width]
+    }
+
+    /// Mutable borrow of one spatial row (see [`Tensor4::plane_row`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    #[inline]
+    pub fn plane_row_mut(&mut self, n: usize, c: usize, h: usize) -> &mut [f32] {
+        assert!(
+            n < self.batch && c < self.channels && h < self.height,
+            "tensor index out of bounds"
+        );
+        let offset = ((n * self.channels + c) * self.height + h) * self.width;
+        &mut self.data[offset..offset + self.width]
+    }
+
     /// Maximum absolute difference to another tensor of the same shape.
     ///
     /// # Panics
@@ -160,42 +193,77 @@ impl Conv2dParams {
 
 /// Unfolds the input tensor into the `K × N` implicit-GEMM operand
 /// (`K = C·R·S`, `N = batch·OH·OW`), applying zero padding.
+///
+/// The unfolding is blocked: each output row is one `(c, r, s)` filter tap, and
+/// for a fixed `(batch, y)` the `OW` consecutive output columns read from one
+/// spatial row of the input. With `stride == 1` that read is a single contiguous
+/// segment, staged with `copy_from_slice`; strided convolutions fall back to a
+/// per-element gather over the same slice. Rows are independent, so they are
+/// distributed across cores. Values are identical to the historical per-element
+/// gather (`crate::reference::im2col_naive`) — this path only changes how the
+/// copies are issued.
 pub fn im2col(input: &Tensor4, params: &Conv2dParams) -> DenseMatrix {
     let (_, n, k) = {
         let (m, n, k) = params.implicit_gemm_shape();
         (m, n, k)
     };
     let (oh, ow) = (params.output_h(), params.output_w());
-    DenseMatrix::from_fn(k, n, |row, col| {
+    let mut out = DenseMatrix::zeros(k, n);
+    if k == 0 || n == 0 {
+        return out;
+    }
+    shfl_core::parallel::par_chunks_mut(out.as_mut_slice(), n, |row, out_row| {
         // row = (c * R + r) * S + s ; col = (b * OH + y) * OW + x
         let s = row % params.kernel_w;
         let r = (row / params.kernel_w) % params.kernel_h;
         let c = row / (params.kernel_w * params.kernel_h);
-        let x = col % ow;
-        let y = (col / ow) % oh;
-        let b = col / (ow * oh);
-        let in_y = (y * params.stride + r) as isize - params.padding as isize;
-        let in_x = (x * params.stride + s) as isize - params.padding as isize;
-        if in_y < 0 || in_x < 0 || in_y as usize >= params.input_h || in_x as usize >= params.input_w
-        {
-            0.0
-        } else {
-            input.get(b, c, in_y as usize, in_x as usize)
+        for b in 0..params.batch {
+            for y in 0..oh {
+                let seg = &mut out_row[(b * oh + y) * ow..(b * oh + y + 1) * ow];
+                let in_y = (y * params.stride + r) as isize - params.padding as isize;
+                if in_y < 0 || in_y as usize >= params.input_h {
+                    continue; // entire segment stays zero-padded
+                }
+                let in_row = input.plane_row(b, c, in_y as usize);
+                let offset = s as isize - params.padding as isize;
+                if params.stride == 1 {
+                    // x maps to in_x = x + offset: one contiguous valid run.
+                    let x0 = (-offset).max(0) as usize;
+                    let x1 = (params.input_w as isize - offset).clamp(0, ow as isize) as usize;
+                    if x1 > x0 {
+                        seg[x0..x1].copy_from_slice(
+                            &in_row
+                                [(x0 as isize + offset) as usize..(x1 as isize + offset) as usize],
+                        );
+                    }
+                } else {
+                    for (x, o) in seg.iter_mut().enumerate() {
+                        let in_x = (x * params.stride) as isize + offset;
+                        if in_x >= 0 && (in_x as usize) < params.input_w {
+                            *o = in_row[in_x as usize];
+                        }
+                    }
+                }
+            }
         }
-    })
+    });
+    out
 }
 
-/// Reshapes the `O × N` implicit-GEMM output back into an NCHW tensor.
+/// Reshapes the `O × N` implicit-GEMM output back into an NCHW tensor, packing
+/// one `OW`-wide spatial row per `copy_from_slice`.
 fn col2im_output(output: &DenseMatrix, params: &Conv2dParams) -> Tensor4 {
     let (oh, ow) = (params.output_h(), params.output_w());
     let mut t = Tensor4::zeros(params.batch, params.out_channels, oh, ow);
+    if ow == 0 {
+        return t;
+    }
     for o in 0..params.out_channels {
+        let src = output.row(o);
         for b in 0..params.batch {
             for y in 0..oh {
-                for x in 0..ow {
-                    let col = (b * oh + y) * ow + x;
-                    t.set(b, o, y, x, output.get(o, col));
-                }
+                t.plane_row_mut(b, o, y)
+                    .copy_from_slice(&src[(b * oh + y) * ow..(b * oh + y + 1) * ow]);
             }
         }
     }
@@ -206,7 +274,9 @@ fn col2im_output(output: &DenseMatrix, params: &Conv2dParams) -> Tensor4 {
 /// `weights` is the flattened `O × (C·R·S)` filter matrix.
 pub fn conv2d_reference(input: &Tensor4, weights: &DenseMatrix, params: &Conv2dParams) -> Tensor4 {
     let unfolded = im2col(input, params);
-    let out = weights.matmul(&unfolded).expect("implicit GEMM shapes match");
+    let out = weights
+        .matmul(&unfolded)
+        .expect("implicit GEMM shapes match");
     col2im_output(&out, params)
 }
 
@@ -254,7 +324,10 @@ pub fn conv2d_dense_execute(
     }
     let unfolded = im2col(input, params);
     let out = gemm::fragment_matmul(arch.mma_shape, weights, &unfolded);
-    Ok((col2im_output(&out, params), conv2d_dense_profile(arch, params)))
+    Ok((
+        col2im_output(&out, params),
+        conv2d_dense_profile(arch, params),
+    ))
 }
 
 /// Functionally executes the Shfl-BW implicit-GEMM convolution (stitched main loop +
@@ -281,7 +354,7 @@ pub fn conv2d_shfl_bw_execute(
         });
     }
     let unfolded = im2col(input, params);
-    let out = stitched_spmm(arch, weights.vector_wise(), &unfolded, weights.row_indices());
+    let out = stitched_spmm(weights.vector_wise(), &unfolded, weights.row_indices());
     Ok((
         col2im_output(&out, params),
         conv2d_shfl_bw_profile(arch, weights, params),
@@ -392,13 +465,8 @@ mod tests {
         let patterns: Vec<Vec<bool>> = (0..groups)
             .map(|_| (0..k).map(|_| rng.gen_bool(0.25)).collect())
             .collect();
-        let weights_dense = DenseMatrix::from_fn(m, k, |r, c| {
-            if patterns[r % groups][c] {
-                0.1
-            } else {
-                0.0
-            }
-        });
+        let weights_dense =
+            DenseMatrix::from_fn(m, k, |r, c| if patterns[r % groups][c] { 0.1 } else { 0.0 });
         let weights = ShflBwMatrix::from_dense(&weights_dense, v).unwrap();
         for arch in GpuArch::all() {
             let dense_t = conv2d_dense_profile(&arch, &p).time_us();

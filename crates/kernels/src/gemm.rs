@@ -6,9 +6,11 @@
 
 use crate::launch::{self, LaunchConfig, FP16_BYTES, OUTPUT_BYTES};
 use crate::profile::{build_profile, KernelError, KernelOutput, KernelProfile, KernelResult};
-use gpu_sim::mma::{warp_mma, MmaShape};
+use gpu_sim::mma::{mma_row_block, MmaShape};
 use gpu_sim::{ComputeUnit, CostModel, GpuArch, KernelStats};
 use shfl_core::matrix::DenseMatrix;
+use shfl_core::parallel;
+use std::cell::RefCell;
 
 /// Compute-throughput fraction a CUDA-core GEMM achieves (well-tuned SGEMM/HGEMM).
 const CUDA_CORE_GEMM_EFFICIENCY: f64 = 0.85;
@@ -17,11 +19,7 @@ const CUDA_CORE_GEMM_EFFICIENCY: f64 = 0.85;
 fn gemm_shape(a: &DenseMatrix, b: &DenseMatrix) -> KernelResult<(usize, usize, usize)> {
     if a.cols() != b.rows() {
         return Err(KernelError::ShapeMismatch {
-            context: format!(
-                "GEMM A is {:?} but B is {:?}",
-                a.shape(),
-                b.shape()
-            ),
+            context: format!("GEMM A is {:?} but B is {:?}", a.shape(), b.shape()),
         });
     }
     Ok((a.rows(), b.cols(), a.cols()))
@@ -118,53 +116,78 @@ pub fn dense_gemm_execute(
     Ok(KernelOutput { output, profile })
 }
 
-/// Computes `A·B` by sweeping MMA fragments, padding the boundary fragments with
-/// zeros. Used by every tensor-core kernel's functional face.
-pub(crate) fn fragment_matmul(shape: MmaShape, a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+thread_local! {
+    /// Reusable per-thread A-fragment staging buffer for the blocked engine.
+    static A_FRAG_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Computes `A·B` with the blocked fragment engine. Used by every tensor-core
+/// kernel's functional face.
+///
+/// Both operands are fp16-rounded **once** up front
+/// ([`DenseMatrix::as_f16_rounded`]); the main loop then runs over output
+/// row-tiles of `shape.m()` rows, distributed across cores. Per tile, each
+/// `shape.k()`-wide reduction slice of the A operand is staged into a reusable
+/// thread-local fragment buffer via `copy_from_slice` and multiplied against
+/// whole pre-rounded rows of B on the interior fast path
+/// ([`mma_row_block`]) — no per-element bounds checks, no in-loop rounding.
+/// Boundary tiles (last row-tile / last k-slice) take the same path with
+/// shortened dimensions, which is bit-identical to zero-padded fragments.
+///
+/// Every output element accumulates its `k` contributions in ascending order
+/// through one `f32` accumulator, exactly like the retained naive path
+/// ([`crate::reference::fragment_matmul_naive`]), so the two are bit-identical
+/// on every shape — the property tests assert exact equality.
+pub fn fragment_matmul(shape: MmaShape, a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
     let (m, k) = a.shape();
     let n = b.cols();
-    let (fm, fn_, fk) = (shape.m(), shape.n(), shape.k());
     let mut c = DenseMatrix::zeros(m, n);
-
-    let mut a_frag = vec![0.0f32; fm * fk];
-    let mut b_frag = vec![0.0f32; fk * fn_];
-    let mut c_frag = vec![0.0f32; fm * fn_];
-
-    for i0 in (0..m).step_by(fm) {
-        for j0 in (0..n).step_by(fn_) {
-            c_frag.iter_mut().for_each(|x| *x = 0.0);
-            for p0 in (0..k).step_by(fk) {
-                // Stage operand fragments (zero-padded at the boundary).
-                for i in 0..fm {
-                    for p in 0..fk {
-                        a_frag[i * fk + p] = if i0 + i < m && p0 + p < k {
-                            a.get(i0 + i, p0 + p)
-                        } else {
-                            0.0
-                        };
-                    }
-                }
-                for p in 0..fk {
-                    for j in 0..fn_ {
-                        b_frag[p * fn_ + j] = if p0 + p < k && j0 + j < n {
-                            b.get(p0 + p, j0 + j)
-                        } else {
-                            0.0
-                        };
-                    }
-                }
-                warp_mma(shape, &a_frag, &b_frag, &mut c_frag, true);
-            }
-            for i in 0..fm {
-                for j in 0..fn_ {
-                    if i0 + i < m && j0 + j < n {
-                        c.set(i0 + i, j0 + j, c_frag[i * fn_ + j]);
-                    }
-                }
-            }
-        }
+    if m == 0 || n == 0 || k == 0 {
+        return c;
     }
+    let a16 = a.as_f16_rounded();
+    let b16 = b.as_f16_rounded();
+    fragment_matmul_prerounded_into(shape, &a16, &b16, &mut c);
     c
+}
+
+/// The blocked main loop on pre-rounded operands, accumulating into `c`
+/// (which the caller provides zero-initialised or carrying prior partials).
+pub(crate) fn fragment_matmul_prerounded_into(
+    shape: MmaShape,
+    a16: &DenseMatrix,
+    b16: &DenseMatrix,
+    c: &mut DenseMatrix,
+) {
+    let (m, k) = a16.shape();
+    let n = b16.cols();
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let (fm, fk) = (shape.m(), shape.k());
+    parallel::par_chunks_mut_weighted(c.as_mut_slice(), fm * n, k, |tile, c_chunk| {
+        let i0 = tile * fm;
+        let rows = c_chunk.len() / n;
+        A_FRAG_SCRATCH.with(|scratch| {
+            let mut a_frag = scratch.borrow_mut();
+            a_frag.resize(fm * fk, 0.0);
+            for p0 in (0..k).step_by(fk) {
+                let kk = fk.min(k - p0);
+                // Stage the rows×kk A fragment: one contiguous copy per row.
+                for i in 0..rows {
+                    a_frag[i * kk..(i + 1) * kk].copy_from_slice(&a16.row(i0 + i)[p0..p0 + kk]);
+                }
+                mma_row_block(
+                    &a_frag[..rows * kk],
+                    rows,
+                    kk,
+                    b16.rows_chunk(p0, kk),
+                    c_chunk,
+                    n,
+                );
+            }
+        });
+    });
 }
 
 #[cfg(test)]

@@ -152,7 +152,10 @@ mod tests {
             cfg.shared_bytes_per_block(),
             cfg.tile.shared_memory_bytes(cfg.pipeline_stages) as u32
         );
-        assert_eq!(cfg.regfile_bytes_per_block(), cfg.tile.accumulator_bytes() as u32);
+        assert_eq!(
+            cfg.regfile_bytes_per_block(),
+            cfg.tile.accumulator_bytes() as u32
+        );
     }
 
     #[test]

@@ -73,7 +73,11 @@ pub fn balanced_spmm_profile(
 
     let timing = CostModel::new(arch).estimate(&stats);
     Ok(build_profile(
-        format!("cusparselt-{}in{}-spmm", a.kept_per_group(), a.group_length()),
+        format!(
+            "cusparselt-{}in{}-spmm",
+            a.kept_per_group(),
+            a.group_length()
+        ),
         arch,
         stats,
         timing,

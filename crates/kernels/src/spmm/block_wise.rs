@@ -10,10 +10,12 @@
 
 use crate::launch::{self, FP16_BYTES, OUTPUT_BYTES};
 use crate::profile::{build_profile, KernelError, KernelOutput, KernelProfile, KernelResult};
+use gpu_sim::mma::{mma_row_block, round_to_f16};
 use gpu_sim::{ComputeUnit, CostModel, GpuArch, GpuGeneration, KernelStats};
 use shfl_core::formats::BlockSparseMatrix;
 use shfl_core::matrix::DenseMatrix;
 use shfl_core::tiling::TileConfig;
+use std::cell::RefCell;
 use std::collections::BTreeSet;
 
 /// Library (cuSPARSE) compute efficiency per architecture: the source of the
@@ -36,17 +38,17 @@ fn library_efficiency(arch: &GpuArch, v: usize) -> f64 {
 
 /// Analytical profile of the cuSPARSE-like block-wise SpMM `C = A · B` where `A` is a
 /// `V×V`-block sparse matrix and `B` has `n` columns.
-pub fn block_wise_spmm_profile(
-    arch: &GpuArch,
-    a: &BlockSparseMatrix,
-    n: usize,
-) -> KernelProfile {
+pub fn block_wise_spmm_profile(arch: &GpuArch, a: &BlockSparseMatrix, n: usize) -> KernelProfile {
     let v = a.block_size();
     let m = a.rows();
     let n_u = n as u64;
     let stored_values = a.stored_values() as u64;
 
-    let tn = if n >= 128 { 128 } else { n.next_power_of_two().clamp(8, 128) };
+    let tn = if n >= 128 {
+        128
+    } else {
+        n.next_power_of_two().clamp(8, 128)
+    };
     let tile = TileConfig { tm: v, tn, tk: v };
 
     let mut stats = KernelStats::new(ComputeUnit::TensorCore);
@@ -91,8 +93,21 @@ pub fn block_wise_spmm_profile(
     )
 }
 
+thread_local! {
+    /// Reusable per-thread staging buffers: `(rounded block, partial product)`.
+    static BLOCK_SCRATCH: RefCell<(Vec<f32>, Vec<f32>)> =
+        const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
 /// Functionally executes the block-wise SpMM: every stored block multiplies the
 /// corresponding `V×n` slice of `B` through tensor-core fragments.
+///
+/// Blocked execution: the activation matrix is fp16-rounded once, block rows are
+/// distributed across cores (each owns a disjoint `V×n` output slice), and every
+/// stored block is staged — rounded — into a reusable thread-local buffer and
+/// multiplied against the pre-rounded `V×n` activation row-chunk on the interior
+/// fast path ([`mma_row_block`]). Bit-identical to the retained naive path
+/// ([`crate::reference::block_spmm_naive`]).
 ///
 /// # Errors
 ///
@@ -116,22 +131,46 @@ pub fn block_wise_spmm_execute(
     let v = a.block_size();
     let profile = block_wise_spmm_profile(arch, a, n);
     let mut output = DenseMatrix::zeros(a.rows(), n);
-
-    for br in 0..a.block_rows() {
-        for (i, bc) in a.blocks_in_row(br).iter().enumerate() {
-            let block = a.block_values(br, i);
-            // Dense V×V block times the V×n slice of B starting at row bc*V.
-            let block_matrix = DenseMatrix::from_vec(v, v, block.to_vec())?;
-            let b_slice = DenseMatrix::from_fn(v, n, |r, c| b.get(*bc as usize * v + r, c));
-            let partial = crate::gemm::fragment_matmul(arch.mma_shape, &block_matrix, &b_slice);
-            for r in 0..v {
-                let out_row = output.row_mut(br * v + r);
-                for c in 0..n {
-                    out_row[c] += partial.get(r, c);
-                }
-            }
-        }
+    if a.rows() == 0 || n == 0 {
+        return Ok(KernelOutput { output, profile });
     }
+    let b16 = b.as_f16_rounded();
+
+    // Per output element the work is one MAC per stored-block column (V MACs
+    // per block) of its block row.
+    let macs_per_element = (a.stored_blocks() * v / a.block_rows().max(1)).max(1);
+    shfl_core::parallel::par_chunks_mut_weighted(
+        output.as_mut_slice(),
+        v * n,
+        macs_per_element,
+        |br, out_chunk| {
+            BLOCK_SCRATCH.with(|scratch| {
+                let mut scratch = scratch.borrow_mut();
+                let (block16, partial) = &mut *scratch;
+                block16.resize(v * v, 0.0);
+                partial.resize(v * n, 0.0);
+                for (i, bc) in a.blocks_in_row(br).iter().enumerate() {
+                    // Dense V×V block (rounded at staging time) times the
+                    // pre-rounded V×n slice of B starting at row bc*V.
+                    for (dst, src) in block16.iter_mut().zip(a.block_values(br, i)) {
+                        *dst = round_to_f16(*src);
+                    }
+                    partial.iter_mut().for_each(|x| *x = 0.0);
+                    mma_row_block(
+                        block16,
+                        v,
+                        v,
+                        b16.rows_chunk(*bc as usize * v, v),
+                        partial,
+                        n,
+                    );
+                    for (o, p) in out_chunk.iter_mut().zip(partial.iter()) {
+                        *o += p;
+                    }
+                }
+            });
+        },
+    );
     Ok(KernelOutput { output, profile })
 }
 
@@ -141,7 +180,13 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    fn block_sparse_dense(rng: &mut StdRng, m: usize, k: usize, v: usize, density: f64) -> DenseMatrix {
+    fn block_sparse_dense(
+        rng: &mut StdRng,
+        m: usize,
+        k: usize,
+        v: usize,
+        density: f64,
+    ) -> DenseMatrix {
         let block_rows = m / v;
         let block_cols = k / v;
         let keep: Vec<bool> = (0..block_rows * block_cols)
@@ -208,16 +253,12 @@ mod tests {
     fn denser_block_matrices_take_longer() {
         let mut rng = StdRng::seed_from_u64(17);
         let arch = GpuArch::v100();
-        let sparse = BlockSparseMatrix::from_dense(
-            &block_sparse_dense(&mut rng, 512, 512, 32, 0.1),
-            32,
-        )
-        .unwrap();
-        let dense = BlockSparseMatrix::from_dense(
-            &block_sparse_dense(&mut rng, 512, 512, 32, 0.9),
-            32,
-        )
-        .unwrap();
+        let sparse =
+            BlockSparseMatrix::from_dense(&block_sparse_dense(&mut rng, 512, 512, 32, 0.1), 32)
+                .unwrap();
+        let dense =
+            BlockSparseMatrix::from_dense(&block_sparse_dense(&mut rng, 512, 512, 32, 0.9), 32)
+                .unwrap();
         assert!(
             block_wise_spmm_profile(&arch, &sparse, 128).time_us()
                 < block_wise_spmm_profile(&arch, &dense, 128).time_us()

@@ -46,17 +46,16 @@ const CUSPARSE: CudaCoreTuning = CudaCoreTuning {
     l2_visible_fraction: 0.8,
 };
 
-fn csr_profile(
-    arch: &GpuArch,
-    a: &CsrMatrix,
-    n: usize,
-    tuning: &CudaCoreTuning,
-) -> KernelProfile {
+fn csr_profile(arch: &GpuArch, a: &CsrMatrix, n: usize, tuning: &CudaCoreTuning) -> KernelProfile {
     let (m, _k) = a.shape();
     let nnz = a.nnz() as u64;
     let n_u = n as u64;
 
-    let tn = if n >= 64 { 64 } else { n.next_power_of_two().clamp(8, 64) };
+    let tn = if n >= 64 {
+        64
+    } else {
+        n.next_power_of_two().clamp(8, 64)
+    };
     let tile = TileConfig {
         tm: ROWS_PER_BLOCK,
         tn,
@@ -106,6 +105,11 @@ pub fn cusparse_csr_spmm_profile(arch: &GpuArch, a: &CsrMatrix, n: usize) -> Ker
 /// Functionally executes the CUDA-core CSR SpMM (scalar FMA per non-zero, exactly the
 /// arithmetic the CUDA kernel performs) and returns the output with its profile.
 ///
+/// Output rows are independent, so they are distributed across cores; each row
+/// runs its stored non-zeros as whole-row AXPY sweeps over slices (the inner
+/// loop vectorises). Bit-identical to the retained naive path
+/// ([`crate::reference::csr_spmm_naive`]).
+///
 /// # Errors
 ///
 /// Returns [`KernelError::ShapeMismatch`] if `a.cols() != b.rows()`.
@@ -122,16 +126,22 @@ pub fn cuda_core_spmm_execute(
     let n = b.cols();
     let profile = cuda_core_spmm_profile(arch, a, n);
     let mut output = DenseMatrix::zeros(a.rows(), n);
-    for row in 0..a.rows() {
-        let (cols, vals) = a.row_entries(row);
-        for (col, value) in cols.iter().zip(vals.iter()) {
-            let b_row = b.row(*col as usize);
-            let out_row = output.row_mut(row);
-            for j in 0..n {
-                out_row[j] += value * b_row[j];
+    // Per output element the work is one MAC per stored non-zero of its row.
+    let macs_per_element = (a.nnz() / a.rows().max(1)).max(1);
+    shfl_core::parallel::par_chunks_mut_weighted(
+        output.as_mut_slice(),
+        n,
+        macs_per_element,
+        |row, out_row| {
+            let (cols, vals) = a.row_entries(row);
+            for (col, value) in cols.iter().zip(vals.iter()) {
+                let b_row = b.row(*col as usize);
+                for (o, bv) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += value * bv;
+                }
             }
-        }
-    }
+        },
+    );
     Ok(KernelOutput { output, profile })
 }
 

@@ -112,7 +112,7 @@ pub fn shfl_bw_spmm_execute(
         });
     }
     let profile = shfl_bw_spmm_profile(arch, a, b.cols());
-    let output = stitched_spmm(arch, a.vector_wise(), b, a.row_indices());
+    let output = stitched_spmm(a.vector_wise(), b, a.row_indices());
     Ok(KernelOutput { output, profile })
 }
 
@@ -186,9 +186,8 @@ mod tests {
         let vw = VectorWiseMatrix::from_dense(&grouped, 64).unwrap();
         for arch in GpuArch::all() {
             let t_shfl = shfl_bw_spmm_profile(&arch, &shfl, 256).time_us();
-            let t_vw =
-                vector_wise_spmm_profile(&arch, &vw, 256, &VectorWiseKernelConfig::ours())
-                    .time_us();
+            let t_vw = vector_wise_spmm_profile(&arch, &vw, 256, &VectorWiseKernelConfig::ours())
+                .time_us();
             let ratio = t_vw / t_shfl;
             assert!(
                 (0.90..=1.05).contains(&ratio),

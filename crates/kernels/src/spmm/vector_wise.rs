@@ -14,11 +14,13 @@
 
 use crate::launch::{self, FP16_BYTES, OUTPUT_BYTES};
 use crate::profile::{build_profile, KernelError, KernelOutput, KernelProfile, KernelResult};
+use gpu_sim::mma::mma_row_block;
 use gpu_sim::pipeline::{PipelineConfig, PipelineModel};
 use gpu_sim::{ComputeUnit, CostModel, GpuArch, KernelStats};
 use shfl_core::formats::VectorWiseMatrix;
 use shfl_core::matrix::DenseMatrix;
 use shfl_core::tiling;
+use std::cell::RefCell;
 use std::collections::BTreeSet;
 
 /// Tuning knobs of a vector-wise-family SpMM kernel.
@@ -88,6 +90,7 @@ impl Default for VectorWiseKernelConfig {
 
 /// Shared analytical model for every vector-wise-family kernel (including Shfl-BW,
 /// which adds row-index metadata and a write-back overhead on top).
+#[allow(clippy::too_many_arguments)] // one knob per modelled cost component
 pub(crate) fn vw_family_profile(
     arch: &GpuArch,
     a: &VectorWiseMatrix,
@@ -222,16 +225,34 @@ pub fn vector_wise_spmm_execute(
     let config = VectorWiseKernelConfig::ours();
     let profile = vector_wise_spmm_profile(arch, a, b.cols(), &config);
     let identity: Vec<u32> = (0..a.rows() as u32).collect();
-    let output = stitched_spmm(arch, a, b, &identity);
+    let output = stitched_spmm(a, b, &identity);
     Ok(KernelOutput { output, profile })
+}
+
+thread_local! {
+    /// Reusable per-thread stitching buffers: `(a_tile, b_tile, partial)`.
+    static STITCH_SCRATCH: RefCell<(Vec<f32>, Vec<f32>, Vec<f32>)> =
+        const { RefCell::new((Vec::new(), Vec::new(), Vec::new())) };
 }
 
 /// The stitched SpMM algorithm shared by the vector-wise and Shfl-BW functional
 /// kernels. `row_indices[stored_row]` gives the output row each stored row is written
 /// to (the reordered write-back); the identity permutation reproduces plain
 /// vector-wise behaviour.
+///
+/// The blocked implementation pre-rounds the activation matrix once, then
+/// processes row groups in parallel (each group accumulates into its own
+/// disjoint `V × N` slice of a group-ordered staging buffer). Per `T_K` step the
+/// weight tile is staged — rounded at staging time — into a reusable
+/// thread-local buffer, the referenced activation rows are stitched in with one
+/// `copy_from_slice` per row, and the dense `V×step×N` product runs on the
+/// interior fast path ([`mma_row_block`]). The epilogue performs the (reordered)
+/// write-back with one row copy per stored row. Accumulation order per output
+/// element is identical to the retained naive path
+/// ([`crate::reference::stitched_spmm_naive`]) for every MMA k-fragmentation,
+/// so results are bit-identical and the function no longer needs the
+/// architecture handle the naive path used for fragment shapes.
 pub(crate) fn stitched_spmm(
-    arch: &GpuArch,
     a: &VectorWiseMatrix,
     b: &DenseMatrix,
     row_indices: &[u32],
@@ -241,48 +262,68 @@ pub(crate) fn stitched_spmm(
     let tile = tiling::select_vector_wise_tile(v, n);
     let tk = tile.tk;
     let mut output = DenseMatrix::zeros(a.rows(), n);
+    if a.rows() == 0 || n == 0 {
+        return output;
+    }
+    let b16 = b.as_f16_rounded();
 
-    for g in 0..a.num_groups() {
-        let cols = a.group_cols(g);
-        if cols.is_empty() {
-            continue;
-        }
-        // Accumulator for the whole group (V × N); a real kernel would tile N, which
-        // does not change the arithmetic.
-        let mut acc = DenseMatrix::zeros(v, n);
-        for step_start in (0..cols.len()).step_by(tk) {
-            let step_cols = &cols[step_start..(step_start + tk).min(cols.len())];
-            // In-buffer stitching: build the dense V×tk weight tile from the stored
-            // vectors and the tk×N activation tile from the rows the metadata points
-            // at (padding the last partial step with zeros).
-            let a_tile = DenseMatrix::from_fn(v, tk, |r, j| {
-                if j < step_cols.len() {
-                    a.vector_values(g, step_start + j)[r]
-                } else {
-                    0.0
-                }
-            });
-            let b_tile = DenseMatrix::from_fn(tk, n, |j, c| {
-                if j < step_cols.len() {
-                    b.get(step_cols[j] as usize, c)
-                } else {
-                    0.0
-                }
-            });
-            let partial = crate::gemm::fragment_matmul(arch.mma_shape, &a_tile, &b_tile);
-            for r in 0..v {
-                let acc_row = acc.row_mut(r);
-                for c in 0..n {
-                    acc_row[c] += partial.get(r, c);
-                }
+    // Group-ordered accumulators: group g owns grouped[g*v*n .. (g+1)*v*n].
+    // Per output element the work is one MAC per stitched vector of its group.
+    let macs_per_element = (a.stored_vectors() / a.num_groups().max(1)).max(1);
+    let mut grouped = vec![0.0f32; a.rows() * n];
+    shfl_core::parallel::par_chunks_mut_weighted(
+        &mut grouped,
+        v * n,
+        macs_per_element,
+        |g, acc| {
+            let cols = a.group_cols(g);
+            if cols.is_empty() {
+                return;
             }
-        }
-        // (Reordered) write-back: stored row g*v + r goes to output row
-        // row_indices[g*v + r].
-        for r in 0..v {
-            let dst = row_indices[g * v + r] as usize;
-            output.row_mut(dst).copy_from_slice(acc.row(r));
-        }
+            STITCH_SCRATCH.with(|scratch| {
+                let mut scratch = scratch.borrow_mut();
+                let (a_tile, b_tile, partial) = &mut *scratch;
+                a_tile.resize(v * tk, 0.0);
+                b_tile.resize(tk * n, 0.0);
+                partial.resize(v * n, 0.0);
+                for step_start in (0..cols.len()).step_by(tk) {
+                    let step_cols = &cols[step_start..(step_start + tk).min(cols.len())];
+                    let w = step_cols.len();
+                    // In-buffer stitching: transpose the stored vectors into a dense
+                    // V×w weight tile (rounded once, at staging time) and gather the
+                    // w referenced activation rows with whole-row copies.
+                    for (j, _) in step_cols.iter().enumerate() {
+                        let vals = a.vector_values(g, step_start + j);
+                        for (r, &val) in vals.iter().enumerate() {
+                            a_tile[r * w + j] = gpu_sim::mma::round_to_f16(val);
+                        }
+                    }
+                    for (j, col) in step_cols.iter().enumerate() {
+                        b_tile[j * n..(j + 1) * n].copy_from_slice(b16.row(*col as usize));
+                    }
+                    partial[..v * n].iter_mut().for_each(|x| *x = 0.0);
+                    mma_row_block(
+                        &a_tile[..v * w],
+                        v,
+                        w,
+                        &b_tile[..w * n],
+                        &mut partial[..v * n],
+                        n,
+                    );
+                    for (o, p) in acc.iter_mut().zip(partial.iter()) {
+                        *o += p;
+                    }
+                }
+            });
+        },
+    );
+
+    // (Reordered) write-back: stored row g*v + r goes to output row
+    // row_indices[g*v + r], one contiguous copy per stored row.
+    for (stored_row, acc_row) in grouped.chunks_exact(n).enumerate() {
+        output
+            .row_mut(row_indices[stored_row] as usize)
+            .copy_from_slice(acc_row);
     }
     output
 }
@@ -293,7 +334,13 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    fn vector_wise_dense(rng: &mut StdRng, m: usize, k: usize, v: usize, density: f64) -> DenseMatrix {
+    fn vector_wise_dense(
+        rng: &mut StdRng,
+        m: usize,
+        k: usize,
+        v: usize,
+        density: f64,
+    ) -> DenseMatrix {
         let groups = m / v;
         let keep: Vec<bool> = (0..groups * k).map(|_| rng.gen_bool(density)).collect();
         DenseMatrix::from_fn(m, k, |r, c| {
@@ -358,12 +405,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(41);
         let dense_a = vector_wise_dense(&mut rng, 256, 256, 32, 0.25);
         let a = VectorWiseMatrix::from_dense(&dense_a, 32).unwrap();
-        let p = vector_wise_spmm_profile(
-            &GpuArch::a100(),
-            &a,
-            64,
-            &VectorWiseKernelConfig::ours(),
-        );
+        let p = vector_wise_spmm_profile(&GpuArch::a100(), &a, 64, &VectorWiseKernelConfig::ours());
         assert_eq!(p.stats.flops(), 2 * a.stored_values() as u64 * 64);
         assert!(p.stats.mma_utilization() <= 1.0);
         assert!(p.stats.metadata_bytes() >= a.metadata_bytes());
@@ -374,16 +416,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(43);
         let arch = GpuArch::v100();
         let cfg = VectorWiseKernelConfig::ours();
-        let denser = VectorWiseMatrix::from_dense(
-            &vector_wise_dense(&mut rng, 1024, 1024, 32, 0.5),
-            32,
-        )
-        .unwrap();
-        let sparser = VectorWiseMatrix::from_dense(
-            &vector_wise_dense(&mut rng, 1024, 1024, 32, 0.1),
-            32,
-        )
-        .unwrap();
+        let denser =
+            VectorWiseMatrix::from_dense(&vector_wise_dense(&mut rng, 1024, 1024, 32, 0.5), 32)
+                .unwrap();
+        let sparser =
+            VectorWiseMatrix::from_dense(&vector_wise_dense(&mut rng, 1024, 1024, 32, 0.1), 32)
+                .unwrap();
         assert!(
             vector_wise_spmm_profile(&arch, &sparser, 128, &cfg).time_us()
                 < vector_wise_spmm_profile(&arch, &denser, 128, &cfg).time_us()

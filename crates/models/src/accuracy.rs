@@ -144,9 +144,7 @@ impl AccuracyModel {
         if unstructured <= 0.0 {
             return 1.0;
         }
-        let retained = self
-            .prune_with(pattern, &scores, density)
-            .unwrap_or(0.0);
+        let retained = self.prune_with(pattern, &scores, density).unwrap_or(0.0);
         (retained / unstructured).clamp(0.0, 1.0)
     }
 
@@ -158,12 +156,16 @@ impl AccuracyModel {
     ) -> Option<f64> {
         let mask = match pattern {
             SparsePattern::Unstructured => UnstructuredPruner::new().prune(scores, density).ok()?,
-            SparsePattern::BlockWise { v } => BlockWisePruner::new(v).prune(scores, density).ok()?,
+            SparsePattern::BlockWise { v } => {
+                BlockWisePruner::new(v).prune(scores, density).ok()?
+            }
             SparsePattern::VectorWise { v } => {
                 VectorWisePruner::new(v).prune(scores, density).ok()?
             }
             SparsePattern::ShflBw { v } => ShflBwPruner::new(v).prune(scores, density).ok()?,
-            SparsePattern::Balanced { m, n } => BalancedPruner::new(m, n).prune(scores, density).ok()?,
+            SparsePattern::Balanced { m, n } => {
+                BalancedPruner::new(m, n).prune(scores, density).ok()?
+            }
         };
         mask.retained_score(scores).ok()
     }

@@ -19,13 +19,20 @@ pub const DECODER_LAYERS: usize = 8;
 /// Weight-bearing GEMM layers of GNMT for the given batch size. The sequence
 /// dimension of the encoder is folded into the batch (the paper reports kernel-level
 /// speedups, for which only the GEMM shapes matter).
+#[allow(clippy::vec_init_then_push)] // the push list reads as the layer table
 pub fn layers(batch: usize) -> Vec<Layer> {
     let n = batch;
     let mut layers = Vec::new();
 
     // Encoder layer 0 is bidirectional (input size 1024, two directions); remaining
     // encoder layers take the 1024-dim output of the previous layer.
-    layers.push(Layer::gemm("encoder.l0.gates", 4 * HIDDEN, n, 2 * HIDDEN, 2));
+    layers.push(Layer::gemm(
+        "encoder.l0.gates",
+        4 * HIDDEN,
+        n,
+        2 * HIDDEN,
+        2,
+    ));
     layers.push(Layer::gemm(
         "encoder.lstm.gates",
         4 * HIDDEN,

@@ -10,6 +10,7 @@
 use crate::workload::{Layer, LayerKind};
 
 /// Builds a convolution layer entry.
+#[allow(clippy::too_many_arguments)] // mirrors the conv geometry tuple
 fn conv(
     name: &str,
     batch: usize,
@@ -36,6 +37,7 @@ fn conv(
 }
 
 /// Weight-bearing layers of ResNet-50 for the given batch size.
+#[allow(clippy::vec_init_then_push)] // the push list reads as the layer table
 pub fn layers(batch: usize) -> Vec<Layer> {
     let mut layers = Vec::new();
 

@@ -19,6 +19,7 @@ pub const DECODER_LAYERS: usize = 6;
 
 /// Weight-bearing GEMM layers of Transformer big for `batch` sentences of `seq_len`
 /// tokens.
+#[allow(clippy::vec_init_then_push)] // the push list reads as the layer table
 pub fn layers(batch: usize, seq_len: usize) -> Vec<Layer> {
     let n = batch * seq_len;
     let mut layers = Vec::new();
@@ -38,8 +39,20 @@ pub fn layers(batch: usize, seq_len: usize) -> Vec<Layer> {
         D_MODEL,
         ENCODER_LAYERS,
     ));
-    layers.push(Layer::gemm("encoder.ffn1", D_FF, n, D_MODEL, ENCODER_LAYERS));
-    layers.push(Layer::gemm("encoder.ffn2", D_MODEL, n, D_FF, ENCODER_LAYERS));
+    layers.push(Layer::gemm(
+        "encoder.ffn1",
+        D_FF,
+        n,
+        D_MODEL,
+        ENCODER_LAYERS,
+    ));
+    layers.push(Layer::gemm(
+        "encoder.ffn2",
+        D_MODEL,
+        n,
+        D_FF,
+        ENCODER_LAYERS,
+    ));
 
     // Decoder: self-attention, cross-attention and FFN.
     layers.push(Layer::gemm(
@@ -77,8 +90,20 @@ pub fn layers(batch: usize, seq_len: usize) -> Vec<Layer> {
         D_MODEL,
         DECODER_LAYERS,
     ));
-    layers.push(Layer::gemm("decoder.ffn1", D_FF, n, D_MODEL, DECODER_LAYERS));
-    layers.push(Layer::gemm("decoder.ffn2", D_MODEL, n, D_FF, DECODER_LAYERS));
+    layers.push(Layer::gemm(
+        "decoder.ffn1",
+        D_FF,
+        n,
+        D_MODEL,
+        DECODER_LAYERS,
+    ));
+    layers.push(Layer::gemm(
+        "decoder.ffn2",
+        D_MODEL,
+        n,
+        D_FF,
+        DECODER_LAYERS,
+    ));
 
     layers
 }
@@ -96,7 +121,10 @@ mod tests {
             .filter(|l| l.name.contains("ffn"))
             .map(|l| l.total_flops())
             .sum();
-        assert!(ffn * 2 > total, "FFN layers should account for ≥ half the FLOPs");
+        assert!(
+            ffn * 2 > total,
+            "FFN layers should account for ≥ half the FLOPs"
+        );
     }
 
     #[test]

@@ -187,7 +187,11 @@ mod tests {
             let layers = model_workload(model, 8, 128);
             assert!(!layers.is_empty(), "{model} has no layers");
             for layer in &layers {
-                assert!(layer.total_flops() > 0, "{model}/{} has zero flops", layer.name);
+                assert!(
+                    layer.total_flops() > 0,
+                    "{model}/{} has zero flops",
+                    layer.name
+                );
             }
         }
     }

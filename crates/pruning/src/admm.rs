@@ -147,7 +147,11 @@ mod tests {
         let pruner = VectorWisePruner::new(16);
         let density = 0.2;
         let direct_mask = pruner.prune(&weights.abs(), density).unwrap();
-        let direct_energy = direct_mask.apply(&weights).unwrap().frobenius_norm().powi(2)
+        let direct_energy = direct_mask
+            .apply(&weights)
+            .unwrap()
+            .frobenius_norm()
+            .powi(2)
             / weights.frobenius_norm().powi(2);
         let admm = admm_prune(&weights, &pruner, density, AdmmConfig::default()).unwrap();
         assert!(

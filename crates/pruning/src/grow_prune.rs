@@ -124,13 +124,8 @@ mod tests {
     #[test]
     fn final_mask_hits_the_target_density_and_pattern() {
         let s = scores(1, 64, 64);
-        let result = grow_and_prune(
-            &s,
-            &ShflBwPruner::new(16),
-            0.2,
-            GrowPruneConfig::default(),
-        )
-        .unwrap();
+        let result =
+            grow_and_prune(&s, &ShflBwPruner::new(16), 0.2, GrowPruneConfig::default()).unwrap();
         assert!((result.mask.density() - 0.2).abs() < 0.02);
         assert!(is_shfl_bw(&result.mask, 16));
         assert_eq!(result.density_schedule.len(), 4);

@@ -18,7 +18,10 @@ pub fn magnitude_scores(weights: &DenseMatrix) -> DenseMatrix {
 /// Panics if `v` is zero or does not divide both dimensions.
 pub fn block_scores(scores: &DenseMatrix, v: usize) -> DenseMatrix {
     let (rows, cols) = scores.shape();
-    assert!(v > 0 && rows % v == 0 && cols % v == 0, "v must divide both dimensions");
+    assert!(
+        v > 0 && rows % v == 0 && cols % v == 0,
+        "v must divide both dimensions"
+    );
     DenseMatrix::from_fn(rows / v, cols / v, |br, bc| {
         let mut sum = 0.0f32;
         for r in 0..v {

@@ -61,7 +61,7 @@ pub fn cluster_rows<R: Rng + ?Sized>(
 ) -> Result<RowClustering> {
     let rows = mask.rows();
     let cols = mask.cols();
-    if group_size == 0 || rows % group_size != 0 {
+    if group_size == 0 || !rows.is_multiple_of(group_size) {
         return Err(Error::InvalidGroupSize {
             group: group_size,
             dimension: rows,
@@ -69,13 +69,26 @@ pub fn cluster_rows<R: Rng + ?Sized>(
     }
     let k = rows / group_size;
     let row_vectors: Vec<Vec<f32>> = (0..rows)
-        .map(|r| mask.row(r).iter().map(|b| if *b { 1.0 } else { 0.0 }).collect())
+        .map(|r| {
+            mask.row(r)
+                .iter()
+                .map(|b| if *b { 1.0 } else { 0.0 })
+                .collect()
+        })
         .collect();
 
     let mut best: Option<RowClustering> = None;
     for _ in 0..config.restarts.max(1) {
-        let clustering = run_once(rng, &row_vectors, rows, cols, k, group_size, config.iterations);
-        if best.as_ref().map_or(true, |b| clustering.inertia < b.inertia) {
+        let clustering = run_once(
+            rng,
+            &row_vectors,
+            rows,
+            cols,
+            k,
+            group_size,
+            config.iterations,
+        );
+        if best.as_ref().is_none_or(|b| clustering.inertia < b.inertia) {
             best = Some(clustering);
         }
     }
@@ -94,7 +107,10 @@ fn run_once<R: Rng + ?Sized>(
     // Initialise centroids from a random sample of distinct rows.
     let mut indices: Vec<usize> = (0..rows).collect();
     indices.shuffle(rng);
-    let mut centroids: Vec<Vec<f32>> = indices[..k].iter().map(|&i| row_vectors[i].clone()).collect();
+    let mut centroids: Vec<Vec<f32>> = indices[..k]
+        .iter()
+        .map(|&i| row_vectors[i].clone())
+        .collect();
 
     let mut groups: Vec<Vec<usize>> = vec![Vec::new(); k];
     for _ in 0..iterations.max(1) {
@@ -158,11 +174,11 @@ fn balanced_assignment(
     }
     // Any stragglers (possible when capacities filled early) go to the first cluster
     // with room.
-    for r in 0..rows {
-        if !assigned[r] {
+    for (r, was_assigned) in assigned.iter_mut().enumerate() {
+        if !*was_assigned {
             if let Some(group) = groups.iter_mut().find(|g| g.len() < group_size) {
                 group.push(r);
-                assigned[r] = true;
+                *was_assigned = true;
             }
         }
     }
@@ -204,13 +220,7 @@ mod tests {
         // Two clearly separated row patterns, 4 rows each: with group size 4 the
         // clustering must recover them exactly.
         let mut rng = StdRng::seed_from_u64(7);
-        let mask = BinaryMask::from_fn(8, 32, |r, c| {
-            if r % 2 == 0 {
-                c < 16
-            } else {
-                c >= 16
-            }
-        });
+        let mask = BinaryMask::from_fn(8, 32, |r, c| if r % 2 == 0 { c < 16 } else { c >= 16 });
         let clustering = cluster_rows(&mut rng, &mask, 4, KMeansConfig::default()).unwrap();
         for group in &clustering.groups {
             let parity = group[0] % 2;

@@ -101,7 +101,7 @@ pub fn finetune_pruned_model(
             .iter()
             .map(|row| {
                 let mixed: f32 = row.iter().zip(z.iter()).map(|(m, zi)| m * zi).sum();
-                mixed / (latent_dim as f32).sqrt() + 0.05 * rng.gen_range(-1.0..1.0)
+                mixed / (latent_dim as f32).sqrt() + 0.05 * rng.gen_range(-1.0f32..1.0)
             })
             .collect()
     };

@@ -65,11 +65,17 @@ mod tests {
     fn extreme_densities() {
         let scores = DenseMatrix::from_fn(4, 4, |r, c| (r + c) as f32);
         assert_eq!(
-            UnstructuredPruner::new().prune(&scores, 0.0).unwrap().kept_count(),
+            UnstructuredPruner::new()
+                .prune(&scores, 0.0)
+                .unwrap()
+                .kept_count(),
             0
         );
         assert_eq!(
-            UnstructuredPruner::new().prune(&scores, 1.0).unwrap().kept_count(),
+            UnstructuredPruner::new()
+                .prune(&scores, 1.0)
+                .unwrap()
+                .kept_count(),
             16
         );
         assert!(UnstructuredPruner::new().prune(&scores, 1.2).is_err());

@@ -8,11 +8,11 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use shfl_bw_repro::prelude::*;
+use shfl_core::formats::{CsrMatrix, VectorWiseMatrix};
 use shfl_kernels::gemm::dense_gemm_profile;
+use shfl_kernels::spmm::cuda_core::cuda_core_spmm_profile;
 use shfl_kernels::spmm::shfl_bw::shfl_bw_spmm_profile;
 use shfl_kernels::spmm::vector_wise::{vector_wise_spmm_profile, VectorWiseKernelConfig};
-use shfl_kernels::spmm::cuda_core::cuda_core_spmm_profile;
-use shfl_core::formats::{CsrMatrix, VectorWiseMatrix};
 
 /// Representative GNMT LSTM-gate layer (the shape Figure 2 is most sensitive to).
 const SHAPE: (usize, usize, usize) = (4096, 128, 2048);
@@ -39,8 +39,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dense_time = dense_gemm_profile(&arch, m, n, k).time_us();
     let mut rng = StdRng::seed_from_u64(3);
 
-    println!("GNMT on {}: dense GEMM layer time {:.1} us", arch.name, dense_time);
-    println!("\npattern            sparsity   {:>6}   speedup", proxy.metric_name());
+    println!(
+        "GNMT on {}: dense GEMM layer time {:.1} us",
+        arch.name, dense_time
+    );
+    println!(
+        "\npattern            sparsity   {:>6}   speedup",
+        proxy.metric_name()
+    );
 
     for &sparsity in &[0.8, 0.85, 0.9] {
         let density = 1.0 - sparsity;
@@ -71,9 +77,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let shfl = ShflBwMatrix::from_dense_with_permutation(&weights, &identity, v)?;
 
             if v == 32 {
-                let t_vw =
-                    vector_wise_spmm_profile(&arch, &vw, n, &VectorWiseKernelConfig::ours())
-                        .time_us();
+                let t_vw = vector_wise_spmm_profile(&arch, &vw, n, &VectorWiseKernelConfig::ours())
+                    .time_us();
                 println!(
                     "{:18} {:7.0}%  {:6.2}  {:6.2}x",
                     format!("Vector-wise V={v}"),

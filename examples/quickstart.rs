@@ -32,7 +32,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Compress into the Shfl-BW format using the discovered row grouping.
     let pruned_weights = result.mask.apply(&weights)?;
-    let sparse = ShflBwMatrix::from_dense_with_permutation(&pruned_weights, &result.permutation, v)?;
+    let sparse =
+        ShflBwMatrix::from_dense_with_permutation(&pruned_weights, &result.permutation, v)?;
     println!(
         "compressed: {} vectors across {} shuffled groups, {} bytes of metadata",
         sparse.stored_vectors(),
@@ -49,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("functional check: max |difference| vs dense reference = {max_diff:.2e}");
 
     // 4. Estimated speedup over the dense baseline on V100, T4 and A100.
-    println!("\nestimated kernel time at {:.0}% sparsity (V = {v}):", sparsity * 100.0);
+    println!(
+        "\nestimated kernel time at {:.0}% sparsity (V = {v}):",
+        sparsity * 100.0
+    );
     for arch in GpuArch::all() {
         let dense = dense_gemm_profile(&arch, m, n, k);
         let shfl = shfl_bw_spmm_profile(&arch, &sparse, n);

@@ -4,12 +4,12 @@
 //!
 //! Run with: `cargo run --release --example transformer_sparse_inference`
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use shfl_bw_repro::prelude::*;
 use shfl_kernels::gemm::dense_gemm_profile;
 use shfl_kernels::spmm::shfl_bw::shfl_bw_spmm_profile;
 use shfl_models::workload::model_workload;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Builds a Shfl-BW-structured weight matrix for a layer shape (each group of `v` rows
 /// keeps a random column subset at the requested density).

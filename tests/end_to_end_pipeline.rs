@@ -7,8 +7,8 @@ use rand::SeedableRng;
 use shfl_bw_repro::prelude::*;
 use shfl_core::pattern::{is_shfl_bw, is_vector_wise};
 use shfl_kernels::gemm::dense_gemm_execute;
-use shfl_kernels::spmm::shfl_bw::{shfl_bw_spmm_execute, shfl_bw_spmm_profile};
 use shfl_kernels::gemm::dense_gemm_profile;
+use shfl_kernels::spmm::shfl_bw::{shfl_bw_spmm_execute, shfl_bw_spmm_profile};
 use shfl_pruning::trainer::{finetune_pruned_model, TrainerConfig};
 use shfl_pruning::VectorWisePruner;
 
@@ -92,8 +92,7 @@ fn shfl_bw_dominates_vector_wise_in_both_axes() {
         ShflBwMatrix::from_dense_with_permutation(&pruned_shfl, &shfl.permutation, v).unwrap();
     let pruned_vw = vw_mask.apply(&weights).unwrap();
     let identity: Vec<usize> = (0..m).collect();
-    let sparse_vw =
-        ShflBwMatrix::from_dense_with_permutation(&pruned_vw, &identity, v).unwrap();
+    let sparse_vw = ShflBwMatrix::from_dense_with_permutation(&pruned_vw, &identity, v).unwrap();
     let arch = GpuArch::v100();
     let t_shfl = shfl_bw_spmm_profile(&arch, &sparse_shfl, 64).time_us();
     let t_vw = shfl_bw_spmm_profile(&arch, &sparse_vw, 64).time_us();

@@ -6,8 +6,8 @@
 //! authors' testbed.
 
 use gpu_sim::GpuArch;
-use shfl_bench::experiments::{ablation, analysis, fig1, fig2, fig6, table1};
 use shfl_bench::experiments::speedup::{model_speedup, KernelChoice};
+use shfl_bench::experiments::{ablation, analysis, fig1, fig2, fig6, table1};
 use shfl_models::workload::DnnModel;
 
 #[test]
@@ -25,7 +25,10 @@ fn figure1_tensor_core_sparse_dominates_cuda_core_sparse() {
         }
         // The sparse tensor-core curve must beat the dense tensor-core baseline well
         // before 95% sparsity — the paper's region C.
-        let at_75 = rows.iter().find(|r| (r.density - 0.25).abs() < 1e-9).unwrap();
+        let at_75 = rows
+            .iter()
+            .find(|r| (r.density - 0.25).abs() < 1e-9)
+            .unwrap();
         assert!(at_75.tensor_core_sparse > at_75.tensor_core_dense);
     }
 }
@@ -34,7 +37,12 @@ fn figure1_tensor_core_sparse_dominates_cuda_core_sparse() {
 fn figure2_unstructured_never_reaches_practical_speedup() {
     let points = fig2::run();
     for p in points.iter().filter(|p| p.label == "Unstructured") {
-        assert!(p.speedup < 1.0, "unstructured at {:.0}% shows speedup {:.2}", p.sparsity * 100.0, p.speedup);
+        assert!(
+            p.speedup < 1.0,
+            "unstructured at {:.0}% shows speedup {:.2}",
+            p.sparsity * 100.0,
+            p.speedup
+        );
     }
     for p in points.iter().filter(|p| p.label.starts_with("Shfl-BW")) {
         assert!(p.speedup > 1.0);
@@ -44,10 +52,37 @@ fn figure2_unstructured_never_reaches_practical_speedup() {
 #[test]
 fn figure6_shfl_bw_speedup_grows_with_sparsity_and_v() {
     let arch = GpuArch::t4();
-    let s75_v32 = model_speedup(&arch, DnnModel::Transformer, 8, 128, 0.75, KernelChoice::ShflBw(32)).unwrap();
-    let s75_v64 = model_speedup(&arch, DnnModel::Transformer, 8, 128, 0.75, KernelChoice::ShflBw(64)).unwrap();
-    let s85_v64 = model_speedup(&arch, DnnModel::Transformer, 8, 128, 0.85, KernelChoice::ShflBw(64)).unwrap();
-    assert!(s75_v64 >= s75_v32 * 0.98, "V=64 ({s75_v64:.2}) should not trail V=32 ({s75_v32:.2})");
+    let s75_v32 = model_speedup(
+        &arch,
+        DnnModel::Transformer,
+        8,
+        128,
+        0.75,
+        KernelChoice::ShflBw(32),
+    )
+    .unwrap();
+    let s75_v64 = model_speedup(
+        &arch,
+        DnnModel::Transformer,
+        8,
+        128,
+        0.75,
+        KernelChoice::ShflBw(64),
+    )
+    .unwrap();
+    let s85_v64 = model_speedup(
+        &arch,
+        DnnModel::Transformer,
+        8,
+        128,
+        0.85,
+        KernelChoice::ShflBw(64),
+    )
+    .unwrap();
+    assert!(
+        s75_v64 >= s75_v32 * 0.98,
+        "V=64 ({s75_v64:.2}) should not trail V=32 ({s75_v32:.2})"
+    );
     assert!(s85_v64 > s75_v64, "85% sparsity should beat 75%");
 }
 
@@ -72,16 +107,39 @@ fn figure6_balanced_sparsity_gives_only_modest_gains_on_a100() {
         KernelChoice::Balanced2in4,
     )
     .unwrap();
-    let shfl_50 = model_speedup(&arch, DnnModel::Transformer, 8, 128, 0.5, KernelChoice::ShflBw(64))
-        .unwrap();
-    let shfl_75 = model_speedup(&arch, DnnModel::Transformer, 8, 128, 0.75, KernelChoice::ShflBw(64))
-        .unwrap();
+    let shfl_50 = model_speedup(
+        &arch,
+        DnnModel::Transformer,
+        8,
+        128,
+        0.5,
+        KernelChoice::ShflBw(64),
+    )
+    .unwrap();
+    let shfl_75 = model_speedup(
+        &arch,
+        DnnModel::Transformer,
+        8,
+        128,
+        0.75,
+        KernelChoice::ShflBw(64),
+    )
+    .unwrap();
     // Balanced sparsity is stuck at a fixed, modest gain; Shfl-BW is comparable at the
     // same 50% sparsity and clearly ahead once the sparsity it can actually express
     // (75%+) is used — the paper's argument for flexibility in the sparsity level.
-    assert!(balanced > 0.95 && balanced < 1.4, "2:4 speedup {balanced:.2} should be modest");
-    assert!(shfl_50 > 0.85 * balanced, "Shfl-BW at 50% ({shfl_50:.2}) should be comparable to 2:4 ({balanced:.2})");
-    assert!(shfl_75 > balanced, "Shfl-BW at 75% ({shfl_75:.2}) should clearly beat 2:4 ({balanced:.2})");
+    assert!(
+        balanced > 0.95 && balanced < 1.4,
+        "2:4 speedup {balanced:.2} should be modest"
+    );
+    assert!(
+        shfl_50 > 0.85 * balanced,
+        "Shfl-BW at 50% ({shfl_50:.2}) should be comparable to 2:4 ({balanced:.2})"
+    );
+    assert!(
+        shfl_75 > balanced,
+        "Shfl-BW at 75% ({shfl_75:.2}) should clearly beat 2:4 ({balanced:.2})"
+    );
 }
 
 #[test]

@@ -7,8 +7,7 @@ use rand::{Rng, SeedableRng};
 use shfl_bw_repro::prelude::*;
 use shfl_core::formats::{BlockSparseMatrix, CsrMatrix, VectorWiseMatrix};
 use shfl_kernels::spmm::{
-    block_wise_spmm_execute, cuda_core_spmm_execute, shfl_bw_spmm_execute,
-    vector_wise_spmm_execute,
+    block_wise_spmm_execute, cuda_core_spmm_execute, shfl_bw_spmm_execute, vector_wise_spmm_execute,
 };
 
 /// Generates a random vector-wise-structured weight matrix, activation matrix and the
