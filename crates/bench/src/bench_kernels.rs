@@ -1,14 +1,27 @@
-//! Wall-clock kernel benchmark: naive reference vs the blocked engine.
+//! Wall-clock kernel benchmark: naive reference vs cold blocked call vs
+//! prepared plan, plus end-to-end model inference.
 //!
-//! `repro --bench-kernels` times every functional kernel twice in the same
-//! run — once through the retained naive reference path
-//! (`shfl_kernels::reference`) and once through the blocked, parallel engine —
-//! and writes the per-kernel wall-clock numbers and speedups to
-//! `BENCH_kernels.json`. The file is the performance trajectory for this and
-//! future PRs: the two headline entries (1024³ dense GEMM and Shfl-BW SpMM at
-//! 70 % sparsity) carry a ≥5× speedup target, and each entry records whether
-//! the two paths produced bit-identical outputs, so a perf regression or a
-//! correctness drift both show up in the same artifact.
+//! `repro --bench-kernels` times every functional kernel three ways in the
+//! same run —
+//!
+//! * **naive**: the retained scalar reference path
+//!   (`shfl_kernels::reference`),
+//! * **blocked (cold)**: the public `*_execute` entry point, which builds a
+//!   kernel plan for the single call and executes it (weight re-packing paid
+//!   every call), and
+//! * **prepared**: a plan built once outside the timer, executing repeatedly
+//!   (the plan/execute split amortising the packing),
+//!
+//! — and runs the [`shfl_models::engine::ModelEngine`] end-to-end over
+//! Transformer, GNMT and ResNet-50. Everything is written to
+//! `BENCH_kernels.json` (schema **v2**, which adds the plan-build/prepared
+//! columns, the git revision and the model throughput section; see
+//! [`crate::report`] for the v1-compatible reader). The two headline entries
+//! (1024³ dense GEMM and Shfl-BW SpMM at 70 % sparsity) carry a ≥5× speedup
+//! target for naive-vs-blocked; the Shfl-BW headline additionally carries the
+//! ≥1.5× prepared-vs-cold target. Each entry records whether all three paths
+//! produced bit-identical outputs, so a perf regression and a correctness
+//! drift both show up in the same artifact.
 
 use crate::synth;
 use gpu_sim::GpuArch;
@@ -16,13 +29,17 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use shfl_core::formats::{BlockSparseMatrix, CsrMatrix, VectorWiseMatrix};
 use shfl_core::matrix::DenseMatrix;
+use shfl_kernels::plan::{ConvPlan, GemmPlan, SpmmPlan};
 use shfl_kernels::spmm::{
-    block_wise_spmm_execute, cuda_core_spmm_execute, shfl_bw_spmm_execute, vector_wise_spmm_execute,
+    balanced_spmm_execute, block_wise_spmm_execute, cuda_core_spmm_execute, shfl_bw_spmm_execute,
+    vector_wise_spmm_execute,
 };
-use shfl_kernels::{conv, gemm, reference};
+use shfl_kernels::{conv, reference};
+use shfl_models::engine::{EngineConfig, ModelEngine};
+use shfl_models::DnnModel;
 use std::time::Instant;
 
-/// One benchmarked kernel: wall-clock of the naive and blocked paths.
+/// One benchmarked kernel: wall-clock of the naive, cold and prepared paths.
 #[derive(Debug, Clone)]
 pub struct BenchResult {
     /// Kernel name (matches the functional kernel it exercises).
@@ -30,33 +47,78 @@ pub struct BenchResult {
     /// Problem shape, e.g. `"1024x1024x1024"`.
     pub shape: String,
     /// Wall-clock of the naive reference path in milliseconds (best of
-    /// [`REPEATS`] runs, same policy as the blocked path so the ratio is
+    /// [`REPEATS`] runs, same policy as the other paths so the ratios are
     /// comparable run-to-run).
     pub naive_ms: f64,
-    /// Wall-clock of the blocked engine in milliseconds (best of
-    /// [`REPEATS`] runs).
+    /// Wall-clock of the cold blocked call (plan built per call) in
+    /// milliseconds (best of [`REPEATS`] runs).
     pub blocked_ms: f64,
-    /// Whether the two paths produced bit-identical outputs.
+    /// Wall-clock of building the plan once, in milliseconds (best of
+    /// [`REPEATS`] runs).
+    pub plan_build_ms: f64,
+    /// Wall-clock of one prepared execute in milliseconds (best of
+    /// [`REPEATS`] runs on a plan built outside the timer).
+    pub prepared_ms: f64,
+    /// Whether all three paths produced bit-identical outputs.
     pub bit_identical: bool,
-    /// Whether this entry carries the ≥5× acceptance target.
+    /// Whether this entry carries the ≥5× naive-over-blocked acceptance
+    /// target.
     pub headline: bool,
 }
 
 impl BenchResult {
-    /// Naive-over-blocked wall-clock ratio.
+    /// Naive-over-blocked wall-clock ratio (the v1 trajectory metric). The
+    /// denominator is floored at 1 ns so a sub-clock-tick measurement yields a
+    /// large finite ratio instead of `inf`/`NaN` (which would corrupt the
+    /// JSON artifact).
     pub fn speedup(&self) -> f64 {
-        if self.blocked_ms > 0.0 {
-            self.naive_ms / self.blocked_ms
-        } else {
-            f64::INFINITY
-        }
+        self.naive_ms / self.blocked_ms.max(1e-6)
+    }
+
+    /// Cold-over-prepared wall-clock ratio: what one-time weight pre-packing
+    /// buys per call (denominator floored like [`BenchResult::speedup`]).
+    pub fn prepared_speedup(&self) -> f64 {
+        self.blocked_ms / self.prepared_ms.max(1e-6)
     }
 }
 
-/// Both paths are timed best-of-N under the same policy; an asymmetric
-/// policy (single naive run vs best-of-N blocked) would let the blocked path
-/// shed cold-cache noise the naive path absorbs and inflate the ratio.
-const REPEATS: usize = 3;
+/// End-to-end numbers of one model on the prepared engine.
+#[derive(Debug, Clone)]
+pub struct ModelBenchResult {
+    /// Model name (`Transformer`, `GNMT`, `ResNet50`).
+    pub model: String,
+    /// Batch size of the run.
+    pub batch: usize,
+    /// Sequence length (1 where not applicable).
+    pub seq_len: usize,
+    /// Number of prepared (unique) layers.
+    pub layers: usize,
+    /// One-time plan-phase cost in milliseconds.
+    pub build_ms: f64,
+    /// Wall-clock of one forward pass in milliseconds.
+    pub forward_ms: f64,
+    /// Functional-simulation throughput (items per second).
+    pub throughput: f64,
+    /// Modeled GPU throughput from the analytical profiles (items/second).
+    pub modeled_throughput: f64,
+    /// Throughput unit: `"tokens/s"` or `"images/s"`.
+    pub unit: &'static str,
+}
+
+/// Everything one `repro --bench-kernels` invocation produces.
+#[derive(Debug, Clone)]
+pub struct BenchRun {
+    /// Per-kernel naive/cold/prepared timings.
+    pub kernels: Vec<BenchResult>,
+    /// Per-model end-to-end numbers.
+    pub models: Vec<ModelBenchResult>,
+}
+
+/// All paths are timed best-of-N under the same policy; an asymmetric policy
+/// (single naive run vs best-of-N elsewhere) would let one path shed
+/// cold-cache noise the others absorb and skew the ratios. Five repeats keep
+/// the cold/prepared ratios stable on shared machines.
+const REPEATS: usize = 5;
 
 fn time_once<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let start = Instant::now();
@@ -64,16 +126,48 @@ fn time_once<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (out, start.elapsed().as_secs_f64() * 1e3)
 }
 
-fn time_best<T>(mut f: impl FnMut() -> T) -> (T, f64) {
-    let (mut out, mut best) = time_once(&mut f);
+/// Interleaved best-of-[`REPEATS`] timing of the four paths of one kernel:
+/// every repetition measures naive, cold, plan-build and prepared back to
+/// back, so a slow scheduling window on a shared machine inflates all four
+/// instead of skewing one side of a ratio. The returned outputs come from each
+/// path's best repetition.
+#[allow(clippy::type_complexity)] // one (output, ms) pair per timed path
+fn time_paths<N, B, P>(
+    mut naive: impl FnMut() -> N,
+    mut blocked: impl FnMut() -> B,
+    mut build: impl FnMut(),
+    mut prepared: impl FnMut() -> P,
+) -> ((N, f64), (B, f64), f64, (P, f64)) {
+    // Untimed warmup: fault in buffers, settle the allocator and branch
+    // predictors, and let the blocked/prepared pair see the same cache state
+    // their timed repetitions will.
+    let _ = blocked();
+    let _ = prepared();
+    // Within a repetition the order is naive → build → blocked → prepared, so
+    // the two sides of the cold/prepared ratio run back to back with the same
+    // predecessor footprint (the naive pass thrashes the caches; the plan
+    // build that follows touches the weight operand either way).
+    let (mut n_out, mut n_ms) = time_once(&mut naive);
+    let ((), mut build_ms) = time_once(&mut build);
+    let (mut b_out, mut b_ms) = time_once(&mut blocked);
+    let (mut p_out, mut p_ms) = time_once(&mut prepared);
     for _ in 1..REPEATS {
-        let (next, ms) = time_once(&mut f);
-        if ms < best {
-            best = ms;
-            out = next;
+        let (out, ms) = time_once(&mut naive);
+        if ms < n_ms {
+            (n_out, n_ms) = (out, ms);
+        }
+        let ((), ms) = time_once(&mut build);
+        build_ms = build_ms.min(ms);
+        let (out, ms) = time_once(&mut blocked);
+        if ms < b_ms {
+            (b_out, b_ms) = (out, ms);
+        }
+        let (out, ms) = time_once(&mut prepared);
+        if ms < p_ms {
+            (p_out, p_ms) = (out, ms);
         }
     }
-    (out, best)
+    ((n_out, n_ms), (b_out, b_ms), build_ms, (p_out, p_ms))
 }
 
 fn bits_equal(a: &DenseMatrix, b: &DenseMatrix) -> bool {
@@ -84,30 +178,63 @@ fn bits_equal(a: &DenseMatrix, b: &DenseMatrix) -> bool {
             .all(|(x, y)| x.to_bits() == y.to_bits())
 }
 
-/// Runs the full kernel benchmark suite. `quick` shrinks every shape (used by
-/// the unit test so CI does not pay the full 1024³ naive GEMM).
-pub fn run(quick: bool) -> Vec<BenchResult> {
+/// The current git revision (short, with a `-dirty` suffix when the working
+/// tree has uncommitted changes), or `"unknown"` outside a checkout — so the
+/// trajectory never attributes numbers to code that did not produce them.
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty", "--abbrev=12"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Runs the full kernel + model benchmark suite. `quick` shrinks every shape
+/// (used by the unit test and `repro --bench-kernels --smoke` so CI does not
+/// pay the full 1024³ naive GEMM).
+pub fn run(quick: bool) -> BenchRun {
     let arch = GpuArch::v100();
     let shape = arch.mma_shape;
     let mut rng = StdRng::seed_from_u64(20220711);
-    let mut results = Vec::new();
+    let mut kernels = Vec::new();
 
-    // Headline 1: dense GEMM execute, 1024³ (the acceptance shape).
+    // Headline 1: dense GEMM, 1024³ (the acceptance shape).
     let s = if quick { 96 } else { 1024 };
     let a = DenseMatrix::random(&mut rng, s, s);
     let b = DenseMatrix::random(&mut rng, s, s);
-    let (naive_out, naive_ms) = time_best(|| reference::fragment_matmul_naive(shape, &a, &b));
-    let (blocked_out, blocked_ms) = time_best(|| gemm::fragment_matmul(shape, &a, &b));
-    results.push(BenchResult {
+    let plan = GemmPlan::new(&arch, &a, s);
+    let (
+        (naive_out, naive_ms),
+        (blocked_out, blocked_ms),
+        plan_build_ms,
+        (prepared_out, prepared_ms),
+    ) = time_paths(
+        || reference::fragment_matmul_naive(shape, &a, &b),
+        || {
+            shfl_kernels::gemm::dense_gemm_execute(&arch, &a, &b)
+                .expect("shapes match")
+                .output
+        },
+        || drop(GemmPlan::new(&arch, &a, s)),
+        || plan.execute(&b).expect("bucket matches").output,
+    );
+    kernels.push(BenchResult {
         kernel: "dense_gemm_execute".to_string(),
         shape: format!("{s}x{s}x{s}"),
         naive_ms,
         blocked_ms,
-        bit_identical: bits_equal(&naive_out, &blocked_out),
+        plan_build_ms,
+        prepared_ms,
+        bit_identical: bits_equal(&naive_out, &blocked_out)
+            && bits_equal(&naive_out, &prepared_out),
         headline: true,
     });
 
-    // Headline 2: Shfl-BW SpMM execute at 70 % sparsity (density 0.30).
+    // Headline 2: Shfl-BW SpMM at 70 % sparsity (density 0.30).
     let (m, k, n, v) = if quick {
         (128, 128, 64, 16)
     } else {
@@ -115,20 +242,31 @@ pub fn run(quick: bool) -> Vec<BenchResult> {
     };
     let shfl = synth::shfl_bw_matrix(7, m, k, v, 0.30);
     let b = DenseMatrix::random(&mut rng, k, n);
-    let (naive_out, naive_ms) = time_best(|| {
-        reference::stitched_spmm_naive(&arch, shfl.vector_wise(), &b, shfl.row_indices())
-    });
-    let (blocked_out, blocked_ms) = time_best(|| {
-        shfl_bw_spmm_execute(&arch, &shfl, &b)
-            .expect("shapes match")
-            .output
-    });
-    results.push(BenchResult {
+    let plan = SpmmPlan::shfl_bw(&arch, &shfl, n);
+    let (
+        (naive_out, naive_ms),
+        (blocked_out, blocked_ms),
+        plan_build_ms,
+        (prepared_out, prepared_ms),
+    ) = time_paths(
+        || reference::stitched_spmm_naive(&arch, shfl.vector_wise(), &b, shfl.row_indices()),
+        || {
+            shfl_bw_spmm_execute(&arch, &shfl, &b)
+                .expect("shapes match")
+                .output
+        },
+        || drop(SpmmPlan::shfl_bw(&arch, &shfl, n)),
+        || plan.execute(&b).expect("bucket matches").output,
+    );
+    kernels.push(BenchResult {
         kernel: "shfl_bw_spmm_execute".to_string(),
         shape: format!("{m}x{k}x{n} V={v} 70% sparse"),
         naive_ms,
         blocked_ms,
-        bit_identical: bits_equal(&naive_out, &blocked_out),
+        plan_build_ms,
+        prepared_ms,
+        bit_identical: bits_equal(&naive_out, &blocked_out)
+            && bits_equal(&naive_out, &prepared_out),
         headline: true,
     });
 
@@ -143,69 +281,120 @@ pub fn run(quick: bool) -> Vec<BenchResult> {
     let vw_dense = synth::vector_wise_dense(11, m, k, v, 0.30);
     let vw = VectorWiseMatrix::from_dense(&vw_dense, v).expect("m divides v");
     let identity: Vec<u32> = (0..m as u32).collect();
-    let (naive_out, naive_ms) =
-        time_best(|| reference::stitched_spmm_naive(&arch, &vw, &b, &identity));
-    let (blocked_out, blocked_ms) = time_best(|| {
-        vector_wise_spmm_execute(&arch, &vw, &b)
-            .expect("shapes match")
-            .output
-    });
-    results.push(BenchResult {
+    let plan = SpmmPlan::vector_wise(&arch, &vw, n);
+    let (
+        (naive_out, naive_ms),
+        (blocked_out, blocked_ms),
+        plan_build_ms,
+        (prepared_out, prepared_ms),
+    ) = time_paths(
+        || reference::stitched_spmm_naive(&arch, &vw, &b, &identity),
+        || {
+            vector_wise_spmm_execute(&arch, &vw, &b)
+                .expect("shapes match")
+                .output
+        },
+        || drop(SpmmPlan::vector_wise(&arch, &vw, n)),
+        || plan.execute(&b).expect("bucket matches").output,
+    );
+    kernels.push(BenchResult {
         kernel: "vector_wise_spmm_execute".to_string(),
         shape: format!("{m}x{k}x{n} V={v}"),
         naive_ms,
         blocked_ms,
-        bit_identical: bits_equal(&naive_out, &blocked_out),
+        plan_build_ms,
+        prepared_ms,
+        bit_identical: bits_equal(&naive_out, &blocked_out)
+            && bits_equal(&naive_out, &prepared_out),
         headline: false,
     });
 
     let csr_dense = synth::unstructured_dense(13, m, k, 0.30);
     let csr = CsrMatrix::from_dense(&csr_dense);
-    let (naive_out, naive_ms) = time_best(|| reference::csr_spmm_naive(&csr, &b));
-    let (blocked_out, blocked_ms) = time_best(|| {
-        cuda_core_spmm_execute(&arch, &csr, &b)
-            .expect("shapes match")
-            .output
-    });
-    results.push(BenchResult {
+    let plan = SpmmPlan::cuda_core(&arch, &csr, n);
+    let (
+        (naive_out, naive_ms),
+        (blocked_out, blocked_ms),
+        plan_build_ms,
+        (prepared_out, prepared_ms),
+    ) = time_paths(
+        || reference::csr_spmm_naive(&csr, &b),
+        || {
+            cuda_core_spmm_execute(&arch, &csr, &b)
+                .expect("shapes match")
+                .output
+        },
+        || drop(SpmmPlan::cuda_core(&arch, &csr, n)),
+        || plan.execute(&b).expect("bucket matches").output,
+    );
+    kernels.push(BenchResult {
         kernel: "cuda_core_spmm_execute".to_string(),
         shape: format!("{m}x{k}x{n}"),
         naive_ms,
         blocked_ms,
-        bit_identical: bits_equal(&naive_out, &blocked_out),
+        plan_build_ms,
+        prepared_ms,
+        bit_identical: bits_equal(&naive_out, &blocked_out)
+            && bits_equal(&naive_out, &prepared_out),
         headline: false,
     });
 
     let bsr: BlockSparseMatrix = synth::block_wise_matrix(17, m, k, v, 0.30);
-    let (naive_out, naive_ms) = time_best(|| reference::block_spmm_naive(&arch, &bsr, &b));
-    let (blocked_out, blocked_ms) = time_best(|| {
-        block_wise_spmm_execute(&arch, &bsr, &b)
-            .expect("shapes match")
-            .output
-    });
-    results.push(BenchResult {
+    let plan = SpmmPlan::block_wise(&arch, &bsr, n);
+    let (
+        (naive_out, naive_ms),
+        (blocked_out, blocked_ms),
+        plan_build_ms,
+        (prepared_out, prepared_ms),
+    ) = time_paths(
+        || reference::block_spmm_naive(&arch, &bsr, &b),
+        || {
+            block_wise_spmm_execute(&arch, &bsr, &b)
+                .expect("shapes match")
+                .output
+        },
+        || drop(SpmmPlan::block_wise(&arch, &bsr, n)),
+        || plan.execute(&b).expect("bucket matches").output,
+    );
+    kernels.push(BenchResult {
         kernel: "block_wise_spmm_execute".to_string(),
         shape: format!("{m}x{k}x{n} V={v}"),
         naive_ms,
         blocked_ms,
-        bit_identical: bits_equal(&naive_out, &blocked_out),
+        plan_build_ms,
+        prepared_ms,
+        bit_identical: bits_equal(&naive_out, &blocked_out)
+            && bits_equal(&naive_out, &prepared_out),
         headline: false,
     });
 
     let a100 = GpuArch::a100();
     let bal = synth::balanced_matrix(19, m, k);
-    let (naive_out, naive_ms) = time_best(|| reference::balanced_spmm_naive(&a100, &bal, &b));
-    let (blocked_out, blocked_ms) = time_best(|| {
-        shfl_kernels::spmm::balanced_spmm_execute(&a100, &bal, &b)
-            .expect("supported on A100")
-            .output
-    });
-    results.push(BenchResult {
+    let plan = SpmmPlan::balanced(&a100, &bal, n).expect("supported on A100");
+    let (
+        (naive_out, naive_ms),
+        (blocked_out, blocked_ms),
+        plan_build_ms,
+        (prepared_out, prepared_ms),
+    ) = time_paths(
+        || reference::balanced_spmm_naive(&a100, &bal, &b),
+        || {
+            balanced_spmm_execute(&a100, &bal, &b)
+                .expect("supported on A100")
+                .output
+        },
+        || drop(SpmmPlan::balanced(&a100, &bal, n).expect("supported on A100")),
+        || plan.execute(&b).expect("bucket matches").output,
+    );
+    kernels.push(BenchResult {
         kernel: "balanced_spmm_execute".to_string(),
         shape: format!("{m}x{k}x{n} 2:4"),
         naive_ms,
         blocked_ms,
-        bit_identical: bits_equal(&naive_out, &blocked_out),
+        plan_build_ms,
+        prepared_ms,
+        bit_identical: bits_equal(&naive_out, &blocked_out)
+            && bits_equal(&naive_out, &prepared_out),
         headline: false,
     });
 
@@ -230,14 +419,23 @@ pub fn run(quick: bool) -> Vec<BenchResult> {
         params.input_h,
         params.input_w,
     );
-    let (naive_out, naive_ms) =
-        time_best(|| reference::conv2d_dense_naive(&arch, &weights, &input, &params));
-    let (blocked_out, blocked_ms) = time_best(|| {
-        conv::conv2d_dense_execute(&arch, &weights, &input, &params)
-            .expect("geometry matches")
-            .0
-    });
-    results.push(BenchResult {
+    let plan = ConvPlan::dense(&arch, &weights, &params).expect("geometry matches");
+    let (
+        (naive_out, naive_ms),
+        (blocked_out, blocked_ms),
+        plan_build_ms,
+        (prepared_out, prepared_ms),
+    ) = time_paths(
+        || reference::conv2d_dense_naive(&arch, &weights, &input, &params),
+        || {
+            conv::conv2d_dense_execute(&arch, &weights, &input, &params)
+                .expect("geometry matches")
+                .0
+        },
+        || drop(ConvPlan::dense(&arch, &weights, &params).expect("geometry matches")),
+        || plan.execute(&input).expect("geometry matches").0,
+    );
+    kernels.push(BenchResult {
         kernel: "conv2d_dense_execute".to_string(),
         shape: format!(
             "b{} {}->{} {}x{}",
@@ -245,28 +443,56 @@ pub fn run(quick: bool) -> Vec<BenchResult> {
         ),
         naive_ms,
         blocked_ms,
-        bit_identical: naive_out == blocked_out,
+        plan_build_ms,
+        prepared_ms,
+        bit_identical: naive_out == blocked_out && naive_out == prepared_out,
         headline: false,
     });
 
-    results
+    // End-to-end: one prepared engine per model, repeated forward passes.
+    let cfg = if quick {
+        EngineConfig::smoke()
+    } else {
+        EngineConfig::paper_default()
+    };
+    let mut models = Vec::new();
+    for model in DnnModel::all() {
+        let engine = ModelEngine::build(model, &arch, &cfg).expect("engine builds");
+        let report = engine.run_best_of(if quick { 1 } else { REPEATS });
+        models.push(ModelBenchResult {
+            model: model.name().to_string(),
+            batch: report.batch,
+            seq_len: report.seq_len,
+            layers: report.layers.len(),
+            build_ms: report.build_ms,
+            forward_ms: report.forward_ms,
+            throughput: report.throughput_per_s(),
+            modeled_throughput: report.modeled_throughput_per_s(),
+            unit: report.unit,
+        });
+    }
+
+    BenchRun { kernels, models }
 }
 
 /// Renders the plain-text report table.
-pub fn to_table(results: &[BenchResult]) -> String {
+pub fn to_table(run: &BenchRun) -> String {
     let mut out = String::from(
-        "Kernel wall-clock: naive reference vs blocked engine\n\
-         kernel                     | shape                      | naive ms | blocked ms | speedup | bit-identical\n\
-         ---------------------------+----------------------------+----------+------------+---------+--------------\n",
+        "Kernel wall-clock: naive reference vs cold blocked call vs prepared plan\n\
+         kernel                     | shape                      | naive ms | blocked ms | build ms | prepared ms | speedup | prep-speedup | bit-identical\n\
+         ---------------------------+----------------------------+----------+------------+----------+-------------+---------+--------------+--------------\n",
     );
-    for r in results {
+    for r in &run.kernels {
         out.push_str(&format!(
-            "{:26} | {:26} | {:8.2} | {:10.2} | {:6.1}x | {}{}\n",
+            "{:26} | {:26} | {:8.2} | {:10.2} | {:8.2} | {:11.2} | {:6.1}x | {:11.2}x | {}{}\n",
             r.kernel,
             r.shape,
             r.naive_ms,
             r.blocked_ms,
+            r.plan_build_ms,
+            r.prepared_ms,
             r.speedup(),
+            r.prepared_speedup(),
             r.bit_identical,
             if r.headline {
                 "  [headline, target >=5x]"
@@ -275,35 +501,79 @@ pub fn to_table(results: &[BenchResult]) -> String {
             }
         ));
     }
+    out.push_str(
+        "\nEnd-to-end model inference (prepared engine, one plan per layer)\n\
+         model        | batch | seq | layers | build ms | forward ms | throughput       | modeled GPU\n\
+         -------------+-------+-----+--------+----------+------------+------------------+----------------\n",
+    );
+    for m in &run.models {
+        out.push_str(&format!(
+            "{:12} | {:5} | {:3} | {:6} | {:8.1} | {:10.2} | {:9.1} {:6} | {:9.1} {}\n",
+            m.model,
+            m.batch,
+            m.seq_len,
+            m.layers,
+            m.build_ms,
+            m.forward_ms,
+            m.throughput,
+            m.unit,
+            m.modeled_throughput,
+            m.unit,
+        ));
+    }
     out
 }
 
-/// Serialises the results as the `BENCH_kernels.json` document (hand-rolled
+/// Serialises the results as the `BENCH_kernels.json` v2 document (hand-rolled
 /// JSON: the offline build has no serde).
-pub fn to_json(results: &[BenchResult]) -> String {
+pub fn to_json(run: &BenchRun) -> String {
     fn esc(s: &str) -> String {
         s.replace('\\', "\\\\").replace('"', "\\\"")
     }
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"shfl-bw-repro/bench-kernels/v1\",\n");
+    out.push_str("  \"schema\": \"shfl-bw-repro/bench-kernels/v2\",\n");
     out.push_str(&format!(
         "  \"threads\": {},\n",
         std::thread::available_parallelism().map_or(1, usize::from)
     ));
+    out.push_str(&format!("  \"git_rev\": \"{}\",\n", esc(&git_rev())));
     out.push_str("  \"results\": [\n");
-    for (i, r) in results.iter().enumerate() {
+    for (i, r) in run.kernels.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"kernel\": \"{}\", \"shape\": \"{}\", \"naive_ms\": {:.3}, \
-             \"blocked_ms\": {:.3}, \"speedup\": {:.2}, \"bit_identical\": {}, \
+             \"blocked_ms\": {:.3}, \"plan_build_ms\": {:.3}, \"prepared_ms\": {:.3}, \
+             \"speedup\": {:.2}, \"prepared_speedup\": {:.2}, \"bit_identical\": {}, \
              \"headline\": {}}}{}\n",
             esc(&r.kernel),
             esc(&r.shape),
             r.naive_ms,
             r.blocked_ms,
+            r.plan_build_ms,
+            r.prepared_ms,
             r.speedup(),
+            r.prepared_speedup(),
             r.bit_identical,
             r.headline,
-            if i + 1 < results.len() { "," } else { "" }
+            if i + 1 < run.kernels.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"models\": [\n");
+    for (i, m) in run.models.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"model\": \"{}\", \"batch\": {}, \"seq_len\": {}, \"layers\": {}, \
+             \"build_ms\": {:.3}, \"forward_ms\": {:.3}, \"throughput\": {:.2}, \
+             \"modeled_throughput\": {:.2}, \"unit\": \"{}\"}}{}\n",
+            esc(&m.model),
+            m.batch,
+            m.seq_len,
+            m.layers,
+            m.build_ms,
+            m.forward_ms,
+            m.throughput,
+            m.modeled_throughput,
+            esc(m.unit),
+            if i + 1 < run.models.len() { "," } else { "" }
         ));
     }
     out.push_str("  ]\n}\n");
@@ -316,17 +586,23 @@ mod tests {
 
     #[test]
     fn quick_run_is_bit_identical_and_json_is_well_formed() {
-        let results = run(true);
-        assert_eq!(results.len(), 7);
-        assert!(results.iter().all(|r| r.bit_identical), "{results:?}");
-        assert_eq!(results.iter().filter(|r| r.headline).count(), 2);
-        let json = to_json(&results);
+        let run = run(true);
+        assert_eq!(run.kernels.len(), 7);
+        assert!(run.kernels.iter().all(|r| r.bit_identical), "{run:?}");
+        assert_eq!(run.kernels.iter().filter(|r| r.headline).count(), 2);
+        assert_eq!(run.models.len(), 3);
+        assert!(run.models.iter().all(|m| m.forward_ms > 0.0));
+        let json = to_json(&run);
         assert!(json.contains("\"dense_gemm_execute\""));
         assert!(json.contains("\"shfl_bw_spmm_execute\""));
+        assert!(json.contains("\"prepared_ms\""));
+        assert!(json.contains("\"git_rev\""));
+        assert!(json.contains("\"Transformer\""));
         // Balanced braces / brackets as a cheap well-formedness check.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
-        let table = to_table(&results);
+        let table = to_table(&run);
         assert!(table.contains("headline"));
+        assert!(table.contains("ResNet50"));
     }
 }

@@ -16,15 +16,18 @@
 //! bench per experiment wraps the same runners so `cargo bench` regenerates every
 //! figure and table.
 //!
-//! Beyond the paper's figures, [`bench_kernels`] times the functional kernels'
-//! naive reference paths against the blocked engine and emits the
-//! `BENCH_kernels.json` performance trajectory (`repro --bench-kernels`).
+//! Beyond the paper's figures, [`bench_kernels`] times the functional kernels
+//! three ways — naive reference, cold blocked call, prepared plan — runs the
+//! end-to-end model engines, and emits the `BENCH_kernels.json` v2 performance
+//! trajectory (`repro --bench-kernels`); [`report`] reads that file back in
+//! both the v1 and v2 schemas so the trajectory stays comparable across PRs.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod bench_kernels;
 pub mod experiments;
+pub mod report;
 pub mod synth;
 
 /// Formats a floating-point speedup for the report tables.

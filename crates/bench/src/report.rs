@@ -1,0 +1,446 @@
+//! Reader for `BENCH_kernels.json` — v1 and v2 schemas.
+//!
+//! The benchmark trajectory only works if every PR can read the numbers the
+//! previous PRs wrote. Schema **v1** recorded `naive_ms`/`blocked_ms` per
+//! kernel; schema **v2** (this PR) adds the plan-build and prepared columns,
+//! the git revision, and the end-to-end model section. [`parse_report`]
+//! accepts both: v1 files surface with `plan_build_ms`/`prepared_ms` as
+//! `None` and an empty model list, so comparisons across the schema change
+//! stay possible.
+//!
+//! The offline build has no serde, so this module carries a minimal
+//! recursive-descent JSON parser (objects, arrays, strings, numbers, bools,
+//! null) — enough for the fixed benchmark schema and small hand-written
+//! fixtures.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value (minimal offline parser).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number, kept as `f64`.
+    Number(f64),
+    /// A string (escape sequences decoded).
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object (key order not preserved).
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Option<()> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn parse_value(&mut self) -> Option<Json> {
+        self.skip_ws();
+        match self.peek()? {
+            b'{' => self.parse_object(),
+            b'[' => self.parse_array(),
+            b'"' => Some(Json::String(self.parse_string()?)),
+            b't' => self.parse_keyword("true", Json::Bool(true)),
+            b'f' => self.parse_keyword("false", Json::Bool(false)),
+            b'n' => self.parse_keyword("null", Json::Null),
+            _ => self.parse_number(),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Json) -> Option<Json> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Some(value)
+        } else {
+            None
+        }
+    }
+
+    fn parse_object(&mut self) -> Option<Json> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Some(Json::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Some(Json::Object(map));
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Option<Json> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Some(Json::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Some(Json::Array(items));
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Option<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek()? {
+                b'"' => {
+                    self.pos += 1;
+                    return Some(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let escaped = self.peek()?;
+                    self.pos += 1;
+                    match escaped {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self.bytes.get(self.pos..self.pos + 4)?;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code)?);
+                        }
+                        _ => return None,
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 code point.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..]).ok()?;
+                    let ch = rest.chars().next()?;
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Option<Json> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()?
+            .parse::<f64>()
+            .ok()
+            .map(Json::Number)
+    }
+}
+
+/// Parses a JSON document (returns `None` on malformed input or trailing
+/// garbage).
+pub fn parse_json(input: &str) -> Option<Json> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos == parser.bytes.len() {
+        Some(value)
+    } else {
+        None
+    }
+}
+
+/// One kernel row of a benchmark report (schema v1 or v2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelRecord {
+    /// Kernel name.
+    pub kernel: String,
+    /// Problem shape.
+    pub shape: String,
+    /// Naive reference wall-clock, ms.
+    pub naive_ms: f64,
+    /// Cold blocked wall-clock, ms.
+    pub blocked_ms: f64,
+    /// Plan-build wall-clock, ms (v2 only).
+    pub plan_build_ms: Option<f64>,
+    /// Prepared execute wall-clock, ms (v2 only).
+    pub prepared_ms: Option<f64>,
+    /// Recorded naive-over-blocked speedup.
+    pub speedup: f64,
+    /// Whether the paths were bit-identical in that run.
+    pub bit_identical: bool,
+    /// Whether the row carries the headline target.
+    pub headline: bool,
+}
+
+/// One model row of a v2 benchmark report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelRecord {
+    /// Model name.
+    pub model: String,
+    /// Batch size.
+    pub batch: usize,
+    /// Sequence length.
+    pub seq_len: usize,
+    /// Forward-pass wall-clock, ms.
+    pub forward_ms: f64,
+    /// Functional throughput (items/s).
+    pub throughput: f64,
+    /// Unit (`tokens/s` / `images/s`).
+    pub unit: String,
+}
+
+/// A parsed `BENCH_kernels.json`, any supported schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Schema version (1 or 2).
+    pub schema_version: u32,
+    /// Thread count recorded in the run.
+    pub threads: usize,
+    /// Git revision (v2 only).
+    pub git_rev: Option<String>,
+    /// Per-kernel rows.
+    pub kernels: Vec<KernelRecord>,
+    /// Per-model rows (empty for v1).
+    pub models: Vec<ModelRecord>,
+}
+
+/// Parses a `BENCH_kernels.json` document of schema v1 or v2. Returns `None`
+/// for malformed JSON or an unknown schema string.
+pub fn parse_report(input: &str) -> Option<BenchReport> {
+    let doc = parse_json(input)?;
+    let schema = doc.get("schema")?.as_str()?;
+    let schema_version = match schema {
+        "shfl-bw-repro/bench-kernels/v1" => 1,
+        "shfl-bw-repro/bench-kernels/v2" => 2,
+        _ => return None,
+    };
+    let threads = doc.get("threads")?.as_f64()? as usize;
+    let git_rev = doc
+        .get("git_rev")
+        .and_then(Json::as_str)
+        .map(str::to_string);
+    let mut kernels = Vec::new();
+    for row in doc.get("results")?.as_array()? {
+        kernels.push(KernelRecord {
+            kernel: row.get("kernel")?.as_str()?.to_string(),
+            shape: row.get("shape")?.as_str()?.to_string(),
+            naive_ms: row.get("naive_ms")?.as_f64()?,
+            blocked_ms: row.get("blocked_ms")?.as_f64()?,
+            plan_build_ms: row.get("plan_build_ms").and_then(Json::as_f64),
+            prepared_ms: row.get("prepared_ms").and_then(Json::as_f64),
+            speedup: row.get("speedup")?.as_f64()?,
+            bit_identical: row.get("bit_identical")?.as_bool()?,
+            headline: row.get("headline")?.as_bool()?,
+        });
+    }
+    let mut models = Vec::new();
+    if let Some(rows) = doc.get("models").and_then(Json::as_array) {
+        for row in rows {
+            models.push(ModelRecord {
+                model: row.get("model")?.as_str()?.to_string(),
+                batch: row.get("batch")?.as_f64()? as usize,
+                seq_len: row.get("seq_len")?.as_f64()? as usize,
+                forward_ms: row.get("forward_ms")?.as_f64()?,
+                throughput: row.get("throughput")?.as_f64()?,
+                unit: row.get("unit")?.as_str()?.to_string(),
+            });
+        }
+    }
+    Some(BenchReport {
+        schema_version,
+        threads,
+        git_rev,
+        kernels,
+        models,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The exact shape of the v1 document this repository shipped before the
+    /// plan/execute split (two rows kept for brevity).
+    const V1_SAMPLE: &str = r#"{
+  "schema": "shfl-bw-repro/bench-kernels/v1",
+  "threads": 1,
+  "results": [
+    {"kernel": "dense_gemm_execute", "shape": "1024x1024x1024", "naive_ms": 3313.742, "blocked_ms": 125.607, "speedup": 26.38, "bit_identical": true, "headline": true},
+    {"kernel": "cuda_core_spmm_execute", "shape": "512x512x128", "naive_ms": 1.509, "blocked_ms": 1.676, "speedup": 0.90, "bit_identical": true, "headline": false}
+  ]
+}"#;
+
+    #[test]
+    fn parses_the_v1_schema_without_prepared_columns() {
+        let report = parse_report(V1_SAMPLE).unwrap();
+        assert_eq!(report.schema_version, 1);
+        assert_eq!(report.threads, 1);
+        assert_eq!(report.git_rev, None);
+        assert_eq!(report.kernels.len(), 2);
+        assert!(report.models.is_empty());
+        let gemm = &report.kernels[0];
+        assert_eq!(gemm.kernel, "dense_gemm_execute");
+        assert!((gemm.naive_ms - 3313.742).abs() < 1e-9);
+        assert_eq!(gemm.plan_build_ms, None);
+        assert_eq!(gemm.prepared_ms, None);
+        assert!(gemm.headline);
+        assert!(!report.kernels[1].headline);
+    }
+
+    #[test]
+    fn round_trips_the_v2_writer() {
+        // A small synthetic run exercises the writer→reader path without the
+        // cost of actually benchmarking.
+        let run = crate::bench_kernels::BenchRun {
+            kernels: vec![crate::bench_kernels::BenchResult {
+                kernel: "shfl_bw_spmm_execute".into(),
+                shape: "1024x1024x256 V=64 70% sparse".into(),
+                naive_ms: 100.0,
+                blocked_ms: 8.0,
+                plan_build_ms: 2.0,
+                prepared_ms: 4.0,
+                bit_identical: true,
+                headline: true,
+            }],
+            models: vec![crate::bench_kernels::ModelBenchResult {
+                model: "GNMT".into(),
+                batch: 4,
+                seq_len: 1,
+                layers: 6,
+                build_ms: 120.0,
+                forward_ms: 80.0,
+                throughput: 50.0,
+                modeled_throughput: 4000.0,
+                unit: "tokens/s",
+            }],
+        };
+        let json = crate::bench_kernels::to_json(&run);
+        let report = parse_report(&json).unwrap();
+        assert_eq!(report.schema_version, 2);
+        assert!(report.git_rev.is_some());
+        assert_eq!(report.kernels.len(), 1);
+        let k = &report.kernels[0];
+        assert_eq!(k.prepared_ms, Some(4.0));
+        assert_eq!(k.plan_build_ms, Some(2.0));
+        assert!((k.speedup - 12.5).abs() < 1e-9);
+        assert_eq!(report.models.len(), 1);
+        assert_eq!(report.models[0].model, "GNMT");
+        assert_eq!(report.models[0].unit, "tokens/s");
+    }
+
+    #[test]
+    fn rejects_malformed_and_unknown_documents() {
+        assert!(parse_report("not json").is_none());
+        assert!(parse_report("{\"schema\": \"something-else\", \"threads\": 1}").is_none());
+        assert!(parse_json("{\"a\": [1, 2,]}").is_none());
+        assert!(parse_json("{} trailing").is_none());
+    }
+
+    #[test]
+    fn json_parser_handles_escapes_and_nesting() {
+        let doc = parse_json(r#"{"s": "a\"b\\c\nd", "arr": [1, -2.5, 3e2, true, null], "o": {}}"#)
+            .unwrap();
+        assert_eq!(doc.get("s").unwrap().as_str().unwrap(), "a\"b\\c\nd");
+        let arr = doc.get("arr").unwrap().as_array().unwrap();
+        assert_eq!(arr[1].as_f64().unwrap(), -2.5);
+        assert_eq!(arr[2].as_f64().unwrap(), 300.0);
+        assert_eq!(arr[3].as_bool(), Some(true));
+        assert_eq!(arr[4], Json::Null);
+        assert_eq!(parse_json(r#""A""#).unwrap().as_str().unwrap(), "A");
+    }
+}

@@ -13,12 +13,14 @@
 ///
 /// Values whose magnitude exceeds the fp16 range saturate to ±65504; subnormals
 /// are flushed following round-to-nearest-even semantics of the conversion.
+#[inline]
 pub fn round_to_f16(value: f32) -> f32 {
     f32::from(half_from_f32(value))
 }
 
 /// Minimal software fp16 conversion (round-to-nearest-even), returning the
 /// decoded value as `f32` via the bit pattern.
+#[inline]
 fn half_from_f32(value: f32) -> HalfBits {
     let bits = value.to_bits();
     let sign = ((bits >> 16) & 0x8000) as u16;
@@ -80,6 +82,7 @@ fn half_from_f32(value: f32) -> HalfBits {
 struct HalfBits(u16);
 
 impl From<HalfBits> for f32 {
+    #[inline]
     fn from(h: HalfBits) -> f32 {
         let bits = h.0 as u32;
         let sign = (bits & 0x8000) << 16;

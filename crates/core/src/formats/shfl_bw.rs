@@ -90,6 +90,20 @@ impl ShflBwMatrix {
         Ok(ShflBwMatrix { inner, row_indices })
     }
 
+    /// Wraps an already-built vector-wise storage with the original row order,
+    /// without materialising the dense matrix. `row_indices[permuted_row]`
+    /// gives the original row each stored row is written back to.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidPermutation`] if `row_indices` is not a
+    /// permutation of `0..inner.rows()`.
+    pub fn from_vector_wise(inner: VectorWiseMatrix, row_indices: Vec<u32>) -> Result<Self> {
+        let as_usize: Vec<usize> = row_indices.iter().map(|r| *r as usize).collect();
+        crate::matrix::validate_permutation(&as_usize, inner.rows())?;
+        Ok(ShflBwMatrix { inner, row_indices })
+    }
+
     /// Number of rows of the logical matrix.
     pub fn rows(&self) -> usize {
         self.inner.rows()
@@ -263,6 +277,22 @@ mod tests {
         let shfl = ShflBwMatrix::from_dense(&dense, 2).unwrap();
         let vw_meta = shfl.vector_wise().metadata_bytes();
         assert_eq!(shfl.metadata_bytes(), vw_meta + 4 * 4);
+    }
+
+    #[test]
+    fn from_vector_wise_wraps_storage_without_densifying() {
+        let dense = scattered_dense();
+        let via_dense = ShflBwMatrix::from_dense(&dense, 2).unwrap();
+        let rebuilt = ShflBwMatrix::from_vector_wise(
+            via_dense.vector_wise().clone(),
+            via_dense.row_indices().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, via_dense);
+        assert_eq!(rebuilt.to_dense(), dense);
+        // Rejects a non-permutation.
+        let bad = ShflBwMatrix::from_vector_wise(via_dense.vector_wise().clone(), vec![0, 0, 1, 2]);
+        assert!(bad.is_err());
     }
 
     #[test]

@@ -72,6 +72,86 @@ impl VectorWiseMatrix {
         })
     }
 
+    /// Assembles a vector-wise matrix directly from its compressed parts,
+    /// without materialising a dense intermediate. This is the constructor for
+    /// callers that synthesise structured weights at scale (e.g. the model
+    /// engine building layer weights in compressed form).
+    ///
+    /// `group_ptr` must have `rows / v + 1` monotonically non-decreasing
+    /// entries starting at 0 and ending at `col_idx.len()`; inside each group
+    /// the column indices must be strictly increasing and `< cols`; `values`
+    /// holds `V` entries per stored vector (vector-major, exactly the layout
+    /// [`VectorWiseMatrix::from_dense`] produces).
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidGroupSize`] if `v` is zero or does not divide `rows`.
+    /// * [`Error::ShapeMismatch`] if the metadata arrays are inconsistent.
+    /// * [`Error::DimensionMismatch`] if `values.len() != col_idx.len() * v`.
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        v: usize,
+        group_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        values: Vec<f32>,
+    ) -> Result<Self> {
+        if v == 0 || !rows.is_multiple_of(v) {
+            return Err(Error::InvalidGroupSize {
+                group: v,
+                dimension: rows,
+            });
+        }
+        let groups = rows / v;
+        if group_ptr.len() != groups + 1
+            || group_ptr.first() != Some(&0)
+            || group_ptr.last() != Some(&col_idx.len())
+        {
+            return Err(Error::ShapeMismatch {
+                context: format!(
+                    "group_ptr has {} entries ending at {:?}, expected {} ending at {}",
+                    group_ptr.len(),
+                    group_ptr.last(),
+                    groups + 1,
+                    col_idx.len()
+                ),
+            });
+        }
+        for g in 0..groups {
+            let (start, end) = (group_ptr[g], group_ptr[g + 1]);
+            if start > end || end > col_idx.len() {
+                return Err(Error::ShapeMismatch {
+                    context: format!("group {g} pointer range {start}..{end} is invalid"),
+                });
+            }
+            let group_cols = &col_idx[start..end];
+            if group_cols.iter().any(|c| *c as usize >= cols) {
+                return Err(Error::ShapeMismatch {
+                    context: format!("group {g} references a column >= {cols}"),
+                });
+            }
+            if group_cols.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(Error::ShapeMismatch {
+                    context: format!("group {g} column indices are not strictly increasing"),
+                });
+            }
+        }
+        if values.len() != col_idx.len() * v {
+            return Err(Error::DimensionMismatch {
+                expected: col_idx.len() * v,
+                actual: values.len(),
+            });
+        }
+        Ok(VectorWiseMatrix {
+            rows,
+            cols,
+            v,
+            group_ptr,
+            col_idx,
+            values,
+        })
+    }
+
     /// Number of rows of the logical matrix.
     pub fn rows(&self) -> usize {
         self.rows
@@ -120,6 +200,12 @@ impl VectorWiseMatrix {
     /// Column indices of all stored vectors.
     pub fn col_idx(&self) -> &[u32] {
         &self.col_idx
+    }
+
+    /// All stored values, vector-major across groups (the exact layout
+    /// [`VectorWiseMatrix::from_parts`] consumes).
+    pub fn values(&self) -> &[f32] {
+        &self.values
     }
 
     /// Column indices kept by one row group.
@@ -287,5 +373,42 @@ mod tests {
         let vw = VectorWiseMatrix::from_dense(&dense, 4).unwrap();
         assert_eq!(vw.stored_vectors(), 0);
         assert_eq!(vw.to_dense(), dense);
+    }
+
+    #[test]
+    fn from_parts_roundtrips_through_from_dense() {
+        let dense = vector_wise_dense(3, 4, 16, 3);
+        let vw = VectorWiseMatrix::from_dense(&dense, 4).unwrap();
+        let rebuilt = VectorWiseMatrix::from_parts(
+            vw.rows(),
+            vw.cols(),
+            vw.vector_size(),
+            vw.group_ptr().to_vec(),
+            vw.col_idx().to_vec(),
+            vw.values().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, vw);
+        assert_eq!(rebuilt.to_dense(), dense);
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_metadata() {
+        // Bad group size.
+        assert!(VectorWiseMatrix::from_parts(6, 4, 4, vec![0, 0], vec![], vec![]).is_err());
+        // group_ptr does not end at col_idx.len().
+        assert!(VectorWiseMatrix::from_parts(4, 4, 4, vec![0, 2], vec![1], vec![0.0; 4]).is_err());
+        // Column out of range.
+        assert!(VectorWiseMatrix::from_parts(4, 4, 4, vec![0, 1], vec![7], vec![0.0; 4]).is_err());
+        // Not strictly increasing inside a group.
+        assert!(
+            VectorWiseMatrix::from_parts(4, 4, 4, vec![0, 2], vec![2, 2], vec![0.0; 8]).is_err()
+        );
+        // Wrong value count.
+        assert!(VectorWiseMatrix::from_parts(4, 4, 4, vec![0, 1], vec![1], vec![0.0; 3]).is_err());
+        // A consistent assembly passes.
+        assert!(
+            VectorWiseMatrix::from_parts(4, 4, 4, vec![0, 2], vec![0, 3], vec![1.0; 8]).is_ok()
+        );
     }
 }

@@ -13,6 +13,9 @@
 //!   original row indices used by the reordered write-back),
 //! * [`analysis`] — the §3.2 flexibility (candidate counting) and computation
 //!   efficiency (operation intensity / data reuse) analysis,
+//! * [`packed`] — [`packed::PackedPanels`], the one-time fp16-rounded,
+//!   tile-transposed weight packing consumed by the prepared kernel plans in
+//!   `shfl-kernels` (the plan/execute split's static operand),
 //! * [`tiling`] — threadblock tile configurations shared with the simulated kernels,
 //! * [`f16`] — the software fp16 rounding shared by the MMA model and the
 //!   [`matrix::DenseMatrix::as_f16_rounded`] whole-matrix pre-pass,
@@ -48,6 +51,7 @@ pub mod f16;
 pub mod formats;
 pub mod mask;
 pub mod matrix;
+pub mod packed;
 pub mod parallel;
 pub mod pattern;
 pub mod tiling;
@@ -56,6 +60,7 @@ pub use error::{Error, Result};
 pub use formats::{BalancedMatrix, BlockSparseMatrix, CsrMatrix, ShflBwMatrix, VectorWiseMatrix};
 pub use mask::BinaryMask;
 pub use matrix::DenseMatrix;
+pub use packed::PackedPanels;
 pub use pattern::SparsePattern;
 pub use tiling::TileConfig;
 
@@ -68,6 +73,7 @@ pub mod prelude {
     };
     pub use crate::mask::BinaryMask;
     pub use crate::matrix::DenseMatrix;
+    pub use crate::packed::PackedPanels;
     pub use crate::pattern::SparsePattern;
     pub use crate::tiling::TileConfig;
 }

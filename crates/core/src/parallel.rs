@@ -15,6 +15,7 @@
 /// roughly one MAC or one copied element. Below this the thread spawn overhead
 /// dominates (the shim `rayon` spawns OS threads), so small problems — most
 /// unit-test inputs — stay on the calling thread.
+#[cfg(feature = "parallel")]
 const MIN_WORK_PER_WORKER: usize = 64 * 1024;
 
 /// Runs `f(chunk_index, chunk)` for every consecutive `chunk_len`-sized chunk

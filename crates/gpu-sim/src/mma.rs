@@ -20,6 +20,12 @@
 //!   times `kk` full-width rows of a pre-rounded B, accumulated into full-width
 //!   output rows via contiguous-slice AXPY sweeps. No padding checks, no rounding,
 //!   and the innermost loop runs over whole rows so it vectorises.
+//! * [`mma_row_block_reg`] / [`mma_row_block_fused_acc`] — the prepared-plan
+//!   microkernels: the same arithmetic with output chunks held in vector
+//!   registers across the whole panel reduction (and, for the fused variant,
+//!   the partial-tile zero/add sweeps of the stitched kernels folded in).
+//!   Bit-identical to their cold counterparts; the packed panel layout of
+//!   `shfl-kernels`' plans is what makes the whole reduction available per call.
 //!
 //! All three accumulate each output element in ascending-`k` order with a single
 //! `f32` accumulator, so any decomposition of a GEMM into these calls that visits
@@ -191,6 +197,222 @@ pub fn mma_row_block(a: &[f32], rows: usize, kk: usize, b: &[f32], c: &mut [f32]
             for (o, &bv) in c_row.iter_mut().zip(b_row.iter()) {
                 *o += av * bv;
             }
+        }
+    }
+}
+
+/// Processes all full `BLK`-wide output chunks of one row for the
+/// register-blocked microkernels, starting at column `j0`; returns the first
+/// unprocessed column. The chunk is held in vector registers across the whole
+/// `kk` reduction (wide chunks give the superscalar units several independent
+/// accumulation chains), loaded once and stored once. `LOAD_C` selects whether
+/// the chunk starts from the existing `c` values (direct accumulation,
+/// [`mma_row_block_reg`]) or from `+0.0` with one add into `c` at the end (the
+/// fused partial of [`mma_row_block_fused_acc`]). Per output element the `kk`
+/// products are applied in ascending order either way.
+#[inline]
+fn reg_row_chunks<const BLK: usize, const LOAD_C: bool>(
+    a_row: &[f32],
+    b: &[f32],
+    c_row: &mut [f32],
+    width: usize,
+    mut j0: usize,
+) -> usize {
+    while j0 + BLK <= width {
+        let mut part = [0.0f32; BLK];
+        if LOAD_C {
+            part.copy_from_slice(&c_row[j0..j0 + BLK]);
+        }
+        for (p, &av) in a_row.iter().enumerate() {
+            let bs = &b[p * width + j0..p * width + j0 + BLK];
+            for (o, &bv) in part.iter_mut().zip(bs.iter()) {
+                *o += av * bv;
+            }
+        }
+        let dst = &mut c_row[j0..j0 + BLK];
+        if LOAD_C {
+            dst.copy_from_slice(&part);
+        } else {
+            for (o, &p) in dst.iter_mut().zip(part.iter()) {
+                *o += p;
+            }
+        }
+        j0 += BLK;
+    }
+    j0
+}
+
+/// One full register-blocked row: a cascade of chunk widths (64 → 32 → 16 → 8)
+/// followed by a scalar tail, so narrow operands still vectorise.
+#[inline]
+fn reg_row<const LOAD_C: bool>(a_row: &[f32], b: &[f32], c_row: &mut [f32], width: usize) {
+    let mut j0 = 0;
+    j0 = reg_row_chunks::<64, LOAD_C>(a_row, b, c_row, width, j0);
+    j0 = reg_row_chunks::<32, LOAD_C>(a_row, b, c_row, width, j0);
+    j0 = reg_row_chunks::<16, LOAD_C>(a_row, b, c_row, width, j0);
+    j0 = reg_row_chunks::<8, LOAD_C>(a_row, b, c_row, width, j0);
+    for (j, o) in c_row.iter_mut().enumerate().skip(j0) {
+        let mut part = if LOAD_C { *o } else { 0.0 };
+        for (p, &av) in a_row.iter().enumerate() {
+            part += av * b[p * width + j];
+        }
+        if LOAD_C {
+            *o = part;
+        } else {
+            *o += part;
+        }
+    }
+}
+
+/// Register-blocked variant of [`mma_row_block`] for prepared plans:
+/// `c[rows×width] += a[rows×kk] · b[kk×width]` with each `REG_BLOCK`-wide
+/// output chunk loaded once, updated in registers across all `kk` reduction
+/// steps (ascending `k`, exactly like [`mma_row_block`]), and stored once.
+///
+/// Per output element the sequence of additions is identical to
+/// [`mma_row_block`] — only the memory traffic changes — so the two are
+/// bit-identical; the prepared plans use this one because their packed panels
+/// make the whole reduction of a tile available in one call.
+///
+/// # Panics
+///
+/// Panics if the slices do not match the stated dimensions
+/// (`a.len() == rows*kk`, `b.len() == kk*width`, `c.len() == rows*width`).
+pub fn mma_row_block_reg(
+    a: &[f32],
+    rows: usize,
+    kk: usize,
+    b: &[f32],
+    c: &mut [f32],
+    width: usize,
+) {
+    assert_eq!(a.len(), rows * kk, "A fragment must be rows*kk elements");
+    assert_eq!(b.len(), kk * width, "B block must be kk*width elements");
+    assert_eq!(c.len(), rows * width, "C block must be rows*width elements");
+    if rows == 0 || kk == 0 || width == 0 {
+        return;
+    }
+    for (a_row, c_row) in a.chunks_exact(kk).zip(c.chunks_exact_mut(width)) {
+        reg_row::<true>(a_row, b, c_row, width);
+    }
+}
+
+/// Fused stitched-step MMA for prepared plans: computes one step's partial
+/// product in register blocks — starting from `+0.0`, reducing ascending `k` —
+/// and adds each finished element into the group accumulator:
+/// `acc[rows×width] += (a[rows×kk] · b[kk×width])`.
+///
+/// This is bit-identical to the cold stitched kernels' three-sweep sequence
+/// (zero a partial tile, [`mma_row_block`] into it, add the tile into the
+/// accumulator): per output element the partial still accumulates its `kk`
+/// products in ascending order from `+0.0` and is then added to the
+/// accumulator exactly once. The fusion removes two full sweeps of memory
+/// traffic per step, which the prepared plans can exploit because their packed
+/// panels deliver the whole step in one call.
+///
+/// # Panics
+///
+/// Panics if the slices do not match the stated dimensions
+/// (`a.len() == rows*kk`, `b.len() == kk*width`, `acc.len() == rows*width`).
+pub fn mma_row_block_fused_acc(
+    a: &[f32],
+    rows: usize,
+    kk: usize,
+    b: &[f32],
+    acc: &mut [f32],
+    width: usize,
+) {
+    assert_eq!(a.len(), rows * kk, "A fragment must be rows*kk elements");
+    assert_eq!(b.len(), kk * width, "B block must be kk*width elements");
+    assert_eq!(
+        acc.len(),
+        rows * width,
+        "acc block must be rows*width elements"
+    );
+    if rows == 0 || kk == 0 || width == 0 {
+        return;
+    }
+    for (a_row, acc_row) in a.chunks_exact(kk).zip(acc.chunks_exact_mut(width)) {
+        reg_row::<false>(a_row, b, acc_row, width);
+    }
+}
+
+/// Gather chunk sweep for [`mma_row_block_gather_fused_acc`]: like
+/// [`reg_row_chunks`] with `LOAD_C = false`, but the `kk` operand rows of `b`
+/// are addressed by index (`b_rows[p]`) instead of being consecutive.
+#[inline]
+fn reg_row_gather_chunks<const BLK: usize>(
+    a_row: &[f32],
+    b: &[f32],
+    b_rows: &[u32],
+    acc_row: &mut [f32],
+    width: usize,
+    mut j0: usize,
+) -> usize {
+    while j0 + BLK <= width {
+        let mut part = [0.0f32; BLK];
+        for (&av, &col) in a_row.iter().zip(b_rows.iter()) {
+            let off = col as usize * width + j0;
+            let bs = &b[off..off + BLK];
+            for (o, &bv) in part.iter_mut().zip(bs.iter()) {
+                *o += av * bv;
+            }
+        }
+        for (o, &p) in acc_row[j0..j0 + BLK].iter_mut().zip(part.iter()) {
+            *o += p;
+        }
+        j0 += BLK;
+    }
+    j0
+}
+
+/// Gather variant of [`mma_row_block_fused_acc`] for the prepared stitched
+/// plans: the `kk` activation rows are read **in place** from a pre-rounded
+/// `width`-column row-major buffer, addressed by `b_rows[p]`, instead of first
+/// being copied into a contiguous stitched tile:
+/// `acc[rows×width] += a[rows×kk] · B[b_rows[0..kk], :]`.
+///
+/// Reading `B[b_rows[p]]` directly is value-for-value the same operand
+/// sequence as staging those rows into a `kk×width` tile and calling
+/// [`mma_row_block_fused_acc`], so the two are bit-identical — this path just
+/// skips the per-step stitching copies the cold kernel pays.
+///
+/// # Panics
+///
+/// Panics if the slices do not match the stated dimensions
+/// (`a.len() == rows*kk`, `b_rows.len() == kk`, `acc.len() == rows*width`) or
+/// a row index reaches past `b`.
+pub fn mma_row_block_gather_fused_acc(
+    a: &[f32],
+    rows: usize,
+    kk: usize,
+    b: &[f32],
+    b_rows: &[u32],
+    acc: &mut [f32],
+    width: usize,
+) {
+    assert_eq!(a.len(), rows * kk, "A fragment must be rows*kk elements");
+    assert_eq!(b_rows.len(), kk, "one B row index per reduction step");
+    assert_eq!(
+        acc.len(),
+        rows * width,
+        "acc block must be rows*width elements"
+    );
+    if rows == 0 || kk == 0 || width == 0 {
+        return;
+    }
+    for (a_row, acc_row) in a.chunks_exact(kk).zip(acc.chunks_exact_mut(width)) {
+        let mut j0 = 0;
+        j0 = reg_row_gather_chunks::<64>(a_row, b, b_rows, acc_row, width, j0);
+        j0 = reg_row_gather_chunks::<32>(a_row, b, b_rows, acc_row, width, j0);
+        j0 = reg_row_gather_chunks::<16>(a_row, b, b_rows, acc_row, width, j0);
+        j0 = reg_row_gather_chunks::<8>(a_row, b, b_rows, acc_row, width, j0);
+        for (j, o) in acc_row.iter_mut().enumerate().skip(j0) {
+            let mut part = 0.0f32;
+            for (&av, &col) in a_row.iter().zip(b_rows.iter()) {
+                part += av * b[col as usize * width + j];
+            }
+            *o += part;
         }
     }
 }
@@ -410,6 +632,95 @@ mod tests {
             fast.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
             reference.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
         );
+    }
+
+    /// Pseudo-random but deterministic operand data covering widths around the
+    /// register block (tails included).
+    fn reg_case(rows: usize, kk: usize, width: usize) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+        let a: Vec<f32> = (0..rows * kk)
+            .map(|i| round_to_f16((i as f32 * 0.31).sin()))
+            .collect();
+        let b: Vec<f32> = (0..kk * width)
+            .map(|i| round_to_f16((i as f32 * 0.07).cos() - 0.2))
+            .collect();
+        let c: Vec<f32> = (0..rows * width)
+            .map(|i| (i % 11) as f32 * 0.125 - 0.5)
+            .collect();
+        (a, b, c)
+    }
+
+    #[test]
+    fn row_block_reg_is_bit_identical_to_row_block() {
+        for (rows, kk, width) in [(5, 4, 19), (16, 16, 32), (3, 7, 77), (1, 1, 1), (2, 3, 31)] {
+            let (a, b, c_init) = reg_case(rows, kk, width);
+            let mut plain = c_init.clone();
+            mma_row_block(&a, rows, kk, &b, &mut plain, width);
+            let mut reg = c_init.clone();
+            mma_row_block_reg(&a, rows, kk, &b, &mut reg, width);
+            assert_eq!(
+                plain.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                reg.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{rows}x{kk}x{width}"
+            );
+        }
+    }
+
+    #[test]
+    fn row_block_fused_acc_is_bit_identical_to_zero_mma_add() {
+        for (rows, kk, width) in [(5, 4, 19), (16, 16, 32), (3, 7, 77), (1, 1, 1), (8, 2, 33)] {
+            let (a, b, acc_init) = reg_case(rows, kk, width);
+            // Cold sequence: zero a partial, mma into it, add into acc.
+            let mut partial = vec![0.0f32; rows * width];
+            let mut cold = acc_init.clone();
+            mma_row_block(&a, rows, kk, &b, &mut partial, width);
+            for (o, p) in cold.iter_mut().zip(partial.iter()) {
+                *o += p;
+            }
+            let mut fused = acc_init.clone();
+            mma_row_block_fused_acc(&a, rows, kk, &b, &mut fused, width);
+            assert_eq!(
+                cold.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                fused.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{rows}x{kk}x{width}"
+            );
+        }
+    }
+
+    #[test]
+    fn gather_fused_acc_is_bit_identical_to_staged_fused_acc() {
+        for (rows, kk, width, b_height) in [(5, 4, 19, 11), (16, 16, 32, 40), (3, 7, 77, 9)] {
+            let (a, _, acc_init) = reg_case(rows, kk, width);
+            let b: Vec<f32> = (0..b_height * width)
+                .map(|i| round_to_f16((i as f32 * 0.13).sin()))
+                .collect();
+            let b_rows: Vec<u32> = (0..kk).map(|p| ((p * 5 + 2) % b_height) as u32).collect();
+            // Staged reference: copy the referenced rows into a tile first.
+            let mut b_tile = vec![0.0f32; kk * width];
+            for (j, col) in b_rows.iter().enumerate() {
+                let off = *col as usize * width;
+                b_tile[j * width..(j + 1) * width].copy_from_slice(&b[off..off + width]);
+            }
+            let mut staged = acc_init.clone();
+            mma_row_block_fused_acc(&a, rows, kk, &b_tile, &mut staged, width);
+            let mut gathered = acc_init.clone();
+            mma_row_block_gather_fused_acc(&a, rows, kk, &b, &b_rows, &mut gathered, width);
+            assert_eq!(
+                staged.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                gathered.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{rows}x{kk}x{width}"
+            );
+        }
+    }
+
+    #[test]
+    fn reg_kernels_handle_degenerate_dimensions() {
+        let mut c = vec![1.0f32; 6];
+        mma_row_block_reg(&[], 3, 0, &[], &mut c, 2);
+        mma_row_block_fused_acc(&[], 3, 0, &[], &mut c, 2);
+        assert_eq!(c, vec![1.0f32; 6]);
+        let mut empty: Vec<f32> = vec![];
+        mma_row_block_reg(&[0.0; 4], 2, 2, &[], &mut empty, 0);
+        mma_row_block_fused_acc(&[0.0; 4], 2, 2, &[], &mut empty, 0);
     }
 
     #[test]

@@ -16,9 +16,8 @@
 //!   the paper reports.
 
 use crate::gemm;
-use crate::profile::{KernelError, KernelProfile, KernelResult};
+use crate::profile::{KernelProfile, KernelResult};
 use crate::spmm::shfl_bw::shfl_bw_spmm_profile;
-use crate::spmm::vector_wise::stitched_spmm;
 use gpu_sim::GpuArch;
 use rand::Rng;
 use shfl_core::formats::ShflBwMatrix;
@@ -252,7 +251,7 @@ pub fn im2col(input: &Tensor4, params: &Conv2dParams) -> DenseMatrix {
 
 /// Reshapes the `O × N` implicit-GEMM output back into an NCHW tensor, packing
 /// one `OW`-wide spatial row per `copy_from_slice`.
-fn col2im_output(output: &DenseMatrix, params: &Conv2dParams) -> Tensor4 {
+pub(crate) fn col2im_output(output: &DenseMatrix, params: &Conv2dParams) -> Tensor4 {
     let (oh, ow) = (params.output_h(), params.output_w());
     let mut t = Tensor4::zeros(params.batch, params.out_channels, oh, ow);
     if ow == 0 {
@@ -303,62 +302,39 @@ pub fn conv2d_shfl_bw_profile(
 
 /// Functionally executes the dense implicit-GEMM convolution.
 ///
+/// This is the cold path: a thin wrapper that builds a
+/// [`crate::plan::ConvPlan`] for this single call and executes it.
+///
 /// # Errors
 ///
 /// Returns [`KernelError::ShapeMismatch`] if the flattened filter matrix does not
-/// match the convolution geometry.
+/// match the convolution geometry or the input does not match it.
 pub fn conv2d_dense_execute(
     arch: &GpuArch,
     weights: &DenseMatrix,
     input: &Tensor4,
     params: &Conv2dParams,
 ) -> KernelResult<(Tensor4, KernelProfile)> {
-    let (m, _, k) = params.implicit_gemm_shape();
-    if weights.shape() != (m, k) {
-        return Err(KernelError::ShapeMismatch {
-            context: format!(
-                "conv weights are {:?} but the geometry implies {m}x{k}",
-                weights.shape()
-            ),
-        });
-    }
-    let unfolded = im2col(input, params);
-    let out = gemm::fragment_matmul(arch.mma_shape, weights, &unfolded);
-    Ok((
-        col2im_output(&out, params),
-        conv2d_dense_profile(arch, params),
-    ))
+    crate::plan::ConvPlan::dense(arch, weights, params)?.execute(input)
 }
 
 /// Functionally executes the Shfl-BW implicit-GEMM convolution (stitched main loop +
 /// reordered write-back over the unfolded input).
 ///
+/// This is the cold path: a thin wrapper that builds a
+/// [`crate::plan::ConvPlan`] for this single call and executes it.
+///
 /// # Errors
 ///
 /// Returns [`KernelError::ShapeMismatch`] if the pruned filter matrix does not match
-/// the convolution geometry.
+/// the convolution geometry or the input does not match it.
 pub fn conv2d_shfl_bw_execute(
     arch: &GpuArch,
     weights: &ShflBwMatrix,
     input: &Tensor4,
     params: &Conv2dParams,
 ) -> KernelResult<(Tensor4, KernelProfile)> {
-    let (m, _, k) = params.implicit_gemm_shape();
-    if (weights.rows(), weights.cols()) != (m, k) {
-        return Err(KernelError::ShapeMismatch {
-            context: format!(
-                "conv weights are {}x{} but the geometry implies {m}x{k}",
-                weights.rows(),
-                weights.cols()
-            ),
-        });
-    }
-    let unfolded = im2col(input, params);
-    let out = stitched_spmm(weights.vector_wise(), &unfolded, weights.row_indices());
-    Ok((
-        col2im_output(&out, params),
-        conv2d_shfl_bw_profile(arch, weights, params),
-    ))
+    crate::plan::ConvPlan::shfl_bw(arch, weights, params)?.execute(input)
 }
 
 /// Keep the `ShflBwKernelConfig` re-export close to the conv API for discoverability

@@ -102,6 +102,11 @@ pub fn dense_gemm_cuda_core_profile(arch: &GpuArch, m: usize, n: usize, k: usize
 /// iterating warp-level MMA fragments over the operands (operands rounded through
 /// fp16, fp32 accumulation), exactly the way the tensor-core kernel issues work.
 ///
+/// This is the cold path: a thin wrapper that builds a
+/// [`crate::plan::GemmPlan`] for this single call and executes it. Serving
+/// workloads build the plan once and call `execute` repeatedly, amortising the
+/// weight rounding and panel staging.
+///
 /// # Errors
 ///
 /// Returns [`KernelError::ShapeMismatch`] if `a.cols() != b.rows()`.
@@ -110,10 +115,8 @@ pub fn dense_gemm_execute(
     a: &DenseMatrix,
     b: &DenseMatrix,
 ) -> KernelResult<KernelOutput> {
-    let (m, n, k) = gemm_shape(a, b)?;
-    let profile = dense_gemm_profile(arch, m, n, k);
-    let output = fragment_matmul(arch.mma_shape, a, b);
-    Ok(KernelOutput { output, profile })
+    gemm_shape(a, b)?;
+    crate::plan::GemmPlan::new(arch, a, b.cols()).execute(b)
 }
 
 thread_local! {
@@ -121,8 +124,12 @@ thread_local! {
     static A_FRAG_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
 }
 
-/// Computes `A·B` with the blocked fragment engine. Used by every tensor-core
-/// kernel's functional face.
+/// Computes `A·B` with the *unprepared* blocked fragment engine: every call
+/// re-rounds the A operand and re-stages its fragments. Retained as the
+/// plan-less baseline — the prepared [`crate::plan::GemmPlan`] packs the same
+/// fragments once at plan time and must be bit-identical to this function
+/// (asserted by the property tests and timed against it by
+/// `repro --bench-kernels`).
 ///
 /// Both operands are fp16-rounded **once** up front
 /// ([`DenseMatrix::as_f16_rounded`]); the main loop then runs over output

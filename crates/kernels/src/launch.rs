@@ -95,6 +95,26 @@ pub fn vector_wise_launch(
     }
 }
 
+/// Number of distinct indices in `indices`, each expected to be `< limit`.
+///
+/// Implemented as a bitmap sweep (`O(limit + len)`): the profile builders call
+/// this per kernel launch to size the activation working set, and the
+/// `BTreeSet` it replaces was a measurable per-call cost on large sparse
+/// operands (the `cuda_core_spmm` blocked-vs-naive regression in
+/// `BENCH_kernels.json` v1).
+pub(crate) fn unique_index_count(indices: &[u32], limit: usize) -> u64 {
+    let mut seen = vec![false; limit.max(1)];
+    let mut unique = 0u64;
+    for &idx in indices {
+        let slot = &mut seen[idx as usize];
+        if !*slot {
+            *slot = true;
+            unique += 1;
+        }
+    }
+    unique
+}
+
 /// DRAM re-load factor for an operand of `bytes` bytes that is logically re-read
 /// `reuse_count` times by different threadblocks: 1 while it fits in the L2 cache
 /// (subsequent reads hit in L2), growing towards `reuse_count` as it exceeds the L2

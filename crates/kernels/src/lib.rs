@@ -60,6 +60,18 @@
 //! tests assert exact equality, and `repro --bench-kernels` times naive vs
 //! blocked in the same run to track the speedup (`BENCH_kernels.json`).
 //!
+//! ## The plan/execute split
+//!
+//! Every `*_execute` entry point above is a *cold* call: it stages the static
+//! weight operand (fp16 rounding, tile transposition, launch selection,
+//! profiling) and then executes — all in one shot. The [`plan`] module splits
+//! those two phases: [`plan::GemmPlan`], [`plan::SpmmPlan`] and
+//! [`plan::ConvPlan`] are built **once** per `(weights, arch, N-bucket)` and
+//! then executed repeatedly against fresh activations, amortising the weight
+//! packing the way real inference engines do. Prepared execution is
+//! bit-identical to the cold path; `repro --bench-kernels` records the
+//! cold-vs-prepared per-call times.
+//!
 //! ## Example
 //!
 //! ```
@@ -91,8 +103,10 @@
 pub mod conv;
 pub mod gemm;
 pub mod launch;
+pub mod plan;
 pub mod profile;
 pub mod reference;
 pub mod spmm;
 
+pub use plan::{ConvPlan, GemmPlan, SpmmPlan};
 pub use profile::{KernelError, KernelOutput, KernelProfile, KernelResult};

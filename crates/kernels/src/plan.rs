@@ -1,0 +1,747 @@
+//! The plan/execute split: build a kernel plan **once** per
+//! `(weights, arch, N-bucket)`, execute it many times against fresh
+//! activations.
+//!
+//! The cold `*_execute` entry points of this crate re-stage the static weight
+//! operand on every call: they re-round it through fp16, re-transpose the
+//! stored vectors into the `V×tk` stitched tiles, and re-resolve the launch
+//! configuration and analytical profile. For a serving workload that runs the
+//! same layer thousands of times, all of that work is amortisable — which is
+//! exactly what real sparse inference engines do (EIE's compressed weight
+//! layout, NVIDIA's pre-transformed 2:4 metadata). The plan objects here do
+//! that one-time work up front:
+//!
+//! * [`GemmPlan`] — dense tensor-core GEMM: fp16-rounded row-panels of the
+//!   weight matrix in execution order.
+//! * [`SpmmPlan`] — all five SpMM variants: pre-stitched `V×tk` group panels
+//!   with shuffle row-indices resolved at pack time (vector-wise / Shfl-BW),
+//!   rounded `V×V` block panels (block-wise), a rounded dense packing of the
+//!   decompressed operand (balanced 2:4), or the CSR operand itself
+//!   (CUDA-core scalar kernel — it has no fp16 staging to amortise).
+//! * [`ConvPlan`] — both implicit-GEMM convolution paths, wrapping a
+//!   [`GemmPlan`] or stitched [`SpmmPlan`] over the flattened filter matrix.
+//!
+//! Every plan owns the packed panels ([`shfl_core::packed::PackedPanels`]),
+//! the resolved launch/tile configuration, and the precomputed analytical
+//! [`KernelProfile`] (cloned into each [`KernelOutput`]). Activation-side
+//! working buffers are deliberately *not* cached on the plan: freshly mapped
+//! pages measured consistently faster than long-lived reused buffers on this
+//! allocator (transparent-huge-page placement), and a buffer-free plan stays
+//! `Sync`. A prepared `execute` is **bit-identical** to the cold path and to
+//! the naive references in [`crate::reference`]: packing rounds element-wise
+//! exactly where the cold path rounds, and the per-output-element accumulation
+//! order is unchanged (the property tests assert exact equality).
+//!
+//! ## Example
+//!
+//! ```
+//! use gpu_sim::GpuArch;
+//! use shfl_core::{DenseMatrix, ShflBwMatrix};
+//! use shfl_kernels::plan::SpmmPlan;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! # fn main() -> Result<(), shfl_kernels::KernelError> {
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let weights = DenseMatrix::from_fn(64, 64, |r, c| {
+//!     if (c + r / 8) % 4 == 0 { 0.1 } else { 0.0 }
+//! });
+//! let sparse = ShflBwMatrix::from_dense(&weights, 8)?;
+//! let arch = GpuArch::a100();
+//!
+//! // Plan phase: pack panels, resolve the launch, profile — once.
+//! let plan = SpmmPlan::shfl_bw(&arch, &sparse, 32);
+//! // Execute phase: amortised across every batch of activations.
+//! for _ in 0..3 {
+//!     let activations = DenseMatrix::random(&mut rng, 64, 32);
+//!     let out = plan.execute(&activations)?;
+//!     assert_eq!(out.output.shape(), (64, 32));
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::conv::{self, Conv2dParams, Tensor4};
+use crate::gemm;
+use crate::launch::{self, LaunchConfig};
+use crate::profile::{KernelError, KernelOutput, KernelProfile, KernelResult};
+use crate::spmm;
+use gpu_sim::mma::{mma_row_block_fused_acc, mma_row_block_gather_fused_acc, mma_row_block_reg};
+use gpu_sim::GpuArch;
+use shfl_core::formats::{
+    BalancedMatrix, BlockSparseMatrix, CsrMatrix, ShflBwMatrix, VectorWiseMatrix,
+};
+use shfl_core::matrix::DenseMatrix;
+use shfl_core::packed::PackedPanels;
+use shfl_core::parallel;
+use shfl_core::tiling::{self, TileConfig};
+
+/// Validates that an activation operand matches the `(k, n)` bucket a plan was
+/// built for.
+fn check_activations(what: &str, b: &DenseMatrix, k: usize, n: usize) -> KernelResult<()> {
+    if b.shape() != (k, n) {
+        return Err(KernelError::ShapeMismatch {
+            context: format!(
+                "{what} plan was built for {k}x{n} activations but got {:?}",
+                b.shape()
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// The shared prepared dense main loop: packed row-panels times a pre-rounded
+/// activation buffer (`k×n` row-major), accumulated tile-parallel into `c`
+/// with the register-blocked microkernel. Identical accumulation order to
+/// [`gemm::fragment_matmul`].
+fn execute_packed_dense(packed: &PackedPanels, k: usize, b16: &[f32], c: &mut DenseMatrix) {
+    let (m, n) = c.shape();
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let fm = packed.panel_rows();
+    parallel::par_chunks_mut_weighted(c.as_mut_slice(), fm * n, k, |tile, c_chunk| {
+        let mut p0 = 0;
+        for panel in packed.chunk_panels(tile) {
+            let (values, rows, kk) = packed.panel(panel);
+            mma_row_block_reg(values, rows, kk, &b16[p0 * n..(p0 + kk) * n], c_chunk, n);
+            p0 += kk;
+        }
+    });
+}
+
+/// A prepared dense tensor-core GEMM: `C[m×n] = W[m×k] · B[k×n]` with the
+/// weight operand packed once.
+#[derive(Debug, Clone)]
+pub struct GemmPlan {
+    m: usize,
+    n: usize,
+    k: usize,
+    packed: PackedPanels,
+    launch: LaunchConfig,
+    profile: KernelProfile,
+}
+
+impl GemmPlan {
+    /// Builds the plan: rounds and packs the weight matrix into `fm×fk`
+    /// row-panels (the architecture's MMA fragment shape), resolves the launch
+    /// configuration and the analytical profile for the `n` bucket.
+    pub fn new(arch: &GpuArch, weights: &DenseMatrix, n: usize) -> Self {
+        let (m, k) = weights.shape();
+        let shape = arch.mma_shape;
+        let packed = PackedPanels::pack_dense_rows(weights, shape.m(), shape.k());
+        GemmPlan {
+            m,
+            n,
+            k,
+            packed,
+            launch: launch::dense_launch(arch, m, n, k),
+            profile: gemm::dense_gemm_profile(arch, m, n, k),
+        }
+    }
+
+    /// The analytical profile resolved at plan time.
+    pub fn profile(&self) -> &KernelProfile {
+        &self.profile
+    }
+
+    /// The launch configuration resolved at plan time.
+    pub fn launch_config(&self) -> &LaunchConfig {
+        &self.launch
+    }
+
+    /// Size of the packed weight panels in bytes.
+    pub fn packed_bytes(&self) -> usize {
+        self.packed.packed_bytes()
+    }
+
+    /// Executes the prepared GEMM against one activation matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::ShapeMismatch`] if `activations` is not the
+    /// `k×n` operand the plan was built for.
+    pub fn execute(&self, activations: &DenseMatrix) -> KernelResult<KernelOutput> {
+        Ok(KernelOutput {
+            output: self.execute_output(activations)?,
+            profile: self.profile.clone(),
+        })
+    }
+
+    /// [`GemmPlan::execute`] without the profile clone (used by [`ConvPlan`]).
+    pub(crate) fn execute_output(&self, activations: &DenseMatrix) -> KernelResult<DenseMatrix> {
+        check_activations("GEMM", activations, self.k, self.n)?;
+        let mut c = DenseMatrix::zeros(self.m, self.n);
+        if self.m == 0 || self.n == 0 || self.k == 0 {
+            return Ok(c);
+        }
+        // Working buffers are allocated per call: freshly mapped pages
+        // measured consistently faster than reusing a long-lived scratch
+        // buffer on this allocator (transparent-huge-page placement), and a
+        // scratch-free plan stays `Sync`.
+        let b16 = activations.as_f16_rounded();
+        execute_packed_dense(&self.packed, self.k, b16.as_slice(), &mut c);
+        Ok(c)
+    }
+}
+
+/// Static operand data of one prepared SpMM variant.
+#[derive(Debug, Clone)]
+enum SpmmPlanKind {
+    /// Vector-wise / Shfl-BW: pre-stitched `V×tk` group panels plus the
+    /// write-back row indices resolved at pack time.
+    Stitched {
+        v: usize,
+        tk: usize,
+        packed: PackedPanels,
+        /// Kept column indices, group-major (copied from the format).
+        cols: Vec<u32>,
+        /// `group_ptr[g]..group_ptr[g+1]` bounds group `g` inside `cols`.
+        group_ptr: Vec<usize>,
+        /// `row_indices[stored_row]` = output row (identity for vector-wise).
+        row_indices: Vec<u32>,
+        /// Whether `row_indices` is the identity permutation, resolved at pack
+        /// time: the identity case accumulates straight into the output and
+        /// skips the shuffled write-back copy.
+        identity_rows: bool,
+        macs_per_element: usize,
+    },
+    /// Block-wise (BSR): rounded `V×V` block panels in block-row order.
+    Blocks {
+        v: usize,
+        packed: PackedPanels,
+        block_cols: Vec<u32>,
+        block_row_ptr: Vec<usize>,
+        macs_per_element: usize,
+    },
+    /// Balanced 2:4: the decompressed operand packed like a dense GEMM.
+    Dense { packed: PackedPanels },
+    /// CUDA-core CSR: the kernel performs no fp16 staging, so the compressed
+    /// operand itself is the packed form.
+    Csr { matrix: CsrMatrix },
+}
+
+/// A prepared SpMM: `C[m×n] = A[m×k] · B[k×n]` with the sparse operand packed
+/// once in its kernel-specific execution layout.
+#[derive(Debug, Clone)]
+pub struct SpmmPlan {
+    m: usize,
+    n: usize,
+    k: usize,
+    tile: TileConfig,
+    kind: SpmmPlanKind,
+    profile: KernelProfile,
+}
+
+impl SpmmPlan {
+    /// Prepares the vector-wise tensor-core SpMM (identity write-back).
+    pub fn vector_wise(arch: &GpuArch, weights: &VectorWiseMatrix, n: usize) -> Self {
+        let config = spmm::vector_wise::VectorWiseKernelConfig::ours();
+        let profile = spmm::vector_wise::vector_wise_spmm_profile(arch, weights, n, &config);
+        let identity: Vec<u32> = (0..weights.rows() as u32).collect();
+        Self::stitched(weights, identity, n, profile)
+    }
+
+    /// Prepares the Shfl-BW tensor-core SpMM: the shuffle row indices are
+    /// resolved into the plan at pack time, so the per-call epilogue is a
+    /// plain indexed row copy.
+    pub fn shfl_bw(arch: &GpuArch, weights: &ShflBwMatrix, n: usize) -> Self {
+        let profile = spmm::shfl_bw::shfl_bw_spmm_profile(arch, weights, n);
+        Self::stitched(
+            weights.vector_wise(),
+            weights.row_indices().to_vec(),
+            n,
+            profile,
+        )
+    }
+
+    fn stitched(
+        vw: &VectorWiseMatrix,
+        row_indices: Vec<u32>,
+        n: usize,
+        profile: KernelProfile,
+    ) -> Self {
+        let v = vw.vector_size();
+        let tile = tiling::select_vector_wise_tile(v, n);
+        let identity_rows = row_indices
+            .iter()
+            .enumerate()
+            .all(|(i, r)| *r as usize == i);
+        SpmmPlan {
+            m: vw.rows(),
+            n,
+            k: vw.cols(),
+            tile,
+            kind: SpmmPlanKind::Stitched {
+                v,
+                tk: tile.tk,
+                packed: PackedPanels::pack_vector_wise(vw, tile.tk),
+                cols: vw.col_idx().to_vec(),
+                group_ptr: vw.group_ptr().to_vec(),
+                row_indices,
+                identity_rows,
+                macs_per_element: (vw.stored_vectors() / vw.num_groups().max(1)).max(1),
+            },
+            profile,
+        }
+    }
+
+    /// Prepares the block-wise (BSR) tensor-core SpMM.
+    pub fn block_wise(arch: &GpuArch, weights: &BlockSparseMatrix, n: usize) -> Self {
+        let profile = spmm::block_wise::block_wise_spmm_profile(arch, weights, n);
+        let v = weights.block_size();
+        SpmmPlan {
+            m: weights.rows(),
+            n,
+            k: weights.cols(),
+            tile: profile.tile,
+            kind: SpmmPlanKind::Blocks {
+                v,
+                packed: PackedPanels::pack_blocks(weights),
+                block_cols: weights.block_col_idx().to_vec(),
+                block_row_ptr: weights.block_row_ptr().to_vec(),
+                macs_per_element: (weights.stored_blocks() * v / weights.block_rows().max(1))
+                    .max(1),
+            },
+            profile,
+        }
+    }
+
+    /// Prepares the balanced 2:4 SpMM (sparse tensor cores): the operand is
+    /// decompressed and packed once like a dense GEMM, mirroring what the
+    /// sparse tensor cores compute.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::UnsupportedOnArch`] on GPUs without sparse
+    /// tensor cores.
+    pub fn balanced(arch: &GpuArch, weights: &BalancedMatrix, n: usize) -> KernelResult<Self> {
+        let profile = spmm::balanced::balanced_spmm_profile(arch, weights, n)?;
+        let dense = weights.to_dense();
+        let shape = arch.mma_shape;
+        Ok(SpmmPlan {
+            m: weights.rows(),
+            n,
+            k: weights.cols(),
+            tile: profile.tile,
+            kind: SpmmPlanKind::Dense {
+                packed: PackedPanels::pack_dense_rows(&dense, shape.m(), shape.k()),
+            },
+            profile,
+        })
+    }
+
+    /// Prepares the CUDA-core CSR SpMM. The scalar kernel stages no fp16
+    /// tiles, so the plan owns the CSR operand as-is; what it amortises is the
+    /// resolved profile and launch configuration.
+    pub fn cuda_core(arch: &GpuArch, weights: &CsrMatrix, n: usize) -> Self {
+        let profile = spmm::cuda_core::cuda_core_spmm_profile(arch, weights, n);
+        SpmmPlan {
+            m: weights.rows(),
+            n,
+            k: weights.cols(),
+            tile: profile.tile,
+            kind: SpmmPlanKind::Csr {
+                matrix: weights.clone(),
+            },
+            profile,
+        }
+    }
+
+    /// The analytical profile resolved at plan time.
+    pub fn profile(&self) -> &KernelProfile {
+        &self.profile
+    }
+
+    /// The threadblock tile resolved at plan time.
+    pub fn tile(&self) -> TileConfig {
+        self.tile
+    }
+
+    /// Size of the packed static operand in bytes.
+    pub fn packed_bytes(&self) -> usize {
+        match &self.kind {
+            SpmmPlanKind::Stitched {
+                packed,
+                cols,
+                group_ptr,
+                row_indices,
+                ..
+            } => {
+                packed.packed_bytes()
+                    + cols.len() * std::mem::size_of::<u32>()
+                    + group_ptr.len() * std::mem::size_of::<usize>()
+                    + row_indices.len() * std::mem::size_of::<u32>()
+            }
+            SpmmPlanKind::Blocks {
+                packed,
+                block_cols,
+                block_row_ptr,
+                ..
+            } => {
+                packed.packed_bytes()
+                    + block_cols.len() * std::mem::size_of::<u32>()
+                    + block_row_ptr.len() * std::mem::size_of::<usize>()
+            }
+            SpmmPlanKind::Dense { packed } => packed.packed_bytes(),
+            SpmmPlanKind::Csr { matrix, .. } => {
+                (matrix.metadata_bytes() + matrix.nnz() as u64 * 4) as usize
+            }
+        }
+    }
+
+    /// Executes the prepared SpMM against one activation matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::ShapeMismatch`] if `activations` is not the
+    /// `k×n` operand the plan was built for.
+    pub fn execute(&self, activations: &DenseMatrix) -> KernelResult<KernelOutput> {
+        Ok(KernelOutput {
+            output: self.execute_output(activations)?,
+            profile: self.profile.clone(),
+        })
+    }
+
+    /// [`SpmmPlan::execute`] without the profile clone (used by [`ConvPlan`]).
+    pub(crate) fn execute_output(&self, activations: &DenseMatrix) -> KernelResult<DenseMatrix> {
+        check_activations("SpMM", activations, self.k, self.n)?;
+        let mut output = DenseMatrix::zeros(self.m, self.n);
+        if self.m == 0 || self.n == 0 {
+            return Ok(output);
+        }
+        match &self.kind {
+            SpmmPlanKind::Stitched {
+                v,
+                tk,
+                packed,
+                cols,
+                group_ptr,
+                row_indices,
+                identity_rows,
+                macs_per_element,
+            } => {
+                let (v, tk, n) = (*v, *tk, self.n);
+                let b16_matrix = activations.as_f16_rounded();
+                let b16 = b16_matrix.as_slice();
+                // Group-ordered accumulators, exactly like the cold stitched
+                // path. With the identity permutation (vector-wise plans)
+                // group g's accumulator rows *are* output rows g·V..(g+1)·V,
+                // so the output is accumulated in place; a shuffled plan
+                // accumulates into a fresh buffer and resolves the write-back
+                // row indices afterwards. Fresh per-call buffers measured
+                // faster than reusing a long-lived scratch (huge-page
+                // placement).
+                let mut grouped = if *identity_rows {
+                    Vec::new()
+                } else {
+                    vec![0.0f32; self.m * n]
+                };
+                let acc_slice: &mut [f32] = if *identity_rows {
+                    output.as_mut_slice()
+                } else {
+                    &mut grouped
+                };
+                parallel::par_chunks_mut_weighted(acc_slice, v * n, *macs_per_element, |g, acc| {
+                    let panels = packed.chunk_panels(g);
+                    if panels.is_empty() {
+                        return;
+                    }
+                    let group_cols = &cols[group_ptr[g]..group_ptr[g + 1]];
+                    for (step, panel) in panels.enumerate() {
+                        let (values, rows, w) = packed.panel(panel);
+                        debug_assert_eq!(rows, v);
+                        // The packed panel is already the stitched weight
+                        // tile; the activation rows it references are read
+                        // in place by index. The fused register-blocked
+                        // step is bit-identical to the cold
+                        // stitch/zero/mma/add sequence.
+                        let step_cols = &group_cols[step * tk..step * tk + w];
+                        mma_row_block_gather_fused_acc(values, v, w, b16, step_cols, acc, n);
+                    }
+                });
+                if !*identity_rows {
+                    for (stored_row, acc_row) in grouped.chunks_exact(n).enumerate() {
+                        output
+                            .row_mut(row_indices[stored_row] as usize)
+                            .copy_from_slice(acc_row);
+                    }
+                }
+            }
+            SpmmPlanKind::Blocks {
+                v,
+                packed,
+                block_cols,
+                block_row_ptr,
+                macs_per_element,
+            } => {
+                let (v, n) = (*v, self.n);
+                let b16_matrix = activations.as_f16_rounded();
+                let b16 = b16_matrix.as_slice();
+                parallel::par_chunks_mut_weighted(
+                    output.as_mut_slice(),
+                    v * n,
+                    *macs_per_element,
+                    |br, out_chunk| {
+                        for (i, panel) in packed.chunk_panels(br).enumerate() {
+                            let (values, _, _) = packed.panel(panel);
+                            let bc = block_cols[block_row_ptr[br] + i] as usize;
+                            // The activation slice of a block is already
+                            // contiguous; the fused register-blocked step is
+                            // bit-identical to the cold zero/mma/add sequence.
+                            mma_row_block_fused_acc(
+                                values,
+                                v,
+                                v,
+                                &b16[bc * v * n..(bc + 1) * v * n],
+                                out_chunk,
+                                n,
+                            );
+                        }
+                    },
+                );
+            }
+            SpmmPlanKind::Dense { packed } => {
+                let b16 = activations.as_f16_rounded();
+                execute_packed_dense(packed, self.k, b16.as_slice(), &mut output);
+            }
+            SpmmPlanKind::Csr { matrix } => {
+                spmm::cuda_core::csr_spmm_into(matrix, activations, &mut output);
+            }
+        }
+        Ok(output)
+    }
+}
+
+/// Static operand data of one prepared convolution path.
+#[derive(Debug, Clone)]
+enum ConvPlanKind {
+    Dense(GemmPlan),
+    ShflBw(SpmmPlan),
+}
+
+/// A prepared implicit-GEMM 2-D convolution (dense cuDNN-like or Shfl-BW).
+///
+/// The flattened filter matrix is packed once; each execute unfolds the input
+/// feature map ([`conv::im2col`] — the activation-side work a real kernel
+/// stages through shared memory per call) and runs the prepared GEMM/SpMM.
+#[derive(Debug, Clone)]
+pub struct ConvPlan {
+    params: Conv2dParams,
+    kind: ConvPlanKind,
+    profile: KernelProfile,
+}
+
+impl ConvPlan {
+    /// Prepares the dense implicit-GEMM convolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::ShapeMismatch`] if the flattened filter matrix
+    /// does not match the convolution geometry.
+    pub fn dense(
+        arch: &GpuArch,
+        weights: &DenseMatrix,
+        params: &Conv2dParams,
+    ) -> KernelResult<Self> {
+        let (m, n, k) = params.implicit_gemm_shape();
+        if weights.shape() != (m, k) {
+            return Err(KernelError::ShapeMismatch {
+                context: format!(
+                    "conv weights are {:?} but the geometry implies {m}x{k}",
+                    weights.shape()
+                ),
+            });
+        }
+        Ok(ConvPlan {
+            params: *params,
+            kind: ConvPlanKind::Dense(GemmPlan::new(arch, weights, n)),
+            profile: conv::conv2d_dense_profile(arch, params),
+        })
+    }
+
+    /// Prepares the Shfl-BW implicit-GEMM convolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::ShapeMismatch`] if the pruned filter matrix does
+    /// not match the convolution geometry.
+    pub fn shfl_bw(
+        arch: &GpuArch,
+        weights: &ShflBwMatrix,
+        params: &Conv2dParams,
+    ) -> KernelResult<Self> {
+        let (m, n, k) = params.implicit_gemm_shape();
+        if (weights.rows(), weights.cols()) != (m, k) {
+            return Err(KernelError::ShapeMismatch {
+                context: format!(
+                    "conv weights are {}x{} but the geometry implies {m}x{k}",
+                    weights.rows(),
+                    weights.cols()
+                ),
+            });
+        }
+        Ok(ConvPlan {
+            params: *params,
+            kind: ConvPlanKind::ShflBw(SpmmPlan::shfl_bw(arch, weights, n)),
+            profile: conv::conv2d_shfl_bw_profile(arch, weights, params),
+        })
+    }
+
+    /// The analytical profile resolved at plan time.
+    pub fn profile(&self) -> &KernelProfile {
+        &self.profile
+    }
+
+    /// The convolution geometry the plan was built for.
+    pub fn params(&self) -> &Conv2dParams {
+        &self.params
+    }
+
+    /// Executes the prepared convolution against one input feature map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::ShapeMismatch`] if the input tensor does not
+    /// match the geometry the plan was built for.
+    pub fn execute(&self, input: &Tensor4) -> KernelResult<(Tensor4, KernelProfile)> {
+        let p = &self.params;
+        if input.shape() != (p.batch, p.in_channels, p.input_h, p.input_w) {
+            return Err(KernelError::ShapeMismatch {
+                context: format!(
+                    "conv input is {:?} but the plan expects ({}, {}, {}, {})",
+                    input.shape(),
+                    p.batch,
+                    p.in_channels,
+                    p.input_h,
+                    p.input_w
+                ),
+            });
+        }
+        let unfolded = conv::im2col(input, p);
+        let out = match &self.kind {
+            ConvPlanKind::Dense(gemm) => gemm.execute_output(&unfolded)?,
+            ConvPlanKind::ShflBw(spmm) => spmm.execute_output(&unfolded)?,
+        };
+        Ok((conv::col2im_output(&out, p), self.profile.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn vector_wise_dense(
+        rng: &mut StdRng,
+        m: usize,
+        k: usize,
+        v: usize,
+        density: f64,
+    ) -> DenseMatrix {
+        let groups = m / v;
+        let keep: Vec<bool> = (0..groups * k).map(|_| rng.gen_bool(density)).collect();
+        DenseMatrix::from_fn(m, k, |r, c| {
+            if keep[(r / v) * k + c] {
+                rng.gen_range(-1.0f32..1.0)
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn gemm_plan_matches_unprepared_blocked_path() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let arch = GpuArch::v100();
+        let a = DenseMatrix::random(&mut rng, 33, 29);
+        let plan = GemmPlan::new(&arch, &a, 21);
+        for _ in 0..3 {
+            let b = DenseMatrix::random(&mut rng, 29, 21);
+            let prepared = plan.execute(&b).unwrap();
+            let blocked = gemm::fragment_matmul(arch.mma_shape, &a, &b);
+            assert_eq!(prepared.output, blocked);
+        }
+    }
+
+    #[test]
+    fn gemm_plan_rejects_wrong_bucket() {
+        let arch = GpuArch::t4();
+        let plan = GemmPlan::new(&arch, &DenseMatrix::zeros(8, 8), 16);
+        assert!(plan.execute(&DenseMatrix::zeros(8, 8)).is_err());
+        assert!(plan.execute(&DenseMatrix::zeros(16, 16)).is_err());
+        assert!(plan.execute(&DenseMatrix::zeros(8, 16)).is_ok());
+    }
+
+    #[test]
+    fn shfl_bw_plan_matches_cold_execute_across_activations() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let arch = GpuArch::v100();
+        let dense_a = vector_wise_dense(&mut rng, 32, 40, 8, 0.4);
+        let perm: Vec<usize> = (0..32).rev().collect();
+        let a = ShflBwMatrix::from_dense_with_permutation(&dense_a, &perm, 8).unwrap();
+        let plan = SpmmPlan::shfl_bw(&arch, &a, 24);
+        for _ in 0..3 {
+            let b = DenseMatrix::random(&mut rng, 40, 24);
+            let prepared = plan.execute(&b).unwrap();
+            let cold = spmm::shfl_bw::shfl_bw_spmm_execute(&arch, &a, &b).unwrap();
+            assert_eq!(prepared.output, cold.output);
+            assert_eq!(prepared.profile.name, cold.profile.name);
+        }
+    }
+
+    #[test]
+    fn balanced_plan_rejected_on_pre_ampere() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let dense = DenseMatrix::from_fn(8, 8, |_, c| {
+            if c % 4 < 2 {
+                rng.gen_range(-1.0..1.0)
+            } else {
+                0.0
+            }
+        });
+        let a = BalancedMatrix::from_dense(&dense, 2, 4).unwrap();
+        assert!(SpmmPlan::balanced(&GpuArch::v100(), &a, 16).is_err());
+        assert!(SpmmPlan::balanced(&GpuArch::a100(), &a, 16).is_ok());
+    }
+
+    #[test]
+    fn conv_plan_validates_input_shape() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let params = Conv2dParams {
+            batch: 1,
+            in_channels: 2,
+            out_channels: 4,
+            input_h: 6,
+            input_w: 6,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 1,
+            padding: 1,
+        };
+        let (m, _, k) = params.implicit_gemm_shape();
+        let weights = DenseMatrix::random(&mut rng, m, k);
+        let arch = GpuArch::v100();
+        let plan = ConvPlan::dense(&arch, &weights, &params).unwrap();
+        let bad = Tensor4::zeros(1, 2, 5, 6);
+        assert!(plan.execute(&bad).is_err());
+        let good = Tensor4::random(&mut rng, 1, 2, 6, 6);
+        let (out, profile) = plan.execute(&good).unwrap();
+        assert_eq!(out.shape(), (1, 4, 6, 6));
+        assert_eq!(profile.name, "dense-conv2d");
+    }
+
+    #[test]
+    fn plan_reports_packed_footprint_and_tile() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let arch = GpuArch::t4();
+        let dense_a = vector_wise_dense(&mut rng, 64, 64, 16, 0.3);
+        let vw = VectorWiseMatrix::from_dense(&dense_a, 16).unwrap();
+        let plan = SpmmPlan::vector_wise(&arch, &vw, 32);
+        assert!(plan.packed_bytes() > 0);
+        assert_eq!(plan.tile().tm, 16);
+        let gemm_plan = GemmPlan::new(&arch, &dense_a, 32);
+        assert!(gemm_plan.packed_bytes() >= 64 * 64 * 4);
+        assert_eq!(gemm_plan.launch_config().tile.tk, 32);
+    }
+}

@@ -89,6 +89,9 @@ pub fn balanced_spmm_profile(
 /// the tensor-core fragment GEMM (numerically identical to what the sparse tensor
 /// cores produce, since they skip only zero-valued MACs).
 ///
+/// This is the cold path: a thin wrapper that builds a
+/// [`crate::plan::SpmmPlan`] for this single call and executes it.
+///
 /// # Errors
 ///
 /// Returns [`KernelError::ShapeMismatch`] if `a.cols() != b.rows()` and
@@ -108,10 +111,7 @@ pub fn balanced_spmm_execute(
             ),
         });
     }
-    let profile = balanced_spmm_profile(arch, a, b.cols())?;
-    let dense_a = a.to_dense();
-    let output = crate::gemm::fragment_matmul(arch.mma_shape, &dense_a, b);
-    Ok(KernelOutput { output, profile })
+    crate::plan::SpmmPlan::balanced(arch, a, b.cols())?.execute(b)
 }
 
 #[cfg(test)]

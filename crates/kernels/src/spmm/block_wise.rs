@@ -16,7 +16,6 @@ use shfl_core::formats::BlockSparseMatrix;
 use shfl_core::matrix::DenseMatrix;
 use shfl_core::tiling::TileConfig;
 use std::cell::RefCell;
-use std::collections::BTreeSet;
 
 /// Library (cuSPARSE) compute efficiency per architecture: the source of the
 /// "unstable performance" the paper reports. Tuned so the V100 library kernel is
@@ -58,8 +57,8 @@ pub fn block_wise_spmm_profile(arch: &GpuArch, a: &BlockSparseMatrix, n: usize) 
     stats.add_dram_read(stored_values * FP16_BYTES);
     stats.add_metadata(a.metadata_bytes());
     // Activation rows touched by at least one block column are read from DRAM.
-    let unique_block_cols: BTreeSet<u32> = a.block_col_idx().iter().copied().collect();
-    let b_bytes = unique_block_cols.len() as u64 * v as u64 * n_u * FP16_BYTES;
+    let unique_block_cols = launch::unique_index_count(a.block_col_idx(), a.block_cols());
+    let b_bytes = unique_block_cols * v as u64 * n_u * FP16_BYTES;
     let b_reuse = a.block_rows() as u64;
     stats.add_dram_read(b_bytes * launch::dram_reload_factor(arch, b_bytes, b_reuse));
     stats.add_dram_write(m as u64 * n_u * OUTPUT_BYTES);
@@ -99,40 +98,20 @@ thread_local! {
         const { RefCell::new((Vec::new(), Vec::new())) };
 }
 
-/// Functionally executes the block-wise SpMM: every stored block multiplies the
-/// corresponding `V×n` slice of `B` through tensor-core fragments.
-///
-/// Blocked execution: the activation matrix is fp16-rounded once, block rows are
-/// distributed across cores (each owns a disjoint `V×n` output slice), and every
-/// stored block is staged — rounded — into a reusable thread-local buffer and
-/// multiplied against the pre-rounded `V×n` activation row-chunk on the interior
-/// fast path ([`mma_row_block`]). Bit-identical to the retained naive path
-/// ([`crate::reference::block_spmm_naive`]).
-///
-/// # Errors
-///
-/// Returns [`KernelError::ShapeMismatch`] if `a.cols() != b.rows()`.
-pub fn block_wise_spmm_execute(
-    arch: &GpuArch,
-    a: &BlockSparseMatrix,
-    b: &DenseMatrix,
-) -> KernelResult<KernelOutput> {
-    if a.cols() != b.rows() {
-        return Err(KernelError::ShapeMismatch {
-            context: format!(
-                "block SpMM A is {}x{} but B is {:?}",
-                a.rows(),
-                a.cols(),
-                b.shape()
-            ),
-        });
-    }
+/// The *unprepared* blocked BSR main loop: the activation matrix is
+/// fp16-rounded once, block rows are distributed across cores (each owns a
+/// disjoint `V×n` output slice), and every stored block is staged — rounded —
+/// into a reusable thread-local buffer and multiplied against the pre-rounded
+/// `V×n` activation row-chunk on the interior fast path ([`mma_row_block`]).
+/// Bit-identical to the retained naive path
+/// ([`crate::reference::block_spmm_naive`]) and to the prepared
+/// [`crate::plan::SpmmPlan::block_wise`], which packs the rounded blocks once.
+pub fn block_spmm_unprepared(a: &BlockSparseMatrix, b: &DenseMatrix) -> DenseMatrix {
     let n = b.cols();
     let v = a.block_size();
-    let profile = block_wise_spmm_profile(arch, a, n);
     let mut output = DenseMatrix::zeros(a.rows(), n);
     if a.rows() == 0 || n == 0 {
-        return Ok(KernelOutput { output, profile });
+        return output;
     }
     let b16 = b.as_f16_rounded();
 
@@ -171,7 +150,34 @@ pub fn block_wise_spmm_execute(
             });
         },
     );
-    Ok(KernelOutput { output, profile })
+    output
+}
+
+/// Functionally executes the block-wise SpMM: every stored block multiplies the
+/// corresponding `V×n` slice of `B` through tensor-core fragments.
+///
+/// This is the cold path: a thin wrapper that builds a
+/// [`crate::plan::SpmmPlan`] for this single call and executes it.
+///
+/// # Errors
+///
+/// Returns [`KernelError::ShapeMismatch`] if `a.cols() != b.rows()`.
+pub fn block_wise_spmm_execute(
+    arch: &GpuArch,
+    a: &BlockSparseMatrix,
+    b: &DenseMatrix,
+) -> KernelResult<KernelOutput> {
+    if a.cols() != b.rows() {
+        return Err(KernelError::ShapeMismatch {
+            context: format!(
+                "block SpMM A is {}x{} but B is {:?}",
+                a.rows(),
+                a.cols(),
+                b.shape()
+            ),
+        });
+    }
+    crate::plan::SpmmPlan::block_wise(arch, a, b.cols()).execute(b)
 }
 
 #[cfg(test)]

@@ -13,7 +13,6 @@ use gpu_sim::{ComputeUnit, CostModel, GpuArch, KernelStats};
 use shfl_core::formats::CsrMatrix;
 use shfl_core::matrix::DenseMatrix;
 use shfl_core::tiling::TileConfig;
-use std::collections::BTreeSet;
 
 /// Rows of the sparse matrix processed by one threadblock (Sputnik's 1-D row tiling).
 const ROWS_PER_BLOCK: usize = 32;
@@ -70,8 +69,7 @@ fn csr_profile(arch: &GpuArch, a: &CsrMatrix, n: usize, tuning: &CudaCoreTuning)
     stats.add_metadata(a.metadata_bytes());
     // Activation rows actually referenced anywhere in the matrix are read from DRAM at
     // least once; re-reads across sparse rows are served by the caches.
-    let unique_cols: BTreeSet<u32> = a.col_idx().iter().copied().collect();
-    let b_bytes = unique_cols.len() as u64 * n_u * FP16_BYTES;
+    let b_bytes = launch::unique_index_count(a.col_idx(), a.cols()) * n_u * FP16_BYTES;
     let b_reuse = m.div_ceil(tile.tm) as u64;
     stats.add_dram_read(b_bytes * launch::dram_reload_factor(arch, b_bytes, b_reuse));
     stats.add_dram_write(m as u64 * n_u * OUTPUT_BYTES);
@@ -102,13 +100,65 @@ pub fn cusparse_csr_spmm_profile(arch: &GpuArch, a: &CsrMatrix, n: usize) -> Ker
     csr_profile(arch, a, n, &CUSPARSE)
 }
 
+/// Output-chunk width held in registers across a row's non-zeros (the same
+/// register-blocking idea as `gpu_sim::mma::mma_row_block_reg`, hand-rolled
+/// here because the gathered activation rows are addressed by column index).
+const CSR_REG_BLOCK: usize = 32;
+
+/// The blocked CSR main loop shared by the cold execute and the prepared
+/// [`crate::plan::SpmmPlan`]: output rows are independent, so they are
+/// distributed across cores; each `CSR_REG_BLOCK`-wide output chunk is loaded
+/// once, updated in registers across every stored non-zero of the row
+/// (ascending non-zero order per element, exactly like the original whole-row
+/// AXPY sweeps), and stored once. Bit-identical to the retained naive path
+/// ([`crate::reference::csr_spmm_naive`]); the register blocking is what fixed
+/// the v1 `BENCH_kernels.json` regression where the blocked path trailed the
+/// naive one (0.90x) on store traffic.
+pub(crate) fn csr_spmm_into(a: &CsrMatrix, b: &DenseMatrix, output: &mut DenseMatrix) {
+    let n = b.cols();
+    let b_data = b.as_slice();
+    // Per output element the work is one MAC per stored non-zero of its row.
+    let macs_per_element = (a.nnz() / a.rows().max(1)).max(1);
+    shfl_core::parallel::par_chunks_mut_weighted(
+        output.as_mut_slice(),
+        n,
+        macs_per_element,
+        |row, out_row| {
+            let (cols, vals) = a.row_entries(row);
+            let mut j0 = 0;
+            while j0 + CSR_REG_BLOCK <= n {
+                let mut acc = [0.0f32; CSR_REG_BLOCK];
+                acc.copy_from_slice(&out_row[j0..j0 + CSR_REG_BLOCK]);
+                for (col, &value) in cols.iter().zip(vals.iter()) {
+                    let off = *col as usize * n + j0;
+                    let bs = &b_data[off..off + CSR_REG_BLOCK];
+                    for (o, &bv) in acc.iter_mut().zip(bs.iter()) {
+                        *o += value * bv;
+                    }
+                }
+                out_row[j0..j0 + CSR_REG_BLOCK].copy_from_slice(&acc);
+                j0 += CSR_REG_BLOCK;
+            }
+            for (j, o) in out_row.iter_mut().enumerate().skip(j0) {
+                let mut acc = *o;
+                for (col, &value) in cols.iter().zip(vals.iter()) {
+                    acc += value * b_data[*col as usize * n + j];
+                }
+                *o = acc;
+            }
+        },
+    );
+}
+
 /// Functionally executes the CUDA-core CSR SpMM (scalar FMA per non-zero, exactly the
 /// arithmetic the CUDA kernel performs) and returns the output with its profile.
 ///
-/// Output rows are independent, so they are distributed across cores; each row
-/// runs its stored non-zeros as whole-row AXPY sweeps over slices (the inner
-/// loop vectorises). Bit-identical to the retained naive path
-/// ([`crate::reference::csr_spmm_naive`]).
+/// This is the cold path: it resolves the profile and runs [`csr_spmm_into`]
+/// directly. The scalar kernel has no fp16 staging for a plan to pre-pack, so
+/// unlike the tensor-core kernels it does not route through an ad-hoc
+/// [`crate::plan::SpmmPlan`] (which would clone the operand per call); a plan
+/// built once with [`crate::plan::SpmmPlan::cuda_core`] shares this exact main
+/// loop and amortises the profile resolution.
 ///
 /// # Errors
 ///
@@ -126,22 +176,7 @@ pub fn cuda_core_spmm_execute(
     let n = b.cols();
     let profile = cuda_core_spmm_profile(arch, a, n);
     let mut output = DenseMatrix::zeros(a.rows(), n);
-    // Per output element the work is one MAC per stored non-zero of its row.
-    let macs_per_element = (a.nnz() / a.rows().max(1)).max(1);
-    shfl_core::parallel::par_chunks_mut_weighted(
-        output.as_mut_slice(),
-        n,
-        macs_per_element,
-        |row, out_row| {
-            let (cols, vals) = a.row_entries(row);
-            for (col, value) in cols.iter().zip(vals.iter()) {
-                let b_row = b.row(*col as usize);
-                for (o, bv) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += value * bv;
-                }
-            }
-        },
-    );
+    csr_spmm_into(a, b, &mut output);
     Ok(KernelOutput { output, profile })
 }
 

@@ -14,7 +14,7 @@
 //! write-coalescing overhead.
 
 use crate::profile::{KernelError, KernelOutput, KernelProfile, KernelResult};
-use crate::spmm::vector_wise::{stitched_spmm, vw_family_profile, VectorWiseKernelConfig};
+use crate::spmm::vector_wise::{vw_family_profile, VectorWiseKernelConfig};
 use gpu_sim::pipeline::PipelineConfig;
 use gpu_sim::GpuArch;
 use shfl_core::formats::ShflBwMatrix;
@@ -93,6 +93,11 @@ pub fn shfl_bw_spmm_profile_with(
 /// vector-wise storage followed by the reordered write-back to the original row
 /// positions.
 ///
+/// This is the cold path: a thin wrapper that builds a
+/// [`crate::plan::SpmmPlan`] for this single call and executes it. Serving
+/// workloads build the plan once ([`crate::plan::SpmmPlan::shfl_bw`]) and call
+/// `execute` repeatedly, amortising the weight packing.
+///
 /// # Errors
 ///
 /// Returns [`KernelError::ShapeMismatch`] if `a.cols() != b.rows()`.
@@ -111,9 +116,7 @@ pub fn shfl_bw_spmm_execute(
             ),
         });
     }
-    let profile = shfl_bw_spmm_profile(arch, a, b.cols());
-    let output = stitched_spmm(a.vector_wise(), b, a.row_indices());
-    Ok(KernelOutput { output, profile })
+    crate::plan::SpmmPlan::shfl_bw(arch, a, b.cols()).execute(b)
 }
 
 #[cfg(test)]

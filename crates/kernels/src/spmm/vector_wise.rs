@@ -21,7 +21,6 @@ use shfl_core::formats::VectorWiseMatrix;
 use shfl_core::matrix::DenseMatrix;
 use shfl_core::tiling;
 use std::cell::RefCell;
-use std::collections::BTreeSet;
 
 /// Tuning knobs of a vector-wise-family SpMM kernel.
 #[derive(Debug, Clone, PartialEq)]
@@ -128,8 +127,7 @@ pub(crate) fn vw_family_profile(
     stats.add_metadata(a.metadata_bytes() + extra_metadata_bytes);
     // Activation rows referenced by at least one group stream from DRAM; re-reads by
     // other groups are served from L2 while the working set fits.
-    let unique_cols: BTreeSet<u32> = a.col_idx().iter().copied().collect();
-    let b_bytes = unique_cols.len() as u64 * n_u * FP16_BYTES;
+    let b_bytes = launch::unique_index_count(a.col_idx(), a.cols()) * n_u * FP16_BYTES;
     let b_reuse = groups as u64;
     stats.add_dram_read(b_bytes * launch::dram_reload_factor(arch, b_bytes, b_reuse));
     let c_bytes = m as u64 * n_u * OUTPUT_BYTES;
@@ -204,6 +202,10 @@ pub fn vector_wise_spmm_profile(
 /// corresponding activation rows, multiplied with tensor-core fragments, and the
 /// `V×T_N` accumulator is written to the output rows of the group.
 ///
+/// This is the cold path: a thin wrapper that builds a
+/// [`crate::plan::SpmmPlan`] for this single call and executes it. Serving
+/// workloads build the plan once and call `execute` repeatedly.
+///
 /// # Errors
 ///
 /// Returns [`KernelError::ShapeMismatch`] if `a.cols() != b.rows()`.
@@ -222,11 +224,7 @@ pub fn vector_wise_spmm_execute(
             ),
         });
     }
-    let config = VectorWiseKernelConfig::ours();
-    let profile = vector_wise_spmm_profile(arch, a, b.cols(), &config);
-    let identity: Vec<u32> = (0..a.rows() as u32).collect();
-    let output = stitched_spmm(a, b, &identity);
-    Ok(KernelOutput { output, profile })
+    crate::plan::SpmmPlan::vector_wise(arch, a, b.cols()).execute(b)
 }
 
 thread_local! {
@@ -235,10 +233,16 @@ thread_local! {
         const { RefCell::new((Vec::new(), Vec::new(), Vec::new())) };
 }
 
-/// The stitched SpMM algorithm shared by the vector-wise and Shfl-BW functional
-/// kernels. `row_indices[stored_row]` gives the output row each stored row is written
-/// to (the reordered write-back); the identity permutation reproduces plain
-/// vector-wise behaviour.
+/// The *unprepared* stitched SpMM algorithm shared by the vector-wise and Shfl-BW
+/// functional kernels: every call re-gathers and re-rounds the stored vectors into
+/// the `V×w` tiles. `row_indices[stored_row]` gives the output row each stored row
+/// is written to (the reordered write-back); the identity permutation reproduces
+/// plain vector-wise behaviour.
+///
+/// Retained as the plan-less blocked baseline: the prepared
+/// [`crate::plan::SpmmPlan`] packs the same tiles once at plan time and must be
+/// bit-identical to this function (asserted by the property tests), and
+/// `repro --bench-kernels` times the two against each other.
 ///
 /// The blocked implementation pre-rounds the activation matrix once, then
 /// processes row groups in parallel (each group accumulates into its own
@@ -252,11 +256,7 @@ thread_local! {
 /// ([`crate::reference::stitched_spmm_naive`]) for every MMA k-fragmentation,
 /// so results are bit-identical and the function no longer needs the
 /// architecture handle the naive path used for fragment shapes.
-pub(crate) fn stitched_spmm(
-    a: &VectorWiseMatrix,
-    b: &DenseMatrix,
-    row_indices: &[u32],
-) -> DenseMatrix {
+pub fn stitched_spmm(a: &VectorWiseMatrix, b: &DenseMatrix, row_indices: &[u32]) -> DenseMatrix {
     let v = a.vector_size();
     let n = b.cols();
     let tile = tiling::select_vector_wise_tile(v, n);

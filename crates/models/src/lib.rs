@@ -5,7 +5,10 @@
 //!
 //! * [`workload`] — the layer-shape inventories of the three models (GEMM shapes of
 //!   the linear layers, implicit-GEMM shapes of the convolutions), which is what the
-//!   kernel-speedup experiments (Figures 1, 2, 6) iterate over, and
+//!   kernel-speedup experiments (Figures 1, 2, 6) iterate over,
+//! * [`engine`] — [`engine::ModelEngine`], the end-to-end inference engine: one
+//!   prepared kernel plan per weight-bearing layer (the plan/execute split of
+//!   `shfl-kernels`), repeated forward passes, tokens-or-images/s reporting, and
 //! * [`accuracy`] — the synthetic accuracy proxy described in `DESIGN.md`: pruned-model
 //!   quality is estimated by running the *real* pruning algorithms from `shfl-pruning`
 //!   on proxy importance matrices with hidden row-cluster structure, and mapping the
@@ -34,10 +37,12 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod accuracy;
+pub mod engine;
 pub mod gnmt;
 pub mod resnet50;
 pub mod transformer;
 pub mod workload;
 
 pub use accuracy::AccuracyModel;
+pub use engine::{EngineConfig, EngineReport, ModelEngine};
 pub use workload::{model_workload, DnnModel, Layer, LayerKind};

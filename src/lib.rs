@@ -34,8 +34,10 @@ pub use shfl_pruning as pruning;
 /// Commonly used items across the workspace, for glob import in examples.
 pub mod prelude {
     pub use gpu_sim::{GpuArch, KernelStats};
-    pub use shfl_core::{BinaryMask, DenseMatrix, ShflBwMatrix, SparsePattern, VectorWiseMatrix};
-    pub use shfl_kernels::{KernelOutput, KernelProfile};
-    pub use shfl_models::{AccuracyModel, DnnModel};
+    pub use shfl_core::{
+        BinaryMask, DenseMatrix, PackedPanels, ShflBwMatrix, SparsePattern, VectorWiseMatrix,
+    };
+    pub use shfl_kernels::{ConvPlan, GemmPlan, KernelOutput, KernelProfile, SpmmPlan};
+    pub use shfl_models::{AccuracyModel, DnnModel, EngineConfig, ModelEngine};
     pub use shfl_pruning::{Pruner, ShflBwPruner};
 }
