@@ -103,6 +103,9 @@ pub struct ModelBenchResult {
     pub modeled_throughput: f64,
     /// Throughput unit: `"tokens/s"` or `"images/s"`.
     pub unit: &'static str,
+    /// Mixed-size serving-trace numbers ([`crate::bench_serving`]): hit rate,
+    /// latency percentiles, bucketed-vs-cold throughput.
+    pub serving: Option<crate::bench_serving::ServingBenchResult>,
 }
 
 /// Everything one `repro --bench-kernels` invocation produces.
@@ -455,6 +458,17 @@ pub fn run(quick: bool) -> BenchRun {
     } else {
         EngineConfig::paper_default()
     };
+    // The serving trace rides along in full runs only: the smoke path keeps
+    // CI cheap (the workflow runs `repro --bench-serving --smoke` as its own
+    // gated step instead).
+    let mut serving_by_model: std::collections::HashMap<String, _> = if quick {
+        std::collections::HashMap::new()
+    } else {
+        crate::bench_serving::run(false)
+            .into_iter()
+            .map(|r| (r.model.clone(), r))
+            .collect()
+    };
     let mut models = Vec::new();
     for model in DnnModel::all() {
         let engine = ModelEngine::build(model, &arch, &cfg).expect("engine builds");
@@ -469,6 +483,7 @@ pub fn run(quick: bool) -> BenchRun {
             throughput: report.throughput_per_s(),
             modeled_throughput: report.modeled_throughput_per_s(),
             unit: report.unit,
+            serving: serving_by_model.remove(model.name()),
         });
     }
 
@@ -521,6 +536,15 @@ pub fn to_table(run: &BenchRun) -> String {
             m.unit,
         ));
     }
+    let serving: Vec<_> = run
+        .models
+        .iter()
+        .filter_map(|m| m.serving.clone())
+        .collect();
+    if !serving.is_empty() {
+        out.push('\n');
+        out.push_str(&crate::bench_serving::to_table(&serving));
+    }
     out
 }
 
@@ -560,10 +584,31 @@ pub fn to_json(run: &BenchRun) -> String {
     out.push_str("  ],\n");
     out.push_str("  \"models\": [\n");
     for (i, m) in run.models.iter().enumerate() {
+        let serving = match &m.serving {
+            Some(s) => format!(
+                ", \"serving\": {{\"forwards\": {}, \"hit_rate\": {:.4}, \
+                 \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \
+                 \"throughput\": {:.2}, \"cold_throughput\": {:.2}, \
+                 \"bit_identical\": {}, \"mt_workers\": {}, \"mt_requests\": {}, \
+                 \"mt_wall_ms\": {:.3}}}",
+                s.forwards,
+                s.hit_rate,
+                s.p50_ms,
+                s.p95_ms,
+                s.p99_ms,
+                s.throughput,
+                s.cold_throughput,
+                s.bit_identical,
+                s.mt_workers,
+                s.mt_requests,
+                s.mt_wall_ms,
+            ),
+            None => String::new(),
+        };
         out.push_str(&format!(
             "    {{\"model\": \"{}\", \"batch\": {}, \"seq_len\": {}, \"layers\": {}, \
              \"build_ms\": {:.3}, \"forward_ms\": {:.3}, \"throughput\": {:.2}, \
-             \"modeled_throughput\": {:.2}, \"unit\": \"{}\"}}{}\n",
+             \"modeled_throughput\": {:.2}, \"unit\": \"{}\"{}}}{}\n",
             esc(&m.model),
             m.batch,
             m.seq_len,
@@ -573,6 +618,7 @@ pub fn to_json(run: &BenchRun) -> String {
             m.throughput,
             m.modeled_throughput,
             esc(m.unit),
+            serving,
             if i + 1 < run.models.len() { "," } else { "" }
         ));
     }

@@ -3,6 +3,7 @@
 //! ```text
 //! repro [--experiment fig1|fig2|fig6|table1|ablation|analysis|headline|all]
 //! repro --bench-kernels [--smoke] [--bench-output BENCH_kernels.json]
+//! repro --bench-serving [--smoke]
 //! ```
 //!
 //! With no arguments every experiment is run. The output is plain text, one section
@@ -10,16 +11,27 @@
 //!
 //! `--bench-kernels` instead runs the wall-clock kernel benchmark (naive
 //! reference vs cold blocked call vs prepared plan, same run) plus the
-//! end-to-end model engines, and writes `BENCH_kernels.json` (schema v2).
-//! `--smoke` shrinks every shape to a tiny configuration and skips the
-//! wall-clock speedup gates (bit-identity is still enforced) — the CI mode
-//! that keeps the bench code from bitrotting between perf PRs.
+//! end-to-end model engines and the serving trace, and writes
+//! `BENCH_kernels.json` (schema v2). `--smoke` shrinks every shape to a tiny
+//! configuration and skips the wall-clock speedup gates (bit-identity is
+//! still enforced) — the CI mode that keeps the bench code from bitrotting
+//! between perf PRs.
+//!
+//! `--bench-serving` runs only the mixed-size serving trace over the bucketed
+//! plan cache and gates on the steady-state plan-cache miss rate (≤ 10%),
+//! bit-identity against the cold exact-width oracle, and (full mode only)
+//! bucketed aggregate throughput beating per-request cold plan builds.
 
 use gpu_sim::GpuArch;
-use shfl_bench::bench_kernels;
 use shfl_bench::experiments::{ablation, analysis, fig1, fig2, fig6, table1};
+use shfl_bench::{bench_kernels, bench_serving};
 use std::env;
 use std::process::ExitCode;
+
+/// The serving gate: steady-state plan-cache miss rate above this fraction
+/// fails the run (bucketing is supposed to make serving hit-dominated; a
+/// keying or eviction regression shows up here first).
+const MAX_SERVING_MISS_RATE: f64 = 0.10;
 
 fn print_fig1() {
     for arch in GpuArch::all() {
@@ -152,10 +164,54 @@ fn run_bench_kernels(output_path: &str, smoke: bool) -> ExitCode {
     }
 }
 
+/// Runs the serving trace and applies the serving gates.
+fn run_bench_serving(smoke: bool) -> ExitCode {
+    println!(
+        "Running the serving benchmark (bucketed plan cache vs cold per-request plans{})...",
+        if smoke { ", smoke shapes" } else { "" }
+    );
+    let results = bench_serving::run(smoke);
+    print!("{}", bench_serving::to_table(&results));
+
+    let mut ok = true;
+    for r in &results {
+        if !r.bit_identical {
+            eprintln!(
+                "error: {} bucketed outputs are not bit-identical to the cold oracle",
+                r.model
+            );
+            ok = false;
+        }
+        let miss_rate = 1.0 - r.hit_rate;
+        if miss_rate > MAX_SERVING_MISS_RATE {
+            eprintln!(
+                "error: {} steady-state plan-cache miss rate {:.1}% exceeds the {:.0}% gate",
+                r.model,
+                miss_rate * 100.0,
+                MAX_SERVING_MISS_RATE * 100.0
+            );
+            ok = false;
+        }
+        if !smoke && r.throughput <= r.cold_throughput {
+            eprintln!(
+                "error: {} bucketed serving ({:.1} {}) did not beat per-request cold plans ({:.1} {})",
+                r.model, r.throughput, r.unit, r.cold_throughput, r.unit
+            );
+            ok = false;
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().collect();
     let mut experiment = "all".to_string();
     let mut bench_kernels_mode = false;
+    let mut bench_serving_mode = false;
     let mut smoke = false;
     let mut bench_output = "BENCH_kernels.json".to_string();
     let mut i = 1;
@@ -173,6 +229,10 @@ fn main() -> ExitCode {
                 bench_kernels_mode = true;
                 i += 1;
             }
+            "--bench-serving" => {
+                bench_serving_mode = true;
+                i += 1;
+            }
             "--smoke" => {
                 smoke = true;
                 i += 1;
@@ -188,7 +248,8 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--experiment fig1|fig2|fig6|table1|ablation|analysis|headline|all]\n\
-                     \x20      repro --bench-kernels [--smoke] [--bench-output BENCH_kernels.json]"
+                     \x20      repro --bench-kernels [--smoke] [--bench-output BENCH_kernels.json]\n\
+                     \x20      repro --bench-serving [--smoke]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -202,8 +263,11 @@ fn main() -> ExitCode {
     if bench_kernels_mode {
         return run_bench_kernels(&bench_output, smoke);
     }
+    if bench_serving_mode {
+        return run_bench_serving(smoke);
+    }
     if smoke {
-        eprintln!("error: --smoke requires --bench-kernels");
+        eprintln!("error: --smoke requires --bench-kernels or --bench-serving");
         return ExitCode::FAILURE;
     }
 

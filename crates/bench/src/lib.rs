@@ -19,13 +19,17 @@
 //! Beyond the paper's figures, [`bench_kernels`] times the functional kernels
 //! three ways — naive reference, cold blocked call, prepared plan — runs the
 //! end-to-end model engines, and emits the `BENCH_kernels.json` v2 performance
-//! trajectory (`repro --bench-kernels`); [`report`] reads that file back in
-//! both the v1 and v2 schemas so the trajectory stays comparable across PRs.
+//! trajectory (`repro --bench-kernels`); [`bench_serving`] drives the
+//! bucketed serving stack through mixed-size request traces
+//! (`repro --bench-serving`, plan-cache hit rate + latency percentiles);
+//! [`report`] reads the JSON back in both the v1 and v2 schemas so the
+//! trajectory stays comparable across PRs.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod bench_kernels;
+pub mod bench_serving;
 pub mod experiments;
 pub mod report;
 pub mod synth;

@@ -282,6 +282,16 @@ pub struct ModelRecord {
     pub throughput: f64,
     /// Unit (`tokens/s` / `images/s`).
     pub unit: String,
+    /// Steady-state plan-cache hit rate of the serving trace (absent before
+    /// the bucketed serving stack).
+    pub serving_hit_rate: Option<f64>,
+    /// Aggregate items/s of the bucketed serving trace.
+    pub serving_throughput: Option<f64>,
+    /// Aggregate items/s of the per-request cold-plan baseline on the same
+    /// trace.
+    pub serving_cold_throughput: Option<f64>,
+    /// Whether the bucketed trace was bit-identical to the cold oracle.
+    pub serving_bit_identical: Option<bool>,
 }
 
 /// A parsed `BENCH_kernels.json`, any supported schema.
@@ -331,6 +341,8 @@ pub fn parse_report(input: &str) -> Option<BenchReport> {
     let mut models = Vec::new();
     if let Some(rows) = doc.get("models").and_then(Json::as_array) {
         for row in rows {
+            let serving = row.get("serving");
+            let serving_field = |key: &str| serving.and_then(|s| s.get(key)).and_then(Json::as_f64);
             models.push(ModelRecord {
                 model: row.get("model")?.as_str()?.to_string(),
                 batch: row.get("batch")?.as_f64()? as usize,
@@ -338,6 +350,12 @@ pub fn parse_report(input: &str) -> Option<BenchReport> {
                 forward_ms: row.get("forward_ms")?.as_f64()?,
                 throughput: row.get("throughput")?.as_f64()?,
                 unit: row.get("unit")?.as_str()?.to_string(),
+                serving_hit_rate: serving_field("hit_rate"),
+                serving_throughput: serving_field("throughput"),
+                serving_cold_throughput: serving_field("cold_throughput"),
+                serving_bit_identical: serving
+                    .and_then(|s| s.get("bit_identical"))
+                    .and_then(Json::as_bool),
             });
         }
     }
@@ -407,6 +425,21 @@ mod tests {
                 throughput: 50.0,
                 modeled_throughput: 4000.0,
                 unit: "tokens/s",
+                serving: Some(crate::bench_serving::ServingBenchResult {
+                    model: "GNMT".into(),
+                    unit: "tokens/s",
+                    forwards: 8,
+                    hit_rate: 0.975,
+                    p50_ms: 10.0,
+                    p95_ms: 20.0,
+                    p99_ms: 25.0,
+                    throughput: 60.0,
+                    cold_throughput: 40.0,
+                    bit_identical: true,
+                    mt_workers: 4,
+                    mt_requests: 32,
+                    mt_wall_ms: 120.0,
+                }),
             }],
         };
         let json = crate::bench_kernels::to_json(&run);
@@ -419,8 +452,29 @@ mod tests {
         assert_eq!(k.plan_build_ms, Some(2.0));
         assert!((k.speedup - 12.5).abs() < 1e-9);
         assert_eq!(report.models.len(), 1);
-        assert_eq!(report.models[0].model, "GNMT");
-        assert_eq!(report.models[0].unit, "tokens/s");
+        let m = &report.models[0];
+        assert_eq!(m.model, "GNMT");
+        assert_eq!(m.unit, "tokens/s");
+        assert_eq!(m.serving_hit_rate, Some(0.975));
+        assert_eq!(m.serving_throughput, Some(60.0));
+        assert_eq!(m.serving_cold_throughput, Some(40.0));
+        assert_eq!(m.serving_bit_identical, Some(true));
+    }
+
+    #[test]
+    fn model_rows_without_serving_parse_with_absent_fields() {
+        let json = r#"{
+  "schema": "shfl-bw-repro/bench-kernels/v2",
+  "threads": 1,
+  "results": [],
+  "models": [
+    {"model": "Transformer", "batch": 4, "seq_len": 16, "layers": 11, "build_ms": 1.0, "forward_ms": 2.0, "throughput": 3.0, "modeled_throughput": 4.0, "unit": "tokens/s"}
+  ]
+}"#;
+        let report = parse_report(json).unwrap();
+        assert_eq!(report.models.len(), 1);
+        assert_eq!(report.models[0].serving_hit_rate, None);
+        assert_eq!(report.models[0].serving_bit_identical, None);
     }
 
     #[test]

@@ -46,6 +46,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod analysis;
+pub mod bucket;
 pub mod error;
 pub mod f16;
 pub mod formats;
@@ -56,6 +57,7 @@ pub mod parallel;
 pub mod pattern;
 pub mod tiling;
 
+pub use bucket::{BucketPolicy, Segment};
 pub use error::{Error, Result};
 pub use formats::{BalancedMatrix, BlockSparseMatrix, CsrMatrix, ShflBwMatrix, VectorWiseMatrix};
 pub use mask::BinaryMask;
@@ -67,6 +69,7 @@ pub use tiling::TileConfig;
 /// Commonly used items, re-exported for glob import in examples and tests.
 pub mod prelude {
     pub use crate::analysis::{compare_patterns, ln_candidate_structures, max_reuse};
+    pub use crate::bucket::{BucketPolicy, Segment};
     pub use crate::error::{Error, Result};
     pub use crate::formats::{
         BalancedMatrix, BlockSparseMatrix, CsrMatrix, ShflBwMatrix, VectorWiseMatrix,

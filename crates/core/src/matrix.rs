@@ -164,21 +164,20 @@ impl DenseMatrix {
     }
 
     /// Returns a copy with every element rounded through fp16
-    /// ([`crate::f16::round_to_f16`]).
+    /// ([`crate::f16::round_to_f16_slice`], the branchless whole-slice
+    /// conversion, bit-identical to the scalar [`crate::f16::round_to_f16`]).
     ///
     /// The blocked kernels call this once per operand matrix before entering
     /// their main loops, hoisting the (expensive, software) fp16 conversion out
     /// of the per-fragment hot path. Rounding is element-wise, so pre-rounding a
     /// whole matrix is bit-identical to rounding each operand at use time.
     pub fn as_f16_rounded(&self) -> DenseMatrix {
+        let mut data = self.data.clone();
+        crate::f16::round_to_f16_slice(&mut data);
         DenseMatrix {
             rows: self.rows,
             cols: self.cols,
-            data: self
-                .data
-                .iter()
-                .map(|v| crate::f16::round_to_f16(*v))
-                .collect(),
+            data,
         }
     }
 
@@ -241,6 +240,64 @@ impl DenseMatrix {
             out.row_mut(dst).copy_from_slice(self.row(src));
         }
         Ok(out)
+    }
+
+    /// Copy of columns `start .. start + width`, zero-padded on the right to
+    /// `padded_cols` columns.
+    ///
+    /// This is the bucketing primitive of the serving layer: an activation
+    /// operand narrower than its plan's N-bucket is widened with zero columns
+    /// (which contribute nothing to the real output columns — every output
+    /// column depends only on its own activation column), and an operand wider
+    /// than the largest bucket is split into consecutive column segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + width > cols` or `width > padded_cols`.
+    pub fn cols_padded(&self, start: usize, width: usize, padded_cols: usize) -> DenseMatrix {
+        assert!(
+            start + width <= self.cols,
+            "column slice {start}..{} out of bounds for {} columns",
+            start + width,
+            self.cols
+        );
+        assert!(
+            width <= padded_cols,
+            "cannot pad {width} columns down to {padded_cols}"
+        );
+        let mut out = DenseMatrix::zeros(self.rows, padded_cols);
+        for r in 0..self.rows {
+            let src = &self.data[r * self.cols + start..r * self.cols + start + width];
+            out.data[r * padded_cols..r * padded_cols + width].copy_from_slice(src);
+        }
+        out
+    }
+
+    /// Writes the first `width` columns of `src` into `self` starting at
+    /// column `start` (the inverse of [`DenseMatrix::cols_padded`]: cropping a
+    /// padded bucket result back into the assembled output).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row counts differ, `start + width > cols`, or
+    /// `width > src.cols`.
+    pub fn copy_cols_from(&mut self, src: &DenseMatrix, start: usize, width: usize) {
+        assert_eq!(self.rows, src.rows, "row count mismatch in copy_cols_from");
+        assert!(
+            start + width <= self.cols,
+            "column range {start}..{} out of bounds for {} columns",
+            start + width,
+            self.cols
+        );
+        assert!(
+            width <= src.cols,
+            "source has {} columns, needs {width}",
+            src.cols
+        );
+        for r in 0..self.rows {
+            let dst = &mut self.data[r * self.cols + start..r * self.cols + start + width];
+            dst.copy_from_slice(&src.data[r * src.cols..r * src.cols + width]);
+        }
     }
 
     /// Element-wise absolute values (used as magnitude importance scores).
@@ -531,6 +588,39 @@ mod tests {
         }
         // Idempotent: a pre-rounded matrix re-rounds to itself bit-exactly.
         assert_eq!(rounded.as_f16_rounded(), rounded);
+    }
+
+    #[test]
+    fn cols_padded_extracts_and_zero_pads() {
+        let m = DenseMatrix::from_fn(3, 5, |r, c| (r * 5 + c) as f32 + 1.0);
+        let s = m.cols_padded(1, 2, 4);
+        assert_eq!(s.shape(), (3, 4));
+        for r in 0..3 {
+            assert_eq!(s.get(r, 0), m.get(r, 1));
+            assert_eq!(s.get(r, 1), m.get(r, 2));
+            assert_eq!(s.get(r, 2), 0.0);
+            assert_eq!(s.get(r, 3), 0.0);
+        }
+        // Full-width, no padding: a plain copy.
+        assert_eq!(m.cols_padded(0, 5, 5), m);
+    }
+
+    #[test]
+    fn copy_cols_from_roundtrips_with_cols_padded() {
+        let m = DenseMatrix::from_fn(4, 7, |r, c| (r * 7 + c) as f32);
+        let mut out = DenseMatrix::zeros(4, 7);
+        // Reassemble from segments of widths 3 / 2 / 2, each padded to 4.
+        for (start, width) in [(0, 3), (3, 2), (5, 2)] {
+            let seg = m.cols_padded(start, width, 4);
+            out.copy_cols_from(&seg, start, width);
+        }
+        assert_eq!(out, m);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn cols_padded_rejects_overflow() {
+        DenseMatrix::zeros(2, 3).cols_padded(2, 2, 4);
     }
 
     #[test]

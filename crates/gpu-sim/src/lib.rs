@@ -54,7 +54,7 @@ pub mod stats;
 pub mod timing;
 
 pub use arch::{GpuArch, GpuGeneration};
-pub use mma::MmaShape;
+pub use mma::{MmaShape, RegCascade};
 pub use pipeline::{PipelineConfig, PipelineModel};
 pub use stats::{ComputeUnit, KernelStats};
 pub use timing::{Bound, CostModel, KernelTiming};

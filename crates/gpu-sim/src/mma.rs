@@ -242,14 +242,74 @@ fn reg_row_chunks<const BLK: usize, const LOAD_C: bool>(
     j0
 }
 
-/// One full register-blocked row: a cascade of chunk widths (64 → 32 → 16 → 8)
-/// followed by a scalar tail, so narrow operands still vectorise.
+/// The register-block chunk cascade of the prepared microkernels: the widest
+/// output chunk the per-row sweep starts from, descending by halves to 8 and
+/// then a scalar tail.
+///
+/// Historically the cascade was a global 64 → 32 → 16 → 8 constant; the
+/// prepared kernel plans now select it **per N-bucket**
+/// ([`RegCascade::for_width`]), the same way they resolve their
+/// `LaunchConfig`: a plan serving a narrow bucket starts its sweep at the
+/// chunk width that can actually fill, instead of walking the failed
+/// wider-chunk guards on every row. The cascade only changes how output
+/// columns are grouped into register chunks — per output element the `kk`
+/// products still accumulate in ascending order through one `f32` — so every
+/// cascade is **bit-identical** (asserted by the unit tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegCascade {
+    /// Widest chunk tried (64, 32, 16 or 8).
+    largest: usize,
+}
+
+impl RegCascade {
+    /// The full 64 → 32 → 16 → 8 cascade (the historical global default).
+    pub const FULL: RegCascade = RegCascade { largest: 64 };
+
+    /// The cascade suited to operands of `width` columns: the widest chunk
+    /// that `width` can fill, floored at 8 so narrow tails still vectorise.
+    pub fn for_width(width: usize) -> Self {
+        let largest = match width {
+            w if w >= 64 => 64,
+            w if w >= 32 => 32,
+            w if w >= 16 => 16,
+            _ => 8,
+        };
+        RegCascade { largest }
+    }
+
+    /// The widest chunk this cascade starts from.
+    pub fn largest_chunk(&self) -> usize {
+        self.largest
+    }
+}
+
+impl Default for RegCascade {
+    fn default() -> Self {
+        RegCascade::FULL
+    }
+}
+
+/// One full register-blocked row: the cascade of chunk widths (starting at
+/// `cascade.largest_chunk()`, halving down to 8) followed by a scalar tail,
+/// so narrow operands still vectorise.
 #[inline]
-fn reg_row<const LOAD_C: bool>(a_row: &[f32], b: &[f32], c_row: &mut [f32], width: usize) {
+fn reg_row<const LOAD_C: bool>(
+    a_row: &[f32],
+    b: &[f32],
+    c_row: &mut [f32],
+    width: usize,
+    cascade: RegCascade,
+) {
     let mut j0 = 0;
-    j0 = reg_row_chunks::<64, LOAD_C>(a_row, b, c_row, width, j0);
-    j0 = reg_row_chunks::<32, LOAD_C>(a_row, b, c_row, width, j0);
-    j0 = reg_row_chunks::<16, LOAD_C>(a_row, b, c_row, width, j0);
+    if cascade.largest >= 64 {
+        j0 = reg_row_chunks::<64, LOAD_C>(a_row, b, c_row, width, j0);
+    }
+    if cascade.largest >= 32 {
+        j0 = reg_row_chunks::<32, LOAD_C>(a_row, b, c_row, width, j0);
+    }
+    if cascade.largest >= 16 {
+        j0 = reg_row_chunks::<16, LOAD_C>(a_row, b, c_row, width, j0);
+    }
     j0 = reg_row_chunks::<8, LOAD_C>(a_row, b, c_row, width, j0);
     for (j, o) in c_row.iter_mut().enumerate().skip(j0) {
         let mut part = if LOAD_C { *o } else { 0.0 };
@@ -286,6 +346,25 @@ pub fn mma_row_block_reg(
     c: &mut [f32],
     width: usize,
 ) {
+    mma_row_block_reg_cascade(a, rows, kk, b, c, width, RegCascade::FULL);
+}
+
+/// [`mma_row_block_reg`] with an explicit per-bucket [`RegCascade`] (selected
+/// by the kernel plans alongside their launch configuration); bit-identical
+/// for every cascade.
+///
+/// # Panics
+///
+/// Panics if the slices do not match the stated dimensions.
+pub fn mma_row_block_reg_cascade(
+    a: &[f32],
+    rows: usize,
+    kk: usize,
+    b: &[f32],
+    c: &mut [f32],
+    width: usize,
+    cascade: RegCascade,
+) {
     assert_eq!(a.len(), rows * kk, "A fragment must be rows*kk elements");
     assert_eq!(b.len(), kk * width, "B block must be kk*width elements");
     assert_eq!(c.len(), rows * width, "C block must be rows*width elements");
@@ -293,7 +372,7 @@ pub fn mma_row_block_reg(
         return;
     }
     for (a_row, c_row) in a.chunks_exact(kk).zip(c.chunks_exact_mut(width)) {
-        reg_row::<true>(a_row, b, c_row, width);
+        reg_row::<true>(a_row, b, c_row, width, cascade);
     }
 }
 
@@ -322,6 +401,24 @@ pub fn mma_row_block_fused_acc(
     acc: &mut [f32],
     width: usize,
 ) {
+    mma_row_block_fused_acc_cascade(a, rows, kk, b, acc, width, RegCascade::FULL);
+}
+
+/// [`mma_row_block_fused_acc`] with an explicit per-bucket [`RegCascade`];
+/// bit-identical for every cascade.
+///
+/// # Panics
+///
+/// Panics if the slices do not match the stated dimensions.
+pub fn mma_row_block_fused_acc_cascade(
+    a: &[f32],
+    rows: usize,
+    kk: usize,
+    b: &[f32],
+    acc: &mut [f32],
+    width: usize,
+    cascade: RegCascade,
+) {
     assert_eq!(a.len(), rows * kk, "A fragment must be rows*kk elements");
     assert_eq!(b.len(), kk * width, "B block must be kk*width elements");
     assert_eq!(
@@ -333,7 +430,7 @@ pub fn mma_row_block_fused_acc(
         return;
     }
     for (a_row, acc_row) in a.chunks_exact(kk).zip(acc.chunks_exact_mut(width)) {
-        reg_row::<false>(a_row, b, acc_row, width);
+        reg_row::<false>(a_row, b, acc_row, width, cascade);
     }
 }
 
@@ -391,6 +488,27 @@ pub fn mma_row_block_gather_fused_acc(
     acc: &mut [f32],
     width: usize,
 ) {
+    mma_row_block_gather_fused_acc_cascade(a, rows, kk, b, b_rows, acc, width, RegCascade::FULL);
+}
+
+/// [`mma_row_block_gather_fused_acc`] with an explicit per-bucket
+/// [`RegCascade`]; bit-identical for every cascade.
+///
+/// # Panics
+///
+/// Panics if the slices do not match the stated dimensions or a row index
+/// reaches past `b`.
+#[allow(clippy::too_many_arguments)] // mirrors the gather kernel + cascade
+pub fn mma_row_block_gather_fused_acc_cascade(
+    a: &[f32],
+    rows: usize,
+    kk: usize,
+    b: &[f32],
+    b_rows: &[u32],
+    acc: &mut [f32],
+    width: usize,
+    cascade: RegCascade,
+) {
     assert_eq!(a.len(), rows * kk, "A fragment must be rows*kk elements");
     assert_eq!(b_rows.len(), kk, "one B row index per reduction step");
     assert_eq!(
@@ -403,9 +521,15 @@ pub fn mma_row_block_gather_fused_acc(
     }
     for (a_row, acc_row) in a.chunks_exact(kk).zip(acc.chunks_exact_mut(width)) {
         let mut j0 = 0;
-        j0 = reg_row_gather_chunks::<64>(a_row, b, b_rows, acc_row, width, j0);
-        j0 = reg_row_gather_chunks::<32>(a_row, b, b_rows, acc_row, width, j0);
-        j0 = reg_row_gather_chunks::<16>(a_row, b, b_rows, acc_row, width, j0);
+        if cascade.largest >= 64 {
+            j0 = reg_row_gather_chunks::<64>(a_row, b, b_rows, acc_row, width, j0);
+        }
+        if cascade.largest >= 32 {
+            j0 = reg_row_gather_chunks::<32>(a_row, b, b_rows, acc_row, width, j0);
+        }
+        if cascade.largest >= 16 {
+            j0 = reg_row_gather_chunks::<16>(a_row, b, b_rows, acc_row, width, j0);
+        }
         j0 = reg_row_gather_chunks::<8>(a_row, b, b_rows, acc_row, width, j0);
         for (j, o) in acc_row.iter_mut().enumerate().skip(j0) {
             let mut part = 0.0f32;
@@ -710,6 +834,76 @@ mod tests {
                 "{rows}x{kk}x{width}"
             );
         }
+    }
+
+    #[test]
+    fn every_cascade_is_bit_identical() {
+        for (rows, kk, width, b_height) in [
+            (5, 4, 19, 11),
+            (16, 16, 70, 80),
+            (3, 7, 77, 9),
+            (2, 3, 9, 5),
+        ] {
+            let (a, b, c_init) = reg_case(rows, kk, width);
+            let mut full = c_init.clone();
+            mma_row_block_reg(&a, rows, kk, &b, &mut full, width);
+            let gather_b: Vec<f32> = (0..b_height * width)
+                .map(|i| round_to_f16((i as f32 * 0.13).sin()))
+                .collect();
+            let b_rows: Vec<u32> = (0..kk).map(|p| ((p * 5 + 2) % b_height) as u32).collect();
+            let mut gather_full = c_init.clone();
+            mma_row_block_gather_fused_acc(
+                &a,
+                rows,
+                kk,
+                &gather_b,
+                &b_rows,
+                &mut gather_full,
+                width,
+            );
+            let mut fused_full = c_init.clone();
+            mma_row_block_fused_acc(&a, rows, kk, &b, &mut fused_full, width);
+            for largest in [8usize, 16, 32, 64] {
+                let cascade = RegCascade::for_width(largest);
+                assert_eq!(cascade.largest_chunk(), largest);
+                let mut c = c_init.clone();
+                mma_row_block_reg_cascade(&a, rows, kk, &b, &mut c, width, cascade);
+                assert_eq!(
+                    c.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    full.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "reg cascade {largest} on {rows}x{kk}x{width}"
+                );
+                let mut c = c_init.clone();
+                mma_row_block_fused_acc_cascade(&a, rows, kk, &b, &mut c, width, cascade);
+                assert_eq!(
+                    c.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    fused_full.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "fused cascade {largest} on {rows}x{kk}x{width}"
+                );
+                let mut c = c_init.clone();
+                mma_row_block_gather_fused_acc_cascade(
+                    &a, rows, kk, &gather_b, &b_rows, &mut c, width, cascade,
+                );
+                assert_eq!(
+                    c.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    gather_full.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "gather cascade {largest} on {rows}x{kk}x{width}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cascade_selection_matches_width_classes() {
+        assert_eq!(RegCascade::for_width(1).largest_chunk(), 8);
+        assert_eq!(RegCascade::for_width(8).largest_chunk(), 8);
+        assert_eq!(RegCascade::for_width(15).largest_chunk(), 8);
+        assert_eq!(RegCascade::for_width(16).largest_chunk(), 16);
+        assert_eq!(RegCascade::for_width(32).largest_chunk(), 32);
+        assert_eq!(RegCascade::for_width(63).largest_chunk(), 32);
+        assert_eq!(RegCascade::for_width(64).largest_chunk(), 64);
+        assert_eq!(RegCascade::for_width(4096).largest_chunk(), 64);
+        assert_eq!(RegCascade::default(), RegCascade::FULL);
     }
 
     #[test]

@@ -1,0 +1,306 @@
+//! The bucketed plan cache of the serving stack.
+//!
+//! A serving engine runs many layers, each across a handful of activation
+//! N-buckets ([`shfl_core::bucket::BucketPolicy`]). Building a plan
+//! ([`crate::plan::SpmmPlan`]) is the expensive one-time phase — fp16
+//! rounding, tile transposition, launch / cascade / profile resolution — so
+//! the serving layer keys built plans by `(layer, n_bucket)` and reuses them
+//! across every request that lands on the same bucket. [`PlanCache`] owns
+//! that mapping:
+//!
+//! * **keying** — [`PlanKey`] is `(layer id, n_bucket)`; the layer id is
+//!   assigned by the caller (the serving engine's registration order),
+//! * **sharing** — cached plans are handed out as `Arc<SpmmPlan>`; plans are
+//!   `Sync` (no interior mutability), so one plan serves any number of
+//!   concurrent worker threads,
+//! * **eviction** — least-recently-used beyond a fixed capacity, the policy
+//!   every real inference server applies to compiled-kernel caches, and
+//! * **accounting** — hits / misses / evictions and the resident packed
+//!   bytes, the numbers the serving benchmark gates on (`repro
+//!   --bench-serving` fails the run when the miss rate regresses).
+//!
+//! Misses build **outside** the cache lock, so a cold build never blocks
+//! lookups of other keys; same-key races both build and share the first
+//! inserted plan (wasted CPU, never wrong results). Serving traffic is
+//! hit-dominated by design (the whole point of bucketing), so the lock is
+//! held for nanoseconds on the common path.
+
+use crate::plan::SpmmPlan;
+use crate::profile::KernelResult;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Cache key: one prepared plan per `(layer, n_bucket)` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// Caller-assigned layer id (registration order in the serving engine).
+    pub layer: usize,
+    /// The power-of-two activation bucket the plan was built for.
+    pub n_bucket: usize,
+}
+
+/// Cumulative cache counters (monotonic across the cache's lifetime).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups served by an already-resident plan.
+    pub hits: u64,
+    /// Lookups that had to build (and insert) a plan.
+    pub misses: u64,
+    /// Plans evicted to make room.
+    pub evictions: u64,
+}
+
+impl PlanCacheStats {
+    /// Fraction of lookups served from the cache (1.0 when there were none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of lookups that built a plan (`1 - hit_rate`).
+    pub fn miss_rate(&self) -> f64 {
+        1.0 - self.hit_rate()
+    }
+}
+
+/// One resident plan plus its last-touched stamp.
+struct CacheEntry {
+    plan: Arc<SpmmPlan>,
+    last_used: u64,
+}
+
+struct CacheInner {
+    entries: HashMap<PlanKey, CacheEntry>,
+    /// Logical clock advanced on every lookup; entries stamp it on touch.
+    tick: u64,
+    stats: PlanCacheStats,
+}
+
+/// An LRU cache of prepared [`SpmmPlan`]s keyed by `(layer, n_bucket)`.
+///
+/// All methods take `&self`; the cache is internally synchronised so a
+/// `PlanCache` shared behind an `Arc` (or borrowed across scoped worker
+/// threads) serves concurrent lookups.
+pub struct PlanCache {
+    capacity: usize,
+    inner: Mutex<CacheInner>,
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("PlanCache")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .field("stats", &stats)
+            .finish()
+    }
+}
+
+impl PlanCache {
+    /// Creates a cache holding at most `capacity` plans (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(CacheInner {
+                entries: HashMap::new(),
+                tick: 0,
+                stats: PlanCacheStats::default(),
+            }),
+        }
+    }
+
+    /// Maximum number of resident plans.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of currently resident plans.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("plan cache poisoned")
+            .entries
+            .len()
+    }
+
+    /// Whether the cache holds no plans.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cumulative hit / miss / eviction counters.
+    pub fn stats(&self) -> PlanCacheStats {
+        self.inner.lock().expect("plan cache poisoned").stats
+    }
+
+    /// Total packed bytes of the resident plans (the cache's memory
+    /// footprint, dominated by the packed weight panels).
+    pub fn resident_bytes(&self) -> usize {
+        let inner = self.inner.lock().expect("plan cache poisoned");
+        inner.entries.values().map(|e| e.plan.packed_bytes()).sum()
+    }
+
+    /// Returns the plan for `key`, building it with `build` on a miss. The
+    /// least-recently-used plan is evicted when the cache is full.
+    ///
+    /// The build runs **outside** the cache lock, so a cold miss never blocks
+    /// concurrent lookups of other `(layer, n_bucket)` keys. Two threads
+    /// racing on the *same* cold key may both build; the first insert wins
+    /// and both callers share the winner's plan (the loser's build is wasted
+    /// CPU, not an error — serving traffic is hit-dominated by design, and
+    /// warmup flows populate the cache sequentially).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the error of `build` (nothing is inserted on failure).
+    pub fn get_or_build(
+        &self,
+        key: PlanKey,
+        build: impl FnOnce() -> KernelResult<SpmmPlan>,
+    ) -> KernelResult<Arc<SpmmPlan>> {
+        {
+            let mut inner = self.inner.lock().expect("plan cache poisoned");
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(entry) = inner.entries.get_mut(&key) {
+                entry.last_used = tick;
+                let plan = Arc::clone(&entry.plan);
+                inner.stats.hits += 1;
+                return Ok(plan);
+            }
+            // A failed build still counts as a miss: the lookup was not
+            // served from the cache either way.
+            inner.stats.misses += 1;
+        }
+        let plan = Arc::new(build()?);
+        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        let tick = inner.tick;
+        if let Some(entry) = inner.entries.get_mut(&key) {
+            // Lost a same-key build race: share the plan already inserted.
+            entry.last_used = tick;
+            return Ok(Arc::clone(&entry.plan));
+        }
+        if inner.entries.len() >= self.capacity {
+            if let Some(lru) = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+            {
+                inner.entries.remove(&lru);
+                inner.stats.evictions += 1;
+            }
+        }
+        inner.entries.insert(
+            key,
+            CacheEntry {
+                plan: Arc::clone(&plan),
+                last_used: tick,
+            },
+        );
+        Ok(plan)
+    }
+
+    /// Whether a plan for `key` is currently resident (does not touch LRU
+    /// order or the hit/miss counters).
+    pub fn contains(&self, key: PlanKey) -> bool {
+        self.inner
+            .lock()
+            .expect("plan cache poisoned")
+            .entries
+            .contains_key(&key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::GpuArch;
+    use shfl_core::formats::VectorWiseMatrix;
+    use shfl_core::matrix::DenseMatrix;
+
+    fn tiny_plan(n: usize) -> KernelResult<SpmmPlan> {
+        let dense = DenseMatrix::from_fn(8, 8, |r, c| if (c + r / 2) % 2 == 0 { 1.0 } else { 0.0 });
+        let vw = VectorWiseMatrix::from_dense(&dense, 2).expect("vector-wise structure");
+        Ok(SpmmPlan::vector_wise(&GpuArch::v100(), &vw, n))
+    }
+
+    #[test]
+    fn hits_after_first_build() {
+        let cache = PlanCache::new(4);
+        let key = PlanKey {
+            layer: 0,
+            n_bucket: 16,
+        };
+        let a = cache.get_or_build(key, || tiny_plan(16)).unwrap();
+        let b = cache.get_or_build(key, || panic!("must hit")).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (1, 1, 0));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let cache = PlanCache::new(2);
+        let key = |layer| PlanKey { layer, n_bucket: 8 };
+        cache.get_or_build(key(0), || tiny_plan(8)).unwrap();
+        cache.get_or_build(key(1), || tiny_plan(8)).unwrap();
+        // Touch 0 so 1 becomes the LRU, then insert 2.
+        cache.get_or_build(key(0), || panic!("must hit")).unwrap();
+        cache.get_or_build(key(2), || tiny_plan(8)).unwrap();
+        assert!(cache.contains(key(0)));
+        assert!(!cache.contains(key(1)));
+        assert!(cache.contains(key(2)));
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn build_failure_inserts_nothing() {
+        let cache = PlanCache::new(2);
+        let key = PlanKey {
+            layer: 9,
+            n_bucket: 8,
+        };
+        let err = cache.get_or_build(key, || {
+            Err(crate::KernelError::ShapeMismatch {
+                context: "synthetic".into(),
+            })
+        });
+        assert!(err.is_err());
+        assert!(!cache.contains(key));
+        // The failed lookup still counts as a miss.
+        assert_eq!(cache.stats().misses, 1);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn concurrent_lookups_share_one_plan() {
+        let cache = PlanCache::new(4);
+        let key = PlanKey {
+            layer: 3,
+            n_bucket: 32,
+        };
+        cache.get_or_build(key, || tiny_plan(32)).unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        let plan = cache.get_or_build(key, || tiny_plan(32)).unwrap();
+                        assert_eq!(plan.bucket().1, 32);
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.stats().hits, 200);
+        assert_eq!(cache.stats().misses, 1);
+    }
+}

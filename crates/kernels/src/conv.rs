@@ -250,8 +250,10 @@ pub fn im2col(input: &Tensor4, params: &Conv2dParams) -> DenseMatrix {
 }
 
 /// Reshapes the `O × N` implicit-GEMM output back into an NCHW tensor, packing
-/// one `OW`-wide spatial row per `copy_from_slice`.
-pub(crate) fn col2im_output(output: &DenseMatrix, params: &Conv2dParams) -> Tensor4 {
+/// one `OW`-wide spatial row per `copy_from_slice`. Public counterpart of
+/// [`im2col`]: the serving stack unfolds conv inputs, serves the flattened
+/// operand through the bucketed SpMM path, and folds the result back here.
+pub fn col2im_output(output: &DenseMatrix, params: &Conv2dParams) -> Tensor4 {
     let (oh, ow) = (params.output_h(), params.output_w());
     let mut t = Tensor4::zeros(params.batch, params.out_channels, oh, ow);
     if ow == 0 {

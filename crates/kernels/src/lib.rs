@@ -100,6 +100,7 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod cache;
 pub mod conv;
 pub mod gemm;
 pub mod launch;
@@ -108,5 +109,6 @@ pub mod profile;
 pub mod reference;
 pub mod spmm;
 
+pub use cache::{PlanCache, PlanCacheStats, PlanKey};
 pub use plan::{ConvPlan, GemmPlan, SpmmPlan};
 pub use profile::{KernelError, KernelOutput, KernelProfile, KernelResult};

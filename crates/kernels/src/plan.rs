@@ -22,8 +22,11 @@
 //!   [`GemmPlan`] or stitched [`SpmmPlan`] over the flattened filter matrix.
 //!
 //! Every plan owns the packed panels ([`shfl_core::packed::PackedPanels`]),
-//! the resolved launch/tile configuration, and the precomputed analytical
-//! [`KernelProfile`] (cloned into each [`KernelOutput`]). Activation-side
+//! the resolved launch/tile configuration, the register-block cascade
+//! ([`gpu_sim::mma::RegCascade`], selected per N-bucket the same way the
+//! launch configuration is), and the precomputed analytical
+//! [`KernelProfile`] (cloned into each [`KernelOutput`]). Plans are cached
+//! per `(layer, n_bucket)` by the serving stack ([`crate::cache::PlanCache`]). Activation-side
 //! working buffers are deliberately *not* cached on the plan: freshly mapped
 //! pages measured consistently faster than long-lived reused buffers on this
 //! allocator (transparent-huge-page placement), and a buffer-free plan stays
@@ -65,7 +68,11 @@ use crate::gemm;
 use crate::launch::{self, LaunchConfig};
 use crate::profile::{KernelError, KernelOutput, KernelProfile, KernelResult};
 use crate::spmm;
-use gpu_sim::mma::{mma_row_block_fused_acc, mma_row_block_gather_fused_acc, mma_row_block_reg};
+use gpu_sim::mma::{
+    mma_row_block_fused_acc_cascade, mma_row_block_gather_fused_acc_cascade,
+    mma_row_block_reg_cascade, RegCascade,
+};
+use gpu_sim::pipeline::PipelineConfig;
 use gpu_sim::GpuArch;
 use shfl_core::formats::{
     BalancedMatrix, BlockSparseMatrix, CsrMatrix, ShflBwMatrix, VectorWiseMatrix,
@@ -91,9 +98,15 @@ fn check_activations(what: &str, b: &DenseMatrix, k: usize, n: usize) -> KernelR
 
 /// The shared prepared dense main loop: packed row-panels times a pre-rounded
 /// activation buffer (`k×n` row-major), accumulated tile-parallel into `c`
-/// with the register-blocked microkernel. Identical accumulation order to
-/// [`gemm::fragment_matmul`].
-fn execute_packed_dense(packed: &PackedPanels, k: usize, b16: &[f32], c: &mut DenseMatrix) {
+/// with the register-blocked microkernel on the plan's per-bucket cascade.
+/// Identical accumulation order to [`gemm::fragment_matmul`].
+fn execute_packed_dense(
+    packed: &PackedPanels,
+    k: usize,
+    b16: &[f32],
+    c: &mut DenseMatrix,
+    cascade: RegCascade,
+) {
     let (m, n) = c.shape();
     if m == 0 || n == 0 || k == 0 {
         return;
@@ -103,7 +116,15 @@ fn execute_packed_dense(packed: &PackedPanels, k: usize, b16: &[f32], c: &mut De
         let mut p0 = 0;
         for panel in packed.chunk_panels(tile) {
             let (values, rows, kk) = packed.panel(panel);
-            mma_row_block_reg(values, rows, kk, &b16[p0 * n..(p0 + kk) * n], c_chunk, n);
+            mma_row_block_reg_cascade(
+                values,
+                rows,
+                kk,
+                &b16[p0 * n..(p0 + kk) * n],
+                c_chunk,
+                n,
+                cascade,
+            );
             p0 += kk;
         }
     });
@@ -118,13 +139,15 @@ pub struct GemmPlan {
     k: usize,
     packed: PackedPanels,
     launch: LaunchConfig,
+    cascade: RegCascade,
     profile: KernelProfile,
 }
 
 impl GemmPlan {
     /// Builds the plan: rounds and packs the weight matrix into `fm×fk`
     /// row-panels (the architecture's MMA fragment shape), resolves the launch
-    /// configuration and the analytical profile for the `n` bucket.
+    /// configuration, the register-block cascade and the analytical profile
+    /// for the `n` bucket.
     pub fn new(arch: &GpuArch, weights: &DenseMatrix, n: usize) -> Self {
         let (m, k) = weights.shape();
         let shape = arch.mma_shape;
@@ -135,6 +158,7 @@ impl GemmPlan {
             k,
             packed,
             launch: launch::dense_launch(arch, m, n, k),
+            cascade: RegCascade::for_width(n),
             profile: gemm::dense_gemm_profile(arch, m, n, k),
         }
     }
@@ -147,6 +171,11 @@ impl GemmPlan {
     /// The launch configuration resolved at plan time.
     pub fn launch_config(&self) -> &LaunchConfig {
         &self.launch
+    }
+
+    /// The register-block cascade selected for this plan's N-bucket.
+    pub fn cascade(&self) -> RegCascade {
+        self.cascade
     }
 
     /// Size of the packed weight panels in bytes.
@@ -179,7 +208,7 @@ impl GemmPlan {
         // buffer on this allocator (transparent-huge-page placement), and a
         // scratch-free plan stays `Sync`.
         let b16 = activations.as_f16_rounded();
-        execute_packed_dense(&self.packed, self.k, b16.as_slice(), &mut c);
+        execute_packed_dense(&self.packed, self.k, b16.as_slice(), &mut c, self.cascade);
         Ok(c)
     }
 }
@@ -228,6 +257,8 @@ pub struct SpmmPlan {
     n: usize,
     k: usize,
     tile: TileConfig,
+    launch: LaunchConfig,
+    cascade: RegCascade,
     kind: SpmmPlanKind,
     profile: KernelProfile,
 }
@@ -238,7 +269,7 @@ impl SpmmPlan {
         let config = spmm::vector_wise::VectorWiseKernelConfig::ours();
         let profile = spmm::vector_wise::vector_wise_spmm_profile(arch, weights, n, &config);
         let identity: Vec<u32> = (0..weights.rows() as u32).collect();
-        Self::stitched(weights, identity, n, profile)
+        Self::stitched(arch, weights, identity, n, profile)
     }
 
     /// Prepares the Shfl-BW tensor-core SpMM: the shuffle row indices are
@@ -247,6 +278,7 @@ impl SpmmPlan {
     pub fn shfl_bw(arch: &GpuArch, weights: &ShflBwMatrix, n: usize) -> Self {
         let profile = spmm::shfl_bw::shfl_bw_spmm_profile(arch, weights, n);
         Self::stitched(
+            arch,
             weights.vector_wise(),
             weights.row_indices().to_vec(),
             n,
@@ -255,6 +287,7 @@ impl SpmmPlan {
     }
 
     fn stitched(
+        arch: &GpuArch,
         vw: &VectorWiseMatrix,
         row_indices: Vec<u32>,
         n: usize,
@@ -262,6 +295,8 @@ impl SpmmPlan {
     ) -> Self {
         let v = vw.vector_size();
         let tile = tiling::select_vector_wise_tile(v, n);
+        let avg_cols_per_group =
+            (vw.stored_vectors() as f64 / vw.num_groups().max(1) as f64).ceil() as usize;
         let identity_rows = row_indices
             .iter()
             .enumerate()
@@ -271,6 +306,15 @@ impl SpmmPlan {
             n,
             k: vw.cols(),
             tile,
+            launch: launch::vector_wise_launch(
+                arch,
+                vw.rows(),
+                n,
+                avg_cols_per_group,
+                v,
+                PipelineConfig::shfl_bw_default().pipe_stages,
+            ),
+            cascade: RegCascade::for_width(n),
             kind: SpmmPlanKind::Stitched {
                 v,
                 tk: tile.tk,
@@ -289,11 +333,14 @@ impl SpmmPlan {
     pub fn block_wise(arch: &GpuArch, weights: &BlockSparseMatrix, n: usize) -> Self {
         let profile = spmm::block_wise::block_wise_spmm_profile(arch, weights, n);
         let v = weights.block_size();
+        let avg_cols_per_row = (weights.stored_blocks() * v / weights.block_rows().max(1)).max(1);
         SpmmPlan {
             m: weights.rows(),
             n,
             k: weights.cols(),
             tile: profile.tile,
+            launch: launch::vector_wise_launch(arch, weights.rows(), n, avg_cols_per_row, v, 2),
+            cascade: RegCascade::for_width(n),
             kind: SpmmPlanKind::Blocks {
                 v,
                 packed: PackedPanels::pack_blocks(weights),
@@ -323,6 +370,8 @@ impl SpmmPlan {
             n,
             k: weights.cols(),
             tile: profile.tile,
+            launch: launch::dense_launch(arch, weights.rows(), n, weights.cols()),
+            cascade: RegCascade::for_width(n),
             kind: SpmmPlanKind::Dense {
                 packed: PackedPanels::pack_dense_rows(&dense, shape.m(), shape.k()),
             },
@@ -340,6 +389,11 @@ impl SpmmPlan {
             n,
             k: weights.cols(),
             tile: profile.tile,
+            // The scalar CSR kernel has no tensor-core tiles; the dense
+            // heuristic still resolves a sensible grid / launch-overhead
+            // bookkeeping entry for the scheduler.
+            launch: launch::dense_launch(arch, weights.rows(), n, weights.cols()),
+            cascade: RegCascade::for_width(n),
             kind: SpmmPlanKind::Csr {
                 matrix: weights.clone(),
             },
@@ -355,6 +409,22 @@ impl SpmmPlan {
     /// The threadblock tile resolved at plan time.
     pub fn tile(&self) -> TileConfig {
         self.tile
+    }
+
+    /// The launch configuration resolved for this plan's N-bucket.
+    pub fn launch_config(&self) -> &LaunchConfig {
+        &self.launch
+    }
+
+    /// The register-block cascade selected for this plan's N-bucket.
+    pub fn cascade(&self) -> RegCascade {
+        self.cascade
+    }
+
+    /// The `(m, n, k)` bucket this plan was built for (`n` is the activation
+    /// bucket width, `k` the activation row count every operand must match).
+    pub fn bucket(&self) -> (usize, usize, usize) {
+        (self.m, self.n, self.k)
     }
 
     /// Size of the packed static operand in bytes.
@@ -456,7 +526,16 @@ impl SpmmPlan {
                         // step is bit-identical to the cold
                         // stitch/zero/mma/add sequence.
                         let step_cols = &group_cols[step * tk..step * tk + w];
-                        mma_row_block_gather_fused_acc(values, v, w, b16, step_cols, acc, n);
+                        mma_row_block_gather_fused_acc_cascade(
+                            values,
+                            v,
+                            w,
+                            b16,
+                            step_cols,
+                            acc,
+                            n,
+                            self.cascade,
+                        );
                     }
                 });
                 if !*identity_rows {
@@ -488,13 +567,14 @@ impl SpmmPlan {
                             // The activation slice of a block is already
                             // contiguous; the fused register-blocked step is
                             // bit-identical to the cold zero/mma/add sequence.
-                            mma_row_block_fused_acc(
+                            mma_row_block_fused_acc_cascade(
                                 values,
                                 v,
                                 v,
                                 &b16[bc * v * n..(bc + 1) * v * n],
                                 out_chunk,
                                 n,
+                                self.cascade,
                             );
                         }
                     },
@@ -502,7 +582,7 @@ impl SpmmPlan {
             }
             SpmmPlanKind::Dense { packed } => {
                 let b16 = activations.as_f16_rounded();
-                execute_packed_dense(packed, self.k, b16.as_slice(), &mut output);
+                execute_packed_dense(packed, self.k, b16.as_slice(), &mut output, self.cascade);
             }
             SpmmPlanKind::Csr { matrix } => {
                 spmm::cuda_core::csr_spmm_into(matrix, activations, &mut output);

@@ -1,22 +1,37 @@
-//! End-to-end model inference on prepared kernel plans.
+//! End-to-end model inference on the bucketed serving stack.
 //!
-//! [`ModelEngine`] is the serving-side face of the plan/execute split in
-//! `shfl-kernels`: it walks a model's weight-bearing layer inventory
-//! ([`crate::workload::model_workload`]) and builds **one plan per layer** —
-//! a Shfl-BW [`SpmmPlan`] for the linear layers, a Shfl-BW [`ConvPlan`] for
-//! the convolutions — synthesising pattern-conforming pruned weights directly
-//! in compressed form. The plan phase runs once; every subsequent
-//! [`ModelEngine::run`] executes a full forward pass against the prepared
-//! plans, giving the repository its first end-to-end latency numbers
-//! (tokens/s for the translation models, images/s for ResNet-50).
+//! [`ModelEngine`] is now a thin **model-description layer** over
+//! [`shfl_serving::engine::ServingEngine`]: it walks a model's weight-bearing
+//! layer inventory ([`crate::workload::model_workload`]), synthesises
+//! pattern-conforming Shfl-BW weights directly in compressed form, and
+//! registers each unique layer with the serving engine. No plan is built at
+//! registration — plans materialise lazily per `(layer, n_bucket)` in the
+//! serving engine's LRU [`shfl_kernels::cache::PlanCache`] the first time a
+//! request lands on that bucket, and are shared by every later request
+//! (including forward passes at *different batch sizes*: a batch-3 and a
+//! batch-4 Transformer pass both land on the 64-column bucket at
+//! `seq_len = 16` and share one plan per layer).
+//!
+//! Convolutions ride the same bucketed path: the flattened filter matrix is
+//! registered like a linear layer, each forward unfolds the input feature map
+//! ([`shfl_kernels::conv::im2col`]) and serves the unfolded operand through
+//! the bucketed SpMM, then folds the output back
+//! ([`shfl_kernels::conv::col2im_output`]).
 //!
 //! Two clocks are reported per forward pass:
 //!
 //! * **wall-clock** — how long the functional simulation actually took on the
 //!   host CPU (the number `repro --bench-kernels` tracks across PRs), and
-//! * **modeled GPU time** — the sum of the layers' analytical
+//! * **modeled GPU time** — the sum of the bucket launches' analytical
 //!   [`shfl_kernels::KernelProfile`] estimates, i.e. what the paper's cost
-//!   model predicts for the same pass on the target GPU.
+//!   model predicts for the bucketed launches on the target GPU (bucket
+//!   padding is charged — serving pays for the columns it multiplies).
+//!
+//! External traffic enters through [`ModelEngine::serve_gemm`] /
+//! [`ModelEngine::serve_conv`], which reject malformed activations with a
+//! typed [`ServingError`] (`KMismatch` when the activation row count does not
+//! match the layer's packed panels) instead of a panic or a debug-only
+//! assert.
 //!
 //! ## Example
 //!
@@ -34,6 +49,9 @@
 //! let report = engine.run();
 //! assert!(report.forward_ms > 0.0);
 //! assert_eq!(report.unit, "tokens/s");
+//! // A different batch size reuses the same cached bucket plans.
+//! let other = engine.forward(2, 4).unwrap();
+//! assert_eq!(other.batch, 2);
 //! ```
 
 use crate::workload::{model_workload, DnnModel, LayerKind};
@@ -41,11 +59,15 @@ use gpu_sim::GpuArch;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+use shfl_core::bucket::BucketPolicy;
 use shfl_core::formats::{ShflBwMatrix, VectorWiseMatrix};
 use shfl_core::matrix::DenseMatrix;
-use shfl_kernels::conv::{Conv2dParams, Tensor4};
-use shfl_kernels::plan::{ConvPlan, SpmmPlan};
+use shfl_kernels::cache::PlanCacheStats;
+use shfl_kernels::conv::{self, Conv2dParams, Tensor4};
+use shfl_kernels::plan::SpmmPlan;
 use shfl_kernels::{KernelError, KernelResult};
+use shfl_serving::engine::ServingEngine;
+pub use shfl_serving::ServingError;
 use std::time::Instant;
 
 /// Configuration of an end-to-end engine build.
@@ -63,11 +85,15 @@ pub struct EngineConfig {
     pub vector_size: usize,
     /// Seed for the deterministic weight/activation synthesis.
     pub seed: u64,
+    /// Largest activation N-bucket (power of two); wider requests are split.
+    pub max_n_bucket: usize,
+    /// Plan-cache capacity in plans (LRU beyond this).
+    pub plan_cache_capacity: usize,
 }
 
 impl EngineConfig {
     /// The benchmark configuration: 70% sparsity, `V = 64`, a small serving
-    /// batch.
+    /// batch, buckets 8…256.
     pub fn paper_default() -> Self {
         EngineConfig {
             batch: 4,
@@ -75,10 +101,16 @@ impl EngineConfig {
             density: 0.30,
             vector_size: 64,
             seed: 20220711,
+            max_n_bucket: 256,
+            plan_cache_capacity: 96,
         }
     }
 
-    /// A tiny configuration for CI smoke runs and unit tests.
+    /// A tiny configuration for CI smoke runs and unit tests. The bucket
+    /// ceiling stays at the serving default: ResNet's unfolded conv operands
+    /// are thousands of columns wide even at batch 1, and a tiny ceiling
+    /// would shred them into hundreds of segments (the narrow-bucket
+    /// splitting paths are property-tested in `shfl-serving` instead).
     pub fn smoke() -> Self {
         EngineConfig {
             batch: 1,
@@ -86,28 +118,36 @@ impl EngineConfig {
             density: 0.30,
             vector_size: 8,
             seed: 7,
+            max_n_bucket: 256,
+            plan_cache_capacity: 32,
         }
+    }
+
+    /// The bucket policy the config implies (smallest bucket fixed at 8).
+    pub fn bucket_policy(&self) -> BucketPolicy {
+        BucketPolicy::new(8, self.max_n_bucket.next_power_of_two().max(8))
+            .expect("power-of-two bounds are always valid")
     }
 }
 
-/// One prepared layer of the engine.
+/// What one registered layer computes (the serving-side metadata; weights
+/// live in the serving engine).
+enum EngineLayerKind {
+    /// A linear layer served directly on the bucketed SpMM path.
+    Gemm,
+    /// A convolution: the registered weights are the flattened filter matrix;
+    /// forwards unfold the input and fold the output. The stored geometry is
+    /// the build-time template — its `batch` field is replaced per forward.
+    Conv { params: Conv2dParams },
+}
+
+/// One registered layer of the engine.
 struct EngineLayer {
     name: String,
     count: usize,
+    /// Layer id in the serving engine.
+    serving_id: usize,
     kind: EngineLayerKind,
-}
-
-enum EngineLayerKind {
-    /// A linear layer: prepared Shfl-BW SpMM plan plus a synthesised
-    /// activation operand of the layer's `(k, n)` bucket (boxed to keep the
-    /// enum variants the same size).
-    Gemm {
-        plan: Box<SpmmPlan>,
-        activations: DenseMatrix,
-    },
-    /// A convolution: prepared Shfl-BW implicit-GEMM plan plus a synthesised
-    /// input feature map (boxed: the conv plan nests a whole SpMM plan).
-    Conv { plan: Box<ConvPlan>, input: Tensor4 },
 }
 
 /// Wall-clock and modeled time of one layer across a forward pass.
@@ -117,9 +157,10 @@ pub struct LayerTiming {
     pub name: String,
     /// Multiplicity of the layer shape in the model.
     pub count: usize,
-    /// Measured wall-clock of one prepared execute, in milliseconds.
+    /// Measured wall-clock of one bucketed execute, in milliseconds.
     pub ms_per_call: f64,
-    /// Modeled GPU time of one launch, in microseconds.
+    /// Modeled GPU time of one launch (summed over bucket segments), in
+    /// microseconds.
     pub modeled_us_per_call: f64,
 }
 
@@ -139,7 +180,7 @@ pub struct EngineReport {
     pub batch: usize,
     /// Sequence length of the pass (1 for ResNet-50).
     pub seq_len: usize,
-    /// One-time plan-phase cost (weight synthesis + packing + profiling), ms.
+    /// One-time build cost (weight synthesis + registration), ms.
     pub build_ms: f64,
     /// Per-layer timings (unique shapes; repeated blocks scaled by `count`).
     pub layers: Vec<LayerTiming>,
@@ -172,10 +213,11 @@ impl EngineReport {
     }
 }
 
-/// A model with one prepared kernel plan per weight-bearing layer.
+/// A model registered with the bucketed serving stack.
 pub struct ModelEngine {
     model: DnnModel,
     config: EngineConfig,
+    serving: ServingEngine,
     layers: Vec<EngineLayer>,
     build_ms: f64,
 }
@@ -227,30 +269,39 @@ fn synthesize_shfl_bw(
     ShflBwMatrix::from_vector_wise(vw, row_indices).map_err(KernelError::Core)
 }
 
+/// Deterministic per-shape activation seed: forwards at the same
+/// `(engine seed, batch, seq_len)` see identical operands, so the bucketed
+/// path and the cold oracle can be compared bit for bit.
+fn activation_seed(base: u64, batch: usize, seq_len: usize) -> u64 {
+    base ^ (batch as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ (seq_len as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9)
+}
+
 impl ModelEngine {
-    /// The **plan phase**: walks the model's layer inventory, synthesises a
-    /// pattern-conforming Shfl-BW weight for every weight-bearing layer, and
-    /// builds one prepared plan per unique layer shape (repeated blocks share
-    /// a plan and are scaled by their multiplicity at run time).
+    /// The **registration phase**: walks the model's layer inventory,
+    /// synthesises a pattern-conforming Shfl-BW weight for every
+    /// weight-bearing layer, and registers it with the bucketed serving
+    /// engine (repeated blocks share a registration and are scaled by their
+    /// multiplicity at run time). Plans are built lazily per N-bucket on
+    /// first use.
     ///
     /// # Errors
     ///
-    /// Returns [`KernelError`] if a layer's weight synthesis or plan
-    /// construction fails (e.g. inconsistent geometry).
+    /// Returns [`KernelError`] if a layer's weight synthesis fails (e.g.
+    /// inconsistent geometry).
     pub fn build(model: DnnModel, arch: &GpuArch, config: &EngineConfig) -> KernelResult<Self> {
         let start = Instant::now();
         let mut rng = StdRng::seed_from_u64(config.seed);
         let inventory = model_workload(model, config.batch, config.seq_len);
+        let mut serving = ServingEngine::new(
+            arch.clone(),
+            config.bucket_policy(),
+            config.plan_cache_capacity.max(1),
+        );
         let mut layers = Vec::with_capacity(inventory.len());
         for layer in &inventory {
-            let kind = match layer.kind {
-                LayerKind::Gemm { m, n, k } => {
-                    let v = fit_vector_size(config.vector_size, m);
-                    let weights = synthesize_shfl_bw(&mut rng, m, k, v, config.density)?;
-                    let plan = Box::new(SpmmPlan::shfl_bw(arch, &weights, n));
-                    let activations = DenseMatrix::random(&mut rng, k, n);
-                    EngineLayerKind::Gemm { plan, activations }
-                }
+            let (kind, m, k) = match layer.kind {
+                LayerKind::Gemm { m, k, .. } => (EngineLayerKind::Gemm, m, k),
                 LayerKind::Conv2d {
                     batch,
                     in_channels,
@@ -272,22 +323,23 @@ impl ModelEngine {
                         padding,
                     };
                     let (m, _, k) = params.implicit_gemm_shape();
-                    let v = fit_vector_size(config.vector_size, m);
-                    let weights = synthesize_shfl_bw(&mut rng, m, k, v, config.density)?;
-                    let plan = Box::new(ConvPlan::shfl_bw(arch, &weights, &params)?);
-                    let input = Tensor4::random(&mut rng, batch, in_channels, input_hw, input_hw);
-                    EngineLayerKind::Conv { plan, input }
+                    (EngineLayerKind::Conv { params }, m, k)
                 }
             };
+            let v = fit_vector_size(config.vector_size, m);
+            let weights = synthesize_shfl_bw(&mut rng, m, k, v, config.density)?;
+            let serving_id = serving.register_layer(&layer.name, weights);
             layers.push(EngineLayer {
                 name: layer.name.clone(),
                 count: layer.count,
+                serving_id,
                 kind,
             });
         }
         Ok(ModelEngine {
             model,
             config: *config,
+            serving,
             layers,
             build_ms: start.elapsed().as_secs_f64() * 1e3,
         })
@@ -298,51 +350,190 @@ impl ModelEngine {
         self.model
     }
 
-    /// One-time plan-phase cost in milliseconds.
+    /// One-time registration cost in milliseconds (plan builds are lazy and
+    /// amortised into the first request per bucket).
     pub fn build_ms(&self) -> f64 {
         self.build_ms
     }
 
-    /// Number of prepared (unique) layers.
+    /// Number of registered (unique) layers.
     pub fn num_layers(&self) -> usize {
         self.layers.len()
     }
 
-    /// Items (tokens or images) one forward pass processes.
-    fn items_per_forward(&self) -> f64 {
+    /// The underlying serving engine (bucket policy, plan cache, stats).
+    pub fn serving(&self) -> &ServingEngine {
+        &self.serving
+    }
+
+    /// Indices of the linear (matrix-served) layers — the targets external
+    /// GEMM traffic may address via [`ModelEngine::serve_gemm`] or directly
+    /// through the serving engine (the index doubles as the serving layer
+    /// id).
+    pub fn gemm_layer_indices(&self) -> Vec<usize> {
+        self.layers
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| matches!(l.kind, EngineLayerKind::Gemm))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Plan-cache hit / miss / eviction counters across everything this
+    /// engine has served.
+    pub fn cache_stats(&self) -> PlanCacheStats {
+        self.serving.cache_stats()
+    }
+
+    /// Items (tokens or images) a forward pass at `(batch, seq_len)`
+    /// processes.
+    fn items_for(&self, batch: usize, seq_len: usize) -> f64 {
         match self.model {
             // Every token position of the batch flows through each layer.
-            DnnModel::Transformer => (self.config.batch * self.config.seq_len) as f64,
+            DnnModel::Transformer => (batch * seq_len) as f64,
             // GNMT's decoder runs one position per step; N = batch.
-            DnnModel::Gnmt => self.config.batch as f64,
-            DnnModel::Resnet50 => self.config.batch as f64,
+            DnnModel::Gnmt => batch as f64,
+            DnnModel::Resnet50 => batch as f64,
         }
     }
 
-    /// The **execute phase**: runs one full forward pass over the prepared
-    /// plans. Each unique layer shape executes once and its wall-clock is
-    /// scaled by the layer's multiplicity — repeated blocks run the same
-    /// prepared plan, which is exactly what the plan/execute split amortises.
+    /// The throughput unit of this model.
+    fn unit(&self) -> &'static str {
+        match self.model {
+            DnnModel::Transformer | DnnModel::Gnmt => "tokens/s",
+            DnnModel::Resnet50 => "images/s",
+        }
+    }
+
+    /// Serves external linear-layer traffic: activations of any width against
+    /// registered layer `layer_index`, through the bucketed plan cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServingError::UnknownLayer`] for an out-of-range index,
+    /// [`ServingError::KMismatch`] when the activation row count does not
+    /// match the layer's packed panels (a typed rejection — release builds
+    /// never feed a mismatched operand into the kernels), and
+    /// [`ServingError::Kernel`] if the layer is a convolution (its operand is
+    /// a feature map, not a matrix — use [`ModelEngine::serve_conv`]).
+    pub fn serve_gemm(
+        &self,
+        layer_index: usize,
+        activations: &DenseMatrix,
+    ) -> Result<DenseMatrix, ServingError> {
+        let layer = self
+            .layers
+            .get(layer_index)
+            .ok_or(ServingError::UnknownLayer { layer: layer_index })?;
+        if let EngineLayerKind::Conv { .. } = layer.kind {
+            return Err(ServingError::Kernel(KernelError::ShapeMismatch {
+                context: format!(
+                    "layer {layer_index} ({}) is a convolution; serve it via serve_conv",
+                    layer.name
+                ),
+            }));
+        }
+        self.serving.execute(layer.serving_id, activations)
+    }
+
+    /// Serves external convolution traffic: a feature map of any batch size
+    /// against registered conv layer `layer_index`. The input is unfolded,
+    /// served through the bucketed SpMM path, and folded back.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServingError::UnknownLayer`] for an out-of-range index,
+    /// [`ServingError::Kernel`] for a non-conv layer or a feature map whose
+    /// channel/spatial geometry does not match the layer, and the serving
+    /// errors of the underlying execution.
+    pub fn serve_conv(&self, layer_index: usize, input: &Tensor4) -> Result<Tensor4, ServingError> {
+        let layer = self
+            .layers
+            .get(layer_index)
+            .ok_or(ServingError::UnknownLayer { layer: layer_index })?;
+        let EngineLayerKind::Conv { params } = &layer.kind else {
+            return Err(ServingError::Kernel(KernelError::ShapeMismatch {
+                context: format!(
+                    "layer {layer_index} ({}) is linear; serve it via serve_gemm",
+                    layer.name
+                ),
+            }));
+        };
+        let (batch, c, h, w) = input.shape();
+        if (c, h, w) != (params.in_channels, params.input_h, params.input_w) {
+            return Err(ServingError::Kernel(KernelError::ShapeMismatch {
+                context: format!(
+                    "conv input is {:?} but layer {} expects (_, {}, {}, {})",
+                    input.shape(),
+                    layer.name,
+                    params.in_channels,
+                    params.input_h,
+                    params.input_w
+                ),
+            }));
+        }
+        let params = Conv2dParams { batch, ..*params };
+        let unfolded = conv::im2col(input, &params);
+        let out = self.serving.execute(layer.serving_id, &unfolded)?;
+        Ok(conv::col2im_output(&out, &params))
+    }
+
+    /// One forward pass at the engine's build configuration (the benchmark
+    /// entry point; operands are synthesised deterministically per shape).
     ///
     /// # Panics
     ///
-    /// Panics if a prepared plan rejects its own synthesised operand (a bug).
+    /// Panics if the engine's own synthesised operands are rejected (a bug).
     pub fn run(&self) -> EngineReport {
+        self.forward(self.config.batch, self.config.seq_len)
+            .expect("self-synthesised operands are well-formed")
+    }
+
+    /// One forward pass at an arbitrary `(batch, seq_len)` — the
+    /// heterogeneous-traffic API. Activation widths that land on the same
+    /// N-buckets as earlier passes (any batch size) reuse their cached plans;
+    /// nothing is rebuilt per request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServingError`] if a bucketed execution fails.
+    pub fn forward(&self, batch: usize, seq_len: usize) -> Result<EngineReport, ServingError> {
         let mut layers = Vec::with_capacity(self.layers.len());
         let mut forward_ms = 0.0;
         let mut modeled_us = 0.0;
-        for layer in &self.layers {
-            let (ms, us) = match &layer.kind {
-                EngineLayerKind::Gemm { plan, activations } => {
+        let mut rng = StdRng::seed_from_u64(activation_seed(self.config.seed, batch, seq_len));
+        let inventory = model_workload(self.model, batch, seq_len);
+        debug_assert_eq!(inventory.len(), self.layers.len());
+        for (layer, spec) in self.layers.iter().zip(inventory.iter()) {
+            let (ms, us) = match (&layer.kind, &spec.kind) {
+                (EngineLayerKind::Gemm, LayerKind::Gemm { n, .. }) => {
+                    let k = self
+                        .serving
+                        .layer_k(layer.serving_id)
+                        .expect("registered layer");
+                    let activations = DenseMatrix::random(&mut rng, k, *n);
                     let start = Instant::now();
-                    let out = plan.execute(activations).expect("plan matches operand");
-                    (start.elapsed().as_secs_f64() * 1e3, out.profile.time_us())
+                    let (_, us) = self
+                        .serving
+                        .execute_profiled(layer.serving_id, &activations)?;
+                    (start.elapsed().as_secs_f64() * 1e3, us)
                 }
-                EngineLayerKind::Conv { plan, input } => {
+                (EngineLayerKind::Conv { params }, _) => {
+                    let params = Conv2dParams { batch, ..*params };
+                    let input = Tensor4::random(
+                        &mut rng,
+                        batch,
+                        params.in_channels,
+                        params.input_h,
+                        params.input_w,
+                    );
                     let start = Instant::now();
-                    let (_, profile) = plan.execute(input).expect("plan matches operand");
-                    (start.elapsed().as_secs_f64() * 1e3, profile.time_us())
+                    let unfolded = conv::im2col(&input, &params);
+                    let (out, us) = self.serving.execute_profiled(layer.serving_id, &unfolded)?;
+                    let _ = conv::col2im_output(&out, &params);
+                    (start.elapsed().as_secs_f64() * 1e3, us)
                 }
+                _ => unreachable!("workload inventory shape is stable per model"),
             };
             forward_ms += ms * layer.count as f64;
             modeled_us += us * layer.count as f64;
@@ -353,28 +544,166 @@ impl ModelEngine {
                 modeled_us_per_call: us,
             });
         }
-        EngineReport {
+        Ok(EngineReport {
             model: self.model,
-            batch: self.config.batch,
+            batch,
             seq_len: match self.model {
-                DnnModel::Transformer => self.config.seq_len,
+                DnnModel::Transformer => seq_len,
                 DnnModel::Gnmt | DnnModel::Resnet50 => 1,
             },
             build_ms: self.build_ms,
             layers,
-            items_per_forward: self.items_per_forward(),
-            unit: match self.model {
-                DnnModel::Transformer | DnnModel::Gnmt => "tokens/s",
-                DnnModel::Resnet50 => "images/s",
-            },
+            items_per_forward: self.items_for(batch, seq_len),
+            unit: self.unit(),
             forward_ms,
             modeled_us,
-        }
+        })
     }
 
-    /// Runs `reps` forward passes and keeps each layer's best wall-clock (the
-    /// same best-of policy as the kernel benchmarks, so the reported
-    /// throughput is comparable run-to-run).
+    /// The cold baseline of [`ModelEngine::forward`]: the same operands, but
+    /// every layer builds a fresh exact-width plan inside the timed region —
+    /// what serving costs without the bucketed cache. Outputs are
+    /// bit-identical to the bucketed pass (asserted by the unit tests and the
+    /// serving benchmark).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServingError`] if a plan build or execution fails.
+    pub fn forward_cold(&self, batch: usize, seq_len: usize) -> Result<EngineReport, ServingError> {
+        let mut layers = Vec::with_capacity(self.layers.len());
+        let mut forward_ms = 0.0;
+        let mut modeled_us = 0.0;
+        let mut rng = StdRng::seed_from_u64(activation_seed(self.config.seed, batch, seq_len));
+        let inventory = model_workload(self.model, batch, seq_len);
+        for (layer, spec) in self.layers.iter().zip(inventory.iter()) {
+            let weights = self.serving.layer_weights(layer.serving_id)?;
+            let (ms, us) = match (&layer.kind, &spec.kind) {
+                (EngineLayerKind::Gemm, LayerKind::Gemm { n, .. }) => {
+                    let activations = DenseMatrix::random(&mut rng, weights.cols(), *n);
+                    let start = Instant::now();
+                    let plan = SpmmPlan::shfl_bw(self.serving.arch(), weights, *n);
+                    let out = plan.execute(&activations).map_err(ServingError::Kernel)?;
+                    (start.elapsed().as_secs_f64() * 1e3, out.profile.time_us())
+                }
+                (EngineLayerKind::Conv { params }, _) => {
+                    let params = Conv2dParams { batch, ..*params };
+                    let input = Tensor4::random(
+                        &mut rng,
+                        batch,
+                        params.in_channels,
+                        params.input_h,
+                        params.input_w,
+                    );
+                    let start = Instant::now();
+                    let unfolded = conv::im2col(&input, &params);
+                    let plan = SpmmPlan::shfl_bw(self.serving.arch(), weights, unfolded.cols());
+                    let out = plan.execute(&unfolded).map_err(ServingError::Kernel)?;
+                    let _ = conv::col2im_output(&out.output, &params);
+                    (start.elapsed().as_secs_f64() * 1e3, out.profile.time_us())
+                }
+                _ => unreachable!("workload inventory shape is stable per model"),
+            };
+            forward_ms += ms * layer.count as f64;
+            modeled_us += us * layer.count as f64;
+            layers.push(LayerTiming {
+                name: layer.name.clone(),
+                count: layer.count,
+                ms_per_call: ms,
+                modeled_us_per_call: us,
+            });
+        }
+        Ok(EngineReport {
+            model: self.model,
+            batch,
+            seq_len: match self.model {
+                DnnModel::Transformer => seq_len,
+                DnnModel::Gnmt | DnnModel::Resnet50 => 1,
+            },
+            build_ms: self.build_ms,
+            layers,
+            items_per_forward: self.items_for(batch, seq_len),
+            unit: self.unit(),
+            forward_ms,
+            modeled_us,
+        })
+    }
+
+    /// The per-layer outputs of a bucketed forward pass at `(batch,
+    /// seq_len)` (convolutions return the implicit-GEMM output before
+    /// folding). Deterministic per shape — used for bit-identity checks
+    /// against [`ModelEngine::forward_outputs_cold`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServingError`] if a bucketed execution fails.
+    pub fn forward_outputs(
+        &self,
+        batch: usize,
+        seq_len: usize,
+    ) -> Result<Vec<DenseMatrix>, ServingError> {
+        self.collect_outputs(batch, seq_len, |serving_id, operand| {
+            self.serving.execute(serving_id, operand)
+        })
+    }
+
+    /// The cold-oracle counterpart of [`ModelEngine::forward_outputs`]: the
+    /// same operands executed on fresh exact-width plans, bypassing the
+    /// bucketed cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServingError`] if a plan build or execution fails.
+    pub fn forward_outputs_cold(
+        &self,
+        batch: usize,
+        seq_len: usize,
+    ) -> Result<Vec<DenseMatrix>, ServingError> {
+        self.collect_outputs(batch, seq_len, |serving_id, operand| {
+            self.serving.execute_cold(serving_id, operand)
+        })
+    }
+
+    fn collect_outputs(
+        &self,
+        batch: usize,
+        seq_len: usize,
+        execute: impl Fn(usize, &DenseMatrix) -> Result<DenseMatrix, ServingError>,
+    ) -> Result<Vec<DenseMatrix>, ServingError> {
+        let mut rng = StdRng::seed_from_u64(activation_seed(self.config.seed, batch, seq_len));
+        let inventory = model_workload(self.model, batch, seq_len);
+        let mut outputs = Vec::with_capacity(self.layers.len());
+        for (layer, spec) in self.layers.iter().zip(inventory.iter()) {
+            let out = match (&layer.kind, &spec.kind) {
+                (EngineLayerKind::Gemm, LayerKind::Gemm { n, .. }) => {
+                    let k = self
+                        .serving
+                        .layer_k(layer.serving_id)
+                        .expect("registered layer");
+                    let activations = DenseMatrix::random(&mut rng, k, *n);
+                    execute(layer.serving_id, &activations)?
+                }
+                (EngineLayerKind::Conv { params }, _) => {
+                    let params = Conv2dParams { batch, ..*params };
+                    let input = Tensor4::random(
+                        &mut rng,
+                        batch,
+                        params.in_channels,
+                        params.input_h,
+                        params.input_w,
+                    );
+                    let unfolded = conv::im2col(&input, &params);
+                    execute(layer.serving_id, &unfolded)?
+                }
+                _ => unreachable!("workload inventory shape is stable per model"),
+            };
+            outputs.push(out);
+        }
+        Ok(outputs)
+    }
+
+    /// Runs `reps` forward passes at the build configuration and keeps each
+    /// layer's best wall-clock (the same best-of policy as the kernel
+    /// benchmarks, so the reported throughput is comparable run-to-run).
     pub fn run_best_of(&self, reps: usize) -> EngineReport {
         let mut best = self.run();
         for _ in 1..reps.max(1) {
@@ -393,6 +722,21 @@ impl ModelEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::OnceLock;
+
+    /// Engine builds synthesise full-size model weights, which is the
+    /// dominant cost of this suite in debug mode — tests that do not inspect
+    /// cache statistics share one engine per model instead of rebuilding.
+    fn shared_smoke(model: DnnModel) -> &'static ModelEngine {
+        static TRANSFORMER: OnceLock<ModelEngine> = OnceLock::new();
+        static RESNET: OnceLock<ModelEngine> = OnceLock::new();
+        let build = || ModelEngine::build(model, &GpuArch::v100(), &EngineConfig::smoke()).unwrap();
+        match model {
+            DnnModel::Transformer => TRANSFORMER.get_or_init(build),
+            DnnModel::Resnet50 => RESNET.get_or_init(build),
+            DnnModel::Gnmt => unreachable!("no shared GNMT engine"),
+        }
+    }
 
     #[test]
     fn fit_vector_size_halves_to_a_divisor() {
@@ -428,6 +772,8 @@ mod tests {
             assert!(report.throughput_per_s() > 0.0);
             assert!(report.modeled_throughput_per_s() > 0.0);
             assert_eq!(report.layers.len(), engine.num_layers());
+            // The pass went through the bucketed cache.
+            assert!(engine.cache_stats().misses > 0);
         }
     }
 
@@ -459,5 +805,106 @@ mod tests {
         assert_eq!(best.layers.len(), single.layers.len());
         let recomputed: f64 = best.layers.iter().map(LayerTiming::total_ms).sum();
         assert!((best.forward_ms - recomputed).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heterogeneous_batches_share_bucket_plans() {
+        let arch = GpuArch::v100();
+        let engine =
+            ModelEngine::build(DnnModel::Transformer, &arch, &EngineConfig::smoke()).unwrap();
+        // smoke: seq_len = 4, so batches 1 and 2 give n = 4 and n = 8 — both
+        // land on the 8-bucket and share plans.
+        engine.forward(1, 4).unwrap();
+        let after_first = engine.cache_stats();
+        engine.forward(2, 4).unwrap();
+        let after_second = engine.cache_stats();
+        assert_eq!(
+            after_first.misses, after_second.misses,
+            "batch 2 must not build new plans"
+        );
+        assert!(after_second.hits > after_first.hits);
+    }
+
+    #[test]
+    fn bucketed_forward_is_bit_identical_to_cold_forward() {
+        // Transformer covers the padded-GEMM path across two batch sizes,
+        // ResNet-50 covers the split-and-pad conv path; exhaustive width
+        // sweeps (every bucket boundary, N=1) live in the cheaper
+        // `shfl-serving` property tests, so this debug-mode test stays lean.
+        for (model, shapes) in [
+            (
+                DnnModel::Transformer,
+                &[(1usize, 4usize), (2, 4)] as &[(usize, usize)],
+            ),
+            (DnnModel::Resnet50, &[(1, 4)]),
+        ] {
+            let engine = shared_smoke(model);
+            for &(batch, seq) in shapes {
+                let bucketed = engine.forward_outputs(batch, seq).unwrap();
+                let cold = engine.forward_outputs_cold(batch, seq).unwrap();
+                assert_eq!(bucketed.len(), cold.len());
+                for (b, c) in bucketed.iter().zip(cold.iter()) {
+                    assert_eq!(b.shape(), c.shape());
+                    let b_bits: Vec<u32> = b.as_slice().iter().map(|v| v.to_bits()).collect();
+                    let c_bits: Vec<u32> = c.as_slice().iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(b_bits, c_bits, "{model} batch={batch} seq={seq}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serve_gemm_rejects_k_mismatch_with_typed_error() {
+        let engine = shared_smoke(DnnModel::Transformer);
+        // Find the first linear layer's k and feed k+1 rows.
+        let k = engine.serving().layer_k(0).unwrap();
+        let bad = DenseMatrix::zeros(k + 1, 4);
+        match engine.serve_gemm(0, &bad) {
+            Err(ServingError::KMismatch { expected, got, .. }) => {
+                assert_eq!(expected, k);
+                assert_eq!(got, k + 1);
+            }
+            other => panic!("expected a typed KMismatch, got {other:?}"),
+        }
+        // Well-formed external traffic is served.
+        let good = DenseMatrix::zeros(k, 3);
+        let out = engine.serve_gemm(0, &good).unwrap();
+        assert_eq!(out.cols(), 3);
+        assert!(engine.serve_gemm(10_000, &good).is_err());
+    }
+
+    #[test]
+    fn serve_conv_validates_geometry_and_layer_kind() {
+        let engine = shared_smoke(DnnModel::Resnet50);
+        // Layer 0 of ResNet-50 is the stem convolution.
+        let conv_idx = 0;
+        let EngineLayerKind::Conv { params } = &engine.layers[conv_idx].kind else {
+            panic!("resnet layer 0 should be a conv");
+        };
+        let params = *params;
+        let mut rng = StdRng::seed_from_u64(5);
+        let good = Tensor4::random(
+            &mut rng,
+            2, // a different batch than the build config
+            params.in_channels,
+            params.input_h,
+            params.input_w,
+        );
+        let out = engine.serve_conv(conv_idx, &good).unwrap();
+        assert_eq!(out.shape().0, 2);
+        let bad = Tensor4::zeros(1, params.in_channels + 1, params.input_h, params.input_w);
+        assert!(engine.serve_conv(conv_idx, &bad).is_err());
+        // A conv layer rejects the gemm entry point and vice versa.
+        assert!(engine
+            .serve_gemm(conv_idx, &DenseMatrix::zeros(4, 4))
+            .is_err());
+        let gemm_idx = engine
+            .layers
+            .iter()
+            .position(|l| matches!(l.kind, EngineLayerKind::Gemm))
+            .expect("resnet has a final linear layer");
+        assert!(engine
+            .serve_conv(gemm_idx, &Tensor4::zeros(1, 1, 1, 1))
+            .is_err());
     }
 }

@@ -1,0 +1,397 @@
+//! The bucketed layer executor: a layer registry over an LRU plan cache.
+//!
+//! [`ServingEngine`] owns the registered layers' compressed weights and a
+//! [`PlanCache`] keyed by `(layer, n_bucket)`. Executing a request:
+//!
+//! 1. validate the layer id and the activation row count against the layer's
+//!    packed reduction dimension (typed [`ServingError`], no panics),
+//! 2. split the activation width into power-of-two bucket
+//!    [`Segment`]s ([`BucketPolicy::segments`]),
+//! 3. per segment, look up (or build, on a cold miss) the bucket's prepared
+//!    [`SpmmPlan`], zero-pad the segment's columns up to the bucket, execute,
+//!    and crop the result back into the assembled output.
+//!
+//! A request whose width *is* one of the buckets takes a zero-copy fast path
+//! straight through the cached plan. Padding and splitting are bit-identical
+//! to the un-bucketed execution because every output column of an SpMM
+//! depends only on its own activation column — the property tests in
+//! `tests/bucketed_vs_cold.rs` assert exact bit equality.
+
+use crate::ServingError;
+use gpu_sim::GpuArch;
+use shfl_core::bucket::{BucketPolicy, Segment};
+use shfl_core::formats::ShflBwMatrix;
+use shfl_core::matrix::DenseMatrix;
+use shfl_kernels::cache::{PlanCache, PlanCacheStats, PlanKey};
+use shfl_kernels::plan::SpmmPlan;
+
+/// One registered layer: the packed Shfl-BW weights and a display name.
+struct ServingLayer {
+    name: String,
+    weights: ShflBwMatrix,
+}
+
+/// Cumulative serving counters beyond the plan cache's hit/miss accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServingStats {
+    /// Requests served (one per `execute` call).
+    pub requests: u64,
+    /// Bucket segments executed across all requests.
+    pub segments: u64,
+    /// Real activation columns multiplied across all requests.
+    pub columns: u64,
+    /// Zero padding columns multiplied across all requests (the bucketing
+    /// waste; `columns + padded_columns` is what the plans actually computed).
+    pub padded_columns: u64,
+}
+
+/// The bucketed serving engine: layer registry + plan cache + bucket policy.
+///
+/// `execute` takes `&self` and the engine is `Sync`, so one engine serves any
+/// number of scheduler worker threads concurrently.
+pub struct ServingEngine {
+    arch: GpuArch,
+    policy: BucketPolicy,
+    cache: PlanCache,
+    layers: Vec<ServingLayer>,
+    stats: std::sync::Mutex<ServingStats>,
+}
+
+impl ServingEngine {
+    /// Creates an engine for `arch` with the given bucket policy and plan
+    /// cache capacity (in plans; a natural sizing is
+    /// `layers × policy.num_buckets()`).
+    pub fn new(arch: GpuArch, policy: BucketPolicy, cache_capacity: usize) -> Self {
+        ServingEngine {
+            arch,
+            policy,
+            cache: PlanCache::new(cache_capacity),
+            layers: Vec::new(),
+            stats: std::sync::Mutex::new(ServingStats::default()),
+        }
+    }
+
+    /// Registers a layer's packed weights; returns the layer id requests use.
+    pub fn register_layer(&mut self, name: &str, weights: ShflBwMatrix) -> usize {
+        self.layers.push(ServingLayer {
+            name: name.to_string(),
+            weights,
+        });
+        self.layers.len() - 1
+    }
+
+    /// Number of registered layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The engine's bucket policy.
+    pub fn policy(&self) -> BucketPolicy {
+        self.policy
+    }
+
+    /// The architecture plans are built for.
+    pub fn arch(&self) -> &GpuArch {
+        &self.arch
+    }
+
+    /// Display name of a registered layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServingError::UnknownLayer`] for an unregistered id.
+    pub fn layer_name(&self, layer: usize) -> Result<&str, ServingError> {
+        self.layer(layer).map(|l| l.name.as_str())
+    }
+
+    /// Reduction dimension (`k`) a layer's requests must match.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServingError::UnknownLayer`] for an unregistered id.
+    pub fn layer_k(&self, layer: usize) -> Result<usize, ServingError> {
+        self.layer(layer).map(|l| l.weights.cols())
+    }
+
+    /// Output row count (`m`) of a layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServingError::UnknownLayer`] for an unregistered id.
+    pub fn layer_m(&self, layer: usize) -> Result<usize, ServingError> {
+        self.layer(layer).map(|l| l.weights.rows())
+    }
+
+    /// The packed weights of a registered layer (the cold-oracle operand).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServingError::UnknownLayer`] for an unregistered id.
+    pub fn layer_weights(&self, layer: usize) -> Result<&ShflBwMatrix, ServingError> {
+        self.layer(layer).map(|l| &l.weights)
+    }
+
+    fn layer(&self, layer: usize) -> Result<&ServingLayer, ServingError> {
+        self.layers
+            .get(layer)
+            .ok_or(ServingError::UnknownLayer { layer })
+    }
+
+    /// Plan-cache hit / miss / eviction counters.
+    pub fn cache_stats(&self) -> PlanCacheStats {
+        self.cache.stats()
+    }
+
+    /// The underlying plan cache (capacity, residency, footprint).
+    pub fn cache(&self) -> &PlanCache {
+        &self.cache
+    }
+
+    /// Cumulative request / segment / padding counters.
+    pub fn stats(&self) -> ServingStats {
+        *self.stats.lock().expect("serving stats poisoned")
+    }
+
+    /// Pre-builds the plans a request of `n` columns would use (warming the
+    /// cache outside the latency path, e.g. at deployment time).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServingError::UnknownLayer`] for an unregistered id.
+    pub fn warm(&self, layer: usize, n: usize) -> Result<(), ServingError> {
+        let weights = &self.layer(layer)?.weights;
+        for segment in self.policy.segments(n) {
+            self.bucket_plan(layer, weights, segment.bucket)?;
+        }
+        Ok(())
+    }
+
+    fn bucket_plan(
+        &self,
+        layer: usize,
+        weights: &ShflBwMatrix,
+        bucket: usize,
+    ) -> Result<std::sync::Arc<SpmmPlan>, ServingError> {
+        let key = PlanKey {
+            layer,
+            n_bucket: bucket,
+        };
+        self.cache
+            .get_or_build(key, || Ok(SpmmPlan::shfl_bw(&self.arch, weights, bucket)))
+            .map_err(ServingError::Kernel)
+    }
+
+    /// Validates a request against a layer (the shared admission rules of the
+    /// bucketed path and the cold oracle — keep them identical, or the
+    /// bit-identity comparison between the two paths silently diverges).
+    fn validate(
+        &self,
+        layer: usize,
+        activations: &DenseMatrix,
+    ) -> Result<&ServingLayer, ServingError> {
+        let entry = self.layer(layer)?;
+        let k = entry.weights.cols();
+        if activations.rows() != k {
+            return Err(ServingError::KMismatch {
+                layer,
+                expected: k,
+                got: activations.rows(),
+            });
+        }
+        Ok(entry)
+    }
+
+    /// Validates a request against a layer and returns the layer + segments.
+    fn admit(
+        &self,
+        layer: usize,
+        activations: &DenseMatrix,
+    ) -> Result<(&ServingLayer, Vec<Segment>), ServingError> {
+        let entry = self.validate(layer, activations)?;
+        Ok((entry, self.policy.segments(activations.cols())))
+    }
+
+    /// Serves one request: bucketed execution of `activations` (`k × n`, any
+    /// `n`) against the layer's cached plans. The result is bit-identical to
+    /// [`ServingEngine::execute_cold`] on the same operand.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServingError::UnknownLayer`] or [`ServingError::KMismatch`]
+    /// for malformed requests, [`ServingError::Kernel`] if a plan build or
+    /// execution fails.
+    pub fn execute(
+        &self,
+        layer: usize,
+        activations: &DenseMatrix,
+    ) -> Result<DenseMatrix, ServingError> {
+        self.execute_profiled(layer, activations)
+            .map(|(out, _)| out)
+    }
+
+    /// [`ServingEngine::execute`] additionally returning the summed modeled
+    /// GPU time (µs) of the bucket launches the request mapped onto.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServingEngine::execute`].
+    pub fn execute_profiled(
+        &self,
+        layer: usize,
+        activations: &DenseMatrix,
+    ) -> Result<(DenseMatrix, f64), ServingError> {
+        let (entry, segments) = self.admit(layer, activations)?;
+        let n = activations.cols();
+        let m = entry.weights.rows();
+        let mut modeled_us = 0.0;
+        let mut padded_columns = 0u64;
+
+        // Zero-copy fast path: the request width is exactly one bucket.
+        let output = if segments.len() == 1 && segments[0].bucket == n {
+            let plan = self.bucket_plan(layer, &entry.weights, n)?;
+            modeled_us += plan.profile().time_us();
+            plan.execute(activations)
+                .map_err(ServingError::Kernel)?
+                .output
+        } else {
+            let mut output = DenseMatrix::zeros(m, n);
+            for segment in &segments {
+                let plan = self.bucket_plan(layer, &entry.weights, segment.bucket)?;
+                modeled_us += plan.profile().time_us();
+                padded_columns += segment.padding() as u64;
+                let padded = activations.cols_padded(segment.start, segment.width, segment.bucket);
+                let bucket_out = plan.execute(&padded).map_err(ServingError::Kernel)?.output;
+                output.copy_cols_from(&bucket_out, segment.start, segment.width);
+            }
+            output
+        };
+
+        let mut stats = self.stats.lock().expect("serving stats poisoned");
+        stats.requests += 1;
+        stats.segments += segments.len() as u64;
+        stats.columns += n as u64;
+        stats.padded_columns += padded_columns;
+        Ok((output, modeled_us))
+    }
+
+    /// The un-bucketed baseline and oracle: builds a fresh plan for the
+    /// request's exact width (bypassing the cache entirely) and executes it —
+    /// what a serving layer without bucketing pays on every call.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServingEngine::execute`].
+    pub fn execute_cold(
+        &self,
+        layer: usize,
+        activations: &DenseMatrix,
+    ) -> Result<DenseMatrix, ServingError> {
+        let entry = self.validate(layer, activations)?;
+        if activations.cols() == 0 {
+            return Ok(DenseMatrix::zeros(entry.weights.rows(), 0));
+        }
+        let plan = SpmmPlan::shfl_bw(&self.arch, &entry.weights, activations.cols());
+        Ok(plan
+            .execute(activations)
+            .map_err(ServingError::Kernel)?
+            .output)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn test_engine(max_bucket: usize) -> (ServingEngine, usize) {
+        let dense = DenseMatrix::from_fn(16, 24, |r, c| {
+            if (c + r / 4) % 3 == 0 {
+                0.25 + (r * 24 + c) as f32 * 0.01
+            } else {
+                0.0
+            }
+        });
+        let weights = ShflBwMatrix::from_dense(&dense, 4).unwrap();
+        let mut engine = ServingEngine::new(
+            GpuArch::v100(),
+            BucketPolicy::new(8, max_bucket).unwrap(),
+            8,
+        );
+        let id = engine.register_layer("test", weights);
+        (engine, id)
+    }
+
+    #[test]
+    fn rejects_unknown_layers_and_k_mismatch_with_typed_errors() {
+        let (engine, id) = test_engine(32);
+        let acts = DenseMatrix::zeros(24, 4);
+        assert_eq!(
+            engine.execute(id + 1, &acts).unwrap_err(),
+            ServingError::UnknownLayer { layer: id + 1 }
+        );
+        let bad = DenseMatrix::zeros(23, 4);
+        assert_eq!(
+            engine.execute(id, &bad).unwrap_err(),
+            ServingError::KMismatch {
+                layer: id,
+                expected: 24,
+                got: 23
+            }
+        );
+        assert!(engine.execute_cold(id, &bad).is_err());
+        assert!(engine.layer_k(99).is_err());
+    }
+
+    #[test]
+    fn empty_requests_yield_empty_outputs() {
+        let (engine, id) = test_engine(32);
+        let out = engine.execute(id, &DenseMatrix::zeros(24, 0)).unwrap();
+        assert_eq!(out.shape(), (16, 0));
+        let cold = engine.execute_cold(id, &DenseMatrix::zeros(24, 0)).unwrap();
+        assert_eq!(cold.shape(), (16, 0));
+    }
+
+    #[test]
+    fn repeated_widths_hit_the_cache() {
+        let (engine, id) = test_engine(32);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..4 {
+            for n in [3, 9, 17] {
+                let acts = DenseMatrix::random(&mut rng, 24, n);
+                engine.execute(id, &acts).unwrap();
+            }
+        }
+        let stats = engine.cache_stats();
+        // Three buckets (8, 16, 32) built once each, hit on every later call.
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.hits, 9);
+        let serving = engine.stats();
+        assert_eq!(serving.requests, 12);
+        assert!(serving.padded_columns > 0);
+    }
+
+    #[test]
+    fn warm_prebuilds_the_buckets() {
+        let (engine, id) = test_engine(16);
+        engine.warm(id, 40).unwrap(); // 16 + 16 + 8-bucket tail
+        let stats = engine.cache_stats();
+        assert_eq!(stats.misses, 2); // buckets 16 and 8 (second 16 hits)
+        assert_eq!(stats.hits, 1);
+        let mut rng = StdRng::seed_from_u64(13);
+        let acts = DenseMatrix::random(&mut rng, 24, 40);
+        engine.execute(id, &acts).unwrap();
+        assert_eq!(engine.cache_stats().misses, 2);
+        assert_eq!(engine.cache_stats().hits, 4);
+    }
+
+    #[test]
+    fn profiled_execution_reports_modeled_time() {
+        let (engine, id) = test_engine(32);
+        let mut rng = StdRng::seed_from_u64(17);
+        let acts = DenseMatrix::random(&mut rng, 24, 12);
+        let (out, us) = engine.execute_profiled(id, &acts).unwrap();
+        assert_eq!(out.shape(), (16, 12));
+        assert!(us > 0.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! # shfl-serving — the bucketed, multi-stream serving stack
+//!
+//! The paper's layout decisions pay off at *serving* time: its TileWise
+//! baseline shows per-stream launch overheads eating the sparse-format win,
+//! and EIE / NVIDIA's 2:4 work both keep their speedups only because the
+//! serving layer batches and schedules around the packed format instead of
+//! re-staging weights per call. This crate is that serving layer for the
+//! reproduction:
+//!
+//! * [`engine::ServingEngine`] — the layer registry and bucketed executor:
+//!   every registered layer's plans are built per power-of-two N-bucket
+//!   ([`shfl_core::bucket::BucketPolicy`]) and cached in an LRU
+//!   [`shfl_kernels::cache::PlanCache`] keyed by `(layer, n_bucket)`.
+//!   Incoming activations are zero-padded up to their bucket or split into
+//!   bucket-wide column segments — both **bit-identical** to the un-bucketed
+//!   execution (every output column depends only on its own activation
+//!   column; the property tests assert exact equality, including `N = 1` and
+//!   `N` one past a bucket boundary).
+//! * [`scheduler::Scheduler`] — the multi-stream face: plans are `Sync`, so
+//!   one prepared plan serves any number of concurrent requests. The
+//!   scheduler fans a batch of [`scheduler::Request`]s across worker threads
+//!   over one shared engine, recording per-request latency.
+//! * [`ServingError`] — typed rejection of malformed traffic (unknown layer,
+//!   reduction-dimension mismatch) instead of panics or debug-only asserts.
+//!
+//! ## Example
+//!
+//! ```
+//! use gpu_sim::GpuArch;
+//! use rand::{rngs::StdRng, SeedableRng};
+//! use shfl_core::bucket::BucketPolicy;
+//! use shfl_core::{DenseMatrix, ShflBwMatrix};
+//! use shfl_serving::engine::ServingEngine;
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let dense = DenseMatrix::from_fn(32, 32, |r, c| {
+//!     if (c + r / 8) % 4 == 0 { 0.5 } else { 0.0 }
+//! });
+//! let weights = ShflBwMatrix::from_dense(&dense, 8).unwrap();
+//!
+//! let mut engine = ServingEngine::new(GpuArch::a100(), BucketPolicy::new(8, 64).unwrap(), 16);
+//! let layer = engine.register_layer("ffn1", weights);
+//!
+//! // Requests of any width share the bucketed plans.
+//! for n in [1, 5, 8, 9, 64, 65] {
+//!     let acts = DenseMatrix::random(&mut rng, 32, n);
+//!     let out = engine.execute(layer, &acts).unwrap();
+//!     assert_eq!(out.shape(), (32, n));
+//! }
+//! assert!(engine.cache_stats().hits > 0);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod engine;
+pub mod scheduler;
+
+pub use engine::{ServingEngine, ServingStats};
+pub use scheduler::{Request, Response, Scheduler};
+
+use shfl_kernels::KernelError;
+use std::fmt;
+
+/// Errors returned by the serving stack.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServingError {
+    /// A request referenced a layer id that was never registered.
+    UnknownLayer {
+        /// The offending layer id.
+        layer: usize,
+    },
+    /// A request's activation row count does not match the layer's packed
+    /// reduction dimension (`k`).
+    KMismatch {
+        /// The layer the request addressed.
+        layer: usize,
+        /// The layer's packed reduction dimension.
+        expected: usize,
+        /// The activation row count the request carried.
+        got: usize,
+    },
+    /// An error bubbled up from the kernel layer (plan build or execution).
+    Kernel(KernelError),
+}
+
+impl fmt::Display for ServingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServingError::UnknownLayer { layer } => {
+                write!(f, "layer {layer} is not registered with the serving engine")
+            }
+            ServingError::KMismatch {
+                layer,
+                expected,
+                got,
+            } => write!(
+                f,
+                "layer {layer} is packed for k={expected} activation rows but the request has {got}"
+            ),
+            ServingError::Kernel(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServingError::Kernel(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<KernelError> for ServingError {
+    fn from(e: KernelError) -> Self {
+        ServingError::Kernel(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_names_the_offence() {
+        let e = ServingError::KMismatch {
+            layer: 3,
+            expected: 128,
+            got: 64,
+        };
+        let s = format!("{e}");
+        assert!(s.contains("128") && s.contains("64") && s.contains('3'));
+        assert!(format!("{}", ServingError::UnknownLayer { layer: 7 }).contains('7'));
+        let k = ServingError::Kernel(KernelError::ShapeMismatch {
+            context: "x".into(),
+        });
+        assert!(std::error::Error::source(&k).is_some());
+    }
+}

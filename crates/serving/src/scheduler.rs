@@ -1,0 +1,235 @@
+//! The multi-stream request scheduler.
+//!
+//! Prepared plans are `Sync` (no interior mutability), so one
+//! [`ServingEngine`] can serve any number of concurrent requests — what a GPU
+//! serving stack does with CUDA streams, this crate does with worker threads.
+//! [`Scheduler::serve`] fans a batch of [`Request`]s across a fixed pool of
+//! scoped workers pulling from a shared queue (work-stealing-by-queue:
+//! whichever worker is free takes the next request, so a mix of wide and
+//! narrow requests load-balances naturally). Every response records its
+//! wall-clock service latency, which the serving benchmark aggregates into
+//! percentiles.
+//!
+//! The paper's TileWise baseline is the cautionary tale here: its per-stream
+//! launch overhead grows with the stream count until it eats the sparse-format
+//! win. The analytical cost model already charges that per-launch overhead
+//! (`LaunchConfig.grid` × the architecture's launch latency); the scheduler is
+//! the piece that amortises it by *reusing cached plans* across the streams
+//! instead of staging weights per call.
+
+use crate::engine::ServingEngine;
+use crate::ServingError;
+use shfl_core::matrix::DenseMatrix;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One serving request: a layer id and an activation operand of any width.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Caller-chosen request id, echoed in the [`Response`].
+    pub id: u64,
+    /// The registered layer the request addresses.
+    pub layer: usize,
+    /// Activation operand (`k × n`, `n` arbitrary).
+    pub activations: DenseMatrix,
+}
+
+/// The outcome of one request.
+#[derive(Debug)]
+pub struct Response {
+    /// The id of the request this responds to.
+    pub id: u64,
+    /// The layer output (`m × n`), or a typed serving error.
+    pub result: Result<DenseMatrix, ServingError>,
+    /// Wall-clock service time of the request in milliseconds (queue wait
+    /// excluded; this is the execute latency on the worker).
+    pub service_ms: f64,
+    /// Modeled GPU time of the bucket launches the request mapped onto (µs);
+    /// zero when the request failed.
+    pub modeled_us: f64,
+}
+
+/// A fixed-size pool of serving workers over one shared engine.
+#[derive(Debug, Clone, Copy)]
+pub struct Scheduler {
+    workers: usize,
+}
+
+impl Scheduler {
+    /// Creates a scheduler fanning requests across `workers` threads
+    /// (minimum 1; one worker degrades to in-order sequential service).
+    pub fn new(workers: usize) -> Self {
+        Scheduler {
+            workers: workers.max(1),
+        }
+    }
+
+    /// Number of worker threads a batch is fanned across.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Serves a batch of requests against `engine`, fanning them across the
+    /// worker pool; responses are returned in request order.
+    pub fn serve(&self, engine: &ServingEngine, requests: Vec<Request>) -> Vec<Response> {
+        let total = requests.len();
+        if total == 0 {
+            return Vec::new();
+        }
+        let queue: Mutex<std::vec::IntoIter<(usize, Request)>> = Mutex::new(
+            requests
+                .into_iter()
+                .enumerate()
+                .collect::<Vec<_>>()
+                .into_iter(),
+        );
+        let results: Mutex<Vec<Option<Response>>> = Mutex::new((0..total).map(|_| None).collect());
+
+        let workers = self.workers.min(total);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let next = queue.lock().expect("scheduler queue poisoned").next();
+                    let Some((slot, request)) = next else {
+                        break;
+                    };
+                    let start = Instant::now();
+                    let (result, modeled_us) =
+                        match engine.execute_profiled(request.layer, &request.activations) {
+                            Ok((output, us)) => (Ok(output), us),
+                            Err(e) => (Err(e), 0.0),
+                        };
+                    let response = Response {
+                        id: request.id,
+                        result,
+                        service_ms: start.elapsed().as_secs_f64() * 1e3,
+                        modeled_us,
+                    };
+                    results.lock().expect("scheduler results poisoned")[slot] = Some(response);
+                });
+            }
+        });
+
+        results
+            .into_inner()
+            .expect("scheduler results poisoned")
+            .into_iter()
+            .map(|r| r.expect("every request produces a response"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::GpuArch;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use shfl_core::bucket::BucketPolicy;
+    use shfl_core::formats::ShflBwMatrix;
+
+    fn engine_with_layers(layers: usize) -> ServingEngine {
+        let mut engine =
+            ServingEngine::new(GpuArch::t4(), BucketPolicy::new(8, 32).unwrap(), 4 * layers);
+        for l in 0..layers {
+            let dense = DenseMatrix::from_fn(16, 16, |r, c| {
+                if (c + r / 4 + l) % 3 == 0 {
+                    0.5 + l as f32
+                } else {
+                    0.0
+                }
+            });
+            let weights = ShflBwMatrix::from_dense(&dense, 4).unwrap();
+            engine.register_layer(&format!("layer{l}"), weights);
+        }
+        engine
+    }
+
+    #[test]
+    fn serves_a_mixed_batch_in_request_order() {
+        let engine = engine_with_layers(2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let requests: Vec<Request> = (0..16)
+            .map(|i| {
+                let n = rng.gen_range(1..40);
+                Request {
+                    id: 100 + i,
+                    layer: (i % 2) as usize,
+                    activations: DenseMatrix::random(&mut rng, 16, n),
+                }
+            })
+            .collect();
+        let widths: Vec<usize> = requests.iter().map(|r| r.activations.cols()).collect();
+        let responses = Scheduler::new(4).serve(&engine, requests);
+        assert_eq!(responses.len(), 16);
+        for (i, resp) in responses.iter().enumerate() {
+            assert_eq!(resp.id, 100 + i as u64);
+            let out = resp.result.as_ref().expect("request is well-formed");
+            assert_eq!(out.shape(), (16, widths[i]));
+            assert!(resp.service_ms >= 0.0);
+            assert!(resp.modeled_us > 0.0);
+        }
+        assert_eq!(engine.stats().requests, 16);
+    }
+
+    #[test]
+    fn concurrent_responses_match_sequential_service_bit_for_bit() {
+        let engine = engine_with_layers(1);
+        let mut rng = StdRng::seed_from_u64(7);
+        let requests: Vec<Request> = (0..12)
+            .map(|i| Request {
+                id: i,
+                layer: 0,
+                activations: DenseMatrix::random(&mut rng, 16, 1 + (i as usize * 7) % 33),
+            })
+            .collect();
+        let sequential: Vec<DenseMatrix> = requests
+            .iter()
+            .map(|r| engine.execute(r.layer, &r.activations).unwrap())
+            .collect();
+        let responses = Scheduler::new(3).serve(&engine, requests);
+        for (resp, expected) in responses.iter().zip(sequential.iter()) {
+            let got = resp.result.as_ref().unwrap();
+            assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn failed_requests_surface_typed_errors() {
+        let engine = engine_with_layers(1);
+        let responses = Scheduler::new(2).serve(
+            &engine,
+            vec![
+                Request {
+                    id: 0,
+                    layer: 5,
+                    activations: DenseMatrix::zeros(16, 4),
+                },
+                Request {
+                    id: 1,
+                    layer: 0,
+                    activations: DenseMatrix::zeros(15, 4),
+                },
+            ],
+        );
+        assert_eq!(
+            responses[0].result.as_ref().unwrap_err(),
+            &ServingError::UnknownLayer { layer: 5 }
+        );
+        assert!(matches!(
+            responses[1].result.as_ref().unwrap_err(),
+            ServingError::KMismatch {
+                expected: 16,
+                got: 15,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn empty_batches_are_a_noop() {
+        let engine = engine_with_layers(1);
+        assert!(Scheduler::new(4).serve(&engine, Vec::new()).is_empty());
+        assert_eq!(Scheduler::new(0).workers(), 1);
+    }
+}

@@ -12,7 +12,9 @@
 //! * [`kernels`](shfl_kernels) — simulated dense and sparse GPU kernels,
 //! * [`pruning`](shfl_pruning) — the pattern pruners and the Shfl-BW search,
 //! * [`models`](shfl_models) — Transformer / GNMT / ResNet-50 workloads and the
-//!   accuracy proxy.
+//!   accuracy proxy,
+//! * [`serving`](shfl_serving) — the bucketed, multi-stream serving stack
+//!   (N-bucket plan cache, padding/splitting, request scheduler).
 //!
 //! ```
 //! use shfl_bw_repro::prelude::*;
@@ -30,14 +32,17 @@ pub use shfl_core as core;
 pub use shfl_kernels as kernels;
 pub use shfl_models as models;
 pub use shfl_pruning as pruning;
+pub use shfl_serving as serving;
 
 /// Commonly used items across the workspace, for glob import in examples.
 pub mod prelude {
     pub use gpu_sim::{GpuArch, KernelStats};
     pub use shfl_core::{
-        BinaryMask, DenseMatrix, PackedPanels, ShflBwMatrix, SparsePattern, VectorWiseMatrix,
+        BinaryMask, BucketPolicy, DenseMatrix, PackedPanels, ShflBwMatrix, SparsePattern,
+        VectorWiseMatrix,
     };
-    pub use shfl_kernels::{ConvPlan, GemmPlan, KernelOutput, KernelProfile, SpmmPlan};
+    pub use shfl_kernels::{ConvPlan, GemmPlan, KernelOutput, KernelProfile, PlanCache, SpmmPlan};
     pub use shfl_models::{AccuracyModel, DnnModel, EngineConfig, ModelEngine};
     pub use shfl_pruning::{Pruner, ShflBwPruner};
+    pub use shfl_serving::{Scheduler, ServingEngine, ServingError};
 }
