@@ -590,7 +590,10 @@ pub fn to_json(run: &BenchRun) -> String {
                  \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \
                  \"throughput\": {:.2}, \"cold_throughput\": {:.2}, \
                  \"bit_identical\": {}, \"mt_workers\": {}, \"mt_requests\": {}, \
-                 \"mt_wall_ms\": {:.3}}}",
+                 \"mt_wall_ms\": {:.3}, \"panel_segments\": {}, \
+                 \"panel_sweep_bytes\": {}, \"panel_bytes_fused\": {}, \
+                 \"panel_bytes_segmented\": {}, \"coalesced_requests\": {}, \
+                 \"coalesced_wall_ms\": {:.3}, \"coalesced_bit_identical\": {}}}",
                 s.forwards,
                 s.hit_rate,
                 s.p50_ms,
@@ -602,6 +605,13 @@ pub fn to_json(run: &BenchRun) -> String {
                 s.mt_workers,
                 s.mt_requests,
                 s.mt_wall_ms,
+                s.panel_segments,
+                s.panel_sweep_bytes,
+                s.panel_bytes_fused,
+                s.panel_bytes_segmented,
+                s.coalesced_requests,
+                s.coalesced_wall_ms,
+                s.coalesced_bit_identical,
             ),
             None => String::new(),
         };

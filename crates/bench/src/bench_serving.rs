@@ -22,7 +22,19 @@
 //! 5. **multi-stream fan-out** — the timed trace's linear-layer requests
 //!    served through [`Scheduler`] worker threads over the shared engine
 //!    (recorded, not gated: on a single-core host the fan-out cannot beat
-//!    sequential service).
+//!    sequential service),
+//! 6. **panel re-streaming probe** — a ≥4-segment request served once on the
+//!    fused multi-segment path and once on the per-segment baseline, with
+//!    the engine's packed-panel byte counter read around each: the fused
+//!    sweep must stay within 1.5× of the single-sweep lower bound (it is
+//!    exactly 1.0×) while the baseline pays one sweep per segment — the
+//!    re-streaming reduction this stack exists for, gated deterministically
+//!    in both smoke and full mode, and
+//! 7. **cross-request coalescing** — the fan-out trace served again through
+//!    a coalescing scheduler (same-layer requests column-concatenated into
+//!    shared fused executes): outputs must be bit-identical to the
+//!    uncoalesced fan-out, and the coalesced wall-clock must not lose to the
+//!    uncoalesced one (full mode; smoke allows 10% noise).
 
 use gpu_sim::GpuArch;
 use rand::rngs::StdRng;
@@ -74,6 +86,24 @@ pub struct ServingBenchResult {
     pub mt_requests: usize,
     /// Wall-clock of the fanned sub-trace in ms (0 when no linear layers).
     pub mt_wall_ms: f64,
+    /// Bucket segments of the panel-probe width (≥ 4 by construction).
+    pub panel_segments: usize,
+    /// Packed-panel bytes of **one** sweep over the probe layer's weights —
+    /// the lower bound any execution of that layer pays at least once.
+    pub panel_sweep_bytes: u64,
+    /// Packed-panel bytes the fused multi-segment execute streamed for the
+    /// probe request (one sweep).
+    pub panel_bytes_fused: u64,
+    /// Packed-panel bytes the per-segment baseline streamed for the same
+    /// request (one sweep per segment).
+    pub panel_bytes_segmented: u64,
+    /// Requests of the coalesced sub-trace (same requests as `mt_requests`).
+    pub coalesced_requests: usize,
+    /// Wall-clock of the coalescing scheduler over the fan-out requests, ms.
+    pub coalesced_wall_ms: f64,
+    /// Whether the coalesced responses were bit-identical to the
+    /// uncoalesced fan-out responses.
+    pub coalesced_bit_identical: bool,
 }
 
 impl ServingBenchResult {
@@ -83,6 +113,23 @@ impl ServingBenchResult {
             return 0.0;
         }
         self.throughput / self.cold_throughput
+    }
+
+    /// Panel re-streaming reduction of the fused sweep: segmented-baseline
+    /// bytes over fused bytes (≈ the segment count).
+    pub fn panel_restream_ratio(&self) -> f64 {
+        if self.panel_bytes_fused == 0 {
+            return 0.0;
+        }
+        self.panel_bytes_segmented as f64 / self.panel_bytes_fused as f64
+    }
+
+    /// Coalesced-over-uncoalesced wall-clock speedup on the fan-out trace.
+    pub fn coalescing_speedup(&self) -> f64 {
+        if self.coalesced_wall_ms <= 0.0 {
+            return 0.0;
+        }
+        self.mt_wall_ms / self.coalesced_wall_ms
     }
 }
 
@@ -147,32 +194,55 @@ fn run_model(
     }
     let warm_stats = engine.cache_stats();
 
-    // Timed bucketed trace.
-    let mut latencies = Vec::with_capacity(timed.len());
+    // Timed bucketed trace vs the cold trace (identical requests, exact-width
+    // plan built per layer per forward). The two are compared against each
+    // other by the full-mode throughput gate and a shared box drifts by tens
+    // of percent between trace sections, so in full mode both run twice,
+    // interleaved, keeping each forward's best — the same best-of policy as
+    // the kernel benchmarks. The hit-rate window is measured around the first
+    // bucketed pass only (repeats add pure hits and would flatter the rate).
+    let reps = if quick { 1 } else { 2 };
+    let mut latencies = vec![f64::MAX; timed.len()];
     let mut items = 0.0;
     let mut bucketed_ms = 0.0;
-    let mut unit = "items/s";
-    for &batch in &timed {
-        let report = engine.forward(batch, seq).expect("bucketed forward");
-        latencies.push(report.forward_ms);
-        bucketed_ms += report.forward_ms;
-        items += report.items_per_forward;
-        unit = report.unit;
-    }
-    let steady = engine.cache_stats();
-    let lookups = (steady.hits - warm_stats.hits) + (steady.misses - warm_stats.misses);
-    let hit_rate = if lookups == 0 {
-        1.0
-    } else {
-        (steady.hits - warm_stats.hits) as f64 / lookups as f64
-    };
-
-    // Cold trace: identical requests, exact-width plan built per layer per
-    // forward.
     let mut cold_ms = 0.0;
-    for &batch in &timed {
-        let report = engine.forward_cold(batch, seq).expect("cold forward");
-        cold_ms += report.forward_ms;
+    let mut unit = "items/s";
+    let mut hit_rate = 1.0;
+    for rep in 0..reps {
+        let mut pass_ms = 0.0;
+        for (i, &batch) in timed.iter().enumerate() {
+            let report = engine.forward(batch, seq).expect("bucketed forward");
+            latencies[i] = latencies[i].min(report.forward_ms);
+            pass_ms += report.forward_ms;
+            if rep == 0 {
+                items += report.items_per_forward;
+            }
+            unit = report.unit;
+        }
+        bucketed_ms = if rep == 0 {
+            pass_ms
+        } else {
+            bucketed_ms.min(pass_ms)
+        };
+        if rep == 0 {
+            let steady = engine.cache_stats();
+            let lookups = (steady.hits - warm_stats.hits) + (steady.misses - warm_stats.misses);
+            hit_rate = if lookups == 0 {
+                1.0
+            } else {
+                (steady.hits - warm_stats.hits) as f64 / lookups as f64
+            };
+        }
+        let mut pass_ms = 0.0;
+        for &batch in &timed {
+            let report = engine.forward_cold(batch, seq).expect("cold forward");
+            pass_ms += report.forward_ms;
+        }
+        cold_ms = if rep == 0 {
+            pass_ms
+        } else {
+            cold_ms.min(pass_ms)
+        };
     }
 
     // Bit-identity of the bucketed path against the cold exact-width oracle.
@@ -196,11 +266,17 @@ fn run_model(
     }
 
     // Multi-stream fan-out over the linear layers (plans are shared; on a
-    // multi-core host the workers overlap, on a single core they interleave).
+    // multi-core host the workers overlap, on a single core they interleave),
+    // then the same requests again through the coalescing scheduler:
+    // same-layer requests collapse into shared fused executes, and the
+    // scattered outputs must match the fan-out bit for bit.
     let gemm_layers = engine.gemm_layer_indices();
     let mt_workers = 4;
     let mut mt_requests = 0;
     let mut mt_wall_ms = 0.0;
+    let mut coalesced_requests = 0;
+    let mut coalesced_wall_ms = 0.0;
+    let mut coalesced_bit_identical = true;
     if !gemm_layers.is_empty() {
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5e41);
         let mut requests = Vec::new();
@@ -224,14 +300,88 @@ fn run_model(
             }
         }
         mt_requests = requests.len();
-        let start = Instant::now();
-        let responses = Scheduler::new(mt_workers).serve(engine.serving(), requests);
-        mt_wall_ms = start.elapsed().as_secs_f64() * 1e3;
-        assert!(
-            responses.iter().all(|r| r.result.is_ok()),
-            "multi-stream trace requests are well-formed"
-        );
+        coalesced_requests = requests.len();
+        // Steady-state comparison: the fan-out's buckets were warmed by the
+        // timed trace, but the coalesced group widths land on *new* buckets
+        // (a column-concatenated group is wider than any single request) —
+        // warm those untimed too, exactly like the trace warmup excludes
+        // compulsory plan builds from the timed window.
+        let warm_responses =
+            Scheduler::coalescing(mt_workers).serve(engine.serving(), requests.clone());
+        assert!(warm_responses.iter().all(|r| r.result.is_ok()));
+        // Interleaved best-of-2 for each scheduler: the walls are compared
+        // against each other and a shared single-core box drifts by tens of
+        // percent between passes, so alternating the passes and keeping each
+        // side's best cancels most of the drift.
+        let mut uncoalesced_walls = Vec::new();
+        let mut coalesced_walls = Vec::new();
+        let mut responses = Vec::new();
+        let mut coalesced = Vec::new();
+        for _ in 0..2 {
+            let start = Instant::now();
+            responses = Scheduler::new(mt_workers).serve(engine.serving(), requests.clone());
+            uncoalesced_walls.push(start.elapsed().as_secs_f64() * 1e3);
+            assert!(
+                responses.iter().all(|r| r.result.is_ok()),
+                "multi-stream trace requests are well-formed"
+            );
+            let start = Instant::now();
+            coalesced = Scheduler::coalescing(mt_workers).serve(engine.serving(), requests.clone());
+            coalesced_walls.push(start.elapsed().as_secs_f64() * 1e3);
+        }
+        mt_wall_ms = uncoalesced_walls.iter().copied().fold(f64::MAX, f64::min);
+        coalesced_wall_ms = coalesced_walls.iter().copied().fold(f64::MAX, f64::min);
+        coalesced_bit_identical = responses.len() == coalesced.len()
+            && responses
+                .iter()
+                .zip(coalesced.iter())
+                .all(|(a, b)| match (&a.result, &b.result) {
+                    (Ok(x), Ok(y)) => {
+                        x.shape() == y.shape()
+                            && x.as_slice()
+                                .iter()
+                                .zip(y.as_slice().iter())
+                                .all(|(p, q)| p.to_bits() == q.to_bits())
+                    }
+                    _ => false,
+                });
     }
+
+    // Panel re-streaming probe: a ≥4-segment request on the cheapest linear
+    // layer, served fused (one panel sweep) and per-segment (one sweep per
+    // segment), with the engine's panel-byte counter read around each.
+    let serving = engine.serving();
+    let probe_layer = gemm_layers
+        .iter()
+        .copied()
+        .min_by_key(|&l| {
+            serving.layer_m(l).unwrap_or(usize::MAX) * serving.layer_k(l).unwrap_or(usize::MAX)
+        })
+        .unwrap_or(0);
+    let probe_policy = serving.layer_policy(probe_layer).expect("registered layer");
+    let probe_n = probe_policy.max_bucket() * 4 + 3;
+    let probe_segments = probe_policy.segments(probe_n);
+    let panel_segments = probe_segments.len();
+    let panel_sweep_bytes = serving
+        .layer_panel_sweep_bytes(probe_layer)
+        .expect("probe plan builds");
+    let probe_k = serving.layer_k(probe_layer).expect("registered layer");
+    let mut probe_rng = StdRng::seed_from_u64(cfg.seed ^ 0x9a31);
+    let probe_acts = DenseMatrix::random(&mut probe_rng, probe_k, probe_n);
+    let before = serving.panel_bytes_read();
+    let fused_out = serving
+        .execute(probe_layer, &probe_acts)
+        .expect("fused probe executes");
+    let panel_bytes_fused = serving.panel_bytes_read() - before;
+    let before = serving.panel_bytes_read();
+    let segmented_out = serving
+        .execute_unfused(probe_layer, &probe_acts)
+        .expect("segmented probe executes");
+    let panel_bytes_segmented = serving.panel_bytes_read() - before;
+    assert_eq!(
+        fused_out, segmented_out,
+        "fused and per-segment probe outputs must be identical"
+    );
 
     ServingBenchResult {
         model: model.name().to_string(),
@@ -255,6 +405,13 @@ fn run_model(
         mt_workers,
         mt_requests,
         mt_wall_ms,
+        panel_segments,
+        panel_sweep_bytes,
+        panel_bytes_fused,
+        panel_bytes_segmented,
+        coalesced_requests,
+        coalesced_wall_ms,
+        coalesced_bit_identical,
     }
 }
 
@@ -285,6 +442,25 @@ pub fn to_table(results: &[ServingBenchResult]) -> String {
             r.mt_workers,
         ));
     }
+    out.push_str(
+        "\nFused panel sweep & cross-request coalescing\n\
+         model        | probe segs | panel fused / 1-sweep | restream cut | coalesced (reqs)    | vs fan-out | coal bit-id\n\
+         -------------+------------+-----------------------+--------------+---------------------+------------+------------\n",
+    );
+    for r in results {
+        out.push_str(&format!(
+            "{:12} | {:10} | {:9} / {:9} B | {:11.2}x | {:9.1} ms ({:3}) | {:9.2}x | {}\n",
+            r.model,
+            r.panel_segments,
+            r.panel_bytes_fused,
+            r.panel_sweep_bytes,
+            r.panel_restream_ratio(),
+            r.coalesced_wall_ms,
+            r.coalesced_requests,
+            r.coalescing_speedup(),
+            r.coalesced_bit_identical,
+        ));
+    }
     out
 }
 
@@ -308,25 +484,36 @@ mod tests {
         // (The full end-to-end trace runs as the gated CI step
         // `repro --bench-serving --smoke`; re-running it here would double
         // the suite's cost in debug mode.)
-        let policy = EngineConfig::paper_default().bucket_policy();
         for model in DnnModel::all() {
             for quick in [true, false] {
-                let seq = if quick {
-                    EngineConfig::smoke().seq_len
+                let cfg = if quick {
+                    EngineConfig::smoke()
                 } else {
-                    EngineConfig::paper_default().seq_len
+                    EngineConfig::paper_default()
                 };
+                let seq = cfg.seq_len;
                 let (warm, timed) = trace_batches(model, quick);
                 // One serving width per (layer, batch): the implicit-GEMM N
-                // of every layer in the inventory, per (layer, bucket) — the
-                // same granularity the plan cache keys on.
+                // of every layer in the inventory, mapped onto the buckets
+                // the engine actually executes on — the single segment's
+                // bucket, or only the layer policy's largest bucket for a
+                // multi-segment width (the fused sweep runs on that one
+                // plan). Layer policies follow EngineConfig::policy_for,
+                // exactly like the engine build.
                 let layer_buckets = |batch: usize| -> Vec<(usize, usize)> {
                     shfl_models::model_workload(model, batch, seq)
                         .iter()
                         .enumerate()
                         .flat_map(|(idx, layer)| {
+                            let policy = cfg.policy_for(&layer.kind);
                             let (_, n, _) = layer.kind.gemm_shape();
-                            policy.segments(n).into_iter().map(move |s| (idx, s.bucket))
+                            let segments = policy.segments(n);
+                            let buckets: Vec<usize> = match segments.as_slice() {
+                                [single] => vec![single.bucket],
+                                [] => Vec::new(),
+                                _ => vec![policy.max_bucket()],
+                            };
+                            buckets.into_iter().map(move |b| (idx, b))
                         })
                         .collect()
                 };
@@ -372,10 +559,20 @@ mod tests {
             mt_workers: 4,
             mt_requests: 64,
             mt_wall_ms: 123.4,
+            panel_segments: 5,
+            panel_sweep_bytes: 1000,
+            panel_bytes_fused: 1000,
+            panel_bytes_segmented: 5000,
+            coalesced_requests: 64,
+            coalesced_wall_ms: 61.7,
+            coalesced_bit_identical: true,
         }];
         assert!((results[0].speedup_vs_cold() - 1.4).abs() < 1e-12);
+        assert!((results[0].panel_restream_ratio() - 5.0).abs() < 1e-12);
+        assert!((results[0].coalescing_speedup() - 2.0).abs() < 1e-12);
         let table = to_table(&results);
         assert!(table.contains("Transformer") && table.contains("hit-rate"));
         assert!(table.contains("96.0%"));
+        assert!(table.contains("restream cut"));
     }
 }

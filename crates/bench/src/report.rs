@@ -292,6 +292,15 @@ pub struct ModelRecord {
     pub serving_cold_throughput: Option<f64>,
     /// Whether the bucketed trace was bit-identical to the cold oracle.
     pub serving_bit_identical: Option<bool>,
+    /// Panel bytes the fused multi-segment probe streamed (absent before the
+    /// fused-sweep serving path).
+    pub serving_panel_bytes_fused: Option<f64>,
+    /// Panel bytes the per-segment baseline streamed on the same probe.
+    pub serving_panel_bytes_segmented: Option<f64>,
+    /// Coalesced-scheduler wall-clock on the fan-out trace, ms.
+    pub serving_coalesced_wall_ms: Option<f64>,
+    /// Uncoalesced fan-out wall-clock on the same trace, ms.
+    pub serving_mt_wall_ms: Option<f64>,
 }
 
 /// A parsed `BENCH_kernels.json`, any supported schema.
@@ -356,6 +365,10 @@ pub fn parse_report(input: &str) -> Option<BenchReport> {
                 serving_bit_identical: serving
                     .and_then(|s| s.get("bit_identical"))
                     .and_then(Json::as_bool),
+                serving_panel_bytes_fused: serving_field("panel_bytes_fused"),
+                serving_panel_bytes_segmented: serving_field("panel_bytes_segmented"),
+                serving_coalesced_wall_ms: serving_field("coalesced_wall_ms"),
+                serving_mt_wall_ms: serving_field("mt_wall_ms"),
             });
         }
     }
@@ -439,6 +452,13 @@ mod tests {
                     mt_workers: 4,
                     mt_requests: 32,
                     mt_wall_ms: 120.0,
+                    panel_segments: 5,
+                    panel_sweep_bytes: 4096,
+                    panel_bytes_fused: 4096,
+                    panel_bytes_segmented: 20480,
+                    coalesced_requests: 32,
+                    coalesced_wall_ms: 60.0,
+                    coalesced_bit_identical: true,
                 }),
             }],
         };
@@ -459,6 +479,10 @@ mod tests {
         assert_eq!(m.serving_throughput, Some(60.0));
         assert_eq!(m.serving_cold_throughput, Some(40.0));
         assert_eq!(m.serving_bit_identical, Some(true));
+        assert_eq!(m.serving_panel_bytes_fused, Some(4096.0));
+        assert_eq!(m.serving_panel_bytes_segmented, Some(20480.0));
+        assert_eq!(m.serving_coalesced_wall_ms, Some(60.0));
+        assert_eq!(m.serving_mt_wall_ms, Some(120.0));
     }
 
     #[test]

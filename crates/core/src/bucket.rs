@@ -47,6 +47,11 @@ impl Segment {
     pub fn padding(&self) -> usize {
         self.bucket - self.width
     }
+
+    /// First column past the segment in the original operand.
+    pub fn end(&self) -> usize {
+        self.start + self.width
+    }
 }
 
 /// The power-of-two N-bucket policy of a serving engine.

@@ -300,6 +300,40 @@ impl DenseMatrix {
         }
     }
 
+    /// Column-concatenates `parts` into one `rows × Σ cols` matrix (the
+    /// cross-request coalescing primitive of the serving scheduler: several
+    /// same-layer activation operands become one wide operand served by a
+    /// single fused execute, and the outputs are scattered back per part with
+    /// [`DenseMatrix::cols_padded`]). An empty `parts` yields a `0 × 0`
+    /// matrix; zero-column parts are permitted and contribute nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] if the parts disagree on the row
+    /// count.
+    pub fn concat_cols(parts: &[&DenseMatrix]) -> Result<DenseMatrix> {
+        let Some(first) = parts.first() else {
+            return Ok(DenseMatrix::zeros(0, 0));
+        };
+        let rows = first.rows;
+        if let Some(bad) = parts.iter().find(|p| p.rows != rows) {
+            return Err(Error::ShapeMismatch {
+                context: format!(
+                    "concat_cols parts disagree on rows: {} vs {}",
+                    rows, bad.rows
+                ),
+            });
+        }
+        let total: usize = parts.iter().map(|p| p.cols).sum();
+        let mut out = DenseMatrix::zeros(rows, total);
+        let mut start = 0;
+        for part in parts {
+            out.copy_cols_from(part, start, part.cols);
+            start += part.cols;
+        }
+        Ok(out)
+    }
+
     /// Element-wise absolute values (used as magnitude importance scores).
     pub fn abs(&self) -> DenseMatrix {
         DenseMatrix {
@@ -603,6 +637,23 @@ mod tests {
         }
         // Full-width, no padding: a plain copy.
         assert_eq!(m.cols_padded(0, 5, 5), m);
+    }
+
+    #[test]
+    fn concat_cols_stitches_parts_and_validates_rows() {
+        let a = DenseMatrix::from_fn(2, 2, |r, c| (r * 2 + c) as f32);
+        let b = DenseMatrix::from_fn(2, 1, |r, _| 10.0 + r as f32);
+        let empty = DenseMatrix::zeros(2, 0);
+        let cat = DenseMatrix::concat_cols(&[&a, &empty, &b]).unwrap();
+        assert_eq!(cat.shape(), (2, 3));
+        assert_eq!(cat.row(0), &[0.0, 1.0, 10.0]);
+        assert_eq!(cat.row(1), &[2.0, 3.0, 11.0]);
+        // Round-trip: each part comes back out via cols_padded.
+        assert_eq!(cat.cols_padded(0, 2, 2), a);
+        assert_eq!(cat.cols_padded(2, 1, 1), b);
+        assert_eq!(DenseMatrix::concat_cols(&[]).unwrap().shape(), (0, 0));
+        let bad = DenseMatrix::zeros(3, 1);
+        assert!(DenseMatrix::concat_cols(&[&a, &bad]).is_err());
     }
 
     #[test]

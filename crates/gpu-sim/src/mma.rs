@@ -26,6 +26,14 @@
 //!   the partial-tile zero/add sweeps of the stitched kernels folded in).
 //!   Bit-identical to their cold counterparts; the packed panel layout of
 //!   `shfl-kernels`' plans is what makes the whole reduction available per call.
+//! * [`mma_row_block_reg_segments`] / [`mma_row_block_fused_acc_segments`] /
+//!   [`mma_row_block_gather_fused_acc_segments`] — the fused multi-segment
+//!   sweeps: one A-panel applied to several output-column [`SegmentSpan`]s of
+//!   a full-width operand in a single call, so a serving engine that splits a
+//!   wide request into bucket segments reads each packed weight panel **once**
+//!   instead of once per segment. Each element's `k` contributions still
+//!   arrive in ascending order, so the fused sweep is bit-identical to the
+//!   per-segment calls.
 //!
 //! All three accumulate each output element in ascending-`k` order with a single
 //! `f32` accumulator, so any decomposition of a GEMM into these calls that visits
@@ -202,11 +210,14 @@ pub fn mma_row_block(a: &[f32], rows: usize, kk: usize, b: &[f32], c: &mut [f32]
 }
 
 /// Processes all full `BLK`-wide output chunks of one row for the
-/// register-blocked microkernels, starting at column `j0`; returns the first
-/// unprocessed column. The chunk is held in vector registers across the whole
-/// `kk` reduction (wide chunks give the superscalar units several independent
-/// accumulation chains), loaded once and stored once. `LOAD_C` selects whether
-/// the chunk starts from the existing `c` values (direct accumulation,
+/// register-blocked microkernels, covering columns `j0 .. end` of a row whose
+/// memory stride is `stride` (the single-segment kernels pass
+/// `stride == end == width`; the multi-segment kernels sweep one segment's
+/// column span of a wider row). Returns the first unprocessed column. The
+/// chunk is held in vector registers across the whole `kk` reduction (wide
+/// chunks give the superscalar units several independent accumulation
+/// chains), loaded once and stored once. `LOAD_C` selects whether the chunk
+/// starts from the existing `c` values (direct accumulation,
 /// [`mma_row_block_reg`]) or from `+0.0` with one add into `c` at the end (the
 /// fused partial of [`mma_row_block_fused_acc`]). Per output element the `kk`
 /// products are applied in ascending order either way.
@@ -215,16 +226,17 @@ fn reg_row_chunks<const BLK: usize, const LOAD_C: bool>(
     a_row: &[f32],
     b: &[f32],
     c_row: &mut [f32],
-    width: usize,
+    stride: usize,
+    end: usize,
     mut j0: usize,
 ) -> usize {
-    while j0 + BLK <= width {
+    while j0 + BLK <= end {
         let mut part = [0.0f32; BLK];
         if LOAD_C {
             part.copy_from_slice(&c_row[j0..j0 + BLK]);
         }
         for (p, &av) in a_row.iter().enumerate() {
-            let bs = &b[p * width + j0..p * width + j0 + BLK];
+            let bs = &b[p * stride + j0..p * stride + j0 + BLK];
             for (o, &bv) in part.iter_mut().zip(bs.iter()) {
                 *o += av * bv;
             }
@@ -289,9 +301,46 @@ impl Default for RegCascade {
     }
 }
 
-/// One full register-blocked row: the cascade of chunk widths (starting at
-/// `cascade.largest_chunk()`, halving down to 8) followed by a scalar tail,
-/// so narrow operands still vectorise.
+/// One register-blocked column span of one row: the cascade of chunk widths
+/// (starting at `cascade.largest_chunk()`, halving down to 8) followed by a
+/// scalar tail, so narrow operands still vectorise. Covers columns
+/// `start .. end` of a row stored with memory stride `stride`.
+#[inline]
+fn reg_row_span<const LOAD_C: bool>(
+    a_row: &[f32],
+    b: &[f32],
+    c_row: &mut [f32],
+    stride: usize,
+    start: usize,
+    end: usize,
+    cascade: RegCascade,
+) {
+    let mut j0 = start;
+    if cascade.largest >= 64 {
+        j0 = reg_row_chunks::<64, LOAD_C>(a_row, b, c_row, stride, end, j0);
+    }
+    if cascade.largest >= 32 {
+        j0 = reg_row_chunks::<32, LOAD_C>(a_row, b, c_row, stride, end, j0);
+    }
+    if cascade.largest >= 16 {
+        j0 = reg_row_chunks::<16, LOAD_C>(a_row, b, c_row, stride, end, j0);
+    }
+    j0 = reg_row_chunks::<8, LOAD_C>(a_row, b, c_row, stride, end, j0);
+    for (j, o) in c_row[..end].iter_mut().enumerate().skip(j0) {
+        let mut part = if LOAD_C { *o } else { 0.0 };
+        for (p, &av) in a_row.iter().enumerate() {
+            part += av * b[p * stride + j];
+        }
+        if LOAD_C {
+            *o = part;
+        } else {
+            *o += part;
+        }
+    }
+}
+
+/// One full register-blocked row (`stride == width`, the single-segment
+/// layout of [`mma_row_block_reg`] and [`mma_row_block_fused_acc`]).
 #[inline]
 fn reg_row<const LOAD_C: bool>(
     a_row: &[f32],
@@ -300,28 +349,7 @@ fn reg_row<const LOAD_C: bool>(
     width: usize,
     cascade: RegCascade,
 ) {
-    let mut j0 = 0;
-    if cascade.largest >= 64 {
-        j0 = reg_row_chunks::<64, LOAD_C>(a_row, b, c_row, width, j0);
-    }
-    if cascade.largest >= 32 {
-        j0 = reg_row_chunks::<32, LOAD_C>(a_row, b, c_row, width, j0);
-    }
-    if cascade.largest >= 16 {
-        j0 = reg_row_chunks::<16, LOAD_C>(a_row, b, c_row, width, j0);
-    }
-    j0 = reg_row_chunks::<8, LOAD_C>(a_row, b, c_row, width, j0);
-    for (j, o) in c_row.iter_mut().enumerate().skip(j0) {
-        let mut part = if LOAD_C { *o } else { 0.0 };
-        for (p, &av) in a_row.iter().enumerate() {
-            part += av * b[p * width + j];
-        }
-        if LOAD_C {
-            *o = part;
-        } else {
-            *o += part;
-        }
-    }
+    reg_row_span::<LOAD_C>(a_row, b, c_row, width, 0, width, cascade);
 }
 
 /// Register-blocked variant of [`mma_row_block`] for prepared plans:
@@ -436,20 +464,22 @@ pub fn mma_row_block_fused_acc_cascade(
 
 /// Gather chunk sweep for [`mma_row_block_gather_fused_acc`]: like
 /// [`reg_row_chunks`] with `LOAD_C = false`, but the `kk` operand rows of `b`
-/// are addressed by index (`b_rows[p]`) instead of being consecutive.
+/// are addressed by index (`b_rows[p]`) instead of being consecutive. Covers
+/// columns `j0 .. end` of a row stored with memory stride `stride`.
 #[inline]
 fn reg_row_gather_chunks<const BLK: usize>(
     a_row: &[f32],
     b: &[f32],
     b_rows: &[u32],
     acc_row: &mut [f32],
-    width: usize,
+    stride: usize,
+    end: usize,
     mut j0: usize,
 ) -> usize {
-    while j0 + BLK <= width {
+    while j0 + BLK <= end {
         let mut part = [0.0f32; BLK];
         for (&av, &col) in a_row.iter().zip(b_rows.iter()) {
-            let off = col as usize * width + j0;
+            let off = col as usize * stride + j0;
             let bs = &b[off..off + BLK];
             for (o, &bv) in part.iter_mut().zip(bs.iter()) {
                 *o += av * bv;
@@ -461,6 +491,40 @@ fn reg_row_gather_chunks<const BLK: usize>(
         j0 += BLK;
     }
     j0
+}
+
+/// One gathered register-blocked column span of one row (`reg_row_span` for
+/// the gather kernels: chunk cascade plus scalar tail over `start .. end`).
+#[inline]
+#[allow(clippy::too_many_arguments)] // mirrors the gather kernel + span bounds
+fn reg_row_gather_span(
+    a_row: &[f32],
+    b: &[f32],
+    b_rows: &[u32],
+    acc_row: &mut [f32],
+    stride: usize,
+    start: usize,
+    end: usize,
+    cascade: RegCascade,
+) {
+    let mut j0 = start;
+    if cascade.largest >= 64 {
+        j0 = reg_row_gather_chunks::<64>(a_row, b, b_rows, acc_row, stride, end, j0);
+    }
+    if cascade.largest >= 32 {
+        j0 = reg_row_gather_chunks::<32>(a_row, b, b_rows, acc_row, stride, end, j0);
+    }
+    if cascade.largest >= 16 {
+        j0 = reg_row_gather_chunks::<16>(a_row, b, b_rows, acc_row, stride, end, j0);
+    }
+    j0 = reg_row_gather_chunks::<8>(a_row, b, b_rows, acc_row, stride, end, j0);
+    for (j, o) in acc_row[..end].iter_mut().enumerate().skip(j0) {
+        let mut part = 0.0f32;
+        for (&av, &col) in a_row.iter().zip(b_rows.iter()) {
+            part += av * b[col as usize * stride + j];
+        }
+        *o += part;
+    }
 }
 
 /// Gather variant of [`mma_row_block_fused_acc`] for the prepared stitched
@@ -520,23 +584,181 @@ pub fn mma_row_block_gather_fused_acc_cascade(
         return;
     }
     for (a_row, acc_row) in a.chunks_exact(kk).zip(acc.chunks_exact_mut(width)) {
-        let mut j0 = 0;
-        if cascade.largest >= 64 {
-            j0 = reg_row_gather_chunks::<64>(a_row, b, b_rows, acc_row, width, j0);
+        reg_row_gather_span(a_row, b, b_rows, acc_row, width, 0, width, cascade);
+    }
+}
+
+/// One output-column segment of a fused multi-segment sweep: columns
+/// `start .. start + width` of operand/accumulator rows whose memory stride
+/// is the full multi-segment width, swept with this segment's register-block
+/// cascade.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentSpan {
+    /// First column of the segment inside the full-width rows.
+    pub start: usize,
+    /// Number of columns the segment covers.
+    pub width: usize,
+    /// Register-block cascade this segment's columns are swept with (only the
+    /// column-to-chunk grouping changes with the cascade, never the result).
+    pub cascade: RegCascade,
+}
+
+impl SegmentSpan {
+    /// First column past the segment.
+    fn end(&self) -> usize {
+        self.start + self.width
+    }
+}
+
+/// Validates the shared slice/segment contract of the multi-segment kernels.
+fn check_segments(segments: &[SegmentSpan], stride: usize) {
+    for seg in segments {
+        assert!(
+            seg.end() <= stride,
+            "segment {}..{} exceeds the row stride {stride}",
+            seg.start,
+            seg.end()
+        );
+    }
+}
+
+/// Multi-segment variant of [`mma_row_block_reg_cascade`]: one staged
+/// `rows × kk` A-fragment applied to **several** output-column segments of a
+/// full-width operand in a single call —
+/// `c[r, s.start..s.end] += a[r, :] · b[:, s.start..s.end]` for every
+/// segment `s`. `b` (`kk × stride`) and `c` (`rows × stride`) are full-width
+/// row-major buffers. The A-fragment is read from memory once per call and
+/// stays cache-hot across every segment's sweep, which is what makes a fused
+/// panel sweep read each packed panel once instead of once per segment.
+///
+/// The segment loop is **outermost** (segment-major): each segment's
+/// `kk × width` slice of `b` and `rows × width` slice of `c` are swept to
+/// completion before the next segment, so the per-segment working set is as
+/// small as the single-segment kernels' — a row-major loop over a very wide
+/// fused operand would re-stream every segment's B rows once per output row
+/// instead of keeping them L1-resident.
+///
+/// Per output element (every element belongs to exactly one segment) the `kk`
+/// products still accumulate in ascending order through one `f32`, so the
+/// call is **bit-identical** to invoking [`mma_row_block_reg_cascade`] once
+/// per segment on that segment's extracted columns, in either loop order.
+///
+/// # Panics
+///
+/// Panics if the slices do not match the stated dimensions
+/// (`a.len() == rows*kk`, `b.len() == kk*stride`, `c.len() == rows*stride`)
+/// or a segment reaches past `stride`.
+pub fn mma_row_block_reg_segments(
+    a: &[f32],
+    rows: usize,
+    kk: usize,
+    b: &[f32],
+    c: &mut [f32],
+    stride: usize,
+    segments: &[SegmentSpan],
+) {
+    assert_eq!(a.len(), rows * kk, "A fragment must be rows*kk elements");
+    assert_eq!(b.len(), kk * stride, "B block must be kk*stride elements");
+    assert_eq!(
+        c.len(),
+        rows * stride,
+        "C block must be rows*stride elements"
+    );
+    check_segments(segments, stride);
+    if rows == 0 || kk == 0 || stride == 0 {
+        return;
+    }
+    for seg in segments {
+        for (a_row, c_row) in a.chunks_exact(kk).zip(c.chunks_exact_mut(stride)) {
+            reg_row_span::<true>(a_row, b, c_row, stride, seg.start, seg.end(), seg.cascade);
         }
-        if cascade.largest >= 32 {
-            j0 = reg_row_gather_chunks::<32>(a_row, b, b_rows, acc_row, width, j0);
+    }
+}
+
+/// Multi-segment variant of [`mma_row_block_fused_acc_cascade`]: one step's
+/// partial product computed per segment in register blocks (from `+0.0`,
+/// ascending `k`) and added into the full-width group accumulator, for every
+/// segment of the sweep in one call. Bit-identical to the per-segment
+/// invocation for the same reason as [`mma_row_block_reg_segments`].
+///
+/// # Panics
+///
+/// Panics if the slices do not match the stated dimensions or a segment
+/// reaches past `stride`.
+pub fn mma_row_block_fused_acc_segments(
+    a: &[f32],
+    rows: usize,
+    kk: usize,
+    b: &[f32],
+    acc: &mut [f32],
+    stride: usize,
+    segments: &[SegmentSpan],
+) {
+    assert_eq!(a.len(), rows * kk, "A fragment must be rows*kk elements");
+    assert_eq!(b.len(), kk * stride, "B block must be kk*stride elements");
+    assert_eq!(
+        acc.len(),
+        rows * stride,
+        "acc block must be rows*stride elements"
+    );
+    check_segments(segments, stride);
+    if rows == 0 || kk == 0 || stride == 0 {
+        return;
+    }
+    for seg in segments {
+        for (a_row, acc_row) in a.chunks_exact(kk).zip(acc.chunks_exact_mut(stride)) {
+            reg_row_span::<false>(a_row, b, acc_row, stride, seg.start, seg.end(), seg.cascade);
         }
-        if cascade.largest >= 16 {
-            j0 = reg_row_gather_chunks::<16>(a_row, b, b_rows, acc_row, width, j0);
-        }
-        j0 = reg_row_gather_chunks::<8>(a_row, b, b_rows, acc_row, width, j0);
-        for (j, o) in acc_row.iter_mut().enumerate().skip(j0) {
-            let mut part = 0.0f32;
-            for (&av, &col) in a_row.iter().zip(b_rows.iter()) {
-                part += av * b[col as usize * width + j];
-            }
-            *o += part;
+    }
+}
+
+/// Multi-segment variant of [`mma_row_block_gather_fused_acc_cascade`]: the
+/// `kk` activation rows are read in place from a full-width pre-rounded
+/// buffer (stride `stride`, rows addressed by `b_rows[p]`), and one panel's
+/// partial product is accumulated into every output segment in a single
+/// sweep. Bit-identical to the per-segment invocation for the same reason as
+/// [`mma_row_block_reg_segments`].
+///
+/// # Panics
+///
+/// Panics if the slices do not match the stated dimensions
+/// (`a.len() == rows*kk`, `b_rows.len() == kk`,
+/// `acc.len() == rows*stride`), a segment reaches past `stride`, or a row
+/// index reaches past `b`.
+#[allow(clippy::too_many_arguments)] // mirrors the single-segment gather kernel
+pub fn mma_row_block_gather_fused_acc_segments(
+    a: &[f32],
+    rows: usize,
+    kk: usize,
+    b: &[f32],
+    b_rows: &[u32],
+    acc: &mut [f32],
+    stride: usize,
+    segments: &[SegmentSpan],
+) {
+    assert_eq!(a.len(), rows * kk, "A fragment must be rows*kk elements");
+    assert_eq!(b_rows.len(), kk, "one B row index per reduction step");
+    assert_eq!(
+        acc.len(),
+        rows * stride,
+        "acc block must be rows*stride elements"
+    );
+    check_segments(segments, stride);
+    if rows == 0 || kk == 0 || stride == 0 {
+        return;
+    }
+    for seg in segments {
+        for (a_row, acc_row) in a.chunks_exact(kk).zip(acc.chunks_exact_mut(stride)) {
+            reg_row_gather_span(
+                a_row,
+                b,
+                b_rows,
+                acc_row,
+                stride,
+                seg.start,
+                seg.end(),
+                seg.cascade,
+            );
         }
     }
 }
@@ -891,6 +1113,140 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Splits `total` into spans at the given cut points, each with the
+    /// cascade its own width selects (what the kernel plans do per bucket).
+    fn spans(total: usize, cuts: &[usize]) -> Vec<SegmentSpan> {
+        let mut edges = vec![0];
+        edges.extend_from_slice(cuts);
+        edges.push(total);
+        edges
+            .windows(2)
+            .map(|w| SegmentSpan {
+                start: w[0],
+                width: w[1] - w[0],
+                cascade: RegCascade::for_width(w[1] - w[0]),
+            })
+            .collect()
+    }
+
+    /// Extracts segment columns `start..start+width` of a `rows × stride`
+    /// row-major buffer into a dense `rows × width` buffer.
+    fn extract(src: &[f32], rows: usize, stride: usize, start: usize, width: usize) -> Vec<f32> {
+        let mut out = Vec::with_capacity(rows * width);
+        for r in 0..rows {
+            out.extend_from_slice(&src[r * stride + start..r * stride + start + width]);
+        }
+        out
+    }
+
+    /// Writes a dense `rows × width` buffer back into segment columns of a
+    /// `rows × stride` row-major buffer.
+    fn scatter(
+        dst: &mut [f32],
+        seg: &[f32],
+        rows: usize,
+        stride: usize,
+        start: usize,
+        width: usize,
+    ) {
+        for r in 0..rows {
+            dst[r * stride + start..r * stride + start + width]
+                .copy_from_slice(&seg[r * width..(r + 1) * width]);
+        }
+    }
+
+    #[test]
+    fn multi_segment_kernels_are_bit_identical_to_per_segment_sweeps() {
+        for (rows, kk, total, cuts) in [
+            (5usize, 4usize, 45usize, &[8usize, 24][..]),
+            (16, 16, 70, &[64][..]),
+            (3, 7, 9, &[1, 2, 8][..]),
+            (2, 3, 33, &[][..]), // a single segment covering everything
+        ] {
+            let (a, b, c_init) = reg_case(rows, kk, total);
+            let segs = spans(total, cuts);
+
+            // Direct-accumulation variant vs per-segment extract/sweep/scatter.
+            let mut fused = c_init.clone();
+            mma_row_block_reg_segments(&a, rows, kk, &b, &mut fused, total, &segs);
+            let mut reference = c_init.clone();
+            for s in &segs {
+                let b_seg = extract(&b, kk, total, s.start, s.width);
+                let mut c_seg = extract(&reference, rows, total, s.start, s.width);
+                mma_row_block_reg_cascade(&a, rows, kk, &b_seg, &mut c_seg, s.width, s.cascade);
+                scatter(&mut reference, &c_seg, rows, total, s.start, s.width);
+            }
+            assert_eq!(
+                fused.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                reference.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "reg segments {rows}x{kk}x{total} cuts {cuts:?}"
+            );
+
+            // Fused-partial variant.
+            let mut fused = c_init.clone();
+            mma_row_block_fused_acc_segments(&a, rows, kk, &b, &mut fused, total, &segs);
+            let mut reference = c_init.clone();
+            for s in &segs {
+                let b_seg = extract(&b, kk, total, s.start, s.width);
+                let mut c_seg = extract(&reference, rows, total, s.start, s.width);
+                mma_row_block_fused_acc_cascade(
+                    &a, rows, kk, &b_seg, &mut c_seg, s.width, s.cascade,
+                );
+                scatter(&mut reference, &c_seg, rows, total, s.start, s.width);
+            }
+            assert_eq!(
+                fused.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                reference.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "fused segments {rows}x{kk}x{total} cuts {cuts:?}"
+            );
+
+            // Gather variant (indexed activation rows).
+            let b_height = kk * 3 + 1;
+            let gather_b: Vec<f32> = (0..b_height * total)
+                .map(|i| round_to_f16((i as f32 * 0.13).sin()))
+                .collect();
+            let b_rows: Vec<u32> = (0..kk).map(|p| ((p * 5 + 2) % b_height) as u32).collect();
+            let mut fused = c_init.clone();
+            mma_row_block_gather_fused_acc_segments(
+                &a, rows, kk, &gather_b, &b_rows, &mut fused, total, &segs,
+            );
+            let mut reference = c_init.clone();
+            for s in &segs {
+                let b_seg = extract(&gather_b, b_height, total, s.start, s.width);
+                let mut c_seg = extract(&reference, rows, total, s.start, s.width);
+                mma_row_block_gather_fused_acc_cascade(
+                    &a, rows, kk, &b_seg, &b_rows, &mut c_seg, s.width, s.cascade,
+                );
+                scatter(&mut reference, &c_seg, rows, total, s.start, s.width);
+            }
+            assert_eq!(
+                fused.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                reference.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "gather segments {rows}x{kk}x{total} cuts {cuts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_segment_kernels_handle_empty_segment_lists_and_degenerate_dims() {
+        let mut c = vec![1.0f32; 6];
+        mma_row_block_reg_segments(&[0.0; 6], 3, 2, &[0.0; 4], &mut c, 2, &[]);
+        mma_row_block_fused_acc_segments(&[], 3, 0, &[], &mut c, 2, &[]);
+        assert_eq!(c, vec![1.0f32; 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the row stride")]
+    fn multi_segment_kernels_reject_out_of_range_segments() {
+        let mut c = vec![0.0f32; 4];
+        let seg = SegmentSpan {
+            start: 1,
+            width: 2,
+            cascade: RegCascade::FULL,
+        };
+        mma_row_block_reg_segments(&[0.0; 2], 2, 1, &[0.0; 2], &mut c, 2, &[seg]);
     }
 
     #[test]

@@ -8,6 +8,37 @@
 //! (tensor-core granularity) and the threadblock grid (wave quantisation).
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A shared, monotonically increasing byte counter for **runtime** traffic
+/// accounting — the quantity a profiler would read off the DRAM counters
+/// while [`KernelStats`] models a single launch analytically. The serving
+/// stack threads one of these through its plan executions to count the
+/// packed-weight-panel bytes every sweep actually reads, which is how the
+/// fused multi-segment execute proves it streams the panels once instead of
+/// once per output segment. Atomic, so `Sync` plan executors count without a
+/// lock.
+#[derive(Debug, Default)]
+pub struct TrafficCounter {
+    bytes: AtomicU64,
+}
+
+impl TrafficCounter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        TrafficCounter::default()
+    }
+
+    /// Adds `bytes` to the counter.
+    pub fn add(&self, bytes: u64) {
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// The bytes counted so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+}
 
 /// Which functional units a kernel's inner loop occupies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -349,6 +380,22 @@ mod tests {
         assert_eq!(a.flops(), 15);
         assert!((a.coalescing_factor() - 0.5).abs() < 1e-12);
         assert!((a.compute_efficiency() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traffic_counter_accumulates_across_threads() {
+        let counter = TrafficCounter::new();
+        assert_eq!(counter.bytes(), 0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        counter.add(3);
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.bytes(), 1200);
     }
 
     #[test]

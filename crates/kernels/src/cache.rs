@@ -13,22 +13,29 @@
 //! * **sharing** — cached plans are handed out as `Arc<SpmmPlan>`; plans are
 //!   `Sync` (no interior mutability), so one plan serves any number of
 //!   concurrent worker threads,
-//! * **eviction** — least-recently-used beyond a fixed capacity, the policy
-//!   every real inference server applies to compiled-kernel caches, and
-//! * **accounting** — hits / misses / evictions and the resident packed
-//!   bytes, the numbers the serving benchmark gates on (`repro
-//!   --bench-serving` fails the run when the miss rate regresses).
+//! * **eviction** — least-recently-used beyond a fixed plan count **and**
+//!   beyond an optional byte budget ([`PlanCache::with_byte_budget`]): plans
+//!   differ by orders of magnitude in resident size (GNMT's 32000×1024
+//!   softmax packs ~50 MB while a decode GEMM packs kilobytes), so counting
+//!   capacity in plans alone lets one huge layer crowd out everything else,
+//! * **accounting** — hits / misses / evictions / shared builds and the
+//!   resident packed bytes, the numbers the serving benchmark gates on
+//!   (`repro --bench-serving` fails the run when the miss rate regresses).
 //!
 //! Misses build **outside** the cache lock, so a cold build never blocks
-//! lookups of other keys; same-key races both build and share the first
-//! inserted plan (wasted CPU, never wrong results). Serving traffic is
-//! hit-dominated by design (the whole point of bucketing), so the lock is
-//! held for nanoseconds on the common path.
+//! lookups of other keys. Concurrent misses on the **same** cold key are
+//! deduplicated: the first thread registers an in-flight build slot and
+//! builds; later threads wait on the slot and share the winner's plan
+//! instead of paying a redundant build (the cold-miss stampede a serving
+//! engine sees when a burst of identical requests lands on an empty cache).
+//! A failed build wakes the waiters, and the next one retries. Serving
+//! traffic is hit-dominated by design (the whole point of bucketing), so the
+//! lock is held for nanoseconds on the common path.
 
 use crate::plan::SpmmPlan;
 use crate::profile::KernelResult;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Cache key: one prepared plan per `(layer, n_bucket)` pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -44,10 +51,14 @@ pub struct PlanKey {
 pub struct PlanCacheStats {
     /// Lookups served by an already-resident plan.
     pub hits: u64,
-    /// Lookups that had to build (and insert) a plan.
+    /// Lookups that were not served by a resident plan (a build was started,
+    /// or joined — see [`PlanCacheStats::shared_builds`]).
     pub misses: u64,
-    /// Plans evicted to make room.
+    /// Plans evicted to make room (plan-count capacity or byte budget).
     pub evictions: u64,
+    /// Misses that joined an in-flight build of the same key instead of
+    /// building redundantly (each one is a build the stampede dedup saved).
+    pub shared_builds: u64,
 }
 
 impl PlanCacheStats {
@@ -73,8 +84,40 @@ struct CacheEntry {
     last_used: u64,
 }
 
+/// The outcome slot of one in-flight build that concurrent same-key misses
+/// wait on.
+enum BuildState {
+    Pending,
+    Done(Arc<SpmmPlan>),
+    Failed,
+}
+
+struct BuildSlot {
+    state: Mutex<BuildState>,
+    ready: Condvar,
+}
+
+impl BuildSlot {
+    fn new() -> Self {
+        BuildSlot {
+            state: Mutex::new(BuildState::Pending),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn resolve(&self, state: BuildState) {
+        *self.state.lock().expect("build slot poisoned") = state;
+        self.ready.notify_all();
+    }
+}
+
 struct CacheInner {
     entries: HashMap<PlanKey, CacheEntry>,
+    /// In-flight cold builds; same-key misses join these instead of building.
+    building: HashMap<PlanKey, Arc<BuildSlot>>,
+    /// Packed bytes of the resident plans (kept incrementally so byte-budget
+    /// admission is O(1) per lookup).
+    resident_bytes: usize,
     /// Logical clock advanced on every lookup; entries stamp it on touch.
     tick: u64,
     stats: PlanCacheStats,
@@ -87,6 +130,9 @@ struct CacheInner {
 /// threads) serves concurrent lookups.
 pub struct PlanCache {
     capacity: usize,
+    /// Resident packed bytes beyond which LRU plans are evicted
+    /// (`usize::MAX` when the cache is capacity-bounded only).
+    byte_budget: usize,
     inner: Mutex<CacheInner>,
 }
 
@@ -102,12 +148,27 @@ impl std::fmt::Debug for PlanCache {
 }
 
 impl PlanCache {
-    /// Creates a cache holding at most `capacity` plans (minimum 1).
+    /// Creates a cache holding at most `capacity` plans (minimum 1), with no
+    /// byte budget.
     pub fn new(capacity: usize) -> Self {
+        Self::with_byte_budget(capacity, usize::MAX)
+    }
+
+    /// Creates a cache bounded by **both** a plan count and a resident-bytes
+    /// budget: beyond either limit the least-recently-used plan is evicted.
+    /// The budget counts [`SpmmPlan::packed_bytes`] — dominated by the packed
+    /// weight panels — so one huge layer (GNMT's 32000×1024 softmax) can no
+    /// longer crowd a mixed workload out of a plan-counted cache. A single
+    /// plan larger than the whole budget is still admitted (the alternative
+    /// is never serving that layer warm); it then evicts everything else.
+    pub fn with_byte_budget(capacity: usize, byte_budget: usize) -> Self {
         PlanCache {
             capacity: capacity.max(1),
+            byte_budget,
             inner: Mutex::new(CacheInner {
                 entries: HashMap::new(),
+                building: HashMap::new(),
+                resident_bytes: 0,
                 tick: 0,
                 stats: PlanCacheStats::default(),
             }),
@@ -117,6 +178,11 @@ impl PlanCache {
     /// Maximum number of resident plans.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Resident-bytes budget (`usize::MAX` when capacity-bounded only).
+    pub fn byte_budget(&self) -> usize {
+        self.byte_budget
     }
 
     /// Number of currently resident plans.
@@ -139,21 +205,47 @@ impl PlanCache {
     }
 
     /// Total packed bytes of the resident plans (the cache's memory
-    /// footprint, dominated by the packed weight panels).
+    /// footprint, dominated by the packed weight panels; maintained
+    /// incrementally, so this is O(1)).
     pub fn resident_bytes(&self) -> usize {
-        let inner = self.inner.lock().expect("plan cache poisoned");
-        inner.entries.values().map(|e| e.plan.packed_bytes()).sum()
+        self.inner
+            .lock()
+            .expect("plan cache poisoned")
+            .resident_bytes
     }
 
-    /// Returns the plan for `key`, building it with `build` on a miss. The
-    /// least-recently-used plan is evicted when the cache is full.
+    /// Evicts least-recently-used plans until the cache respects both the
+    /// plan-count capacity and the byte budget; the most-recently-inserted
+    /// plan (the caller's) is never evicted, so at least one plan survives.
+    fn evict_to_limits(&self, inner: &mut CacheInner) {
+        while inner.entries.len() > 1
+            && (inner.entries.len() > self.capacity || inner.resident_bytes > self.byte_budget)
+        {
+            let Some(lru) = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+            else {
+                return;
+            };
+            if let Some(evicted) = inner.entries.remove(&lru) {
+                inner.resident_bytes -= evicted.plan.packed_bytes();
+                inner.stats.evictions += 1;
+            }
+        }
+    }
+
+    /// Returns the plan for `key`, building it with `build` on a cold miss.
+    /// Least-recently-used plans are evicted beyond the plan-count capacity
+    /// or the byte budget.
     ///
     /// The build runs **outside** the cache lock, so a cold miss never blocks
-    /// concurrent lookups of other `(layer, n_bucket)` keys. Two threads
-    /// racing on the *same* cold key may both build; the first insert wins
-    /// and both callers share the winner's plan (the loser's build is wasted
-    /// CPU, not an error — serving traffic is hit-dominated by design, and
-    /// warmup flows populate the cache sequentially).
+    /// concurrent lookups of other `(layer, n_bucket)` keys. Threads missing
+    /// the *same* cold key do not stampede: the first registers an in-flight
+    /// build slot and builds, the rest wait on the slot and share the
+    /// winner's plan (counted in [`PlanCacheStats::shared_builds`]). If the
+    /// build fails, one waiter takes over and retries.
     ///
     /// # Errors
     ///
@@ -161,49 +253,110 @@ impl PlanCache {
     pub fn get_or_build(
         &self,
         key: PlanKey,
-        build: impl FnOnce() -> KernelResult<SpmmPlan>,
+        build: impl Fn() -> KernelResult<SpmmPlan>,
     ) -> KernelResult<Arc<SpmmPlan>> {
-        {
-            let mut inner = self.inner.lock().expect("plan cache poisoned");
-            inner.tick += 1;
-            let tick = inner.tick;
-            if let Some(entry) = inner.entries.get_mut(&key) {
-                entry.last_used = tick;
-                let plan = Arc::clone(&entry.plan);
-                inner.stats.hits += 1;
-                return Ok(plan);
+        // Whether this lookup has been recorded in the stats: a retry after a
+        // failed in-flight build re-enters the loop but is still the same
+        // logical lookup, and must not inflate the miss counters the serving
+        // benchmark gates on.
+        let mut counted = false;
+        loop {
+            let waiting_on = {
+                let mut inner = self.inner.lock().expect("plan cache poisoned");
+                inner.tick += 1;
+                let tick = inner.tick;
+                if let Some(entry) = inner.entries.get_mut(&key) {
+                    entry.last_used = tick;
+                    let plan = Arc::clone(&entry.plan);
+                    if !counted {
+                        inner.stats.hits += 1;
+                    }
+                    return Ok(plan);
+                }
+                // A lookup not served by a resident plan counts as a miss
+                // whether this thread builds, joins an in-flight build, or
+                // the build fails.
+                let join = inner.building.get(&key).map(Arc::clone);
+                if !counted {
+                    inner.stats.misses += 1;
+                    if join.is_some() {
+                        inner.stats.shared_builds += 1;
+                    }
+                }
+                counted = true;
+                if let Some(slot) = join {
+                    Some(slot)
+                } else {
+                    let slot = Arc::new(BuildSlot::new());
+                    inner.building.insert(key, Arc::clone(&slot));
+                    None
+                }
+            };
+
+            let Some(slot) = waiting_on else {
+                // This thread owns the build. Build outside the cache lock,
+                // then publish the outcome to the cache and the slot waiters.
+                // A panicking build must still clear the in-flight slot and
+                // wake the waiters (as Failed, so one retries) — otherwise
+                // every current and future lookup of this key would block on
+                // the dead slot forever.
+                let built = std::panic::catch_unwind(std::panic::AssertUnwindSafe(&build));
+                let mut inner = self.inner.lock().expect("plan cache poisoned");
+                let slot = inner
+                    .building
+                    .remove(&key)
+                    .expect("in-flight slot owned by the builder");
+                let built = match built {
+                    Ok(outcome) => outcome,
+                    Err(payload) => {
+                        drop(inner);
+                        slot.resolve(BuildState::Failed);
+                        std::panic::resume_unwind(payload);
+                    }
+                };
+                match built {
+                    Ok(plan) => {
+                        let plan = Arc::new(plan);
+                        // Stamp a fresh tick so the new entry is strictly the
+                        // most recently used and can never tie with an entry
+                        // touched while the build ran.
+                        inner.tick += 1;
+                        let tick = inner.tick;
+                        inner.resident_bytes += plan.packed_bytes();
+                        inner.entries.insert(
+                            key,
+                            CacheEntry {
+                                plan: Arc::clone(&plan),
+                                last_used: tick,
+                            },
+                        );
+                        self.evict_to_limits(&mut inner);
+                        drop(inner);
+                        slot.resolve(BuildState::Done(Arc::clone(&plan)));
+                        return Ok(plan);
+                    }
+                    Err(err) => {
+                        drop(inner);
+                        slot.resolve(BuildState::Failed);
+                        return Err(err);
+                    }
+                }
+            };
+
+            // Join the in-flight build instead of paying a redundant one.
+            let mut state = slot.state.lock().expect("build slot poisoned");
+            loop {
+                match &*state {
+                    BuildState::Pending => {
+                        state = slot.ready.wait(state).expect("build slot poisoned");
+                    }
+                    BuildState::Done(plan) => return Ok(Arc::clone(plan)),
+                    BuildState::Failed => break,
+                }
             }
-            // A failed build still counts as a miss: the lookup was not
-            // served from the cache either way.
-            inner.stats.misses += 1;
+            // The build this thread joined failed; retry (becoming the
+            // builder if nobody else has).
         }
-        let plan = Arc::new(build()?);
-        let mut inner = self.inner.lock().expect("plan cache poisoned");
-        let tick = inner.tick;
-        if let Some(entry) = inner.entries.get_mut(&key) {
-            // Lost a same-key build race: share the plan already inserted.
-            entry.last_used = tick;
-            return Ok(Arc::clone(&entry.plan));
-        }
-        if inner.entries.len() >= self.capacity {
-            if let Some(lru) = inner
-                .entries
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| *k)
-            {
-                inner.entries.remove(&lru);
-                inner.stats.evictions += 1;
-            }
-        }
-        inner.entries.insert(
-            key,
-            CacheEntry {
-                plan: Arc::clone(&plan),
-                last_used: tick,
-            },
-        );
-        Ok(plan)
     }
 
     /// Whether a plan for `key` is currently resident (does not touch LRU
@@ -280,6 +433,167 @@ mod tests {
         // The failed lookup still counts as a miss.
         assert_eq!(cache.stats().misses, 1);
         assert!(cache.is_empty());
+    }
+
+    /// A plan over an `m × k` dense operand; packed bytes scale with `m·k`.
+    fn sized_plan(m: usize, k: usize, n: usize) -> KernelResult<SpmmPlan> {
+        let dense = DenseMatrix::from_fn(m, k, |r, c| if (c + r / 2) % 2 == 0 { 1.0 } else { 0.0 });
+        let vw = VectorWiseMatrix::from_dense(&dense, 2).expect("vector-wise structure");
+        Ok(SpmmPlan::vector_wise(&GpuArch::v100(), &vw, n))
+    }
+
+    #[test]
+    fn byte_budget_evicts_by_resident_bytes_not_plan_count() {
+        let small = Arc::new(sized_plan(8, 8, 8).unwrap());
+        let small_bytes = small.packed_bytes();
+        // Budget fits several small plans but not a small plan next to a big
+        // one.
+        let cache = PlanCache::with_byte_budget(64, 8 * small_bytes);
+        assert_eq!(cache.byte_budget(), 8 * small_bytes);
+        let key = |layer| PlanKey { layer, n_bucket: 8 };
+        for layer in 0..4 {
+            cache
+                .get_or_build(key(layer), || sized_plan(8, 8, 8))
+                .unwrap();
+        }
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.stats().evictions, 0);
+        // A plan ~32x the small footprint blows the budget: LRU small plans
+        // are evicted until the bytes fit, even though the plan-count
+        // capacity (64) is nowhere near reached.
+        cache
+            .get_or_build(key(100), || sized_plan(64, 64, 8))
+            .unwrap();
+        assert!(cache.stats().evictions > 0);
+        assert!(cache.contains(key(100)), "the new plan is always admitted");
+        // An over-budget giant is admitted (never serving it warm would be
+        // worse) and squeezes everything else out, keeping itself resident.
+        cache
+            .get_or_build(key(200), || sized_plan(128, 128, 8))
+            .unwrap();
+        assert!(cache.contains(key(200)));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.resident_bytes() > cache.byte_budget());
+    }
+
+    #[test]
+    fn cold_miss_stampede_builds_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let cache = PlanCache::new(4);
+        let key = PlanKey {
+            layer: 0,
+            n_bucket: 16,
+        };
+        let builds = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    let plan = cache
+                        .get_or_build(key, || {
+                            builds.fetch_add(1, Ordering::SeqCst);
+                            // Hold the build long enough that the other
+                            // threads' misses land while it is in flight.
+                            std::thread::sleep(std::time::Duration::from_millis(30));
+                            tiny_plan(16)
+                        })
+                        .unwrap();
+                    assert_eq!(plan.bucket().1, 16);
+                });
+            }
+        });
+        assert_eq!(
+            builds.load(Ordering::SeqCst),
+            1,
+            "concurrent same-key misses must share one build"
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 8);
+        assert_eq!(stats.shared_builds, 7);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn failed_build_wakes_waiters_and_lets_one_retry() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let cache = PlanCache::new(4);
+        let key = PlanKey {
+            layer: 1,
+            n_bucket: 8,
+        };
+        let attempts = AtomicUsize::new(0);
+        let outcomes: Vec<bool> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        cache
+                            .get_or_build(key, || {
+                                let attempt = attempts.fetch_add(1, Ordering::SeqCst);
+                                std::thread::sleep(std::time::Duration::from_millis(10));
+                                if attempt == 0 {
+                                    Err(crate::KernelError::ShapeMismatch {
+                                        context: "first build fails".into(),
+                                    })
+                                } else {
+                                    tiny_plan(8)
+                                }
+                            })
+                            .is_ok()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Exactly one caller observed the injected failure; everyone else
+        // was served by the retry build.
+        assert_eq!(outcomes.iter().filter(|ok| !**ok).count(), 1);
+        assert!(cache.contains(key));
+        assert!(attempts.load(Ordering::SeqCst) >= 2);
+        // One logical lookup = one recorded miss, even for the waiters that
+        // looped through the failed build and retried.
+        assert_eq!(cache.stats().misses, 4);
+    }
+
+    #[test]
+    fn panicking_build_clears_the_slot_and_wakes_waiters() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let cache = PlanCache::new(4);
+        let key = PlanKey {
+            layer: 2,
+            n_bucket: 16,
+        };
+        let attempts = AtomicUsize::new(0);
+        let panics = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                cache.get_or_build(key, || {
+                                    let attempt = attempts.fetch_add(1, Ordering::SeqCst);
+                                    std::thread::sleep(std::time::Duration::from_millis(10));
+                                    if attempt == 0 {
+                                        panic!("synthetic build panic");
+                                    }
+                                    tiny_plan(16)
+                                })
+                            }));
+                        if outcome.is_err() {
+                            panics.fetch_add(1, Ordering::SeqCst);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        // The panic unwound exactly one caller; the slot was cleared, the
+        // waiters were woken, one retried and the rest were served.
+        assert_eq!(panics.load(Ordering::SeqCst), 1);
+        assert!(cache.contains(key));
+        // The key is serviceable again (no dead in-flight slot left behind).
+        cache.get_or_build(key, || panic!("must hit")).unwrap();
     }
 
     #[test]

@@ -69,11 +69,13 @@ use crate::launch::{self, LaunchConfig};
 use crate::profile::{KernelError, KernelOutput, KernelProfile, KernelResult};
 use crate::spmm;
 use gpu_sim::mma::{
-    mma_row_block_fused_acc_cascade, mma_row_block_gather_fused_acc_cascade,
-    mma_row_block_reg_cascade, RegCascade,
+    mma_row_block_fused_acc_cascade, mma_row_block_fused_acc_segments,
+    mma_row_block_gather_fused_acc_cascade, mma_row_block_gather_fused_acc_segments,
+    mma_row_block_reg_cascade, mma_row_block_reg_segments, RegCascade, SegmentSpan,
 };
 use gpu_sim::pipeline::PipelineConfig;
 use gpu_sim::GpuArch;
+use shfl_core::bucket::Segment;
 use shfl_core::formats::{
     BalancedMatrix, BlockSparseMatrix, CsrMatrix, ShflBwMatrix, VectorWiseMatrix,
 };
@@ -94,6 +96,73 @@ fn check_activations(what: &str, b: &DenseMatrix, k: usize, n: usize) -> KernelR
         });
     }
     Ok(())
+}
+
+/// Widest column span one fused-sweep step processes at a time. A segment
+/// wider than this is subdivided for the sweep (bit-identical — every output
+/// column depends only on its own activation column, and the panel order per
+/// column is unchanged): a `tk × span` pre-rounded activation tile of
+/// `16 × 256 × 4 = 16` KB stays L1-resident across all of a panel's output
+/// rows, where a 1024-wide bucket segment's 64 KB tile would be re-streamed
+/// from L2 per row. Keeps the sweep's cache behaviour identical to the
+/// narrow per-segment plans no matter how wide the layer's bucket ceiling is.
+const MAX_SWEEP_SPAN: usize = 256;
+
+/// Validates that `segments` tile an activation operand of `k × n` exactly
+/// once, contiguously from column 0, and returns the sweep spans: each
+/// segment swept with the register-block cascade its *bucket* selects (the
+/// same cascade the per-segment bucket plan would use, though every cascade
+/// is bit-identical anyway), subdivided to [`MAX_SWEEP_SPAN`]-wide spans for
+/// cache locality.
+fn check_segment_tiling(
+    what: &str,
+    b: &DenseMatrix,
+    k: usize,
+    segments: &[Segment],
+) -> KernelResult<Vec<SegmentSpan>> {
+    if b.rows() != k {
+        return Err(KernelError::ShapeMismatch {
+            context: format!(
+                "{what} fused-segment operand has {} rows but the plan packs k={k}",
+                b.rows()
+            ),
+        });
+    }
+    let mut expected_start = 0;
+    let mut spans = Vec::with_capacity(segments.len());
+    for s in segments {
+        if s.start != expected_start || s.width == 0 || s.width > s.bucket {
+            return Err(KernelError::ShapeMismatch {
+                context: format!(
+                    "{what} fused segments must tile the operand contiguously with \
+                     1 <= width <= bucket; segment {s:?} breaks the tiling at column \
+                     {expected_start}"
+                ),
+            });
+        }
+        let cascade = RegCascade::for_width(s.bucket);
+        let mut start = s.start;
+        while start < s.end() {
+            let width = MAX_SWEEP_SPAN.min(s.end() - start);
+            spans.push(SegmentSpan {
+                start,
+                width,
+                cascade,
+            });
+            start += width;
+        }
+        expected_start += s.width;
+    }
+    if expected_start != b.cols() {
+        return Err(KernelError::ShapeMismatch {
+            context: format!(
+                "{what} fused segments cover {expected_start} columns but the operand \
+                 has {}",
+                b.cols()
+            ),
+        });
+    }
+    Ok(spans)
 }
 
 /// The shared prepared dense main loop: packed row-panels times a pre-rounded
@@ -124,6 +193,41 @@ fn execute_packed_dense(
                 c_chunk,
                 n,
                 cascade,
+            );
+            p0 += kk;
+        }
+    });
+}
+
+/// The fused multi-segment counterpart of [`execute_packed_dense`]: **one**
+/// sweep over the packed row-panels updates every output segment — each panel
+/// is read once per row-tile instead of once per segment. Bit-identical to
+/// running [`execute_packed_dense`] per extracted segment because every
+/// output element still receives its `k` contributions in ascending order.
+fn execute_packed_dense_segments(
+    packed: &PackedPanels,
+    k: usize,
+    b16: &[f32],
+    c: &mut DenseMatrix,
+    spans: &[SegmentSpan],
+) {
+    let (m, n) = c.shape();
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let fm = packed.panel_rows();
+    parallel::par_chunks_mut_weighted(c.as_mut_slice(), fm * n, k, |tile, c_chunk| {
+        let mut p0 = 0;
+        for panel in packed.chunk_panels(tile) {
+            let (values, rows, kk) = packed.panel(panel);
+            mma_row_block_reg_segments(
+                values,
+                rows,
+                kk,
+                &b16[p0 * n..(p0 + kk) * n],
+                c_chunk,
+                n,
+                spans,
             );
             p0 += kk;
         }
@@ -181,6 +285,53 @@ impl GemmPlan {
     /// Size of the packed weight panels in bytes.
     pub fn packed_bytes(&self) -> usize {
         self.packed.packed_bytes()
+    }
+
+    /// Packed-panel bytes **one full execute sweep reads**: every panel value
+    /// is streamed exactly once per call (per-chunk, each chunk walks its own
+    /// panels once), whether the call updates one output segment or many.
+    /// This is the unit the serving layer's panel-bytes-read counter
+    /// accumulates.
+    pub fn panel_sweep_bytes(&self) -> u64 {
+        (self.packed.packed_values() * std::mem::size_of::<f32>()) as u64
+    }
+
+    /// Executes the prepared GEMM against a **multi-segment** activation
+    /// operand: `segments` tile the operand's columns
+    /// ([`shfl_core::bucket::BucketPolicy::segments`]), and one fused sweep
+    /// over the packed weight panels updates every segment — the panels are
+    /// read once instead of once per segment, which is the whole point of the
+    /// fused serving path. No padding columns are computed (the per-segment
+    /// path pads each segment up to its bucket; padding contributes nothing,
+    /// so skipping it is bit-identical).
+    ///
+    /// The output is bit-identical to executing each segment separately on a
+    /// plan of its bucket width, and to one cold exact-width execution: the
+    /// packed panel layout does not depend on the plan's N-bucket, and each
+    /// output element accumulates its `k` contributions in ascending order
+    /// either way. The returned profile is this plan's bucket profile (the
+    /// caller scales modeled time to the fused width).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::ShapeMismatch`] if the operand's row count does
+    /// not match the packed `k` or `segments` do not tile its columns.
+    pub fn execute_segments(
+        &self,
+        activations: &DenseMatrix,
+        segments: &[Segment],
+    ) -> KernelResult<KernelOutput> {
+        let spans = check_segment_tiling("GEMM", activations, self.k, segments)?;
+        let n = activations.cols();
+        let mut c = DenseMatrix::zeros(self.m, n);
+        if self.m != 0 && n != 0 && self.k != 0 {
+            let b16 = activations.as_f16_rounded();
+            execute_packed_dense_segments(&self.packed, self.k, b16.as_slice(), &mut c, &spans);
+        }
+        Ok(KernelOutput {
+            output: c,
+            profile: self.profile.clone(),
+        })
     }
 
     /// Executes the prepared GEMM against one activation matrix.
@@ -459,6 +610,141 @@ impl SpmmPlan {
         }
     }
 
+    /// Packed static-operand bytes **one full execute sweep reads**: every
+    /// stored weight value is streamed exactly once per call (per chunk, each
+    /// chunk walks its own panels once), whether the call updates one output
+    /// segment or many. This is the unit the serving layer's
+    /// panel-bytes-read counter accumulates; the per-segment serving path
+    /// pays it once per segment, the fused path once per request.
+    pub fn panel_sweep_bytes(&self) -> u64 {
+        match &self.kind {
+            SpmmPlanKind::Stitched { packed, .. }
+            | SpmmPlanKind::Blocks { packed, .. }
+            | SpmmPlanKind::Dense { packed } => {
+                (packed.packed_values() * std::mem::size_of::<f32>()) as u64
+            }
+            SpmmPlanKind::Csr { matrix } => matrix.metadata_bytes() + matrix.nnz() as u64 * 4,
+        }
+    }
+
+    /// Executes the prepared SpMM against a **multi-segment** activation
+    /// operand: `segments` tile the operand's columns, and one fused sweep
+    /// over the packed panels updates every segment (see
+    /// [`GemmPlan::execute_segments`] — same contract, same bit-identity
+    /// argument; the CUDA-core CSR variant reads its compressed operand once
+    /// per call already, so its fused path is simply the full-width scalar
+    /// loop). No padding columns are computed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::ShapeMismatch`] if the operand's row count does
+    /// not match the packed `k` or `segments` do not tile its columns.
+    pub fn execute_segments(
+        &self,
+        activations: &DenseMatrix,
+        segments: &[Segment],
+    ) -> KernelResult<KernelOutput> {
+        let spans = check_segment_tiling("SpMM", activations, self.k, segments)?;
+        let n = activations.cols();
+        let mut output = DenseMatrix::zeros(self.m, n);
+        if self.m == 0 || n == 0 {
+            return Ok(KernelOutput {
+                output,
+                profile: self.profile.clone(),
+            });
+        }
+        match &self.kind {
+            SpmmPlanKind::Stitched {
+                v,
+                tk,
+                packed,
+                cols,
+                group_ptr,
+                row_indices,
+                identity_rows,
+                macs_per_element,
+            } => {
+                let (v, tk) = (*v, *tk);
+                let b16_matrix = activations.as_f16_rounded();
+                let b16 = b16_matrix.as_slice();
+                let mut grouped = if *identity_rows {
+                    Vec::new()
+                } else {
+                    vec![0.0f32; self.m * n]
+                };
+                let acc_slice: &mut [f32] = if *identity_rows {
+                    output.as_mut_slice()
+                } else {
+                    &mut grouped
+                };
+                parallel::par_chunks_mut_weighted(acc_slice, v * n, *macs_per_element, |g, acc| {
+                    let panels = packed.chunk_panels(g);
+                    if panels.is_empty() {
+                        return;
+                    }
+                    let group_cols = &cols[group_ptr[g]..group_ptr[g + 1]];
+                    for (step, panel) in panels.enumerate() {
+                        let (values, rows, w) = packed.panel(panel);
+                        debug_assert_eq!(rows, v);
+                        let step_cols = &group_cols[step * tk..step * tk + w];
+                        mma_row_block_gather_fused_acc_segments(
+                            values, v, w, b16, step_cols, acc, n, &spans,
+                        );
+                    }
+                });
+                if !*identity_rows {
+                    for (stored_row, acc_row) in grouped.chunks_exact(n).enumerate() {
+                        output
+                            .row_mut(row_indices[stored_row] as usize)
+                            .copy_from_slice(acc_row);
+                    }
+                }
+            }
+            SpmmPlanKind::Blocks {
+                v,
+                packed,
+                block_cols,
+                block_row_ptr,
+                macs_per_element,
+            } => {
+                let v = *v;
+                let b16_matrix = activations.as_f16_rounded();
+                let b16 = b16_matrix.as_slice();
+                parallel::par_chunks_mut_weighted(
+                    output.as_mut_slice(),
+                    v * n,
+                    *macs_per_element,
+                    |br, out_chunk| {
+                        for (i, panel) in packed.chunk_panels(br).enumerate() {
+                            let (values, _, _) = packed.panel(panel);
+                            let bc = block_cols[block_row_ptr[br] + i] as usize;
+                            mma_row_block_fused_acc_segments(
+                                values,
+                                v,
+                                v,
+                                &b16[bc * v * n..(bc + 1) * v * n],
+                                out_chunk,
+                                n,
+                                &spans,
+                            );
+                        }
+                    },
+                );
+            }
+            SpmmPlanKind::Dense { packed } => {
+                let b16 = activations.as_f16_rounded();
+                execute_packed_dense_segments(packed, self.k, b16.as_slice(), &mut output, &spans);
+            }
+            SpmmPlanKind::Csr { matrix } => {
+                spmm::cuda_core::csr_spmm_into(matrix, activations, &mut output);
+            }
+        }
+        Ok(KernelOutput {
+            output,
+            profile: self.profile.clone(),
+        })
+    }
+
     /// Executes the prepared SpMM against one activation matrix.
     ///
     /// # Errors
@@ -677,6 +963,53 @@ impl ConvPlan {
         &self.params
     }
 
+    /// Packed filter-panel bytes one full execute sweep reads (see
+    /// [`GemmPlan::panel_sweep_bytes`]).
+    pub fn panel_sweep_bytes(&self) -> u64 {
+        match &self.kind {
+            ConvPlanKind::Dense(gemm) => gemm.panel_sweep_bytes(),
+            ConvPlanKind::ShflBw(spmm) => spmm.panel_sweep_bytes(),
+        }
+    }
+
+    /// Executes the prepared convolution with the unfolded operand served as
+    /// a **fused multi-segment** sweep: `segments` tile the implicit-GEMM
+    /// width (`params.implicit_gemm_shape().1`), and the packed filter panels
+    /// are read once for all segments instead of once per segment (see
+    /// [`GemmPlan::execute_segments`]). Bit-identical to
+    /// [`ConvPlan::execute`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::ShapeMismatch`] if the input tensor does not
+    /// match the plan's geometry or `segments` do not tile the unfolded
+    /// width.
+    pub fn execute_segments(
+        &self,
+        input: &Tensor4,
+        segments: &[Segment],
+    ) -> KernelResult<(Tensor4, KernelProfile)> {
+        let p = &self.params;
+        if input.shape() != (p.batch, p.in_channels, p.input_h, p.input_w) {
+            return Err(KernelError::ShapeMismatch {
+                context: format!(
+                    "conv input is {:?} but the plan expects ({}, {}, {}, {})",
+                    input.shape(),
+                    p.batch,
+                    p.in_channels,
+                    p.input_h,
+                    p.input_w
+                ),
+            });
+        }
+        let unfolded = conv::im2col(input, p);
+        let out = match &self.kind {
+            ConvPlanKind::Dense(gemm) => gemm.execute_segments(&unfolded, segments)?.output,
+            ConvPlanKind::ShflBw(spmm) => spmm.execute_segments(&unfolded, segments)?.output,
+        };
+        Ok((conv::col2im_output(&out, p), self.profile.clone()))
+    }
+
     /// Executes the prepared convolution against one input feature map.
     ///
     /// # Errors
@@ -809,6 +1142,140 @@ mod tests {
         let (out, profile) = plan.execute(&good).unwrap();
         assert_eq!(out.shape(), (1, 4, 6, 6));
         assert_eq!(profile.name, "dense-conv2d");
+    }
+
+    /// Per-segment reference for the fused sweep: each segment padded up to
+    /// its bucket, executed on a plan built for that bucket, and cropped back
+    /// — exactly the serving engine's historical pad/split loop.
+    fn per_segment_reference(
+        plan_for_bucket: impl Fn(usize) -> SpmmPlan,
+        b: &DenseMatrix,
+        segments: &[Segment],
+        m: usize,
+    ) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(m, b.cols());
+        for s in segments {
+            let plan = plan_for_bucket(s.bucket);
+            let padded = b.cols_padded(s.start, s.width, s.bucket);
+            let seg_out = plan.execute(&padded).unwrap().output;
+            out.copy_cols_from(&seg_out, s.start, s.width);
+        }
+        out
+    }
+
+    #[test]
+    fn fused_segment_execution_matches_per_segment_bucket_plans() {
+        use shfl_core::bucket::BucketPolicy;
+        let mut rng = StdRng::seed_from_u64(23);
+        let arch = GpuArch::v100();
+        let policy = BucketPolicy::new(8, 16).unwrap();
+        let n = 59; // 16 + 16 + 16 + an 11-wide tail on the 16-bucket
+        let segments = policy.segments(n);
+        assert!(segments.len() >= 4);
+        let b = DenseMatrix::random(&mut rng, 40, n);
+
+        // Shfl-BW (shuffled write-back rows).
+        let dense_a = vector_wise_dense(&mut rng, 32, 40, 8, 0.4);
+        let perm: Vec<usize> = (0..32).rev().collect();
+        let a = ShflBwMatrix::from_dense_with_permutation(&dense_a, &perm, 8).unwrap();
+        let fused = SpmmPlan::shfl_bw(&arch, &a, policy.max_bucket())
+            .execute_segments(&b, &segments)
+            .unwrap();
+        let reference =
+            per_segment_reference(|bkt| SpmmPlan::shfl_bw(&arch, &a, bkt), &b, &segments, 32);
+        assert_eq!(fused.output, reference);
+        // ... and to the cold exact-width execution.
+        let cold = SpmmPlan::shfl_bw(&arch, &a, n).execute(&b).unwrap();
+        assert_eq!(fused.output, cold.output);
+
+        // Block-wise (BSR).
+        let dense_blocks = DenseMatrix::from_fn(32, 40, |r, c| {
+            if (r / 8 + c / 8) % 2 == 0 {
+                0.05 + (r * 40 + c) as f32 * 0.003
+            } else {
+                0.0
+            }
+        });
+        let bsr = shfl_core::formats::BlockSparseMatrix::from_dense(&dense_blocks, 8).unwrap();
+        let fused = SpmmPlan::block_wise(&arch, &bsr, policy.max_bucket())
+            .execute_segments(&b, &segments)
+            .unwrap();
+        let reference = per_segment_reference(
+            |bkt| SpmmPlan::block_wise(&arch, &bsr, bkt),
+            &b,
+            &segments,
+            32,
+        );
+        assert_eq!(fused.output, reference);
+
+        // CUDA-core CSR (single-sweep by construction).
+        let csr = CsrMatrix::from_dense(&dense_a);
+        let fused = SpmmPlan::cuda_core(&arch, &csr, policy.max_bucket())
+            .execute_segments(&b, &segments)
+            .unwrap();
+        let cold = SpmmPlan::cuda_core(&arch, &csr, n).execute(&b).unwrap();
+        assert_eq!(fused.output, cold.output);
+
+        // Dense GEMM plan.
+        let w = DenseMatrix::random(&mut rng, 24, 40);
+        let fused = GemmPlan::new(&arch, &w, policy.max_bucket())
+            .execute_segments(&b, &segments)
+            .unwrap();
+        let mut reference = DenseMatrix::zeros(24, n);
+        for s in &segments {
+            let plan = GemmPlan::new(&arch, &w, s.bucket);
+            let padded = b.cols_padded(s.start, s.width, s.bucket);
+            let seg_out = plan.execute(&padded).unwrap().output;
+            reference.copy_cols_from(&seg_out, s.start, s.width);
+        }
+        assert_eq!(fused.output, reference);
+    }
+
+    #[test]
+    fn execute_segments_rejects_malformed_tilings() {
+        let arch = GpuArch::t4();
+        let plan = GemmPlan::new(&arch, &DenseMatrix::zeros(8, 8), 16);
+        let b = DenseMatrix::zeros(8, 20);
+        let seg = |start, width, bucket| Segment {
+            start,
+            width,
+            bucket,
+        };
+        // Gap, overlap, width over bucket, wrong coverage, wrong k.
+        assert!(plan
+            .execute_segments(&b, &[seg(0, 8, 8), seg(9, 11, 16)])
+            .is_err());
+        assert!(plan
+            .execute_segments(&b, &[seg(0, 16, 16), seg(15, 5, 8)])
+            .is_err());
+        assert!(plan.execute_segments(&b, &[seg(0, 20, 16)]).is_err());
+        assert!(plan.execute_segments(&b, &[seg(0, 16, 16)]).is_err());
+        assert!(plan
+            .execute_segments(&DenseMatrix::zeros(9, 20), &[seg(0, 16, 16), seg(16, 4, 8)])
+            .is_err());
+        assert!(plan
+            .execute_segments(&b, &[seg(0, 16, 16), seg(16, 4, 8)])
+            .is_ok());
+        // An empty operand is tiled by no segments.
+        assert!(plan
+            .execute_segments(&DenseMatrix::zeros(8, 0), &[])
+            .is_ok());
+    }
+
+    #[test]
+    fn panel_sweep_bytes_matches_packed_values() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let arch = GpuArch::v100();
+        let dense_a = vector_wise_dense(&mut rng, 32, 40, 8, 0.4);
+        let vw = VectorWiseMatrix::from_dense(&dense_a, 8).unwrap();
+        // The sweep bytes are the packed values (not the metadata), and do
+        // not depend on the plan's N-bucket.
+        let p16 = SpmmPlan::vector_wise(&arch, &vw, 16);
+        let p64 = SpmmPlan::vector_wise(&arch, &vw, 64);
+        assert_eq!(p16.panel_sweep_bytes(), p64.panel_sweep_bytes());
+        assert_eq!(p16.panel_sweep_bytes(), (vw.stored_values() * 4) as u64);
+        let gemm = GemmPlan::new(&arch, &dense_a, 16);
+        assert_eq!(gemm.panel_sweep_bytes(), (32 * 40 * 4) as u64);
     }
 
     #[test]

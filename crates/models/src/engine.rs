@@ -62,7 +62,7 @@ use rand::{Rng, SeedableRng};
 use shfl_core::bucket::BucketPolicy;
 use shfl_core::formats::{ShflBwMatrix, VectorWiseMatrix};
 use shfl_core::matrix::DenseMatrix;
-use shfl_kernels::cache::PlanCacheStats;
+use shfl_kernels::cache::{PlanCache, PlanCacheStats};
 use shfl_kernels::conv::{self, Conv2dParams, Tensor4};
 use shfl_kernels::plan::SpmmPlan;
 use shfl_kernels::{KernelError, KernelResult};
@@ -85,15 +85,26 @@ pub struct EngineConfig {
     pub vector_size: usize,
     /// Seed for the deterministic weight/activation synthesis.
     pub seed: u64,
-    /// Largest activation N-bucket (power of two); wider requests are split.
+    /// Largest activation N-bucket (power of two) for **linear** layers;
+    /// wider requests are split (and served in one fused sweep).
     pub max_n_bucket: usize,
+    /// Largest activation N-bucket for **convolution** layers — the
+    /// per-layer ceiling override: an unfolded conv operand is thousands of
+    /// columns wide even at batch 1 (ResNet's stem unfolds to 12544 columns
+    /// per image), so conv layers get a wide ceiling while decode-style
+    /// GEMMs stay on narrow buckets.
+    pub conv_max_n_bucket: usize,
     /// Plan-cache capacity in plans (LRU beyond this).
     pub plan_cache_capacity: usize,
+    /// Optional plan-cache byte budget: resident packed bytes beyond this
+    /// evict LRU plans even below the plan-count capacity, so one huge layer
+    /// (GNMT's 32000×1024 softmax) cannot crowd out a mixed workload.
+    pub plan_cache_bytes: Option<usize>,
 }
 
 impl EngineConfig {
     /// The benchmark configuration: 70% sparsity, `V = 64`, a small serving
-    /// batch, buckets 8…256.
+    /// batch, buckets 8…256 for GEMMs and 8…1024 for convolutions.
     pub fn paper_default() -> Self {
         EngineConfig {
             batch: 4,
@@ -102,14 +113,16 @@ impl EngineConfig {
             vector_size: 64,
             seed: 20220711,
             max_n_bucket: 256,
+            conv_max_n_bucket: 1024,
             plan_cache_capacity: 96,
+            plan_cache_bytes: None,
         }
     }
 
     /// A tiny configuration for CI smoke runs and unit tests. The bucket
-    /// ceiling stays at the serving default: ResNet's unfolded conv operands
-    /// are thousands of columns wide even at batch 1, and a tiny ceiling
-    /// would shred them into hundreds of segments (the narrow-bucket
+    /// ceilings stay at the serving defaults: ResNet's unfolded conv
+    /// operands are thousands of columns wide even at batch 1, and a tiny
+    /// ceiling would shred them into hundreds of segments (the narrow-bucket
     /// splitting paths are property-tested in `shfl-serving` instead).
     pub fn smoke() -> Self {
         EngineConfig {
@@ -119,14 +132,33 @@ impl EngineConfig {
             vector_size: 8,
             seed: 7,
             max_n_bucket: 256,
+            conv_max_n_bucket: 1024,
             plan_cache_capacity: 32,
+            plan_cache_bytes: None,
         }
     }
 
-    /// The bucket policy the config implies (smallest bucket fixed at 8).
+    /// The GEMM-layer bucket policy the config implies (smallest bucket
+    /// fixed at 8).
     pub fn bucket_policy(&self) -> BucketPolicy {
         BucketPolicy::new(8, self.max_n_bucket.next_power_of_two().max(8))
             .expect("power-of-two bounds are always valid")
+    }
+
+    /// The convolution-layer bucket policy (the wide-ceiling override).
+    pub fn conv_bucket_policy(&self) -> BucketPolicy {
+        BucketPolicy::new(8, self.conv_max_n_bucket.next_power_of_two().max(8))
+            .expect("power-of-two bounds are always valid")
+    }
+
+    /// The bucket policy a layer of the given kind is registered with — the
+    /// single source of truth shared by the engine build and the serving
+    /// benchmark's trace invariants.
+    pub fn policy_for(&self, kind: &LayerKind) -> BucketPolicy {
+        match kind {
+            LayerKind::Gemm { .. } => self.bucket_policy(),
+            LayerKind::Conv2d { .. } => self.conv_bucket_policy(),
+        }
     }
 }
 
@@ -293,11 +325,11 @@ impl ModelEngine {
         let start = Instant::now();
         let mut rng = StdRng::seed_from_u64(config.seed);
         let inventory = model_workload(model, config.batch, config.seq_len);
-        let mut serving = ServingEngine::new(
-            arch.clone(),
-            config.bucket_policy(),
-            config.plan_cache_capacity.max(1),
-        );
+        let cache = match config.plan_cache_bytes {
+            Some(bytes) => PlanCache::with_byte_budget(config.plan_cache_capacity.max(1), bytes),
+            None => PlanCache::new(config.plan_cache_capacity.max(1)),
+        };
+        let mut serving = ServingEngine::with_cache(arch.clone(), config.bucket_policy(), cache);
         let mut layers = Vec::with_capacity(inventory.len());
         for layer in &inventory {
             let (kind, m, k) = match layer.kind {
@@ -328,7 +360,13 @@ impl ModelEngine {
             };
             let v = fit_vector_size(config.vector_size, m);
             let weights = synthesize_shfl_bw(&mut rng, m, k, v, config.density)?;
-            let serving_id = serving.register_layer(&layer.name, weights);
+            // Conv layers ride a wide per-layer bucket ceiling, GEMM layers
+            // the (narrower) engine default — see EngineConfig::policy_for.
+            let serving_id = serving.register_layer_with_policy(
+                &layer.name,
+                weights,
+                config.policy_for(&layer.kind),
+            );
             layers.push(EngineLayer {
                 name: layer.name.clone(),
                 count: layer.count,
@@ -805,6 +843,61 @@ mod tests {
         assert_eq!(best.layers.len(), single.layers.len());
         let recomputed: f64 = best.layers.iter().map(LayerTiming::total_ms).sum();
         assert!((best.forward_ms - recomputed).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conv_layers_get_the_wide_bucket_ceiling_and_gemms_the_narrow_one() {
+        let engine = shared_smoke(DnnModel::Resnet50);
+        let cfg = EngineConfig::smoke();
+        let conv_idx = 0; // the stem convolution
+        assert_eq!(
+            engine
+                .serving()
+                .layer_policy(engine.layers[conv_idx].serving_id)
+                .unwrap()
+                .max_bucket(),
+            cfg.conv_bucket_policy().max_bucket()
+        );
+        let gemm_idx = engine
+            .layers
+            .iter()
+            .position(|l| matches!(l.kind, EngineLayerKind::Gemm))
+            .expect("resnet has a final linear layer");
+        assert_eq!(
+            engine
+                .serving()
+                .layer_policy(engine.layers[gemm_idx].serving_id)
+                .unwrap()
+                .max_bucket(),
+            cfg.bucket_policy().max_bucket()
+        );
+        // policy_for dispatches on the layer kind.
+        let gemm_kind = LayerKind::Gemm { m: 8, n: 8, k: 8 };
+        assert_eq!(
+            cfg.policy_for(&gemm_kind).max_bucket(),
+            cfg.bucket_policy().max_bucket()
+        );
+    }
+
+    #[test]
+    fn plan_cache_byte_budget_caps_resident_bytes() {
+        let arch = GpuArch::v100();
+        let mut cfg = EngineConfig::smoke();
+        // A budget far below one model's full plan inventory: the engine
+        // still serves every request (plans rebuild on demand), the cache
+        // just evicts by bytes.
+        cfg.plan_cache_bytes = Some(256 * 1024);
+        let engine = ModelEngine::build(DnnModel::Gnmt, &arch, &cfg).unwrap();
+        assert_eq!(engine.serving().cache().byte_budget(), 256 * 1024);
+        engine.run();
+        let resident = engine.serving().cache().resident_bytes();
+        // At most one over-budget giant may be resident on its own; with
+        // GNMT's many layers the budget forces evictions.
+        assert!(
+            resident <= 256 * 1024 || engine.serving().cache().len() == 1,
+            "resident {resident} exceeds the byte budget with multiple plans"
+        );
+        assert!(engine.cache_stats().evictions > 0);
     }
 
     #[test]

@@ -6,18 +6,33 @@
 //! 1. validate the layer id and the activation row count against the layer's
 //!    packed reduction dimension (typed [`ServingError`], no panics),
 //! 2. split the activation width into power-of-two bucket
-//!    [`Segment`]s ([`BucketPolicy::segments`]),
-//! 3. per segment, look up (or build, on a cold miss) the bucket's prepared
-//!    [`SpmmPlan`], zero-pad the segment's columns up to the bucket, execute,
-//!    and crop the result back into the assembled output.
+//!    [`Segment`]s ([`BucketPolicy::segments`] — the engine-wide policy, or a
+//!    per-layer override registered with
+//!    [`ServingEngine::register_layer_with_policy`]),
+//! 3. serve the segments in **one fused sweep** over the layer's packed
+//!    weight panels: a multi-segment request executes on the largest-bucket
+//!    plan via [`SpmmPlan::execute_segments`], which updates every output
+//!    segment while reading each packed panel once — instead of the
+//!    historical pad/split loop that re-streamed the full panel set once per
+//!    segment (49 sweeps for ResNet's 12544-column stem at the 256 ceiling).
 //!
 //! A request whose width *is* one of the buckets takes a zero-copy fast path
-//! straight through the cached plan. Padding and splitting are bit-identical
-//! to the un-bucketed execution because every output column of an SpMM
-//! depends only on its own activation column — the property tests in
-//! `tests/bucketed_vs_cold.rs` assert exact bit equality.
+//! straight through the cached plan; a narrower single-segment request is
+//! zero-padded up to its bucket. Fusing, padding and splitting are all
+//! bit-identical to the un-bucketed execution because every output column of
+//! an SpMM depends only on its own activation column and the packed panel
+//! layout does not depend on the bucket — the property tests in
+//! `tests/bucketed_vs_cold.rs` assert exact bit equality (the historical
+//! per-segment loop survives as [`ServingEngine::execute_unfused`], the
+//! re-streaming baseline those tests compare against).
+//!
+//! The engine counts the packed-panel bytes its executions stream through a
+//! [`gpu_sim::stats::TrafficCounter`]
+//! ([`ServingStats::panel_bytes_read`]) — the number `repro --bench-serving`
+//! gates on to keep the fused path honest about weight re-streaming.
 
 use crate::ServingError;
+use gpu_sim::stats::TrafficCounter;
 use gpu_sim::GpuArch;
 use shfl_core::bucket::{BucketPolicy, Segment};
 use shfl_core::formats::ShflBwMatrix;
@@ -25,10 +40,12 @@ use shfl_core::matrix::DenseMatrix;
 use shfl_kernels::cache::{PlanCache, PlanCacheStats, PlanKey};
 use shfl_kernels::plan::SpmmPlan;
 
-/// One registered layer: the packed Shfl-BW weights and a display name.
+/// One registered layer: the packed Shfl-BW weights, a display name, and the
+/// bucket policy its requests are segmented with.
 struct ServingLayer {
     name: String,
     weights: ShflBwMatrix,
+    policy: BucketPolicy,
 }
 
 /// Cumulative serving counters beyond the plan cache's hit/miss accounting.
@@ -43,6 +60,15 @@ pub struct ServingStats {
     /// Zero padding columns multiplied across all requests (the bucketing
     /// waste; `columns + padded_columns` is what the plans actually computed).
     pub padded_columns: u64,
+    /// Fused multi-segment sweeps executed (requests wider than their
+    /// layer's largest bucket, served in one panel sweep).
+    pub fused_sweeps: u64,
+    /// Packed weight-panel bytes streamed by every execution this engine ran
+    /// (fused, unfused and cold): each full panel sweep charges the plan's
+    /// [`SpmmPlan::panel_sweep_bytes`]. The fused path pays one sweep per
+    /// request where the unfused baseline pays one per segment — this
+    /// counter is how the serving benchmark proves the reduction.
+    pub panel_bytes_read: u64,
 }
 
 /// The bucketed serving engine: layer registry + plan cache + bucket policy.
@@ -55,6 +81,9 @@ pub struct ServingEngine {
     cache: PlanCache,
     layers: Vec<ServingLayer>,
     stats: std::sync::Mutex<ServingStats>,
+    /// Packed-panel bytes streamed by every execution (lock-free; folded
+    /// into [`ServingStats::panel_bytes_read`] on read).
+    panel_traffic: TrafficCounter,
 }
 
 impl ServingEngine {
@@ -62,20 +91,46 @@ impl ServingEngine {
     /// cache capacity (in plans; a natural sizing is
     /// `layers × policy.num_buckets()`).
     pub fn new(arch: GpuArch, policy: BucketPolicy, cache_capacity: usize) -> Self {
+        Self::with_cache(arch, policy, PlanCache::new(cache_capacity))
+    }
+
+    /// Creates an engine over a caller-configured [`PlanCache`] (e.g. a
+    /// byte-budgeted one, [`PlanCache::with_byte_budget`], so one huge
+    /// layer's plans cannot crowd out a mixed workload).
+    pub fn with_cache(arch: GpuArch, policy: BucketPolicy, cache: PlanCache) -> Self {
         ServingEngine {
             arch,
             policy,
-            cache: PlanCache::new(cache_capacity),
+            cache,
             layers: Vec::new(),
             stats: std::sync::Mutex::new(ServingStats::default()),
+            panel_traffic: TrafficCounter::new(),
         }
     }
 
-    /// Registers a layer's packed weights; returns the layer id requests use.
+    /// Registers a layer's packed weights under the engine-wide bucket
+    /// policy; returns the layer id requests use.
     pub fn register_layer(&mut self, name: &str, weights: ShflBwMatrix) -> usize {
+        let policy = self.policy;
+        self.register_layer_with_policy(name, weights, policy)
+    }
+
+    /// Registers a layer with its **own** bucket policy — the per-layer
+    /// ceiling override: conv layers whose unfolded operands are thousands
+    /// of columns wide get a wide ceiling (fewer, fatter segments), while
+    /// decode-style GEMM layers that never see more than a few dozen columns
+    /// stay on narrow buckets (less padding, smaller plans). Segmentation,
+    /// warming and fused execution all follow the layer's policy.
+    pub fn register_layer_with_policy(
+        &mut self,
+        name: &str,
+        weights: ShflBwMatrix,
+        policy: BucketPolicy,
+    ) -> usize {
         self.layers.push(ServingLayer {
             name: name.to_string(),
             weights,
+            policy,
         });
         self.layers.len() - 1
     }
@@ -85,9 +140,20 @@ impl ServingEngine {
         self.layers.len()
     }
 
-    /// The engine's bucket policy.
+    /// The engine-wide default bucket policy (layers registered with
+    /// [`ServingEngine::register_layer_with_policy`] may override it).
     pub fn policy(&self) -> BucketPolicy {
         self.policy
+    }
+
+    /// The bucket policy serving a layer's requests (the per-layer override,
+    /// or the engine default).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServingError::UnknownLayer`] for an unregistered id.
+    pub fn layer_policy(&self, layer: usize) -> Result<BucketPolicy, ServingError> {
+        self.layer(layer).map(|l| l.policy)
     }
 
     /// The architecture plans are built for.
@@ -147,23 +213,61 @@ impl ServingEngine {
         &self.cache
     }
 
-    /// Cumulative request / segment / padding counters.
+    /// Cumulative request / segment / padding / panel-traffic counters.
     pub fn stats(&self) -> ServingStats {
-        *self.stats.lock().expect("serving stats poisoned")
+        let mut stats = *self.stats.lock().expect("serving stats poisoned");
+        stats.panel_bytes_read = self.panel_traffic.bytes();
+        stats
+    }
+
+    /// Packed-panel bytes streamed so far by this engine's executions (one
+    /// [`SpmmPlan::panel_sweep_bytes`] charge per full panel sweep).
+    pub fn panel_bytes_read(&self) -> u64 {
+        self.panel_traffic.bytes()
+    }
+
+    /// The bucket(s) an `n`-column request of a layer actually executes on:
+    /// its single segment's bucket, or — for a multi-segment request — only
+    /// the layer's largest bucket, because the fused sweep serves every
+    /// segment on that one plan.
+    fn buckets_used(policy: BucketPolicy, segments: &[Segment]) -> Vec<usize> {
+        match segments {
+            [single] => vec![single.bucket],
+            [] => Vec::new(),
+            _ => vec![policy.max_bucket()],
+        }
     }
 
     /// Pre-builds the plans a request of `n` columns would use (warming the
-    /// cache outside the latency path, e.g. at deployment time).
+    /// cache outside the latency path, e.g. at deployment time). A
+    /// multi-segment width warms only the layer's largest bucket — the one
+    /// plan its fused sweep executes on.
     ///
     /// # Errors
     ///
     /// Returns [`ServingError::UnknownLayer`] for an unregistered id.
     pub fn warm(&self, layer: usize, n: usize) -> Result<(), ServingError> {
-        let weights = &self.layer(layer)?.weights;
-        for segment in self.policy.segments(n) {
-            self.bucket_plan(layer, weights, segment.bucket)?;
+        let entry = self.layer(layer)?;
+        let segments = entry.policy.segments(n);
+        for bucket in Self::buckets_used(entry.policy, &segments) {
+            self.bucket_plan(layer, &entry.weights, bucket)?;
         }
         Ok(())
+    }
+
+    /// Packed-panel bytes **one** full sweep over a layer's weight panels
+    /// streams — the single-sweep lower bound any execution of that layer
+    /// pays at least once, and the unit the benchmark's re-streaming gate
+    /// compares [`ServingStats::panel_bytes_read`] against.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServingError::UnknownLayer`] for an unregistered id,
+    /// [`ServingError::Kernel`] if the layer's plan cannot be built.
+    pub fn layer_panel_sweep_bytes(&self, layer: usize) -> Result<u64, ServingError> {
+        let entry = self.layer(layer)?;
+        let plan = self.bucket_plan(layer, &entry.weights, entry.policy.max_bucket())?;
+        Ok(plan.panel_sweep_bytes())
     }
 
     fn bucket_plan(
@@ -201,19 +305,23 @@ impl ServingEngine {
         Ok(entry)
     }
 
-    /// Validates a request against a layer and returns the layer + segments.
+    /// Validates a request against a layer and returns the layer + segments
+    /// (split under the layer's own bucket policy).
     fn admit(
         &self,
         layer: usize,
         activations: &DenseMatrix,
     ) -> Result<(&ServingLayer, Vec<Segment>), ServingError> {
         let entry = self.validate(layer, activations)?;
-        Ok((entry, self.policy.segments(activations.cols())))
+        Ok((entry, entry.policy.segments(activations.cols())))
     }
 
     /// Serves one request: bucketed execution of `activations` (`k × n`, any
-    /// `n`) against the layer's cached plans. The result is bit-identical to
-    /// [`ServingEngine::execute_cold`] on the same operand.
+    /// `n`) against the layer's cached plans. A multi-segment request is
+    /// served in **one fused sweep** over the packed weight panels
+    /// ([`SpmmPlan::execute_segments`] on the largest-bucket plan). The
+    /// result is bit-identical to [`ServingEngine::execute_cold`] and to the
+    /// per-segment [`ServingEngine::execute_unfused`] on the same operand.
     ///
     /// # Errors
     ///
@@ -230,7 +338,11 @@ impl ServingEngine {
     }
 
     /// [`ServingEngine::execute`] additionally returning the summed modeled
-    /// GPU time (µs) of the bucket launches the request mapped onto.
+    /// GPU time (µs) of the bucket launches the request mapped onto. For a
+    /// fused multi-segment request the modeled time is the largest-bucket
+    /// launch scaled linearly to the request's real columns — the fused
+    /// sweep streams the weights once, so its cost scales with the activation
+    /// columns, not with the segment count.
     ///
     /// # Errors
     ///
@@ -242,28 +354,43 @@ impl ServingEngine {
     ) -> Result<(DenseMatrix, f64), ServingError> {
         let (entry, segments) = self.admit(layer, activations)?;
         let n = activations.cols();
-        let m = entry.weights.rows();
         let mut modeled_us = 0.0;
         let mut padded_columns = 0u64;
+        let mut fused_sweeps = 0u64;
 
-        // Zero-copy fast path: the request width is exactly one bucket.
-        let output = if segments.len() == 1 && segments[0].bucket == n {
-            let plan = self.bucket_plan(layer, &entry.weights, n)?;
-            modeled_us += plan.profile().time_us();
-            plan.execute(activations)
-                .map_err(ServingError::Kernel)?
-                .output
-        } else {
-            let mut output = DenseMatrix::zeros(m, n);
-            for segment in &segments {
+        let output = if segments.len() <= 1 {
+            if let Some(segment) = segments.first() {
                 let plan = self.bucket_plan(layer, &entry.weights, segment.bucket)?;
                 modeled_us += plan.profile().time_us();
-                padded_columns += segment.padding() as u64;
-                let padded = activations.cols_padded(segment.start, segment.width, segment.bucket);
-                let bucket_out = plan.execute(&padded).map_err(ServingError::Kernel)?.output;
-                output.copy_cols_from(&bucket_out, segment.start, segment.width);
+                self.panel_traffic.add(plan.panel_sweep_bytes());
+                if segment.bucket == n {
+                    // Zero-copy fast path: the width is exactly one bucket.
+                    plan.execute(activations)
+                        .map_err(ServingError::Kernel)?
+                        .output
+                } else {
+                    padded_columns += segment.padding() as u64;
+                    let padded =
+                        activations.cols_padded(segment.start, segment.width, segment.bucket);
+                    let bucket_out = plan.execute(&padded).map_err(ServingError::Kernel)?.output;
+                    let mut output = DenseMatrix::zeros(entry.weights.rows(), n);
+                    output.copy_cols_from(&bucket_out, segment.start, segment.width);
+                    output
+                }
+            } else {
+                DenseMatrix::zeros(entry.weights.rows(), 0)
             }
-            output
+        } else {
+            // Fused multi-segment sweep: one pass over the packed panels
+            // updates every segment, on the largest-bucket plan. No padding
+            // columns are computed at all.
+            let plan = self.bucket_plan(layer, &entry.weights, entry.policy.max_bucket())?;
+            modeled_us += plan.profile().time_us() * (n as f64 / entry.policy.max_bucket() as f64);
+            self.panel_traffic.add(plan.panel_sweep_bytes());
+            fused_sweeps += 1;
+            plan.execute_segments(activations, &segments)
+                .map_err(ServingError::Kernel)?
+                .output
         };
 
         let mut stats = self.stats.lock().expect("serving stats poisoned");
@@ -271,7 +398,43 @@ impl ServingEngine {
         stats.segments += segments.len() as u64;
         stats.columns += n as u64;
         stats.padded_columns += padded_columns;
+        stats.fused_sweeps += fused_sweeps;
         Ok((output, modeled_us))
+    }
+
+    /// The historical per-segment execution: every bucket [`Segment`] is
+    /// zero-padded up to its bucket and executed on that bucket's plan — one
+    /// full sweep over the packed weight panels **per segment**. Kept as the
+    /// re-streaming baseline the benchmark and the property tests compare
+    /// the fused path against; bit-identical to [`ServingEngine::execute`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ServingEngine::execute`].
+    pub fn execute_unfused(
+        &self,
+        layer: usize,
+        activations: &DenseMatrix,
+    ) -> Result<DenseMatrix, ServingError> {
+        let (entry, segments) = self.admit(layer, activations)?;
+        let n = activations.cols();
+        let m = entry.weights.rows();
+        let mut output = DenseMatrix::zeros(m, n);
+        let mut padded_columns = 0u64;
+        for segment in &segments {
+            let plan = self.bucket_plan(layer, &entry.weights, segment.bucket)?;
+            self.panel_traffic.add(plan.panel_sweep_bytes());
+            padded_columns += segment.padding() as u64;
+            let padded = activations.cols_padded(segment.start, segment.width, segment.bucket);
+            let bucket_out = plan.execute(&padded).map_err(ServingError::Kernel)?.output;
+            output.copy_cols_from(&bucket_out, segment.start, segment.width);
+        }
+        let mut stats = self.stats.lock().expect("serving stats poisoned");
+        stats.requests += 1;
+        stats.segments += segments.len() as u64;
+        stats.columns += n as u64;
+        stats.padded_columns += padded_columns;
+        Ok(output)
     }
 
     /// The un-bucketed baseline and oracle: builds a fresh plan for the
@@ -291,6 +454,7 @@ impl ServingEngine {
             return Ok(DenseMatrix::zeros(entry.weights.rows(), 0));
         }
         let plan = SpmmPlan::shfl_bw(&self.arch, &entry.weights, activations.cols());
+        self.panel_traffic.add(plan.panel_sweep_bytes());
         Ok(plan
             .execute(activations)
             .map_err(ServingError::Kernel)?
@@ -374,15 +538,89 @@ mod tests {
     #[test]
     fn warm_prebuilds_the_buckets() {
         let (engine, id) = test_engine(16);
-        engine.warm(id, 40).unwrap(); // 16 + 16 + 8-bucket tail
+        // 40 columns split into 16 + 16 + an 8-bucket tail, but the fused
+        // sweep serves them all on the largest-bucket (16) plan — warming
+        // builds exactly that one plan.
+        engine.warm(id, 40).unwrap();
         let stats = engine.cache_stats();
-        assert_eq!(stats.misses, 2); // buckets 16 and 8 (second 16 hits)
-        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 0);
         let mut rng = StdRng::seed_from_u64(13);
         let acts = DenseMatrix::random(&mut rng, 24, 40);
         engine.execute(id, &acts).unwrap();
-        assert_eq!(engine.cache_stats().misses, 2);
-        assert_eq!(engine.cache_stats().hits, 4);
+        assert_eq!(engine.cache_stats().misses, 1);
+        assert_eq!(engine.cache_stats().hits, 1);
+        assert_eq!(engine.stats().fused_sweeps, 1);
+    }
+
+    #[test]
+    fn fused_execution_matches_the_unfused_per_segment_baseline() {
+        let (engine, id) = test_engine(16);
+        let mut rng = StdRng::seed_from_u64(21);
+        for n in [1, 8, 17, 40, 70] {
+            let acts = DenseMatrix::random(&mut rng, 24, n);
+            let fused = engine.execute(id, &acts).unwrap();
+            let unfused = engine.execute_unfused(id, &acts).unwrap();
+            let cold = engine.execute_cold(id, &acts).unwrap();
+            assert_eq!(fused, unfused, "n={n}");
+            assert_eq!(fused, cold, "n={n}");
+        }
+    }
+
+    #[test]
+    fn panel_bytes_count_one_sweep_per_fused_request_and_per_segment_unfused() {
+        let (engine, id) = test_engine(16);
+        let sweep = engine.layer_panel_sweep_bytes(id).unwrap();
+        assert!(sweep > 0);
+        let before = engine.panel_bytes_read();
+        let mut rng = StdRng::seed_from_u64(23);
+        // 70 columns on the 8..16 policy: 16+16+16+16 + a 6-wide tail = 5
+        // segments. Fused: one sweep. Unfused: five.
+        let acts = DenseMatrix::random(&mut rng, 24, 70);
+        engine.execute(id, &acts).unwrap();
+        let after_fused = engine.panel_bytes_read();
+        assert_eq!(after_fused - before, sweep);
+        engine.execute_unfused(id, &acts).unwrap();
+        let after_unfused = engine.panel_bytes_read();
+        assert_eq!(after_unfused - after_fused, 5 * sweep);
+        assert_eq!(engine.stats().panel_bytes_read, after_unfused);
+    }
+
+    #[test]
+    fn per_layer_policies_override_the_engine_default() {
+        let dense = DenseMatrix::from_fn(16, 24, |r, c| {
+            if (c + r / 4) % 3 == 0 {
+                0.25 + (r * 24 + c) as f32 * 0.01
+            } else {
+                0.0
+            }
+        });
+        let weights = ShflBwMatrix::from_dense(&dense, 4).unwrap();
+        let mut engine = ServingEngine::new(GpuArch::v100(), BucketPolicy::new(8, 32).unwrap(), 8);
+        let narrow = engine.register_layer_with_policy(
+            "narrow",
+            weights.clone(),
+            BucketPolicy::new(8, 8).unwrap(),
+        );
+        let wide =
+            engine.register_layer_with_policy("wide", weights, BucketPolicy::new(8, 64).unwrap());
+        assert_eq!(engine.layer_policy(narrow).unwrap().max_bucket(), 8);
+        assert_eq!(engine.layer_policy(wide).unwrap().max_bucket(), 64);
+        assert!(engine.layer_policy(99).is_err());
+        let mut rng = StdRng::seed_from_u64(31);
+        let acts = DenseMatrix::random(&mut rng, 24, 40);
+        // Same operand, divergent segmentation: 5 segments at ceiling 8
+        // (fused), 1 padded segment at ceiling 64 — and identical outputs.
+        let out_narrow = engine.execute(narrow, &acts).unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.segments, 5);
+        assert_eq!(stats.fused_sweeps, 1);
+        let out_wide = engine.execute(wide, &acts).unwrap();
+        assert_eq!(engine.stats().segments, 6);
+        assert_eq!(out_narrow, out_wide);
+        // The wide layer padded 40 up to 64; the narrow fused path padded
+        // nothing.
+        assert_eq!(engine.stats().padded_columns, 24);
     }
 
     #[test]

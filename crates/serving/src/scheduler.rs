@@ -10,6 +10,18 @@
 //! wall-clock service latency, which the serving benchmark aggregates into
 //! percentiles.
 //!
+//! A coalescing scheduler ([`Scheduler::coalescing`]) additionally performs
+//! **continuous batching**: queued requests addressing the *same layer* are
+//! column-concatenated into one wide operand, served by a single bucketed
+//! fused execute, and scattered back into per-request outputs. Because every
+//! output column of an SpMM depends only on its own activation column, the
+//! scattered results are **bit-identical** to serving each request
+//! individually (asserted by the property tests) — while the engine streams
+//! the layer's packed weight panels once per *group* instead of once per
+//! request, which is where serving engines get their biggest wins at high
+//! QPS (EIE batches exactly this way, and it is the serving-side counterpart
+//! of the fused multi-segment sweep).
+//!
 //! The paper's TileWise baseline is the cautionary tale here: its per-stream
 //! launch overhead grows with the stream count until it eats the sparse-format
 //! win. The analytical cost model already charges that per-launch overhead
@@ -49,18 +61,40 @@ pub struct Response {
     pub modeled_us: f64,
 }
 
+/// One unit of worker work: a single request, or a same-layer group served
+/// by one coalesced execute.
+enum WorkItem {
+    Single(usize),
+    Group { layer: usize, slots: Vec<usize> },
+}
+
 /// A fixed-size pool of serving workers over one shared engine.
 #[derive(Debug, Clone, Copy)]
 pub struct Scheduler {
     workers: usize,
+    coalesce: bool,
 }
 
 impl Scheduler {
     /// Creates a scheduler fanning requests across `workers` threads
-    /// (minimum 1; one worker degrades to in-order sequential service).
+    /// (minimum 1; one worker degrades to in-order sequential service), one
+    /// engine execute per request.
     pub fn new(workers: usize) -> Self {
         Scheduler {
             workers: workers.max(1),
+            coalesce: false,
+        }
+    }
+
+    /// Creates a **coalescing** scheduler: same-layer requests of a batch
+    /// are column-concatenated into one bucketed fused execute and the
+    /// results scattered back per request — bit-identical to serving them
+    /// individually, but the layer's packed weight panels stream once per
+    /// group instead of once per request.
+    pub fn coalescing(workers: usize) -> Self {
+        Scheduler {
+            workers: workers.max(1),
+            coalesce: true,
         }
     }
 
@@ -69,43 +103,61 @@ impl Scheduler {
         self.workers
     }
 
-    /// Serves a batch of requests against `engine`, fanning them across the
-    /// worker pool; responses are returned in request order.
+    /// Whether same-layer requests are coalesced into shared executes.
+    pub fn coalesces(&self) -> bool {
+        self.coalesce
+    }
+
+    /// Serves a batch of requests against `engine`; responses are returned
+    /// in request order. A plain scheduler fans requests across the worker
+    /// pool one execute per request; a coalescing scheduler first merges
+    /// same-layer requests into shared fused executes (malformed requests —
+    /// unknown layer, mismatched reduction dimension — are kept out of the
+    /// groups and fail individually with the same typed error either way).
     pub fn serve(&self, engine: &ServingEngine, requests: Vec<Request>) -> Vec<Response> {
         let total = requests.len();
         if total == 0 {
             return Vec::new();
         }
-        let queue: Mutex<std::vec::IntoIter<(usize, Request)>> = Mutex::new(
-            requests
-                .into_iter()
-                .enumerate()
-                .collect::<Vec<_>>()
-                .into_iter(),
-        );
+        let items = self.plan_items(engine, &requests);
         let results: Mutex<Vec<Option<Response>>> = Mutex::new((0..total).map(|_| None).collect());
+        let queue: Mutex<std::vec::IntoIter<WorkItem>> = Mutex::new(items.into_iter());
 
         let workers = self.workers.min(total);
         std::thread::scope(|s| {
             for _ in 0..workers {
                 s.spawn(|| loop {
                     let next = queue.lock().expect("scheduler queue poisoned").next();
-                    let Some((slot, request)) = next else {
+                    let Some(item) = next else {
                         break;
                     };
-                    let start = Instant::now();
-                    let (result, modeled_us) =
-                        match engine.execute_profiled(request.layer, &request.activations) {
-                            Ok((output, us)) => (Ok(output), us),
-                            Err(e) => (Err(e), 0.0),
-                        };
-                    let response = Response {
-                        id: request.id,
-                        result,
-                        service_ms: start.elapsed().as_secs_f64() * 1e3,
-                        modeled_us,
-                    };
-                    results.lock().expect("scheduler results poisoned")[slot] = Some(response);
+                    match item {
+                        WorkItem::Single(slot) => {
+                            let request = &requests[slot];
+                            let start = Instant::now();
+                            let (result, modeled_us) = match engine
+                                .execute_profiled(request.layer, &request.activations)
+                            {
+                                Ok((output, us)) => (Ok(output), us),
+                                Err(e) => (Err(e), 0.0),
+                            };
+                            let response = Response {
+                                id: request.id,
+                                result,
+                                service_ms: start.elapsed().as_secs_f64() * 1e3,
+                                modeled_us,
+                            };
+                            results.lock().expect("scheduler results poisoned")[slot] =
+                                Some(response);
+                        }
+                        WorkItem::Group { layer, slots } => {
+                            let responses = Self::serve_group(engine, &requests, layer, &slots);
+                            let mut results = results.lock().expect("scheduler results poisoned");
+                            for (slot, response) in slots.into_iter().zip(responses) {
+                                results[slot] = Some(response);
+                            }
+                        }
+                    }
                 });
             }
         });
@@ -116,6 +168,148 @@ impl Scheduler {
             .into_iter()
             .map(|r| r.expect("every request produces a response"))
             .collect()
+    }
+
+    /// Splits a batch into work items: per-request singles, or (when
+    /// coalescing) same-layer groups in arrival order, with malformed
+    /// requests kept as singles so they surface their own typed errors.
+    ///
+    /// Groups are **width-capped** at the layer's largest bucket and packed
+    /// first-fit-decreasing: a layer's requests, widest first, fill chunks
+    /// whose combined width fits one `max_bucket` plan. The cap keeps a
+    /// coalesced execute at most as wide as the widest plan the engine
+    /// already serves — many narrow requests still collapse into one panel
+    /// sweep, but the combined operand stays cache-resident instead of
+    /// growing with the batch (an uncapped group over a long batch builds an
+    /// operand whose activation re-reads cost more than the saved panel
+    /// sweeps). FFD packing fills buckets near-exactly, so the coalesced
+    /// chunks multiply fewer zero padding columns than per-request
+    /// bucketing. A request wider than the cap on its own still coalesces
+    /// with nothing and is served by its own fused execute.
+    ///
+    /// Coalesced items are queued heaviest-first (longest-processing-time
+    /// order): coalescing turns many small items into a few large ones, and
+    /// with a handful of groups across the worker pool a heavy group picked
+    /// up last would dominate the batch's wall-clock.
+    fn plan_items(&self, engine: &ServingEngine, requests: &[Request]) -> Vec<WorkItem> {
+        if !self.coalesce {
+            return (0..requests.len()).map(WorkItem::Single).collect();
+        }
+        let mut by_layer: Vec<(usize, Vec<usize>)> = Vec::new();
+        let mut invalid = Vec::new();
+        for (slot, request) in requests.iter().enumerate() {
+            let valid = engine
+                .layer_k(request.layer)
+                .is_ok_and(|k| request.activations.rows() == k);
+            if !valid {
+                invalid.push(WorkItem::Single(slot));
+                continue;
+            }
+            match by_layer.iter_mut().find(|(l, _)| *l == request.layer) {
+                Some((_, slots)) => slots.push(slot),
+                None => by_layer.push((request.layer, vec![slot])),
+            }
+        }
+        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+        for (layer, mut slots) in by_layer {
+            let cap = engine
+                .layer_policy(layer)
+                .expect("validated layer")
+                .max_bucket();
+            // First-fit-decreasing: widest requests open chunks, narrower
+            // ones fill the gaps up to the cap.
+            slots.sort_by_key(|&s| std::cmp::Reverse(requests[s].activations.cols()));
+            let mut chunks: Vec<(usize, Vec<usize>)> = Vec::new();
+            for slot in slots {
+                let width = requests[slot].activations.cols();
+                match chunks.iter_mut().find(|(total, _)| *total + width <= cap) {
+                    Some((total, chunk)) => {
+                        *total += width;
+                        chunk.push(slot);
+                    }
+                    None => chunks.push((width, vec![slot])),
+                }
+            }
+            groups.extend(chunks.into_iter().map(|(_, chunk)| (layer, chunk)));
+        }
+        // LPT order: estimated cost = the layer's GEMM work per column
+        // (m × k) times the group's total columns.
+        let cost = |layer: usize, slots: &[usize]| -> u128 {
+            let per_column = engine.layer_m(layer).unwrap_or(1) as u128
+                * engine.layer_k(layer).unwrap_or(1) as u128;
+            let columns: u128 = slots
+                .iter()
+                .map(|&s| requests[s].activations.cols() as u128)
+                .sum();
+            per_column * columns
+        };
+        groups.sort_by_key(|(layer, slots)| std::cmp::Reverse(cost(*layer, slots)));
+        let mut items: Vec<WorkItem> = groups
+            .into_iter()
+            .map(|(layer, slots)| {
+                if slots.len() == 1 {
+                    // A lone request gains nothing from the concat/scatter
+                    // copies.
+                    WorkItem::Single(slots[0])
+                } else {
+                    WorkItem::Group { layer, slots }
+                }
+            })
+            .collect();
+        // Malformed requests error out without compute; serve them last.
+        items.extend(invalid);
+        items
+    }
+
+    /// Serves one same-layer group: column-concatenate, one fused execute,
+    /// scatter the output columns back per request. Each request reports the
+    /// group's wall-clock as its service latency (it waited for the shared
+    /// execute) and a width-proportional share of the modeled GPU time.
+    fn serve_group(
+        engine: &ServingEngine,
+        requests: &[Request],
+        layer: usize,
+        slots: &[usize],
+    ) -> Vec<Response> {
+        let parts: Vec<&DenseMatrix> = slots.iter().map(|&s| &requests[s].activations).collect();
+        let start = Instant::now();
+        let combined =
+            DenseMatrix::concat_cols(&parts).expect("coalesced group operands share the layer's k");
+        let total_cols = combined.cols();
+        let executed = engine.execute_profiled(layer, &combined);
+        let service_ms = start.elapsed().as_secs_f64() * 1e3;
+        match executed {
+            Ok((output, us)) => {
+                let mut col = 0;
+                slots
+                    .iter()
+                    .map(|&s| {
+                        let width = requests[s].activations.cols();
+                        let result = output.cols_padded(col, width, width);
+                        col += width;
+                        Response {
+                            id: requests[s].id,
+                            result: Ok(result),
+                            service_ms,
+                            modeled_us: if total_cols == 0 {
+                                0.0
+                            } else {
+                                us * width as f64 / total_cols as f64
+                            },
+                        }
+                    })
+                    .collect()
+            }
+            Err(e) => slots
+                .iter()
+                .map(|&s| Response {
+                    id: requests[s].id,
+                    result: Err(e.clone()),
+                    service_ms,
+                    modeled_us: 0.0,
+                })
+                .collect(),
+        }
     }
 }
 
@@ -230,6 +424,107 @@ mod tests {
     fn empty_batches_are_a_noop() {
         let engine = engine_with_layers(1);
         assert!(Scheduler::new(4).serve(&engine, Vec::new()).is_empty());
+        assert!(Scheduler::coalescing(4)
+            .serve(&engine, Vec::new())
+            .is_empty());
         assert_eq!(Scheduler::new(0).workers(), 1);
+        assert!(!Scheduler::new(2).coalesces());
+        assert!(Scheduler::coalescing(2).coalesces());
+    }
+
+    #[test]
+    fn coalesced_batches_are_bit_identical_to_individual_service() {
+        let engine = engine_with_layers(3);
+        let mut rng = StdRng::seed_from_u64(41);
+        let requests: Vec<Request> = (0..24)
+            .map(|i| Request {
+                id: i,
+                layer: (i % 3) as usize,
+                activations: DenseMatrix::random(&mut rng, 16, 1 + (i as usize * 11) % 45),
+            })
+            .collect();
+        let individual: Vec<DenseMatrix> = requests
+            .iter()
+            .map(|r| engine.execute(r.layer, &r.activations).unwrap())
+            .collect();
+        let before = engine.stats().requests;
+        let responses = Scheduler::coalescing(4).serve(&engine, requests);
+        // Same-layer requests collapse into width-capped shared executes:
+        // far fewer engine calls than requests (the exact count depends on
+        // how the widths pack under the layer's max-bucket cap).
+        assert!(engine.stats().requests - before < 24);
+        for (resp, expected) in responses.iter().zip(individual.iter()) {
+            let got = resp.result.as_ref().unwrap();
+            assert_eq!(got.shape(), expected.shape());
+            let got_bits: Vec<u32> = got.as_slice().iter().map(|v| v.to_bits()).collect();
+            let exp_bits: Vec<u32> = expected.as_slice().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got_bits, exp_bits, "request {}", resp.id);
+            assert!(resp.service_ms >= 0.0);
+            assert!(resp.modeled_us > 0.0);
+        }
+    }
+
+    #[test]
+    fn coalescing_keeps_malformed_requests_out_of_the_groups() {
+        let engine = engine_with_layers(1);
+        let mut rng = StdRng::seed_from_u64(43);
+        let requests = vec![
+            Request {
+                id: 0,
+                layer: 0,
+                activations: DenseMatrix::random(&mut rng, 16, 4),
+            },
+            Request {
+                id: 1,
+                layer: 9, // unknown layer
+                activations: DenseMatrix::zeros(16, 4),
+            },
+            Request {
+                id: 2,
+                layer: 0,
+                activations: DenseMatrix::zeros(15, 4), // k mismatch
+            },
+            Request {
+                id: 3,
+                layer: 0,
+                activations: DenseMatrix::random(&mut rng, 16, 7),
+            },
+        ];
+        let responses = Scheduler::coalescing(2).serve(&engine, requests);
+        assert!(responses[0].result.is_ok());
+        assert_eq!(
+            responses[1].result.as_ref().unwrap_err(),
+            &ServingError::UnknownLayer { layer: 9 }
+        );
+        assert!(matches!(
+            responses[2].result.as_ref().unwrap_err(),
+            ServingError::KMismatch {
+                expected: 16,
+                got: 15,
+                ..
+            }
+        ));
+        assert!(responses[3].result.is_ok());
+    }
+
+    #[test]
+    fn coalescing_handles_zero_width_requests() {
+        let engine = engine_with_layers(1);
+        let mut rng = StdRng::seed_from_u64(47);
+        let requests = vec![
+            Request {
+                id: 0,
+                layer: 0,
+                activations: DenseMatrix::zeros(16, 0),
+            },
+            Request {
+                id: 1,
+                layer: 0,
+                activations: DenseMatrix::random(&mut rng, 16, 5),
+            },
+        ];
+        let responses = Scheduler::coalescing(2).serve(&engine, requests);
+        assert_eq!(responses[0].result.as_ref().unwrap().shape(), (16, 0));
+        assert_eq!(responses[1].result.as_ref().unwrap().shape(), (16, 5));
     }
 }

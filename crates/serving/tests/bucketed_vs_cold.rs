@@ -51,14 +51,22 @@ fn bits(m: &DenseMatrix) -> Vec<u32> {
     m.as_slice().iter().map(|v| v.to_bits()).collect()
 }
 
-/// Builds an engine + oracle pair and asserts the bucketed execution equals
-/// the cold exact-width execution bit for bit for width `n`.
+/// Builds an engine + oracle pair and asserts the bucketed (fused) execution
+/// equals both the per-segment unfused baseline and the cold exact-width
+/// execution bit for bit for width `n`.
 fn assert_bucketed_matches_cold(engine: &ServingEngine, layer: usize, rng: &mut StdRng, n: usize) {
     let k = engine.layer_k(layer).unwrap();
     let acts = DenseMatrix::random(rng, k, n);
     let bucketed = engine.execute(layer, &acts).unwrap();
+    let unfused = engine.execute_unfused(layer, &acts).unwrap();
     let cold = engine.execute_cold(layer, &acts).unwrap();
     assert_eq!(bucketed.shape(), cold.shape());
+    assert_eq!(
+        bits(&bucketed),
+        bits(&unfused),
+        "fused vs per-segment mismatch at n={n} (policy {:?})",
+        engine.policy()
+    );
     assert_eq!(
         bits(&bucketed),
         bits(&cold),
@@ -101,6 +109,88 @@ fn boundary_widths_are_bit_identical_including_n1_and_bucket_plus_one() {
     }
     // The cache never grew past the policy's bucket count for one layer.
     assert!(engine.cache().len() <= engine.policy().num_buckets());
+}
+
+#[test]
+fn fused_multi_segment_sweep_is_bit_identical_and_streams_panels_once() {
+    let weights = synth_shfl_bw(17, 48, 56, 8, 0.35);
+    let mut engine = ServingEngine::new(GpuArch::v100(), BucketPolicy::new(8, 16).unwrap(), 16);
+    let layer = engine.register_layer("fused", weights);
+    let mut rng = StdRng::seed_from_u64(1717);
+    // ≥4-segment widths (the re-streaming shapes), plus a boundary case one
+    // past a multiple of the ceiling.
+    for n in [64, 65, 70, 100] {
+        assert_bucketed_matches_cold(&engine, layer, &mut rng, n);
+    }
+    // Counter check: a 5-segment width costs one sweep fused, five unfused.
+    let sweep = engine.layer_panel_sweep_bytes(layer).unwrap();
+    let acts = DenseMatrix::random(&mut rng, 56, 70);
+    let before = engine.panel_bytes_read();
+    engine.execute(layer, &acts).unwrap();
+    assert_eq!(engine.panel_bytes_read() - before, sweep);
+    let before = engine.panel_bytes_read();
+    engine.execute_unfused(layer, &acts).unwrap();
+    assert_eq!(engine.panel_bytes_read() - before, 5 * sweep);
+}
+
+#[test]
+fn per_layer_policy_overrides_stay_bit_identical() {
+    let weights = synth_shfl_bw(27, 32, 48, 4, 0.4);
+    let mut engine = ServingEngine::new(GpuArch::a100(), BucketPolicy::new(8, 256).unwrap(), 16);
+    let narrow = engine.register_layer_with_policy(
+        "narrow",
+        weights.clone(),
+        BucketPolicy::new(8, 16).unwrap(),
+    );
+    let wide =
+        engine.register_layer_with_policy("wide", weights, BucketPolicy::new(64, 512).unwrap());
+    let mut rng = StdRng::seed_from_u64(2727);
+    for n in [1, 15, 16, 17, 63, 64, 65, 130] {
+        assert_bucketed_matches_cold(&engine, narrow, &mut rng, n);
+        assert_bucketed_matches_cold(&engine, wide, &mut rng, n);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Continuous batching: coalesced same-layer groups must reproduce each
+    /// request's individual cold-oracle output bit for bit, across mixed
+    /// layers and widths (N = 1, bucket boundaries, multi-segment).
+    #[test]
+    fn coalesced_scheduling_is_bit_identical_to_individual_requests(
+        (seed, a, b, c, d) in (0u64..500, 1usize..90, 1usize..90, 1usize..90, 2usize..9)
+    ) {
+        // `d` requests with widths derived from (a, b): covers N = 1, bucket
+        // boundaries and multi-segment widths across two layers.
+        let sizes: Vec<usize> = (0..d).map(|i| 1 + (a * (i + 1) + b * i * i + c) % 89).collect();
+        let mut engine = ServingEngine::new(
+            GpuArch::v100(),
+            BucketPolicy::new(8, 32).unwrap(),
+            16,
+        );
+        let layer_a = engine.register_layer("a", synth_shfl_bw(seed, 24, 40, 4, 0.4));
+        let layer_b = engine.register_layer("b", synth_shfl_bw(seed ^ 1, 24, 40, 8, 0.3));
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x77);
+        let requests: Vec<Request> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| Request {
+                id: i as u64,
+                layer: if i % 2 == 0 { layer_a } else { layer_b },
+                activations: DenseMatrix::random(&mut rng, 40, n),
+            })
+            .collect();
+        let oracles: Vec<DenseMatrix> = requests
+            .iter()
+            .map(|r| engine.execute_cold(r.layer, &r.activations).unwrap())
+            .collect();
+        let responses = Scheduler::coalescing(3).serve(&engine, requests);
+        for (resp, oracle) in responses.iter().zip(oracles.iter()) {
+            let out = resp.result.as_ref().unwrap();
+            prop_assert_eq!(bits(out), bits(oracle), "request {}", resp.id);
+        }
+    }
 }
 
 #[test]
