@@ -585,34 +585,61 @@ pub fn to_json(run: &BenchRun) -> String {
     out.push_str("  \"models\": [\n");
     for (i, m) in run.models.iter().enumerate() {
         let serving = match &m.serving {
-            Some(s) => format!(
-                ", \"serving\": {{\"forwards\": {}, \"hit_rate\": {:.4}, \
-                 \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \
-                 \"throughput\": {:.2}, \"cold_throughput\": {:.2}, \
-                 \"bit_identical\": {}, \"mt_workers\": {}, \"mt_requests\": {}, \
-                 \"mt_wall_ms\": {:.3}, \"panel_segments\": {}, \
-                 \"panel_sweep_bytes\": {}, \"panel_bytes_fused\": {}, \
-                 \"panel_bytes_segmented\": {}, \"coalesced_requests\": {}, \
-                 \"coalesced_wall_ms\": {:.3}, \"coalesced_bit_identical\": {}}}",
-                s.forwards,
-                s.hit_rate,
-                s.p50_ms,
-                s.p95_ms,
-                s.p99_ms,
-                s.throughput,
-                s.cold_throughput,
-                s.bit_identical,
-                s.mt_workers,
-                s.mt_requests,
-                s.mt_wall_ms,
-                s.panel_segments,
-                s.panel_sweep_bytes,
-                s.panel_bytes_fused,
-                s.panel_bytes_segmented,
-                s.coalesced_requests,
-                s.coalesced_wall_ms,
-                s.coalesced_bit_identical,
-            ),
+            Some(s) => {
+                let c = &s.continuous;
+                format!(
+                    ", \"serving\": {{\"forwards\": {}, \"hit_rate\": {:.4}, \
+                     \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \
+                     \"throughput\": {:.2}, \"cold_throughput\": {:.2}, \
+                     \"bit_identical\": {}, \"mt_workers\": {}, \"mt_requests\": {}, \
+                     \"mt_wall_ms\": {:.3}, \"panel_segments\": {}, \
+                     \"panel_sweep_bytes\": {}, \"panel_bytes_fused\": {}, \
+                     \"panel_bytes_segmented\": {}, \"coalesced_requests\": {}, \
+                     \"coalesced_wall_ms\": {:.3}, \"coalesced_bit_identical\": {}, \
+                     \"continuous\": {{\"layers\": {}, \"requests\": {}, \
+                     \"window_us\": {}, \"windowed_wall_ms\": {:.3}, \
+                     \"zero_wall_ms\": {:.3}, \"bit_identical\": {}, \
+                     \"windowed_groups\": {}, \"coalesced_requests\": {}, \
+                     \"windowed_panel_bytes\": {}, \"zero_panel_bytes\": {}, \
+                     \"deadline_p50_ms\": {:.3}, \"deadline_p99_ms\": {:.3}, \
+                     \"standard_p99_ms\": {:.3}, \"bulk_p50_ms\": {:.3}, \
+                     \"bulk_p99_ms\": {:.3}, \"best_cap\": {}}}}}",
+                    s.forwards,
+                    s.hit_rate,
+                    s.p50_ms,
+                    s.p95_ms,
+                    s.p99_ms,
+                    s.throughput,
+                    s.cold_throughput,
+                    s.bit_identical,
+                    s.mt_workers,
+                    s.mt_requests,
+                    s.mt_wall_ms,
+                    s.panel_segments,
+                    s.panel_sweep_bytes,
+                    s.panel_bytes_fused,
+                    s.panel_bytes_segmented,
+                    s.coalesced_requests,
+                    s.coalesced_wall_ms,
+                    s.coalesced_bit_identical,
+                    c.layers,
+                    c.requests,
+                    c.window_us,
+                    c.windowed_wall_ms,
+                    c.zero_wall_ms,
+                    c.bit_identical,
+                    c.windowed_groups,
+                    c.coalesced_requests,
+                    c.windowed_panel_bytes,
+                    c.zero_panel_bytes,
+                    c.deadline_p50_ms,
+                    c.deadline_p99_ms,
+                    c.standard_p99_ms,
+                    c.bulk_p50_ms,
+                    c.bulk_p99_ms,
+                    c.best_cap,
+                )
+            }
             None => String::new(),
         };
         out.push_str(&format!(

@@ -34,15 +34,32 @@
 //!    a coalescing scheduler (same-layer requests column-concatenated into
 //!    shared fused executes): outputs must be bit-identical to the
 //!    uncoalesced fan-out, and the coalesced wall-clock must not lose to the
-//!    uncoalesced one (full mode; smoke allows 10% noise).
+//!    uncoalesced one (full mode; smoke allows 10% noise), and
+//! 8. **continuous batching** — the model's linear layers served through the
+//!    [`shfl_serving::server::Server`]: requests submitted **one at a time**
+//!    with Poisson-ish staggered gaps and mixed priority classes
+//!    (deadline / standard / bulk), once through a server holding a nonzero
+//!    admission window (SLO-aware dispatch, cross-arrival coalescing) and
+//!    once through the zero-window uncoalesced baseline (the old
+//!    dispatch-immediately shape). Gated on bit-identity against per-request
+//!    cold execution in every mode; in full mode also on the windowed
+//!    configuration coalescing across arrivals (counter-verified via
+//!    panel bytes and group stats), on aggregate throughput not losing to
+//!    the zero-window baseline, and on deadline-class p99 staying below
+//!    bulk-class p99 under the same load. A coalescing-cap sweep rides along
+//!    and logs the best cap for this box.
 
 use gpu_sim::GpuArch;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use shfl_core::matrix::DenseMatrix;
+use shfl_core::slo::{SloClass, SloKind};
 use shfl_models::engine::{EngineConfig, ModelEngine};
 use shfl_models::DnnModel;
+use shfl_serving::policy::{Fifo, SloAware};
 use shfl_serving::scheduler::{Request, Scheduler};
+use shfl_serving::server::ServerConfig;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Nearest-rank percentile of an unsorted sample (`q` in `[0, 1]`).
@@ -104,6 +121,74 @@ pub struct ServingBenchResult {
     /// Whether the coalesced responses were bit-identical to the
     /// uncoalesced fan-out responses.
     pub coalesced_bit_identical: bool,
+    /// Continuous-batching server sub-trace (staggered arrivals, mixed
+    /// priority classes, windowed vs zero-window).
+    pub continuous: ContinuousBenchResult,
+}
+
+/// Numbers of the continuous-batching server sub-trace of one model.
+#[derive(Debug, Clone)]
+pub struct ContinuousBenchResult {
+    /// Distinct linear layers the trace submits against.
+    pub layers: usize,
+    /// Requests submitted (one at a time) per server run.
+    pub requests: usize,
+    /// Admission window of the windowed configuration, µs.
+    pub window_us: u64,
+    /// First-submit→drained wall of the windowed SLO-aware server, ms.
+    pub windowed_wall_ms: f64,
+    /// Same trace through the zero-window uncoalesced baseline, ms.
+    pub zero_wall_ms: f64,
+    /// Whether windowed responses were bit-identical to per-request cold
+    /// execution of the same operands.
+    pub bit_identical: bool,
+    /// Ready groups the windowed server dispatched (< `requests` when
+    /// arrivals coalesced).
+    pub windowed_groups: u64,
+    /// Requests the windowed server served inside shared (coalesced)
+    /// executes.
+    pub coalesced_requests: u64,
+    /// Packed-panel bytes the windowed run streamed.
+    pub windowed_panel_bytes: u64,
+    /// Packed-panel bytes the zero-window baseline streamed on the same
+    /// trace.
+    pub zero_panel_bytes: u64,
+    /// Deadline-class end-to-end latency percentiles, ms.
+    pub deadline_p50_ms: f64,
+    /// Deadline-class p99, ms.
+    pub deadline_p99_ms: f64,
+    /// Standard-class p99, ms.
+    pub standard_p99_ms: f64,
+    /// Bulk-class p50, ms.
+    pub bulk_p50_ms: f64,
+    /// Bulk-class p99, ms.
+    pub bulk_p99_ms: f64,
+    /// Coalescing-cap sweep: (cap columns, batch wall ms) per candidate
+    /// (empty in smoke mode).
+    pub cap_sweep: Vec<(usize, f64)>,
+    /// The cap with the best batch wall on this box (the layer default when
+    /// the sweep was skipped).
+    pub best_cap: usize,
+}
+
+impl ContinuousBenchResult {
+    /// Aggregate-throughput speedup of the windowed configuration over the
+    /// zero-window baseline (same submission pattern, so the wall ratio).
+    pub fn window_speedup(&self) -> f64 {
+        if self.windowed_wall_ms <= 0.0 {
+            return 0.0;
+        }
+        self.zero_wall_ms / self.windowed_wall_ms
+    }
+
+    /// Panel-byte reduction of windowed coalescing over the zero-window
+    /// baseline.
+    pub fn panel_reduction(&self) -> f64 {
+        if self.windowed_panel_bytes == 0 {
+            return 0.0;
+        }
+        self.zero_panel_bytes as f64 / self.windowed_panel_bytes as f64
+    }
 }
 
 impl ServingBenchResult {
@@ -383,6 +468,8 @@ fn run_model(
         "fused and per-segment probe outputs must be identical"
     );
 
+    let continuous = run_continuous(&engine, model, cfg, quick);
+
     ServingBenchResult {
         model: model.name().to_string(),
         unit,
@@ -412,6 +499,271 @@ fn run_model(
         coalesced_requests,
         coalesced_wall_ms,
         coalesced_bit_identical,
+        continuous,
+    }
+}
+
+/// The SLO-class mix of the continuous trace: a quarter deadline-bound, a
+/// quarter standard, half bulk — enough load in every class for percentiles,
+/// with bulk dominating so class-aware dispatch has something to displace.
+fn continuous_class(index: usize) -> SloClass {
+    match index % 4 {
+        0 => SloClass::Deadline {
+            deadline_us: 10_000,
+        },
+        1 => SloClass::Bulk,
+        2 => SloClass::Standard,
+        _ => SloClass::Bulk,
+    }
+}
+
+/// The continuous-batching sub-trace: the model's linear-layer request mix
+/// submitted **one request at a time** with deterministic Poisson-ish gaps
+/// and mixed SLO classes, through two server configurations over the same
+/// engine:
+///
+/// * **windowed** — a nonzero admission window, SLO-aware dispatch,
+///   cross-arrival coalescing at the layer-default cap, and
+/// * **zero-window** — dispatch-immediately, no coalescing: the shape of the
+///   old batch scheduler serving arrivals individually, i.e. what serving
+///   this arrival pattern cost before the server existed.
+///
+/// Both runs measure first-submit→drained wall (identical submission gaps,
+/// so the wall ratio is the aggregate-throughput ratio) and the engine's
+/// packed-panel byte counter around the run (the counter-verified proof that
+/// the window coalesced across arrivals). Windowed responses are compared
+/// bit-for-bit against per-request **cold** execution of the same operands
+/// (first repetition; later repetitions against the bucketed path, itself
+/// gated bit-identical to cold elsewhere in this benchmark). A
+/// coalescing-cap sweep over the same request set (atomic batch, zero
+/// window) logs the best cap for this box in full mode.
+fn run_continuous(
+    engine: &ModelEngine,
+    model: DnnModel,
+    cfg: &EngineConfig,
+    quick: bool,
+) -> ContinuousBenchResult {
+    let serving = engine.serving();
+    let gemm_layers = engine.gemm_layer_indices();
+    let window_us: u64 = if quick { 200 } else { 8_000 };
+    let default_cap = cfg.bucket_policy().max_bucket();
+    if gemm_layers.is_empty() {
+        return ContinuousBenchResult {
+            layers: 0,
+            requests: 0,
+            window_us,
+            windowed_wall_ms: 0.0,
+            zero_wall_ms: 0.0,
+            bit_identical: true,
+            windowed_groups: 0,
+            coalesced_requests: 0,
+            windowed_panel_bytes: 0,
+            zero_panel_bytes: 0,
+            deadline_p50_ms: 0.0,
+            deadline_p99_ms: 0.0,
+            standard_p99_ms: 0.0,
+            bulk_p50_ms: 0.0,
+            bulk_p99_ms: 0.0,
+            cap_sweep: Vec::new(),
+            best_cap: default_cap,
+        };
+    }
+
+    // One (layer, width) spec per linear layer per trace batch size,
+    // repeated `reps` times with fresh activations — the mixed-width
+    // workload arrivals cycle through.
+    let (_, timed) = trace_batches(model, quick);
+    let batches = &timed[..timed.len().min(4)];
+    let mut specs: Vec<(usize, usize)> = Vec::new();
+    for &batch in batches {
+        let inventory = shfl_models::model_workload(model, batch, cfg.seq_len);
+        for &layer in &gemm_layers {
+            let (_, n, _) = inventory[layer].kind.gemm_shape();
+            specs.push((layer, n));
+        }
+    }
+    let reps = if quick { 2 } else { 4 };
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xc0a1);
+    let mut requests = Vec::with_capacity(specs.len() * reps);
+    for _ in 0..reps {
+        for &(layer, n) in &specs {
+            let k = serving.layer_k(layer).expect("registered layer");
+            requests.push(Request {
+                id: requests.len() as u64,
+                layer,
+                activations: DenseMatrix::random(&mut rng, k, n),
+            });
+        }
+    }
+    // Deterministic Poisson-ish inter-arrival gaps (exponential via inverse
+    // CDF, capped); zero in smoke mode — the gaps only matter for the
+    // wall-clock gates, which smoke skips.
+    let gaps_us: Vec<u64> = (0..requests.len())
+        .map(|_| {
+            if quick {
+                0
+            } else {
+                let u: f64 = rng.gen_range(0.0..1.0);
+                ((-(1.0 - u).ln()) * 120.0).min(600.0) as u64
+            }
+        })
+        .collect();
+
+    // Steady state: warm every bucket the trace (or a coalesced group of it)
+    // can land on, like the rest of this benchmark excludes compulsory plan
+    // builds from timed windows.
+    for &layer in &gemm_layers {
+        let policy = serving.layer_policy(layer).expect("registered layer");
+        for bucket in policy.buckets() {
+            serving.warm(layer, bucket).expect("warm plan builds");
+        }
+    }
+
+    // Expected outputs: per-request cold execution for the first repetition
+    // (fresh exact-width plans — the strongest oracle), the bucketed path
+    // for later repetitions (itself gated bit-identical to cold).
+    let expected: Vec<DenseMatrix> = requests
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            if i < specs.len() {
+                serving.execute_cold(r.layer, &r.activations)
+            } else {
+                serving.execute(r.layer, &r.activations)
+            }
+            .expect("trace request executes")
+        })
+        .collect();
+
+    let submit_all = |server: &shfl_serving::server::Server,
+                      requests: Vec<Request>|
+     -> (Vec<shfl_serving::server::Ticket>, f64) {
+        let start = Instant::now();
+        let tickets: Vec<_> = requests
+            .into_iter()
+            .enumerate()
+            .map(|(i, request)| {
+                if gaps_us[i] > 0 {
+                    std::thread::sleep(std::time::Duration::from_micros(gaps_us[i]));
+                }
+                let class = continuous_class(i);
+                server
+                    .submit_classed(request, class)
+                    .expect("queue sized to the trace")
+            })
+            .collect();
+        server.drain();
+        (tickets, start.elapsed().as_secs_f64() * 1e3)
+    };
+
+    // Windowed, SLO-aware, coalescing server.
+    let server = engine.server(
+        ServerConfig::new()
+            .with_workers(4)
+            .with_admission_window_us(window_us)
+            .with_queue_depth(requests.len())
+            .with_policy(Arc::new(SloAware)),
+    );
+    let before = serving.panel_bytes_read();
+    let (tickets, windowed_wall_ms) = submit_all(&server, requests.clone());
+    let windowed_panel_bytes = serving.panel_bytes_read() - before;
+    let mut bit_identical = true;
+    for (ticket, want) in tickets.into_iter().zip(expected.iter()) {
+        let got = ticket
+            .try_take()
+            .expect("drained server delivered every ticket")
+            .result
+            .expect("trace requests are well-formed");
+        bit_identical &= got.shape() == want.shape()
+            && got
+                .as_slice()
+                .iter()
+                .zip(want.as_slice().iter())
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+    }
+    let stats = server.stats();
+    server.shutdown();
+
+    // Zero-window uncoalesced baseline: every arrival dispatched
+    // immediately on its own — the old per-request serving shape.
+    let baseline = engine.server(
+        ServerConfig::new()
+            .with_workers(4)
+            .with_admission_window_us(0)
+            .with_coalesce(false)
+            .with_queue_depth(requests.len())
+            .with_policy(Arc::new(Fifo)),
+    );
+    let before = serving.panel_bytes_read();
+    let (tickets, zero_wall_ms) = submit_all(&baseline, requests.clone());
+    let zero_panel_bytes = serving.panel_bytes_read() - before;
+    for ticket in tickets {
+        let _ = ticket.try_take().expect("drained");
+    }
+    baseline.shutdown();
+
+    // Coalescing-cap sweep (full mode): the same request set as one atomic
+    // batch through zero-window coalescing servers at different caps,
+    // interleaved best-of-2 — logs where this box's activation-reuse /
+    // panel-sweep trade-off lands.
+    let mut cap_sweep = Vec::new();
+    let mut best_cap = default_cap;
+    if !quick {
+        let caps = [
+            (default_cap / 2).max(8),
+            default_cap,
+            default_cap * 2,
+            default_cap * 4,
+        ];
+        let mut walls = vec![f64::MAX; caps.len()];
+        for _ in 0..2 {
+            for (i, &cap) in caps.iter().enumerate() {
+                let server = engine.server(
+                    ServerConfig::new()
+                        .with_workers(4)
+                        .with_coalesce_cap(cap)
+                        .with_queue_depth(requests.len())
+                        .with_policy(Arc::new(Fifo)),
+                );
+                let batch = requests.clone();
+                let start = Instant::now();
+                let tickets = server
+                    .submit_batch(batch)
+                    .expect("queue sized to the batch");
+                for ticket in tickets {
+                    let _ = ticket.wait();
+                }
+                walls[i] = walls[i].min(start.elapsed().as_secs_f64() * 1e3);
+                server.shutdown();
+            }
+        }
+        cap_sweep = caps.iter().copied().zip(walls.iter().copied()).collect();
+        best_cap = caps[walls
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("walls are finite"))
+            .map(|(i, _)| i)
+            .unwrap_or(1)];
+    }
+
+    ContinuousBenchResult {
+        layers: gemm_layers.len(),
+        requests: requests.len(),
+        window_us,
+        windowed_wall_ms,
+        zero_wall_ms,
+        bit_identical,
+        windowed_groups: stats.dispatched_groups,
+        coalesced_requests: stats.coalesced_requests,
+        windowed_panel_bytes,
+        zero_panel_bytes,
+        deadline_p50_ms: stats.class_percentile_ms(SloKind::Deadline, 0.50),
+        deadline_p99_ms: stats.class_percentile_ms(SloKind::Deadline, 0.99),
+        standard_p99_ms: stats.class_percentile_ms(SloKind::Standard, 0.99),
+        bulk_p50_ms: stats.class_percentile_ms(SloKind::Bulk, 0.50),
+        bulk_p99_ms: stats.class_percentile_ms(SloKind::Bulk, 0.99),
+        cap_sweep,
+        best_cap,
     }
 }
 
@@ -459,6 +811,54 @@ pub fn to_table(results: &[ServingBenchResult]) -> String {
             r.coalesced_requests,
             r.coalescing_speedup(),
             r.coalesced_bit_identical,
+        ));
+    }
+    out.push_str(
+        "\nContinuous batching: windowed SLO-aware Server vs zero-window per-request baseline\n\
+         model        | lyr | reqs | window  | windowed   | zero-win   | speedup | groups | coal reqs | panel cut | dl p50/p99 ms     | bulk p50/p99 ms   | bit-id\n\
+         -------------+-----+------+---------+------------+------------+---------+--------+-----------+-----------+-------------------+-------------------+-------\n",
+    );
+    for r in results {
+        let c = &r.continuous;
+        out.push_str(&format!(
+            "{:12} | {:3} | {:4} | {:4} us | {:7.1} ms | {:7.1} ms | {:6.2}x | {:6} | {:9} | {:8.2}x | {:7.2} / {:7.2} | {:7.2} / {:7.2} | {}\n",
+            r.model,
+            c.layers,
+            c.requests,
+            c.window_us,
+            c.windowed_wall_ms,
+            c.zero_wall_ms,
+            c.window_speedup(),
+            c.windowed_groups,
+            c.coalesced_requests,
+            c.panel_reduction(),
+            c.deadline_p50_ms,
+            c.deadline_p99_ms,
+            c.bulk_p50_ms,
+            c.bulk_p99_ms,
+            c.bit_identical,
+        ));
+    }
+    let mut swept = false;
+    for r in results {
+        if r.continuous.cap_sweep.is_empty() {
+            continue;
+        }
+        if !swept {
+            out.push_str("\nCoalescing-cap sweep (atomic batch, zero window; best cap per model for this box)\n");
+            swept = true;
+        }
+        let sweep: Vec<String> = r
+            .continuous
+            .cap_sweep
+            .iter()
+            .map(|(cap, ms)| format!("{cap}: {ms:.1} ms"))
+            .collect();
+        out.push_str(&format!(
+            "{:12} | best cap {:4} | {}\n",
+            r.model,
+            r.continuous.best_cap,
+            sweep.join(" | ")
         ));
     }
     out
@@ -566,13 +966,36 @@ mod tests {
             coalesced_requests: 64,
             coalesced_wall_ms: 61.7,
             coalesced_bit_identical: true,
+            continuous: ContinuousBenchResult {
+                layers: 6,
+                requests: 96,
+                window_us: 8_000,
+                windowed_wall_ms: 50.0,
+                zero_wall_ms: 100.0,
+                bit_identical: true,
+                windowed_groups: 30,
+                coalesced_requests: 80,
+                windowed_panel_bytes: 1000,
+                zero_panel_bytes: 4000,
+                deadline_p50_ms: 9.0,
+                deadline_p99_ms: 12.0,
+                standard_p99_ms: 20.0,
+                bulk_p50_ms: 18.0,
+                bulk_p99_ms: 30.0,
+                cap_sweep: vec![(128, 70.0), (256, 60.0), (512, 65.0)],
+                best_cap: 256,
+            },
         }];
         assert!((results[0].speedup_vs_cold() - 1.4).abs() < 1e-12);
         assert!((results[0].panel_restream_ratio() - 5.0).abs() < 1e-12);
         assert!((results[0].coalescing_speedup() - 2.0).abs() < 1e-12);
+        assert!((results[0].continuous.window_speedup() - 2.0).abs() < 1e-12);
+        assert!((results[0].continuous.panel_reduction() - 4.0).abs() < 1e-12);
         let table = to_table(&results);
         assert!(table.contains("Transformer") && table.contains("hit-rate"));
         assert!(table.contains("96.0%"));
         assert!(table.contains("restream cut"));
+        assert!(table.contains("Continuous batching"));
+        assert!(table.contains("best cap  256"));
     }
 }

@@ -26,6 +26,15 @@
 //! smoke mode too), cross-request coalescing bit-identity, and (full mode
 //! only) bucketed aggregate throughput beating per-request cold plan builds
 //! plus coalesced throughput not losing to the uncoalesced fan-out.
+//!
+//! The serving run also drives the **continuous-batching** sub-trace
+//! (staggered one-at-a-time submissions with mixed deadline/standard/bulk
+//! classes through `shfl_serving::server::Server`): bit-identity against
+//! per-request cold execution gates in every mode; full mode additionally
+//! gates on the admission window coalescing across arrivals (group and
+//! panel-byte counters), on windowed aggregate throughput not losing to the
+//! zero-window baseline (with at least one ≥4-layer workload strictly
+//! beating it), and on deadline-class p99 staying below bulk-class p99.
 
 use gpu_sim::GpuArch;
 use shfl_bench::experiments::{ablation, analysis, fig1, fig2, fig6, table1};
@@ -255,6 +264,81 @@ fn run_bench_serving(smoke: bool) -> ExitCode {
                 "error: {} coalesced serving ({:.1} ms) lost to the uncoalesced \
                  fan-out ({:.1} ms) over {} requests",
                 r.model, r.coalesced_wall_ms, r.mt_wall_ms, r.coalesced_requests
+            );
+            ok = false;
+        }
+        // Continuous-batching gates. Bit-identity against per-request cold
+        // execution is deterministic and applies in smoke mode too; the
+        // wall-clock, coalescing and SLO gates need the full-size trace with
+        // real arrival gaps.
+        let c = &r.continuous;
+        if !c.bit_identical {
+            eprintln!(
+                "error: {} windowed-server responses are not bit-identical to \
+                 per-request cold execution",
+                r.model
+            );
+            ok = false;
+        }
+        if !smoke && c.requests > 0 {
+            // The admission window must actually coalesce across arrivals:
+            // fewer dispatched groups than requests, and strictly fewer
+            // packed-panel bytes than the zero-window per-request baseline
+            // (both counter-verified, not timing-derived).
+            if c.windowed_groups >= c.requests as u64 || c.coalesced_requests == 0 {
+                eprintln!(
+                    "error: {} windowed server dispatched {} groups for {} \
+                     requests and coalesced {} — the admission window batched \
+                     nothing across arrivals",
+                    r.model, c.windowed_groups, c.requests, c.coalesced_requests
+                );
+                ok = false;
+            }
+            if c.windowed_panel_bytes >= c.zero_panel_bytes {
+                eprintln!(
+                    "error: {} windowed server streamed {} panel bytes, not \
+                     less than the zero-window baseline's {}",
+                    r.model, c.windowed_panel_bytes, c.zero_panel_bytes
+                );
+                ok = false;
+            }
+            // Aggregate throughput: the window trades p50 for throughput, so
+            // it must never lose beyond the shared-box noise band; models
+            // whose request widths are narrow relative to the cap (≥4-layer
+            // GEMM traces) must win outright (gated via best-of below).
+            if c.windowed_wall_ms > c.zero_wall_ms * 1.05 {
+                eprintln!(
+                    "error: {} windowed serving ({:.1} ms) lost to the \
+                     zero-window baseline ({:.1} ms) over {} requests",
+                    r.model, c.windowed_wall_ms, c.zero_wall_ms, c.requests
+                );
+                ok = false;
+            }
+            // Deadline-class SLO scheduling must show: lower p99 than bulk
+            // under the same load (multi-layer traces — single-layer ResNet
+            // has too few samples per class for a stable p99).
+            if c.layers >= 4 && c.deadline_p99_ms >= c.bulk_p99_ms {
+                eprintln!(
+                    "error: {} deadline-class p99 ({:.2} ms) is not below \
+                     bulk-class p99 ({:.2} ms)",
+                    r.model, c.deadline_p99_ms, c.bulk_p99_ms
+                );
+                ok = false;
+            }
+        }
+    }
+    // Acceptance: at least one ≥4-layer mixed-width workload must strictly
+    // beat the zero-window configuration on aggregate throughput.
+    if !smoke {
+        let best = results
+            .iter()
+            .filter(|r| r.continuous.layers >= 4 && r.continuous.requests > 0)
+            .map(|r| r.continuous.window_speedup())
+            .fold(0.0f64, f64::max);
+        if best <= 1.0 {
+            eprintln!(
+                "error: no >=4-layer workload beat the zero-window baseline \
+                 (best windowed speedup {best:.2}x)"
             );
             ok = false;
         }

@@ -301,6 +301,20 @@ pub struct ModelRecord {
     pub serving_coalesced_wall_ms: Option<f64>,
     /// Uncoalesced fan-out wall-clock on the same trace, ms.
     pub serving_mt_wall_ms: Option<f64>,
+    /// Continuous-batching trace: windowed-server wall, ms (absent before
+    /// the `Server` front-end existed).
+    pub serving_cb_windowed_wall_ms: Option<f64>,
+    /// Continuous-batching trace: zero-window baseline wall, ms.
+    pub serving_cb_zero_wall_ms: Option<f64>,
+    /// Whether the windowed responses were bit-identical to per-request
+    /// cold execution.
+    pub serving_cb_bit_identical: Option<bool>,
+    /// Deadline-class p99 end-to-end latency of the windowed run, ms.
+    pub serving_cb_deadline_p99_ms: Option<f64>,
+    /// Bulk-class p99 end-to-end latency of the windowed run, ms.
+    pub serving_cb_bulk_p99_ms: Option<f64>,
+    /// Best coalescing cap (columns) of the cap sweep on the recording box.
+    pub serving_cb_best_cap: Option<f64>,
 }
 
 /// A parsed `BENCH_kernels.json`, any supported schema.
@@ -352,6 +366,8 @@ pub fn parse_report(input: &str) -> Option<BenchReport> {
         for row in rows {
             let serving = row.get("serving");
             let serving_field = |key: &str| serving.and_then(|s| s.get(key)).and_then(Json::as_f64);
+            let continuous = serving.and_then(|s| s.get("continuous"));
+            let cb_field = |key: &str| continuous.and_then(|c| c.get(key)).and_then(Json::as_f64);
             models.push(ModelRecord {
                 model: row.get("model")?.as_str()?.to_string(),
                 batch: row.get("batch")?.as_f64()? as usize,
@@ -369,6 +385,14 @@ pub fn parse_report(input: &str) -> Option<BenchReport> {
                 serving_panel_bytes_segmented: serving_field("panel_bytes_segmented"),
                 serving_coalesced_wall_ms: serving_field("coalesced_wall_ms"),
                 serving_mt_wall_ms: serving_field("mt_wall_ms"),
+                serving_cb_windowed_wall_ms: cb_field("windowed_wall_ms"),
+                serving_cb_zero_wall_ms: cb_field("zero_wall_ms"),
+                serving_cb_bit_identical: continuous
+                    .and_then(|c| c.get("bit_identical"))
+                    .and_then(Json::as_bool),
+                serving_cb_deadline_p99_ms: cb_field("deadline_p99_ms"),
+                serving_cb_bulk_p99_ms: cb_field("bulk_p99_ms"),
+                serving_cb_best_cap: cb_field("best_cap"),
             });
         }
     }
@@ -459,6 +483,25 @@ mod tests {
                     coalesced_requests: 32,
                     coalesced_wall_ms: 60.0,
                     coalesced_bit_identical: true,
+                    continuous: crate::bench_serving::ContinuousBenchResult {
+                        layers: 6,
+                        requests: 96,
+                        window_us: 8_000,
+                        windowed_wall_ms: 45.0,
+                        zero_wall_ms: 90.0,
+                        bit_identical: true,
+                        windowed_groups: 30,
+                        coalesced_requests: 80,
+                        windowed_panel_bytes: 1_000,
+                        zero_panel_bytes: 4_000,
+                        deadline_p50_ms: 9.0,
+                        deadline_p99_ms: 12.0,
+                        standard_p99_ms: 20.0,
+                        bulk_p50_ms: 18.0,
+                        bulk_p99_ms: 30.0,
+                        cap_sweep: vec![(256, 45.0)],
+                        best_cap: 256,
+                    },
                 }),
             }],
         };
@@ -483,6 +526,12 @@ mod tests {
         assert_eq!(m.serving_panel_bytes_segmented, Some(20480.0));
         assert_eq!(m.serving_coalesced_wall_ms, Some(60.0));
         assert_eq!(m.serving_mt_wall_ms, Some(120.0));
+        assert_eq!(m.serving_cb_windowed_wall_ms, Some(45.0));
+        assert_eq!(m.serving_cb_zero_wall_ms, Some(90.0));
+        assert_eq!(m.serving_cb_bit_identical, Some(true));
+        assert_eq!(m.serving_cb_deadline_p99_ms, Some(12.0));
+        assert_eq!(m.serving_cb_bulk_p99_ms, Some(30.0));
+        assert_eq!(m.serving_cb_best_cap, Some(256.0));
     }
 
     #[test]
@@ -499,6 +548,8 @@ mod tests {
         assert_eq!(report.models.len(), 1);
         assert_eq!(report.models[0].serving_hit_rate, None);
         assert_eq!(report.models[0].serving_bit_identical, None);
+        assert_eq!(report.models[0].serving_cb_windowed_wall_ms, None);
+        assert_eq!(report.models[0].serving_cb_best_cap, None);
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub mod matrix;
 pub mod packed;
 pub mod parallel;
 pub mod pattern;
+pub mod slo;
 pub mod tiling;
 
 pub use bucket::{BucketPolicy, Segment};
@@ -64,6 +65,7 @@ pub use mask::BinaryMask;
 pub use matrix::DenseMatrix;
 pub use packed::PackedPanels;
 pub use pattern::SparsePattern;
+pub use slo::{SloClass, SloKind};
 pub use tiling::TileConfig;
 
 /// Commonly used items, re-exported for glob import in examples and tests.
@@ -78,5 +80,6 @@ pub mod prelude {
     pub use crate::matrix::DenseMatrix;
     pub use crate::packed::PackedPanels;
     pub use crate::pattern::SparsePattern;
+    pub use crate::slo::{SloClass, SloKind};
     pub use crate::tiling::TileConfig;
 }

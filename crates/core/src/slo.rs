@@ -1,0 +1,147 @@
+//! Priority / SLO classes for serving traffic.
+//!
+//! A serving front-end that holds an admission window and coalesces requests
+//! across arrivals (Orca-style continuous batching) trades individual latency
+//! for aggregate throughput — which is only acceptable when the scheduler
+//! knows *which* requests may wait. [`SloClass`] is that contract: every
+//! submission declares whether it is deadline-bound interactive traffic,
+//! ordinary traffic, or bulk throughput work that yields to everything else.
+//! The class rides with the submission (not with the tensor operation — the
+//! same layer serves all three classes), so the request types of the serving
+//! crate stay unchanged and the class lives here in `shfl-core` where both
+//! the serving stack and the benchmarks can name it without a dependency
+//! cycle.
+
+use std::fmt;
+
+/// The service-level class of one serving submission.
+///
+/// Ordering across classes is by urgency: `Deadline` ahead of `Standard`
+/// ahead of `Bulk` (see [`SloClass::kind`] and [`SloKind::rank`]). Within the
+/// deadline class, schedulers break ties by the tightest deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SloClass {
+    /// Latency-sensitive traffic with a target service deadline, in
+    /// microseconds **relative to submission time**. A deadline-aware queue
+    /// policy schedules these ahead of all other classes, tightest deadline
+    /// first. The deadline is a scheduling hint, not an admission filter:
+    /// a missed deadline is recorded, never dropped.
+    Deadline {
+        /// Target end-to-end latency budget from submission, in µs.
+        deadline_us: u64,
+    },
+    /// The default class: served in queue order among its own kind, after
+    /// deadline traffic and before bulk traffic.
+    #[default]
+    Standard,
+    /// Throughput traffic (batch scoring, background re-ranking): yields to
+    /// every other class and absorbs the queueing delay the admission window
+    /// introduces.
+    Bulk,
+}
+
+impl SloClass {
+    /// The payload-free kind of this class (the percentile-bucketing and
+    /// ordering key).
+    pub fn kind(&self) -> SloKind {
+        match self {
+            SloClass::Deadline { .. } => SloKind::Deadline,
+            SloClass::Standard => SloKind::Standard,
+            SloClass::Bulk => SloKind::Bulk,
+        }
+    }
+
+    /// The deadline budget in µs, if this is deadline-class traffic.
+    pub fn deadline_us(&self) -> Option<u64> {
+        match self {
+            SloClass::Deadline { deadline_us } => Some(*deadline_us),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for SloClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SloClass::Deadline { deadline_us } => write!(f, "deadline({deadline_us}us)"),
+            SloClass::Standard => f.write_str("standard"),
+            SloClass::Bulk => f.write_str("bulk"),
+        }
+    }
+}
+
+/// The payload-free discriminant of [`SloClass`] — what latency percentiles
+/// are bucketed by and what class-rank scheduling compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SloKind {
+    /// Deadline-bound interactive traffic (most urgent).
+    Deadline,
+    /// Default traffic.
+    Standard,
+    /// Bulk throughput traffic (least urgent).
+    Bulk,
+}
+
+impl SloKind {
+    /// Scheduling rank: lower ranks dispatch first (`Deadline` = 0,
+    /// `Standard` = 1, `Bulk` = 2).
+    pub fn rank(&self) -> u8 {
+        match self {
+            SloKind::Deadline => 0,
+            SloKind::Standard => 1,
+            SloKind::Bulk => 2,
+        }
+    }
+
+    /// Every kind, in rank order.
+    pub fn all() -> [SloKind; 3] {
+        [SloKind::Deadline, SloKind::Standard, SloKind::Bulk]
+    }
+
+    /// Short label for tables and JSON keys.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SloKind::Deadline => "deadline",
+            SloKind::Standard => "standard",
+            SloKind::Bulk => "bulk",
+        }
+    }
+}
+
+impl fmt::Display for SloKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_rank_by_urgency() {
+        assert!(SloKind::Deadline.rank() < SloKind::Standard.rank());
+        assert!(SloKind::Standard.rank() < SloKind::Bulk.rank());
+        assert_eq!(SloKind::all().map(|k| k.rank()), [0, 1, 2]);
+    }
+
+    #[test]
+    fn class_exposes_kind_and_deadline() {
+        let d = SloClass::Deadline { deadline_us: 1500 };
+        assert_eq!(d.kind(), SloKind::Deadline);
+        assert_eq!(d.deadline_us(), Some(1500));
+        assert_eq!(SloClass::Standard.deadline_us(), None);
+        assert_eq!(SloClass::default(), SloClass::Standard);
+        assert_eq!(SloClass::Bulk.kind(), SloKind::Bulk);
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(
+            format!("{}", SloClass::Deadline { deadline_us: 200 }),
+            "deadline(200us)"
+        );
+        assert_eq!(format!("{}", SloKind::Bulk), "bulk");
+        assert_eq!(SloKind::Standard.label(), "standard");
+    }
+}

@@ -67,7 +67,9 @@ use shfl_kernels::conv::{self, Conv2dParams, Tensor4};
 use shfl_kernels::plan::SpmmPlan;
 use shfl_kernels::{KernelError, KernelResult};
 use shfl_serving::engine::ServingEngine;
+use shfl_serving::server::{Server, ServerConfig};
 pub use shfl_serving::ServingError;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Configuration of an end-to-end engine build.
@@ -246,10 +248,15 @@ impl EngineReport {
 }
 
 /// A model registered with the bucketed serving stack.
+///
+/// The serving engine is held behind an `Arc` so the model can also be
+/// served **online**: [`ModelEngine::server`] starts a continuous-batching
+/// [`Server`] sharing the same engine (and therefore the same plan cache and
+/// counters) as the synchronous `forward`/`serve_gemm` paths.
 pub struct ModelEngine {
     model: DnnModel,
     config: EngineConfig,
-    serving: ServingEngine,
+    serving: Arc<ServingEngine>,
     layers: Vec<EngineLayer>,
     build_ms: f64,
 }
@@ -377,7 +384,7 @@ impl ModelEngine {
         Ok(ModelEngine {
             model,
             config: *config,
-            serving,
+            serving: Arc::new(serving),
             layers,
             build_ms: start.elapsed().as_secs_f64() * 1e3,
         })
@@ -401,7 +408,26 @@ impl ModelEngine {
 
     /// The underlying serving engine (bucket policy, plan cache, stats).
     pub fn serving(&self) -> &ServingEngine {
-        &self.serving
+        self.serving.as_ref()
+    }
+
+    /// A shared handle to the serving engine — what a long-lived
+    /// [`Server`] is started over.
+    pub fn serving_shared(&self) -> Arc<ServingEngine> {
+        Arc::clone(&self.serving)
+    }
+
+    /// Starts a continuous-batching [`Server`] over this model's serving
+    /// engine — the **online serving mode**: external traffic submits
+    /// requests one at a time (layer ids are the indices of
+    /// [`ModelEngine::gemm_layer_indices`]), the server coalesces same-layer
+    /// arrivals inside its admission window, and responses are bit-identical
+    /// to the synchronous [`ModelEngine::serve_gemm`] path because both run
+    /// on the same engine and plan cache. The engine stays usable for
+    /// synchronous forwards while the server runs; shut the server down with
+    /// [`Server::shutdown`] (or drop it) when done.
+    pub fn server(&self, config: ServerConfig) -> Server {
+        Server::start(self.serving_shared(), config)
     }
 
     /// Indices of the linear (matrix-served) layers — the targets external
@@ -944,6 +970,51 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn server_mode_matches_synchronous_serving_bit_for_bit() {
+        use shfl_serving::scheduler::Request;
+        let engine = shared_smoke(DnnModel::Transformer);
+        let gemm_layers = engine.gemm_layer_indices();
+        assert!(gemm_layers.len() >= 2);
+        let mut rng = StdRng::seed_from_u64(17);
+        let requests: Vec<Request> = (0..12)
+            .map(|i| {
+                let layer = gemm_layers[i % gemm_layers.len()];
+                let k = engine.serving().layer_k(layer).unwrap();
+                Request {
+                    id: i as u64,
+                    layer,
+                    activations: DenseMatrix::random(&mut rng, k, 1 + i % 9),
+                }
+            })
+            .collect();
+        let expected: Vec<DenseMatrix> = requests
+            .iter()
+            .map(|r| engine.serving().execute(r.layer, &r.activations).unwrap())
+            .collect();
+        let server = engine.server(
+            shfl_serving::server::ServerConfig::new()
+                .with_workers(2)
+                .with_admission_window_us(200),
+        );
+        let tickets: Vec<_> = requests
+            .into_iter()
+            .map(|r| server.submit(r).unwrap())
+            .collect();
+        for (ticket, want) in tickets.into_iter().zip(expected.iter()) {
+            let got = ticket.wait().result.unwrap();
+            assert_eq!(got.shape(), want.shape());
+            let got_bits: Vec<u32> = got.as_slice().iter().map(|v| v.to_bits()).collect();
+            let want_bits: Vec<u32> = want.as_slice().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got_bits, want_bits);
+        }
+        // Counters are updated after ticket delivery; drain waits for them.
+        server.drain();
+        let stats = server.stats();
+        assert_eq!(stats.completed, 12);
+        server.shutdown();
     }
 
     #[test]

@@ -60,8 +60,10 @@ pub struct ServingStats {
     /// Zero padding columns multiplied across all requests (the bucketing
     /// waste; `columns + padded_columns` is what the plans actually computed).
     pub padded_columns: u64,
-    /// Fused multi-segment sweeps executed (requests wider than their
-    /// layer's largest bucket, served in one panel sweep).
+    /// Fused exact-width sweeps executed: requests wider than their layer's
+    /// largest bucket, plus pad-free coalesced-group executes
+    /// ([`ServingEngine::execute_group_profiled`]) — each served in one
+    /// panel sweep with no padding columns.
     pub fused_sweeps: u64,
     /// Packed weight-panel bytes streamed by every execution this engine ran
     /// (fused, unfused and cold): each full panel sweep charges the plan's
@@ -84,6 +86,11 @@ pub struct ServingEngine {
     /// Packed-panel bytes streamed by every execution (lock-free; folded
     /// into [`ServingStats::panel_bytes_read`] on read).
     panel_traffic: TrafficCounter,
+    /// Memoised exact-width analytical profiles of fused multi-segment
+    /// executes, keyed by `(layer, n)`. Serving traces repeat a small set of
+    /// fused widths per layer (batch sizes × model shapes), so the map stays
+    /// small; entries are a single `f64` each and are never evicted.
+    fused_profile_us: std::sync::Mutex<std::collections::HashMap<(usize, usize), f64>>,
 }
 
 impl ServingEngine {
@@ -105,6 +112,7 @@ impl ServingEngine {
             layers: Vec::new(),
             stats: std::sync::Mutex::new(ServingStats::default()),
             panel_traffic: TrafficCounter::new(),
+            fused_profile_us: std::sync::Mutex::new(std::collections::HashMap::new()),
         }
     }
 
@@ -285,6 +293,32 @@ impl ServingEngine {
             .map_err(ServingError::Kernel)
     }
 
+    /// The honest modeled GPU time (µs) of a **fused multi-segment** execute
+    /// over `n` real activation columns: the analytical profile of one
+    /// exact-width launch — packed weight-panel traffic, metadata and launch
+    /// overhead charged **once** for the single sweep, FLOPs and
+    /// activation/output traffic charged per real column across the
+    /// segments. This replaces the historical estimate (the largest-bucket
+    /// launch scaled linearly by `n / max_bucket`), which re-scaled the
+    /// weight sweep and the launch overhead with the column count and so
+    /// over-charged exactly the wide requests the fused path exists for. It
+    /// also makes the fused estimate consistent with the cold oracle: an
+    /// exact-width cold execute of the same operand reports the same modeled
+    /// time.
+    ///
+    /// Profiles are memoised per `(layer, n)` — the profile walks the
+    /// layer's group structure, which is cheap next to the execute itself
+    /// but worth skipping for the repeated widths of a serving trace.
+    fn fused_modeled_us(&self, layer: usize, entry: &ServingLayer, n: usize) -> f64 {
+        let mut memo = self
+            .fused_profile_us
+            .lock()
+            .expect("fused profile memo poisoned");
+        *memo.entry((layer, n)).or_insert_with(|| {
+            shfl_kernels::spmm::shfl_bw_spmm_profile(&self.arch, &entry.weights, n).time_us()
+        })
+    }
+
     /// Validates a request against a layer (the shared admission rules of the
     /// bucketed path and the cold oracle — keep them identical, or the
     /// bit-identity comparison between the two paths silently diverges).
@@ -339,10 +373,13 @@ impl ServingEngine {
 
     /// [`ServingEngine::execute`] additionally returning the summed modeled
     /// GPU time (µs) of the bucket launches the request mapped onto. For a
-    /// fused multi-segment request the modeled time is the largest-bucket
-    /// launch scaled linearly to the request's real columns — the fused
-    /// sweep streams the weights once, so its cost scales with the activation
-    /// columns, not with the segment count.
+    /// fused multi-segment request the modeled time is the **exact-width
+    /// analytical profile** of one launch over the request's real columns
+    /// ([`ServingEngine::fused_modeled_us`]): weight-panel traffic and launch
+    /// overhead are charged once, compute and activation traffic per real
+    /// column — the historical linear scaling of the largest-bucket launch
+    /// over-charged wide requests by re-scaling the weight sweep and the
+    /// launch overhead with the column count.
     ///
     /// # Errors
     ///
@@ -385,7 +422,7 @@ impl ServingEngine {
             // updates every segment, on the largest-bucket plan. No padding
             // columns are computed at all.
             let plan = self.bucket_plan(layer, &entry.weights, entry.policy.max_bucket())?;
-            modeled_us += plan.profile().time_us() * (n as f64 / entry.policy.max_bucket() as f64);
+            modeled_us += self.fused_modeled_us(layer, entry, n);
             self.panel_traffic.add(plan.panel_sweep_bytes());
             fused_sweeps += 1;
             plan.execute_segments(activations, &segments)
@@ -400,6 +437,51 @@ impl ServingEngine {
         stats.padded_columns += padded_columns;
         stats.fused_sweeps += fused_sweeps;
         Ok((output, modeled_us))
+    }
+
+    /// Serves a **coalesced-group** operand pad-free. A bucket-exact width
+    /// keeps the zero-copy cached-plan fast path of
+    /// [`ServingEngine::execute_profiled`]; every other width — in
+    /// particular a partially-filled group whose members sum to less than
+    /// the cap — runs the exact-width fused sweep on the largest-bucket plan
+    /// ([`SpmmPlan::execute_segments`]), so **no padding columns are
+    /// multiplied at all**. A group at 60% bucket fill would otherwise pay
+    /// more zero-column compute than its members would individually (each
+    /// member lands nearer its own bucket), eating the panel-sweep saving
+    /// coalescing exists for. Bit-identical to
+    /// [`ServingEngine::execute`] on the same operand (the fused sweep and
+    /// the padded path are property-tested equal); the modeled time is the
+    /// honest exact-width profile ([`ServingEngine::fused_modeled_us`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`ServingEngine::execute`].
+    pub fn execute_group_profiled(
+        &self,
+        layer: usize,
+        activations: &DenseMatrix,
+    ) -> Result<(DenseMatrix, f64), ServingError> {
+        let (entry, segments) = self.admit(layer, activations)?;
+        let n = activations.cols();
+        match segments.as_slice() {
+            [] => self.execute_profiled(layer, activations),
+            [single] if single.bucket == n => self.execute_profiled(layer, activations),
+            _ => {
+                let plan = self.bucket_plan(layer, &entry.weights, entry.policy.max_bucket())?;
+                let modeled_us = self.fused_modeled_us(layer, entry, n);
+                self.panel_traffic.add(plan.panel_sweep_bytes());
+                let output = plan
+                    .execute_segments(activations, &segments)
+                    .map_err(ServingError::Kernel)?
+                    .output;
+                let mut stats = self.stats.lock().expect("serving stats poisoned");
+                stats.requests += 1;
+                stats.segments += segments.len() as u64;
+                stats.columns += n as u64;
+                stats.fused_sweeps += 1;
+                Ok((output, modeled_us))
+            }
+        }
     }
 
     /// The historical per-segment execution: every bucket [`Segment`] is
@@ -621,6 +703,64 @@ mod tests {
         // The wide layer padded 40 up to 64; the narrow fused path padded
         // nothing.
         assert_eq!(engine.stats().padded_columns, 24);
+    }
+
+    #[test]
+    fn group_execution_is_pad_free_and_bit_identical() {
+        let (engine, id) = test_engine(32);
+        let mut rng = StdRng::seed_from_u64(37);
+        // 20 columns: the regular path pads up to the 32-bucket, the group
+        // path sweeps exactly 20 columns on the largest-bucket plan.
+        let acts = DenseMatrix::random(&mut rng, 24, 20);
+        let before = engine.stats();
+        let (group_out, us) = engine.execute_group_profiled(id, &acts).unwrap();
+        let after_group = engine.stats();
+        assert!(us > 0.0);
+        assert_eq!(after_group.padded_columns, before.padded_columns);
+        assert_eq!(after_group.fused_sweeps, before.fused_sweeps + 1);
+        let padded_out = engine.execute(id, &acts).unwrap();
+        assert!(engine.stats().padded_columns > after_group.padded_columns);
+        assert_eq!(group_out, padded_out);
+        // A bucket-exact width keeps the zero-copy cached-plan fast path.
+        let exact = DenseMatrix::random(&mut rng, 24, 16);
+        let sweeps = engine.stats().fused_sweeps;
+        let (fast_out, _) = engine.execute_group_profiled(id, &exact).unwrap();
+        assert_eq!(engine.stats().fused_sweeps, sweeps);
+        assert_eq!(fast_out, engine.execute(id, &exact).unwrap());
+    }
+
+    #[test]
+    fn fused_modeled_time_charges_the_weight_sweep_once() {
+        let (engine, id) = test_engine(16);
+        let mut rng = StdRng::seed_from_u64(29);
+        // 70 columns on the 8..16 policy: 5 segments, one fused sweep.
+        let n = 70;
+        let acts = DenseMatrix::random(&mut rng, 24, n);
+        let (_, fused_us) = engine.execute_profiled(id, &acts).unwrap();
+        // The honest estimate is the exact-width analytical launch (weights
+        // and launch overhead once, compute per real column) — the same
+        // number an exact-width cold execute of this operand reports.
+        let exact = shfl_kernels::spmm::shfl_bw_spmm_profile(
+            engine.arch(),
+            engine.layer_weights(id).unwrap(),
+            n,
+        )
+        .time_us();
+        assert!(fused_us > 0.0);
+        assert!((fused_us - exact).abs() < 1e-9);
+        // Strictly below the historical linear scaling of the largest-bucket
+        // launch, which re-scaled the one-time panel sweep and the fixed
+        // launch overhead by n / max_bucket.
+        let bucket_us = shfl_kernels::spmm::shfl_bw_spmm_profile(
+            engine.arch(),
+            engine.layer_weights(id).unwrap(),
+            16,
+        )
+        .time_us();
+        assert!(fused_us < bucket_us * (n as f64 / 16.0));
+        // Repeating the width hits the memo and reports the same time.
+        let (_, again) = engine.execute_profiled(id, &acts).unwrap();
+        assert_eq!(again, fused_us);
     }
 
     #[test]

@@ -16,9 +16,18 @@
 //!   execution (every output column depends only on its own activation
 //!   column; the property tests assert exact equality, including `N = 1` and
 //!   `N` one past a bucket boundary).
-//! * [`scheduler::Scheduler`] — the multi-stream face: plans are `Sync`, so
-//!   one prepared plan serves any number of concurrent requests. The
-//!   scheduler fans a batch of [`scheduler::Request`]s across worker threads
+//! * [`server::Server`] — the continuous-batching front-end: callers
+//!   [`server::Server::submit`] requests independently and get
+//!   [`server::Ticket`]s; a dispatcher holds a configurable admission window
+//!   and coalesces same-layer arrivals into shared fused executes, ordered by
+//!   a pluggable [`policy::QueuePolicy`] (FIFO / LPT / shortest-job-first /
+//!   deadline-class SLO scheduling), with typed
+//!   [`server::SubmitError::QueueFull`] backpressure and per-class latency
+//!   percentiles in [`server::ServerStats`].
+//! * [`scheduler::Scheduler`] — the historical batch API, kept as a thin
+//!   compatibility shim over a zero-window scoped [`server::Server`]: plans
+//!   are `Sync`, so one prepared plan serves any number of concurrent
+//!   requests; a batch of [`scheduler::Request`]s fans across worker threads
 //!   over one shared engine, recording per-request latency.
 //! * [`ServingError`] — typed rejection of malformed traffic (unknown layer,
 //!   reduction-dimension mismatch) instead of panics or debug-only asserts.
@@ -54,10 +63,14 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod engine;
+pub mod policy;
 pub mod scheduler;
+pub mod server;
 
 pub use engine::{ServingEngine, ServingStats};
+pub use policy::{Fifo, GroupMeta, Lpt, QueuePolicy, ShortestJobFirst, SloAware};
 pub use scheduler::{Request, Response, Scheduler};
+pub use server::{Completion, Server, ServerConfig, ServerStats, SubmitError, Ticket};
 
 use shfl_kernels::KernelError;
 use std::fmt;
@@ -82,6 +95,10 @@ pub enum ServingError {
     },
     /// An error bubbled up from the kernel layer (plan build or execution).
     Kernel(KernelError),
+    /// The serving front-end was stopped before the request was executed
+    /// (a [`Server`] dropped without draining). A drained shutdown never
+    /// produces this: [`Server::drain`] delivers every admitted ticket.
+    ShutDown,
 }
 
 impl fmt::Display for ServingError {
@@ -99,6 +116,9 @@ impl fmt::Display for ServingError {
                 "layer {layer} is packed for k={expected} activation rows but the request has {got}"
             ),
             ServingError::Kernel(e) => write!(f, "{e}"),
+            ServingError::ShutDown => {
+                f.write_str("the serving front-end shut down before executing the request")
+            }
         }
     }
 }

@@ -1,39 +1,36 @@
-//! The multi-stream request scheduler.
+//! The historical batch-at-a-time scheduler — now a compatibility shim.
 //!
-//! Prepared plans are `Sync` (no interior mutability), so one
-//! [`ServingEngine`] can serve any number of concurrent requests — what a GPU
-//! serving stack does with CUDA streams, this crate does with worker threads.
-//! [`Scheduler::serve`] fans a batch of [`Request`]s across a fixed pool of
-//! scoped workers pulling from a shared queue (work-stealing-by-queue:
-//! whichever worker is free takes the next request, so a mix of wide and
-//! narrow requests load-balances naturally). Every response records its
-//! wall-clock service latency, which the serving benchmark aggregates into
-//! percentiles.
+//! [`Scheduler::serve`] predates the continuous-batching
+//! [`crate::server::Server`]: the caller hands over one `Vec<Request>` and
+//! blocks for the whole batch. Since the server redesign it is a **thin
+//! compatibility wrapper over a zero-window scoped server**
+//! ([`crate::server::Server::scoped`]): the batch is submitted atomically,
+//! dispatched in one admission round (zero window — nothing waits for later
+//! arrivals, because a batch call has none), executed by the same worker
+//! pool / grouping machinery the server uses, and collected back in request
+//! order. Behaviour is unchanged from the historical implementation:
 //!
-//! A coalescing scheduler ([`Scheduler::coalescing`]) additionally performs
-//! **continuous batching**: queued requests addressing the *same layer* are
-//! column-concatenated into one wide operand, served by a single bucketed
-//! fused execute, and scattered back into per-request outputs. Because every
-//! output column of an SpMM depends only on its own activation column, the
-//! scattered results are **bit-identical** to serving each request
-//! individually (asserted by the property tests) — while the engine streams
-//! the layer's packed weight panels once per *group* instead of once per
-//! request, which is where serving engines get their biggest wins at high
-//! QPS (EIE batches exactly this way, and it is the serving-side counterpart
-//! of the fused multi-segment sweep).
+//! * a plain scheduler ([`Scheduler::new`]) serves every request with its own
+//!   engine execute, FIFO over the worker pool;
+//! * a coalescing scheduler ([`Scheduler::coalescing`]) merges same-layer
+//!   requests into width-capped shared fused executes (first-fit-decreasing
+//!   packing under the layer's `max_bucket`), queues groups heaviest-first
+//!   ([`crate::policy::Lpt`], the makespan heuristic the batch scheduler
+//!   always used), and scatters the outputs back **bit-identically** to
+//!   individual service;
+//! * malformed requests surface their own typed [`ServingError`]s.
 //!
-//! The paper's TileWise baseline is the cautionary tale here: its per-stream
-//! launch overhead grows with the stream count until it eats the sparse-format
-//! win. The analytical cost model already charges that per-launch overhead
-//! (`LaunchConfig.grid` × the architecture's launch latency); the scheduler is
-//! the piece that amortises it by *reusing cached plans* across the streams
-//! instead of staging weights per call.
+//! New code should talk to [`crate::server::Server`] directly: it adds
+//! admission windows (coalescing *across* arrivals), priority/SLO classes,
+//! bounded-queue backpressure and per-class latency accounting that a
+//! synchronous batch call cannot express.
 
 use crate::engine::ServingEngine;
+use crate::policy::{Fifo, Lpt, QueuePolicy};
+use crate::server::{Server, ServerConfig, Ticket};
 use crate::ServingError;
 use shfl_core::matrix::DenseMatrix;
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::Arc;
 
 /// One serving request: a layer id and an activation operand of any width.
 #[derive(Debug, Clone)]
@@ -59,13 +56,6 @@ pub struct Response {
     /// Modeled GPU time of the bucket launches the request mapped onto (µs);
     /// zero when the request failed.
     pub modeled_us: f64,
-}
-
-/// One unit of worker work: a single request, or a same-layer group served
-/// by one coalesced execute.
-enum WorkItem {
-    Single(usize),
-    Group { layer: usize, slots: Vec<usize> },
 }
 
 /// A fixed-size pool of serving workers over one shared engine.
@@ -114,202 +104,38 @@ impl Scheduler {
     /// same-layer requests into shared fused executes (malformed requests —
     /// unknown layer, mismatched reduction dimension — are kept out of the
     /// groups and fail individually with the same typed error either way).
+    ///
+    /// Implementation: a **zero-window scoped [`Server`]** over the borrowed
+    /// engine. The batch is submitted atomically, so the server's dispatcher
+    /// sees it in one admission round and forms exactly the groups the
+    /// historical scheduler formed (same FFD packing under the layer's
+    /// `max_bucket` cap); groups are ordered heaviest-first
+    /// ([`Lpt`] — the batch scheduler's makespan heuristic) when coalescing
+    /// and [`Fifo`] otherwise. Outputs are bit-identical to the historical
+    /// implementation's: every output column of an SpMM depends only on its
+    /// own activation column, so grouping never changes results.
     pub fn serve(&self, engine: &ServingEngine, requests: Vec<Request>) -> Vec<Response> {
         let total = requests.len();
         if total == 0 {
             return Vec::new();
         }
-        let items = self.plan_items(engine, &requests);
-        let results: Mutex<Vec<Option<Response>>> = Mutex::new((0..total).map(|_| None).collect());
-        let queue: Mutex<std::vec::IntoIter<WorkItem>> = Mutex::new(items.into_iter());
-
-        let workers = self.workers.min(total);
-        std::thread::scope(|s| {
-            for _ in 0..workers {
-                s.spawn(|| loop {
-                    let next = queue.lock().expect("scheduler queue poisoned").next();
-                    let Some(item) = next else {
-                        break;
-                    };
-                    match item {
-                        WorkItem::Single(slot) => {
-                            let request = &requests[slot];
-                            let start = Instant::now();
-                            let (result, modeled_us) = match engine
-                                .execute_profiled(request.layer, &request.activations)
-                            {
-                                Ok((output, us)) => (Ok(output), us),
-                                Err(e) => (Err(e), 0.0),
-                            };
-                            let response = Response {
-                                id: request.id,
-                                result,
-                                service_ms: start.elapsed().as_secs_f64() * 1e3,
-                                modeled_us,
-                            };
-                            results.lock().expect("scheduler results poisoned")[slot] =
-                                Some(response);
-                        }
-                        WorkItem::Group { layer, slots } => {
-                            let responses = Self::serve_group(engine, &requests, layer, &slots);
-                            let mut results = results.lock().expect("scheduler results poisoned");
-                            for (slot, response) in slots.into_iter().zip(responses) {
-                                results[slot] = Some(response);
-                            }
-                        }
-                    }
-                });
-            }
-        });
-
-        results
-            .into_inner()
-            .expect("scheduler results poisoned")
-            .into_iter()
-            .map(|r| r.expect("every request produces a response"))
-            .collect()
-    }
-
-    /// Splits a batch into work items: per-request singles, or (when
-    /// coalescing) same-layer groups in arrival order, with malformed
-    /// requests kept as singles so they surface their own typed errors.
-    ///
-    /// Groups are **width-capped** at the layer's largest bucket and packed
-    /// first-fit-decreasing: a layer's requests, widest first, fill chunks
-    /// whose combined width fits one `max_bucket` plan. The cap keeps a
-    /// coalesced execute at most as wide as the widest plan the engine
-    /// already serves — many narrow requests still collapse into one panel
-    /// sweep, but the combined operand stays cache-resident instead of
-    /// growing with the batch (an uncapped group over a long batch builds an
-    /// operand whose activation re-reads cost more than the saved panel
-    /// sweeps). FFD packing fills buckets near-exactly, so the coalesced
-    /// chunks multiply fewer zero padding columns than per-request
-    /// bucketing. A request wider than the cap on its own still coalesces
-    /// with nothing and is served by its own fused execute.
-    ///
-    /// Coalesced items are queued heaviest-first (longest-processing-time
-    /// order): coalescing turns many small items into a few large ones, and
-    /// with a handful of groups across the worker pool a heavy group picked
-    /// up last would dominate the batch's wall-clock.
-    fn plan_items(&self, engine: &ServingEngine, requests: &[Request]) -> Vec<WorkItem> {
-        if !self.coalesce {
-            return (0..requests.len()).map(WorkItem::Single).collect();
-        }
-        let mut by_layer: Vec<(usize, Vec<usize>)> = Vec::new();
-        let mut invalid = Vec::new();
-        for (slot, request) in requests.iter().enumerate() {
-            let valid = engine
-                .layer_k(request.layer)
-                .is_ok_and(|k| request.activations.rows() == k);
-            if !valid {
-                invalid.push(WorkItem::Single(slot));
-                continue;
-            }
-            match by_layer.iter_mut().find(|(l, _)| *l == request.layer) {
-                Some((_, slots)) => slots.push(slot),
-                None => by_layer.push((request.layer, vec![slot])),
-            }
-        }
-        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
-        for (layer, mut slots) in by_layer {
-            let cap = engine
-                .layer_policy(layer)
-                .expect("validated layer")
-                .max_bucket();
-            // First-fit-decreasing: widest requests open chunks, narrower
-            // ones fill the gaps up to the cap.
-            slots.sort_by_key(|&s| std::cmp::Reverse(requests[s].activations.cols()));
-            let mut chunks: Vec<(usize, Vec<usize>)> = Vec::new();
-            for slot in slots {
-                let width = requests[slot].activations.cols();
-                match chunks.iter_mut().find(|(total, _)| *total + width <= cap) {
-                    Some((total, chunk)) => {
-                        *total += width;
-                        chunk.push(slot);
-                    }
-                    None => chunks.push((width, vec![slot])),
-                }
-            }
-            groups.extend(chunks.into_iter().map(|(_, chunk)| (layer, chunk)));
-        }
-        // LPT order: estimated cost = the layer's GEMM work per column
-        // (m × k) times the group's total columns.
-        let cost = |layer: usize, slots: &[usize]| -> u128 {
-            let per_column = engine.layer_m(layer).unwrap_or(1) as u128
-                * engine.layer_k(layer).unwrap_or(1) as u128;
-            let columns: u128 = slots
-                .iter()
-                .map(|&s| requests[s].activations.cols() as u128)
-                .sum();
-            per_column * columns
+        let policy: Arc<dyn QueuePolicy> = if self.coalesce {
+            Arc::new(Lpt)
+        } else {
+            Arc::new(Fifo)
         };
-        groups.sort_by_key(|(layer, slots)| std::cmp::Reverse(cost(*layer, slots)));
-        let mut items: Vec<WorkItem> = groups
-            .into_iter()
-            .map(|(layer, slots)| {
-                if slots.len() == 1 {
-                    // A lone request gains nothing from the concat/scatter
-                    // copies.
-                    WorkItem::Single(slots[0])
-                } else {
-                    WorkItem::Group { layer, slots }
-                }
-            })
-            .collect();
-        // Malformed requests error out without compute; serve them last.
-        items.extend(invalid);
-        items
-    }
-
-    /// Serves one same-layer group: column-concatenate, one fused execute,
-    /// scatter the output columns back per request. Each request reports the
-    /// group's wall-clock as its service latency (it waited for the shared
-    /// execute) and a width-proportional share of the modeled GPU time.
-    fn serve_group(
-        engine: &ServingEngine,
-        requests: &[Request],
-        layer: usize,
-        slots: &[usize],
-    ) -> Vec<Response> {
-        let parts: Vec<&DenseMatrix> = slots.iter().map(|&s| &requests[s].activations).collect();
-        let start = Instant::now();
-        let combined =
-            DenseMatrix::concat_cols(&parts).expect("coalesced group operands share the layer's k");
-        let total_cols = combined.cols();
-        let executed = engine.execute_profiled(layer, &combined);
-        let service_ms = start.elapsed().as_secs_f64() * 1e3;
-        match executed {
-            Ok((output, us)) => {
-                let mut col = 0;
-                slots
-                    .iter()
-                    .map(|&s| {
-                        let width = requests[s].activations.cols();
-                        let result = output.cols_padded(col, width, width);
-                        col += width;
-                        Response {
-                            id: requests[s].id,
-                            result: Ok(result),
-                            service_ms,
-                            modeled_us: if total_cols == 0 {
-                                0.0
-                            } else {
-                                us * width as f64 / total_cols as f64
-                            },
-                        }
-                    })
-                    .collect()
-            }
-            Err(e) => slots
-                .iter()
-                .map(|&s| Response {
-                    id: requests[s].id,
-                    result: Err(e.clone()),
-                    service_ms,
-                    modeled_us: 0.0,
-                })
-                .collect(),
-        }
+        let config = ServerConfig::new()
+            .with_workers(self.workers.min(total))
+            .with_admission_window_us(0)
+            .with_queue_depth(total)
+            .with_coalesce(self.coalesce)
+            .with_policy(policy);
+        Server::scoped(engine, config, |server| {
+            let tickets = server
+                .submit_batch(requests)
+                .expect("the queue is sized to the batch");
+            tickets.into_iter().map(Ticket::wait).collect()
+        })
     }
 }
 
