@@ -603,7 +603,11 @@ pub fn to_json(run: &BenchRun) -> String {
                      \"windowed_panel_bytes\": {}, \"zero_panel_bytes\": {}, \
                      \"deadline_p50_ms\": {:.3}, \"deadline_p99_ms\": {:.3}, \
                      \"standard_p99_ms\": {:.3}, \"bulk_p50_ms\": {:.3}, \
-                     \"bulk_p99_ms\": {:.3}, \"best_cap\": {}}}}}",
+                     \"bulk_p99_ms\": {:.3}, \"best_cap\": {}, \
+                     \"overload_requests\": {}, \"overload_shed\": {}, \
+                     \"overload_shed_rate\": {:.4}, \
+                     \"overload_deadline_p99_ms\": {:.3}, \
+                     \"overload_bulk_p99_ms\": {:.3}}}}}",
                     s.forwards,
                     s.hit_rate,
                     s.p50_ms,
@@ -638,6 +642,11 @@ pub fn to_json(run: &BenchRun) -> String {
                     c.bulk_p50_ms,
                     c.bulk_p99_ms,
                     c.best_cap,
+                    c.overload_requests,
+                    c.overload_shed,
+                    c.overload_shed_rate,
+                    c.overload_deadline_p99_ms,
+                    c.overload_bulk_p99_ms,
                 )
             }
             None => String::new(),

@@ -47,7 +47,12 @@
 //!    panel bytes and group stats), on aggregate throughput not losing to
 //!    the zero-window baseline, and on deadline-class p99 staying below
 //!    bulk-class p99 under the same load. A coalescing-cap sweep rides along
-//!    and logs the best cap for this box.
+//!    and logs the best cap for this box. An **overload** sub-trace replays
+//!    the mix gap-free against one worker with a small bulk-class bound:
+//!    arrivals far outrun capacity, excess bulk sheds at the door (never any
+//!    other class) while admitted bulk still completes, and the gates check
+//!    a nonzero bulk shed rate in every mode plus, in full mode, deadline
+//!    p99 staying strictly under bulk p99 on the overloaded server.
 
 use gpu_sim::GpuArch;
 use rand::rngs::StdRng;
@@ -58,7 +63,8 @@ use shfl_models::engine::{EngineConfig, ModelEngine};
 use shfl_models::DnnModel;
 use shfl_serving::policy::{Fifo, SloAware};
 use shfl_serving::scheduler::{Request, Scheduler};
-use shfl_serving::server::ServerConfig;
+use shfl_serving::server::{ServerConfig, SubmitError};
+use shfl_serving::ServingError;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -169,6 +175,18 @@ pub struct ContinuousBenchResult {
     /// The cap with the best batch wall on this box (the layer default when
     /// the sweep was skipped).
     pub best_cap: usize,
+    /// Arrivals of the overload sub-trace (the same request mix replayed
+    /// gap-free against one capacity-constrained worker).
+    pub overload_requests: usize,
+    /// Bulk requests shed in the overload sub-trace: door rejections plus
+    /// queued evictions. Only bulk is ever shed.
+    pub overload_shed: u64,
+    /// Shed fraction of the overload trace's bulk arrivals.
+    pub overload_shed_rate: f64,
+    /// Deadline-class p99 of the overload sub-trace, ms.
+    pub overload_deadline_p99_ms: f64,
+    /// Bulk-class p99 of the overload sub-trace, ms.
+    pub overload_bulk_p99_ms: f64,
 }
 
 impl ContinuousBenchResult {
@@ -566,6 +584,11 @@ fn run_continuous(
             bulk_p99_ms: 0.0,
             cap_sweep: Vec::new(),
             best_cap: default_cap,
+            overload_requests: 0,
+            overload_shed: 0,
+            overload_shed_rate: 0.0,
+            overload_deadline_p99_ms: 0.0,
+            overload_bulk_p99_ms: 0.0,
         };
     }
 
@@ -746,6 +769,50 @@ fn run_continuous(
             .unwrap_or(1)];
     }
 
+    // Overload sub-trace: the same request mix replayed with **no**
+    // inter-arrival gaps against a single worker — arrivals far outrun
+    // service capacity (well past 2×), so the admission side has to shed.
+    // The bulk class runs behind a small per-class bound while the shared
+    // queue fits the trace: excess bulk sheds at the door (typed, counted),
+    // admitted bulk still completes — so the gates can check both a nonzero
+    // bulk shed rate and the deadline class keeping its p99 strictly under
+    // the surviving bulk completions' p99 despite the pressure.
+    let bulk_bound = 2.max(requests.len() / 16);
+    let overload = engine.server(
+        ServerConfig::new()
+            .with_workers(1)
+            .with_admission_window_us(window_us)
+            .with_queue_depth(requests.len())
+            .with_class_queue_depth(SloKind::Bulk, bulk_bound)
+            .with_policy(Arc::new(SloAware)),
+    );
+    let mut overload_bulk_arrivals = 0u64;
+    let mut overload_tickets = Vec::new();
+    for (i, request) in requests.iter().enumerate() {
+        let class = continuous_class(i);
+        if class.kind() == SloKind::Bulk {
+            overload_bulk_arrivals += 1;
+        }
+        match overload.submit_classed(request.clone(), class) {
+            Ok(ticket) => overload_tickets.push(ticket),
+            // Bulk sheds at the door; latency-sensitive overflow with no
+            // bulk victim left is retryable backpressure. Both are expected
+            // under deliberate overload.
+            Err(SubmitError::Shed) | Err(SubmitError::QueueFull { .. }) => {}
+            Err(e) => panic!("overload trace rejected unexpectedly: {e}"),
+        }
+    }
+    overload.drain();
+    for ticket in overload_tickets {
+        match ticket.try_take().expect("drained").result {
+            Ok(_) | Err(ServingError::Shed) => {}
+            Err(e) => panic!("overload trace failed unexpectedly: {e}"),
+        }
+    }
+    let overload_stats = overload.stats();
+    overload.shutdown();
+    let overload_shed = overload_stats.shed_submissions + overload_stats.shed_queued;
+
     ContinuousBenchResult {
         layers: gemm_layers.len(),
         requests: requests.len(),
@@ -764,6 +831,15 @@ fn run_continuous(
         bulk_p99_ms: stats.class_percentile_ms(SloKind::Bulk, 0.99),
         cap_sweep,
         best_cap,
+        overload_requests: requests.len(),
+        overload_shed,
+        overload_shed_rate: if overload_bulk_arrivals > 0 {
+            overload_shed as f64 / overload_bulk_arrivals as f64
+        } else {
+            0.0
+        },
+        overload_deadline_p99_ms: overload_stats.class_percentile_ms(SloKind::Deadline, 0.99),
+        overload_bulk_p99_ms: overload_stats.class_percentile_ms(SloKind::Bulk, 0.99),
     }
 }
 
@@ -837,6 +913,23 @@ pub fn to_table(results: &[ServingBenchResult]) -> String {
             c.bulk_p50_ms,
             c.bulk_p99_ms,
             c.bit_identical,
+        ));
+    }
+    out.push_str(
+        "\nOverload sub-trace: gap-free arrivals, one worker, bounded bulk class (bulk sheds; deadline holds)\n\
+         model        | reqs | shed | shed rate | dl p99 ms | bulk p99 ms\n\
+         -------------+------+------+-----------+-----------+------------\n",
+    );
+    for r in results {
+        let c = &r.continuous;
+        out.push_str(&format!(
+            "{:12} | {:4} | {:4} | {:8.1}% | {:9.2} | {:10.2}\n",
+            r.model,
+            c.overload_requests,
+            c.overload_shed,
+            c.overload_shed_rate * 100.0,
+            c.overload_deadline_p99_ms,
+            c.overload_bulk_p99_ms,
         ));
     }
     let mut swept = false;
@@ -984,6 +1077,11 @@ mod tests {
                 bulk_p99_ms: 30.0,
                 cap_sweep: vec![(128, 70.0), (256, 60.0), (512, 65.0)],
                 best_cap: 256,
+                overload_requests: 96,
+                overload_shed: 24,
+                overload_shed_rate: 0.5,
+                overload_deadline_p99_ms: 14.0,
+                overload_bulk_p99_ms: 55.0,
             },
         }];
         assert!((results[0].speedup_vs_cold() - 1.4).abs() < 1e-12);
@@ -996,6 +1094,8 @@ mod tests {
         assert!(table.contains("96.0%"));
         assert!(table.contains("restream cut"));
         assert!(table.contains("Continuous batching"));
+        assert!(table.contains("Overload sub-trace"));
+        assert!(table.contains("50.0%"));
         assert!(table.contains("best cap  256"));
     }
 }

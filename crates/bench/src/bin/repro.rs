@@ -34,7 +34,11 @@
 //! gates on the admission window coalescing across arrivals (group and
 //! panel-byte counters), on windowed aggregate throughput not losing to the
 //! zero-window baseline (with at least one ≥4-layer workload strictly
-//! beating it), and on deadline-class p99 staying below bulk-class p99.
+//! beating it), and on deadline-class p99 staying below bulk-class p99. The
+//! **overload** sub-trace (gap-free arrivals against one worker and a small
+//! bulk-class bound) gates on a nonzero bulk shed count in every mode — the
+//! load-shedding path is structural, not timing-dependent — and, in full
+//! mode, on deadline p99 staying strictly below bulk p99 under overload.
 
 use gpu_sim::GpuArch;
 use shfl_bench::experiments::{ablation, analysis, fig1, fig2, fig6, table1};
@@ -325,6 +329,29 @@ fn run_bench_serving(smoke: bool) -> ExitCode {
                 );
                 ok = false;
             }
+            // On the overloaded server the SLO inversion must hold *despite*
+            // the pressure: bulk absorbs the shedding and the queueing, so
+            // the deadline class keeps a strictly lower p99.
+            if c.layers >= 4 && c.overload_deadline_p99_ms >= c.overload_bulk_p99_ms {
+                eprintln!(
+                    "error: {} overload-trace deadline p99 ({:.2} ms) is not \
+                     below bulk p99 ({:.2} ms)",
+                    r.model, c.overload_deadline_p99_ms, c.overload_bulk_p99_ms
+                );
+                ok = false;
+            }
+        }
+        // Overload shedding is structural (a small bulk-class bound vs
+        // gap-free arrivals), so it gates in smoke mode too: a multi-layer
+        // trace that outruns one worker by construction must shed bulk
+        // work — zero sheds means the load-shedding path is dead.
+        if c.layers >= 4 && c.overload_requests > 0 && c.overload_shed == 0 {
+            eprintln!(
+                "error: {} overload trace shed no bulk work across {} gap-free \
+                 arrivals against a bounded bulk class",
+                r.model, c.overload_requests
+            );
+            ok = false;
         }
     }
     // Acceptance: at least one ≥4-layer mixed-width workload must strictly

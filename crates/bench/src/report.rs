@@ -315,6 +315,14 @@ pub struct ModelRecord {
     pub serving_cb_bulk_p99_ms: Option<f64>,
     /// Best coalescing cap (columns) of the cap sweep on the recording box.
     pub serving_cb_best_cap: Option<f64>,
+    /// Bulk requests shed on the overload sub-trace (door + queued).
+    pub serving_cb_overload_shed: Option<f64>,
+    /// Shed fraction of the overload sub-trace's bulk arrivals.
+    pub serving_cb_overload_shed_rate: Option<f64>,
+    /// Deadline-class p99 of the overload sub-trace, ms.
+    pub serving_cb_overload_deadline_p99_ms: Option<f64>,
+    /// Bulk-class p99 of the overload sub-trace, ms.
+    pub serving_cb_overload_bulk_p99_ms: Option<f64>,
 }
 
 /// A parsed `BENCH_kernels.json`, any supported schema.
@@ -393,6 +401,10 @@ pub fn parse_report(input: &str) -> Option<BenchReport> {
                 serving_cb_deadline_p99_ms: cb_field("deadline_p99_ms"),
                 serving_cb_bulk_p99_ms: cb_field("bulk_p99_ms"),
                 serving_cb_best_cap: cb_field("best_cap"),
+                serving_cb_overload_shed: cb_field("overload_shed"),
+                serving_cb_overload_shed_rate: cb_field("overload_shed_rate"),
+                serving_cb_overload_deadline_p99_ms: cb_field("overload_deadline_p99_ms"),
+                serving_cb_overload_bulk_p99_ms: cb_field("overload_bulk_p99_ms"),
             });
         }
     }
@@ -501,6 +513,11 @@ mod tests {
                         bulk_p99_ms: 30.0,
                         cap_sweep: vec![(256, 45.0)],
                         best_cap: 256,
+                        overload_requests: 96,
+                        overload_shed: 24,
+                        overload_shed_rate: 0.5,
+                        overload_deadline_p99_ms: 14.0,
+                        overload_bulk_p99_ms: 55.0,
                     },
                 }),
             }],
@@ -532,6 +549,10 @@ mod tests {
         assert_eq!(m.serving_cb_deadline_p99_ms, Some(12.0));
         assert_eq!(m.serving_cb_bulk_p99_ms, Some(30.0));
         assert_eq!(m.serving_cb_best_cap, Some(256.0));
+        assert_eq!(m.serving_cb_overload_shed, Some(24.0));
+        assert_eq!(m.serving_cb_overload_shed_rate, Some(0.5));
+        assert_eq!(m.serving_cb_overload_deadline_p99_ms, Some(14.0));
+        assert_eq!(m.serving_cb_overload_bulk_p99_ms, Some(55.0));
     }
 
     #[test]
@@ -550,6 +571,8 @@ mod tests {
         assert_eq!(report.models[0].serving_bit_identical, None);
         assert_eq!(report.models[0].serving_cb_windowed_wall_ms, None);
         assert_eq!(report.models[0].serving_cb_best_cap, None);
+        assert_eq!(report.models[0].serving_cb_overload_shed, None);
+        assert_eq!(report.models[0].serving_cb_overload_shed_rate, None);
     }
 
     #[test]

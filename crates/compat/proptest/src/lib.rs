@@ -3,8 +3,8 @@
 //! The workspace builds without a crates.io mirror, so this vendored shim
 //! provides the surface the property tests use: the [`proptest!`] macro,
 //! [`test_runner::ProptestConfig`], [`arbitrary::any`], range strategies,
-//! tuple strategies, [`strategy::Strategy::prop_map`], and the
-//! `prop_assert!` / `prop_assert_eq!` macros.
+//! tuple strategies, [`collection::vec`], [`strategy::Strategy::prop_map`],
+//! and the `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` macros.
 //!
 //! Differences from the real crate: inputs are drawn from a deterministic
 //! per-test generator (seeded by test name and case index, so failures are
@@ -119,6 +119,15 @@ pub mod strategy {
         }
     }
 
+    impl Strategy for Range<u8> {
+        type Value = u8;
+
+        fn generate(&self, rng: &mut TestRng) -> u8 {
+            assert!(self.start < self.end, "empty u8 strategy range");
+            self.start + (rng.next_u64() % u64::from(self.end - self.start)) as u8
+        }
+    }
+
     impl Strategy for Range<u64> {
         type Value = u64;
 
@@ -210,6 +219,35 @@ pub mod strategy {
     }
 }
 
+/// Strategies over collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy generating `Vec`s of `element`-drawn values with a length
+    /// drawn uniformly from `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.generate(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
 /// `any::<T>()` — the whole-domain strategy constructor.
 pub mod arbitrary {
     use crate::strategy::Any;
@@ -228,7 +266,7 @@ pub mod prelude {
     pub use crate::arbitrary::any;
     pub use crate::strategy::Strategy;
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
 }
 
 /// Declares property tests.
@@ -286,6 +324,12 @@ macro_rules! prop_assert {
 #[macro_export]
 macro_rules! prop_assert_eq {
     ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property (no shrinking; plain `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
 }
 
 #[cfg(test)]

@@ -83,6 +83,11 @@ pub enum SloKind {
 }
 
 impl SloKind {
+    /// Number of SLO kinds — the length of rank-indexed per-class tables
+    /// (queue bounds, counters); [`SloKind::rank`] is always a valid index
+    /// into an array of this length.
+    pub const COUNT: usize = 3;
+
     /// Scheduling rank: lower ranks dispatch first (`Deadline` = 0,
     /// `Standard` = 1, `Bulk` = 2).
     pub fn rank(&self) -> u8 {
@@ -123,6 +128,10 @@ mod tests {
         assert!(SloKind::Deadline.rank() < SloKind::Standard.rank());
         assert!(SloKind::Standard.rank() < SloKind::Bulk.rank());
         assert_eq!(SloKind::all().map(|k| k.rank()), [0, 1, 2]);
+        assert_eq!(SloKind::all().len(), SloKind::COUNT);
+        assert!(SloKind::all()
+            .iter()
+            .all(|k| (k.rank() as usize) < SloKind::COUNT));
     }
 
     #[test]

@@ -28,12 +28,19 @@
 //! builds; later threads wait on the slot and share the winner's plan
 //! instead of paying a redundant build (the cold-miss stampede a serving
 //! engine sees when a burst of identical requests lands on an empty cache).
-//! A failed build wakes the waiters, and the next one retries. Serving
-//! traffic is hit-dominated by design (the whole point of bucketing), so the
-//! lock is held for nanoseconds on the common path.
+//! A failed build **broadcasts its error to every waiter** — a build that
+//! fails deterministically would otherwise livelock the waiters through an
+//! elect-a-retrier loop, each retry failing identically while the rest spin.
+//! The failed slot is removed before the waiters wake, so a *later* lookup
+//! (a genuinely new attempt, e.g. after the caller fixed the operands)
+//! starts a fresh build. A build that panics resolves the slot with the
+//! typed [`KernelError::BuildPanicked`](crate::KernelError::BuildPanicked)
+//! for the waiters and re-raises the panic on the builder's own thread.
+//! Serving traffic is hit-dominated by design (the whole point of
+//! bucketing), so the lock is held for nanoseconds on the common path.
 
 use crate::plan::SpmmPlan;
-use crate::profile::KernelResult;
+use crate::profile::{KernelError, KernelResult};
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -89,7 +96,10 @@ struct CacheEntry {
 enum BuildState {
     Pending,
     Done(Arc<SpmmPlan>),
-    Failed,
+    /// The build failed; every waiter receives a clone of the error instead
+    /// of electing a retrier (a deterministic failure would livelock the
+    /// election loop).
+    Failed(KernelError),
 }
 
 struct BuildSlot {
@@ -245,117 +255,114 @@ impl PlanCache {
     /// the *same* cold key do not stampede: the first registers an in-flight
     /// build slot and builds, the rest wait on the slot and share the
     /// winner's plan (counted in [`PlanCacheStats::shared_builds`]). If the
-    /// build fails, one waiter takes over and retries.
+    /// build fails, **every** waiter receives the error: a deterministic
+    /// failure surfaces immediately at each caller instead of livelocking an
+    /// elect-a-retrier loop, and the slot is gone before the waiters wake, so
+    /// the next *fresh* lookup of the key starts a new build.
     ///
     /// # Errors
     ///
-    /// Propagates the error of `build` (nothing is inserted on failure).
+    /// Propagates the error of `build` (nothing is inserted on failure) — to
+    /// the builder and to every thread that joined the failed in-flight
+    /// build. A panicking build unwinds the builder and fails the joiners
+    /// with [`KernelError::BuildPanicked`].
     pub fn get_or_build(
         &self,
         key: PlanKey,
         build: impl Fn() -> KernelResult<SpmmPlan>,
     ) -> KernelResult<Arc<SpmmPlan>> {
-        // Whether this lookup has been recorded in the stats: a retry after a
-        // failed in-flight build re-enters the loop but is still the same
-        // logical lookup, and must not inflate the miss counters the serving
-        // benchmark gates on.
-        let mut counted = false;
-        loop {
-            let waiting_on = {
-                let mut inner = self.inner.lock().expect("plan cache poisoned");
-                inner.tick += 1;
-                let tick = inner.tick;
-                if let Some(entry) = inner.entries.get_mut(&key) {
-                    entry.last_used = tick;
-                    let plan = Arc::clone(&entry.plan);
-                    if !counted {
-                        inner.stats.hits += 1;
-                    }
+        let waiting_on = {
+            let mut inner = self.inner.lock().expect("plan cache poisoned");
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(entry) = inner.entries.get_mut(&key) {
+                entry.last_used = tick;
+                let plan = Arc::clone(&entry.plan);
+                inner.stats.hits += 1;
+                return Ok(plan);
+            }
+            // A lookup not served by a resident plan counts as a miss
+            // whether this thread builds, joins an in-flight build, or the
+            // build fails.
+            let join = inner.building.get(&key).map(Arc::clone);
+            inner.stats.misses += 1;
+            if let Some(slot) = join {
+                inner.stats.shared_builds += 1;
+                Some(slot)
+            } else {
+                let slot = Arc::new(BuildSlot::new());
+                inner.building.insert(key, Arc::clone(&slot));
+                None
+            }
+        };
+
+        let Some(slot) = waiting_on else {
+            // This thread owns the build. Build outside the cache lock, then
+            // publish the outcome to the cache and the slot waiters. A
+            // panicking build must still clear the in-flight slot and wake
+            // the waiters (with the typed `BuildPanicked` error) — otherwise
+            // every current and future lookup of this key would block on the
+            // dead slot forever.
+            let built = std::panic::catch_unwind(std::panic::AssertUnwindSafe(&build));
+            let mut inner = self.inner.lock().expect("plan cache poisoned");
+            let slot = inner
+                .building
+                .remove(&key)
+                .expect("in-flight slot owned by the builder");
+            let built = match built {
+                Ok(outcome) => outcome,
+                Err(payload) => {
+                    drop(inner);
+                    let context = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    slot.resolve(BuildState::Failed(KernelError::BuildPanicked { context }));
+                    std::panic::resume_unwind(payload);
+                }
+            };
+            match built {
+                Ok(plan) => {
+                    let plan = Arc::new(plan);
+                    // Stamp a fresh tick so the new entry is strictly the
+                    // most recently used and can never tie with an entry
+                    // touched while the build ran.
+                    inner.tick += 1;
+                    let tick = inner.tick;
+                    inner.resident_bytes += plan.packed_bytes();
+                    inner.entries.insert(
+                        key,
+                        CacheEntry {
+                            plan: Arc::clone(&plan),
+                            last_used: tick,
+                        },
+                    );
+                    self.evict_to_limits(&mut inner);
+                    drop(inner);
+                    slot.resolve(BuildState::Done(Arc::clone(&plan)));
                     return Ok(plan);
                 }
-                // A lookup not served by a resident plan counts as a miss
-                // whether this thread builds, joins an in-flight build, or
-                // the build fails.
-                let join = inner.building.get(&key).map(Arc::clone);
-                if !counted {
-                    inner.stats.misses += 1;
-                    if join.is_some() {
-                        inner.stats.shared_builds += 1;
-                    }
-                }
-                counted = true;
-                if let Some(slot) = join {
-                    Some(slot)
-                } else {
-                    let slot = Arc::new(BuildSlot::new());
-                    inner.building.insert(key, Arc::clone(&slot));
-                    None
-                }
-            };
-
-            let Some(slot) = waiting_on else {
-                // This thread owns the build. Build outside the cache lock,
-                // then publish the outcome to the cache and the slot waiters.
-                // A panicking build must still clear the in-flight slot and
-                // wake the waiters (as Failed, so one retries) — otherwise
-                // every current and future lookup of this key would block on
-                // the dead slot forever.
-                let built = std::panic::catch_unwind(std::panic::AssertUnwindSafe(&build));
-                let mut inner = self.inner.lock().expect("plan cache poisoned");
-                let slot = inner
-                    .building
-                    .remove(&key)
-                    .expect("in-flight slot owned by the builder");
-                let built = match built {
-                    Ok(outcome) => outcome,
-                    Err(payload) => {
-                        drop(inner);
-                        slot.resolve(BuildState::Failed);
-                        std::panic::resume_unwind(payload);
-                    }
-                };
-                match built {
-                    Ok(plan) => {
-                        let plan = Arc::new(plan);
-                        // Stamp a fresh tick so the new entry is strictly the
-                        // most recently used and can never tie with an entry
-                        // touched while the build ran.
-                        inner.tick += 1;
-                        let tick = inner.tick;
-                        inner.resident_bytes += plan.packed_bytes();
-                        inner.entries.insert(
-                            key,
-                            CacheEntry {
-                                plan: Arc::clone(&plan),
-                                last_used: tick,
-                            },
-                        );
-                        self.evict_to_limits(&mut inner);
-                        drop(inner);
-                        slot.resolve(BuildState::Done(Arc::clone(&plan)));
-                        return Ok(plan);
-                    }
-                    Err(err) => {
-                        drop(inner);
-                        slot.resolve(BuildState::Failed);
-                        return Err(err);
-                    }
-                }
-            };
-
-            // Join the in-flight build instead of paying a redundant one.
-            let mut state = slot.state.lock().expect("build slot poisoned");
-            loop {
-                match &*state {
-                    BuildState::Pending => {
-                        state = slot.ready.wait(state).expect("build slot poisoned");
-                    }
-                    BuildState::Done(plan) => return Ok(Arc::clone(plan)),
-                    BuildState::Failed => break,
+                Err(err) => {
+                    drop(inner);
+                    slot.resolve(BuildState::Failed(err.clone()));
+                    return Err(err);
                 }
             }
-            // The build this thread joined failed; retry (becoming the
-            // builder if nobody else has).
+        };
+
+        // Join the in-flight build instead of paying a redundant one. The
+        // slot resolves exactly once: with the winner's plan, or with the
+        // build error broadcast to every joiner.
+        let mut state = slot.state.lock().expect("build slot poisoned");
+        loop {
+            match &*state {
+                BuildState::Pending => {
+                    state = slot.ready.wait(state).expect("build slot poisoned");
+                }
+                BuildState::Done(plan) => return Ok(Arc::clone(plan)),
+                BuildState::Failed(err) => return Err(err.clone()),
+            }
         }
     }
 
@@ -513,7 +520,7 @@ mod tests {
     }
 
     #[test]
-    fn failed_build_wakes_waiters_and_lets_one_retry() {
+    fn failed_build_broadcasts_the_error_to_every_waiter() {
         use std::sync::atomic::{AtomicUsize, Ordering};
         let cache = PlanCache::new(4);
         let key = PlanKey {
@@ -521,48 +528,90 @@ mod tests {
             n_bucket: 8,
         };
         let attempts = AtomicUsize::new(0);
-        let outcomes: Vec<bool> = std::thread::scope(|s| {
+        let outcomes: Vec<KernelResult<Arc<SpmmPlan>>> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..4)
                 .map(|_| {
                     s.spawn(|| {
-                        cache
-                            .get_or_build(key, || {
-                                let attempt = attempts.fetch_add(1, Ordering::SeqCst);
-                                std::thread::sleep(std::time::Duration::from_millis(10));
-                                if attempt == 0 {
-                                    Err(crate::KernelError::ShapeMismatch {
-                                        context: "first build fails".into(),
-                                    })
-                                } else {
-                                    tiny_plan(8)
-                                }
+                        cache.get_or_build(key, || {
+                            attempts.fetch_add(1, Ordering::SeqCst);
+                            // Hold the build long enough that the other
+                            // threads join the in-flight slot.
+                            std::thread::sleep(std::time::Duration::from_millis(10));
+                            Err(crate::KernelError::ShapeMismatch {
+                                context: "synthetic build failure".into(),
                             })
-                            .is_ok()
+                        })
                     })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         });
-        // Exactly one caller observed the injected failure; everyone else
-        // was served by the retry build.
-        assert_eq!(outcomes.iter().filter(|ok| !**ok).count(), 1);
-        assert!(cache.contains(key));
-        assert!(attempts.load(Ordering::SeqCst) >= 2);
-        // One logical lookup = one recorded miss, even for the waiters that
-        // looped through the failed build and retried.
+        // Every caller that joined the failed build observes the error —
+        // nobody hangs, nobody silently succeeds, and nobody is elected to
+        // retry the identical failing build.
+        assert!(outcomes
+            .iter()
+            .all(|o| matches!(o, Err(crate::KernelError::ShapeMismatch { .. }))));
+        assert!(!cache.contains(key));
+        // Concurrent lookups shared at most one build attempt apiece; the
+        // failure did not trigger a retry storm (≤ one attempt per caller
+        // that raced past the slot removal, never more).
+        assert!(attempts.load(Ordering::SeqCst) <= 4);
         assert_eq!(cache.stats().misses, 4);
+        // A *fresh* lookup after the failure starts a new build: transient
+        // failures are retryable at the caller's discretion.
+        cache.get_or_build(key, || tiny_plan(8)).unwrap();
+        assert!(cache.contains(key));
     }
 
     #[test]
-    fn panicking_build_clears_the_slot_and_wakes_waiters() {
+    fn repeatedly_failing_build_never_livelocks_waiters() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let cache = PlanCache::new(4);
+        let key = PlanKey {
+            layer: 5,
+            n_bucket: 8,
+        };
+        let attempts = AtomicUsize::new(0);
+        // A build that fails deterministically, every time. Under the old
+        // elect-a-retrier scheme each round of waiters spawned another doomed
+        // build; now each logical lookup observes exactly one failure.
+        let doomed = || {
+            attempts.fetch_add(1, Ordering::SeqCst);
+            Err::<SpmmPlan, _>(crate::KernelError::ShapeMismatch {
+                context: "deterministic failure".into(),
+            })
+        };
+        for round in 0..3 {
+            let outcomes: Vec<bool> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..6)
+                    .map(|_| s.spawn(|| cache.get_or_build(key, doomed).is_err()))
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            assert!(
+                outcomes.iter().all(|failed| *failed),
+                "round {round}: every lookup of a failing build must error"
+            );
+        }
+        // Bounded work: at most one build attempt per lookup (18 lookups),
+        // and in practice far fewer thanks to the in-flight slot sharing.
+        assert!(attempts.load(Ordering::SeqCst) <= 18);
+        assert!(!cache.contains(key));
+        assert_eq!(cache.stats().misses, 18);
+    }
+
+    #[test]
+    fn panicking_build_fails_waiters_with_a_typed_error() {
         use std::sync::atomic::{AtomicUsize, Ordering};
         let cache = PlanCache::new(4);
         let key = PlanKey {
             layer: 2,
             n_bucket: 16,
         };
-        let attempts = AtomicUsize::new(0);
+        let entered = AtomicUsize::new(0);
         let panics = AtomicUsize::new(0);
+        let typed = AtomicUsize::new(0);
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..4)
                 .map(|_| {
@@ -570,16 +619,20 @@ mod tests {
                         let outcome =
                             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                                 cache.get_or_build(key, || {
-                                    let attempt = attempts.fetch_add(1, Ordering::SeqCst);
+                                    entered.fetch_add(1, Ordering::SeqCst);
                                     std::thread::sleep(std::time::Duration::from_millis(10));
-                                    if attempt == 0 {
-                                        panic!("synthetic build panic");
-                                    }
-                                    tiny_plan(16)
+                                    panic!("synthetic build panic");
                                 })
                             }));
-                        if outcome.is_err() {
-                            panics.fetch_add(1, Ordering::SeqCst);
+                        match outcome {
+                            Err(_) => {
+                                panics.fetch_add(1, Ordering::SeqCst);
+                            }
+                            Ok(Err(crate::KernelError::BuildPanicked { context })) => {
+                                assert!(context.contains("synthetic build panic"));
+                                typed.fetch_add(1, Ordering::SeqCst);
+                            }
+                            Ok(other) => panic!("unexpected outcome: {other:?}"),
                         }
                     })
                 })
@@ -588,12 +641,19 @@ mod tests {
                 h.join().unwrap();
             }
         });
-        // The panic unwound exactly one caller; the slot was cleared, the
-        // waiters were woken, one retried and the rest were served.
-        assert_eq!(panics.load(Ordering::SeqCst), 1);
-        assert!(cache.contains(key));
+        // Builders unwind with the original panic; joiners get the typed
+        // `BuildPanicked` error. Between them all four callers resolved.
+        assert_eq!(
+            panics.load(Ordering::SeqCst) + typed.load(Ordering::SeqCst),
+            4
+        );
+        assert_eq!(
+            panics.load(Ordering::SeqCst),
+            entered.load(Ordering::SeqCst)
+        );
         // The key is serviceable again (no dead in-flight slot left behind).
-        cache.get_or_build(key, || panic!("must hit")).unwrap();
+        cache.get_or_build(key, || tiny_plan(16)).unwrap();
+        assert!(cache.contains(key));
     }
 
     #[test]

@@ -24,6 +24,14 @@ pub enum KernelError {
     },
     /// An error bubbled up from `shfl-core` (format construction, permutation, ...).
     Core(shfl_core::error::Error),
+    /// A plan build panicked mid-flight. Observed by threads that joined the
+    /// in-flight build slot of a [`crate::cache::PlanCache`] whose builder
+    /// unwound: the panic propagates on the builder's own thread, while the
+    /// waiters get this typed error instead of a hang or a poisoned lock.
+    BuildPanicked {
+        /// Human-readable description of the build that unwound.
+        context: String,
+    },
 }
 
 impl fmt::Display for KernelError {
@@ -34,6 +42,9 @@ impl fmt::Display for KernelError {
                 write!(f, "kernel {kernel} is not supported on {arch}")
             }
             KernelError::Core(e) => write!(f, "{e}"),
+            KernelError::BuildPanicked { context } => {
+                write!(f, "plan build panicked: {context}")
+            }
         }
     }
 }

@@ -278,6 +278,13 @@ impl ServingEngine {
         Ok(plan.panel_sweep_bytes())
     }
 
+    /// The cached plan for one `(layer, bucket)` pair, built on a cold miss.
+    /// Concurrent cold misses on the same key share one build through the
+    /// cache's in-flight slot; a *failed* build surfaces its error to the
+    /// builder **and every waiter** (the cache broadcasts the failure rather
+    /// than electing a retrier, so a deterministically failing build cannot
+    /// livelock the worker pool), and the next fresh request of the bucket
+    /// starts a new build.
     fn bucket_plan(
         &self,
         layer: usize,

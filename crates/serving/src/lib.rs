@@ -62,6 +62,8 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+#[cfg(feature = "chaos")]
+pub mod chaos;
 pub mod engine;
 pub mod policy;
 pub mod scheduler;
@@ -99,6 +101,19 @@ pub enum ServingError {
     /// (a [`Server`] dropped without draining). A drained shutdown never
     /// produces this: [`Server::drain`] delivers every admitted ticket.
     ShutDown,
+    /// The request was shed by overload protection: it was queued bulk-class
+    /// work evicted (oldest first) to make room for latency-sensitive
+    /// traffic when the bounded queue was full. Only bulk-class requests are
+    /// ever shed; resubmit when the overload clears.
+    Shed,
+    /// The worker thread serving this request's group panicked mid-service.
+    /// Only the group's own tickets fail — the worker is respawned and the
+    /// server keeps dispatching (see the `worker_panics` / `worker_respawns`
+    /// counters in [`server::ServerStats`]).
+    WorkerPanic {
+        /// The panic message, when it carried one.
+        context: String,
+    },
 }
 
 impl fmt::Display for ServingError {
@@ -118,6 +133,12 @@ impl fmt::Display for ServingError {
             ServingError::Kernel(e) => write!(f, "{e}"),
             ServingError::ShutDown => {
                 f.write_str("the serving front-end shut down before executing the request")
+            }
+            ServingError::Shed => {
+                f.write_str("bulk-class request shed by overload protection; resubmit later")
+            }
+            ServingError::WorkerPanic { context } => {
+                write!(f, "worker panicked while serving the request: {context}")
             }
         }
     }

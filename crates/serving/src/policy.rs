@@ -120,6 +120,11 @@ impl QueuePolicy for ShortestJobFirst {
 /// class, arrival order last. Bulk traffic therefore absorbs the queueing
 /// delay whenever any latency-sensitive work is waiting — the property the
 /// per-class p99 gates of the serving benchmark measure.
+///
+/// Ordering composes with the server's overload machinery: under saturation
+/// bulk is also the only class the admission side sheds (see the server's
+/// *Overload behavior* docs), so bulk yields twice — first its dispatch
+/// slot, then, when the queue itself fills, its queue slot.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SloAware;
 

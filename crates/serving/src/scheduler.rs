@@ -23,7 +23,14 @@
 //! New code should talk to [`crate::server::Server`] directly: it adds
 //! admission windows (coalescing *across* arrivals), priority/SLO classes,
 //! bounded-queue backpressure and per-class latency accounting that a
-//! synchronous batch call cannot express.
+//! synchronous batch call cannot express — plus the overload machinery
+//! (per-class queue bounds, bulk load-shedding, deadline admission bypass,
+//! ticket cancellation, worker fault containment). The batch shim is
+//! insulated from all of it by construction: it submits one atomic
+//! Standard-class batch into a queue sized to the batch, so nothing it
+//! submits can be shed ([`ServingError::Shed`] is bulk-only) or rejected,
+//! and it holds every ticket until [`crate::server::Ticket::wait`] returns,
+//! so nothing is ever cancelled.
 
 use crate::engine::ServingEngine;
 use crate::policy::{Fifo, Lpt, QueuePolicy};

@@ -24,8 +24,35 @@
 //!   fixed worker pool over the shared [`ServingEngine`].
 //! * [`Ticket::wait`] blocks on a condvar until the response lands — no
 //!   async runtime, consistent with the offline compatibility shims.
+//!   [`Ticket::cancel`] (or just dropping the ticket) withdraws a request
+//!   that has not been claimed for dispatch yet; the race against the
+//!   dispatcher is resolved deterministically by the ticket slot's state
+//!   machine: `cancel` returns `true` *iff* the request will never execute.
 //! * [`Server::drain`] stops admission and waits until every outstanding
 //!   ticket is delivered; [`Server::shutdown`] drains and joins the threads.
+//!
+//! ## Overload behavior
+//!
+//! Under saturation the server degrades by SLO class instead of degrading
+//! everyone equally:
+//!
+//! * **Deadline admission bypass** — a deadline-class arrival whose absolute
+//!   deadline lands before the admission window's scheduled close closes the
+//!   window immediately ([`ServerStats::deadline_bypasses`]): tight
+//!   deadlines never pay the coalescing tax.
+//! * **Per-class queue bounds** ([`ServerConfig::with_class_queue_depth`]) —
+//!   each SLO class can hold at most its own share of the bounded queue, so
+//!   bulk backlog cannot starve deadline admission.
+//! * **Bulk load-shedding** — when the queue is full, a latency-sensitive
+//!   submission evicts the *oldest queued bulk* request (its ticket resolves
+//!   with the typed [`ServingError::Shed`]), and a bulk submission that
+//!   finds its bound full is itself rejected with [`SubmitError::Shed`].
+//!   Only bulk-class work is ever shed.
+//! * **Worker fault containment** — a panic while serving a group fails only
+//!   that group's tickets with [`ServingError::WorkerPanic`]; the worker
+//!   respawns and `drain()` still terminates. With the `chaos` feature, a
+//!   scripted [`crate::chaos::FaultPlan`] drives these paths
+//!   deterministically in the test suite.
 //!
 //! Per-completion latency records (queue wait, service time, end-to-end,
 //! deadline verdict) are bucketed by [`SloKind`] in [`ServerStats`], which is
@@ -59,8 +86,17 @@ pub struct ServerConfig {
     pub admission_window_us: u64,
     /// Bound of the submission queue; a submit beyond it is rejected with
     /// [`SubmitError::QueueFull`] (the backpressure contract: the caller
-    /// sheds or retries, the server never buffers without bound).
+    /// sheds or retries, the server never buffers without bound). When the
+    /// total bound is hit by a latency-sensitive submission while bulk work
+    /// is queued, the oldest queued bulk request is shed instead (see the
+    /// module's *Overload behavior* notes).
     pub queue_depth: usize,
+    /// Per-SLO-class queue bounds, indexed by [`SloKind::rank`]; `None`
+    /// falls back to [`ServerConfig::queue_depth`]. A class at its bound
+    /// rejects its own submissions ([`SubmitError::Shed`] for bulk,
+    /// [`SubmitError::QueueFull`] for the rest) without consuming room the
+    /// other classes still have.
+    pub class_queue_depth: [Option<usize>; SloKind::COUNT],
     /// Whether same-layer, same-class requests coalesce into shared fused
     /// executes. Disabled, every request is its own dispatch unit (the
     /// historical plain scheduler).
@@ -73,6 +109,12 @@ pub struct ServerConfig {
     pub coalesce_cap: Option<usize>,
     /// Dispatch order of ready groups.
     pub policy: Arc<dyn QueuePolicy>,
+    /// Scripted fault schedule for chaos testing (`chaos` feature only):
+    /// the server's submit and execute paths poll the plan and inject the
+    /// scripted faults deterministically. Attach a fresh plan per server —
+    /// the plan owns the sequence counters the schedule indexes.
+    #[cfg(feature = "chaos")]
+    pub fault_plan: Option<Arc<crate::chaos::FaultPlan>>,
 }
 
 impl Default for ServerConfig {
@@ -81,9 +123,12 @@ impl Default for ServerConfig {
             workers: 4,
             admission_window_us: 0,
             queue_depth: 1024,
+            class_queue_depth: [None; SloKind::COUNT],
             coalesce: true,
             coalesce_cap: None,
             policy: Arc::new(Fifo),
+            #[cfg(feature = "chaos")]
+            fault_plan: None,
         }
     }
 }
@@ -110,6 +155,29 @@ impl ServerConfig {
     /// Sets the submission-queue bound (clamped to ≥ 1).
     pub fn with_queue_depth(mut self, depth: usize) -> Self {
         self.queue_depth = depth.max(1);
+        self
+    }
+
+    /// Bounds one SLO class's share of the submission queue (clamped to
+    /// ≥ 1). Classes without an explicit bound share the total
+    /// [`ServerConfig::queue_depth`].
+    pub fn with_class_queue_depth(mut self, kind: SloKind, depth: usize) -> Self {
+        self.class_queue_depth[kind.rank() as usize] = Some(depth.max(1));
+        self
+    }
+
+    /// The effective queue bound of one SLO class: its explicit bound, or
+    /// the total queue depth when none was set.
+    pub fn class_depth(&self, kind: SloKind) -> usize {
+        self.class_queue_depth[kind.rank() as usize].unwrap_or(self.queue_depth)
+    }
+
+    /// Attaches a scripted fault schedule (`chaos` feature): the server's
+    /// submit and execute paths poll the plan and inject its faults at the
+    /// scripted sequence points.
+    #[cfg(feature = "chaos")]
+    pub fn with_fault_plan(mut self, plan: Arc<crate::chaos::FaultPlan>) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 
@@ -150,6 +218,12 @@ pub enum SubmitError {
     },
     /// The server is draining or shut down and accepts no new work.
     NotAccepting,
+    /// A bulk-class submission was shed by overload protection: the queue
+    /// (or the bulk class's own bound) is full, and bulk is the class that
+    /// absorbs overload. Unlike [`SubmitError::QueueFull`] this is not a
+    /// "retry soon" signal — the server is saturated and bulk work should
+    /// back off. Only bulk-class submissions are ever shed.
+    Shed,
 }
 
 impl fmt::Display for SubmitError {
@@ -159,6 +233,7 @@ impl fmt::Display for SubmitError {
                 write!(f, "submission queue is full ({depth} requests queued)")
             }
             SubmitError::NotAccepting => f.write_str("server is draining or shut down"),
+            SubmitError::Shed => f.write_str("bulk submission shed by overload protection"),
         }
     }
 }
@@ -190,8 +265,31 @@ pub struct ServerStats {
     pub submitted: u64,
     /// Requests whose ticket has been fulfilled (including typed errors).
     pub completed: u64,
-    /// Submissions rejected by backpressure (queue full or not accepting).
+    /// Submissions rejected by backpressure: queue full, not accepting, or
+    /// shed at the door (door-sheds are *also* counted in
+    /// [`ServerStats::shed_submissions`]).
     pub rejected: u64,
+    /// Bulk submissions rejected with [`SubmitError::Shed`] at the door
+    /// (also counted in [`ServerStats::rejected`]).
+    pub shed_submissions: u64,
+    /// Queued bulk requests evicted (oldest first) to admit
+    /// latency-sensitive work into a full queue; their tickets resolved with
+    /// [`ServingError::Shed`](crate::ServingError::Shed).
+    pub shed_queued: u64,
+    /// Admitted requests withdrawn before dispatch — [`Ticket::cancel`] or a
+    /// dropped ticket. They count toward [`ServerStats::completed`] (the
+    /// drain accounting) but leave no completion record.
+    pub cancelled: u64,
+    /// Admission windows closed early because a queued deadline-class
+    /// request's absolute deadline fell before the scheduled close.
+    pub deadline_bypasses: u64,
+    /// Group executes that panicked mid-service; each failed only its own
+    /// group's tickets with
+    /// [`ServingError::WorkerPanic`](crate::ServingError::WorkerPanic).
+    pub worker_panics: u64,
+    /// Worker threads respawned after a panic unwound them (the pool never
+    /// shrinks below the configured size).
+    pub worker_respawns: u64,
     /// Ready groups handed to the worker pool.
     pub dispatched_groups: u64,
     /// Dispatched groups that coalesced more than one request.
@@ -242,24 +340,65 @@ impl ServerStats {
     }
 }
 
+/// The lifecycle of one ticket slot — the state machine that makes the
+/// cancel-versus-dispatch race deterministic: the slot's mutex serialises
+/// the transitions, so exactly one of [`Ticket::cancel`] (`Queued →
+/// Cancelled`) and the dispatcher's claim (`Queued → Claimed`) wins.
+#[derive(Debug, Default)]
+enum SlotState {
+    /// Admitted, not yet claimed for dispatch; cancellable.
+    #[default]
+    Queued,
+    /// Claimed by the dispatcher: the request will execute (or be failed
+    /// with a typed error); cancellation now returns `false`.
+    Claimed,
+    /// The response has been delivered and awaits the ticket.
+    Done(Response),
+    /// The response was taken by [`Ticket::wait`] / [`Ticket::try_take`].
+    Taken,
+    /// Withdrawn before dispatch; the request never executes and no
+    /// response is ever delivered.
+    Cancelled,
+}
+
 /// The write-once response slot a [`Ticket`] waits on.
 #[derive(Debug, Default)]
 struct TicketSlot {
-    response: Mutex<Option<Response>>,
+    state: Mutex<SlotState>,
     done: Condvar,
 }
 
 impl TicketSlot {
     fn fulfil(&self, response: Response) {
-        let mut slot = self.response.lock().expect("ticket slot poisoned");
-        debug_assert!(slot.is_none(), "a ticket is fulfilled exactly once");
-        *slot = Some(response);
+        let mut state = self.state.lock().expect("ticket slot poisoned");
+        debug_assert!(
+            matches!(*state, SlotState::Queued | SlotState::Claimed),
+            "a ticket is fulfilled exactly once and never after cancellation"
+        );
+        *state = SlotState::Done(response);
         self.done.notify_all();
+    }
+
+    /// Dispatcher-side claim: `Queued → Claimed` commits the request to
+    /// execution. Returns `false` when the ticket was cancelled first — the
+    /// pending entry must be discarded without executing.
+    fn claim(&self) -> bool {
+        let mut state = self.state.lock().expect("ticket slot poisoned");
+        match *state {
+            SlotState::Queued => {
+                *state = SlotState::Claimed;
+                true
+            }
+            SlotState::Cancelled => false,
+            _ => unreachable!("a pending request is claimed at most once"),
+        }
     }
 }
 
 /// The caller's handle to one submitted request. Obtained from
-/// [`Server::submit`]; redeemed with [`Ticket::wait`].
+/// [`Server::submit`]; redeemed with [`Ticket::wait`], or withdrawn with
+/// [`Ticket::cancel`] (dropping the ticket cancels implicitly — the
+/// dispatcher discards abandoned requests at claim time).
 #[derive(Debug)]
 pub struct Ticket {
     id: u64,
@@ -284,23 +423,50 @@ impl Ticket {
     /// [`ServingError::ShutDown`] if the server was dropped without
     /// draining.
     pub fn wait(self) -> Response {
-        let mut slot = self.slot.response.lock().expect("ticket slot poisoned");
+        let mut state = self.slot.state.lock().expect("ticket slot poisoned");
         loop {
-            if let Some(response) = slot.take() {
+            if matches!(*state, SlotState::Done(_)) {
+                let SlotState::Done(response) = std::mem::replace(&mut *state, SlotState::Taken)
+                else {
+                    unreachable!("matched Done above");
+                };
                 return response;
             }
-            slot = self.slot.done.wait(slot).expect("ticket slot poisoned");
+            state = self.slot.done.wait(state).expect("ticket slot poisoned");
         }
     }
 
     /// Non-blocking probe: takes the response if it has already been
     /// delivered.
     pub fn try_take(&self) -> Option<Response> {
-        self.slot
-            .response
-            .lock()
-            .expect("ticket slot poisoned")
-            .take()
+        let mut state = self.slot.state.lock().expect("ticket slot poisoned");
+        if matches!(*state, SlotState::Done(_)) {
+            let SlotState::Done(response) = std::mem::replace(&mut *state, SlotState::Taken) else {
+                unreachable!("matched Done above");
+            };
+            Some(response)
+        } else {
+            None
+        }
+    }
+
+    /// Withdraws the request if it has not been claimed for dispatch yet.
+    ///
+    /// Returns `true` *iff* the request will never execute: the queued entry
+    /// is discarded at the dispatcher's next claim pass and no response is
+    /// delivered. Returns `false` when the dispatcher claimed the request
+    /// first (it will execute — or already has — and its response is simply
+    /// dropped with this ticket). The race against dispatch is resolved
+    /// deterministically by the slot's internal state machine; there is no
+    /// window where `cancel` returns `true` but the request still runs.
+    pub fn cancel(self) -> bool {
+        let mut state = self.slot.state.lock().expect("ticket slot poisoned");
+        if matches!(*state, SlotState::Queued) {
+            *state = SlotState::Cancelled;
+            true
+        } else {
+            false
+        }
     }
 }
 
@@ -325,6 +491,9 @@ struct SubmitQueue {
     pending: VecDeque<Pending>,
     gate: Gate,
     next_seq: u64,
+    /// Queued requests per SLO kind, indexed by [`SloKind::rank`] — the
+    /// per-class bound and shed decisions are O(1) per submit.
+    class_counts: [usize; SloKind::COUNT],
 }
 
 /// A planned dispatch unit: one request, or a same-layer same-class group
@@ -361,6 +530,12 @@ struct Recorder {
     submitted: u64,
     completed: u64,
     rejected: u64,
+    shed_submissions: u64,
+    shed_queued: u64,
+    cancelled: u64,
+    deadline_bypasses: u64,
+    worker_panics: u64,
+    worker_respawns: u64,
     dispatched_groups: u64,
     coalesced_groups: u64,
     coalesced_requests: u64,
@@ -409,6 +584,7 @@ impl ServerCore {
                 pending: VecDeque::new(),
                 gate: Gate::Open,
                 next_seq: 0,
+                class_counts: [0; SloKind::COUNT],
             }),
             queue_cv: Condvar::new(),
             ready: Mutex::new(ReadyQueue {
@@ -435,20 +611,96 @@ impl ServerCore {
         )
     }
 
+    /// Sheds the oldest queued bulk-class request to make room in a full
+    /// queue for a latency-sensitive submission. Called with the queue lock
+    /// held; returns whether a victim was found and evicted.
+    fn shed_oldest_bulk(&self, q: &mut SubmitQueue) -> bool {
+        let Some(pos) = q
+            .pending
+            .iter()
+            .position(|p| p.class.kind() == SloKind::Bulk)
+        else {
+            return false;
+        };
+        let victim = q.pending.remove(pos).expect("position found above");
+        q.class_counts[SloKind::Bulk.rank() as usize] -= 1;
+        // Deterministic against cancellation: claiming the slot decides
+        // whether the victim still has an observer. An already-cancelled or
+        // abandoned victim just counts as cancelled.
+        let live = Arc::strong_count(&victim.slot) > 1 && victim.slot.claim();
+        if live {
+            victim.slot.fulfil(Response {
+                id: victim.request.id,
+                result: Err(ServingError::Shed),
+                service_ms: 0.0,
+                modeled_us: 0.0,
+            });
+        }
+        let mut rec = self.recorder.lock().expect("recorder poisoned");
+        if live {
+            rec.shed_queued += 1;
+        } else {
+            rec.cancelled += 1;
+        }
+        rec.completed += 1;
+        drop(rec);
+        self.idle_cv.notify_all();
+        true
+    }
+
     /// Admits one request (non-blocking; typed rejection on backpressure).
     fn submit(&self, request: Request, class: SloClass) -> Result<Ticket, SubmitError> {
+        #[cfg(feature = "chaos")]
+        if let Some(plan) = &self.cfg.fault_plan {
+            if plan.poll_submit() {
+                self.recorder.lock().expect("recorder poisoned").rejected += 1;
+                return Err(SubmitError::QueueFull {
+                    depth: self.cfg.queue_depth,
+                });
+            }
+        }
+        let kind = class.kind();
+        let rank = kind.rank() as usize;
         let mut q = self.queue.lock().expect("submit queue poisoned");
         if q.gate != Gate::Open {
             drop(q);
             self.recorder.lock().expect("recorder poisoned").rejected += 1;
             return Err(SubmitError::NotAccepting);
         }
-        if q.pending.len() >= self.cfg.queue_depth {
+        // Per-class bound first: a class at its own bound rejects without
+        // looking at (or shedding from) the shared queue.
+        if q.class_counts[rank] >= self.cfg.class_depth(kind) {
             drop(q);
-            self.recorder.lock().expect("recorder poisoned").rejected += 1;
-            return Err(SubmitError::QueueFull {
-                depth: self.cfg.queue_depth,
+            let mut rec = self.recorder.lock().expect("recorder poisoned");
+            rec.rejected += 1;
+            return Err(if kind == SloKind::Bulk {
+                rec.shed_submissions += 1;
+                SubmitError::Shed
+            } else {
+                SubmitError::QueueFull {
+                    depth: self.cfg.class_depth(kind),
+                }
             });
+        }
+        if q.pending.len() >= self.cfg.queue_depth {
+            // The shared queue is full. Latency-sensitive work evicts the
+            // oldest queued bulk request; bulk work is shed at the door; a
+            // latency-sensitive submission with no bulk to evict gets the
+            // retryable QueueFull.
+            let made_room = kind != SloKind::Bulk && self.shed_oldest_bulk(&mut q);
+            if !made_room {
+                drop(q);
+                let mut rec = self.recorder.lock().expect("recorder poisoned");
+                rec.rejected += 1;
+                return Err(if kind == SloKind::Bulk {
+                    rec.shed_submissions += 1;
+                    SubmitError::Shed
+                } else {
+                    SubmitError::QueueFull {
+                        depth: self.cfg.queue_depth,
+                    }
+                });
+            }
         }
         let (ticket, slot) = Self::make_ticket(&request, class);
         let seq = q.next_seq;
@@ -460,6 +712,7 @@ impl ServerCore {
             submitted_at: Instant::now(),
             slot,
         });
+        q.class_counts[rank] += 1;
         // `submitted` is incremented while the queue lock is held so
         // `completed` can never race ahead of it (drain's idle condition).
         self.recorder.lock().expect("recorder poisoned").submitted += 1;
@@ -469,19 +722,24 @@ impl ServerCore {
     }
 
     /// Admits a whole batch atomically: either every request is queued (the
-    /// dispatcher cannot observe a partial batch) or none is.
+    /// dispatcher cannot observe a partial batch) or none is. Batches never
+    /// shed queued work to make room — a batch that does not fit (total
+    /// bound or its class's bound) is rejected whole.
     fn submit_batch(
         &self,
         requests: Vec<Request>,
         class: SloClass,
     ) -> Result<Vec<Ticket>, SubmitError> {
+        let rank = class.kind().rank() as usize;
         let mut q = self.queue.lock().expect("submit queue poisoned");
         if q.gate != Gate::Open {
             drop(q);
             self.recorder.lock().expect("recorder poisoned").rejected += requests.len() as u64;
             return Err(SubmitError::NotAccepting);
         }
-        if q.pending.len() + requests.len() > self.cfg.queue_depth {
+        if q.pending.len() + requests.len() > self.cfg.queue_depth
+            || q.class_counts[rank] + requests.len() > self.cfg.class_depth(class.kind())
+        {
             drop(q);
             self.recorder.lock().expect("recorder poisoned").rejected += requests.len() as u64;
             return Err(SubmitError::QueueFull {
@@ -501,6 +759,7 @@ impl ServerCore {
                 submitted_at: now,
                 slot,
             });
+            q.class_counts[rank] += 1;
             tickets.push(ticket);
         }
         self.recorder.lock().expect("recorder poisoned").submitted += tickets.len() as u64;
@@ -511,15 +770,24 @@ impl ServerCore {
 
     /// Stops admission and blocks until every admitted request has been
     /// fulfilled.
+    ///
+    /// Closing the gate and snapshotting the outstanding work happen in one
+    /// combined critical section (queue lock, then recorder lock — the same
+    /// order `submit` uses): a concurrent `submit` either completed before
+    /// the gate closed (its ticket is covered by the `completed ==
+    /// submitted` wait below) or observes `Draining` and is rejected with
+    /// [`SubmitError::NotAccepting`]. There is no interleaving in which a
+    /// ticket is accepted but the drain returns without it being delivered.
     fn drain(&self) {
-        {
+        let mut rec = {
             let mut q = self.queue.lock().expect("submit queue poisoned");
             if q.gate == Gate::Open {
                 q.gate = Gate::Draining;
             }
-        }
+            self.recorder.lock().expect("recorder poisoned")
+            // queue lock released here, after the recorder is held
+        };
         self.queue_cv.notify_all();
-        let mut rec = self.recorder.lock().expect("recorder poisoned");
         while rec.completed < rec.submitted {
             rec = self.idle_cv.wait(rec).expect("recorder poisoned");
         }
@@ -548,6 +816,12 @@ impl ServerCore {
             submitted: rec.submitted,
             completed: rec.completed,
             rejected: rec.rejected,
+            shed_submissions: rec.shed_submissions,
+            shed_queued: rec.shed_queued,
+            cancelled: rec.cancelled,
+            deadline_bypasses: rec.deadline_bypasses,
+            worker_panics: rec.worker_panics,
+            worker_respawns: rec.worker_respawns,
             dispatched_groups: rec.dispatched_groups,
             coalesced_groups: rec.coalesced_groups,
             coalesced_requests: rec.coalesced_requests,
@@ -602,11 +876,30 @@ impl ServerCore {
                     // draining — latency is all that matters then).
                     if q.gate == Gate::Open && !window.is_zero() {
                         let opened = q.pending.front().expect("non-empty").submitted_at;
+                        let close_at = opened + window;
+                        // Deadline admission bypass: a queued deadline-class
+                        // request whose absolute deadline falls before the
+                        // scheduled close cannot afford the rest of the
+                        // window — close it now. Checked on every wake, so a
+                        // tight-deadline arrival joining a held window
+                        // triggers the bypass immediately.
+                        let urgent = q.pending.iter().any(|p| {
+                            p.class.deadline_us().is_some_and(|budget| {
+                                p.submitted_at + Duration::from_micros(budget) < close_at
+                            })
+                        });
+                        if urgent {
+                            self.recorder
+                                .lock()
+                                .expect("recorder poisoned")
+                                .deadline_bypasses += 1;
+                            break false;
+                        }
                         let now = Instant::now();
-                        if now < opened + window {
+                        if now < close_at {
                             let (guard, _) = self
                                 .queue_cv
-                                .wait_timeout(q, opened + window - now)
+                                .wait_timeout(q, close_at - now)
                                 .expect("submit queue poisoned");
                             q = guard;
                             continue;
@@ -623,12 +916,18 @@ impl ServerCore {
             let (batch, stopped_late) = {
                 let mut q = self.queue.lock().expect("submit queue poisoned");
                 let batch: Vec<Pending> = q.pending.drain(..).collect();
+                q.class_counts = [0; SloKind::COUNT];
                 (batch, q.gate == Gate::Stopped)
             };
             if stopped || stopped_late {
                 self.fail_pending(batch);
                 break;
             }
+            // Claim pass: commit each pending request to execution, or
+            // discard it if its ticket was cancelled or dropped. This is
+            // the deterministic resolution point of the cancel-vs-dispatch
+            // race — from here on `Ticket::cancel` returns `false`.
+            let batch = self.claim_batch(batch);
             if batch.is_empty() {
                 continue;
             }
@@ -661,6 +960,33 @@ impl ServerCore {
         self.ready_cv.notify_all();
     }
 
+    /// Claims an admission round's requests for execution, discarding the
+    /// cancelled and abandoned ones (ticket dropped: the server holds the
+    /// only slot reference). Discarded requests count toward `completed` —
+    /// they were admitted, so drain's idle condition must account for them —
+    /// but leave no completion record.
+    fn claim_batch(&self, batch: Vec<Pending>) -> Vec<Pending> {
+        let mut live = Vec::with_capacity(batch.len());
+        let mut discarded = 0u64;
+        for pending in batch {
+            let abandoned = Arc::strong_count(&pending.slot) == 1;
+            if !abandoned && pending.slot.claim() {
+                live.push(pending);
+            } else {
+                discarded += 1;
+            }
+        }
+        if discarded > 0 {
+            {
+                let mut rec = self.recorder.lock().expect("recorder poisoned");
+                rec.cancelled += discarded;
+                rec.completed += discarded;
+            }
+            self.idle_cv.notify_all();
+        }
+        live
+    }
+
     /// Fails still-queued requests on a non-drained stop so every ticket
     /// resolves. Tickets are fulfilled **before** `completed` advances —
     /// `drain` treats `completed == submitted` as "every ticket delivered",
@@ -671,17 +997,26 @@ impl ServerCore {
             return;
         }
         let count = batch.len() as u64;
+        let mut discarded = 0u64;
         for pending in batch {
-            pending.slot.fulfil(Response {
-                id: pending.request.id,
-                result: Err(ServingError::ShutDown),
-                service_ms: 0.0,
-                modeled_us: 0.0,
-            });
+            // Cancelled or abandoned requests cannot be fulfilled (their
+            // slot already left the Queued state, or nobody is listening).
+            let abandoned = Arc::strong_count(&pending.slot) == 1;
+            if !abandoned && pending.slot.claim() {
+                pending.slot.fulfil(Response {
+                    id: pending.request.id,
+                    result: Err(ServingError::ShutDown),
+                    service_ms: 0.0,
+                    modeled_us: 0.0,
+                });
+            } else {
+                discarded += 1;
+            }
         }
         {
             let mut rec = self.recorder.lock().expect("recorder poisoned");
             rec.completed += count;
+            rec.cancelled += discarded;
         }
         self.idle_cv.notify_all();
     }
@@ -819,74 +1154,48 @@ impl ServerCore {
     /// its operands, executes once, and scatters the output columns back —
     /// bit-identical to individual service because every output column of an
     /// SpMM depends only on its own activation column.
+    ///
+    /// A panic during service is contained: only this group's tickets fail
+    /// (with the typed [`ServingError::WorkerPanic`]), `completed` still
+    /// advances so `drain()` terminates, and the panic is then re-raised so
+    /// the worker supervisor ([`ServerCore::worker_entry`]) respawns the
+    /// thread. No lock is held across the engine call, so the unwind cannot
+    /// poison the server's mutexes.
     fn execute_group(&self, engine: &ServingEngine, group: ReadyGroup) {
+        let ReadyGroup { meta, members } = group;
         let exec_start = Instant::now();
-        let responses: Vec<Response> = if group.members.len() == 1 {
-            let pending = &group.members[0];
-            let (result, modeled_us) = match engine
-                .execute_profiled(pending.request.layer, &pending.request.activations)
-            {
-                Ok((output, us)) => (Ok(output), us),
-                Err(e) => (Err(e), 0.0),
-            };
-            vec![Response {
-                id: pending.request.id,
-                result,
-                service_ms: exec_start.elapsed().as_secs_f64() * 1e3,
-                modeled_us,
-            }]
-        } else {
-            let parts: Vec<&DenseMatrix> = group
-                .members
-                .iter()
-                .map(|p| &p.request.activations)
-                .collect();
-            let combined = DenseMatrix::concat_cols(&parts)
-                .expect("coalesced group operands share the layer's k");
-            let total_cols = combined.cols();
-            // Pad-free group execution: a partially-filled group runs the
-            // exact-width fused sweep instead of padding up to its bucket.
-            let executed = engine.execute_group_profiled(group.meta.layer, &combined);
-            let service_ms = exec_start.elapsed().as_secs_f64() * 1e3;
-            match executed {
-                Ok((output, us)) => {
-                    let mut col = 0;
-                    group
-                        .members
-                        .iter()
-                        .map(|p| {
-                            let width = p.request.activations.cols();
-                            let result = output.cols_padded(col, width, width);
-                            col += width;
-                            Response {
-                                id: p.request.id,
-                                result: Ok(result),
-                                service_ms,
-                                modeled_us: if total_cols == 0 {
-                                    0.0
-                                } else {
-                                    us * width as f64 / total_cols as f64
-                                },
-                            }
-                        })
-                        .collect()
-                }
-                Err(e) => group
-                    .members
-                    .iter()
-                    .map(|p| Response {
-                        id: p.request.id,
-                        result: Err(e.clone()),
+        let computed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.compute_responses(engine, &meta, &members, exec_start)
+        }));
+        let responses = match computed {
+            Ok(responses) => responses,
+            Err(payload) => {
+                let context = panic_message(payload.as_ref());
+                let service_ms = exec_start.elapsed().as_secs_f64() * 1e3;
+                // Fail only this group's tickets, keep the drain accounting
+                // exact, then hand the panic to the worker supervisor.
+                for pending in &members {
+                    pending.slot.fulfil(Response {
+                        id: pending.request.id,
+                        result: Err(ServingError::WorkerPanic {
+                            context: context.clone(),
+                        }),
                         service_ms,
                         modeled_us: 0.0,
-                    })
-                    .collect(),
+                    });
+                }
+                {
+                    let mut rec = self.recorder.lock().expect("recorder poisoned");
+                    rec.worker_panics += 1;
+                    rec.completed += members.len() as u64;
+                }
+                self.idle_cv.notify_all();
+                std::panic::resume_unwind(payload);
             }
         };
 
         let completed_at = Instant::now();
-        let records: Vec<Completion> = group
-            .members
+        let records: Vec<Completion> = members
             .iter()
             .zip(&responses)
             .map(|(pending, response)| {
@@ -914,7 +1223,7 @@ impl ServerCore {
         // treats `completed == submitted` as "every ticket delivered", so a
         // concurrent worker's increment must never let a drain return while
         // this group's responses are still undelivered.
-        for (pending, response) in group.members.into_iter().zip(responses) {
+        for (pending, response) in members.into_iter().zip(responses) {
             pending.slot.fulfil(response);
         }
         {
@@ -925,6 +1234,132 @@ impl ServerCore {
         }
         self.idle_cv.notify_all();
     }
+
+    /// Computes one response per group member: the (possibly fused) engine
+    /// execute plus the per-member scatter. May panic (the engine is
+    /// arbitrary code; the chaos layer injects panics here on purpose) —
+    /// [`ServerCore::execute_group`] contains the unwind.
+    fn compute_responses(
+        &self,
+        engine: &ServingEngine,
+        meta: &GroupMeta,
+        members: &[Pending],
+        exec_start: Instant,
+    ) -> Vec<Response> {
+        #[cfg(feature = "chaos")]
+        if let Some(plan) = &self.cfg.fault_plan {
+            let (stall, fault) = plan.poll_exec();
+            if let Some(delay) = stall {
+                std::thread::sleep(delay);
+            }
+            match fault {
+                crate::chaos::ExecFault::Panic => {
+                    panic!("injected worker panic (chaos fault plan)")
+                }
+                crate::chaos::ExecFault::FailBuild => {
+                    let err = ServingError::Kernel(shfl_kernels::KernelError::ShapeMismatch {
+                        context: "injected plan-build failure (chaos fault plan)".into(),
+                    });
+                    let service_ms = exec_start.elapsed().as_secs_f64() * 1e3;
+                    return members
+                        .iter()
+                        .map(|p| Response {
+                            id: p.request.id,
+                            result: Err(err.clone()),
+                            service_ms,
+                            modeled_us: 0.0,
+                        })
+                        .collect();
+                }
+                crate::chaos::ExecFault::None => {}
+            }
+        }
+        if members.len() == 1 {
+            let pending = &members[0];
+            let (result, modeled_us) = match engine
+                .execute_profiled(pending.request.layer, &pending.request.activations)
+            {
+                Ok((output, us)) => (Ok(output), us),
+                Err(e) => (Err(e), 0.0),
+            };
+            vec![Response {
+                id: pending.request.id,
+                result,
+                service_ms: exec_start.elapsed().as_secs_f64() * 1e3,
+                modeled_us,
+            }]
+        } else {
+            let parts: Vec<&DenseMatrix> = members.iter().map(|p| &p.request.activations).collect();
+            let combined = DenseMatrix::concat_cols(&parts)
+                .expect("coalesced group operands share the layer's k");
+            let total_cols = combined.cols();
+            // Pad-free group execution: a partially-filled group runs the
+            // exact-width fused sweep instead of padding up to its bucket.
+            let executed = engine.execute_group_profiled(meta.layer, &combined);
+            let service_ms = exec_start.elapsed().as_secs_f64() * 1e3;
+            match executed {
+                Ok((output, us)) => {
+                    let mut col = 0;
+                    members
+                        .iter()
+                        .map(|p| {
+                            let width = p.request.activations.cols();
+                            let result = output.cols_padded(col, width, width);
+                            col += width;
+                            Response {
+                                id: p.request.id,
+                                result: Ok(result),
+                                service_ms,
+                                modeled_us: if total_cols == 0 {
+                                    0.0
+                                } else {
+                                    us * width as f64 / total_cols as f64
+                                },
+                            }
+                        })
+                        .collect()
+                }
+                Err(e) => members
+                    .iter()
+                    .map(|p| Response {
+                        id: p.request.id,
+                        result: Err(e.clone()),
+                        service_ms,
+                        modeled_us: 0.0,
+                    })
+                    .collect(),
+            }
+        }
+    }
+
+    /// Worker thread entry point: runs the worker loop and respawns it (in
+    /// place, on the same thread) whenever a group execute unwinds it. The
+    /// pool therefore never shrinks below the configured size, and a
+    /// panicking engine cannot wedge the dispatcher's pacing wait or
+    /// `drain()`.
+    fn worker_entry(&self, engine: &ServingEngine) {
+        loop {
+            let run =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.worker_loop(engine)));
+            if run.is_ok() {
+                break;
+            }
+            self.recorder
+                .lock()
+                .expect("recorder poisoned")
+                .worker_respawns += 1;
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message (the common `&str` /
+/// `String` payloads; anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
 }
 
 /// Stops the core when dropped — the panic-safety net of [`Server::scoped`]
@@ -991,7 +1426,7 @@ impl Server {
         for _ in 0..core.cfg.workers.max(1) {
             let core = Arc::clone(&core);
             let engine = Arc::clone(&engine);
-            threads.push(std::thread::spawn(move || core.worker_loop(&engine)));
+            threads.push(std::thread::spawn(move || core.worker_entry(&engine)));
         }
         {
             let core = Arc::clone(&core);
@@ -1018,7 +1453,7 @@ impl Server {
         let core = ServerCore::new(config);
         std::thread::scope(|s| {
             for _ in 0..core.cfg.workers.max(1) {
-                s.spawn(|| core.worker_loop(engine));
+                s.spawn(|| core.worker_entry(engine));
             }
             s.spawn(|| core.dispatch_loop(engine));
             let guard = StopOnDrop { core: &core };

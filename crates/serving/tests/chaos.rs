@@ -1,0 +1,314 @@
+//! Chaos property tests (`--features chaos`): deterministic scripted fault
+//! schedules — queue-full windows, plan-build failures, worker panics, slow
+//! executes — against the continuous-batching server. Under *every* schedule
+//! each accepted ticket resolves (a value or a typed error; no hangs, no
+//! poisoned locks), every success stays bit-identical to the fault-free
+//! oracle, and `drain()` terminates.
+#![cfg(feature = "chaos")]
+
+use gpu_sim::GpuArch;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use shfl_core::bucket::BucketPolicy;
+use shfl_core::formats::ShflBwMatrix;
+use shfl_core::matrix::DenseMatrix;
+use shfl_core::slo::SloClass;
+use shfl_serving::chaos::FaultPlan;
+use shfl_serving::scheduler::Request;
+use shfl_serving::server::{Server, ServerConfig, ServerStats, SubmitError};
+use shfl_serving::{ServingEngine, ServingError};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn engine_with_layers(layers: usize) -> ServingEngine {
+    let mut engine =
+        ServingEngine::new(GpuArch::t4(), BucketPolicy::new(8, 32).unwrap(), 8 * layers);
+    for l in 0..layers {
+        let dense = DenseMatrix::from_fn(16, 16, |r, c| {
+            if (c + r / 4 + l) % 3 == 0 {
+                0.5 + l as f32
+            } else {
+                0.0
+            }
+        });
+        let weights = ShflBwMatrix::from_dense(&dense, 4).unwrap();
+        engine.register_layer(&format!("layer{l}"), weights);
+    }
+    engine
+}
+
+fn bits(m: &DenseMatrix) -> Vec<u32> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Runs one scripted schedule over a mixed 12-request trace and asserts the
+/// chaos property: every accepted ticket resolves with either a bit-identical
+/// success or a typed injected-fault error, and drain accounting stays exact.
+fn run_schedule(plan: FaultPlan) -> ServerStats {
+    let engine = engine_with_layers(2);
+    let mut rng = StdRng::seed_from_u64(71);
+    let requests: Vec<Request> = (0..12)
+        .map(|i| Request {
+            id: i,
+            layer: (i % 2) as usize,
+            activations: DenseMatrix::random(&mut rng, 16, 1 + (i as usize * 5) % 20),
+        })
+        .collect();
+    let expected: Vec<DenseMatrix> = requests
+        .iter()
+        .map(|r| engine.execute(r.layer, &r.activations).unwrap())
+        .collect();
+    let plan = Arc::new(plan);
+    let server = Server::start(
+        engine,
+        ServerConfig::new()
+            .with_workers(2)
+            .with_admission_window_us(100)
+            .with_fault_plan(Arc::clone(&plan)),
+    );
+    let classes = [
+        SloClass::Standard,
+        SloClass::Bulk,
+        SloClass::Deadline {
+            deadline_us: 50_000,
+        },
+    ];
+    let mut tickets = Vec::new();
+    for (i, request) in requests.into_iter().enumerate() {
+        match server.submit_classed(request, classes[i % classes.len()]) {
+            Ok(ticket) => tickets.push((i, ticket)),
+            // Scripted queue-full windows bounce with the normal typed error.
+            Err(SubmitError::QueueFull { .. }) => {}
+            Err(other) => panic!("unexpected rejection: {other}"),
+        }
+    }
+    for (i, ticket) in tickets {
+        let response = ticket.wait();
+        match response.result {
+            Ok(got) => {
+                let want = &expected[i];
+                assert_eq!(got.shape(), want.shape(), "request {i}");
+                assert_eq!(
+                    bits(&got),
+                    bits(want),
+                    "request {i} must stay bit-identical"
+                );
+            }
+            Err(ServingError::WorkerPanic { context }) => {
+                assert!(context.contains("injected worker panic"), "{context}");
+            }
+            Err(ServingError::Kernel(e)) => {
+                assert!(e.to_string().contains("injected plan-build failure"), "{e}");
+            }
+            Err(other) => panic!("request {i} failed with an unscripted error: {other}"),
+        }
+    }
+    server.drain();
+    let stats = server.stats();
+    assert_eq!(
+        stats.completed, stats.submitted,
+        "drain must account for every accepted request"
+    );
+    server.shutdown();
+    stats
+}
+
+/// The headline chaos property over a spread of schedules, from fault-free
+/// to a compound script mixing all four fault kinds.
+#[test]
+fn every_schedule_resolves_every_ticket_bit_identically() {
+    let schedules = [
+        FaultPlan::new(),
+        FaultPlan::new().fail_build_at(0),
+        FaultPlan::new().panic_at(0),
+        FaultPlan::new().reject_submit_at(0).reject_submit_at(5),
+        FaultPlan::new()
+            .slow_at(0, 2_000)
+            .panic_at(1)
+            .fail_build_at(2),
+        FaultPlan::new()
+            .panic_at(0)
+            .panic_at(1)
+            .panic_at(2)
+            .fail_build_at(3)
+            .reject_submit_at(7)
+            .slow_at(4, 1_000),
+    ];
+    for plan in schedules {
+        run_schedule(plan);
+    }
+}
+
+/// A scripted panic fails only its own group's tickets with the typed
+/// `WorkerPanic` error; the worker respawns and serves the rest of the trace
+/// bit-identically, and `drain()` still terminates.
+#[test]
+fn worker_panic_fails_only_its_group_and_respawns() {
+    let engine = engine_with_layers(1);
+    let mut rng = StdRng::seed_from_u64(73);
+    let requests: Vec<Request> = (0..3)
+        .map(|i| Request {
+            id: i,
+            layer: 0,
+            activations: DenseMatrix::random(&mut rng, 16, 4),
+        })
+        .collect();
+    let expected: Vec<DenseMatrix> = requests
+        .iter()
+        .map(|r| engine.execute(r.layer, &r.activations).unwrap())
+        .collect();
+    let plan = Arc::new(FaultPlan::new().panic_at(0));
+    let server = Server::start(
+        engine,
+        ServerConfig::new()
+            .with_workers(1)
+            .with_coalesce(false)
+            .with_admission_window_us(5_000_000)
+            .with_fault_plan(Arc::clone(&plan)),
+    );
+    let tickets: Vec<_> = requests
+        .into_iter()
+        .map(|r| server.submit(r).unwrap())
+        .collect();
+    server.drain();
+    let mut tickets = tickets.into_iter();
+    let hit = tickets.next().unwrap().try_take().expect("drained");
+    assert!(matches!(hit.result, Err(ServingError::WorkerPanic { .. })));
+    for (ticket, want) in tickets.zip(&expected[1..]) {
+        let got = ticket.try_take().expect("drained").result.unwrap();
+        assert_eq!(bits(&got), bits(want));
+    }
+    let stats = server.stats();
+    assert_eq!(stats.worker_panics, 1);
+    assert_eq!(stats.worker_respawns, 1);
+    assert_eq!(stats.completed, 3);
+    server.shutdown();
+}
+
+/// A scripted plan-build failure surfaces the typed kernel error to its
+/// group without panicking any worker; the rest of the trace is unaffected.
+#[test]
+fn scripted_build_failure_surfaces_typed_kernel_error() {
+    let engine = engine_with_layers(1);
+    let mut rng = StdRng::seed_from_u64(79);
+    let plan = Arc::new(FaultPlan::new().fail_build_at(1));
+    let server = Server::start(
+        engine,
+        ServerConfig::new()
+            .with_workers(1)
+            .with_coalesce(false)
+            .with_admission_window_us(5_000_000)
+            .with_fault_plan(Arc::clone(&plan)),
+    );
+    let tickets: Vec<_> = (0..3)
+        .map(|i| {
+            server
+                .submit(Request {
+                    id: i,
+                    layer: 0,
+                    activations: DenseMatrix::random(&mut rng, 16, 4),
+                })
+                .unwrap()
+        })
+        .collect();
+    server.drain();
+    let results: Vec<_> = tickets
+        .into_iter()
+        .map(|t| t.try_take().expect("drained").result)
+        .collect();
+    assert!(results[0].is_ok());
+    match &results[1] {
+        Err(ServingError::Kernel(e)) => {
+            assert!(e.to_string().contains("injected plan-build failure"))
+        }
+        other => panic!("expected an injected kernel error, got {other:?}"),
+    }
+    assert!(results[2].is_ok());
+    let stats = server.stats();
+    assert_eq!(stats.worker_panics, 0);
+    assert_eq!(stats.worker_respawns, 0);
+    assert_eq!(plan.executes_seen(), 3);
+    server.shutdown();
+}
+
+/// Scripted queue-full windows bounce exactly the scripted submissions with
+/// the typed backpressure error while the queue itself stays untouched.
+#[test]
+fn scripted_queue_full_windows_bounce_submissions() {
+    let engine = engine_with_layers(1);
+    let mut rng = StdRng::seed_from_u64(83);
+    let plan = Arc::new(FaultPlan::new().reject_submit_at(0).reject_submit_at(2));
+    let server = Server::start(
+        engine,
+        ServerConfig::new()
+            .with_workers(1)
+            .with_fault_plan(Arc::clone(&plan)),
+    );
+    let mut accepted = Vec::new();
+    for i in 0..4u64 {
+        let outcome = server.submit(Request {
+            id: i,
+            layer: 0,
+            activations: DenseMatrix::random(&mut rng, 16, 4),
+        });
+        if i == 0 || i == 2 {
+            assert!(matches!(outcome, Err(SubmitError::QueueFull { .. })));
+        } else {
+            accepted.push(outcome.unwrap());
+        }
+    }
+    for ticket in accepted {
+        assert!(ticket.wait().result.is_ok());
+    }
+    server.drain();
+    let stats = server.stats();
+    assert_eq!(stats.rejected, 2);
+    assert_eq!(stats.submitted, 2);
+    assert_eq!(plan.submissions_seen(), 4);
+    server.shutdown();
+}
+
+/// A scripted slow execute creates a backlog window: requests arriving
+/// during the stall pile into the next admission round (and coalesce), and
+/// every one of them still resolves bit-identically.
+#[test]
+fn slow_execute_builds_backlog_without_losing_requests() {
+    let engine = engine_with_layers(1);
+    let mut rng = StdRng::seed_from_u64(89);
+    let requests: Vec<Request> = (0..6)
+        .map(|i| Request {
+            id: i,
+            layer: 0,
+            activations: DenseMatrix::random(&mut rng, 16, 4),
+        })
+        .collect();
+    let expected: Vec<DenseMatrix> = requests
+        .iter()
+        .map(|r| engine.execute(r.layer, &r.activations).unwrap())
+        .collect();
+    let plan = Arc::new(FaultPlan::new().slow_at(0, 200_000));
+    let server = Server::start(
+        engine,
+        ServerConfig::new()
+            .with_workers(1)
+            .with_fault_plan(Arc::clone(&plan)),
+    );
+    let mut requests = requests.into_iter();
+    let first = server.submit(requests.next().unwrap()).unwrap();
+    // Land the rest while execute 0 is stalled for 200 ms.
+    std::thread::sleep(Duration::from_millis(20));
+    let rest: Vec<_> = requests.map(|r| server.submit(r).unwrap()).collect();
+    let got = first.wait().result.unwrap();
+    assert_eq!(bits(&got), bits(&expected[0]));
+    for (ticket, want) in rest.into_iter().zip(&expected[1..]) {
+        let got = ticket.wait().result.unwrap();
+        assert_eq!(bits(&got), bits(want));
+    }
+    server.drain();
+    let stats = server.stats();
+    assert_eq!(stats.completed, 6);
+    // The stalled window forced the trailing requests into shared rounds.
+    assert!(stats.coalesced_requests >= 2, "stats: {stats:?}");
+    assert!(plan.executes_seen() >= 2);
+    server.shutdown();
+}

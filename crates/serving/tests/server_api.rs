@@ -9,13 +9,14 @@ use rand::{Rng, SeedableRng};
 use shfl_core::bucket::BucketPolicy;
 use shfl_core::formats::ShflBwMatrix;
 use shfl_core::matrix::DenseMatrix;
-use shfl_core::slo::SloClass;
+use shfl_core::slo::{SloClass, SloKind};
 use shfl_serving::policy::{ShortestJobFirst, SloAware};
 use shfl_serving::scheduler::Request;
 use shfl_serving::server::{Server, ServerConfig, SubmitError};
 use shfl_serving::{ServingEngine, ServingError};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn engine_with_layers(layers: usize) -> ServingEngine {
     let mut engine =
@@ -369,6 +370,310 @@ fn coalesce_cap_override_controls_group_width() {
     let stats = server.stats();
     assert_eq!(stats.dispatched_groups, 4);
     assert_eq!(stats.coalesced_groups, 0);
+    server.shutdown();
+}
+
+/// A deadline submission whose slack is tighter than the remaining admission
+/// window closes the window immediately: the urgent arrival dispatches right
+/// away instead of ageing out its budget behind a held window.
+#[test]
+fn tight_deadline_submission_bypasses_the_admission_window() {
+    let engine = engine_with_layers(1);
+    let mut rng = StdRng::seed_from_u64(31);
+    let server = Server::start(
+        engine,
+        ServerConfig::new()
+            .with_workers(1)
+            .with_admission_window_us(5_000_000),
+    );
+    let start = Instant::now();
+    let standard = server
+        .submit(Request {
+            id: 0,
+            layer: 0,
+            activations: DenseMatrix::random(&mut rng, 16, 4),
+        })
+        .unwrap();
+    let urgent = server
+        .submit_classed(
+            Request {
+                id: 1,
+                layer: 0,
+                activations: DenseMatrix::random(&mut rng, 16, 4),
+            },
+            SloClass::Deadline { deadline_us: 1_000 },
+        )
+        .unwrap();
+    // Without the bypass both tickets would sit out the full five-second
+    // window; with it the round dispatches as soon as the urgent arrival
+    // lands. The generous bound keeps the test robust on slow machines
+    // while still failing decisively if the window is served in full.
+    assert!(standard.wait().result.is_ok());
+    assert!(urgent.wait().result.is_ok());
+    assert!(
+        start.elapsed() < Duration::from_secs(2),
+        "tight deadline should have closed the 5 s admission window early"
+    );
+    server.drain();
+    assert!(server.stats().deadline_bypasses >= 1);
+    server.shutdown();
+}
+
+/// Cancelling a still-queued ticket removes the request before dispatch: it
+/// is never executed, the cancel is acknowledged, and drain accounting stays
+/// exact.
+#[test]
+fn cancelling_a_queued_ticket_prevents_execution() {
+    let engine = engine_with_layers(1);
+    let mut rng = StdRng::seed_from_u64(37);
+    let server = Server::start(
+        engine,
+        ServerConfig::new()
+            .with_workers(1)
+            .with_admission_window_us(5_000_000),
+    );
+    let keep = server
+        .submit(Request {
+            id: 0,
+            layer: 0,
+            activations: DenseMatrix::random(&mut rng, 16, 4),
+        })
+        .unwrap();
+    let gone = server
+        .submit(Request {
+            id: 1,
+            layer: 0,
+            activations: DenseMatrix::random(&mut rng, 16, 4),
+        })
+        .unwrap();
+    // Both sit in the held admission window, so the cancel deterministically
+    // wins the race against dispatch.
+    assert!(gone.cancel(), "queued ticket must be cancellable");
+    server.drain();
+    assert!(keep.try_take().expect("drained").result.is_ok());
+    let stats = server.stats();
+    assert_eq!(stats.submitted, 2);
+    assert_eq!(stats.completed, 2);
+    assert_eq!(stats.cancelled, 1);
+    // The cancelled request never reached a worker: no completion record.
+    assert_eq!(stats.completion_ids(), vec![0]);
+    server.shutdown();
+}
+
+/// Cancelling after the response was produced loses the race and reports so:
+/// `cancel` returns `false` and the request counts as served, not cancelled.
+#[test]
+fn cancel_after_delivery_returns_false() {
+    let engine = engine_with_layers(1);
+    let mut rng = StdRng::seed_from_u64(41);
+    let server = Server::start(engine, ServerConfig::new().with_workers(1));
+    let ticket = server
+        .submit(Request {
+            id: 0,
+            layer: 0,
+            activations: DenseMatrix::random(&mut rng, 16, 4),
+        })
+        .unwrap();
+    server.drain();
+    assert!(!ticket.cancel(), "delivered ticket must not cancel");
+    let stats = server.stats();
+    assert_eq!(stats.cancelled, 0);
+    assert_eq!(stats.completed, 1);
+    server.shutdown();
+}
+
+/// Dropping a ticket abandons the request: the dispatcher discards it at
+/// claim time instead of executing work nobody will observe.
+#[test]
+fn dropped_tickets_are_discarded_without_execution() {
+    let engine = engine_with_layers(1);
+    let mut rng = StdRng::seed_from_u64(43);
+    let server = Server::start(
+        engine,
+        ServerConfig::new()
+            .with_workers(1)
+            .with_admission_window_us(5_000_000),
+    );
+    let make = |id: u64, rng: &mut StdRng| {
+        server
+            .submit(Request {
+                id,
+                layer: 0,
+                activations: DenseMatrix::random(rng, 16, 4),
+            })
+            .unwrap()
+    };
+    let keep = make(0, &mut rng);
+    drop(make(1, &mut rng));
+    drop(make(2, &mut rng));
+    server.drain();
+    assert!(keep.try_take().expect("drained").result.is_ok());
+    let stats = server.stats();
+    assert_eq!(stats.submitted, 3);
+    assert_eq!(stats.completed, 3);
+    assert_eq!(stats.cancelled, 2);
+    assert_eq!(stats.completion_ids(), vec![0]);
+    server.shutdown();
+}
+
+/// Bulk traffic beyond its per-class bound is shed at the door with the
+/// typed `SubmitError::Shed`; other classes are untouched by the bulk bound.
+#[test]
+fn bulk_class_bound_sheds_bulk_at_the_door() {
+    let engine = engine_with_layers(1);
+    let mut rng = StdRng::seed_from_u64(47);
+    let server = Server::start(
+        engine,
+        ServerConfig::new()
+            .with_workers(1)
+            .with_admission_window_us(5_000_000)
+            .with_queue_depth(8)
+            .with_class_queue_depth(SloKind::Bulk, 2),
+    );
+    let make = |id: u64, rng: &mut StdRng| Request {
+        id,
+        layer: 0,
+        activations: DenseMatrix::random(rng, 16, 4),
+    };
+    let b0 = server
+        .submit_classed(make(0, &mut rng), SloClass::Bulk)
+        .unwrap();
+    let b1 = server
+        .submit_classed(make(1, &mut rng), SloClass::Bulk)
+        .unwrap();
+    // Third bulk submission is over the class bound: shed, not QueueFull.
+    assert_eq!(
+        server
+            .submit_classed(make(2, &mut rng), SloClass::Bulk)
+            .unwrap_err(),
+        SubmitError::Shed
+    );
+    // Standard traffic still has the shared queue to itself.
+    let s3 = server.submit(make(3, &mut rng)).unwrap();
+    let stats = server.stats();
+    assert_eq!(stats.shed_submissions, 1);
+    assert_eq!(stats.rejected, 1);
+    server.drain();
+    for ticket in [b0, b1, s3] {
+        assert!(ticket.try_take().expect("drained").result.is_ok());
+    }
+    server.shutdown();
+}
+
+/// When the shared queue is full, latency-sensitive submissions evict the
+/// oldest queued bulk request (its ticket resolves with the typed
+/// `ServingError::Shed`); bulk submissions are shed at the door; and a
+/// latency-sensitive submission with no bulk victim left gets the retryable
+/// `QueueFull`. Only bulk-class work is ever shed.
+#[test]
+fn full_queue_evicts_oldest_bulk_for_latency_traffic() {
+    let engine = engine_with_layers(1);
+    let mut rng = StdRng::seed_from_u64(53);
+    let server = Server::start(
+        engine,
+        ServerConfig::new()
+            .with_workers(1)
+            .with_admission_window_us(5_000_000)
+            .with_queue_depth(3),
+    );
+    let make = |id: u64, rng: &mut StdRng| Request {
+        id,
+        layer: 0,
+        activations: DenseMatrix::random(rng, 16, 4),
+    };
+    let b0 = server
+        .submit_classed(make(0, &mut rng), SloClass::Bulk)
+        .unwrap();
+    let b1 = server
+        .submit_classed(make(1, &mut rng), SloClass::Bulk)
+        .unwrap();
+    let s2 = server.submit(make(2, &mut rng)).unwrap();
+    // Queue full: bulk is shed at the door...
+    assert_eq!(
+        server
+            .submit_classed(make(3, &mut rng), SloClass::Bulk)
+            .unwrap_err(),
+        SubmitError::Shed
+    );
+    // ...while a deadline submission evicts the oldest queued bulk. The
+    // budget exceeds the held window so the admission bypass stays out of
+    // the picture.
+    let d4 = server
+        .submit_classed(
+            make(4, &mut rng),
+            SloClass::Deadline {
+                deadline_us: 10_000_000,
+            },
+        )
+        .unwrap();
+    let shed = b0.wait();
+    assert_eq!(shed.result.unwrap_err(), ServingError::Shed);
+    // A second latency-sensitive arrival evicts the next-oldest bulk.
+    let s5 = server.submit(make(5, &mut rng)).unwrap();
+    assert_eq!(b1.wait().result.unwrap_err(), ServingError::Shed);
+    // No bulk victims left: latency-sensitive overflow is retryable, never
+    // shed from the standard or deadline classes.
+    assert_eq!(
+        server.submit(make(6, &mut rng)).unwrap_err(),
+        SubmitError::QueueFull { depth: 3 }
+    );
+    let stats = server.stats();
+    assert_eq!(stats.shed_queued, 2);
+    assert_eq!(stats.shed_submissions, 1);
+    server.drain();
+    for ticket in [s2, d4, s5] {
+        assert!(ticket.try_take().expect("drained").result.is_ok());
+    }
+    server.shutdown();
+}
+
+/// Closing the gate is atomic with the drain snapshot: a submission racing
+/// `drain()` is either rejected with `NotAccepting` or fully served — no
+/// accepted ticket is ever stranded or failed with `ShutDown`.
+#[test]
+fn drain_racing_submissions_never_strands_an_accepted_ticket() {
+    let engine = engine_with_layers(1);
+    let server = Server::start(
+        engine,
+        ServerConfig::new().with_workers(2).with_queue_depth(10_000),
+    );
+    let accepted = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for t in 0..4u64 {
+            let server = &server;
+            let accepted = &accepted;
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(100 + t);
+                for i in 0..150u64 {
+                    let request = Request {
+                        id: t * 1_000 + i,
+                        layer: 0,
+                        activations: DenseMatrix::random(&mut rng, 16, 2),
+                    };
+                    match server.submit(request) {
+                        Ok(ticket) => {
+                            accepted.fetch_add(1, Ordering::SeqCst);
+                            let response = ticket.wait();
+                            assert!(
+                                response.result.is_ok(),
+                                "accepted ticket must be served: {:?}",
+                                response.result
+                            );
+                        }
+                        Err(e) => assert_eq!(e, SubmitError::NotAccepting),
+                    }
+                }
+            });
+        }
+        let server = &server;
+        scope.spawn(move || {
+            std::thread::sleep(Duration::from_millis(2));
+            server.drain();
+        });
+    });
+    let stats = server.stats();
+    assert_eq!(stats.submitted, accepted.load(Ordering::SeqCst));
+    assert_eq!(stats.completed, stats.submitted);
     server.shutdown();
 }
 
