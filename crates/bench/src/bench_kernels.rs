@@ -607,7 +607,11 @@ pub fn to_json(run: &BenchRun) -> String {
                      \"overload_requests\": {}, \"overload_shed\": {}, \
                      \"overload_shed_rate\": {:.4}, \
                      \"overload_deadline_p99_ms\": {:.3}, \
-                     \"overload_bulk_p99_ms\": {:.3}}}}}",
+                     \"overload_bulk_p99_ms\": {:.3}, \
+                     \"update_swaps\": {}, \"update_swap_p99_ms\": {:.3}, \
+                     \"repack_bytes_ratio\": {:.4}, \
+                     \"stale_plan_executes\": {}, \
+                     \"update_failed_requests\": {}}}}}",
                     s.forwards,
                     s.hit_rate,
                     s.p50_ms,
@@ -647,6 +651,11 @@ pub fn to_json(run: &BenchRun) -> String {
                     c.overload_shed_rate,
                     c.overload_deadline_p99_ms,
                     c.overload_bulk_p99_ms,
+                    c.update_swaps,
+                    c.update_swap_p99_ms,
+                    c.repack_bytes_ratio,
+                    c.stale_plan_executes,
+                    c.update_failed_requests,
                 )
             }
             None => String::new(),

@@ -52,11 +52,21 @@
 //!    arrivals far outrun capacity, excess bulk sheds at the door (never any
 //!    other class) while admitted bulk still completes, and the gates check
 //!    a nonzero bulk shed rate in every mode plus, in full mode, deadline
-//!    p99 staying strictly under bulk p99 on the overloaded server.
+//!    p99 staying strictly under bulk p99 on the overloaded server, and
+//! 9. **live weight updates** — ≥ 8 same-pattern magnitude swaps (alternating
+//!    a scaled republish with a rollback, so the engine's weights end exactly
+//!    where they started) published while mixed-class traffic is in flight
+//!    against the updated layer: the sub-trace records the swap-latency p99,
+//!    the delta-re-pack byte ratio (payload bytes rewritten over full-rebuild
+//!    bytes; strictly below 1 by construction), and the stale-plan execute
+//!    count (in-flight snapshots finishing on a superseded version). Gated in
+//!    every mode on swaps never failing a request and on the byte ratio
+//!    landing strictly inside `(0, 1)`.
 
 use gpu_sim::GpuArch;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use shfl_core::formats::{ShflBwMatrix, VectorWiseMatrix};
 use shfl_core::matrix::DenseMatrix;
 use shfl_core::slo::{SloClass, SloKind};
 use shfl_models::engine::{EngineConfig, ModelEngine};
@@ -187,6 +197,21 @@ pub struct ContinuousBenchResult {
     pub overload_deadline_p99_ms: f64,
     /// Bulk-class p99 of the overload sub-trace, ms.
     pub overload_bulk_p99_ms: f64,
+    /// Weight swaps published by the live-update sub-trace (scaled
+    /// republishes plus rollbacks).
+    pub update_swaps: u64,
+    /// 99th-percentile swap latency (build + validate + publish), ms.
+    pub update_swap_p99_ms: f64,
+    /// Delta-re-pack payload bytes over the bytes full rebuilds of the same
+    /// plans would have moved (strictly inside `(0, 1)` when any swap took
+    /// the delta path).
+    pub repack_bytes_ratio: f64,
+    /// Serving executes that finished on a snapshot older than the published
+    /// version — the no-stop-the-world overlap window made visible.
+    pub stale_plan_executes: u64,
+    /// Tickets accepted during the update sub-trace that failed (the
+    /// zero-downtime gate: must be 0).
+    pub update_failed_requests: u64,
 }
 
 impl ContinuousBenchResult {
@@ -589,6 +614,11 @@ fn run_continuous(
             overload_shed_rate: 0.0,
             overload_deadline_p99_ms: 0.0,
             overload_bulk_p99_ms: 0.0,
+            update_swaps: 0,
+            update_swap_p99_ms: 0.0,
+            repack_bytes_ratio: 0.0,
+            stale_plan_executes: 0,
+            update_failed_requests: 0,
         };
     }
 
@@ -813,6 +843,90 @@ fn run_continuous(
     overload.shutdown();
     let overload_shed = overload_stats.shed_submissions + overload_stats.shed_queued;
 
+    // Live-update sub-trace: same-pattern magnitude swaps published while
+    // mixed-class traffic is in flight against the updated layer — the
+    // zero-downtime path. Swaps alternate a ×1.25 republish with a rollback,
+    // so the engine's weights end bit-exactly where the sub-trace found
+    // them; every ticket accepted across a swap must still complete (the
+    // `update_failed_requests == 0` gate), and the delta re-pack must move
+    // strictly fewer bytes than full rebuilds (the ratio gate). This runs
+    // last: the swaps themselves are invisible to the earlier oracles.
+    let update_layer = gemm_layers[0];
+    let update_policy = serving
+        .layer_policy(update_layer)
+        .expect("registered layer");
+    let update_k = serving.layer_k(update_layer).expect("registered layer");
+    let swap_target = 8usize;
+    let update_server = engine.server(
+        ServerConfig::new()
+            .with_workers(2)
+            .with_admission_window_us(window_us)
+            .with_queue_depth(swap_target * 3)
+            .with_policy(Arc::new(SloAware)),
+    );
+    let mut update_rng = StdRng::seed_from_u64(cfg.seed ^ 0x5a9d);
+    let mut swap_walls_ms = Vec::with_capacity(swap_target);
+    let mut update_tickets = Vec::new();
+    for swap in 0..swap_target {
+        // Land a small mixed-class wave, then swap while it is in flight.
+        for j in 0..3usize {
+            let i = swap * 3 + j;
+            let n = 1 + (i * 5) % update_policy.max_bucket();
+            update_tickets.push(
+                update_server
+                    .submit_classed(
+                        Request {
+                            id: i as u64,
+                            layer: update_layer,
+                            activations: DenseMatrix::random(&mut update_rng, update_k, n),
+                        },
+                        continuous_class(i),
+                    )
+                    .expect("queue sized to the update trace"),
+            );
+        }
+        let report = if swap % 2 == 0 {
+            let current = serving
+                .layer_weights(update_layer)
+                .expect("registered layer");
+            let vw = current.vector_wise();
+            let values: Vec<f32> = vw.values().iter().map(|x| x * 1.25).collect();
+            let inner = VectorWiseMatrix::from_parts(
+                vw.rows(),
+                vw.cols(),
+                vw.vector_size(),
+                vw.group_ptr().to_vec(),
+                vw.col_idx().to_vec(),
+                values,
+            )
+            .expect("same-pattern update");
+            let update = ShflBwMatrix::from_vector_wise(inner, current.row_indices().to_vec())
+                .expect("same-pattern update");
+            serving
+                .update_layer(update_layer, update)
+                .expect("same-pattern update publishes")
+        } else {
+            serving
+                .rollback_layer(update_layer)
+                .expect("rollback publishes")
+        };
+        swap_walls_ms.push(report.swap_ms);
+    }
+    update_server.drain();
+    let mut update_failed_requests = 0u64;
+    for ticket in update_tickets {
+        if ticket.try_take().expect("drained").result.is_err() {
+            update_failed_requests += 1;
+        }
+    }
+    update_server.shutdown();
+    let update_stats = serving.update_stats();
+    let repack_bytes_ratio = if update_stats.rebuild_bytes > 0 {
+        update_stats.repack_bytes as f64 / update_stats.rebuild_bytes as f64
+    } else {
+        0.0
+    };
+
     ContinuousBenchResult {
         layers: gemm_layers.len(),
         requests: requests.len(),
@@ -840,6 +954,11 @@ fn run_continuous(
         },
         overload_deadline_p99_ms: overload_stats.class_percentile_ms(SloKind::Deadline, 0.99),
         overload_bulk_p99_ms: overload_stats.class_percentile_ms(SloKind::Bulk, 0.99),
+        update_swaps: update_stats.swaps,
+        update_swap_p99_ms: percentile(&swap_walls_ms, 0.99),
+        repack_bytes_ratio,
+        stale_plan_executes: update_stats.stale_plan_executes,
+        update_failed_requests,
     }
 }
 
@@ -930,6 +1049,23 @@ pub fn to_table(results: &[ServingBenchResult]) -> String {
             c.overload_shed_rate * 100.0,
             c.overload_deadline_p99_ms,
             c.overload_bulk_p99_ms,
+        ));
+    }
+    out.push_str(
+        "\nLive weight updates: same-pattern swaps under in-flight traffic (delta re-pack vs full rebuild)\n\
+         model        | swaps | swap p99 ms | repack/rebuild B | stale execs | failed reqs\n\
+         -------------+-------+-------------+------------------+-------------+------------\n",
+    );
+    for r in results {
+        let c = &r.continuous;
+        out.push_str(&format!(
+            "{:12} | {:5} | {:11.2} | {:15.3}x | {:11} | {:11}\n",
+            r.model,
+            c.update_swaps,
+            c.update_swap_p99_ms,
+            c.repack_bytes_ratio,
+            c.stale_plan_executes,
+            c.update_failed_requests,
         ));
     }
     let mut swept = false;
@@ -1082,6 +1218,11 @@ mod tests {
                 overload_shed_rate: 0.5,
                 overload_deadline_p99_ms: 14.0,
                 overload_bulk_p99_ms: 55.0,
+                update_swaps: 8,
+                update_swap_p99_ms: 3.5,
+                repack_bytes_ratio: 0.125,
+                stale_plan_executes: 2,
+                update_failed_requests: 0,
             },
         }];
         assert!((results[0].speedup_vs_cold() - 1.4).abs() < 1e-12);
@@ -1096,6 +1237,8 @@ mod tests {
         assert!(table.contains("Continuous batching"));
         assert!(table.contains("Overload sub-trace"));
         assert!(table.contains("50.0%"));
+        assert!(table.contains("Live weight updates"));
+        assert!(table.contains("0.125x"));
         assert!(table.contains("best cap  256"));
     }
 }

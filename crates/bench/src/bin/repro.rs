@@ -353,6 +353,28 @@ fn run_bench_serving(smoke: bool) -> ExitCode {
             );
             ok = false;
         }
+        // Live-update gates — deterministic (counter- and outcome-based),
+        // so they apply in smoke mode too: swaps must never fail an accepted
+        // request (zero downtime), and the delta re-pack must move strictly
+        // fewer bytes than full rebuilds of the same plans.
+        if c.update_swaps > 0 {
+            if c.update_failed_requests > 0 {
+                eprintln!(
+                    "error: {} live-update trace failed {} accepted requests \
+                     across {} swaps (zero-downtime gate)",
+                    r.model, c.update_failed_requests, c.update_swaps
+                );
+                ok = false;
+            }
+            if c.repack_bytes_ratio <= 0.0 || c.repack_bytes_ratio >= 1.0 {
+                eprintln!(
+                    "error: {} delta re-pack moved {:.3}x the full-rebuild \
+                     bytes (must land strictly inside (0, 1))",
+                    r.model, c.repack_bytes_ratio
+                );
+                ok = false;
+            }
+        }
     }
     // Acceptance: at least one ≥4-layer mixed-width workload must strictly
     // beat the zero-window configuration on aggregate throughput.

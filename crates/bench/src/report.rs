@@ -323,6 +323,17 @@ pub struct ModelRecord {
     pub serving_cb_overload_deadline_p99_ms: Option<f64>,
     /// Bulk-class p99 of the overload sub-trace, ms.
     pub serving_cb_overload_bulk_p99_ms: Option<f64>,
+    /// Weight swaps published by the live-update sub-trace (absent before
+    /// zero-downtime updates existed).
+    pub serving_cb_update_swaps: Option<f64>,
+    /// 99th-percentile swap latency of the live-update sub-trace, ms.
+    pub serving_cb_update_swap_p99_ms: Option<f64>,
+    /// Delta-re-pack bytes over full-rebuild bytes across the swaps.
+    pub serving_cb_repack_bytes_ratio: Option<f64>,
+    /// Executes that finished on a superseded version snapshot.
+    pub serving_cb_stale_plan_executes: Option<f64>,
+    /// Accepted tickets that failed during the update sub-trace.
+    pub serving_cb_update_failed_requests: Option<f64>,
 }
 
 /// A parsed `BENCH_kernels.json`, any supported schema.
@@ -405,6 +416,11 @@ pub fn parse_report(input: &str) -> Option<BenchReport> {
                 serving_cb_overload_shed_rate: cb_field("overload_shed_rate"),
                 serving_cb_overload_deadline_p99_ms: cb_field("overload_deadline_p99_ms"),
                 serving_cb_overload_bulk_p99_ms: cb_field("overload_bulk_p99_ms"),
+                serving_cb_update_swaps: cb_field("update_swaps"),
+                serving_cb_update_swap_p99_ms: cb_field("update_swap_p99_ms"),
+                serving_cb_repack_bytes_ratio: cb_field("repack_bytes_ratio"),
+                serving_cb_stale_plan_executes: cb_field("stale_plan_executes"),
+                serving_cb_update_failed_requests: cb_field("update_failed_requests"),
             });
         }
     }
@@ -518,6 +534,11 @@ mod tests {
                         overload_shed_rate: 0.5,
                         overload_deadline_p99_ms: 14.0,
                         overload_bulk_p99_ms: 55.0,
+                        update_swaps: 8,
+                        update_swap_p99_ms: 3.5,
+                        repack_bytes_ratio: 0.125,
+                        stale_plan_executes: 2,
+                        update_failed_requests: 0,
                     },
                 }),
             }],
@@ -553,6 +574,11 @@ mod tests {
         assert_eq!(m.serving_cb_overload_shed_rate, Some(0.5));
         assert_eq!(m.serving_cb_overload_deadline_p99_ms, Some(14.0));
         assert_eq!(m.serving_cb_overload_bulk_p99_ms, Some(55.0));
+        assert_eq!(m.serving_cb_update_swaps, Some(8.0));
+        assert_eq!(m.serving_cb_update_swap_p99_ms, Some(3.5));
+        assert_eq!(m.serving_cb_repack_bytes_ratio, Some(0.125));
+        assert_eq!(m.serving_cb_stale_plan_executes, Some(2.0));
+        assert_eq!(m.serving_cb_update_failed_requests, Some(0.0));
     }
 
     #[test]
@@ -573,6 +599,8 @@ mod tests {
         assert_eq!(report.models[0].serving_cb_best_cap, None);
         assert_eq!(report.models[0].serving_cb_overload_shed, None);
         assert_eq!(report.models[0].serving_cb_overload_shed_rate, None);
+        assert_eq!(report.models[0].serving_cb_update_swaps, None);
+        assert_eq!(report.models[0].serving_cb_repack_bytes_ratio, None);
     }
 
     #[test]

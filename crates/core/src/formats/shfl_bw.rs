@@ -162,6 +162,23 @@ impl ShflBwMatrix {
         &self.row_indices[group * v..(group + 1) * v]
     }
 
+    /// Whether `other` is a *same-pattern magnitude update* of this matrix:
+    /// identical vector size, shape, group boundaries, kept columns, and row
+    /// permutation — only the stored values may differ.
+    ///
+    /// This is the gate for the delta re-pack path of live weight updates:
+    /// when the pattern is unchanged, a prepared plan's panel layout is still
+    /// valid and only the payload bytes need rewriting
+    /// ([`crate::packed::PackedPanels::repack_vector_wise_values`]).
+    pub fn same_pattern(&self, other: &ShflBwMatrix) -> bool {
+        self.vector_size() == other.vector_size()
+            && self.rows() == other.rows()
+            && self.cols() == other.cols()
+            && self.inner.group_ptr() == other.inner.group_ptr()
+            && self.inner.col_idx() == other.inner.col_idx()
+            && self.row_indices == other.row_indices
+    }
+
     /// Bytes of sparse metadata: the vector-wise metadata plus the row-index array
     /// (`u32` per row) needed for the reordered write-back.
     pub fn metadata_bytes(&self) -> u64 {
@@ -293,6 +310,33 @@ mod tests {
         // Rejects a non-permutation.
         let bad = ShflBwMatrix::from_vector_wise(via_dense.vector_wise().clone(), vec![0, 0, 1, 2]);
         assert!(bad.is_err());
+    }
+
+    #[test]
+    fn same_pattern_accepts_magnitude_updates_and_rejects_structure_changes() {
+        let dense = scattered_dense();
+        let a = ShflBwMatrix::from_dense(&dense, 2).unwrap();
+        // Magnitude-only update: scale every kept value.
+        let scaled = DenseMatrix::from_fn(4, 6, |r, c| dense.get(r, c) * 3.0);
+        let b = ShflBwMatrix::from_dense(&scaled, 2).unwrap();
+        assert!(a.same_pattern(&b));
+        assert!(b.same_pattern(&a));
+        assert!(a.same_pattern(&a));
+        // Different kept columns: even rows keep {0, 4} instead of {0, 3}.
+        let moved = DenseMatrix::from_fn(4, 6, |r, c| {
+            let keep = if r % 2 == 0 {
+                c == 0 || c == 4
+            } else {
+                c == 1 || c == 5
+            };
+            if keep {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let c = ShflBwMatrix::from_dense(&moved, 2).unwrap();
+        assert!(!a.same_pattern(&c));
     }
 
     #[test]

@@ -117,6 +117,68 @@ impl PackedPanels {
         packed
     }
 
+    /// Rewrites the panel payload in place from a same-pattern magnitude
+    /// update of the matrix this packing was built from — the delta re-pack
+    /// path for live weight updates.
+    ///
+    /// The Shfl-BW group/block structure (vector size, group boundaries, kept
+    /// columns) is stable under a magnitude-only update, so every panel keeps
+    /// its offset and dimensions and only the fp16-rounded values change.
+    /// Replays the exact [`PackedPanels::pack_vector_wise`] traversal with the
+    /// same `tk`, writing into the existing buffer: the result is bit-identical
+    /// to a fresh pack, but no metadata (panel pointers, dims, chunk pointers)
+    /// is rebuilt or moved.
+    ///
+    /// Returns the number of payload bytes rewritten (the full value buffer),
+    /// which callers charge against a `TrafficCounter` to compare with the
+    /// bytes a full rebuild would move.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tk` is zero or if the update's structure does not match this
+    /// packing (different vector size, group count, or step layout) — callers
+    /// must gate on a same-pattern check first.
+    pub fn repack_vector_wise_values(&mut self, weights: &VectorWiseMatrix, tk: usize) -> usize {
+        assert!(tk > 0, "tk must be non-zero");
+        let v = weights.vector_size();
+        assert_eq!(
+            self.panel_rows, v,
+            "delta re-pack requires the original vector size"
+        );
+        assert_eq!(
+            self.num_chunks(),
+            weights.num_groups(),
+            "delta re-pack requires the original group structure"
+        );
+        let mut panel = 0;
+        for g in 0..weights.num_groups() {
+            let cols = weights.group_cols(g);
+            for step_start in (0..cols.len()).step_by(tk) {
+                let w = tk.min(cols.len() - step_start);
+                assert_eq!(
+                    self.panel_dims[panel],
+                    (v as u32, w as u32),
+                    "delta re-pack requires the original panel layout"
+                );
+                let base = self.panel_ptr[panel];
+                for j in 0..w {
+                    let vals = weights.vector_values(g, step_start + j);
+                    for (r, &val) in vals.iter().enumerate() {
+                        self.data[base + r * w + j] = round_to_f16(val);
+                    }
+                }
+                panel += 1;
+            }
+            assert_eq!(
+                self.chunk_ptr[g + 1],
+                panel,
+                "delta re-pack requires the original chunk layout"
+            );
+        }
+        assert_eq!(panel, self.num_panels(), "update left panels unwritten");
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+
     /// Packs a block-sparse (BSR) matrix: one rounded `V × V` panel per stored
     /// block, chunked by block row.
     pub fn pack_blocks(weights: &BlockSparseMatrix) -> Self {
@@ -282,6 +344,48 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn delta_repack_is_bit_identical_to_a_fresh_pack() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let dense = DenseMatrix::from_fn(16, 24, |r, c| {
+            if (c + r / 4) % 3 == 0 {
+                rng.gen_range(-1.0f32..1.0)
+            } else {
+                0.0
+            }
+        });
+        let vw = VectorWiseMatrix::from_dense(&dense, 4).unwrap();
+        let tk = 3;
+        let mut packed = PackedPanels::pack_vector_wise(&vw, tk);
+        // Same pattern, new magnitudes: scale the stored values only.
+        let scaled = VectorWiseMatrix::from_parts(
+            vw.rows(),
+            vw.cols(),
+            vw.vector_size(),
+            vw.group_ptr().to_vec(),
+            vw.col_idx().to_vec(),
+            vw.values().iter().map(|v| v * 1.25).collect(),
+        )
+        .unwrap();
+        let bytes = packed.repack_vector_wise_values(&scaled, tk);
+        assert_eq!(bytes, packed.packed_values() * 4);
+        let fresh = PackedPanels::pack_vector_wise(&scaled, tk);
+        assert_eq!(packed, fresh, "delta re-pack must equal a fresh pack");
+        // Payload-only bytes are strictly below a full rebuild's footprint.
+        assert!(bytes < fresh.packed_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "delta re-pack requires the original")]
+    fn delta_repack_rejects_a_different_pattern() {
+        let dense = DenseMatrix::from_fn(8, 8, |_, c| if c % 2 == 0 { 1.0 } else { 0.0 });
+        let vw = VectorWiseMatrix::from_dense(&dense, 4).unwrap();
+        let mut packed = PackedPanels::pack_vector_wise(&vw, 2);
+        let other = DenseMatrix::from_fn(8, 8, |_, c| if c % 4 == 0 { 1.0 } else { 0.0 });
+        let other = VectorWiseMatrix::from_dense(&other, 4).unwrap();
+        packed.repack_vector_wise_values(&other, 2);
     }
 
     #[test]

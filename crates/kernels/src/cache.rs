@@ -4,12 +4,25 @@
 //! N-buckets ([`shfl_core::bucket::BucketPolicy`]). Building a plan
 //! ([`crate::plan::SpmmPlan`]) is the expensive one-time phase — fp16
 //! rounding, tile transposition, launch / cascade / profile resolution — so
-//! the serving layer keys built plans by `(layer, n_bucket)` and reuses them
-//! across every request that lands on the same bucket. [`PlanCache`] owns
+//! the serving layer keys built plans by `(layer, version, n_bucket)` and
+//! reuses them across every request that lands on the same bucket of the
+//! same weight version. [`PlanCache`] owns
 //! that mapping:
 //!
-//! * **keying** — [`PlanKey`] is `(layer id, n_bucket)`; the layer id is
-//!   assigned by the caller (the serving engine's registration order),
+//! * **keying** — [`PlanKey`] is `(layer id, layer version, n_bucket)`; the
+//!   layer id is assigned by the caller (the serving engine's registration
+//!   order) and the version is bumped by live weight updates, so plans of
+//!   different weight versions of one layer never alias. Version-keyed slots
+//!   also scope the stampede dedup: a thread waiting on a v1 build can never
+//!   be handed a v2 plan,
+//! * **invalidation** — a published weight update calls
+//!   [`PlanCache::invalidate_layer_below`] to drop the layer's stale-version
+//!   plans from residency (with exact `resident_bytes` accounting). Eviction
+//!   is non-blocking for in-flight work: executes still holding the old
+//!   `Arc<SpmmPlan>` finish bit-identically on it; the cache merely stops
+//!   handing it out. A stale-version build already in flight is left to
+//!   complete — its entry can never be looked up again (new arrivals key by
+//!   the new version) and ages out through the normal LRU path,
 //! * **sharing** — cached plans are handed out as `Arc<SpmmPlan>`; plans are
 //!   `Sync` (no interior mutability), so one plan serves any number of
 //!   concurrent worker threads,
@@ -44,13 +57,28 @@ use crate::profile::{KernelError, KernelResult};
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
 
-/// Cache key: one prepared plan per `(layer, n_bucket)` pair.
+/// Cache key: one prepared plan per `(layer, version, n_bucket)` triple.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PlanKey {
     /// Caller-assigned layer id (registration order in the serving engine).
     pub layer: usize,
+    /// Caller-assigned weight version of the layer (bumped by live updates);
+    /// plans of different versions never alias, and in-flight build slots are
+    /// scoped to one version.
+    pub version: u64,
     /// The power-of-two activation bucket the plan was built for.
     pub n_bucket: usize,
+}
+
+impl PlanKey {
+    /// Convenience constructor.
+    pub fn new(layer: usize, version: u64, n_bucket: usize) -> Self {
+        PlanKey {
+            layer,
+            version,
+            n_bucket,
+        }
+    }
 }
 
 /// Cumulative cache counters (monotonic across the cache's lifetime).
@@ -66,6 +94,9 @@ pub struct PlanCacheStats {
     /// Misses that joined an in-flight build of the same key instead of
     /// building redundantly (each one is a build the stampede dedup saved).
     pub shared_builds: u64,
+    /// Stale-version plans dropped by [`PlanCache::invalidate_layer_below`]
+    /// (counted separately from capacity/byte-budget `evictions`).
+    pub invalidations: u64,
 }
 
 impl PlanCacheStats {
@@ -133,7 +164,8 @@ struct CacheInner {
     stats: PlanCacheStats,
 }
 
-/// An LRU cache of prepared [`SpmmPlan`]s keyed by `(layer, n_bucket)`.
+/// An LRU cache of prepared [`SpmmPlan`]s keyed by `(layer, version,
+/// n_bucket)`.
 ///
 /// All methods take `&self`; the cache is internally synchronised so a
 /// `PlanCache` shared behind an `Arc` (or borrowed across scoped worker
@@ -375,6 +407,38 @@ impl PlanCache {
             .entries
             .contains_key(&key)
     }
+
+    /// Drops every resident plan of `layer` whose key version is `< version`,
+    /// returning the number dropped. Called by the serving engine after a
+    /// weight update publishes `version` as the layer's current version.
+    ///
+    /// `resident_bytes` is decremented by exactly the
+    /// [`SpmmPlan::packed_bytes`] of each dropped plan (the same quantity
+    /// charged at insert), so the byte accounting stays exact. Dropped plans
+    /// are counted in [`PlanCacheStats::invalidations`], not `evictions`.
+    ///
+    /// Invalidation never blocks in-flight work: executes holding the old
+    /// `Arc<SpmmPlan>` keep it alive and finish bit-identically; only the
+    /// cache's reference is dropped. In-flight *builds* of stale versions are
+    /// not cancelled — their slots resolve normally and the resulting entry,
+    /// unreachable under the new version's keys, ages out via LRU (lazy
+    /// eviction).
+    pub fn invalidate_layer_below(&self, layer: usize, version: u64) -> usize {
+        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        let stale: Vec<PlanKey> = inner
+            .entries
+            .keys()
+            .filter(|k| k.layer == layer && k.version < version)
+            .copied()
+            .collect();
+        for key in &stale {
+            if let Some(dropped) = inner.entries.remove(key) {
+                inner.resident_bytes -= dropped.plan.packed_bytes();
+                inner.stats.invalidations += 1;
+            }
+        }
+        stale.len()
+    }
 }
 
 #[cfg(test)]
@@ -395,6 +459,7 @@ mod tests {
         let cache = PlanCache::new(4);
         let key = PlanKey {
             layer: 0,
+            version: 0,
             n_bucket: 16,
         };
         let a = cache.get_or_build(key, || tiny_plan(16)).unwrap();
@@ -410,7 +475,11 @@ mod tests {
     #[test]
     fn evicts_least_recently_used() {
         let cache = PlanCache::new(2);
-        let key = |layer| PlanKey { layer, n_bucket: 8 };
+        let key = |layer| PlanKey {
+            layer,
+            version: 0,
+            n_bucket: 8,
+        };
         cache.get_or_build(key(0), || tiny_plan(8)).unwrap();
         cache.get_or_build(key(1), || tiny_plan(8)).unwrap();
         // Touch 0 so 1 becomes the LRU, then insert 2.
@@ -428,6 +497,7 @@ mod tests {
         let cache = PlanCache::new(2);
         let key = PlanKey {
             layer: 9,
+            version: 0,
             n_bucket: 8,
         };
         let err = cache.get_or_build(key, || {
@@ -457,7 +527,11 @@ mod tests {
         // one.
         let cache = PlanCache::with_byte_budget(64, 8 * small_bytes);
         assert_eq!(cache.byte_budget(), 8 * small_bytes);
-        let key = |layer| PlanKey { layer, n_bucket: 8 };
+        let key = |layer| PlanKey {
+            layer,
+            version: 0,
+            n_bucket: 8,
+        };
         for layer in 0..4 {
             cache
                 .get_or_build(key(layer), || sized_plan(8, 8, 8))
@@ -489,6 +563,7 @@ mod tests {
         let cache = PlanCache::new(4);
         let key = PlanKey {
             layer: 0,
+            version: 0,
             n_bucket: 16,
         };
         let builds = AtomicUsize::new(0);
@@ -525,6 +600,7 @@ mod tests {
         let cache = PlanCache::new(4);
         let key = PlanKey {
             layer: 1,
+            version: 0,
             n_bucket: 8,
         };
         let attempts = AtomicUsize::new(0);
@@ -570,6 +646,7 @@ mod tests {
         let cache = PlanCache::new(4);
         let key = PlanKey {
             layer: 5,
+            version: 0,
             n_bucket: 8,
         };
         let attempts = AtomicUsize::new(0);
@@ -607,6 +684,7 @@ mod tests {
         let cache = PlanCache::new(4);
         let key = PlanKey {
             layer: 2,
+            version: 0,
             n_bucket: 16,
         };
         let entered = AtomicUsize::new(0);
@@ -657,10 +735,114 @@ mod tests {
     }
 
     #[test]
+    fn invalidation_drops_only_stale_versions_of_the_layer() {
+        let cache = PlanCache::new(16);
+        // Layer 0 at versions 0 and 1 across two buckets, layer 1 at v0.
+        for version in 0..2u64 {
+            for n_bucket in [8, 16] {
+                cache
+                    .get_or_build(PlanKey::new(0, version, n_bucket), || tiny_plan(n_bucket))
+                    .unwrap();
+            }
+        }
+        cache
+            .get_or_build(PlanKey::new(1, 0, 8), || tiny_plan(8))
+            .unwrap();
+        assert_eq!(cache.len(), 5);
+        let dropped = cache.invalidate_layer_below(0, 1);
+        assert_eq!(dropped, 2);
+        // v0 of layer 0 is gone; v1 and the other layer are untouched.
+        assert!(!cache.contains(PlanKey::new(0, 0, 8)));
+        assert!(!cache.contains(PlanKey::new(0, 0, 16)));
+        assert!(cache.contains(PlanKey::new(0, 1, 8)));
+        assert!(cache.contains(PlanKey::new(0, 1, 16)));
+        assert!(cache.contains(PlanKey::new(1, 0, 8)));
+        let stats = cache.stats();
+        assert_eq!(stats.invalidations, 2);
+        assert_eq!(stats.evictions, 0, "invalidations are not LRU evictions");
+        // Idempotent: nothing stale remains below version 1.
+        assert_eq!(cache.invalidate_layer_below(0, 1), 0);
+    }
+
+    #[test]
+    fn invalidation_keeps_resident_bytes_exact() {
+        let cache = PlanCache::new(16);
+        let stale = cache
+            .get_or_build(PlanKey::new(3, 0, 8), || sized_plan(16, 16, 8))
+            .unwrap();
+        cache
+            .get_or_build(PlanKey::new(3, 1, 8), || sized_plan(16, 16, 8))
+            .unwrap();
+        cache
+            .get_or_build(PlanKey::new(4, 0, 8), || sized_plan(8, 8, 8))
+            .unwrap();
+        let before = cache.resident_bytes();
+        assert_eq!(cache.invalidate_layer_below(3, 1), 1);
+        // Exactly the dropped plan's packed bytes are released — the same
+        // quantity that was charged at insert.
+        assert_eq!(cache.resident_bytes(), before - stale.packed_bytes());
+        // The in-flight holder of the stale Arc still executes fine.
+        let b = DenseMatrix::from_fn(16, 8, |r, c| (r + c) as f32 * 0.25);
+        assert!(stale.execute(&b).is_ok());
+        drop(stale);
+        // Dropping every remaining entry empties the accounting completely.
+        cache.invalidate_layer_below(3, u64::MAX);
+        cache.invalidate_layer_below(4, u64::MAX);
+        assert_eq!(cache.resident_bytes(), 0);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn build_slots_are_keyed_by_version_so_v1_waiters_never_get_v2_plans() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let cache = Arc::new(PlanCache::new(16));
+        let builds = AtomicUsize::new(0);
+        // Concurrent cold misses on the *same layer and bucket* but different
+        // versions must not share a build slot: each version builds its own
+        // plan (2 builds), and every waiter receives the plan of the version
+        // it asked for.
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                for version in [1u64, 2] {
+                    let cache = &cache;
+                    let builds = &builds;
+                    s.spawn(move || {
+                        let n = if version == 1 { 8 } else { 16 };
+                        let plan = cache
+                            .get_or_build(PlanKey::new(0, version, 8), || {
+                                builds.fetch_add(1, Ordering::SeqCst);
+                                std::thread::sleep(std::time::Duration::from_millis(20));
+                                // The two versions build observably different
+                                // plans (different n) so a cross-version hand-
+                                // off would be caught below.
+                                tiny_plan(n)
+                            })
+                            .unwrap();
+                        assert_eq!(
+                            plan.bucket().1,
+                            n,
+                            "a v{version} waiter must receive the v{version} plan"
+                        );
+                    });
+                }
+            }
+        });
+        assert_eq!(
+            builds.load(Ordering::SeqCst),
+            2,
+            "one build per version: slots must dedup within a version only"
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 6);
+        assert_eq!(stats.shared_builds, 4);
+    }
+
+    #[test]
     fn concurrent_lookups_share_one_plan() {
         let cache = PlanCache::new(4);
         let key = PlanKey {
             layer: 3,
+            version: 0,
             n_bucket: 32,
         };
         cache.get_or_build(key, || tiny_plan(32)).unwrap();

@@ -627,6 +627,64 @@ impl SpmmPlan {
         }
     }
 
+    /// Builds a plan for a *same-pattern magnitude update* of the Shfl-BW
+    /// weights this plan was prepared from, by delta re-packing: the clone
+    /// keeps every resolved artefact (tile, launch, cascade, column/group
+    /// metadata, write-back indices, analytical profile — all functions of
+    /// the unchanged sparsity structure) and only the panel payload bytes are
+    /// rewritten with the plan's own `tk`
+    /// ([`PackedPanels::repack_vector_wise_values`]). The result is
+    /// bit-identical to [`SpmmPlan::shfl_bw`] on the new weights.
+    ///
+    /// Returns the new plan plus the payload bytes rewritten, so the caller
+    /// can charge a `TrafficCounter` and compare against the bytes a full
+    /// rebuild would move ([`SpmmPlan::packed_bytes`]). `self` — typically
+    /// still `Arc`-held by in-flight executes of the old weight version — is
+    /// never mutated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::ShapeMismatch`] if this plan is not a stitched
+    /// (vector-wise / Shfl-BW) plan, or if `weights` changes the sparsity
+    /// structure (vector size, shape, group boundaries, kept columns, or row
+    /// permutation) — structural updates need a full rebuild.
+    pub fn repack_shfl_bw(&self, weights: &ShflBwMatrix) -> KernelResult<(SpmmPlan, usize)> {
+        let vw = weights.vector_wise();
+        let same_pattern = match &self.kind {
+            SpmmPlanKind::Stitched {
+                v,
+                cols,
+                group_ptr,
+                row_indices,
+                ..
+            } => {
+                *v == vw.vector_size()
+                    && self.m == weights.rows()
+                    && self.k == weights.cols()
+                    && cols.as_slice() == vw.col_idx()
+                    && group_ptr.as_slice() == vw.group_ptr()
+                    && row_indices.as_slice() == weights.row_indices()
+            }
+            _ => false,
+        };
+        if !same_pattern {
+            return Err(KernelError::ShapeMismatch {
+                context: format!(
+                    "delta re-pack requires a same-pattern stitched plan: \
+                     plan bucket {:?} cannot absorb update {}",
+                    self.bucket(),
+                    weights
+                ),
+            });
+        }
+        let mut plan = self.clone();
+        let SpmmPlanKind::Stitched { tk, packed, .. } = &mut plan.kind else {
+            unreachable!("pattern check above admits only stitched plans");
+        };
+        let bytes = packed.repack_vector_wise_values(vw, *tk);
+        Ok((plan, bytes))
+    }
+
     /// Executes the prepared SpMM against a **multi-segment** activation
     /// operand: `segments` tile the operand's columns, and one fused sweep
     /// over the packed panels updates every segment (see
@@ -1101,6 +1159,44 @@ mod tests {
             assert_eq!(prepared.output, cold.output);
             assert_eq!(prepared.profile.name, cold.profile.name);
         }
+    }
+
+    #[test]
+    fn delta_repack_matches_a_fresh_build_and_rejects_pattern_changes() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let arch = GpuArch::v100();
+        let dense_a = vector_wise_dense(&mut rng, 32, 40, 8, 0.4);
+        let perm: Vec<usize> = (0..32).rev().collect();
+        let a = ShflBwMatrix::from_dense_with_permutation(&dense_a, &perm, 8).unwrap();
+        let plan = SpmmPlan::shfl_bw(&arch, &a, 24);
+        // Magnitude-only update: same mask, scaled values.
+        let scaled = DenseMatrix::from_fn(32, 40, |r, c| dense_a.get(r, c) * -0.75);
+        let update = ShflBwMatrix::from_dense_with_permutation(&scaled, &perm, 8).unwrap();
+        assert!(a.same_pattern(&update));
+        let (repacked, bytes) = plan.repack_shfl_bw(&update).unwrap();
+        // Payload bytes only — strictly fewer than a full rebuild moves.
+        assert!(bytes > 0 && bytes < repacked.packed_bytes());
+        let fresh = SpmmPlan::shfl_bw(&arch, &update, 24);
+        let b = DenseMatrix::random(&mut rng, 40, 24);
+        assert_eq!(
+            repacked.execute(&b).unwrap().output,
+            fresh.execute(&b).unwrap().output,
+            "delta-repacked plan must stay bit-identical to a fresh build"
+        );
+        // The donor plan is untouched and still serves the old weights.
+        assert_eq!(
+            plan.execute(&b).unwrap().output,
+            SpmmPlan::shfl_bw(&arch, &a, 24).execute(&b).unwrap().output
+        );
+        // A structural change (different kept columns) is rejected.
+        let structural =
+            DenseMatrix::from_fn(32, 40, |r, c| if (r / 8 + c) % 2 == 0 { 1.0 } else { 0.0 });
+        let other = ShflBwMatrix::from_dense_with_permutation(&structural, &perm, 8).unwrap();
+        assert!(!a.same_pattern(&other));
+        assert!(matches!(
+            plan.repack_shfl_bw(&other),
+            Err(KernelError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]

@@ -645,7 +645,7 @@ impl ModelEngine {
                 (EngineLayerKind::Gemm, LayerKind::Gemm { n, .. }) => {
                     let activations = DenseMatrix::random(&mut rng, weights.cols(), *n);
                     let start = Instant::now();
-                    let plan = SpmmPlan::shfl_bw(self.serving.arch(), weights, *n);
+                    let plan = SpmmPlan::shfl_bw(self.serving.arch(), &weights, *n);
                     let out = plan.execute(&activations).map_err(ServingError::Kernel)?;
                     (start.elapsed().as_secs_f64() * 1e3, out.profile.time_us())
                 }
@@ -660,7 +660,7 @@ impl ModelEngine {
                     );
                     let start = Instant::now();
                     let unfolded = conv::im2col(&input, &params);
-                    let plan = SpmmPlan::shfl_bw(self.serving.arch(), weights, unfolded.cols());
+                    let plan = SpmmPlan::shfl_bw(self.serving.arch(), &weights, unfolded.cols());
                     let out = plan.execute(&unfolded).map_err(ServingError::Kernel)?;
                     let _ = conv::col2im_output(&out.output, &params);
                     (start.elapsed().as_secs_f64() * 1e3, out.profile.time_us())

@@ -9,7 +9,7 @@
 //! N-th group execute), not at wall-clock offsets, so a chaos test replays
 //! the identical schedule on every run and every machine.
 //!
-//! Four fault kinds cover the failure surface of the server:
+//! Six fault kinds cover the failure surface of the server:
 //!
 //! * **queue-full windows** ([`FaultPlan::reject_submit_at`]) — the N-th
 //!   submission is rejected as if the bounded queue were full, exercising
@@ -25,6 +25,14 @@
 //! * **slow executes** ([`FaultPlan::slow_at`]) — the N-th group execute
 //!   stalls for a scripted duration first, creating backlog windows that
 //!   force queued work to pile into later admission rounds.
+//! * **update build failures** ([`FaultPlan::fail_update_build_at`]) — the
+//!   N-th live weight update fails its candidate plan build with a typed
+//!   kernel error; the server must keep the old version serving and surface
+//!   a typed [`UpdateError`](crate::engine::UpdateError).
+//! * **update panics** ([`FaultPlan::panic_update_at`]) — the N-th live
+//!   weight update panics at the exact swap sequence point; the containment
+//!   path must convert the panic into a typed error with the old version
+//!   still serving.
 //!
 //! The plan is attached to a server via
 //! [`ServerConfig::with_fault_plan`](crate::server::ServerConfig::with_fault_plan)
@@ -77,8 +85,11 @@ pub struct FaultPlan {
     fail_builds: Vec<u64>,
     panics: Vec<u64>,
     slow_execs: HashMap<u64, u64>,
+    fail_update_builds: Vec<u64>,
+    update_panics: Vec<u64>,
     submit_seq: AtomicU64,
     exec_seq: AtomicU64,
+    update_seq: AtomicU64,
 }
 
 impl FaultPlan {
@@ -117,6 +128,23 @@ impl FaultPlan {
         self
     }
 
+    /// Scripts the `idx`-th live weight update (0-based, counted across the
+    /// server's lifetime) to fail its candidate plan build with a synthetic
+    /// kernel error before the engine is touched — the old version must keep
+    /// serving.
+    pub fn fail_update_build_at(mut self, idx: u64) -> Self {
+        self.fail_update_builds.push(idx);
+        self
+    }
+
+    /// Scripts the `idx`-th live weight update to panic at the exact swap
+    /// sequence point, exercising the update containment path (panic caught,
+    /// typed error returned, old version still serving).
+    pub fn panic_update_at(mut self, idx: u64) -> Self {
+        self.update_panics.push(idx);
+        self
+    }
+
     /// Total number of scripted fault points (used by tests to sanity-check
     /// a schedule drove everything it meant to).
     pub fn scripted_faults(&self) -> usize {
@@ -124,6 +152,8 @@ impl FaultPlan {
             + self.fail_builds.len()
             + self.panics.len()
             + self.slow_execs.len()
+            + self.fail_update_builds.len()
+            + self.update_panics.len()
     }
 
     /// Number of submissions the attached server has counted so far.
@@ -134,6 +164,11 @@ impl FaultPlan {
     /// Number of group executes the attached server has counted so far.
     pub fn executes_seen(&self) -> u64 {
         self.exec_seq.load(Ordering::SeqCst)
+    }
+
+    /// Number of live weight updates the attached server has counted so far.
+    pub fn updates_seen(&self) -> u64 {
+        self.update_seq.load(Ordering::SeqCst)
     }
 
     /// Advances the submission counter and reports whether this submission
@@ -160,6 +195,20 @@ impl FaultPlan {
         };
         (stall, fault)
     }
+
+    /// Advances the update counter and returns the fault to inject at this
+    /// live weight update ([`ExecFault::FailBuild`] → synthetic candidate
+    /// build failure, [`ExecFault::Panic`] → panic at the swap point).
+    pub(crate) fn poll_update(&self) -> ExecFault {
+        let idx = self.update_seq.fetch_add(1, Ordering::SeqCst);
+        if self.update_panics.contains(&idx) {
+            ExecFault::Panic
+        } else if self.fail_update_builds.contains(&idx) {
+            ExecFault::FailBuild
+        } else {
+            ExecFault::None
+        }
+    }
 }
 
 #[cfg(test)]
@@ -172,8 +221,10 @@ mod tests {
             .reject_submit_at(1)
             .fail_build_at(0)
             .panic_at(2)
-            .slow_at(1, 500);
-        assert_eq!(plan.scripted_faults(), 4);
+            .slow_at(1, 500)
+            .fail_update_build_at(0)
+            .panic_update_at(2);
+        assert_eq!(plan.scripted_faults(), 6);
         assert!(!plan.poll_submit()); // submission 0: clean
         assert!(plan.poll_submit()); // submission 1: scripted bounce
         assert!(!plan.poll_submit());
@@ -187,5 +238,10 @@ mod tests {
         let (stall, fault) = plan.poll_exec(); // execute 2
         assert_eq!((stall, fault), (None, ExecFault::Panic));
         assert_eq!(plan.executes_seen(), 3);
+
+        assert_eq!(plan.poll_update(), ExecFault::FailBuild); // update 0
+        assert_eq!(plan.poll_update(), ExecFault::None); // update 1
+        assert_eq!(plan.poll_update(), ExecFault::Panic); // update 2
+        assert_eq!(plan.updates_seen(), 3);
     }
 }

@@ -30,6 +30,27 @@
 //! [`gpu_sim::stats::TrafficCounter`]
 //! ([`ServingStats::panel_bytes_read`]) — the number `repro --bench-serving`
 //! gates on to keep the fused path honest about weight re-streaming.
+//!
+//! # Live weight updates
+//!
+//! Each registered layer is a **versioned slot**: an `RwLock` holding an
+//! `Arc` snapshot of the layer's current weights, policy and version number.
+//! Every execute clones exactly one snapshot up front, so a request observes
+//! exactly one weight version end to end — and because the server makes one
+//! engine call per coalesced group, a group never mixes versions either.
+//! [`ServingEngine::update_layer`] builds and **validates** a candidate
+//! version off to the side (smoke-executed against a held-out probe
+//! activation and compared bit-for-bit with a cold oracle of the new
+//! weights), then publishes it with one atomic slot swap; in-flight executes
+//! finish bit-identically on the `Arc`-held old snapshot and old plans while
+//! new arrivals build against the new version's [`PlanKey`]s. A failed build
+//! or validation leaves the old version serving and returns a typed
+//! [`UpdateError`]; [`ServingEngine::rollback_layer`] republishes the
+//! previous version's weights. Same-pattern magnitude updates take the
+//! **delta re-pack** path ([`SpmmPlan::repack_shfl_bw`]): resident plans of
+//! the old version are cloned with only their panel payload bytes rewritten,
+//! and the bytes moved are charged to a [`TrafficCounter`] next to what a
+//! full rebuild would have moved ([`UpdateStats`]).
 
 use crate::ServingError;
 use gpu_sim::stats::TrafficCounter;
@@ -39,13 +60,25 @@ use shfl_core::formats::ShflBwMatrix;
 use shfl_core::matrix::DenseMatrix;
 use shfl_kernels::cache::{PlanCache, PlanCacheStats, PlanKey};
 use shfl_kernels::plan::SpmmPlan;
+use shfl_kernels::KernelError;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
-/// One registered layer: the packed Shfl-BW weights, a display name, and the
-/// bucket policy its requests are segmented with.
-struct ServingLayer {
+/// One immutable snapshot of a registered layer: the packed Shfl-BW weights,
+/// a display name, the bucket policy its requests are segmented with, and
+/// the weight version the snapshot carries. Executes clone one `Arc` of this
+/// up front and never look back at the slot, so a published update can never
+/// tear a request (or a coalesced group) across versions.
+struct LayerState {
     name: String,
+    /// Monotone weight version; bumped by every published update (including
+    /// rollbacks, which republish the previous *weights* under a fresh
+    /// version so plan keys stay unambiguous).
+    version: u64,
     weights: ShflBwMatrix,
     policy: BucketPolicy,
+    /// The previously published snapshot, kept for [`ServingEngine::rollback_layer`].
+    prev: Option<Arc<LayerState>>,
 }
 
 /// Cumulative serving counters beyond the plan cache's hit/miss accounting.
@@ -73,24 +106,198 @@ pub struct ServingStats {
     pub panel_bytes_read: u64,
 }
 
+/// Why a live weight update was not published. Every variant leaves the old
+/// version serving — a failed update is invisible to traffic.
+#[derive(Debug, Clone)]
+pub enum UpdateError {
+    /// The layer id was never registered.
+    UnknownLayer {
+        /// The unknown layer id.
+        layer: usize,
+    },
+    /// The update changes the layer's logical shape; in-flight and queued
+    /// requests were validated against the current `k`, so a shape change
+    /// cannot be swapped in live.
+    ShapeMismatch {
+        /// The layer the update targeted.
+        layer: usize,
+        /// The current `(m, k)` of the layer.
+        expected: (usize, usize),
+        /// The `(m, k)` of the rejected update.
+        got: (usize, usize),
+    },
+    /// Building the candidate version's plan failed; the kernel error is
+    /// chained via [`std::error::Error::source`].
+    Build {
+        /// The layer the update targeted.
+        layer: usize,
+        /// The candidate version that failed to build.
+        version: u64,
+        /// The underlying kernel error.
+        source: KernelError,
+    },
+    /// The candidate built, but its smoke execute against the held-out probe
+    /// activation did not match the cold oracle of the new weights
+    /// bit-for-bit.
+    Validation {
+        /// The layer the update targeted.
+        layer: usize,
+        /// The candidate version that failed validation.
+        version: u64,
+        /// What diverged.
+        context: String,
+    },
+    /// Another update published between this update's snapshot and its
+    /// publish point; retry against the new current version.
+    Conflict {
+        /// The layer the update targeted.
+        layer: usize,
+    },
+    /// [`ServingEngine::rollback_layer`] on a layer that has no previous
+    /// version (never updated, or the history was already consumed).
+    NoPreviousVersion {
+        /// The layer the rollback targeted.
+        layer: usize,
+    },
+}
+
+impl std::fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UpdateError::UnknownLayer { layer } => {
+                write!(f, "update targets unknown layer {layer}")
+            }
+            UpdateError::ShapeMismatch {
+                layer,
+                expected,
+                got,
+            } => write!(
+                f,
+                "update for layer {layer} is {}x{} but the serving shape is {}x{} \
+                 (live updates cannot change a layer's logical shape)",
+                got.0, got.1, expected.0, expected.1
+            ),
+            UpdateError::Build {
+                layer,
+                version,
+                source,
+            } => write!(
+                f,
+                "building layer {layer} version {version} failed: {source}"
+            ),
+            UpdateError::Validation {
+                layer,
+                version,
+                context,
+            } => write!(
+                f,
+                "layer {layer} version {version} failed probe validation: {context}"
+            ),
+            UpdateError::Conflict { layer } => write!(
+                f,
+                "a concurrent update of layer {layer} published first; retry"
+            ),
+            UpdateError::NoPreviousVersion { layer } => {
+                write!(f, "layer {layer} has no previous version to roll back to")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            UpdateError::Build { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// What one published update did (returned by
+/// [`ServingEngine::update_layer`] / [`ServingEngine::rollback_layer`]).
+#[derive(Debug, Clone)]
+pub struct UpdateReport {
+    /// The updated layer.
+    pub layer: usize,
+    /// The newly published version.
+    pub version: u64,
+    /// Whether the update took the delta re-pack path (same sparsity
+    /// pattern, only magnitudes changed).
+    pub delta_repacked: bool,
+    /// Resident old-version plans carried over by rewriting only their panel
+    /// payload bytes.
+    pub repacked_plans: u64,
+    /// Plans built from scratch for the new version (always at least the
+    /// largest-bucket plan when nothing could be repacked).
+    pub rebuilt_plans: u64,
+    /// Payload bytes the delta re-packs rewrote.
+    pub repack_bytes: u64,
+    /// Bytes full rebuilds of the same plans moved (for repacked plans, the
+    /// bytes a rebuild *would* have moved).
+    pub rebuild_bytes: u64,
+    /// Stale-version plans dropped from the cache at publish.
+    pub invalidated_plans: usize,
+    /// Wall-clock duration of the whole update (build + validate + publish).
+    pub swap_ms: f64,
+}
+
+/// Cumulative live-update counters ([`ServingEngine::update_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UpdateStats {
+    /// Updates published (including rollbacks).
+    pub swaps: u64,
+    /// Rollbacks published.
+    pub rollbacks: u64,
+    /// Updates rejected with an [`UpdateError`] (old version kept serving).
+    pub failed_updates: u64,
+    /// Plans carried across versions by delta re-pack.
+    pub repacked_plans: u64,
+    /// Plans built from scratch during updates.
+    pub rebuilt_plans: u64,
+    /// Payload bytes rewritten by delta re-packs (TrafficCounter-measured).
+    pub repack_bytes: u64,
+    /// Bytes moved — or, for repacked plans, the bytes that would have been
+    /// moved — by full rebuilds (TrafficCounter-measured).
+    pub rebuild_bytes: u64,
+    /// Serving executes that finished on a snapshot older than the published
+    /// version (the no-stop-the-world overlap window made visible).
+    pub stale_plan_executes: u64,
+}
+
 /// The bucketed serving engine: layer registry + plan cache + bucket policy.
 ///
 /// `execute` takes `&self` and the engine is `Sync`, so one engine serves any
-/// number of scheduler worker threads concurrently.
+/// number of scheduler worker threads concurrently. Layer *registration*
+/// takes `&mut self` (deployment-time wiring); layer *updates* take `&self`
+/// and swap a versioned slot atomically, so weights change under live
+/// traffic without a stop-the-world (see the module docs).
 pub struct ServingEngine {
     arch: GpuArch,
     policy: BucketPolicy,
     cache: PlanCache,
-    layers: Vec<ServingLayer>,
+    /// One versioned slot per registered layer. The `Vec` itself only grows,
+    /// and only under `&mut self`; the slots swap under `&self`.
+    layers: Vec<RwLock<Arc<LayerState>>>,
     stats: std::sync::Mutex<ServingStats>,
+    update_stats: std::sync::Mutex<UpdateStats>,
     /// Packed-panel bytes streamed by every execution (lock-free; folded
     /// into [`ServingStats::panel_bytes_read`] on read).
     panel_traffic: TrafficCounter,
+    /// Payload bytes rewritten by delta re-packs (folded into
+    /// [`UpdateStats::repack_bytes`] on read).
+    repack_traffic: TrafficCounter,
+    /// Bytes full rebuilds moved, or would have moved for repacked plans
+    /// (folded into [`UpdateStats::rebuild_bytes`] on read).
+    rebuild_traffic: TrafficCounter,
+    /// Serving executes that finished on a superseded snapshot (folded into
+    /// [`UpdateStats::stale_plan_executes`] on read).
+    stale_executes: AtomicU64,
     /// Memoised exact-width analytical profiles of fused multi-segment
-    /// executes, keyed by `(layer, n)`. Serving traces repeat a small set of
-    /// fused widths per layer (batch sizes × model shapes), so the map stays
-    /// small; entries are a single `f64` each and are never evicted.
-    fused_profile_us: std::sync::Mutex<std::collections::HashMap<(usize, usize), f64>>,
+    /// executes, keyed by `(layer, version, n)`. Serving traces repeat a
+    /// small set of fused widths per layer (batch sizes × model shapes), so
+    /// the map stays small; entries are a single `f64` each and stale
+    /// versions are pruned at publish.
+    fused_profile_us: std::sync::Mutex<std::collections::HashMap<(usize, u64, usize), f64>>,
 }
 
 impl ServingEngine {
@@ -111,7 +318,11 @@ impl ServingEngine {
             cache,
             layers: Vec::new(),
             stats: std::sync::Mutex::new(ServingStats::default()),
+            update_stats: std::sync::Mutex::new(UpdateStats::default()),
             panel_traffic: TrafficCounter::new(),
+            repack_traffic: TrafficCounter::new(),
+            rebuild_traffic: TrafficCounter::new(),
+            stale_executes: AtomicU64::new(0),
             fused_profile_us: std::sync::Mutex::new(std::collections::HashMap::new()),
         }
     }
@@ -135,11 +346,13 @@ impl ServingEngine {
         weights: ShflBwMatrix,
         policy: BucketPolicy,
     ) -> usize {
-        self.layers.push(ServingLayer {
+        self.layers.push(RwLock::new(Arc::new(LayerState {
             name: name.to_string(),
+            version: 0,
             weights,
             policy,
-        });
+            prev: None,
+        })));
         self.layers.len() - 1
     }
 
@@ -174,11 +387,12 @@ impl ServingEngine {
     /// # Errors
     ///
     /// Returns [`ServingError::UnknownLayer`] for an unregistered id.
-    pub fn layer_name(&self, layer: usize) -> Result<&str, ServingError> {
-        self.layer(layer).map(|l| l.name.as_str())
+    pub fn layer_name(&self, layer: usize) -> Result<String, ServingError> {
+        self.layer(layer).map(|l| l.name.clone())
     }
 
-    /// Reduction dimension (`k`) a layer's requests must match.
+    /// Reduction dimension (`k`) a layer's requests must match (stable across
+    /// live updates — an update may not change a layer's logical shape).
     ///
     /// # Errors
     ///
@@ -187,7 +401,7 @@ impl ServingEngine {
         self.layer(layer).map(|l| l.weights.cols())
     }
 
-    /// Output row count (`m`) of a layer.
+    /// Output row count (`m`) of a layer (stable across live updates).
     ///
     /// # Errors
     ///
@@ -196,18 +410,34 @@ impl ServingEngine {
         self.layer(layer).map(|l| l.weights.rows())
     }
 
-    /// The packed weights of a registered layer (the cold-oracle operand).
+    /// A snapshot of the layer's **currently published** weights (the
+    /// cold-oracle operand). Returned by value: under live updates a borrow
+    /// into the registry could outlive the version it came from.
     ///
     /// # Errors
     ///
     /// Returns [`ServingError::UnknownLayer`] for an unregistered id.
-    pub fn layer_weights(&self, layer: usize) -> Result<&ShflBwMatrix, ServingError> {
-        self.layer(layer).map(|l| &l.weights)
+    pub fn layer_weights(&self, layer: usize) -> Result<ShflBwMatrix, ServingError> {
+        self.layer(layer).map(|l| l.weights.clone())
     }
 
-    fn layer(&self, layer: usize) -> Result<&ServingLayer, ServingError> {
+    /// The currently published weight version of a layer (0 at registration,
+    /// bumped by every published update including rollbacks).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServingError::UnknownLayer`] for an unregistered id.
+    pub fn layer_version(&self, layer: usize) -> Result<u64, ServingError> {
+        self.layer(layer).map(|l| l.version)
+    }
+
+    /// Clones the layer's current snapshot out of its slot — the one point
+    /// every execute observes a version at. O(1): an `RwLock` read plus an
+    /// `Arc` clone.
+    fn layer(&self, layer: usize) -> Result<Arc<LayerState>, ServingError> {
         self.layers
             .get(layer)
+            .map(|slot| Arc::clone(&slot.read().expect("layer slot poisoned")))
             .ok_or(ServingError::UnknownLayer { layer })
     }
 
@@ -234,6 +464,16 @@ impl ServingEngine {
         self.panel_traffic.bytes()
     }
 
+    /// Cumulative live-update counters: swaps, rollbacks, failed updates,
+    /// delta re-pack vs full-rebuild bytes, and stale-plan executes.
+    pub fn update_stats(&self) -> UpdateStats {
+        let mut stats = *self.update_stats.lock().expect("update stats poisoned");
+        stats.repack_bytes = self.repack_traffic.bytes();
+        stats.rebuild_bytes = self.rebuild_traffic.bytes();
+        stats.stale_plan_executes = self.stale_executes.load(Ordering::SeqCst);
+        stats
+    }
+
     /// The bucket(s) an `n`-column request of a layer actually executes on:
     /// its single segment's bucket, or — for a multi-segment request — only
     /// the layer's largest bucket, because the fused sweep serves every
@@ -258,7 +498,7 @@ impl ServingEngine {
         let entry = self.layer(layer)?;
         let segments = entry.policy.segments(n);
         for bucket in Self::buckets_used(entry.policy, &segments) {
-            self.bucket_plan(layer, &entry.weights, bucket)?;
+            self.bucket_plan(layer, &entry, bucket)?;
         }
         Ok(())
     }
@@ -274,13 +514,15 @@ impl ServingEngine {
     /// [`ServingError::Kernel`] if the layer's plan cannot be built.
     pub fn layer_panel_sweep_bytes(&self, layer: usize) -> Result<u64, ServingError> {
         let entry = self.layer(layer)?;
-        let plan = self.bucket_plan(layer, &entry.weights, entry.policy.max_bucket())?;
+        let plan = self.bucket_plan(layer, &entry, entry.policy.max_bucket())?;
         Ok(plan.panel_sweep_bytes())
     }
 
-    /// The cached plan for one `(layer, bucket)` pair, built on a cold miss.
-    /// Concurrent cold misses on the same key share one build through the
-    /// cache's in-flight slot; a *failed* build surfaces its error to the
+    /// The cached plan for one `(layer, version, bucket)` triple, built on a
+    /// cold miss against the snapshot's weights. Concurrent cold misses on
+    /// the same key share one build through the cache's in-flight slot —
+    /// keys carry the version, so a waiter on one version can never receive
+    /// another version's plan. A *failed* build surfaces its error to the
     /// builder **and every waiter** (the cache broadcasts the failure rather
     /// than electing a retrier, so a deterministically failing build cannot
     /// livelock the worker pool), and the next fresh request of the bucket
@@ -288,15 +530,14 @@ impl ServingEngine {
     fn bucket_plan(
         &self,
         layer: usize,
-        weights: &ShflBwMatrix,
+        entry: &LayerState,
         bucket: usize,
-    ) -> Result<std::sync::Arc<SpmmPlan>, ServingError> {
-        let key = PlanKey {
-            layer,
-            n_bucket: bucket,
-        };
+    ) -> Result<Arc<SpmmPlan>, ServingError> {
+        let key = PlanKey::new(layer, entry.version, bucket);
         self.cache
-            .get_or_build(key, || Ok(SpmmPlan::shfl_bw(&self.arch, weights, bucket)))
+            .get_or_build(key, || {
+                Ok(SpmmPlan::shfl_bw(&self.arch, &entry.weights, bucket))
+            })
             .map_err(ServingError::Kernel)
     }
 
@@ -313,27 +554,44 @@ impl ServingEngine {
     /// exact-width cold execute of the same operand reports the same modeled
     /// time.
     ///
-    /// Profiles are memoised per `(layer, n)` — the profile walks the
-    /// layer's group structure, which is cheap next to the execute itself
-    /// but worth skipping for the repeated widths of a serving trace.
-    fn fused_modeled_us(&self, layer: usize, entry: &ServingLayer, n: usize) -> f64 {
+    /// Profiles are memoised per `(layer, version, n)` — the profile walks
+    /// the layer's group structure, which is cheap next to the execute
+    /// itself but worth skipping for the repeated widths of a serving trace.
+    /// The version in the key keeps a post-update profile from serving a
+    /// pre-update request (and vice versa); stale versions are pruned at
+    /// publish.
+    fn fused_modeled_us(&self, layer: usize, entry: &LayerState, n: usize) -> f64 {
         let mut memo = self
             .fused_profile_us
             .lock()
             .expect("fused profile memo poisoned");
-        *memo.entry((layer, n)).or_insert_with(|| {
+        *memo.entry((layer, entry.version, n)).or_insert_with(|| {
             shfl_kernels::spmm::shfl_bw_spmm_profile(&self.arch, &entry.weights, n).time_us()
         })
+    }
+
+    /// After a serving execute completes on `snapshot_version`, records
+    /// whether a newer version was published in the meantime — the in-flight
+    /// overlap the zero-downtime design allows (the execute still finished
+    /// bit-identically on its own version's plans).
+    fn note_completed_execute(&self, layer: usize, snapshot_version: u64) {
+        if let Some(slot) = self.layers.get(layer) {
+            let current = slot.read().expect("layer slot poisoned").version;
+            if current > snapshot_version {
+                self.stale_executes.fetch_add(1, Ordering::SeqCst);
+            }
+        }
     }
 
     /// Validates a request against a layer (the shared admission rules of the
     /// bucketed path and the cold oracle — keep them identical, or the
     /// bit-identity comparison between the two paths silently diverges).
+    /// Returns the snapshot the whole request will execute against.
     fn validate(
         &self,
         layer: usize,
         activations: &DenseMatrix,
-    ) -> Result<&ServingLayer, ServingError> {
+    ) -> Result<Arc<LayerState>, ServingError> {
         let entry = self.layer(layer)?;
         let k = entry.weights.cols();
         if activations.rows() != k {
@@ -346,15 +604,16 @@ impl ServingEngine {
         Ok(entry)
     }
 
-    /// Validates a request against a layer and returns the layer + segments
-    /// (split under the layer's own bucket policy).
+    /// Validates a request against a layer and returns the layer snapshot +
+    /// segments (split under the layer's own bucket policy).
     fn admit(
         &self,
         layer: usize,
         activations: &DenseMatrix,
-    ) -> Result<(&ServingLayer, Vec<Segment>), ServingError> {
+    ) -> Result<(Arc<LayerState>, Vec<Segment>), ServingError> {
         let entry = self.validate(layer, activations)?;
-        Ok((entry, entry.policy.segments(activations.cols())))
+        let segments = entry.policy.segments(activations.cols());
+        Ok((entry, segments))
     }
 
     /// Serves one request: bucketed execution of `activations` (`k × n`, any
@@ -404,7 +663,7 @@ impl ServingEngine {
 
         let output = if segments.len() <= 1 {
             if let Some(segment) = segments.first() {
-                let plan = self.bucket_plan(layer, &entry.weights, segment.bucket)?;
+                let plan = self.bucket_plan(layer, &entry, segment.bucket)?;
                 modeled_us += plan.profile().time_us();
                 self.panel_traffic.add(plan.panel_sweep_bytes());
                 if segment.bucket == n {
@@ -428,8 +687,8 @@ impl ServingEngine {
             // Fused multi-segment sweep: one pass over the packed panels
             // updates every segment, on the largest-bucket plan. No padding
             // columns are computed at all.
-            let plan = self.bucket_plan(layer, &entry.weights, entry.policy.max_bucket())?;
-            modeled_us += self.fused_modeled_us(layer, entry, n);
+            let plan = self.bucket_plan(layer, &entry, entry.policy.max_bucket())?;
+            modeled_us += self.fused_modeled_us(layer, &entry, n);
             self.panel_traffic.add(plan.panel_sweep_bytes());
             fused_sweeps += 1;
             plan.execute_segments(activations, &segments)
@@ -437,12 +696,15 @@ impl ServingEngine {
                 .output
         };
 
-        let mut stats = self.stats.lock().expect("serving stats poisoned");
-        stats.requests += 1;
-        stats.segments += segments.len() as u64;
-        stats.columns += n as u64;
-        stats.padded_columns += padded_columns;
-        stats.fused_sweeps += fused_sweeps;
+        {
+            let mut stats = self.stats.lock().expect("serving stats poisoned");
+            stats.requests += 1;
+            stats.segments += segments.len() as u64;
+            stats.columns += n as u64;
+            stats.padded_columns += padded_columns;
+            stats.fused_sweeps += fused_sweeps;
+        }
+        self.note_completed_execute(layer, entry.version);
         Ok((output, modeled_us))
     }
 
@@ -474,18 +736,21 @@ impl ServingEngine {
             [] => self.execute_profiled(layer, activations),
             [single] if single.bucket == n => self.execute_profiled(layer, activations),
             _ => {
-                let plan = self.bucket_plan(layer, &entry.weights, entry.policy.max_bucket())?;
-                let modeled_us = self.fused_modeled_us(layer, entry, n);
+                let plan = self.bucket_plan(layer, &entry, entry.policy.max_bucket())?;
+                let modeled_us = self.fused_modeled_us(layer, &entry, n);
                 self.panel_traffic.add(plan.panel_sweep_bytes());
                 let output = plan
                     .execute_segments(activations, &segments)
                     .map_err(ServingError::Kernel)?
                     .output;
-                let mut stats = self.stats.lock().expect("serving stats poisoned");
-                stats.requests += 1;
-                stats.segments += segments.len() as u64;
-                stats.columns += n as u64;
-                stats.fused_sweeps += 1;
+                {
+                    let mut stats = self.stats.lock().expect("serving stats poisoned");
+                    stats.requests += 1;
+                    stats.segments += segments.len() as u64;
+                    stats.columns += n as u64;
+                    stats.fused_sweeps += 1;
+                }
+                self.note_completed_execute(layer, entry.version);
                 Ok((output, modeled_us))
             }
         }
@@ -511,7 +776,7 @@ impl ServingEngine {
         let mut output = DenseMatrix::zeros(m, n);
         let mut padded_columns = 0u64;
         for segment in &segments {
-            let plan = self.bucket_plan(layer, &entry.weights, segment.bucket)?;
+            let plan = self.bucket_plan(layer, &entry, segment.bucket)?;
             self.panel_traffic.add(plan.panel_sweep_bytes());
             padded_columns += segment.padding() as u64;
             let padded = activations.cols_padded(segment.start, segment.width, segment.bucket);
@@ -548,6 +813,239 @@ impl ServingEngine {
             .execute(activations)
             .map_err(ServingError::Kernel)?
             .output)
+    }
+
+    /// Publishes `new_weights` as the layer's next version **without
+    /// stopping traffic**: the candidate is built and probe-validated off to
+    /// the side, then swapped into the layer's slot atomically. In-flight
+    /// executes finish bit-identically on their `Arc`-held old snapshot; new
+    /// arrivals observe the new version. A same-pattern magnitude update
+    /// carries every resident old-version plan over by **delta re-pack**
+    /// ([`SpmmPlan::repack_shfl_bw`]) — only panel payload bytes are
+    /// rewritten, measured against the full-rebuild bytes in the returned
+    /// [`UpdateReport`] and in [`ServingEngine::update_stats`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`UpdateError`] leaves the old version serving, untouched — a
+    /// failed update is invisible to traffic.
+    pub fn update_layer(
+        &self,
+        layer: usize,
+        new_weights: ShflBwMatrix,
+    ) -> Result<UpdateReport, UpdateError> {
+        let report = self.publish_update(layer, new_weights, false);
+        if report.is_err() {
+            self.update_stats
+                .lock()
+                .expect("update stats poisoned")
+                .failed_updates += 1;
+        }
+        report
+    }
+
+    /// Republishes the layer's **previous** version's weights under a fresh
+    /// monotone version number (so plan keys stay unambiguous — a rollback
+    /// is an update whose payload happens to be the old weights, not a
+    /// rewind of the version counter).
+    ///
+    /// # Errors
+    ///
+    /// [`UpdateError::NoPreviousVersion`] if the layer was never updated;
+    /// otherwise as [`ServingEngine::update_layer`].
+    pub fn rollback_layer(&self, layer: usize) -> Result<UpdateReport, UpdateError> {
+        let report = self.try_rollback(layer);
+        if report.is_err() {
+            self.update_stats
+                .lock()
+                .expect("update stats poisoned")
+                .failed_updates += 1;
+        }
+        report
+    }
+
+    fn try_rollback(&self, layer: usize) -> Result<UpdateReport, UpdateError> {
+        let cur = self
+            .layer(layer)
+            .map_err(|_| UpdateError::UnknownLayer { layer })?;
+        let prev = cur
+            .prev
+            .as_ref()
+            .ok_or(UpdateError::NoPreviousVersion { layer })?;
+        self.publish_update(layer, prev.weights.clone(), true)
+    }
+
+    /// The update pipeline: snapshot → shape check → side-build (delta
+    /// re-pack or fresh) → probe validation → atomic slot swap → stale-plan
+    /// invalidation. The cache and the serving slot are untouched until the
+    /// candidate validates, so a failed build or validation is invisible to
+    /// traffic and a retry can never observe a poisoned half-built version.
+    fn publish_update(
+        &self,
+        layer: usize,
+        new_weights: ShflBwMatrix,
+        rollback: bool,
+    ) -> Result<UpdateReport, UpdateError> {
+        let started = std::time::Instant::now();
+        let cur = self
+            .layer(layer)
+            .map_err(|_| UpdateError::UnknownLayer { layer })?;
+        let expected = (cur.weights.rows(), cur.weights.cols());
+        let got = (new_weights.rows(), new_weights.cols());
+        if expected != got {
+            return Err(UpdateError::ShapeMismatch {
+                layer,
+                expected,
+                got,
+            });
+        }
+        let new_version = cur.version + 1;
+        let build_err = |source: KernelError| UpdateError::Build {
+            layer,
+            version: new_version,
+            source,
+        };
+        let delta = cur.weights.same_pattern(&new_weights);
+
+        // Side-build every candidate plan. Delta path: carry each *resident*
+        // old-version plan over by rewriting only its panel payload bytes.
+        let mut candidates: Vec<(usize, SpmmPlan)> = Vec::new();
+        let mut repacked_plans = 0u64;
+        let mut rebuilt_plans = 0u64;
+        let mut repack_bytes = 0u64;
+        let mut rebuild_bytes = 0u64;
+        if delta {
+            for bucket in cur.policy.buckets() {
+                let old_key = PlanKey::new(layer, cur.version, bucket);
+                if !self.cache.contains(old_key) {
+                    continue;
+                }
+                let old_plan = self
+                    .cache
+                    .get_or_build(old_key, || {
+                        Ok(SpmmPlan::shfl_bw(&self.arch, &cur.weights, bucket))
+                    })
+                    .map_err(build_err)?;
+                let (plan, payload_bytes) =
+                    old_plan.repack_shfl_bw(&new_weights).map_err(build_err)?;
+                repack_bytes += payload_bytes as u64;
+                // What a full rebuild of the same plan would have moved.
+                rebuild_bytes += plan.packed_bytes() as u64;
+                repacked_plans += 1;
+                candidates.push((bucket, plan));
+            }
+        }
+        // The largest-bucket plan is the one every fused sweep runs on (and
+        // the probe-validation vehicle) — build it fresh if the delta path
+        // did not carry it over. A panicking build is contained into the
+        // typed error instead of unwinding through the update path.
+        let max_bucket = cur.policy.max_bucket();
+        if !candidates.iter().any(|(b, _)| *b == max_bucket) {
+            let built = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                SpmmPlan::shfl_bw(&self.arch, &new_weights, max_bucket)
+            }))
+            .map_err(|payload| {
+                let context = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                build_err(KernelError::BuildPanicked { context })
+            })?;
+            rebuild_bytes += built.packed_bytes() as u64;
+            rebuilt_plans += 1;
+            candidates.push((max_bucket, built));
+        }
+
+        // Probe validation: smoke-execute the candidate against a held-out
+        // deterministic activation and require bit-identity with a cold
+        // oracle plan built directly from the new weights.
+        let probe = DenseMatrix::from_fn(got.1, max_bucket, |r, c| {
+            ((r * 31 + c * 17) % 13) as f32 * 0.25 - 1.5
+        });
+        let candidate = candidates
+            .iter()
+            .find(|(b, _)| *b == max_bucket)
+            .map(|(_, p)| p)
+            .expect("max-bucket candidate is always built");
+        let candidate_out = candidate.execute(&probe).map_err(build_err)?.output;
+        let oracle_out = SpmmPlan::shfl_bw(&self.arch, &new_weights, max_bucket)
+            .execute(&probe)
+            .map_err(build_err)?
+            .output;
+        let bitwise_equal = candidate_out.shape() == oracle_out.shape()
+            && candidate_out
+                .as_slice()
+                .iter()
+                .zip(oracle_out.as_slice())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+        if !bitwise_equal {
+            return Err(UpdateError::Validation {
+                layer,
+                version: new_version,
+                context: "probe output diverges bitwise from the cold oracle of the new weights"
+                    .to_string(),
+            });
+        }
+
+        // Atomic publish: one slot swap. A concurrent update that published
+        // first is a conflict — never silently clobber a version.
+        let new_state = Arc::new(LayerState {
+            name: cur.name.clone(),
+            version: new_version,
+            weights: new_weights,
+            policy: cur.policy,
+            prev: Some(Arc::clone(&cur)),
+        });
+        {
+            let slot = self
+                .layers
+                .get(layer)
+                .ok_or(UpdateError::UnknownLayer { layer })?;
+            let mut guard = slot.write().expect("layer slot poisoned");
+            if guard.version != cur.version {
+                return Err(UpdateError::Conflict { layer });
+            }
+            *guard = Arc::clone(&new_state);
+        }
+
+        // Seed the cache with the validated candidates under the new
+        // version's keys (a racing new-version arrival shares these instead
+        // of rebuilding), then drop the stale versions' plans. In-flight
+        // executes holding old `Arc`s are unaffected.
+        for (bucket, plan) in &candidates {
+            let key = PlanKey::new(layer, new_version, *bucket);
+            let _ = self.cache.get_or_build(key, || Ok(plan.clone()));
+        }
+        let invalidated = self.cache.invalidate_layer_below(layer, new_version);
+        self.fused_profile_us
+            .lock()
+            .expect("fused profile memo poisoned")
+            .retain(|(l, v, _), _| *l != layer || *v >= new_version);
+
+        self.repack_traffic.add(repack_bytes);
+        self.rebuild_traffic.add(rebuild_bytes);
+        {
+            let mut stats = self.update_stats.lock().expect("update stats poisoned");
+            stats.swaps += 1;
+            if rollback {
+                stats.rollbacks += 1;
+            }
+            stats.repacked_plans += repacked_plans;
+            stats.rebuilt_plans += rebuilt_plans;
+        }
+
+        Ok(UpdateReport {
+            layer,
+            version: new_version,
+            delta_repacked: delta,
+            repacked_plans,
+            rebuilt_plans,
+            repack_bytes,
+            rebuild_bytes,
+            invalidated_plans: invalidated,
+            swap_ms: started.elapsed().as_secs_f64() * 1e3,
+        })
     }
 }
 
@@ -749,7 +1247,7 @@ mod tests {
         // number an exact-width cold execute of this operand reports.
         let exact = shfl_kernels::spmm::shfl_bw_spmm_profile(
             engine.arch(),
-            engine.layer_weights(id).unwrap(),
+            &engine.layer_weights(id).unwrap(),
             n,
         )
         .time_us();
@@ -760,7 +1258,7 @@ mod tests {
         // launch overhead by n / max_bucket.
         let bucket_us = shfl_kernels::spmm::shfl_bw_spmm_profile(
             engine.arch(),
-            engine.layer_weights(id).unwrap(),
+            &engine.layer_weights(id).unwrap(),
             16,
         )
         .time_us();
@@ -778,5 +1276,175 @@ mod tests {
         let (out, us) = engine.execute_profiled(id, &acts).unwrap();
         assert_eq!(out.shape(), (16, 12));
         assert!(us > 0.0);
+    }
+
+    /// Same sparsity pattern, scaled magnitudes — the delta re-pack payload.
+    fn scaled_update(weights: &ShflBwMatrix, factor: f32) -> ShflBwMatrix {
+        let vw = weights.vector_wise();
+        let values: Vec<f32> = vw.values().iter().map(|x| x * factor).collect();
+        let inner = shfl_core::formats::VectorWiseMatrix::from_parts(
+            vw.rows(),
+            vw.cols(),
+            vw.vector_size(),
+            vw.group_ptr().to_vec(),
+            vw.col_idx().to_vec(),
+            values,
+        )
+        .unwrap();
+        ShflBwMatrix::from_vector_wise(inner, weights.row_indices().to_vec()).unwrap()
+    }
+
+    #[test]
+    fn magnitude_update_takes_the_delta_repack_path_and_stays_bit_identical() {
+        let (engine, id) = test_engine(32);
+        let mut rng = StdRng::seed_from_u64(41);
+        let acts = DenseMatrix::random(&mut rng, 24, 20);
+        // Warm both the 32-bucket (padded single-segment) plan so the update
+        // has resident plans to carry over.
+        let old_out = engine.execute(id, &acts).unwrap();
+        assert_eq!(engine.layer_version(id).unwrap(), 0);
+
+        let update = scaled_update(&engine.layer_weights(id).unwrap(), -0.5);
+        let report = engine.update_layer(id, update.clone()).unwrap();
+        assert_eq!(report.version, 1);
+        assert!(report.delta_repacked);
+        assert!(report.repacked_plans >= 1);
+        assert!(report.repack_bytes > 0);
+        // Delta re-pack moves strictly fewer bytes than a full rebuild.
+        assert!(report.repack_bytes < report.rebuild_bytes);
+        assert!(report.invalidated_plans >= 1);
+        assert!(report.swap_ms >= 0.0);
+        assert_eq!(engine.layer_version(id).unwrap(), 1);
+
+        // Post-swap output is bit-identical to a cold oracle of the new
+        // weights, and differs from the old version's output.
+        let new_out = engine.execute(id, &acts).unwrap();
+        let oracle = SpmmPlan::shfl_bw(engine.arch(), &update, 20)
+            .execute(&acts)
+            .unwrap()
+            .output;
+        assert_eq!(new_out, oracle);
+        assert_ne!(new_out, old_out);
+
+        let stats = engine.update_stats();
+        assert_eq!(stats.swaps, 1);
+        assert_eq!(stats.failed_updates, 0);
+        assert_eq!(stats.repacked_plans, report.repacked_plans);
+        assert!(stats.repack_bytes < stats.rebuild_bytes);
+    }
+
+    #[test]
+    fn failed_updates_leave_the_old_version_serving() {
+        let (engine, id) = test_engine(32);
+        let mut rng = StdRng::seed_from_u64(43);
+        let acts = DenseMatrix::random(&mut rng, 24, 12);
+        let before = engine.execute(id, &acts).unwrap();
+
+        // A shape change cannot be swapped in live.
+        let wrong_shape = ShflBwMatrix::from_dense(
+            &DenseMatrix::from_fn(16, 32, |r, c| if (c + r / 4) % 3 == 0 { 1.0 } else { 0.0 }),
+            4,
+        )
+        .unwrap();
+        let err = engine.update_layer(id, wrong_shape).unwrap_err();
+        assert!(matches!(
+            err,
+            UpdateError::ShapeMismatch {
+                expected: (16, 24),
+                got: (16, 32),
+                ..
+            }
+        ));
+        // Unknown layers are typed errors too.
+        let other = engine.layer_weights(id).unwrap();
+        assert!(matches!(
+            engine.update_layer(id + 7, other).unwrap_err(),
+            UpdateError::UnknownLayer { .. }
+        ));
+
+        assert_eq!(engine.layer_version(id).unwrap(), 0);
+        assert_eq!(engine.execute(id, &acts).unwrap(), before);
+        let stats = engine.update_stats();
+        assert_eq!(stats.swaps, 0);
+        assert_eq!(stats.failed_updates, 2);
+    }
+
+    #[test]
+    fn rollback_republishes_the_previous_weights_under_a_fresh_version() {
+        let (engine, id) = test_engine(32);
+        let mut rng = StdRng::seed_from_u64(47);
+        let acts = DenseMatrix::random(&mut rng, 24, 16);
+        let v0_out = engine.execute(id, &acts).unwrap();
+
+        // No history yet: rollback is a typed failure.
+        assert!(matches!(
+            engine.rollback_layer(id).unwrap_err(),
+            UpdateError::NoPreviousVersion { .. }
+        ));
+
+        let update = scaled_update(&engine.layer_weights(id).unwrap(), 2.0);
+        engine.update_layer(id, update).unwrap();
+        let v1_out = engine.execute(id, &acts).unwrap();
+        assert_ne!(v1_out, v0_out);
+
+        // Rollback restores version-0 *weights* under version 2.
+        let report = engine.rollback_layer(id).unwrap();
+        assert_eq!(report.version, 2);
+        assert_eq!(engine.layer_version(id).unwrap(), 2);
+        assert_eq!(engine.execute(id, &acts).unwrap(), v0_out);
+        let stats = engine.update_stats();
+        assert_eq!(stats.swaps, 2);
+        assert_eq!(stats.rollbacks, 1);
+        assert_eq!(stats.failed_updates, 1);
+    }
+
+    #[test]
+    fn in_flight_snapshots_survive_an_update_and_count_stale_executes() {
+        let (engine, id) = test_engine(32);
+        let mut rng = StdRng::seed_from_u64(53);
+        let acts = DenseMatrix::random(&mut rng, 24, 16);
+        engine.execute(id, &acts).unwrap();
+
+        // Snapshot the old version the way an in-flight execute does, then
+        // publish an update "under" it.
+        let old_entry = engine.layer(id).unwrap();
+        let old_plan = engine.bucket_plan(id, &old_entry, 16).unwrap();
+        let update = scaled_update(&engine.layer_weights(id).unwrap(), 3.0);
+        engine.update_layer(id, update).unwrap();
+
+        // The Arc-held old plan still executes, bit-identical to the old
+        // version's cold oracle, even though the cache invalidated it.
+        let old_oracle = SpmmPlan::shfl_bw(engine.arch(), &old_entry.weights, 16)
+            .execute(&acts)
+            .unwrap()
+            .output;
+        assert_eq!(old_plan.execute(&acts).unwrap().output, old_oracle);
+
+        // Completing an execute whose snapshot predates the publish counts
+        // as a stale-plan execute.
+        assert_eq!(engine.update_stats().stale_plan_executes, 0);
+        engine.note_completed_execute(id, old_entry.version);
+        assert_eq!(engine.update_stats().stale_plan_executes, 1);
+
+        // New arrivals see the new version and match its oracle.
+        let new_out = engine.execute(id, &acts).unwrap();
+        let new_oracle = engine.execute_cold(id, &acts).unwrap();
+        assert_eq!(new_out, new_oracle);
+        assert_ne!(new_out, old_oracle);
+    }
+
+    #[test]
+    fn update_errors_display_and_chain_their_kernel_source() {
+        let err = UpdateError::Build {
+            layer: 3,
+            version: 7,
+            source: KernelError::ShapeMismatch {
+                context: "injected".to_string(),
+            },
+        };
+        assert!(err.to_string().contains("layer 3 version 7"));
+        let source = std::error::Error::source(&err).expect("build errors chain their source");
+        assert!(source.to_string().contains("injected"));
+        assert!(std::error::Error::source(&UpdateError::Conflict { layer: 1 }).is_none());
     }
 }

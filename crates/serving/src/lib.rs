@@ -31,6 +31,14 @@
 //!   over one shared engine, recording per-request latency.
 //! * [`ServingError`] — typed rejection of malformed traffic (unknown layer,
 //!   reduction-dimension mismatch) instead of panics or debug-only asserts.
+//! * **Live weight updates** — every layer is a versioned slot:
+//!   [`engine::ServingEngine::update_layer`] probe-validates a candidate off
+//!   to the side and publishes it with one atomic swap; same-pattern
+//!   magnitude updates delta re-pack resident plans (payload bytes only),
+//!   failed updates leave the old version serving with a typed
+//!   [`engine::UpdateError`], and [`engine::ServingEngine::rollback_layer`]
+//!   republishes the previous weights. Zero requests are dropped across a
+//!   swap (see `tests/live_update.rs`).
 //!
 //! ## Example
 //!
@@ -69,7 +77,7 @@ pub mod policy;
 pub mod scheduler;
 pub mod server;
 
-pub use engine::{ServingEngine, ServingStats};
+pub use engine::{ServingEngine, ServingStats, UpdateError, UpdateReport, UpdateStats};
 pub use policy::{Fifo, GroupMeta, Lpt, QueuePolicy, ShortestJobFirst, SloAware};
 pub use scheduler::{Request, Response, Scheduler};
 pub use server::{Completion, Server, ServerConfig, ServerStats, SubmitError, Ticket};

@@ -58,14 +58,28 @@
 //! deadline verdict) are bucketed by [`SloKind`] in [`ServerStats`], which is
 //! where the per-class p50/p95/p99 of the serving benchmark come from.
 //!
+//! ## Live weight updates
+//!
+//! [`Server::update_layer`] / [`Server::rollback_layer`] publish new weights
+//! for a registered layer **while traffic keeps flowing**: the engine
+//! side-builds and probe-validates the candidate version, then swaps the
+//! layer's versioned slot atomically. Because the server makes exactly one
+//! engine call per dispatched group, every request — and every coalesced
+//! group — observes exactly one weight version end to end; in-flight groups
+//! finish bit-identically on their `Arc`-held snapshot. A failed update (or
+//! an update-path fault injected by the chaos plan) surfaces as a typed
+//! [`UpdateError`] with the old version still serving; a panic at the swap
+//! point is contained into the same typed error.
+//!
 //! The old API survives: [`crate::scheduler::Scheduler::serve`] is now a thin
 //! compatibility shim that runs one zero-window server scoped to the call
 //! (see [`Server::scoped`]).
 
-use crate::engine::ServingEngine;
+use crate::engine::{ServingEngine, UpdateError, UpdateReport};
 use crate::policy::{Fifo, GroupMeta, QueuePolicy};
 use crate::scheduler::{Request, Response};
 use crate::ServingError;
+use shfl_core::formats::ShflBwMatrix;
 use shfl_core::matrix::DenseMatrix;
 use shfl_core::slo::{SloClass, SloKind};
 use std::collections::VecDeque;
@@ -1332,6 +1346,56 @@ impl ServerCore {
         }
     }
 
+    /// Runs one live weight update through the server's fault-injection and
+    /// panic-containment shell: the chaos plan's update-path faults fire
+    /// here (scripted candidate-build failures, and panics at the exact swap
+    /// sequence point), and **any** panic in the update path — injected or
+    /// real — is contained into a typed [`UpdateError`] instead of unwinding
+    /// into the caller, with the old version still serving.
+    fn guarded_update(
+        &self,
+        engine: &ServingEngine,
+        layer: usize,
+        op: impl FnOnce() -> Result<UpdateReport, UpdateError>,
+    ) -> Result<UpdateReport, UpdateError> {
+        #[cfg(feature = "chaos")]
+        let injected_panic = match self.cfg.fault_plan.as_ref().map(|p| p.poll_update()) {
+            Some(crate::chaos::ExecFault::FailBuild) => {
+                let version = engine
+                    .layer_version(layer)
+                    .map_err(|_| UpdateError::UnknownLayer { layer })?
+                    + 1;
+                return Err(UpdateError::Build {
+                    layer,
+                    version,
+                    source: shfl_kernels::KernelError::ShapeMismatch {
+                        context: "injected update build failure (chaos fault plan)".into(),
+                    },
+                });
+            }
+            Some(crate::chaos::ExecFault::Panic) => true,
+            _ => false,
+        };
+        #[cfg(not(feature = "chaos"))]
+        let injected_panic = false;
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if injected_panic {
+                panic!("injected update panic at the swap point (chaos fault plan)");
+            }
+            op()
+        }));
+        match outcome {
+            Ok(result) => result,
+            Err(payload) => Err(UpdateError::Build {
+                layer,
+                version: engine.layer_version(layer).map(|v| v + 1).unwrap_or(0),
+                source: shfl_kernels::KernelError::BuildPanicked {
+                    context: panic_message(payload.as_ref()),
+                },
+            }),
+        }
+    }
+
     /// Worker thread entry point: runs the worker loop and respawns it (in
     /// place, on the same thread) whenever a group execute unwinds it. The
     /// pool therefore never shrinks below the configured size, and a
@@ -1457,7 +1521,10 @@ impl Server {
             }
             s.spawn(|| core.dispatch_loop(engine));
             let guard = StopOnDrop { core: &core };
-            let out = f(&ScopedServer { core: &core });
+            let out = f(&ScopedServer {
+                core: &core,
+                engine,
+            });
             core.drain();
             drop(guard); // graceful: drained above, now stop the threads
             out
@@ -1510,6 +1577,40 @@ impl Server {
         self.core.stats()
     }
 
+    /// Publishes new weights for a registered layer **without stopping
+    /// traffic**: in-flight and queued requests are untouched (they finish
+    /// on their own version, bit-identically), new arrivals observe the new
+    /// version, and a coalesced group never mixes versions because the
+    /// server makes exactly one engine call per group. See
+    /// [`ServingEngine::update_layer`] for the validate-then-swap pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Any [`UpdateError`] (including chaos-injected update faults) leaves
+    /// the old version serving.
+    pub fn update_layer(
+        &self,
+        layer: usize,
+        new_weights: ShflBwMatrix,
+    ) -> Result<UpdateReport, UpdateError> {
+        self.core.guarded_update(&self.engine, layer, || {
+            self.engine.update_layer(layer, new_weights)
+        })
+    }
+
+    /// Republishes the layer's previous weights under a fresh version —
+    /// [`ServingEngine::rollback_layer`] behind the same fault-injection and
+    /// panic-containment shell as [`Server::update_layer`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Server::update_layer`]; additionally
+    /// [`UpdateError::NoPreviousVersion`] for a never-updated layer.
+    pub fn rollback_layer(&self, layer: usize) -> Result<UpdateReport, UpdateError> {
+        self.core
+            .guarded_update(&self.engine, layer, || self.engine.rollback_layer(layer))
+    }
+
     /// Stops admission and blocks until every outstanding ticket has been
     /// delivered. The server stays alive (more `drain` calls are no-ops);
     /// submissions after a drain are rejected with
@@ -1546,6 +1647,7 @@ impl Drop for Server {
 /// API surface as the owned [`Server`], over a borrowed engine.
 pub struct ScopedServer<'a> {
     core: &'a ServerCore,
+    engine: &'a ServingEngine,
 }
 
 impl ScopedServer<'_> {
@@ -1579,6 +1681,36 @@ impl ScopedServer<'_> {
     /// See [`Server::stats`].
     pub fn stats(&self) -> ServerStats {
         self.core.stats()
+    }
+
+    /// The engine this scoped server executes on.
+    pub fn engine(&self) -> &ServingEngine {
+        self.engine
+    }
+
+    /// See [`Server::update_layer`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Server::update_layer`].
+    pub fn update_layer(
+        &self,
+        layer: usize,
+        new_weights: ShflBwMatrix,
+    ) -> Result<UpdateReport, UpdateError> {
+        self.core.guarded_update(self.engine, layer, || {
+            self.engine.update_layer(layer, new_weights)
+        })
+    }
+
+    /// See [`Server::rollback_layer`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Server::rollback_layer`].
+    pub fn rollback_layer(&self, layer: usize) -> Result<UpdateReport, UpdateError> {
+        self.core
+            .guarded_update(self.engine, layer, || self.engine.rollback_layer(layer))
     }
 
     /// See [`Server::drain`].

@@ -11,12 +11,13 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use shfl_core::bucket::BucketPolicy;
 use shfl_core::formats::ShflBwMatrix;
+use shfl_core::formats::VectorWiseMatrix;
 use shfl_core::matrix::DenseMatrix;
 use shfl_core::slo::SloClass;
 use shfl_serving::chaos::FaultPlan;
 use shfl_serving::scheduler::Request;
 use shfl_serving::server::{Server, ServerConfig, ServerStats, SubmitError};
-use shfl_serving::{ServingEngine, ServingError};
+use shfl_serving::{ServingEngine, ServingError, UpdateError};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -39,6 +40,22 @@ fn engine_with_layers(layers: usize) -> ServingEngine {
 
 fn bits(m: &DenseMatrix) -> Vec<u32> {
     m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+/// A same-pattern magnitude update of `weights` (the delta re-pack payload).
+fn scaled(weights: &ShflBwMatrix, factor: f32) -> ShflBwMatrix {
+    let vw = weights.vector_wise();
+    let values: Vec<f32> = vw.values().iter().map(|x| x * factor).collect();
+    let inner = VectorWiseMatrix::from_parts(
+        vw.rows(),
+        vw.cols(),
+        vw.vector_size(),
+        vw.group_ptr().to_vec(),
+        vw.col_idx().to_vec(),
+        values,
+    )
+    .unwrap();
+    ShflBwMatrix::from_vector_wise(inner, weights.row_indices().to_vec()).unwrap()
 }
 
 /// Runs one scripted schedule over a mixed 12-request trace and asserts the
@@ -310,5 +327,184 @@ fn slow_execute_builds_backlog_without_losing_requests() {
     // The stalled window forced the trailing requests into shared rounds.
     assert!(stats.coalesced_requests >= 2, "stats: {stats:?}");
     assert!(plan.executes_seen() >= 2);
+    server.shutdown();
+}
+
+/// Update-path faults fire at their exact scripted update indices: the
+/// scripted candidate-build failure and the scripted swap-point panic both
+/// surface as typed `UpdateError::Build`s whose source chains the kernel
+/// error, and both leave the old version serving bit-identically. The clean
+/// update in between publishes normally.
+#[test]
+fn scripted_update_faults_leave_the_old_version_serving() {
+    let engine = engine_with_layers(1);
+    let mut rng = StdRng::seed_from_u64(97);
+    let acts = DenseMatrix::random(&mut rng, 16, 8);
+    let v0_out = engine.execute(0, &acts).unwrap();
+    let plan = Arc::new(FaultPlan::new().fail_update_build_at(0).panic_update_at(2));
+    let server = Server::start(
+        engine,
+        ServerConfig::new()
+            .with_workers(1)
+            .with_fault_plan(Arc::clone(&plan)),
+    );
+
+    // Update 0: scripted build failure — typed, chained, version unchanged.
+    let update = scaled(&server.engine().layer_weights(0).unwrap(), 0.5);
+    let err = server.update_layer(0, update.clone()).unwrap_err();
+    match &err {
+        UpdateError::Build { source, .. } => {
+            assert!(source.to_string().contains("injected update build failure"));
+        }
+        other => panic!("expected an injected build failure, got {other}"),
+    }
+    assert!(std::error::Error::source(&err).is_some());
+    assert_eq!(server.engine().layer_version(0).unwrap(), 0);
+
+    // Update 1: clean — publishes version 1.
+    let report = server.update_layer(0, update).unwrap();
+    assert_eq!(report.version, 1);
+
+    // Update 2: scripted panic at the swap point — contained into a typed
+    // error, version 1 still serving.
+    let another = scaled(&server.engine().layer_weights(0).unwrap(), 2.0);
+    let err = server.update_layer(0, another).unwrap_err();
+    match &err {
+        UpdateError::Build { source, .. } => {
+            assert!(
+                source.to_string().contains("injected update panic"),
+                "{source}"
+            );
+        }
+        other => panic!("expected a contained update panic, got {other}"),
+    }
+    assert_eq!(server.engine().layer_version(0).unwrap(), 1);
+    assert_eq!(plan.updates_seen(), 3);
+
+    // Traffic after the whole schedule matches the *published* version's
+    // cold oracle — and not version 0's.
+    let ticket = server
+        .submit(Request {
+            id: 0,
+            layer: 0,
+            activations: acts.clone(),
+        })
+        .unwrap();
+    let got = ticket.wait().result.unwrap();
+    let want = server.engine().execute_cold(0, &acts).unwrap();
+    assert_eq!(bits(&got), bits(&want));
+    assert_ne!(bits(&got), bits(&v0_out));
+    server.drain();
+    server.shutdown();
+}
+
+/// The compound chaos property with live updates in the mix: a schedule
+/// combining queue-full windows, a worker panic, an execute build failure,
+/// an update build failure, and an update swap-point panic — under
+/// continuous mixed-class traffic with real swaps between waves. Every
+/// accepted ticket resolves (bit-identical success or typed injected
+/// error), drain accounting stays exact, and every post-swap success
+/// matches the published version's oracle.
+#[test]
+fn compound_schedule_mixes_update_faults_with_serving_faults() {
+    let engine = engine_with_layers(1);
+    let mut rng = StdRng::seed_from_u64(101);
+    let operands: Vec<DenseMatrix> = (0..8)
+        .map(|i| DenseMatrix::random(&mut rng, 16, 2 + (i * 3) % 14))
+        .collect();
+    let plan = Arc::new(
+        FaultPlan::new()
+            .reject_submit_at(1)
+            .panic_at(0)
+            .fail_build_at(2)
+            .fail_update_build_at(1)
+            .panic_update_at(2),
+    );
+    let server = Server::start(
+        engine,
+        ServerConfig::new()
+            .with_workers(2)
+            .with_coalesce(false)
+            .with_admission_window_us(100)
+            .with_fault_plan(Arc::clone(&plan)),
+    );
+    let classes = [
+        SloClass::Standard,
+        SloClass::Bulk,
+        SloClass::Deadline {
+            deadline_us: 50_000,
+        },
+    ];
+
+    let wave = |ids: std::ops::Range<u64>| -> Vec<(usize, shfl_serving::server::Ticket)> {
+        let mut tickets = Vec::new();
+        for id in ids {
+            let i = id as usize;
+            match server.submit_classed(
+                Request {
+                    id,
+                    layer: 0,
+                    activations: operands[i].clone(),
+                },
+                classes[i % classes.len()],
+            ) {
+                Ok(t) => tickets.push((i, t)),
+                Err(SubmitError::QueueFull { .. }) => {} // scripted bounce
+                Err(other) => panic!("unexpected rejection: {other}"),
+            }
+        }
+        tickets
+    };
+    let settle = |tickets: Vec<(usize, shfl_serving::server::Ticket)>| {
+        for (i, ticket) in tickets {
+            match ticket.wait().result {
+                Ok(got) => {
+                    let want = server.engine().execute_cold(0, &operands[i]).unwrap();
+                    assert_eq!(bits(&got), bits(&want), "request {i}");
+                }
+                Err(ServingError::WorkerPanic { context }) => {
+                    assert!(context.contains("injected worker panic"), "{context}");
+                }
+                Err(ServingError::Kernel(e)) => {
+                    assert!(e.to_string().contains("injected plan-build failure"), "{e}");
+                }
+                Err(other) => panic!("request {i} failed with an unscripted error: {other}"),
+            }
+        }
+    };
+
+    // Wave 1 rides through the worker panic, the queue-full bounce and the
+    // execute build failure; settle before swapping so the per-version
+    // oracle stays deterministic.
+    settle(wave(0..4));
+
+    // Swap 1: clean magnitude update (update index 0).
+    let w1 = scaled(&server.engine().layer_weights(0).unwrap(), -0.75);
+    assert_eq!(server.update_layer(0, w1).unwrap().version, 1);
+    // Swap 2: scripted update build failure (index 1) — version 1 keeps
+    // serving.
+    let w2 = scaled(&server.engine().layer_weights(0).unwrap(), 0.5);
+    assert!(server.update_layer(0, w2.clone()).is_err());
+    assert_eq!(server.engine().layer_version(0).unwrap(), 1);
+    // Swap 3: scripted update panic at the swap point (index 2) — contained.
+    assert!(server.update_layer(0, w2.clone()).is_err());
+    assert_eq!(server.engine().layer_version(0).unwrap(), 1);
+    // Swap 4: clean again (index 3) — publishes version 2.
+    assert_eq!(server.update_layer(0, w2).unwrap().version, 2);
+
+    // Wave 2 executes against the published version 2 bit-identically.
+    settle(wave(4..8));
+
+    server.drain();
+    let stats = server.stats();
+    assert_eq!(stats.completed, stats.submitted);
+    assert_eq!(stats.worker_panics, 1);
+    assert_eq!(plan.updates_seen(), 4);
+    let update_stats = server.engine().update_stats();
+    assert_eq!(update_stats.swaps, 2);
+    // Both published swaps were same-pattern → the delta path moved fewer
+    // bytes than rebuilds would have.
+    assert!(update_stats.repack_bytes > 0);
+    assert!(update_stats.repack_bytes < update_stats.rebuild_bytes);
     server.shutdown();
 }
