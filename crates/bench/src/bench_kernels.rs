@@ -22,6 +22,13 @@
 //! ≥1.5× prepared-vs-cold target. Each entry records whether all three paths
 //! produced bit-identical outputs, so a perf regression and a correctness
 //! drift both show up in the same artifact.
+//!
+//! The ResNet-50 model record additionally carries a `conv_implicit` section
+//! comparing the implicit-GEMM conv plans against the retained
+//! materialised-im2col baseline: wall-clock and images/s of both paths, the
+//! transform bytes the implicit path reads, the im2col bytes it avoids, a
+//! bit-identity flag against the cold oracle, and the counter-verified im2col
+//! bytes charged during an implicit forward (gated to 0 by `repro`).
 
 use crate::synth;
 use gpu_sim::GpuArch;
@@ -82,6 +89,42 @@ impl BenchResult {
     }
 }
 
+/// Implicit-GEMM vs materialised-im2col convolution numbers of one model
+/// (recorded for ResNet-50, the conv-dominated workload).
+#[derive(Debug, Clone)]
+pub struct ConvImplicitBench {
+    /// Bytes of the in-place layout buffer one implicit forward reads,
+    /// summed over conv-layer repeat counts.
+    pub input_bytes_read: u64,
+    /// Bytes of materialisation the implicit path avoids per forward: the
+    /// unfolded `K × N` f32 operand plus its fp16 staging copy (`2·K·N·4`),
+    /// summed over conv-layer repeat counts.
+    pub im2col_bytes_avoided: u64,
+    /// Best wall-clock of one implicit-conv forward pass, ms.
+    pub implicit_ms: f64,
+    /// Best wall-clock of one materialised-im2col forward pass, ms.
+    pub im2col_ms: f64,
+    /// Functional throughput of the implicit path (images/s).
+    pub implicit_images_s: f64,
+    /// Functional throughput of the im2col baseline (images/s).
+    pub im2col_images_s: f64,
+    /// Whether the implicit outputs were bit-identical to the cold
+    /// materialised-im2col oracle.
+    pub bit_identical: bool,
+    /// Bytes charged to the global im2col traffic counter during one
+    /// implicit forward — the counter-verified proof that the implicit path
+    /// materialises nothing (must be 0).
+    pub im2col_bytes_on_implicit: u64,
+}
+
+impl ConvImplicitBench {
+    /// Implicit-over-im2col wall-clock ratio (denominator floored like
+    /// [`BenchResult::speedup`]).
+    pub fn speedup(&self) -> f64 {
+        self.im2col_ms / self.implicit_ms.max(1e-6)
+    }
+}
+
 /// End-to-end numbers of one model on the prepared engine.
 #[derive(Debug, Clone)]
 pub struct ModelBenchResult {
@@ -106,6 +149,9 @@ pub struct ModelBenchResult {
     /// Mixed-size serving-trace numbers ([`crate::bench_serving`]): hit rate,
     /// latency percentiles, bucketed-vs-cold throughput.
     pub serving: Option<crate::bench_serving::ServingBenchResult>,
+    /// Implicit-GEMM vs materialised-im2col convolution comparison (ResNet-50
+    /// only; `None` for models without convolutions).
+    pub conv_implicit: Option<ConvImplicitBench>,
 }
 
 /// Everything one `repro --bench-kernels` invocation produces.
@@ -412,6 +458,7 @@ pub fn run(quick: bool) -> BenchRun {
         kernel_w: 3,
         stride: 1,
         padding: 1,
+        dilation: 1,
     };
     let (cm, _, ck) = params.implicit_gemm_shape();
     let weights = DenseMatrix::random(&mut rng, cm, ck);
@@ -473,6 +520,8 @@ pub fn run(quick: bool) -> BenchRun {
     for model in DnnModel::all() {
         let engine = ModelEngine::build(model, &arch, &cfg).expect("engine builds");
         let report = engine.run_best_of(if quick { 1 } else { REPEATS });
+        let conv_implicit = (model == DnnModel::Resnet50)
+            .then(|| bench_conv_implicit(&engine, cfg.batch, cfg.seq_len, quick));
         models.push(ModelBenchResult {
             model: model.name().to_string(),
             batch: report.batch,
@@ -484,10 +533,78 @@ pub fn run(quick: bool) -> BenchRun {
             modeled_throughput: report.modeled_throughput_per_s(),
             unit: report.unit,
             serving: serving_by_model.remove(model.name()),
+            conv_implicit,
         });
     }
 
     BenchRun { kernels, models }
+}
+
+/// Times the implicit-GEMM conv path against the retained materialised-im2col
+/// baseline on one engine (best-of interleaved, like [`time_paths`]), checks
+/// bit-identity against the cold im2col oracle, and counter-verifies that the
+/// implicit forwards charge **zero** bytes to the global im2col traffic
+/// counter.
+fn bench_conv_implicit(
+    engine: &ModelEngine,
+    batch: usize,
+    seq_len: usize,
+    quick: bool,
+) -> ConvImplicitBench {
+    let reps = if quick { 1 } else { REPEATS };
+    // Warm both paths: fault in the conv plans and the unfold scratch so the
+    // timed repetitions compare steady-state serving, not first-touch costs.
+    let _ = engine.forward(batch, seq_len).expect("implicit forward");
+    let _ = engine
+        .forward_im2col(batch, seq_len)
+        .expect("im2col forward");
+
+    // Counter-verified proof that the implicit path materialises nothing: the
+    // global im2col traffic counter must not move across an implicit forward.
+    let before = conv::im2col_traffic_bytes();
+    let mut implicit = engine.forward(batch, seq_len).expect("implicit forward");
+    let im2col_bytes_on_implicit = conv::im2col_traffic_bytes() - before;
+    let mut im2col = engine
+        .forward_im2col(batch, seq_len)
+        .expect("im2col forward");
+    for _ in 1..reps {
+        let next = engine.forward(batch, seq_len).expect("implicit forward");
+        if next.forward_ms < implicit.forward_ms {
+            implicit = next;
+        }
+        let next = engine
+            .forward_im2col(batch, seq_len)
+            .expect("im2col forward");
+        if next.forward_ms < im2col.forward_ms {
+            im2col = next;
+        }
+    }
+
+    // Bit-identity gate: the implicit per-layer outputs against the cold
+    // materialised-im2col oracle (fresh exact-width plans, no bucketed cache).
+    let implicit_outs = engine.forward_outputs(batch, seq_len).expect("outputs");
+    let oracle_outs = engine
+        .forward_outputs_cold(batch, seq_len)
+        .expect("cold outputs");
+    let bit_identical = implicit_outs.len() == oracle_outs.len()
+        && implicit_outs
+            .iter()
+            .zip(oracle_outs.iter())
+            .all(|(a, b)| bits_equal(a, b));
+
+    let (input_bytes_read, im2col_bytes_avoided) = engine
+        .conv_transform_bytes(batch)
+        .expect("conv plans are cached after the forwards");
+    ConvImplicitBench {
+        input_bytes_read,
+        im2col_bytes_avoided,
+        implicit_ms: implicit.forward_ms,
+        im2col_ms: im2col.forward_ms,
+        implicit_images_s: implicit.throughput_per_s(),
+        im2col_images_s: im2col.throughput_per_s(),
+        bit_identical,
+        im2col_bytes_on_implicit,
+    }
 }
 
 /// Renders the plain-text report table.
@@ -534,6 +651,24 @@ pub fn to_table(run: &BenchRun) -> String {
             m.unit,
             m.modeled_throughput,
             m.unit,
+        ));
+    }
+    for m in &run.models {
+        let Some(c) = &m.conv_implicit else { continue };
+        out.push_str(&format!(
+            "\nImplicit-GEMM convolution vs materialised im2col ({})\n\
+             implicit ms | im2col ms | speedup | implicit img/s | im2col img/s | transform bytes | im2col bytes avoided | im2col bytes on implicit | bit-identical\n\
+             {:11.2} | {:9.2} | {:6.2}x | {:14.1} | {:12.1} | {:15} | {:20} | {:24} | {}\n",
+            m.model,
+            c.implicit_ms,
+            c.im2col_ms,
+            c.speedup(),
+            c.implicit_images_s,
+            c.im2col_images_s,
+            c.input_bytes_read,
+            c.im2col_bytes_avoided,
+            c.im2col_bytes_on_implicit,
+            c.bit_identical,
         ));
     }
     let serving: Vec<_> = run
@@ -660,10 +795,29 @@ pub fn to_json(run: &BenchRun) -> String {
             }
             None => String::new(),
         };
+        let conv = match &m.conv_implicit {
+            Some(c) => format!(
+                ", \"conv_implicit\": {{\"input_bytes_read\": {}, \
+                 \"im2col_bytes_avoided\": {}, \"implicit_ms\": {:.3}, \
+                 \"im2col_ms\": {:.3}, \"implicit_images_s\": {:.2}, \
+                 \"im2col_images_s\": {:.2}, \"speedup\": {:.2}, \
+                 \"bit_identical\": {}, \"im2col_bytes_on_implicit\": {}}}",
+                c.input_bytes_read,
+                c.im2col_bytes_avoided,
+                c.implicit_ms,
+                c.im2col_ms,
+                c.implicit_images_s,
+                c.im2col_images_s,
+                c.speedup(),
+                c.bit_identical,
+                c.im2col_bytes_on_implicit,
+            ),
+            None => String::new(),
+        };
         out.push_str(&format!(
             "    {{\"model\": \"{}\", \"batch\": {}, \"seq_len\": {}, \"layers\": {}, \
              \"build_ms\": {:.3}, \"forward_ms\": {:.3}, \"throughput\": {:.2}, \
-             \"modeled_throughput\": {:.2}, \"unit\": \"{}\"{}}}{}\n",
+             \"modeled_throughput\": {:.2}, \"unit\": \"{}\"{}{}}}{}\n",
             esc(&m.model),
             m.batch,
             m.seq_len,
@@ -674,6 +828,7 @@ pub fn to_json(run: &BenchRun) -> String {
             m.modeled_throughput,
             esc(m.unit),
             serving,
+            conv,
             if i + 1 < run.models.len() { "," } else { "" }
         ));
     }
@@ -693,6 +848,17 @@ mod tests {
         assert_eq!(run.kernels.iter().filter(|r| r.headline).count(), 2);
         assert_eq!(run.models.len(), 3);
         assert!(run.models.iter().all(|m| m.forward_ms > 0.0));
+        // The conv comparison rides on ResNet-50 only, and its implicit path
+        // must be bit-identical to the cold materialised-im2col oracle.
+        let conv: Vec<_> = run
+            .models
+            .iter()
+            .filter_map(|m| m.conv_implicit.as_ref())
+            .collect();
+        assert_eq!(conv.len(), 1);
+        assert!(conv[0].bit_identical, "{:?}", conv[0]);
+        assert!(conv[0].input_bytes_read > 0);
+        assert!(conv[0].im2col_bytes_avoided > conv[0].input_bytes_read);
         let json = to_json(&run);
         assert!(json.contains("\"dense_gemm_execute\""));
         assert!(json.contains("\"shfl_bw_spmm_execute\""));

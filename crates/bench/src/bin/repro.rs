@@ -98,9 +98,12 @@ fn print_analysis() {
 ///
 /// In full mode the run is gated on the acceptance targets: ≥5× naive-over-
 /// blocked on both headline kernels, ≥1.5× prepared-over-cold on the Shfl-BW
-/// headline, ≥1× blocked-over-naive on the CUDA-core CSR kernel, end-to-end
-/// numbers present for all three models, and bit-identical outputs everywhere.
-/// `--smoke` keeps only the bit-identity and model-presence gates (tiny shapes
+/// headline, ≥1× blocked-over-naive on the CUDA-core CSR kernel, ≥1.5×
+/// implicit-conv over materialised im2col on the ResNet-50 forward,
+/// end-to-end numbers present for all three models, bit-identical outputs
+/// everywhere (including implicit conv vs the cold im2col oracle), and zero
+/// im2col bytes charged on the implicit path. `--smoke` keeps only the
+/// bit-identity, zero-materialisation and model-presence gates (tiny shapes
 /// make wall-clock ratios meaningless).
 fn run_bench_kernels(output_path: &str, smoke: bool) -> ExitCode {
     println!(
@@ -132,6 +135,44 @@ fn run_bench_kernels(output_path: &str, smoke: bool) -> ExitCode {
             run.models.len()
         );
         ok = false;
+    }
+    // Implicit-GEMM convolution gates (ResNet-50). Bit-identity against the
+    // cold im2col oracle and the zero-materialisation counter proof hold at
+    // any shape, so both run in smoke too; the wall-clock target is
+    // full-shapes only.
+    match run
+        .models
+        .iter()
+        .find_map(|m| m.conv_implicit.as_ref().map(|c| (m, c)))
+    {
+        None => {
+            eprintln!("error: no model recorded the implicit-conv comparison");
+            ok = false;
+        }
+        Some((m, c)) => {
+            if !c.bit_identical {
+                eprintln!(
+                    "error: {} implicit-conv outputs are not bit-identical to the im2col oracle",
+                    m.model
+                );
+                ok = false;
+            }
+            if c.im2col_bytes_on_implicit != 0 {
+                eprintln!(
+                    "error: {} implicit forward charged {} bytes of im2col materialisation (expected 0)",
+                    m.model, c.im2col_bytes_on_implicit
+                );
+                ok = false;
+            }
+            if !smoke && c.speedup() < 1.5 {
+                eprintln!(
+                    "error: {} implicit-conv forward missed its >=1.5x target over im2col: {:.2}x",
+                    m.model,
+                    c.speedup()
+                );
+                ok = false;
+            }
+        }
     }
     if !smoke {
         for r in run.kernels.iter().filter(|r| r.headline) {

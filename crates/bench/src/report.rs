@@ -334,6 +334,23 @@ pub struct ModelRecord {
     pub serving_cb_stale_plan_executes: Option<f64>,
     /// Accepted tickets that failed during the update sub-trace.
     pub serving_cb_update_failed_requests: Option<f64>,
+    /// Implicit-conv transform bytes read per forward (absent before the
+    /// implicit-GEMM conv plans existed).
+    pub conv_input_bytes_read: Option<f64>,
+    /// Im2col bytes the implicit conv path avoids materialising per forward.
+    pub conv_im2col_bytes_avoided: Option<f64>,
+    /// Implicit-conv forward throughput, images/s.
+    pub conv_implicit_images_s: Option<f64>,
+    /// Materialised-im2col forward throughput, images/s.
+    pub conv_im2col_images_s: Option<f64>,
+    /// Recorded implicit-over-im2col forward speedup.
+    pub conv_speedup: Option<f64>,
+    /// Whether the implicit conv outputs matched the cold im2col oracle bit
+    /// for bit.
+    pub conv_bit_identical: Option<bool>,
+    /// Bytes charged to the im2col traffic counter during an implicit
+    /// forward (0 when the implicit path materialises nothing).
+    pub conv_im2col_bytes_on_implicit: Option<f64>,
 }
 
 /// A parsed `BENCH_kernels.json`, any supported schema.
@@ -387,6 +404,8 @@ pub fn parse_report(input: &str) -> Option<BenchReport> {
             let serving_field = |key: &str| serving.and_then(|s| s.get(key)).and_then(Json::as_f64);
             let continuous = serving.and_then(|s| s.get("continuous"));
             let cb_field = |key: &str| continuous.and_then(|c| c.get(key)).and_then(Json::as_f64);
+            let conv = row.get("conv_implicit");
+            let conv_field = |key: &str| conv.and_then(|c| c.get(key)).and_then(Json::as_f64);
             models.push(ModelRecord {
                 model: row.get("model")?.as_str()?.to_string(),
                 batch: row.get("batch")?.as_f64()? as usize,
@@ -421,6 +440,15 @@ pub fn parse_report(input: &str) -> Option<BenchReport> {
                 serving_cb_repack_bytes_ratio: cb_field("repack_bytes_ratio"),
                 serving_cb_stale_plan_executes: cb_field("stale_plan_executes"),
                 serving_cb_update_failed_requests: cb_field("update_failed_requests"),
+                conv_input_bytes_read: conv_field("input_bytes_read"),
+                conv_im2col_bytes_avoided: conv_field("im2col_bytes_avoided"),
+                conv_implicit_images_s: conv_field("implicit_images_s"),
+                conv_im2col_images_s: conv_field("im2col_images_s"),
+                conv_speedup: conv_field("speedup"),
+                conv_bit_identical: conv
+                    .and_then(|c| c.get("bit_identical"))
+                    .and_then(Json::as_bool),
+                conv_im2col_bytes_on_implicit: conv_field("im2col_bytes_on_implicit"),
             });
         }
     }
@@ -541,6 +569,16 @@ mod tests {
                         update_failed_requests: 0,
                     },
                 }),
+                conv_implicit: Some(crate::bench_kernels::ConvImplicitBench {
+                    input_bytes_read: 1_000,
+                    im2col_bytes_avoided: 9_000,
+                    implicit_ms: 10.0,
+                    im2col_ms: 25.0,
+                    implicit_images_s: 100.0,
+                    im2col_images_s: 40.0,
+                    bit_identical: true,
+                    im2col_bytes_on_implicit: 0,
+                }),
             }],
         };
         let json = crate::bench_kernels::to_json(&run);
@@ -579,6 +617,13 @@ mod tests {
         assert_eq!(m.serving_cb_repack_bytes_ratio, Some(0.125));
         assert_eq!(m.serving_cb_stale_plan_executes, Some(2.0));
         assert_eq!(m.serving_cb_update_failed_requests, Some(0.0));
+        assert_eq!(m.conv_input_bytes_read, Some(1000.0));
+        assert_eq!(m.conv_im2col_bytes_avoided, Some(9000.0));
+        assert_eq!(m.conv_implicit_images_s, Some(100.0));
+        assert_eq!(m.conv_im2col_images_s, Some(40.0));
+        assert_eq!(m.conv_speedup, Some(2.5));
+        assert_eq!(m.conv_bit_identical, Some(true));
+        assert_eq!(m.conv_im2col_bytes_on_implicit, Some(0.0));
     }
 
     #[test]
@@ -601,6 +646,9 @@ mod tests {
         assert_eq!(report.models[0].serving_cb_overload_shed_rate, None);
         assert_eq!(report.models[0].serving_cb_update_swaps, None);
         assert_eq!(report.models[0].serving_cb_repack_bytes_ratio, None);
+        assert_eq!(report.models[0].conv_speedup, None);
+        assert_eq!(report.models[0].conv_bit_identical, None);
+        assert_eq!(report.models[0].conv_im2col_bytes_on_implicit, None);
     }
 
     #[test]

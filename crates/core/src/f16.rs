@@ -34,6 +34,21 @@ pub fn round_to_f16_slice(values: &mut [f32]) {
     }
 }
 
+/// Copies `src` into `dst` rounding every element through fp16 in one pass —
+/// the fused copy+round used when staging operands into transform buffers,
+/// bit-identical to a copy followed by [`round_to_f16_slice`] but with half
+/// the memory traffic.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn round_to_f16_into(dst: &mut [f32], src: &[f32]) {
+    assert_eq!(dst.len(), src.len(), "round_to_f16_into length mismatch");
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d = f32::from_bits(f32_bits_branchless(f16_bits_branchless(s.to_bits())));
+    }
+}
+
 /// All-ones mask when `cond` holds, all-zeros otherwise.
 #[inline(always)]
 fn mask32(cond: bool) -> u32 {

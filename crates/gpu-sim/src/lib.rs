@@ -50,11 +50,13 @@ pub mod arch;
 pub mod mma;
 pub mod occupancy;
 pub mod pipeline;
+pub mod simd;
 pub mod stats;
 pub mod timing;
 
 pub use arch::{GpuArch, GpuGeneration};
 pub use mma::{MmaShape, RegCascade};
 pub use pipeline::{PipelineConfig, PipelineModel};
+pub use simd::SimdTier;
 pub use stats::{ComputeUnit, KernelStats};
 pub use timing::{Bound, CostModel, KernelTiming};

@@ -301,12 +301,47 @@ impl Default for RegCascade {
     }
 }
 
-/// One register-blocked column span of one row: the cascade of chunk widths
-/// (starting at `cascade.largest_chunk()`, halving down to 8) followed by a
-/// scalar tail, so narrow operands still vectorise. Covers columns
-/// `start .. end` of a row stored with memory stride `stride`.
+/// One register-blocked column span of one row, dispatched to the active
+/// [`SimdTier`](crate::simd::SimdTier): the explicit AVX2 / SSE2 sweeps when
+/// the CPU supports them, the scalar cascade below otherwise. Covers columns
+/// `start .. end` of a row stored with memory stride `stride`. Every tier is
+/// bit-identical (the vector tiers only regroup independent output columns;
+/// per element the `kk` products still accumulate in ascending order with
+/// separate multiply and add), so the dispatch never changes a result.
 #[inline]
 fn reg_row_span<const LOAD_C: bool>(
+    a_row: &[f32],
+    b: &[f32],
+    c_row: &mut [f32],
+    stride: usize,
+    start: usize,
+    end: usize,
+    cascade: RegCascade,
+) {
+    match crate::simd::active_tier() {
+        // SAFETY: every caller guarantees `p * stride + end <= b.len()` for
+        // all `p < a_row.len()` and `end <= c_row.len()` (asserted by the
+        // public kernels); the tier is only returned when the CPU supports
+        // the feature.
+        #[cfg(target_arch = "x86_64")]
+        crate::simd::SimdTier::Avx2 => unsafe {
+            crate::simd::x86::plain_span_avx2::<LOAD_C>(a_row, b, stride, c_row, start, end)
+        },
+        // SAFETY: same bounds contract; SSE2 is baseline on x86-64.
+        #[cfg(target_arch = "x86_64")]
+        crate::simd::SimdTier::Sse2 => unsafe {
+            crate::simd::x86::plain_span_sse2::<LOAD_C>(a_row, b, stride, c_row, start, end)
+        },
+        _ => reg_row_span_scalar::<LOAD_C>(a_row, b, c_row, stride, start, end, cascade),
+    }
+}
+
+/// The scalar tier of [`reg_row_span`] (and the bit-identity oracle for the
+/// vector tiers): the cascade of chunk widths (starting at
+/// `cascade.largest_chunk()`, halving down to 8) followed by a scalar tail,
+/// so narrow operands still vectorise.
+#[inline]
+fn reg_row_span_scalar<const LOAD_C: bool>(
     a_row: &[f32],
     b: &[f32],
     c_row: &mut [f32],
@@ -494,10 +529,43 @@ fn reg_row_gather_chunks<const BLK: usize>(
 }
 
 /// One gathered register-blocked column span of one row (`reg_row_span` for
-/// the gather kernels: chunk cascade plus scalar tail over `start .. end`).
+/// the gather kernels), dispatched to the active SIMD tier exactly like
+/// [`reg_row_span`]; every tier is bit-identical.
 #[inline]
 #[allow(clippy::too_many_arguments)] // mirrors the gather kernel + span bounds
 fn reg_row_gather_span(
+    a_row: &[f32],
+    b: &[f32],
+    b_rows: &[u32],
+    acc_row: &mut [f32],
+    stride: usize,
+    start: usize,
+    end: usize,
+    cascade: RegCascade,
+) {
+    match crate::simd::active_tier() {
+        // SAFETY: the public gather kernels assert
+        // `b_rows[p] as usize * stride + end <= b.len()` for every step and
+        // `end <= acc_row.len()`; the tier is only returned when the CPU
+        // supports the feature.
+        #[cfg(target_arch = "x86_64")]
+        crate::simd::SimdTier::Avx2 => unsafe {
+            crate::simd::x86::gather_span_avx2(a_row, b, b_rows, stride, acc_row, start, end)
+        },
+        // SAFETY: same bounds contract; SSE2 is baseline on x86-64.
+        #[cfg(target_arch = "x86_64")]
+        crate::simd::SimdTier::Sse2 => unsafe {
+            crate::simd::x86::gather_span_sse2(a_row, b, b_rows, stride, acc_row, start, end)
+        },
+        _ => reg_row_gather_span_scalar(a_row, b, b_rows, acc_row, stride, start, end, cascade),
+    }
+}
+
+/// The scalar tier of [`reg_row_gather_span`]: chunk cascade plus scalar
+/// tail over `start .. end`.
+#[inline]
+#[allow(clippy::too_many_arguments)] // mirrors the gather kernel + span bounds
+fn reg_row_gather_span_scalar(
     a_row: &[f32],
     b: &[f32],
     b_rows: &[u32],
@@ -583,8 +651,166 @@ pub fn mma_row_block_gather_fused_acc_cascade(
     if rows == 0 || kk == 0 || width == 0 {
         return;
     }
+    for &col in b_rows {
+        assert!(
+            (col as usize + 1) * width <= b.len(),
+            "B row index {col} reaches past the operand"
+        );
+    }
     for (a_row, acc_row) in a.chunks_exact(kk).zip(acc.chunks_exact_mut(width)) {
         reg_row_gather_span(a_row, b, b_rows, acc_row, width, 0, width, cascade);
+    }
+}
+
+/// Offset-gather variant of [`mma_row_block_gather_fused_acc_cascade`] for
+/// the implicit-GEMM convolution plans: reduction step `p` reads its operand
+/// elements **at per-tap element offsets** instead of whole indexed rows —
+/// the operand element of step `p`, column `j` is
+/// `b[b_base + b_offs[p] + j]`. This is what lets a conv plan walk a padded,
+/// pre-rounded input transform in place: `b_base` locates one output block
+/// (a batch row of the output image), `b_offs[p]` locates the `(channel,
+/// kernel-row, kernel-col)` tap inside it, and consecutive output columns
+/// read consecutive transform elements.
+///
+/// Semantics match the fused kernels: one step's partial product per output
+/// element, reduced from `+0.0` in ascending `k`, added into `acc` exactly
+/// once. Reading `b` at `b_base + b_offs[p] + j` is value-for-value the same
+/// operand sequence as staging those elements into a `kk×width` tile and
+/// calling [`mma_row_block_fused_acc_cascade`], so the two are bit-identical.
+///
+/// # Panics
+///
+/// Panics if the slices do not match the stated dimensions
+/// (`a.len() == rows*kk`, `b_offs.len() == kk`, `acc.len() == rows*width`)
+/// or a tap's span `b_base + b_offs[p] .. + width` reaches past `b`.
+#[allow(clippy::too_many_arguments)] // mirrors the gather kernel + cascade
+pub fn mma_row_block_offset_fused_acc_cascade(
+    a: &[f32],
+    rows: usize,
+    kk: usize,
+    b: &[f32],
+    b_base: usize,
+    b_offs: &[u32],
+    acc: &mut [f32],
+    width: usize,
+    cascade: RegCascade,
+) {
+    assert_eq!(a.len(), rows * kk, "A fragment must be rows*kk elements");
+    assert_eq!(b_offs.len(), kk, "one B element offset per reduction step");
+    assert_eq!(
+        acc.len(),
+        rows * width,
+        "acc block must be rows*width elements"
+    );
+    if rows == 0 || kk == 0 || width == 0 {
+        return;
+    }
+    for &off in b_offs {
+        assert!(
+            b_base + off as usize + width <= b.len(),
+            "B offset {off} (base {b_base}) reaches past the operand"
+        );
+    }
+    for (a_row, acc_row) in a.chunks_exact(kk).zip(acc.chunks_exact_mut(width)) {
+        reg_row_offset_span(a_row, b, b_base, b_offs, acc_row, 0, width, cascade);
+    }
+}
+
+/// Offset chunk sweep for [`mma_row_block_offset_fused_acc_cascade`]: like
+/// [`reg_row_gather_chunks`], but step `p`'s operand starts at element
+/// `b_base + b_offs[p]` instead of row `b_rows[p]`.
+#[inline]
+#[allow(clippy::too_many_arguments)] // mirrors the offset kernel + span bounds
+fn reg_row_offset_chunks<const BLK: usize>(
+    a_row: &[f32],
+    b: &[f32],
+    b_base: usize,
+    b_offs: &[u32],
+    acc_row: &mut [f32],
+    end: usize,
+    mut j0: usize,
+) -> usize {
+    while j0 + BLK <= end {
+        let mut part = [0.0f32; BLK];
+        for (&av, &off) in a_row.iter().zip(b_offs.iter()) {
+            let at = b_base + off as usize + j0;
+            let bs = &b[at..at + BLK];
+            for (o, &bv) in part.iter_mut().zip(bs.iter()) {
+                *o += av * bv;
+            }
+        }
+        for (o, &p) in acc_row[j0..j0 + BLK].iter_mut().zip(part.iter()) {
+            *o += p;
+        }
+        j0 += BLK;
+    }
+    j0
+}
+
+/// One offset register-blocked column span of one row, dispatched to the
+/// active SIMD tier exactly like [`reg_row_gather_span`]; every tier is
+/// bit-identical.
+#[inline]
+#[allow(clippy::too_many_arguments)] // mirrors the offset kernel + span bounds
+fn reg_row_offset_span(
+    a_row: &[f32],
+    b: &[f32],
+    b_base: usize,
+    b_offs: &[u32],
+    acc_row: &mut [f32],
+    start: usize,
+    end: usize,
+    cascade: RegCascade,
+) {
+    match crate::simd::active_tier() {
+        // SAFETY: the public offset kernel asserts
+        // `b_base + b_offs[p] as usize + end <= b.len()` for every step and
+        // `end <= acc_row.len()`; the tier is only returned when the CPU
+        // supports the feature.
+        #[cfg(target_arch = "x86_64")]
+        crate::simd::SimdTier::Avx2 => unsafe {
+            crate::simd::x86::offset_span_avx2(a_row, b, b_base, b_offs, acc_row, start, end)
+        },
+        // SAFETY: same bounds contract; SSE2 is baseline on x86-64.
+        #[cfg(target_arch = "x86_64")]
+        crate::simd::SimdTier::Sse2 => unsafe {
+            crate::simd::x86::offset_span_sse2(a_row, b, b_base, b_offs, acc_row, start, end)
+        },
+        _ => reg_row_offset_span_scalar(a_row, b, b_base, b_offs, acc_row, start, end, cascade),
+    }
+}
+
+/// The scalar tier of [`reg_row_offset_span`]: chunk cascade plus scalar
+/// tail over `start .. end`.
+#[inline]
+#[allow(clippy::too_many_arguments)] // mirrors the offset kernel + span bounds
+fn reg_row_offset_span_scalar(
+    a_row: &[f32],
+    b: &[f32],
+    b_base: usize,
+    b_offs: &[u32],
+    acc_row: &mut [f32],
+    start: usize,
+    end: usize,
+    cascade: RegCascade,
+) {
+    let mut j0 = start;
+    if cascade.largest >= 64 {
+        j0 = reg_row_offset_chunks::<64>(a_row, b, b_base, b_offs, acc_row, end, j0);
+    }
+    if cascade.largest >= 32 {
+        j0 = reg_row_offset_chunks::<32>(a_row, b, b_base, b_offs, acc_row, end, j0);
+    }
+    if cascade.largest >= 16 {
+        j0 = reg_row_offset_chunks::<16>(a_row, b, b_base, b_offs, acc_row, end, j0);
+    }
+    j0 = reg_row_offset_chunks::<8>(a_row, b, b_base, b_offs, acc_row, end, j0);
+    for (j, o) in acc_row[..end].iter_mut().enumerate().skip(j0) {
+        let mut part = 0.0f32;
+        for (&av, &off) in a_row.iter().zip(b_offs.iter()) {
+            part += av * b[b_base + off as usize + j];
+        }
+        *o += part;
     }
 }
 
@@ -746,6 +972,12 @@ pub fn mma_row_block_gather_fused_acc_segments(
     check_segments(segments, stride);
     if rows == 0 || kk == 0 || stride == 0 {
         return;
+    }
+    for &col in b_rows {
+        assert!(
+            (col as usize + 1) * stride <= b.len(),
+            "B row index {col} reaches past the operand"
+        );
     }
     for seg in segments {
         for (a_row, acc_row) in a.chunks_exact(kk).zip(acc.chunks_exact_mut(stride)) {
@@ -1271,6 +1503,139 @@ mod tests {
         let mut empty: Vec<f32> = vec![];
         mma_row_block_reg(&[0.0; 4], 2, 2, &[], &mut empty, 0);
         mma_row_block_fused_acc(&[0.0; 4], 2, 2, &[], &mut empty, 0);
+    }
+
+    #[test]
+    fn offset_fused_acc_is_bit_identical_to_staged_fused_acc() {
+        for (rows, kk, width, slab) in [(5, 4, 19, 512), (16, 16, 32, 1024), (3, 7, 77, 700)] {
+            let (a, _, acc_init) = reg_case(rows, kk, width);
+            let b: Vec<f32> = (0..slab)
+                .map(|i| round_to_f16((i as f32 * 0.13).sin()))
+                .collect();
+            let b_base = 37usize;
+            let b_offs: Vec<u32> = (0..kk)
+                .map(|p| ((p * 53 + 11) % (slab - b_base - width)) as u32)
+                .collect();
+            // Staged reference: copy each tap's span into a contiguous tile.
+            let mut b_tile = vec![0.0f32; kk * width];
+            for (p, off) in b_offs.iter().enumerate() {
+                let at = b_base + *off as usize;
+                b_tile[p * width..(p + 1) * width].copy_from_slice(&b[at..at + width]);
+            }
+            let mut staged = acc_init.clone();
+            mma_row_block_fused_acc(&a, rows, kk, &b_tile, &mut staged, width);
+            let mut offset = acc_init.clone();
+            mma_row_block_offset_fused_acc_cascade(
+                &a,
+                rows,
+                kk,
+                &b,
+                b_base,
+                &b_offs,
+                &mut offset,
+                width,
+                RegCascade::for_width(width),
+            );
+            assert_eq!(
+                staged.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                offset.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{rows}x{kk}x{width}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "reaches past the operand")]
+    fn offset_kernel_rejects_out_of_range_offsets() {
+        let a = vec![1.0f32; 2 * 2];
+        let b = vec![0.5f32; 16];
+        let mut acc = vec![0.0f32; 2 * 8];
+        mma_row_block_offset_fused_acc_cascade(
+            &a,
+            2,
+            2,
+            &b,
+            4,
+            &[0, 8], // 4 + 8 + 8 > 16
+            &mut acc,
+            8,
+            RegCascade::for_width(8),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "reaches past the operand")]
+    fn gather_kernel_rejects_out_of_range_row_indices() {
+        let a = vec![1.0f32; 2 * 2];
+        let b = vec![0.5f32; 16];
+        let mut acc = vec![0.0f32; 2 * 8];
+        mma_row_block_gather_fused_acc(&a, 2, 2, &b, &[0, 2], &mut acc, 8);
+    }
+
+    /// Sweeps every runtime-dispatchable SIMD tier over every register-blocked
+    /// kernel family and asserts bit-identity with the forced-scalar tier —
+    /// the contract that makes the runtime dispatch (and `SHFL_SIMD`
+    /// overrides) invisible to every consumer.
+    #[test]
+    fn simd_tiers_are_bit_identical_across_all_kernels() {
+        use crate::simd::{self, SimdTier};
+
+        // Shapes chosen to hit every chunk width (256-bit, 128-bit, scalar
+        // tail) including narrow conv-like widths (7) and wide buckets.
+        let shapes = [(5, 4, 19), (16, 16, 130), (3, 7, 77), (4, 16, 7), (2, 3, 4)];
+        let run_all = |tier: Option<SimdTier>| -> Vec<Vec<u32>> {
+            simd::force_tier(tier);
+            let mut outs = Vec::new();
+            for &(rows, kk, width) in &shapes {
+                let (a, b, c_init) = reg_case(rows, kk, width);
+                let mut reg = c_init.clone();
+                mma_row_block_reg(&a, rows, kk, &b, &mut reg, width);
+                let mut fused = c_init.clone();
+                mma_row_block_fused_acc(&a, rows, kk, &b, &mut fused, width);
+                let slab = kk * width + 64;
+                let gb: Vec<f32> = (0..slab)
+                    .map(|i| round_to_f16((i as f32 * 0.13).sin()))
+                    .collect();
+                let b_rows: Vec<u32> = (0..kk).map(|p| ((p * 3 + 1) % kk) as u32).collect();
+                let mut gather = c_init.clone();
+                mma_row_block_gather_fused_acc(
+                    &a,
+                    rows,
+                    kk,
+                    &gb[..kk * width],
+                    &b_rows,
+                    &mut gather,
+                    width,
+                );
+                let b_offs: Vec<u32> = (0..kk).map(|p| ((p * 29 + 3) % 64) as u32).collect();
+                let mut offset = c_init.clone();
+                mma_row_block_offset_fused_acc_cascade(
+                    &a,
+                    rows,
+                    kk,
+                    &gb,
+                    0,
+                    &b_offs,
+                    &mut offset,
+                    width,
+                    RegCascade::for_width(width),
+                );
+                let segs = spans(width, &[width / 3, 2 * width / 3]);
+                let mut seg_acc = c_init.clone();
+                mma_row_block_fused_acc_segments(&a, rows, kk, &b, &mut seg_acc, width, &segs);
+                for out in [reg, fused, gather, offset, seg_acc] {
+                    outs.push(out.iter().map(|v| v.to_bits()).collect());
+                }
+            }
+            outs
+        };
+
+        let scalar = run_all(Some(SimdTier::Scalar));
+        for tier in simd::available_tiers() {
+            let tiered = run_all(Some(tier));
+            assert_eq!(scalar, tiered, "tier {} diverged from scalar", tier.label());
+        }
+        simd::force_tier(None);
     }
 
     #[test]

@@ -1,0 +1,551 @@
+//! Runtime-dispatched explicit-SIMD tiers for the register-blocked
+//! microkernels in [`crate::mma`].
+//!
+//! The prepared-plan sweeps (`reg_row_span` and friends) were historically
+//! plain scalar loops that the compiler autovectorised — which made the
+//! workspace's `-C target-cpu=native` flag load-bearing: built for a generic
+//! x86-64 target, the hot panel sweeps silently dropped to 128-bit codegen.
+//! This module lifts those loops to explicit `std::arch` intrinsics behind a
+//! **runtime** CPU-feature dispatch, so one generic binary runs the widest
+//! tier the executing machine supports:
+//!
+//! * [`SimdTier::Avx2`] — 256-bit `__m256` chunks (8 lanes), selected when
+//!   `avx2` is detected at runtime,
+//! * [`SimdTier::Sse2`] — 128-bit `__m128` chunks (4 lanes), the x86-64
+//!   baseline (always available there),
+//! * [`SimdTier::Scalar`] — the original autovectorisable scalar loops, the
+//!   portable fallback and the bit-identity oracle for the other tiers.
+//!
+//! **Every tier is bit-identical.** The vector tiers widen the sweep across
+//! *independent output columns* only: each output element still accumulates
+//! its `k` contributions in ascending order through one `f32` lane, using a
+//! separate IEEE-754 multiply and add per step (deliberately **no FMA** — a
+//! fused multiply-add skips the intermediate rounding and would diverge from
+//! the scalar oracle in the last bit). How columns are grouped into register
+//! chunks never changes a result (the same argument that makes every
+//! [`crate::mma::RegCascade`] bit-identical), so the dispatch decision — even
+//! one racing a concurrent [`force_tier`] — can never change an output.
+//!
+//! The active tier is resolved once from CPUID (overridable with the
+//! `SHFL_SIMD` environment variable: `scalar`, `sse2` or `avx2`, clamped to
+//! what the CPU supports) and cached in an atomic; [`force_tier`] re-pins it
+//! at runtime, which tests use to sweep every tier.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// One dispatchable microkernel implementation tier, ordered from narrowest
+/// to widest (`Scalar < Sse2 < Avx2`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SimdTier {
+    /// The scalar (autovectorisable) reference loops — portable fallback.
+    Scalar,
+    /// 128-bit `__m128` sweeps; baseline on every x86-64 CPU.
+    Sse2,
+    /// 256-bit `__m256` sweeps; requires runtime-detected AVX2.
+    Avx2,
+}
+
+impl SimdTier {
+    /// Stable lower-case name of the tier (`"scalar"`, `"sse2"`, `"avx2"`),
+    /// matching the `SHFL_SIMD` override spelling.
+    pub fn label(self) -> &'static str {
+        match self {
+            SimdTier::Scalar => "scalar",
+            SimdTier::Sse2 => "sse2",
+            SimdTier::Avx2 => "avx2",
+        }
+    }
+
+    /// Parses a tier name as spelled by [`SimdTier::label`]
+    /// (case-insensitive); `None` for anything else.
+    pub fn from_name(name: &str) -> Option<SimdTier> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Some(SimdTier::Scalar),
+            "sse2" => Some(SimdTier::Sse2),
+            "avx2" => Some(SimdTier::Avx2),
+            _ => None,
+        }
+    }
+}
+
+/// Sentinel for "not resolved yet" in the cached tier atomic.
+const UNRESOLVED: u8 = 0;
+
+fn encode(tier: SimdTier) -> u8 {
+    match tier {
+        SimdTier::Scalar => 1,
+        SimdTier::Sse2 => 2,
+        SimdTier::Avx2 => 3,
+    }
+}
+
+fn decode(raw: u8) -> Option<SimdTier> {
+    match raw {
+        1 => Some(SimdTier::Scalar),
+        2 => Some(SimdTier::Sse2),
+        3 => Some(SimdTier::Avx2),
+        _ => None,
+    }
+}
+
+/// The resolved (or forced) active tier; `UNRESOLVED` until first use and
+/// after a `force_tier(None)` reset.
+static ACTIVE: AtomicU8 = AtomicU8::new(UNRESOLVED);
+
+/// The widest tier the executing CPU supports, from runtime feature
+/// detection (CPUID); independent of any `SHFL_SIMD` override or
+/// [`force_tier`] pin.
+pub fn best_available() -> SimdTier {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx2") {
+            SimdTier::Avx2
+        } else {
+            SimdTier::Sse2
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        SimdTier::Scalar
+    }
+}
+
+/// Never hand out a tier the CPU cannot execute, whatever was requested.
+fn clamp_to_available(tier: SimdTier) -> SimdTier {
+    tier.min(best_available())
+}
+
+/// Cold path of [`active_tier`]: resolve from the `SHFL_SIMD` override (if
+/// set and parseable) or CPUID, then cache.
+fn resolve() -> SimdTier {
+    let tier = std::env::var("SHFL_SIMD")
+        .ok()
+        .and_then(|name| SimdTier::from_name(&name))
+        .map(clamp_to_available)
+        .unwrap_or_else(best_available);
+    ACTIVE.store(encode(tier), Ordering::Relaxed);
+    tier
+}
+
+/// The microkernel tier the dispatching sweeps currently select: resolved
+/// once from `SHFL_SIMD` / CPUID and cached (one relaxed atomic load on the
+/// hot path), unless pinned by [`force_tier`].
+#[inline]
+pub fn active_tier() -> SimdTier {
+    match decode(ACTIVE.load(Ordering::Relaxed)) {
+        Some(tier) => tier,
+        None => resolve(),
+    }
+}
+
+/// Pins the active tier (clamped to [`best_available`]), or with `None`
+/// clears the pin so the next [`active_tier`] call re-resolves from the
+/// environment. Intended for tests and benchmarks that sweep tiers; safe to
+/// race with concurrent executes because every tier is bit-identical.
+pub fn force_tier(tier: Option<SimdTier>) {
+    match tier {
+        Some(tier) => ACTIVE.store(encode(clamp_to_available(tier)), Ordering::Relaxed),
+        None => ACTIVE.store(UNRESOLVED, Ordering::Relaxed),
+    }
+}
+
+/// Every tier executable on this machine, narrowest first (always contains
+/// [`SimdTier::Scalar`]). Tests sweep this list to pin each tier in turn.
+pub fn available_tiers() -> Vec<SimdTier> {
+    let mut tiers = vec![SimdTier::Scalar];
+    if best_available() >= SimdTier::Sse2 {
+        tiers.push(SimdTier::Sse2);
+    }
+    if best_available() >= SimdTier::Avx2 {
+        tiers.push(SimdTier::Avx2);
+    }
+    tiers
+}
+
+/// The x86-64 vector implementations of the span sweeps dispatched from
+/// [`crate::mma`]. Each function covers columns `start .. end` of one output
+/// row with the same semantics as its scalar counterpart; the reduction rows
+/// of the `b` operand are located by a per-step base closure (consecutive
+/// rows, gathered rows, or per-tap element offsets).
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod x86 {
+    use core::arch::x86_64::*;
+
+    /// Sweeps all full `NV·8`-wide column chunks from `j0`, holding the chunk
+    /// in `NV` `__m256` accumulators across the whole reduction. Returns the
+    /// first unprocessed column. `LOAD_C` mirrors the scalar
+    /// `reg_row_chunks`: start the chunk from `c` (direct accumulate) or from
+    /// `+0.0` with one add into `c` at the end (fused partial).
+    ///
+    /// # Safety
+    ///
+    /// For every reduction step `p < a_row.len()`:
+    /// `row_base(p) + end <= b len` and `c_row` must be valid for `end`
+    /// elements. Caller must ensure AVX2 is available.
+    #[inline(always)]
+    unsafe fn chunks256<const NV: usize, const LOAD_C: bool>(
+        a_row: &[f32],
+        b: *const f32,
+        row_base: &impl Fn(usize) -> usize,
+        c_row: *mut f32,
+        end: usize,
+        mut j0: usize,
+    ) -> usize {
+        let blk = NV * 8;
+        while j0 + blk <= end {
+            let mut part = [_mm256_setzero_ps(); NV];
+            if LOAD_C {
+                for (v, acc) in part.iter_mut().enumerate() {
+                    *acc = _mm256_loadu_ps(c_row.add(j0 + v * 8) as *const f32);
+                }
+            }
+            for (p, &av) in a_row.iter().enumerate() {
+                let avv = _mm256_set1_ps(av);
+                let base = b.add(row_base(p) + j0);
+                for (v, acc) in part.iter_mut().enumerate() {
+                    let bv = _mm256_loadu_ps(base.add(v * 8));
+                    // Separate mul + add: an FMA would skip the intermediate
+                    // rounding and break bit-identity with the scalar tier.
+                    *acc = _mm256_add_ps(*acc, _mm256_mul_ps(avv, bv));
+                }
+            }
+            for (v, acc) in part.iter().enumerate() {
+                let dst = c_row.add(j0 + v * 8);
+                let out = if LOAD_C {
+                    *acc
+                } else {
+                    _mm256_add_ps(_mm256_loadu_ps(dst as *const f32), *acc)
+                };
+                _mm256_storeu_ps(dst, out);
+            }
+            j0 += blk;
+        }
+        j0
+    }
+
+    /// [`chunks256`] at 128-bit width: all full `NV·4`-wide chunks in `NV`
+    /// `__m128` accumulators.
+    ///
+    /// # Safety
+    ///
+    /// Same bounds contract as [`chunks256`]; SSE2 is baseline on x86-64.
+    #[inline(always)]
+    unsafe fn chunks128<const NV: usize, const LOAD_C: bool>(
+        a_row: &[f32],
+        b: *const f32,
+        row_base: &impl Fn(usize) -> usize,
+        c_row: *mut f32,
+        end: usize,
+        mut j0: usize,
+    ) -> usize {
+        let blk = NV * 4;
+        while j0 + blk <= end {
+            let mut part = [_mm_setzero_ps(); NV];
+            if LOAD_C {
+                for (v, acc) in part.iter_mut().enumerate() {
+                    *acc = _mm_loadu_ps(c_row.add(j0 + v * 4) as *const f32);
+                }
+            }
+            for (p, &av) in a_row.iter().enumerate() {
+                let avv = _mm_set1_ps(av);
+                let base = b.add(row_base(p) + j0);
+                for (v, acc) in part.iter_mut().enumerate() {
+                    let bv = _mm_loadu_ps(base.add(v * 4));
+                    *acc = _mm_add_ps(*acc, _mm_mul_ps(avv, bv));
+                }
+            }
+            for (v, acc) in part.iter().enumerate() {
+                let dst = c_row.add(j0 + v * 4);
+                let out = if LOAD_C {
+                    *acc
+                } else {
+                    _mm_add_ps(_mm_loadu_ps(dst as *const f32), *acc)
+                };
+                _mm_storeu_ps(dst, out);
+            }
+            j0 += blk;
+        }
+        j0
+    }
+
+    /// Scalar remainder columns `j0 .. end`, arithmetic identical to the
+    /// scalar span tails in `crate::mma`.
+    ///
+    /// # Safety
+    ///
+    /// Same bounds contract as [`chunks256`].
+    #[inline(always)]
+    unsafe fn scalar_tail<const LOAD_C: bool>(
+        a_row: &[f32],
+        b: *const f32,
+        row_base: &impl Fn(usize) -> usize,
+        c_row: *mut f32,
+        end: usize,
+        j0: usize,
+    ) {
+        for j in j0..end {
+            let o = c_row.add(j);
+            let mut part = if LOAD_C { *o } else { 0.0 };
+            for (p, &av) in a_row.iter().enumerate() {
+                part += av * *b.add(row_base(p) + j);
+            }
+            if LOAD_C {
+                *o = part;
+            } else {
+                *o += part;
+            }
+        }
+    }
+
+    /// Full AVX2 span: 64/32/16/8-wide `__m256` chunks, a 4-wide `__m128`
+    /// step, then the scalar tail.
+    ///
+    /// # Safety
+    ///
+    /// Same bounds contract as [`chunks256`]; caller guarantees AVX2.
+    #[inline(always)]
+    unsafe fn span256<const LOAD_C: bool>(
+        a_row: &[f32],
+        b: *const f32,
+        row_base: impl Fn(usize) -> usize,
+        c_row: *mut f32,
+        start: usize,
+        end: usize,
+    ) {
+        let rb = &row_base;
+        let mut j0 = start;
+        j0 = chunks256::<8, LOAD_C>(a_row, b, rb, c_row, end, j0);
+        j0 = chunks256::<4, LOAD_C>(a_row, b, rb, c_row, end, j0);
+        j0 = chunks256::<2, LOAD_C>(a_row, b, rb, c_row, end, j0);
+        j0 = chunks256::<1, LOAD_C>(a_row, b, rb, c_row, end, j0);
+        j0 = chunks128::<1, LOAD_C>(a_row, b, rb, c_row, end, j0);
+        scalar_tail::<LOAD_C>(a_row, b, rb, c_row, end, j0);
+    }
+
+    /// Full SSE2 span: 32/16/8/4-wide `__m128` chunks, then the scalar tail.
+    ///
+    /// # Safety
+    ///
+    /// Same bounds contract as [`chunks256`].
+    #[inline(always)]
+    unsafe fn span128<const LOAD_C: bool>(
+        a_row: &[f32],
+        b: *const f32,
+        row_base: impl Fn(usize) -> usize,
+        c_row: *mut f32,
+        start: usize,
+        end: usize,
+    ) {
+        let rb = &row_base;
+        let mut j0 = start;
+        j0 = chunks128::<8, LOAD_C>(a_row, b, rb, c_row, end, j0);
+        j0 = chunks128::<4, LOAD_C>(a_row, b, rb, c_row, end, j0);
+        j0 = chunks128::<2, LOAD_C>(a_row, b, rb, c_row, end, j0);
+        j0 = chunks128::<1, LOAD_C>(a_row, b, rb, c_row, end, j0);
+        scalar_tail::<LOAD_C>(a_row, b, rb, c_row, end, j0);
+    }
+
+    /// AVX2 plain span (consecutive `b` rows at memory stride `stride`).
+    ///
+    /// # Safety
+    ///
+    /// Caller guarantees `p * stride + end <= b.len()` for every
+    /// `p < a_row.len()`, `end <= c_row.len()`, and that AVX2 is available.
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn plain_span_avx2<const LOAD_C: bool>(
+        a_row: &[f32],
+        b: &[f32],
+        stride: usize,
+        c_row: &mut [f32],
+        start: usize,
+        end: usize,
+    ) {
+        span256::<LOAD_C>(
+            a_row,
+            b.as_ptr(),
+            |p| p * stride,
+            c_row.as_mut_ptr(),
+            start,
+            end,
+        );
+    }
+
+    /// SSE2 plain span (consecutive `b` rows at memory stride `stride`).
+    ///
+    /// # Safety
+    ///
+    /// Same bounds contract as [`plain_span_avx2`]; SSE2 is baseline.
+    pub(crate) unsafe fn plain_span_sse2<const LOAD_C: bool>(
+        a_row: &[f32],
+        b: &[f32],
+        stride: usize,
+        c_row: &mut [f32],
+        start: usize,
+        end: usize,
+    ) {
+        span128::<LOAD_C>(
+            a_row,
+            b.as_ptr(),
+            |p| p * stride,
+            c_row.as_mut_ptr(),
+            start,
+            end,
+        );
+    }
+
+    /// AVX2 gather span (`b` rows addressed by `b_rows[p]`), fused-partial
+    /// semantics (`LOAD_C = false`).
+    ///
+    /// # Safety
+    ///
+    /// Caller guarantees `b_rows.len() == a_row.len()`,
+    /// `b_rows[p] as usize * stride + end <= b.len()` for every step,
+    /// `end <= acc_row.len()`, and that AVX2 is available.
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn gather_span_avx2(
+        a_row: &[f32],
+        b: &[f32],
+        b_rows: &[u32],
+        stride: usize,
+        acc_row: &mut [f32],
+        start: usize,
+        end: usize,
+    ) {
+        span256::<false>(
+            a_row,
+            b.as_ptr(),
+            |p| b_rows[p] as usize * stride,
+            acc_row.as_mut_ptr(),
+            start,
+            end,
+        );
+    }
+
+    /// SSE2 gather span (`b` rows addressed by `b_rows[p]`).
+    ///
+    /// # Safety
+    ///
+    /// Same bounds contract as [`gather_span_avx2`]; SSE2 is baseline.
+    pub(crate) unsafe fn gather_span_sse2(
+        a_row: &[f32],
+        b: &[f32],
+        b_rows: &[u32],
+        stride: usize,
+        acc_row: &mut [f32],
+        start: usize,
+        end: usize,
+    ) {
+        span128::<false>(
+            a_row,
+            b.as_ptr(),
+            |p| b_rows[p] as usize * stride,
+            acc_row.as_mut_ptr(),
+            start,
+            end,
+        );
+    }
+
+    /// AVX2 offset span: reduction step `p` reads `b` at
+    /// `b_base + b_offs[p] + j` (the implicit-GEMM conv addressing), fused-
+    /// partial semantics.
+    ///
+    /// # Safety
+    ///
+    /// Caller guarantees `b_offs.len() == a_row.len()`,
+    /// `b_base + b_offs[p] as usize + end <= b.len()` for every step,
+    /// `end <= acc_row.len()`, and that AVX2 is available.
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn offset_span_avx2(
+        a_row: &[f32],
+        b: &[f32],
+        b_base: usize,
+        b_offs: &[u32],
+        acc_row: &mut [f32],
+        start: usize,
+        end: usize,
+    ) {
+        span256::<false>(
+            a_row,
+            b.as_ptr(),
+            |p| b_base + b_offs[p] as usize,
+            acc_row.as_mut_ptr(),
+            start,
+            end,
+        );
+    }
+
+    /// SSE2 offset span (per-tap element offsets into `b`).
+    ///
+    /// # Safety
+    ///
+    /// Same bounds contract as [`offset_span_avx2`]; SSE2 is baseline.
+    pub(crate) unsafe fn offset_span_sse2(
+        a_row: &[f32],
+        b: &[f32],
+        b_base: usize,
+        b_offs: &[u32],
+        acc_row: &mut [f32],
+        start: usize,
+        end: usize,
+    ) {
+        span128::<false>(
+            a_row,
+            b.as_ptr(),
+            |p| b_base + b_offs[p] as usize,
+            acc_row.as_mut_ptr(),
+            start,
+            end,
+        );
+    }
+}
+
+/// Serialises tests that pin tiers *and assert on the pinned value* (results
+/// are tier-independent, but `active_tier()` readbacks are not). Recovers
+/// from poisoning: a panicked tier test must not cascade.
+#[cfg(test)]
+pub(crate) fn tier_test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip_through_from_name() {
+        for tier in [SimdTier::Scalar, SimdTier::Sse2, SimdTier::Avx2] {
+            assert_eq!(SimdTier::from_name(tier.label()), Some(tier));
+        }
+        assert_eq!(SimdTier::from_name(" AVX2 "), Some(SimdTier::Avx2));
+        assert_eq!(SimdTier::from_name("avx512"), None);
+        assert_eq!(SimdTier::from_name(""), None);
+    }
+
+    #[test]
+    fn tiers_order_narrowest_to_widest() {
+        assert!(SimdTier::Scalar < SimdTier::Sse2);
+        assert!(SimdTier::Sse2 < SimdTier::Avx2);
+    }
+
+    #[test]
+    fn available_tiers_always_starts_with_scalar_and_is_sorted() {
+        let tiers = available_tiers();
+        assert_eq!(tiers[0], SimdTier::Scalar);
+        assert!(tiers.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*tiers.last().unwrap(), best_available());
+    }
+
+    #[test]
+    fn forcing_clamps_to_what_the_cpu_supports() {
+        let _guard = tier_test_lock();
+        // Whatever tier we pin, the active tier never exceeds the hardware.
+        for tier in [SimdTier::Scalar, SimdTier::Sse2, SimdTier::Avx2] {
+            force_tier(Some(tier));
+            assert!(active_tier() <= best_available());
+            assert!(active_tier() <= tier);
+        }
+        force_tier(None);
+        assert!(active_tier() <= best_available());
+    }
+}

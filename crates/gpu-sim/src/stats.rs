@@ -24,9 +24,11 @@ pub struct TrafficCounter {
 }
 
 impl TrafficCounter {
-    /// Creates a counter at zero.
-    pub fn new() -> Self {
-        TrafficCounter::default()
+    /// Creates a counter at zero (`const`, so counters can live in statics).
+    pub const fn new() -> Self {
+        TrafficCounter {
+            bytes: AtomicU64::new(0),
+        }
     }
 
     /// Adds `bytes` to the counter.

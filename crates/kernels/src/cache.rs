@@ -52,6 +52,7 @@
 //! Serving traffic is hit-dominated by design (the whole point of
 //! bucketing), so the lock is held for nanoseconds on the common path.
 
+use crate::conv_plan::ImplicitConvPlan;
 use crate::plan::SpmmPlan;
 use crate::profile::{KernelError, KernelResult};
 use std::collections::HashMap;
@@ -71,12 +72,29 @@ pub struct PlanKey {
 }
 
 impl PlanKey {
+    /// High bit of `n_bucket`, set on implicit-conv plan keys so the conv key
+    /// space of a layer never collides with its SpMM bucket keys (real
+    /// N-buckets are far below this bit). Conv keys share the layer/version
+    /// fields, so [`PlanCache::invalidate_layer_below`] covers both kinds.
+    const CONV_MARKER: usize = 1 << (usize::BITS - 1);
+
     /// Convenience constructor.
     pub fn new(layer: usize, version: u64, n_bucket: usize) -> Self {
         PlanKey {
             layer,
             version,
             n_bucket,
+        }
+    }
+
+    /// Key for an implicit-GEMM conv plan ([`ImplicitConvPlan`]) of `layer`
+    /// at `batch`: conv plans bake the batch into their transform geometry,
+    /// so the batch takes the role the N-bucket plays for SpMM plans.
+    pub fn conv(layer: usize, version: u64, batch: usize) -> Self {
+        PlanKey {
+            layer,
+            version,
+            n_bucket: batch | Self::CONV_MARKER,
         }
     }
 }
@@ -116,9 +134,38 @@ impl PlanCacheStats {
     }
 }
 
+/// A resident plan of either kind: the bucketed SpMM plans the GEMM layers
+/// ride, or the implicit-GEMM conv plans (keyed with
+/// [`PlanKey::conv`]). Both report the resident bytes the byte budget
+/// accounts — for conv plans that includes the pre-sized transform scratch,
+/// so eviction sees them at true size.
+#[derive(Clone)]
+enum CachedPlan {
+    Spmm(Arc<SpmmPlan>),
+    Conv(Arc<ImplicitConvPlan>),
+}
+
+impl CachedPlan {
+    fn packed_bytes(&self) -> usize {
+        match self {
+            CachedPlan::Spmm(plan) => plan.packed_bytes(),
+            CachedPlan::Conv(plan) => plan.packed_bytes(),
+        }
+    }
+
+    /// The key flavor this plan must be cached under — a same-key lookup of
+    /// the other flavor is a caller bug surfaced as a typed error.
+    fn flavor(&self) -> &'static str {
+        match self {
+            CachedPlan::Spmm(_) => "spmm",
+            CachedPlan::Conv(_) => "conv",
+        }
+    }
+}
+
 /// One resident plan plus its last-touched stamp.
 struct CacheEntry {
-    plan: Arc<SpmmPlan>,
+    plan: CachedPlan,
     last_used: u64,
 }
 
@@ -126,7 +173,7 @@ struct CacheEntry {
 /// wait on.
 enum BuildState {
     Pending,
-    Done(Arc<SpmmPlan>),
+    Done(CachedPlan),
     /// The build failed; every waiter receives a clone of the error instead
     /// of electing a retrier (a deterministic failure would livelock the
     /// election loop).
@@ -303,13 +350,56 @@ impl PlanCache {
         key: PlanKey,
         build: impl Fn() -> KernelResult<SpmmPlan>,
     ) -> KernelResult<Arc<SpmmPlan>> {
+        match self.get_or_build_any(key, || Ok(CachedPlan::Spmm(Arc::new(build()?))))? {
+            CachedPlan::Spmm(plan) => Ok(plan),
+            other => Err(KernelError::ShapeMismatch {
+                context: format!(
+                    "plan cache key {key:?} holds a {} plan but an SpMM plan was requested",
+                    other.flavor()
+                ),
+            }),
+        }
+    }
+
+    /// [`PlanCache::get_or_build`] for implicit-GEMM conv plans
+    /// ([`ImplicitConvPlan`]), keyed with [`PlanKey::conv`] so conv and SpMM
+    /// plans of one layer never alias. Shares the same residency, LRU /
+    /// byte-budget eviction, stampede dedup and invalidation machinery; the
+    /// byte budget charges [`ImplicitConvPlan::packed_bytes`], which includes
+    /// the plan's pre-sized transform scratch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the error of `build` exactly like
+    /// [`PlanCache::get_or_build`].
+    pub fn get_or_build_conv(
+        &self,
+        key: PlanKey,
+        build: impl Fn() -> KernelResult<ImplicitConvPlan>,
+    ) -> KernelResult<Arc<ImplicitConvPlan>> {
+        match self.get_or_build_any(key, || Ok(CachedPlan::Conv(Arc::new(build()?))))? {
+            CachedPlan::Conv(plan) => Ok(plan),
+            other => Err(KernelError::ShapeMismatch {
+                context: format!(
+                    "plan cache key {key:?} holds a {} plan but a conv plan was requested",
+                    other.flavor()
+                ),
+            }),
+        }
+    }
+
+    fn get_or_build_any(
+        &self,
+        key: PlanKey,
+        build: impl Fn() -> KernelResult<CachedPlan>,
+    ) -> KernelResult<CachedPlan> {
         let waiting_on = {
             let mut inner = self.inner.lock().expect("plan cache poisoned");
             inner.tick += 1;
             let tick = inner.tick;
             if let Some(entry) = inner.entries.get_mut(&key) {
                 entry.last_used = tick;
-                let plan = Arc::clone(&entry.plan);
+                let plan = entry.plan.clone();
                 inner.stats.hits += 1;
                 return Ok(plan);
             }
@@ -356,7 +446,6 @@ impl PlanCache {
             };
             match built {
                 Ok(plan) => {
-                    let plan = Arc::new(plan);
                     // Stamp a fresh tick so the new entry is strictly the
                     // most recently used and can never tie with an entry
                     // touched while the build ran.
@@ -366,13 +455,13 @@ impl PlanCache {
                     inner.entries.insert(
                         key,
                         CacheEntry {
-                            plan: Arc::clone(&plan),
+                            plan: plan.clone(),
                             last_used: tick,
                         },
                     );
                     self.evict_to_limits(&mut inner);
                     drop(inner);
-                    slot.resolve(BuildState::Done(Arc::clone(&plan)));
+                    slot.resolve(BuildState::Done(plan.clone()));
                     return Ok(plan);
                 }
                 Err(err) => {
@@ -392,7 +481,7 @@ impl PlanCache {
                 BuildState::Pending => {
                     state = slot.ready.wait(state).expect("build slot poisoned");
                 }
-                BuildState::Done(plan) => return Ok(Arc::clone(plan)),
+                BuildState::Done(plan) => return Ok(plan.clone()),
                 BuildState::Failed(err) => return Err(err.clone()),
             }
         }
@@ -858,5 +947,76 @@ mod tests {
         });
         assert_eq!(cache.stats().hits, 200);
         assert_eq!(cache.stats().misses, 1);
+    }
+
+    fn tiny_conv_plan() -> KernelResult<crate::conv_plan::ImplicitConvPlan> {
+        let params = crate::conv::Conv2dParams {
+            batch: 1,
+            in_channels: 2,
+            out_channels: 4,
+            input_h: 6,
+            input_w: 6,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 1,
+            padding: 1,
+            dilation: 1,
+        };
+        let (m, _, k) = params.implicit_gemm_shape();
+        let dense = DenseMatrix::from_fn(m, k, |r, c| if (c + r / 2) % 2 == 0 { 0.5 } else { 0.0 });
+        let weights =
+            shfl_core::formats::ShflBwMatrix::from_dense(&dense, 2).expect("shfl-bw structure");
+        crate::conv_plan::ImplicitConvPlan::build(&GpuArch::v100(), &weights, &params)
+    }
+
+    #[test]
+    fn conv_plans_share_residency_with_spmm_plans() {
+        let cache = PlanCache::new(4);
+        let spmm_key = PlanKey::new(0, 0, 16);
+        let conv_key = PlanKey::conv(0, 0, 1);
+        assert_ne!(spmm_key, conv_key, "conv keys partition the key space");
+        cache.get_or_build(spmm_key, || tiny_plan(16)).unwrap();
+        let a = cache.get_or_build_conv(conv_key, tiny_conv_plan).unwrap();
+        let b = cache
+            .get_or_build_conv(conv_key, || panic!("must hit"))
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 2);
+        // Resident bytes include the conv plan at true size — packed panels
+        // plus tap tables plus the pre-sized transform scratch.
+        assert!(cache.resident_bytes() >= a.packed_bytes());
+        assert!(a.packed_bytes() >= a.input_bytes_read() as usize);
+    }
+
+    #[test]
+    fn invalidation_covers_conv_plans_of_the_layer() {
+        let cache = PlanCache::new(8);
+        cache
+            .get_or_build(PlanKey::new(3, 1, 16), || tiny_plan(16))
+            .unwrap();
+        cache
+            .get_or_build_conv(PlanKey::conv(3, 1, 1), tiny_conv_plan)
+            .unwrap();
+        cache
+            .get_or_build_conv(PlanKey::conv(4, 1, 1), tiny_conv_plan)
+            .unwrap();
+        assert_eq!(cache.invalidate_layer_below(3, 2), 2);
+        assert!(!cache.contains(PlanKey::conv(3, 1, 1)));
+        assert!(cache.contains(PlanKey::conv(4, 1, 1)));
+        assert_eq!(cache.len(), 1);
+        let resident = cache.resident_bytes();
+        let survivor = cache
+            .get_or_build_conv(PlanKey::conv(4, 1, 1), || panic!("must hit"))
+            .unwrap();
+        assert_eq!(resident, survivor.packed_bytes(), "byte accounting exact");
+    }
+
+    #[test]
+    fn flavor_mismatch_is_a_typed_error_not_a_wrong_plan() {
+        let cache = PlanCache::new(4);
+        let key = PlanKey::conv(0, 0, 1);
+        cache.get_or_build_conv(key, tiny_conv_plan).unwrap();
+        let err = cache.get_or_build(key, || tiny_plan(16)).unwrap_err();
+        assert!(matches!(err, KernelError::ShapeMismatch { .. }));
     }
 }

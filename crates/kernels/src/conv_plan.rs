@@ -1,0 +1,594 @@
+//! Implicit-GEMM convolution plans: walk the input in place, never im2col.
+//!
+//! [`crate::plan::ConvPlan`] serves convolutions by materialising the full
+//! `K × N` im2col operand (`K = C·R·S`, `N = batch·OH·OW`) and riding the
+//! bucketed SpMM path — pure memory traffic that duplicates every input pixel
+//! `R·S` times and re-rounds it through fp16 on every call. [`ImplicitConvPlan`]
+//! removes that materialisation:
+//!
+//! 1. **One-time layout transform at execute, not `R·S`-fold duplication.**
+//!    Each call stages the NCHW input once into a zero-padded, fp16-pre-rounded
+//!    *phase-split* buffer `T` of `batch·C·Hpad·Wrow` elements (≈ input-sized;
+//!    `R·S×` smaller than im2col). Within a padded row, column `px` lives at
+//!    `(px % stride)·Lφ + px / stride` (`Lφ = ⌈Wpad/stride⌉`, `Wrow =
+//!    stride·Lφ`): all pixels a strided output row touches for a fixed filter
+//!    tap become one *contiguous* run, so the panel-sweep microkernels stream
+//!    them exactly like im2col columns.
+//! 2. **Gather-style segment spans via separable tap offsets.** The implicit
+//!    operand element `B[(c,r,s)][(b,oh,ow)]` sits at `block_base(b, oh) +
+//!    tap_off(c, r, s) + ow` in `T`; the plan resolves one `tap_off` per
+//!    filter tap at build time and sweeps each `(b, oh)` output row as a block
+//!    through [`gpu_sim::mma::mma_row_block_offset_fused_acc_cascade`] — the
+//!    same fused panel-sweep microkernel family (and therefore the same SIMD
+//!    dispatch tiers) the SpMM plans use. Because consecutive output rows sit a
+//!    fixed `stride·Wrow` apart in `T`, an image's row blocks merge into a
+//!    single plane-wide sweep whenever the inter-row gap lanes (discarded at
+//!    copy-out) waste under 25% of the width — exact for `1×1` stride-1, a
+//!    thin halo for stride-1 `R×S`; remaining narrow blocks are lane-padded so
+//!    no sweep falls into the scalar column tail.
+//! 3. **k-padding to the cascade step.** Panels pack at the per-problem tile
+//!    target `tk`, and short stitched tails are widened in place to the
+//!    register cascade's 4-tap step with columns of `+0.0`
+//!    ([`shfl_core::packed::PackedPanels::pad_panels_to`]), paired with tap
+//!    offset `0`; padded MACs contribute exact `±0.0` *after* the real taps of
+//!    their panel, which cannot change any partial sum (see the proof on
+//!    `pad_panels_to`). The sweep takes each panel at its own width, so
+//!    k-padding never inflates a sparse layer's MAC count beyond the step.
+//!
+//! The retained im2col path stays as the **bit-identical oracle**: the plan
+//! mirrors the stitched [`crate::plan::SpmmPlan`] panel structure (same `V×tk`
+//! tiles, same ascending-panel partial-sum bracketing per output element), and
+//! `T` holds exactly the fp16-pre-rounded values im2col would gather, so
+//! outputs match the oracle bit for bit — the property tests assert exact
+//! equality across stride / padding / dilation / kernel geometries.
+
+use crate::conv::{self, Conv2dParams, Tensor4};
+use crate::profile::{KernelError, KernelProfile, KernelResult};
+use gpu_sim::mma::{mma_row_block_offset_fused_acc_cascade, RegCascade};
+use gpu_sim::GpuArch;
+use shfl_core::f16::{round_to_f16_into, round_to_f16_slice};
+use shfl_core::formats::ShflBwMatrix;
+use shfl_core::matrix::DenseMatrix;
+use shfl_core::packed::PackedPanels;
+use shfl_core::parallel;
+use shfl_core::tiling;
+use std::sync::Mutex;
+
+/// Widest SIMD lane count any dispatch tier sweeps per step (AVX2, 8×f32).
+/// Row-block widths are rounded up to this so narrow convolution maps never
+/// fall into the scalar column tail; per-lane accumulation is independent, so
+/// the padding lanes cannot perturb the real columns' bit patterns.
+const SIMD_LANES: usize = 8;
+
+/// Minimum panel tap count short stitched tails are k-padded to (the register
+/// cascade's smallest step). Padded taps multiply `+0.0` after their panel's
+/// real taps, which cannot change any partial sum — see
+/// [`shfl_core::packed::PackedPanels::pad_panels_to`].
+const PANEL_TAP_STEP: usize = 4;
+
+/// A prepared Shfl-BW implicit-GEMM convolution (see the module docs).
+///
+/// Built once per `(weights, arch, geometry)` like [`crate::plan::SpmmPlan`];
+/// executes many times against fresh inputs without materialising im2col.
+#[derive(Debug)]
+pub struct ImplicitConvPlan {
+    params: Conv2dParams,
+    m: usize,
+    n: usize,
+    k: usize,
+    v: usize,
+    tk: usize,
+    packed: PackedPanels,
+    /// Per group: one row of operand offsets into `T` per stitched panel,
+    /// sized to the panel's width; k-padded entries = 0.
+    tap_offs: Vec<u32>,
+    /// `group_tap_ptr[g]..group_tap_ptr[g+1]` bounds group `g` in `tap_offs`.
+    group_tap_ptr: Vec<usize>,
+    row_indices: Vec<u32>,
+    padded_panels: usize,
+    // Phase-split transform geometry.
+    hpad: usize,
+    wrow: usize,
+    lphi: usize,
+    t_len: usize,
+    /// Operand columns one row block covers: `OW` per-row, or
+    /// `(OH−1)·stride·Wrow + OW` when an image's rows merge into one sweep.
+    block_width: usize,
+    /// Output rows one block carries (`OH` merged, `1` per-row): merged
+    /// sweeps read the `stride·Wrow − OW` gap columns between consecutive
+    /// rows as discarded waste lanes in exchange for wide vector runs.
+    rows_per_block: usize,
+    /// `block_width` rounded up to the widest SIMD lane count: narrow output
+    /// rows (e.g. `OW = 7` on the last ResNet stage) sweep full vectors whose
+    /// padding lanes read real (over-allocated) `T` memory and are discarded
+    /// at copy-out, instead of running the whole row in the scalar tail.
+    block_width_padded: usize,
+    /// Row blocks per image (`OH` per-row, or `1` when rows merge).
+    blocks_per_image: usize,
+    cascade: RegCascade,
+    /// Reused transform buffer, pre-sized (and pre-zeroed) at build so the
+    /// plan's resident bytes are accounted from cache-insert time. Execute
+    /// falls back to a fresh buffer if the lock is contended.
+    scratch: Mutex<Vec<f32>>,
+    profile: KernelProfile,
+}
+
+impl ImplicitConvPlan {
+    /// Prepares the implicit-GEMM convolution for a Shfl-BW-pruned filter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::ShapeMismatch`] if the pruned filter matrix does
+    /// not match the convolution geometry, if `stride`/`dilation` are zero, or
+    /// if the transform buffer of one image exceeds the `u32` tap-offset range.
+    pub fn build(
+        arch: &GpuArch,
+        weights: &ShflBwMatrix,
+        params: &Conv2dParams,
+    ) -> KernelResult<Self> {
+        let (m, n, k) = params.implicit_gemm_shape();
+        if (weights.rows(), weights.cols()) != (m, k) {
+            return Err(KernelError::ShapeMismatch {
+                context: format!(
+                    "conv weights are {}x{} but the geometry implies {m}x{k}",
+                    weights.rows(),
+                    weights.cols()
+                ),
+            });
+        }
+        if params.stride == 0 || params.dilation == 0 {
+            return Err(KernelError::ShapeMismatch {
+                context: "conv stride and dilation must be non-zero".to_string(),
+            });
+        }
+        let p = *params;
+        let (oh, ow) = (p.output_h(), p.output_w());
+        let hpad = (oh - 1) * p.stride + (p.kernel_h - 1) * p.dilation + 1;
+        let wpad = (ow - 1) * p.stride + (p.kernel_w - 1) * p.dilation + 1;
+        let lphi = wpad.div_ceil(p.stride);
+        let wrow = p.stride * lphi;
+        let plane = hpad * wrow;
+        let t_len = p.batch * p.in_channels * plane;
+        if p.in_channels * plane > u32::MAX as usize {
+            return Err(KernelError::ShapeMismatch {
+                context: format!(
+                    "transform image of {} elements exceeds the u32 tap-offset range",
+                    p.in_channels * plane
+                ),
+            });
+        }
+        // One separable operand offset per filter tap `(c, r, s)`; the im2col
+        // row index is `(c·R + r)·S + s`, matching [`conv::im2col`].
+        let mut tap = vec![0u32; k];
+        for c in 0..p.in_channels {
+            for r in 0..p.kernel_h {
+                for s in 0..p.kernel_w {
+                    let q = s * p.dilation;
+                    let off =
+                        c * plane + r * p.dilation * wrow + (q % p.stride) * lphi + q / p.stride;
+                    tap[(c * p.kernel_h + r) * p.kernel_w + s] = off as u32;
+                }
+            }
+        }
+
+        let vw = weights.vector_wise();
+        let v = vw.vector_size();
+        let tile = tiling::select_vector_wise_tile(v, n);
+        let tk = tile.tk;
+        let mut packed = PackedPanels::pack_vector_wise(vw, tk);
+        // k-pad only up to the cascade's 4-tap step, not the full `tk` tile:
+        // the panel sweep takes its tap count per panel, so a short tail panel
+        // costs exactly its width — padding a 3-tap tail of a sparse `1×1`
+        // layer (K = 64 → ~19 taps per group) to 16 would spend over half the
+        // layer's MACs multiplying `+0.0`.
+        let padded_panels = packed.pad_panels_to(PANEL_TAP_STEP);
+        // Padded tap table: one row of offsets per stitched panel, sized to
+        // the panel's (possibly k-padded) width; padded entries pair with
+        // offset 0 — their weight is exactly `+0.0`.
+        let num_groups = vw.num_groups();
+        let mut tap_offs = Vec::new();
+        let mut group_tap_ptr = Vec::with_capacity(num_groups + 1);
+        group_tap_ptr.push(0);
+        for g in 0..num_groups {
+            for (chunk, panel) in vw.group_cols(g).chunks(tk).zip(packed.chunk_panels(g)) {
+                let (_, _, kk) = packed.panel(panel);
+                tap_offs.extend(chunk.iter().map(|&c| tap[c as usize]));
+                tap_offs.resize(tap_offs.len() + (kk - chunk.len()), 0);
+            }
+            group_tap_ptr.push(tap_offs.len());
+        }
+
+        // Row merging: within one image, output row `y` starts `stride·Wrow`
+        // elements after row `y−1` for every tap, so an image's `OH` row
+        // blocks concatenate into ONE sweep of `(OH−1)·stride·Wrow + OW`
+        // columns whose inter-row gap lanes compute discarded values. Merge
+        // whenever the waste stays under 25% — `1×1` stride-1 maps merge with
+        // zero waste (the gap is empty), stride-1 `R×S` maps waste only the
+        // `(S−1)·dilation` halo columns per row, while strided maps (≥50%
+        // gap) keep lane-padded per-row blocks.
+        let merged_w = (oh - 1) * p.stride * wrow + ow;
+        let merge = 3 * merged_w <= 4 * oh * ow;
+        let (block_width, rows_per_block, blocks_per_image) = if merge {
+            (merged_w, oh, 1)
+        } else {
+            (ow, 1, oh)
+        };
+        // Lane padding: every operand span the kernels touch previously ended
+        // at `base + off + block_width <= t_len`, so growing the sweep width
+        // to the lane-rounded target only needs the same slack appended to
+        // `T`; the slack is zero-initialised and never written by `fill`.
+        let block_width_padded = block_width.div_ceil(SIMD_LANES) * SIMD_LANES;
+        let t_alloc = t_len + (block_width_padded - block_width);
+        Ok(ImplicitConvPlan {
+            params: p,
+            m,
+            n,
+            k,
+            v,
+            tk,
+            packed,
+            tap_offs,
+            group_tap_ptr,
+            row_indices: weights.row_indices().to_vec(),
+            padded_panels,
+            hpad,
+            wrow,
+            lphi,
+            t_len,
+            block_width,
+            block_width_padded,
+            rows_per_block,
+            blocks_per_image,
+            cascade: RegCascade::for_width(block_width_padded),
+            scratch: Mutex::new(vec![0.0f32; t_alloc]),
+            profile: conv::conv2d_shfl_bw_profile(arch, weights, params),
+        })
+    }
+
+    /// The analytical profile resolved at plan time (same cost model as the
+    /// im2col [`crate::plan::ConvPlan`] — the transform changes CPU wall
+    /// clock, not the modeled GPU kernel).
+    pub fn profile(&self) -> &KernelProfile {
+        &self.profile
+    }
+
+    /// The convolution geometry the plan was built for.
+    pub fn params(&self) -> &Conv2dParams {
+        &self.params
+    }
+
+    /// The implicit-GEMM shape `(M, N, K)` the plan serves.
+    pub fn gemm_shape(&self) -> (usize, usize, usize) {
+        (self.m, self.n, self.k)
+    }
+
+    /// Stitched panels widened to the `tk` tile target by k-padding.
+    pub fn padded_panels(&self) -> usize {
+        self.padded_panels
+    }
+
+    /// Resident bytes the plan owns: packed panels, tap/group tables, shuffle
+    /// row indices, **and** the pre-sized transform scratch — so byte-budget
+    /// eviction in [`crate::cache::PlanCache`] sees conv plans at true size.
+    pub fn packed_bytes(&self) -> usize {
+        self.packed.packed_bytes()
+            + self.tap_offs.len() * std::mem::size_of::<u32>()
+            + self.group_tap_ptr.len() * std::mem::size_of::<usize>()
+            + self.row_indices.len() * std::mem::size_of::<u32>()
+            + self.t_alloc() * std::mem::size_of::<f32>()
+    }
+
+    /// Allocated transform length: the logical phase-split buffer plus the
+    /// lane-padding slack the widened sweeps may read past any operand start.
+    fn t_alloc(&self) -> usize {
+        self.t_len + (self.block_width_padded - self.block_width)
+    }
+
+    /// Bytes of the phase-split transform buffer one execute reads through the
+    /// panel sweeps (the implicit path's entire activation-side footprint).
+    pub fn input_bytes_read(&self) -> u64 {
+        (self.t_alloc() * std::mem::size_of::<f32>()) as u64
+    }
+
+    /// Bytes an im2col execute of the same problem would have materialised and
+    /// that this plan avoids: the `K × N` unfold buffer plus the equally sized
+    /// per-call fp16 staging copy of it.
+    pub fn im2col_bytes_avoided(&self) -> u64 {
+        2 * (self.k * self.n * std::mem::size_of::<f32>()) as u64
+    }
+
+    /// Executes the prepared convolution against one input feature map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::ShapeMismatch`] if the input tensor does not
+    /// match the geometry the plan was built for.
+    pub fn execute(&self, input: &Tensor4) -> KernelResult<(Tensor4, KernelProfile)> {
+        let p = &self.params;
+        let (oh, ow) = (p.output_h(), p.output_w());
+        let mut out = Tensor4::zeros(p.batch, p.out_channels, oh, ow);
+        let o = p.out_channels;
+        self.sweep(input, out.as_mut_slice(), |orow, b, y| {
+            ((b * o + orow) * oh + y) * ow
+        })?;
+        Ok((out, self.profile.clone()))
+    }
+
+    /// Executes into the flattened `M × N` implicit-GEMM output layout
+    /// (`N = batch·OH·OW`, column `(b·OH + y)·OW + x`) — the shape the
+    /// bucketed im2col serving path produces, kept for bit-identity
+    /// comparisons and flattened-output consumers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::ShapeMismatch`] if the input tensor does not
+    /// match the geometry the plan was built for.
+    pub fn execute_matrix(&self, input: &Tensor4) -> KernelResult<DenseMatrix> {
+        let mut out = DenseMatrix::zeros(self.m, self.n);
+        let (n, oh, ow) = (self.n, self.params.output_h(), self.params.output_w());
+        self.sweep(input, out.as_mut_slice(), |orow, b, y| {
+            orow * n + (b * oh + y) * ow
+        })?;
+        Ok(out)
+    }
+
+    /// Shared execute core: stage the transform buffer, then per weight group
+    /// sweep a block-major `V × N` accumulator (one contiguous `V × width`
+    /// slab per row block) through the offset-gather panel microkernel —
+    /// **panels outer, row blocks inner**, so each packed panel and its tap
+    /// row stream from L1 across every block instead of re-streaming the
+    /// whole panel set per block — and scatter its `OW`-long row stripes at
+    /// `dst_base(output_row, image, output_y)`.
+    fn sweep(
+        &self,
+        input: &Tensor4,
+        out: &mut [f32],
+        dst_base: impl Fn(usize, usize, usize) -> usize,
+    ) -> KernelResult<()> {
+        let p = &self.params;
+        if input.shape() != (p.batch, p.in_channels, p.input_h, p.input_w) {
+            return Err(KernelError::ShapeMismatch {
+                context: format!(
+                    "conv input is {:?} but the plan expects ({}, {}, {}, {})",
+                    input.shape(),
+                    p.batch,
+                    p.in_channels,
+                    p.input_h,
+                    p.input_w
+                ),
+            });
+        }
+        if self.m == 0 || self.n == 0 {
+            return Ok(());
+        }
+        let mut local = Vec::new();
+        let mut guard = self.scratch.try_lock().ok();
+        let t: &mut Vec<f32> = match guard.as_deref_mut() {
+            Some(t) => t,
+            None => {
+                local.resize(self.t_alloc(), 0.0);
+                &mut local
+            }
+        };
+        self.fill(input, &mut t[..self.t_len]);
+
+        let bw = self.block_width;
+        let bwp = self.block_width_padded;
+        let blocks = p.batch * self.blocks_per_image;
+        let slab = self.v * bwp;
+        // Block-major group accumulator: row block `b` owns the contiguous
+        // lane-padded `V × bwp` slab at `tile[b·V·bwp ..]`, so every
+        // microkernel call writes one dense full-vector tile exactly like the
+        // stitched SpMM sweep; copy-out takes the first `bw` real columns.
+        let mut tile = vec![0.0f32; blocks * slab];
+        let image = p.in_channels * self.hpad * self.wrow;
+        // Operand distance between consecutive output rows of one image.
+        let row_step = p.stride * self.wrow;
+        let num_groups = self.group_tap_ptr.len() - 1;
+        for g in 0..num_groups {
+            let panels = self.packed.chunk_panels(g);
+            if panels.is_empty() {
+                continue; // all-zero group: output rows stay zero
+            }
+            tile.fill(0.0);
+            let taps = &self.tap_offs[self.group_tap_ptr[g]..self.group_tap_ptr[g + 1]];
+            let mut toff = 0;
+            for panel in panels {
+                let (values, rows, kk) = self.packed.panel(panel);
+                debug_assert_eq!(rows, self.v);
+                debug_assert!(kk <= self.tk);
+                let step_taps = &taps[toff..toff + kk];
+                toff += kk;
+                for (block, acc) in tile.chunks_exact_mut(slab).enumerate() {
+                    let base = block / self.blocks_per_image * image
+                        + block % self.blocks_per_image * self.rows_per_block * row_step;
+                    mma_row_block_offset_fused_acc_cascade(
+                        values,
+                        self.v,
+                        kk,
+                        t,
+                        base,
+                        step_taps,
+                        acc,
+                        bwp,
+                        self.cascade,
+                    );
+                }
+            }
+            let ow = p.output_w();
+            for sr in 0..self.v {
+                let orow = self.row_indices[g * self.v + sr] as usize;
+                for block in 0..blocks {
+                    let row = &tile[block * slab + sr * bwp..][..bw];
+                    let (b, blk) = (block / self.blocks_per_image, block % self.blocks_per_image);
+                    if row_step == ow {
+                        // Gap-free merge (`1×1` stride 1): one contiguous copy.
+                        let dst = dst_base(orow, b, blk * self.rows_per_block);
+                        out[dst..dst + bw].copy_from_slice(row);
+                    } else {
+                        for y in 0..self.rows_per_block {
+                            let dst = dst_base(orow, b, blk * self.rows_per_block + y);
+                            out[dst..dst + ow].copy_from_slice(&row[y * row_step..][..ow]);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Stages the input into the phase-split transform buffer: zero-padded
+    /// coordinates `(py, px) = (iy + padding, ix + padding)`, fp16-pre-rounded
+    /// values, `px` stored at `(px % stride)·Lφ + px / stride` within its row.
+    /// Padding positions are never written — the buffer arrives zeroed (at
+    /// build for the pooled scratch, at allocation for the fallback) and every
+    /// valid position is overwritten on every call, so no per-call clear is
+    /// needed.
+    fn fill(&self, input: &Tensor4, t: &mut [f32]) {
+        let p = &self.params;
+        let (hpad, wrow, lphi, st) = (self.hpad, self.wrow, self.lphi, p.stride);
+        let plane = hpad * wrow;
+        let gap_free = st == 1 && p.padding == 0;
+        parallel::par_chunks_mut(t, plane, |idx, slab| {
+            let (b, c) = (idx / p.in_channels, idx % p.in_channels);
+            if gap_free {
+                // Gap-free geometry (`hpad = H`, `wrow = W`): the transform is
+                // the identity, one fused plane-sized copy+round pass.
+                let len = p.input_h * p.input_w;
+                let src = ((b * p.in_channels + c) * p.input_h) * p.input_w;
+                round_to_f16_into(&mut slab[..len], &input.as_slice()[src..src + len]);
+                return;
+            }
+            let px0 = p.padding;
+            let px1 = (p.padding + p.input_w).min(wrow);
+            for iy in 0..p.input_h {
+                let py = iy + p.padding;
+                if py >= hpad {
+                    break; // rows the output never reads are cropped
+                }
+                let in_row = input.plane_row(b, c, iy);
+                let row = &mut slab[py * wrow..(py + 1) * wrow];
+                if st == 1 {
+                    // Phase-split collapses to the identity at stride 1.
+                    row[px0..px1].copy_from_slice(&in_row[..px1 - px0]);
+                } else {
+                    for px in px0..px1 {
+                        row[px % st * lphi + px / st] = in_row[px - p.padding];
+                    }
+                }
+            }
+        });
+        // One branchless whole-buffer rounding pass for padded or strided
+        // geometries: long enough to auto-vectorise (per-row rounding of
+        // narrow maps pays the vector prologue every few dozen elements), and
+        // re-rounding the padding zeros is a bit-exact no-op (`±0.0` round to
+        // themselves). Gap-free planes already rounded during their copy.
+        if !gap_free {
+            round_to_f16_slice(t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ConvPlan;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn shfl_weights(rng: &mut StdRng, m: usize, k: usize, v: usize, density: f64) -> ShflBwMatrix {
+        let groups = m / v;
+        let keep: Vec<bool> = (0..groups * k).map(|_| rng.gen_bool(density)).collect();
+        let dense = shfl_core::matrix::DenseMatrix::from_fn(m, k, |r, c| {
+            if keep[(r % groups) * k + c] {
+                rng.gen_range(-1.0f32..1.0)
+            } else {
+                0.0
+            }
+        });
+        ShflBwMatrix::from_dense(&dense, v).unwrap()
+    }
+
+    fn params() -> Conv2dParams {
+        Conv2dParams {
+            batch: 2,
+            in_channels: 4,
+            out_channels: 8,
+            input_h: 10,
+            input_w: 10,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 1,
+            padding: 1,
+            dilation: 1,
+        }
+    }
+
+    #[test]
+    fn implicit_plan_is_bit_identical_to_the_im2col_oracle() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let p = params();
+        let (m, _, k) = p.implicit_gemm_shape();
+        let weights = shfl_weights(&mut rng, m, k, 4, 0.4);
+        let input = Tensor4::random(&mut rng, p.batch, p.in_channels, p.input_h, p.input_w);
+        let arch = GpuArch::a100();
+        let implicit = ImplicitConvPlan::build(&arch, &weights, &p).unwrap();
+        let oracle = ConvPlan::shfl_bw(&arch, &weights, &p).unwrap();
+        let (got, _) = implicit.execute(&input).unwrap();
+        let (want, _) = oracle.execute(&input).unwrap();
+        assert_eq!(got.shape(), want.shape());
+        for (a, b) in got.as_slice().iter().zip(want.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn execute_matrix_matches_the_tensor_output_layout() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let p = params();
+        let (m, _, k) = p.implicit_gemm_shape();
+        let weights = shfl_weights(&mut rng, m, k, 4, 0.5);
+        let input = Tensor4::random(&mut rng, p.batch, p.in_channels, p.input_h, p.input_w);
+        let plan = ImplicitConvPlan::build(&GpuArch::v100(), &weights, &p).unwrap();
+        let (tensor, _) = plan.execute(&input).unwrap();
+        let matrix = plan.execute_matrix(&input).unwrap();
+        let (oh, ow) = (p.output_h(), p.output_w());
+        for o in 0..p.out_channels {
+            for b in 0..p.batch {
+                for y in 0..oh {
+                    for x in 0..ow {
+                        let want = tensor.get(b, o, y, x);
+                        let got = matrix.row(o)[(b * oh + y) * ow + x];
+                        assert_eq!(got.to_bits(), want.to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn build_rejects_mismatched_weights_and_execute_rejects_bad_input() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let p = params();
+        let wrong = shfl_weights(&mut rng, 8, 8, 4, 0.5);
+        let arch = GpuArch::v100();
+        assert!(ImplicitConvPlan::build(&arch, &wrong, &p).is_err());
+        let (m, _, k) = p.implicit_gemm_shape();
+        let weights = shfl_weights(&mut rng, m, k, 4, 0.5);
+        let plan = ImplicitConvPlan::build(&arch, &weights, &p).unwrap();
+        let bad = Tensor4::zeros(1, p.in_channels, p.input_h, p.input_w);
+        assert!(plan.execute(&bad).is_err());
+    }
+
+    #[test]
+    fn byte_accounting_includes_the_transform_scratch() {
+        let mut rng = StdRng::seed_from_u64(37);
+        let p = params();
+        let (m, _, k) = p.implicit_gemm_shape();
+        let weights = shfl_weights(&mut rng, m, k, 4, 0.5);
+        let plan = ImplicitConvPlan::build(&GpuArch::v100(), &weights, &p).unwrap();
+        assert!(plan.packed_bytes() > plan.packed.packed_bytes());
+        assert!(plan.packed_bytes() >= plan.input_bytes_read() as usize);
+        assert!(plan.im2col_bytes_avoided() > plan.input_bytes_read());
+    }
+}

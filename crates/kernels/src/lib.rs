@@ -102,6 +102,7 @@
 
 pub mod cache;
 pub mod conv;
+pub mod conv_plan;
 pub mod gemm;
 pub mod launch;
 pub mod plan;
@@ -110,5 +111,6 @@ pub mod reference;
 pub mod spmm;
 
 pub use cache::{PlanCache, PlanCacheStats, PlanKey};
+pub use conv_plan::ImplicitConvPlan;
 pub use plan::{ConvPlan, GemmPlan, SpmmPlan};
 pub use profile::{KernelError, KernelOutput, KernelProfile, KernelResult};

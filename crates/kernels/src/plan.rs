@@ -1065,6 +1065,7 @@ impl ConvPlan {
             ConvPlanKind::Dense(gemm) => gemm.execute_segments(&unfolded, segments)?.output,
             ConvPlanKind::ShflBw(spmm) => spmm.execute_segments(&unfolded, segments)?.output,
         };
+        conv::reclaim_unfolded(unfolded);
         Ok((conv::col2im_output(&out, p), self.profile.clone()))
     }
 
@@ -1093,6 +1094,7 @@ impl ConvPlan {
             ConvPlanKind::Dense(gemm) => gemm.execute_output(&unfolded)?,
             ConvPlanKind::ShflBw(spmm) => spmm.execute_output(&unfolded)?,
         };
+        conv::reclaim_unfolded(unfolded);
         Ok((conv::col2im_output(&out, p), self.profile.clone()))
     }
 }
@@ -1227,6 +1229,7 @@ mod tests {
             kernel_w: 3,
             stride: 1,
             padding: 1,
+            dilation: 1,
         };
         let (m, _, k) = params.implicit_gemm_shape();
         let weights = DenseMatrix::random(&mut rng, m, k);

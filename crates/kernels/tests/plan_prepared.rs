@@ -206,6 +206,7 @@ proptest! {
             kernel_w: khw.min(hw + 2 * padding),
             stride,
             padding,
+            dilation: 1,
         };
         let (m, _, k) = params.implicit_gemm_shape();
         let mut rng = StdRng::seed_from_u64(seed);

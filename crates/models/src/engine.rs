@@ -12,11 +12,15 @@
 //! batch-4 Transformer pass both land on the 64-column bucket at
 //! `seq_len = 16` and share one plan per layer).
 //!
-//! Convolutions ride the same bucketed path: the flattened filter matrix is
-//! registered like a linear layer, each forward unfolds the input feature map
-//! ([`shfl_kernels::conv::im2col`]) and serves the unfolded operand through
-//! the bucketed SpMM, then folds the output back
-//! ([`shfl_kernels::conv::col2im_output`]).
+//! Convolutions ride **implicit-GEMM conv plans**
+//! ([`shfl_kernels::conv_plan::ImplicitConvPlan`], cached per
+//! `(layer, version, batch)` in the same plan cache): the input feature map
+//! is walked in place through gather-style tap offsets — no im2col buffer is
+//! ever materialised. The retained im2col path
+//! ([`shfl_kernels::conv::im2col`] + bucketed SpMM +
+//! [`shfl_kernels::conv::col2im_output`], reachable via
+//! [`ModelEngine::forward_im2col`] and the cold oracle) stays as the
+//! bit-identical baseline the benchmark compares against.
 //!
 //! Two clocks are reported per forward pass:
 //!
@@ -62,8 +66,9 @@ use rand::{Rng, SeedableRng};
 use shfl_core::bucket::BucketPolicy;
 use shfl_core::formats::{ShflBwMatrix, VectorWiseMatrix};
 use shfl_core::matrix::DenseMatrix;
-use shfl_kernels::cache::{PlanCache, PlanCacheStats};
+use shfl_kernels::cache::{PlanCache, PlanCacheStats, PlanKey};
 use shfl_kernels::conv::{self, Conv2dParams, Tensor4};
+use shfl_kernels::conv_plan::ImplicitConvPlan;
 use shfl_kernels::plan::SpmmPlan;
 use shfl_kernels::{KernelError, KernelResult};
 use shfl_serving::engine::ServingEngine;
@@ -360,6 +365,7 @@ impl ModelEngine {
                         kernel_w: kernel,
                         stride,
                         padding,
+                        dilation: 1,
                     };
                     let (m, _, k) = params.implicit_gemm_shape();
                     (EngineLayerKind::Conv { params }, m, k)
@@ -500,9 +506,59 @@ impl ModelEngine {
         self.serving.execute(layer.serving_id, activations)
     }
 
+    /// Returns the layer's cached implicit-GEMM conv plan for this batch,
+    /// building it on first use. Keys carry the layer's current weight
+    /// version ([`PlanKey::conv`]), so a published weight update invalidates
+    /// conv plans together with the layer's bucketed SpMM plans.
+    fn implicit_conv_plan(
+        &self,
+        serving_id: usize,
+        params: &Conv2dParams,
+    ) -> Result<Arc<ImplicitConvPlan>, ServingError> {
+        let version = self.serving.layer_version(serving_id)?;
+        let key = PlanKey::conv(serving_id, version, params.batch);
+        self.serving
+            .cache()
+            .get_or_build_conv(key, || {
+                // Weights are fetched lazily inside the build closure so the
+                // hit path never clones the compressed matrix.
+                let weights = self
+                    .serving
+                    .layer_weights(serving_id)
+                    .expect("registered layer");
+                ImplicitConvPlan::build(self.serving.arch(), &weights, params)
+            })
+            .map_err(ServingError::Kernel)
+    }
+
+    /// Per-forward transform traffic of the implicit conv plans at `batch`,
+    /// summed over layer repeat counts: total bytes of the in-place layout
+    /// buffer each forward reads ([`ImplicitConvPlan::input_bytes_read`]) and
+    /// the bytes of im2col materialisation the implicit path avoids
+    /// ([`ImplicitConvPlan::im2col_bytes_avoided`]). Plans come from the
+    /// shared cache, so after a forward at the same batch this is free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServingError`] if a conv plan cannot be built.
+    pub fn conv_transform_bytes(&self, batch: usize) -> Result<(u64, u64), ServingError> {
+        let mut read = 0u64;
+        let mut avoided = 0u64;
+        for layer in &self.layers {
+            if let EngineLayerKind::Conv { params } = &layer.kind {
+                let params = Conv2dParams { batch, ..*params };
+                let plan = self.implicit_conv_plan(layer.serving_id, &params)?;
+                read += plan.input_bytes_read() * layer.count as u64;
+                avoided += plan.im2col_bytes_avoided() * layer.count as u64;
+            }
+        }
+        Ok((read, avoided))
+    }
+
     /// Serves external convolution traffic: a feature map of any batch size
-    /// against registered conv layer `layer_index`. The input is unfolded,
-    /// served through the bucketed SpMM path, and folded back.
+    /// against registered conv layer `layer_index`, through the implicit-GEMM
+    /// conv plan — the input is walked in place; no im2col buffer is
+    /// materialised. Bit-identical to the retained im2col oracle path.
     ///
     /// # Errors
     ///
@@ -537,9 +593,9 @@ impl ModelEngine {
             }));
         }
         let params = Conv2dParams { batch, ..*params };
-        let unfolded = conv::im2col(input, &params);
-        let out = self.serving.execute(layer.serving_id, &unfolded)?;
-        Ok(conv::col2im_output(&out, &params))
+        let plan = self.implicit_conv_plan(layer.serving_id, &params)?;
+        let (out, _) = plan.execute(input).map_err(ServingError::Kernel)?;
+        Ok(out)
     }
 
     /// One forward pass at the engine's build configuration (the benchmark
@@ -556,12 +612,39 @@ impl ModelEngine {
     /// One forward pass at an arbitrary `(batch, seq_len)` — the
     /// heterogeneous-traffic API. Activation widths that land on the same
     /// N-buckets as earlier passes (any batch size) reuse their cached plans;
-    /// nothing is rebuilt per request.
+    /// nothing is rebuilt per request. Convolutions ride the implicit-GEMM
+    /// conv plans (no im2col materialisation); linear layers the bucketed
+    /// SpMM path.
     ///
     /// # Errors
     ///
     /// Returns [`ServingError`] if a bucketed execution fails.
     pub fn forward(&self, batch: usize, seq_len: usize) -> Result<EngineReport, ServingError> {
+        self.forward_inner(batch, seq_len, true)
+    }
+
+    /// The retained im2col baseline of [`ModelEngine::forward`]:
+    /// convolutions materialise the full unfolded operand and ride the
+    /// bucketed SpMM path. Kept for the benchmark's implicit-vs-im2col
+    /// speedup comparison; outputs are bit-identical to [`ModelEngine::forward`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServingError`] if a bucketed execution fails.
+    pub fn forward_im2col(
+        &self,
+        batch: usize,
+        seq_len: usize,
+    ) -> Result<EngineReport, ServingError> {
+        self.forward_inner(batch, seq_len, false)
+    }
+
+    fn forward_inner(
+        &self,
+        batch: usize,
+        seq_len: usize,
+        implicit_conv: bool,
+    ) -> Result<EngineReport, ServingError> {
         let mut layers = Vec::with_capacity(self.layers.len());
         let mut forward_ms = 0.0;
         let mut modeled_us = 0.0;
@@ -592,10 +675,18 @@ impl ModelEngine {
                         params.input_w,
                     );
                     let start = Instant::now();
-                    let unfolded = conv::im2col(&input, &params);
-                    let (out, us) = self.serving.execute_profiled(layer.serving_id, &unfolded)?;
-                    let _ = conv::col2im_output(&out, &params);
-                    (start.elapsed().as_secs_f64() * 1e3, us)
+                    if implicit_conv {
+                        let plan = self.implicit_conv_plan(layer.serving_id, &params)?;
+                        let (_, profile) = plan.execute(&input).map_err(ServingError::Kernel)?;
+                        (start.elapsed().as_secs_f64() * 1e3, profile.time_us())
+                    } else {
+                        let unfolded = conv::im2col(&input, &params);
+                        let (out, us) =
+                            self.serving.execute_profiled(layer.serving_id, &unfolded)?;
+                        conv::reclaim_unfolded(unfolded);
+                        let _ = conv::col2im_output(&out, &params);
+                        (start.elapsed().as_secs_f64() * 1e3, us)
+                    }
                 }
                 _ => unreachable!("workload inventory shape is stable per model"),
             };
@@ -662,6 +753,7 @@ impl ModelEngine {
                     let unfolded = conv::im2col(&input, &params);
                     let plan = SpmmPlan::shfl_bw(self.serving.arch(), &weights, unfolded.cols());
                     let out = plan.execute(&unfolded).map_err(ServingError::Kernel)?;
+                    conv::reclaim_unfolded(unfolded);
                     let _ = conv::col2im_output(&out.output, &params);
                     (start.elapsed().as_secs_f64() * 1e3, out.profile.time_us())
                 }
@@ -693,9 +785,10 @@ impl ModelEngine {
     }
 
     /// The per-layer outputs of a bucketed forward pass at `(batch,
-    /// seq_len)` (convolutions return the implicit-GEMM output before
-    /// folding). Deterministic per shape — used for bit-identity checks
-    /// against [`ModelEngine::forward_outputs_cold`].
+    /// seq_len)` (convolutions return the flattened `M × N` implicit-GEMM
+    /// output before folding). Convolutions run the implicit conv plans, so
+    /// comparing against [`ModelEngine::forward_outputs_cold`] gates the
+    /// implicit path against the materialised-im2col oracle bit for bit.
     ///
     /// # Errors
     ///
@@ -705,14 +798,14 @@ impl ModelEngine {
         batch: usize,
         seq_len: usize,
     ) -> Result<Vec<DenseMatrix>, ServingError> {
-        self.collect_outputs(batch, seq_len, |serving_id, operand| {
+        self.collect_outputs(batch, seq_len, true, |serving_id, operand| {
             self.serving.execute(serving_id, operand)
         })
     }
 
     /// The cold-oracle counterpart of [`ModelEngine::forward_outputs`]: the
     /// same operands executed on fresh exact-width plans, bypassing the
-    /// bucketed cache.
+    /// bucketed cache — convolutions materialise the full im2col operand.
     ///
     /// # Errors
     ///
@@ -722,7 +815,7 @@ impl ModelEngine {
         batch: usize,
         seq_len: usize,
     ) -> Result<Vec<DenseMatrix>, ServingError> {
-        self.collect_outputs(batch, seq_len, |serving_id, operand| {
+        self.collect_outputs(batch, seq_len, false, |serving_id, operand| {
             self.serving.execute_cold(serving_id, operand)
         })
     }
@@ -731,6 +824,7 @@ impl ModelEngine {
         &self,
         batch: usize,
         seq_len: usize,
+        implicit_conv: bool,
         execute: impl Fn(usize, &DenseMatrix) -> Result<DenseMatrix, ServingError>,
     ) -> Result<Vec<DenseMatrix>, ServingError> {
         let mut rng = StdRng::seed_from_u64(activation_seed(self.config.seed, batch, seq_len));
@@ -755,8 +849,15 @@ impl ModelEngine {
                         params.input_h,
                         params.input_w,
                     );
-                    let unfolded = conv::im2col(&input, &params);
-                    execute(layer.serving_id, &unfolded)?
+                    if implicit_conv {
+                        let plan = self.implicit_conv_plan(layer.serving_id, &params)?;
+                        plan.execute_matrix(&input).map_err(ServingError::Kernel)?
+                    } else {
+                        let unfolded = conv::im2col(&input, &params);
+                        let out = execute(layer.serving_id, &unfolded)?;
+                        conv::reclaim_unfolded(unfolded);
+                        out
+                    }
                 }
                 _ => unreachable!("workload inventory shape is stable per model"),
             };

@@ -23,6 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         kernel_w: 3,
         stride: 1,
         padding: 1,
+        dilation: 1,
     };
     let sparsity = 0.75;
     let v = 32;
