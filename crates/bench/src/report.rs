@@ -334,6 +334,21 @@ pub struct ModelRecord {
     pub serving_cb_stale_plan_executes: Option<f64>,
     /// Accepted tickets that failed during the update sub-trace.
     pub serving_cb_update_failed_requests: Option<f64>,
+    /// Data-parallel replicas of the replicated serving sub-trace (absent
+    /// before the replicated tier existed).
+    pub serving_cb_replica_count: Option<f64>,
+    /// Dispatches that failed over off their killed home replica.
+    pub serving_cb_replica_failovers: Option<f64>,
+    /// p99 service time of failed-over dispatches, ms.
+    pub serving_cb_failover_p99_ms: Option<f64>,
+    /// Hedged Deadline dispatches won by the alternate replica.
+    pub serving_cb_hedge_wins: Option<f64>,
+    /// Bulk fraction shed while the fleet was degraded below the routable
+    /// capacity threshold.
+    pub serving_cb_degraded_shed_rate: Option<f64>,
+    /// Accepted replicated-trace tickets that failed with anything but the
+    /// typed degraded-mode shed (or mismatched the oracle bits).
+    pub serving_cb_replica_failed_requests: Option<f64>,
     /// Implicit-conv transform bytes read per forward (absent before the
     /// implicit-GEMM conv plans existed).
     pub conv_input_bytes_read: Option<f64>,
@@ -440,6 +455,12 @@ pub fn parse_report(input: &str) -> Option<BenchReport> {
                 serving_cb_repack_bytes_ratio: cb_field("repack_bytes_ratio"),
                 serving_cb_stale_plan_executes: cb_field("stale_plan_executes"),
                 serving_cb_update_failed_requests: cb_field("update_failed_requests"),
+                serving_cb_replica_count: cb_field("replica_count"),
+                serving_cb_replica_failovers: cb_field("replica_failovers"),
+                serving_cb_failover_p99_ms: cb_field("failover_p99_ms"),
+                serving_cb_hedge_wins: cb_field("hedge_wins"),
+                serving_cb_degraded_shed_rate: cb_field("degraded_shed_rate"),
+                serving_cb_replica_failed_requests: cb_field("replica_failed_requests"),
                 conv_input_bytes_read: conv_field("input_bytes_read"),
                 conv_im2col_bytes_avoided: conv_field("im2col_bytes_avoided"),
                 conv_implicit_images_s: conv_field("implicit_images_s"),
@@ -567,6 +588,15 @@ mod tests {
                         repack_bytes_ratio: 0.125,
                         stale_plan_executes: 2,
                         update_failed_requests: 0,
+                        replica_count: 3,
+                        replica_requests: 72,
+                        replica_failovers: 5,
+                        failover_p99_ms: 2.25,
+                        hedge_wins: 4,
+                        degraded_shed_rate: 1.0,
+                        replica_failed_requests: 0,
+                        replica_deadline_p99_ms: 11.0,
+                        replica_bulk_p99_ms: 28.0,
                     },
                 }),
                 conv_implicit: Some(crate::bench_kernels::ConvImplicitBench {
@@ -617,6 +647,12 @@ mod tests {
         assert_eq!(m.serving_cb_repack_bytes_ratio, Some(0.125));
         assert_eq!(m.serving_cb_stale_plan_executes, Some(2.0));
         assert_eq!(m.serving_cb_update_failed_requests, Some(0.0));
+        assert_eq!(m.serving_cb_replica_count, Some(3.0));
+        assert_eq!(m.serving_cb_replica_failovers, Some(5.0));
+        assert_eq!(m.serving_cb_failover_p99_ms, Some(2.25));
+        assert_eq!(m.serving_cb_hedge_wins, Some(4.0));
+        assert_eq!(m.serving_cb_degraded_shed_rate, Some(1.0));
+        assert_eq!(m.serving_cb_replica_failed_requests, Some(0.0));
         assert_eq!(m.conv_input_bytes_read, Some(1000.0));
         assert_eq!(m.conv_im2col_bytes_avoided, Some(9000.0));
         assert_eq!(m.conv_implicit_images_s, Some(100.0));
@@ -646,6 +682,9 @@ mod tests {
         assert_eq!(report.models[0].serving_cb_overload_shed_rate, None);
         assert_eq!(report.models[0].serving_cb_update_swaps, None);
         assert_eq!(report.models[0].serving_cb_repack_bytes_ratio, None);
+        assert_eq!(report.models[0].serving_cb_replica_count, None);
+        assert_eq!(report.models[0].serving_cb_replica_failovers, None);
+        assert_eq!(report.models[0].serving_cb_degraded_shed_rate, None);
         assert_eq!(report.models[0].conv_speedup, None);
         assert_eq!(report.models[0].conv_bit_identical, None);
         assert_eq!(report.models[0].conv_im2col_bytes_on_implicit, None);

@@ -159,6 +159,16 @@ pub enum UpdateError {
         /// The layer the rollback targeted.
         layer: usize,
     },
+    /// A cross-replica fan-out ([`crate::replica::ReplicaSet::update_layer_all`])
+    /// was refused because a replica is down. Updates are non-idempotent and
+    /// never retried, so a partial fleet cannot accept one — revive or remove
+    /// the replica first.
+    ReplicaDown {
+        /// The layer the fan-out targeted.
+        layer: usize,
+        /// The dead replica that blocked it.
+        replica: usize,
+    },
 }
 
 impl std::fmt::Display for UpdateError {
@@ -200,6 +210,11 @@ impl std::fmt::Display for UpdateError {
             UpdateError::NoPreviousVersion { layer } => {
                 write!(f, "layer {layer} has no previous version to roll back to")
             }
+            UpdateError::ReplicaDown { layer, replica } => write!(
+                f,
+                "update fan-out for layer {layer} refused: replica {replica} is down \
+                 (updates are never applied to a partial fleet)"
+            ),
         }
     }
 }

@@ -74,11 +74,15 @@
 pub mod chaos;
 pub mod engine;
 pub mod policy;
+pub mod replica;
+pub mod router;
 pub mod scheduler;
 pub mod server;
 
 pub use engine::{ServingEngine, ServingStats, UpdateError, UpdateReport, UpdateStats};
 pub use policy::{Fifo, GroupMeta, Lpt, QueuePolicy, ShortestJobFirst, SloAware};
+pub use replica::{ReplicaConfig, ReplicaHealth, ReplicaSet, ReplicaSetStats, ReplicaStats};
+pub use router::HashRing;
 pub use scheduler::{Request, Response, Scheduler};
 pub use server::{Completion, Server, ServerConfig, ServerStats, SubmitError, Ticket};
 
@@ -122,6 +126,17 @@ pub enum ServingError {
         /// The panic message, when it carried one.
         context: String,
     },
+    /// [`server::Ticket::wait_timeout`] elapsed before the response arrived.
+    /// The ticket is still live: the response can be collected later with
+    /// another wait or [`server::Ticket::try_take`].
+    WaitTimeout,
+    /// The request was routed to a dead replica and no surviving replica
+    /// could take the work within the failover retry bounds (see
+    /// [`replica::ReplicaSet`]).
+    ReplicaDown {
+        /// The last replica the dispatch tried.
+        replica: usize,
+    },
 }
 
 impl fmt::Display for ServingError {
@@ -148,6 +163,13 @@ impl fmt::Display for ServingError {
             ServingError::WorkerPanic { context } => {
                 write!(f, "worker panicked while serving the request: {context}")
             }
+            ServingError::WaitTimeout => {
+                f.write_str("timed out waiting for the response; the ticket is still live")
+            }
+            ServingError::ReplicaDown { replica } => write!(
+                f,
+                "replica {replica} is down and no surviving replica could take the request"
+            ),
         }
     }
 }

@@ -1,0 +1,162 @@
+//! Consistent-hash request routing for the replicated serving tier.
+//!
+//! Layers are hashed onto a ring of virtual points — several per replica —
+//! so every layer has a stable **home replica**: its plans are built once
+//! there and its plan-cache entries stay warm. When a replica is removed
+//! from routing (killed, or marked [`crate::replica::ReplicaHealth::Down`]),
+//! only the layers homed on it move — to the next live point clockwise —
+//! while every other layer keeps its warm cache. [`HashRing::candidates`]
+//! exposes the full preference order a failover walks: the home replica
+//! first, then each successive distinct replica around the ring.
+//!
+//! The hash is a hand-rolled splitmix64 mixer (no external dependencies,
+//! deterministic across runs and platforms), salted differently for ring
+//! points and layer keys so the two key spaces cannot collide trivially.
+
+/// splitmix64 finaliser: a cheap, well-distributed bit mixer for sequential
+/// integer keys (replica ids, virtual-node ids, layer ids).
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Salt folded into layer keys so a layer id never hashes onto the exact
+/// bit pattern of a ring point built from a (replica, vnode) pair.
+const LAYER_SALT: u64 = 0x51ce_5eed_0a11_ca57;
+
+/// A consistent-hash ring mapping layer ids onto replica indices.
+///
+/// Built once at [`crate::replica::ReplicaSet`] construction; routing reads
+/// are lock-free lookups over the sorted point list.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(point, replica)` pairs sorted by point — `vnodes` entries per
+    /// replica.
+    points: Vec<(u64, usize)>,
+    /// Number of distinct replicas on the ring.
+    replicas: usize,
+}
+
+impl HashRing {
+    /// Builds a ring over `replicas` replicas with `vnodes` virtual points
+    /// each. More virtual points smooth the layer→replica distribution at
+    /// the cost of a longer (still tiny) sorted lookup table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` or `vnodes` is zero.
+    pub fn new(replicas: usize, vnodes: usize) -> Self {
+        assert!(replicas > 0, "a hash ring needs at least one replica");
+        assert!(vnodes > 0, "a hash ring needs at least one virtual node");
+        let mut points: Vec<(u64, usize)> = (0..replicas)
+            .flat_map(|r| (0..vnodes).map(move |v| (mix64(((r as u64) << 20) ^ v as u64), r)))
+            .collect();
+        points.sort_unstable();
+        HashRing { points, replicas }
+    }
+
+    /// Number of replicas on the ring.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// Index into `points` where the walk for `layer` starts: the first
+    /// point at or clockwise of the layer's hash.
+    fn start(&self, layer: usize) -> usize {
+        let key = mix64(layer as u64 ^ LAYER_SALT);
+        let at = self.points.partition_point(|&(p, _)| p < key);
+        if at == self.points.len() {
+            0
+        } else {
+            at
+        }
+    }
+
+    /// The replica a layer is homed on, ignoring health — the owner of the
+    /// first ring point clockwise of the layer's hash.
+    pub fn home(&self, layer: usize) -> usize {
+        self.points[self.start(layer)].1
+    }
+
+    /// Every replica in the ring's preference order for `layer`: the home
+    /// replica first, then each successive **distinct** replica walking the
+    /// ring clockwise. A failover tries candidates in exactly this order,
+    /// so re-routing under replica loss is deterministic.
+    pub fn candidates(&self, layer: usize) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.replicas);
+        let start = self.start(layer);
+        for i in 0..self.points.len() {
+            let replica = self.points[(start + i) % self.points.len()].1;
+            if !order.contains(&replica) {
+                order.push(replica);
+                if order.len() == self.replicas {
+                    break;
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn home_is_deterministic_and_in_range() {
+        let ring = HashRing::new(3, 16);
+        for layer in 0..64 {
+            let home = ring.home(layer);
+            assert!(home < 3);
+            assert_eq!(home, ring.home(layer), "routing must be stable");
+            assert_eq!(home, HashRing::new(3, 16).home(layer));
+        }
+    }
+
+    #[test]
+    fn candidates_is_a_permutation_starting_at_home() {
+        let ring = HashRing::new(4, 8);
+        for layer in 0..32 {
+            let order = ring.candidates(layer);
+            assert_eq!(order.len(), 4);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3]);
+            assert_eq!(order[0], ring.home(layer));
+        }
+    }
+
+    #[test]
+    fn every_replica_homes_some_layer() {
+        let ring = HashRing::new(3, 16);
+        let mut seen = [false; 3];
+        for layer in 0..128 {
+            seen[ring.home(layer)] = true;
+        }
+        assert_eq!(seen, [true; 3], "virtual nodes must spread the key space");
+    }
+
+    #[test]
+    fn removing_a_replica_only_moves_its_own_layers() {
+        let ring = HashRing::new(3, 16);
+        for layer in 0..128 {
+            let order = ring.candidates(layer);
+            let home = order[0];
+            for dead in 0..3 {
+                let survivor = order.iter().copied().find(|&r| r != dead).unwrap();
+                if home != dead {
+                    // Layers homed elsewhere must not move when `dead` dies.
+                    assert_eq!(survivor, home, "layer {layer} must keep its home");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn zero_replicas_is_rejected() {
+        let _ = HashRing::new(0, 16);
+    }
+}

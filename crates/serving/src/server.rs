@@ -71,12 +71,26 @@
 //! [`UpdateError`] with the old version still serving; a panic at the swap
 //! point is contained into the same typed error.
 //!
+//! ## Replicated serving
+//!
+//! [`Server::start_replicated`] runs the same dispatcher/worker machinery
+//! over a [`ReplicaSet`] of data-parallel engines instead of one: groups are
+//! routed to each layer's consistent-hash home replica (plan caches stay
+//! warm), stolen to a lighter replica under queue pressure, failed over with
+//! bounded backoff when a replica dies, and optionally hedged for
+//! deadline-class work about to miss. [`ServerStats::replicas`] carries the
+//! per-replica health/failover plane, and [`Server::update_layer`] fans out
+//! to every replica under a per-layer version barrier so no coalesced group
+//! ever observes two replicas on different weight versions. See
+//! [`crate::replica`] for the routing and health model.
+//!
 //! The old API survives: [`crate::scheduler::Scheduler::serve`] is now a thin
 //! compatibility shim that runs one zero-window server scoped to the call
 //! (see [`Server::scoped`]).
 
 use crate::engine::{ServingEngine, UpdateError, UpdateReport};
 use crate::policy::{Fifo, GroupMeta, QueuePolicy};
+use crate::replica::{GroupExecutor, ReplicaSet, ReplicaSetStats};
 use crate::scheduler::{Request, Response};
 use crate::ServingError;
 use shfl_core::formats::ShflBwMatrix;
@@ -315,6 +329,12 @@ pub struct ServerStats {
     /// completions (capped at 65536 records), so a long-lived server's
     /// stats stay bounded; the counters above remain exact forever.
     pub completions: Vec<Completion>,
+    /// The replica tier's aggregate stats plane — per-replica health and
+    /// load plus the set-wide failover/hedging/shedding counters. `None`
+    /// for single-engine servers ([`Server::scoped`] and the batch shim);
+    /// always `Some` on a server started with [`Server::start`] or
+    /// [`Server::start_replicated`].
+    pub replicas: Option<ReplicaSetStats>,
 }
 
 impl ServerStats {
@@ -328,16 +348,19 @@ impl ServerStats {
             .collect()
     }
 
-    /// Nearest-rank percentile (`q` in `[0, 1]`) of a class's end-to-end
-    /// latency; 0 when the class has no completions.
-    pub fn class_percentile_ms(&self, kind: SloKind, q: f64) -> f64 {
+    /// Nearest-rank percentile of a class's end-to-end latency. `q` is
+    /// clamped into `[0, 1]` (a NaN clamps to 0, the minimum); `None` when
+    /// the class has no completions — an empty class is "no data", not
+    /// "0 ms", and callers must not fold the two together.
+    pub fn class_percentile_ms(&self, kind: SloKind, q: f64) -> Option<f64> {
         let mut sorted = self.class_latencies_ms(kind);
         if sorted.is_empty() {
-            return 0.0;
+            return None;
         }
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
         let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-        sorted[rank - 1]
+        Some(sorted[rank - 1])
     }
 
     /// Request ids in completion order (what the ordering tests assert on).
@@ -447,6 +470,40 @@ impl Ticket {
                 return response;
             }
             state = self.slot.done.wait(state).expect("ticket slot poisoned");
+        }
+    }
+
+    /// Bounded wait: blocks until the response is delivered or `timeout`
+    /// elapses. On timeout the typed [`ServingError::WaitTimeout`] is
+    /// returned and the ticket stays **live** — the request still executes
+    /// (or resolves with its own error) and the response can be collected
+    /// later with another `wait_timeout`, [`Ticket::wait`], or
+    /// [`Ticket::try_take`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServingError::WaitTimeout`] when the deadline passes first.
+    pub fn wait_timeout(&self, timeout: Duration) -> Result<Response, ServingError> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.slot.state.lock().expect("ticket slot poisoned");
+        loop {
+            if matches!(*state, SlotState::Done(_)) {
+                let SlotState::Done(response) = std::mem::replace(&mut *state, SlotState::Taken)
+                else {
+                    unreachable!("matched Done above");
+                };
+                return Ok(response);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(ServingError::WaitTimeout);
+            }
+            let (guard, _) = self
+                .slot
+                .done
+                .wait_timeout(state, deadline - now)
+                .expect("ticket slot poisoned");
+            state = guard;
         }
     }
 
@@ -840,6 +897,7 @@ impl ServerCore {
             coalesced_groups: rec.coalesced_groups,
             coalesced_requests: rec.coalesced_requests,
             completions: rec.completions.iter().cloned().collect(),
+            replicas: None,
         }
     }
 
@@ -871,7 +929,9 @@ impl ServerCore {
 
     /// The dispatcher: waits for arrivals, holds the admission window,
     /// plans ready groups, and pushes them policy-ordered for the workers.
-    fn dispatch_loop(&self, engine: &ServingEngine) {
+    /// `exec` is whatever runs groups — a lone engine, or a [`ReplicaSet`]
+    /// routing across replicas.
+    fn dispatch_loop(&self, exec: &dyn GroupExecutor) {
         let window = self.cfg.admission_window();
         loop {
             // Phase 1: wait for an arrival and hold its admission window.
@@ -945,7 +1005,7 @@ impl ServerCore {
             if batch.is_empty() {
                 continue;
             }
-            let groups = self.plan_groups(engine, batch);
+            let groups = self.plan_groups(exec.meta(), batch);
             {
                 let mut rec = self.recorder.lock().expect("recorder poisoned");
                 rec.dispatched_groups += groups.len() as u64;
@@ -1140,7 +1200,7 @@ impl ServerCore {
 
     /// One worker: pops policy-ordered ready groups and executes them until
     /// the dispatcher has exited and the queue is dry.
-    fn worker_loop(&self, engine: &ServingEngine) {
+    fn worker_loop(&self, exec: &dyn GroupExecutor) {
         loop {
             let group = {
                 let mut ready = self.ready.lock().expect("ready queue poisoned");
@@ -1159,7 +1219,7 @@ impl ServerCore {
                     ready = self.ready_cv.wait(ready).expect("ready queue poisoned");
                 }
             };
-            self.execute_group(engine, group);
+            self.execute_group(exec, group);
         }
     }
 
@@ -1175,11 +1235,11 @@ impl ServerCore {
     /// the worker supervisor ([`ServerCore::worker_entry`]) respawns the
     /// thread. No lock is held across the engine call, so the unwind cannot
     /// poison the server's mutexes.
-    fn execute_group(&self, engine: &ServingEngine, group: ReadyGroup) {
+    fn execute_group(&self, exec: &dyn GroupExecutor, group: ReadyGroup) {
         let ReadyGroup { meta, members } = group;
         let exec_start = Instant::now();
         let computed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            self.compute_responses(engine, &meta, &members, exec_start)
+            self.compute_responses(exec, &meta, &members, exec_start)
         }));
         let responses = match computed {
             Ok(responses) => responses,
@@ -1249,17 +1309,24 @@ impl ServerCore {
         self.idle_cv.notify_all();
     }
 
-    /// Computes one response per group member: the (possibly fused) engine
-    /// execute plus the per-member scatter. May panic (the engine is
+    /// Computes one response per group member: the (possibly fused) routed
+    /// execute plus the per-member scatter. May panic (the executor is
     /// arbitrary code; the chaos layer injects panics here on purpose) —
-    /// [`ServerCore::execute_group`] contains the unwind.
+    /// [`ServerCore::execute_group`] contains the unwind. The group's
+    /// remaining deadline slack rides along so a replicated executor can
+    /// hedge deadline-class dispatches that are about to miss.
     fn compute_responses(
         &self,
-        engine: &ServingEngine,
+        exec: &dyn GroupExecutor,
         meta: &GroupMeta,
         members: &[Pending],
         exec_start: Instant,
     ) -> Vec<Response> {
+        // Remaining deadline slack at dispatch time, µs: the group's
+        // earliest absolute deadline minus "now" on the server clock.
+        let slack_us = meta.due_us.map(|due| {
+            due.saturating_sub(exec_start.duration_since(self.started_at).as_micros() as u64)
+        });
         #[cfg(feature = "chaos")]
         if let Some(plan) = &self.cfg.fault_plan {
             let (stall, fault) = plan.poll_exec();
@@ -1290,9 +1357,13 @@ impl ServerCore {
         }
         if members.len() == 1 {
             let pending = &members[0];
-            let (result, modeled_us) = match engine
-                .execute_profiled(pending.request.layer, &pending.request.activations)
-            {
+            let (result, modeled_us) = match exec.execute_routed(
+                pending.request.layer,
+                &pending.request.activations,
+                false,
+                meta.kind,
+                slack_us,
+            ) {
                 Ok((output, us)) => (Ok(output), us),
                 Err(e) => (Err(e), 0.0),
             };
@@ -1309,7 +1380,7 @@ impl ServerCore {
             let total_cols = combined.cols();
             // Pad-free group execution: a partially-filled group runs the
             // exact-width fused sweep instead of padding up to its bucket.
-            let executed = engine.execute_group_profiled(meta.layer, &combined);
+            let executed = exec.execute_routed(meta.layer, &combined, true, meta.kind, slack_us);
             let service_ms = exec_start.elapsed().as_secs_f64() * 1e3;
             match executed {
                 Ok((output, us)) => {
@@ -1401,10 +1472,10 @@ impl ServerCore {
     /// pool therefore never shrinks below the configured size, and a
     /// panicking engine cannot wedge the dispatcher's pacing wait or
     /// `drain()`.
-    fn worker_entry(&self, engine: &ServingEngine) {
+    fn worker_entry(&self, exec: &dyn GroupExecutor) {
         loop {
             let run =
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.worker_loop(engine)));
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.worker_loop(exec)));
             if run.is_ok() {
                 break;
             }
@@ -1474,7 +1545,7 @@ impl Drop for StopOnDrop<'_> {
 /// ```
 pub struct Server {
     core: Arc<ServerCore>,
-    engine: Arc<ServingEngine>,
+    replicas: Arc<ReplicaSet>,
     threads: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -1482,24 +1553,48 @@ impl Server {
     /// Starts a server over an engine (owned, or shared via
     /// `Arc<ServingEngine>`): spawns the dispatcher and
     /// [`ServerConfig::workers`] worker threads and begins accepting
-    /// submissions immediately.
+    /// submissions immediately. Equivalent to [`Server::start_replicated`]
+    /// over a single-replica [`ReplicaSet`] — routing, stealing, and
+    /// hedging are all degenerate with one replica, so the behaviour is
+    /// exactly the historical single-engine server.
     pub fn start(engine: impl Into<Arc<ServingEngine>>, config: ServerConfig) -> Self {
-        let engine = engine.into();
+        Self::start_replicated(ReplicaSet::single(engine.into()), config)
+    }
+
+    /// Starts a server over a [`ReplicaSet`] of data-parallel replicas:
+    /// every dispatched group is routed to its layer's consistent-hash home
+    /// replica, with work-stealing, health-checked failover, and (when
+    /// configured) hedged dispatch for deadline-class groups. With the
+    /// `chaos` feature, the config's fault plan is attached to the replica
+    /// set so the replica-scoped fault points (`kill_replica_at`,
+    /// `slow_replica`, …) fire on the set's attempt/probe sequence counters.
+    pub fn start_replicated(replicas: ReplicaSet, config: ServerConfig) -> Self {
+        #[cfg(feature = "chaos")]
+        let replicas = {
+            let mut replicas = replicas;
+            if let Some(plan) = &config.fault_plan {
+                replicas.attach_fault_plan(Arc::clone(plan));
+            }
+            replicas
+        };
+        let replicas = Arc::new(replicas);
         let core = Arc::new(ServerCore::new(config));
         let mut threads = Vec::with_capacity(core.cfg.workers + 1);
         for _ in 0..core.cfg.workers.max(1) {
             let core = Arc::clone(&core);
-            let engine = Arc::clone(&engine);
-            threads.push(std::thread::spawn(move || core.worker_entry(&engine)));
+            let reps = Arc::clone(&replicas);
+            threads.push(std::thread::spawn(move || core.worker_entry(reps.as_ref())));
         }
         {
             let core = Arc::clone(&core);
-            let engine = Arc::clone(&engine);
-            threads.push(std::thread::spawn(move || core.dispatch_loop(&engine)));
+            let reps = Arc::clone(&replicas);
+            threads.push(std::thread::spawn(move || {
+                core.dispatch_loop(reps.as_ref())
+            }));
         }
         Server {
             core,
-            engine,
+            replicas,
             threads,
         }
     }
@@ -1531,9 +1626,17 @@ impl Server {
         })
     }
 
-    /// The engine this server executes on.
+    /// The primary replica's engine — the metadata source groups are
+    /// planned against (all replicas mirror the same registered layers).
     pub fn engine(&self) -> &ServingEngine {
-        &self.engine
+        self.replicas.primary()
+    }
+
+    /// The replica set this server routes over: per-replica health, the
+    /// kill/revive admin plane, and probe-driven health transitions. A
+    /// server started with [`Server::start`] has a single-replica set.
+    pub fn replica_set(&self) -> &ReplicaSet {
+        &self.replicas
     }
 
     /// The configuration the server was started with.
@@ -1572,35 +1675,47 @@ impl Server {
         self.core.submit_batch(requests, SloClass::Standard)
     }
 
-    /// A snapshot of the server's counters and per-class completion log.
+    /// A snapshot of the server's counters and per-class completion log,
+    /// with the replica tier's aggregate stats plane in
+    /// [`ServerStats::replicas`].
     pub fn stats(&self) -> ServerStats {
-        self.core.stats()
+        let mut stats = self.core.stats();
+        stats.replicas = Some(self.replicas.stats());
+        stats
     }
 
     /// Publishes new weights for a registered layer **without stopping
     /// traffic**: in-flight and queued requests are untouched (they finish
     /// on their own version, bit-identically), new arrivals observe the new
     /// version, and a coalesced group never mixes versions because the
-    /// server makes exactly one engine call per group. See
+    /// server makes exactly one engine call per group. On a replicated
+    /// server the update fans out to **every** replica under the layer's
+    /// version barrier ([`ReplicaSet::update_layer_all`]): dispatches for
+    /// the layer wait out the fan-out, so no two replicas ever serve
+    /// different weight versions to the same coalesced group. See
     /// [`ServingEngine::update_layer`] for the validate-then-swap pipeline.
     ///
     /// # Errors
     ///
     /// Any [`UpdateError`] (including chaos-injected update faults) leaves
-    /// the old version serving.
+    /// the old version serving everywhere; a fan-out with a dead replica is
+    /// refused whole with [`UpdateError::ReplicaDown`] (updates are not
+    /// idempotent and are never retried or partially applied).
     pub fn update_layer(
         &self,
         layer: usize,
         new_weights: ShflBwMatrix,
     ) -> Result<UpdateReport, UpdateError> {
-        self.core.guarded_update(&self.engine, layer, || {
-            self.engine.update_layer(layer, new_weights)
-        })
+        self.core
+            .guarded_update(self.replicas.primary(), layer, || {
+                self.replicas.update_layer_all(layer, new_weights)
+            })
     }
 
     /// Republishes the layer's previous weights under a fresh version —
-    /// [`ServingEngine::rollback_layer`] behind the same fault-injection and
-    /// panic-containment shell as [`Server::update_layer`].
+    /// [`ServingEngine::rollback_layer`] fanned out to every replica behind
+    /// the same fault-injection and panic-containment shell as
+    /// [`Server::update_layer`].
     ///
     /// # Errors
     ///
@@ -1608,7 +1723,9 @@ impl Server {
     /// [`UpdateError::NoPreviousVersion`] for a never-updated layer.
     pub fn rollback_layer(&self, layer: usize) -> Result<UpdateReport, UpdateError> {
         self.core
-            .guarded_update(&self.engine, layer, || self.engine.rollback_layer(layer))
+            .guarded_update(self.replicas.primary(), layer, || {
+                self.replicas.rollback_layer_all(layer)
+            })
     }
 
     /// Stops admission and blocks until every outstanding ticket has been

@@ -99,8 +99,12 @@ fn saturated_server_keeps_deadline_p99_at_or_under_bulk_p99() {
     assert_eq!(stats.class_latencies_ms(SloKind::Bulk).len(), 6);
     // With one worker and SLO ordering, every deadline completion precedes
     // every bulk completion, so the p99 inequality is strict.
-    let deadline_p99 = stats.class_percentile_ms(SloKind::Deadline, 0.99);
-    let bulk_p99 = stats.class_percentile_ms(SloKind::Bulk, 0.99);
+    let deadline_p99 = stats
+        .class_percentile_ms(SloKind::Deadline, 0.99)
+        .expect("deadline completions exist");
+    let bulk_p99 = stats
+        .class_percentile_ms(SloKind::Bulk, 0.99)
+        .expect("bulk completions exist");
     assert!(
         deadline_p99 < bulk_p99,
         "deadline p99 {deadline_p99} ms must stay under bulk p99 {bulk_p99} ms"
