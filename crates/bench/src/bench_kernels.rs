@@ -722,6 +722,34 @@ pub fn to_json(run: &BenchRun) -> String {
         let serving = match &m.serving {
             Some(s) => {
                 let c = &s.continuous;
+                let decode = match &s.decode {
+                    Some(d) => format!(
+                        ", \"decode\": {{\"sessions\": {}, \"steps\": {}, \
+                         \"tokens\": {}, \"wall_ms\": {:.3}, \
+                         \"decode_tokens_s\": {:.2}, \"token_p50_ms\": {:.3}, \
+                         \"token_p99_ms\": {:.3}, \
+                         \"mean_interleave_width\": {:.3}, \"evictions\": {}, \
+                         \"resumed\": {}, \"lost_tokens\": {}, \
+                         \"bit_identical\": {}, \"serial_sessions\": {}, \
+                         \"serial_wall_ms\": {:.3}, \"serial_tokens_s\": {:.2}}}",
+                        d.sessions,
+                        d.steps,
+                        d.tokens,
+                        d.wall_ms,
+                        d.tokens_s,
+                        d.token_p50_ms,
+                        d.token_p99_ms,
+                        d.mean_interleave_width,
+                        d.evictions,
+                        d.resumed,
+                        d.lost_tokens,
+                        d.bit_identical,
+                        d.serial_sessions,
+                        d.serial_wall_ms,
+                        d.serial_tokens_s,
+                    ),
+                    None => String::new(),
+                };
                 format!(
                     ", \"serving\": {{\"forwards\": {}, \"hit_rate\": {:.4}, \
                      \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \
@@ -752,7 +780,7 @@ pub fn to_json(run: &BenchRun) -> String {
                      \"hedge_wins\": {}, \"degraded_shed_rate\": {:.4}, \
                      \"replica_failed_requests\": {}, \
                      \"replica_deadline_p99_ms\": {:.3}, \
-                     \"replica_bulk_p99_ms\": {:.3}}}}}",
+                     \"replica_bulk_p99_ms\": {:.3}}}{decode}}}",
                     s.forwards,
                     s.hit_rate,
                     s.p50_ms,

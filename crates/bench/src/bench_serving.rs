@@ -87,7 +87,7 @@ use shfl_serving::policy::{Fifo, SloAware};
 use shfl_serving::replica::{ReplicaConfig, ReplicaSet};
 use shfl_serving::scheduler::{Request, Scheduler};
 use shfl_serving::server::{Server, ServerConfig, SubmitError};
-use shfl_serving::ServingError;
+use shfl_serving::{decode_oracle, DecodeToken, ServingError};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -153,6 +153,67 @@ pub struct ServingBenchResult {
     /// Continuous-batching server sub-trace (staggered arrivals, mixed
     /// priority classes, windowed vs zero-window).
     pub continuous: ContinuousBenchResult,
+    /// Decode-session sub-trace: iteration-level interleaved autoregressive
+    /// decode vs one-session-at-a-time serial decode (GNMT only — the
+    /// paper's latency-bound recurrent decode workload).
+    pub decode: Option<DecodeBenchResult>,
+}
+
+/// Numbers of the decode-session sub-trace: many concurrent autoregressive
+/// sequences decoded through [`shfl_serving::SessionManager`]'s
+/// iteration-level interleave loop (every live sequence contributes one
+/// column per round; same-stage columns coalesce into one fused sweep),
+/// with mid-trace eviction pressure and resumption, against a serial
+/// one-session-at-a-time baseline on the same engine.
+#[derive(Debug, Clone)]
+pub struct DecodeBenchResult {
+    /// Concurrent decode sessions of the interleaved run.
+    pub sessions: usize,
+    /// Decode steps per session.
+    pub steps: usize,
+    /// Tokens streamed by the interleaved run (`sessions × steps` when none
+    /// were lost).
+    pub tokens: u64,
+    /// Open→fully-drained wall of the interleaved run, ms.
+    pub wall_ms: f64,
+    /// Aggregate decode throughput of the interleaved run, tokens/s.
+    pub tokens_s: f64,
+    /// Median per-token service time (the interleave round that produced the
+    /// token), ms.
+    pub token_p50_ms: f64,
+    /// 99th-percentile per-token service time, ms.
+    pub token_p99_ms: f64,
+    /// Mean columns per sweep across the run (> 1 proves the sequences
+    /// genuinely coalesced).
+    pub mean_interleave_width: f64,
+    /// Sessions evicted under the scripted mid-trace pressure.
+    pub evictions: u64,
+    /// Evicted sessions resumed (must equal `evictions`).
+    pub resumed: u64,
+    /// Accepted tokens that never arrived (`sessions × steps − tokens`; the
+    /// zero-loss gate).
+    pub lost_tokens: u64,
+    /// Whether the checked sessions (one evicted-and-resumed, one
+    /// untouched) matched the cold-oracle decode bit for bit.
+    pub bit_identical: bool,
+    /// Sessions of the serial baseline (each opened alone and fully drained
+    /// before the next opens — interleave width pinned at 1).
+    pub serial_sessions: usize,
+    /// Wall of the serial baseline, ms.
+    pub serial_wall_ms: f64,
+    /// Per-token throughput of the serial baseline, tokens/s.
+    pub serial_tokens_s: f64,
+}
+
+impl DecodeBenchResult {
+    /// Interleaved-over-serial decode throughput ratio (the ≥ 2× full-mode
+    /// gate).
+    pub fn interleave_speedup(&self) -> f64 {
+        if self.serial_tokens_s <= 0.0 {
+            return 0.0;
+        }
+        self.tokens_s / self.serial_tokens_s
+    }
 }
 
 /// Numbers of the continuous-batching server sub-trace of one model.
@@ -559,6 +620,18 @@ fn run_model(
 
     let continuous = run_continuous(&engine, model, cfg, quick, workers);
 
+    // Decode-session sub-trace on GNMT only: the paper's latency-bound
+    // recurrent decode workload, where iteration-level interleaving is the
+    // whole game. (Transformer decode works — the unit suites cover it —
+    // but its 24-stage step would double the trace's wall for the same
+    // interleave evidence.) Runs after the update sub-trace, whose
+    // alternating republish/rollback swaps leave the weights bit-exact.
+    let decode = if model == DnnModel::Gnmt {
+        run_decode(&engine, quick)
+    } else {
+        None
+    };
+
     ServingBenchResult {
         model: model.name().to_string(),
         unit,
@@ -589,7 +662,179 @@ fn run_model(
         coalesced_wall_ms,
         coalesced_bit_identical,
         continuous,
+        decode,
     }
+}
+
+/// The decode-session sub-trace: `sessions` concurrent autoregressive
+/// sequences opened against one server (mixed per-token Deadline / Bulk
+/// classes), streamed to completion through the manager's iteration-level
+/// interleave loop, with `evict_count` sessions evicted mid-sequence and
+/// resumed — then a serial baseline decoding sessions strictly one at a
+/// time on a fresh server over the same engine. Bit-identity is checked
+/// against [`decode_oracle`] (cold exact-width executes) on one
+/// evicted-and-resumed session and one untouched session — the exhaustive
+/// all-interleavings check lives in the serving crate's property tests.
+fn run_decode(engine: &ModelEngine, quick: bool) -> Option<DecodeBenchResult> {
+    let model = engine.decode_model()?;
+    let (sessions, steps, evict_count, serial_sessions) =
+        if quick { (8, 6, 2, 2) } else { (32, 64, 4, 4) };
+    let class_of = |i: usize| {
+        if i.is_multiple_of(2) {
+            // A whole-sequence deadline split into per-token budgets.
+            SloClass::Deadline {
+                deadline_us: 4_000_000,
+            }
+            .per_token(steps)
+        } else {
+            SloClass::Bulk
+        }
+    };
+
+    let server = engine.server(
+        ServerConfig::new()
+            .with_workers(2)
+            .with_session_capacity(sessions * 2)
+            .with_policy(Arc::new(SloAware)),
+    );
+    let start = Instant::now();
+    let mut handles: Vec<_> = (0..sessions)
+        .map(|i| {
+            server
+                .open_session(
+                    Arc::clone(&model),
+                    engine.decode_prompt(i as u64),
+                    class_of(i),
+                    steps,
+                )
+                .expect("session tier sized to the trace")
+        })
+        .collect();
+    let mut collected: Vec<Vec<DecodeToken>> = vec![Vec::new(); sessions];
+
+    // Mid-trace eviction pressure: consume the victim's stream until it is
+    // a third of the way through (blocking consumption keeps us in step
+    // with production), then evict it. Resumption happens in the drain
+    // below when the typed error surfaces.
+    for v in 0..evict_count {
+        let ticket = handles[v].ticket();
+        while collected[v].len() < steps / 3 {
+            match ticket.next_token() {
+                Ok(Some(tok)) => collected[v].push(tok),
+                Ok(None) => break,
+                Err(e) => panic!("decode trace failed before eviction: {e}"),
+            }
+        }
+        server.evict_session(handles[v].id());
+    }
+
+    // Drain every session to completion; an evicted stream resumes under
+    // its old id and continues exactly where it stopped.
+    for i in 0..sessions {
+        loop {
+            match handles[i].ticket().next_token() {
+                Ok(Some(tok)) => collected[i].push(tok),
+                Ok(None) => break,
+                Err(ServingError::Evicted { session }) => {
+                    handles[i] = server
+                        .resume_session(session)
+                        .expect("evicted decode session resumes");
+                }
+                Err(e) => panic!("decode trace failed: {e}"),
+            }
+        }
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let stats = server.session_stats();
+    server.shutdown();
+
+    let tokens: u64 = collected.iter().map(|c| c.len() as u64).sum();
+    let lost_tokens = (sessions * steps) as u64 - tokens.min((sessions * steps) as u64);
+    let token_ms: Vec<f64> = collected
+        .iter()
+        .flat_map(|c| c.iter().map(|t| t.service_ms))
+        .collect();
+
+    // Bit-identity spot check against the cold oracle: session 0 crossed an
+    // evict/resume cycle, the last session never did.
+    let serving = engine.serving();
+    let mut bit_identical = true;
+    for &i in &[0, sessions - 1] {
+        let oracle = decode_oracle(
+            serving,
+            model.as_ref(),
+            &engine.decode_prompt(i as u64),
+            steps,
+        )
+        .expect("oracle decode executes");
+        bit_identical &= collected[i].len() == oracle.len()
+            && collected[i].iter().zip(oracle.iter()).all(|(tok, want)| {
+                tok.values.len() == want.len()
+                    && tok
+                        .values
+                        .iter()
+                        .zip(want.iter())
+                        .all(|(a, b)| a.to_bits() == b.to_bits())
+            });
+    }
+
+    // Serial baseline: one session at a time on a fresh server (fresh
+    // session stats), each fully drained before the next opens, so every
+    // sweep is width 1 — what decoding these sequences costs without
+    // iteration-level interleaving.
+    let serial_server = engine.server(
+        ServerConfig::new()
+            .with_workers(2)
+            .with_session_capacity(4)
+            .with_policy(Arc::new(SloAware)),
+    );
+    let start = Instant::now();
+    for i in 0..serial_sessions {
+        let handle = serial_server
+            .open_session(
+                Arc::clone(&model),
+                engine.decode_prompt(i as u64),
+                class_of(i),
+                steps,
+            )
+            .expect("serial session admits");
+        let ticket = handle.ticket();
+        loop {
+            match ticket.next_token() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(e) => panic!("serial decode baseline failed: {e}"),
+            }
+        }
+    }
+    let serial_wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    serial_server.shutdown();
+
+    Some(DecodeBenchResult {
+        sessions,
+        steps,
+        tokens,
+        wall_ms,
+        tokens_s: if wall_ms > 0.0 {
+            tokens as f64 / (wall_ms / 1e3)
+        } else {
+            0.0
+        },
+        token_p50_ms: percentile(&token_ms, 0.50),
+        token_p99_ms: percentile(&token_ms, 0.99),
+        mean_interleave_width: stats.mean_interleave_width(),
+        evictions: stats.evicted,
+        resumed: stats.resumed,
+        lost_tokens,
+        bit_identical,
+        serial_sessions,
+        serial_wall_ms,
+        serial_tokens_s: if serial_wall_ms > 0.0 {
+            (serial_sessions * steps) as f64 / (serial_wall_ms / 1e3)
+        } else {
+            0.0
+        },
+    })
 }
 
 /// The SLO-class mix of the continuous trace: a quarter deadline-bound, a
@@ -1291,6 +1536,36 @@ pub fn to_table(results: &[ServingBenchResult]) -> String {
             c.replica_failed_requests,
         ));
     }
+    let mut decoded = false;
+    for r in results {
+        let Some(d) = &r.decode else { continue };
+        if !decoded {
+            out.push_str(
+                "\nDecode sessions: iteration-level interleaved decode vs one-session-at-a-time serial\n\
+                 model        | sess | steps | tokens | wall ms   | tok/s    | tok p50/p99 ms    | width | evict/resume | lost | bit-id | serial tok/s | vs serial\n\
+                 -------------+------+-------+--------+-----------+----------+-------------------+-------+--------------+------+--------+--------------+----------\n",
+            );
+            decoded = true;
+        }
+        out.push_str(&format!(
+            "{:12} | {:4} | {:5} | {:6} | {:9.1} | {:8.1} | {:7.2} / {:7.2} | {:5.1} | {:4} / {:5} | {:4} | {:6} | {:12.1} | {:7.2}x\n",
+            r.model,
+            d.sessions,
+            d.steps,
+            d.tokens,
+            d.wall_ms,
+            d.tokens_s,
+            d.token_p50_ms,
+            d.token_p99_ms,
+            d.mean_interleave_width,
+            d.evictions,
+            d.resumed,
+            d.lost_tokens,
+            d.bit_identical,
+            d.serial_tokens_s,
+            d.interleave_speedup(),
+        ));
+    }
     let mut swept = false;
     for r in results {
         if r.continuous.cap_sweep.is_empty() {
@@ -1456,6 +1731,23 @@ mod tests {
                 replica_deadline_p99_ms: 11.0,
                 replica_bulk_p99_ms: 28.0,
             },
+            decode: Some(DecodeBenchResult {
+                sessions: 32,
+                steps: 64,
+                tokens: 2048,
+                wall_ms: 400.0,
+                tokens_s: 5120.0,
+                token_p50_ms: 5.0,
+                token_p99_ms: 9.0,
+                mean_interleave_width: 24.5,
+                evictions: 4,
+                resumed: 4,
+                lost_tokens: 0,
+                bit_identical: true,
+                serial_sessions: 4,
+                serial_wall_ms: 200.0,
+                serial_tokens_s: 1280.0,
+            }),
         }];
         assert!((results[0].speedup_vs_cold() - 1.4).abs() < 1e-12);
         assert!((results[0].panel_restream_ratio() - 5.0).abs() < 1e-12);
@@ -1473,6 +1765,9 @@ mod tests {
         assert!(table.contains("0.125x"));
         assert!(table.contains("Replicated serving"));
         assert!(table.contains("100.0%"));
+        assert!((results[0].decode.as_ref().unwrap().interleave_speedup() - 4.0).abs() < 1e-12);
+        assert!(table.contains("Decode sessions"));
+        assert!(table.contains("4.00x"));
         assert!(table.contains("best cap  256"));
     }
 }

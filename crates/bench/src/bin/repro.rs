@@ -476,6 +476,61 @@ fn run_bench_serving(smoke: bool, workers: Option<usize>) -> ExitCode {
                 ok = false;
             }
         }
+        // Decode-session gates — bit-identity, token accounting, and the
+        // scripted eviction/resume cycle are deterministic, so they apply
+        // in smoke mode too; only the interleave-throughput ratio needs the
+        // full-size trace.
+        if let Some(d) = &r.decode {
+            if !d.bit_identical {
+                eprintln!(
+                    "error: {} interleaved decode sessions are not \
+                     bit-identical to the cold-oracle decode",
+                    r.model
+                );
+                ok = false;
+            }
+            if d.lost_tokens > 0 {
+                eprintln!(
+                    "error: {} decode trace lost {} accepted tokens across \
+                     {} sessions x {} steps (must be 0)",
+                    r.model, d.lost_tokens, d.sessions, d.steps
+                );
+                ok = false;
+            }
+            if d.mean_interleave_width <= 1.0 {
+                eprintln!(
+                    "error: {} decode sessions never coalesced (mean \
+                     interleave width {:.2} across {} concurrent sessions)",
+                    r.model, d.mean_interleave_width, d.sessions
+                );
+                ok = false;
+            }
+            if d.evictions < 2 {
+                eprintln!(
+                    "error: {} decode trace recorded {} evictions; the \
+                     mid-trace pressure script demands at least 2",
+                    r.model, d.evictions
+                );
+                ok = false;
+            }
+            if d.resumed != d.evictions {
+                eprintln!(
+                    "error: {} decode trace resumed {} of {} evicted \
+                     sessions (every eviction must be resumable)",
+                    r.model, d.resumed, d.evictions
+                );
+                ok = false;
+            }
+            if !smoke && d.interleave_speedup() < 2.0 {
+                eprintln!(
+                    "error: {} interleaved decode ({:.1} tokens/s) did not \
+                     reach 2x the serial one-session-at-a-time baseline \
+                     ({:.1} tokens/s)",
+                    r.model, d.tokens_s, d.serial_tokens_s
+                );
+                ok = false;
+            }
+        }
     }
     // Acceptance: at least one ≥4-layer mixed-width workload must strictly
     // beat the zero-window configuration on aggregate throughput.

@@ -349,6 +349,28 @@ pub struct ModelRecord {
     /// Accepted replicated-trace tickets that failed with anything but the
     /// typed degraded-mode shed (or mismatched the oracle bits).
     pub serving_cb_replica_failed_requests: Option<f64>,
+    /// Aggregate interleaved decode throughput of the decode-session
+    /// sub-trace, tokens/s (absent before decode sessions existed, and on
+    /// models the sub-trace skips).
+    pub serving_decode_tokens_s: Option<f64>,
+    /// Median per-token service time of the interleaved decode run, ms.
+    pub serving_decode_token_p50_ms: Option<f64>,
+    /// 99th-percentile per-token service time, ms.
+    pub serving_decode_token_p99_ms: Option<f64>,
+    /// Mean columns per interleave sweep (> 1 means sequences coalesced).
+    pub serving_decode_mean_interleave_width: Option<f64>,
+    /// Sessions evicted under the scripted mid-trace pressure.
+    pub serving_decode_evictions: Option<f64>,
+    /// Evicted sessions resumed.
+    pub serving_decode_resumed: Option<f64>,
+    /// Accepted decode tokens that never arrived (the zero-loss gate).
+    pub serving_decode_lost_tokens: Option<f64>,
+    /// Whether the checked decode sessions matched the cold oracle bit for
+    /// bit.
+    pub serving_decode_bit_identical: Option<bool>,
+    /// Per-token throughput of the serial one-session-at-a-time baseline,
+    /// tokens/s.
+    pub serving_decode_serial_tokens_s: Option<f64>,
     /// Implicit-conv transform bytes read per forward (absent before the
     /// implicit-GEMM conv plans existed).
     pub conv_input_bytes_read: Option<f64>,
@@ -419,6 +441,8 @@ pub fn parse_report(input: &str) -> Option<BenchReport> {
             let serving_field = |key: &str| serving.and_then(|s| s.get(key)).and_then(Json::as_f64);
             let continuous = serving.and_then(|s| s.get("continuous"));
             let cb_field = |key: &str| continuous.and_then(|c| c.get(key)).and_then(Json::as_f64);
+            let decode = serving.and_then(|s| s.get("decode"));
+            let decode_field = |key: &str| decode.and_then(|d| d.get(key)).and_then(Json::as_f64);
             let conv = row.get("conv_implicit");
             let conv_field = |key: &str| conv.and_then(|c| c.get(key)).and_then(Json::as_f64);
             models.push(ModelRecord {
@@ -461,6 +485,17 @@ pub fn parse_report(input: &str) -> Option<BenchReport> {
                 serving_cb_hedge_wins: cb_field("hedge_wins"),
                 serving_cb_degraded_shed_rate: cb_field("degraded_shed_rate"),
                 serving_cb_replica_failed_requests: cb_field("replica_failed_requests"),
+                serving_decode_tokens_s: decode_field("decode_tokens_s"),
+                serving_decode_token_p50_ms: decode_field("token_p50_ms"),
+                serving_decode_token_p99_ms: decode_field("token_p99_ms"),
+                serving_decode_mean_interleave_width: decode_field("mean_interleave_width"),
+                serving_decode_evictions: decode_field("evictions"),
+                serving_decode_resumed: decode_field("resumed"),
+                serving_decode_lost_tokens: decode_field("lost_tokens"),
+                serving_decode_bit_identical: decode
+                    .and_then(|d| d.get("bit_identical"))
+                    .and_then(Json::as_bool),
+                serving_decode_serial_tokens_s: decode_field("serial_tokens_s"),
                 conv_input_bytes_read: conv_field("input_bytes_read"),
                 conv_im2col_bytes_avoided: conv_field("im2col_bytes_avoided"),
                 conv_implicit_images_s: conv_field("implicit_images_s"),
@@ -598,6 +633,23 @@ mod tests {
                         replica_deadline_p99_ms: 11.0,
                         replica_bulk_p99_ms: 28.0,
                     },
+                    decode: Some(crate::bench_serving::DecodeBenchResult {
+                        sessions: 32,
+                        steps: 64,
+                        tokens: 2048,
+                        wall_ms: 400.0,
+                        tokens_s: 5120.0,
+                        token_p50_ms: 5.0,
+                        token_p99_ms: 9.0,
+                        mean_interleave_width: 24.5,
+                        evictions: 4,
+                        resumed: 4,
+                        lost_tokens: 0,
+                        bit_identical: true,
+                        serial_sessions: 4,
+                        serial_wall_ms: 200.0,
+                        serial_tokens_s: 1280.0,
+                    }),
                 }),
                 conv_implicit: Some(crate::bench_kernels::ConvImplicitBench {
                     input_bytes_read: 1_000,
@@ -653,6 +705,15 @@ mod tests {
         assert_eq!(m.serving_cb_hedge_wins, Some(4.0));
         assert_eq!(m.serving_cb_degraded_shed_rate, Some(1.0));
         assert_eq!(m.serving_cb_replica_failed_requests, Some(0.0));
+        assert_eq!(m.serving_decode_tokens_s, Some(5120.0));
+        assert_eq!(m.serving_decode_token_p50_ms, Some(5.0));
+        assert_eq!(m.serving_decode_token_p99_ms, Some(9.0));
+        assert_eq!(m.serving_decode_mean_interleave_width, Some(24.5));
+        assert_eq!(m.serving_decode_evictions, Some(4.0));
+        assert_eq!(m.serving_decode_resumed, Some(4.0));
+        assert_eq!(m.serving_decode_lost_tokens, Some(0.0));
+        assert_eq!(m.serving_decode_bit_identical, Some(true));
+        assert_eq!(m.serving_decode_serial_tokens_s, Some(1280.0));
         assert_eq!(m.conv_input_bytes_read, Some(1000.0));
         assert_eq!(m.conv_im2col_bytes_avoided, Some(9000.0));
         assert_eq!(m.conv_implicit_images_s, Some(100.0));
@@ -685,6 +746,9 @@ mod tests {
         assert_eq!(report.models[0].serving_cb_replica_count, None);
         assert_eq!(report.models[0].serving_cb_replica_failovers, None);
         assert_eq!(report.models[0].serving_cb_degraded_shed_rate, None);
+        assert_eq!(report.models[0].serving_decode_tokens_s, None);
+        assert_eq!(report.models[0].serving_decode_bit_identical, None);
+        assert_eq!(report.models[0].serving_decode_lost_tokens, None);
         assert_eq!(report.models[0].conv_speedup, None);
         assert_eq!(report.models[0].conv_bit_identical, None);
         assert_eq!(report.models[0].conv_im2col_bytes_on_implicit, None);

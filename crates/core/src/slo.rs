@@ -58,6 +58,37 @@ impl SloClass {
             _ => None,
         }
     }
+
+    /// Splits a whole-sequence deadline budget evenly across `steps` decode
+    /// tokens: `Deadline { d }` becomes `Deadline { d / steps }` (floored,
+    /// clamped to ≥ 1 µs so the budget never degenerates to zero). The other
+    /// classes carry no deadline and pass through unchanged. This is how an
+    /// end-to-end generation SLO is expressed as the per-token deadline a
+    /// decode session is scheduled against.
+    pub fn per_token(self, steps: usize) -> SloClass {
+        match self {
+            SloClass::Deadline { deadline_us } => SloClass::Deadline {
+                deadline_us: (deadline_us / steps.max(1) as u64).max(1),
+            },
+            other => other,
+        }
+    }
+
+    /// Absolute due time of one decode token whose step began at `start_us`
+    /// (µs on the caller's clock): `start + budget` for deadline-class
+    /// sessions, `None` for the classes that carry no deadline.
+    pub fn token_due_us(&self, start_us: u64) -> Option<u64> {
+        self.deadline_us()
+            .map(|budget| start_us.saturating_add(budget))
+    }
+
+    /// Verdict of one token against the per-token budget: whether a token
+    /// that took `latency_us` met this class's deadline. `None` for classes
+    /// without one — "no deadline" and "met" must stay distinguishable in
+    /// the per-token records.
+    pub fn token_met(&self, latency_us: u64) -> Option<bool> {
+        self.deadline_us().map(|budget| latency_us <= budget)
+    }
 }
 
 impl fmt::Display for SloClass {
@@ -142,6 +173,26 @@ mod tests {
         assert_eq!(SloClass::Standard.deadline_us(), None);
         assert_eq!(SloClass::default(), SloClass::Standard);
         assert_eq!(SloClass::Bulk.kind(), SloKind::Bulk);
+    }
+
+    #[test]
+    fn per_token_deadline_helpers_split_and_judge_budgets() {
+        let class = SloClass::Deadline { deadline_us: 6_400 };
+        let per_token = class.per_token(64);
+        assert_eq!(per_token.deadline_us(), Some(100));
+        // The budget never degenerates to zero, and zero steps is treated
+        // as one.
+        assert_eq!(
+            SloClass::Deadline { deadline_us: 3 }.per_token(10),
+            SloClass::Deadline { deadline_us: 1 }
+        );
+        assert_eq!(class.per_token(0), class);
+        assert_eq!(SloClass::Bulk.per_token(64), SloClass::Bulk);
+        assert_eq!(per_token.token_due_us(1_000), Some(1_100));
+        assert_eq!(SloClass::Standard.token_due_us(1_000), None);
+        assert_eq!(per_token.token_met(99), Some(true));
+        assert_eq!(per_token.token_met(101), Some(false));
+        assert_eq!(SloClass::Bulk.token_met(10), None);
     }
 
     #[test]

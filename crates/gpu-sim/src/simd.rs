@@ -66,7 +66,42 @@ impl SimdTier {
             _ => None,
         }
     }
+
+    /// Like [`SimdTier::from_name`], but an unrecognised name is a **typed
+    /// error** naming the offending value and the valid spellings — what the
+    /// `SHFL_SIMD` override resolution reports instead of falling back
+    /// silently.
+    ///
+    /// # Errors
+    ///
+    /// [`UnknownSimdTier`] when `name` is not one of `scalar`, `sse2`,
+    /// `avx2` (case-insensitive, surrounding whitespace ignored).
+    pub fn parse(name: &str) -> Result<SimdTier, UnknownSimdTier> {
+        SimdTier::from_name(name).ok_or_else(|| UnknownSimdTier {
+            name: name.to_string(),
+        })
+    }
 }
+
+/// Typed rejection of an unrecognised SIMD tier name (the `SHFL_SIMD`
+/// override or any other caller of [`SimdTier::parse`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownSimdTier {
+    /// The name that failed to parse, as given.
+    pub name: String,
+}
+
+impl std::fmt::Display for UnknownSimdTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown SIMD tier {:?}; valid tiers are \"scalar\", \"sse2\", \"avx2\"",
+            self.name
+        )
+    }
+}
+
+impl std::error::Error for UnknownSimdTier {}
 
 /// Sentinel for "not resolved yet" in the cached tier atomic.
 const UNRESOLVED: u8 = 0;
@@ -116,13 +151,24 @@ fn clamp_to_available(tier: SimdTier) -> SimdTier {
 }
 
 /// Cold path of [`active_tier`]: resolve from the `SHFL_SIMD` override (if
-/// set and parseable) or CPUID, then cache.
+/// set) or CPUID, then cache. An unrecognised override is rejected **loudly**
+/// — the typed [`UnknownSimdTier`] is printed to stderr before falling back
+/// to [`best_available`] — so a typo'd `SHFL_SIMD=acx2` can no longer pass
+/// as a silent auto-detect.
 fn resolve() -> SimdTier {
-    let tier = std::env::var("SHFL_SIMD")
-        .ok()
-        .and_then(|name| SimdTier::from_name(&name))
-        .map(clamp_to_available)
-        .unwrap_or_else(best_available);
+    let tier = match std::env::var("SHFL_SIMD") {
+        Ok(name) => match SimdTier::parse(&name) {
+            Ok(tier) => clamp_to_available(tier),
+            Err(e) => {
+                eprintln!(
+                    "shfl-bw: ignoring SHFL_SIMD override: {e}; auto-detected tier \"{}\"",
+                    best_available().label()
+                );
+                best_available()
+            }
+        },
+        Err(_) => best_available(),
+    };
     ACTIVE.store(encode(tier), Ordering::Relaxed);
     tier
 }
@@ -520,6 +566,38 @@ mod tests {
         assert_eq!(SimdTier::from_name(" AVX2 "), Some(SimdTier::Avx2));
         assert_eq!(SimdTier::from_name("avx512"), None);
         assert_eq!(SimdTier::from_name(""), None);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_tier_names_with_a_typed_error() {
+        assert_eq!(SimdTier::parse("avx2"), Ok(SimdTier::Avx2));
+        assert_eq!(SimdTier::parse(" Scalar "), Ok(SimdTier::Scalar));
+        let err = SimdTier::parse("acx2").unwrap_err();
+        assert_eq!(err.name, "acx2");
+        let msg = err.to_string();
+        // The message names the offending value and every valid spelling.
+        assert!(msg.contains("acx2"), "{msg}");
+        for valid in ["scalar", "sse2", "avx2"] {
+            assert!(msg.contains(valid), "{msg}");
+        }
+        // It is a real std error (boxable, chainable).
+        let boxed: Box<dyn std::error::Error> = Box::new(err);
+        assert!(boxed.source().is_none());
+    }
+
+    #[test]
+    fn unrecognised_shfl_simd_override_falls_back_loudly_not_silently() {
+        // The tier test lock serialises every test that touches the
+        // SHFL_SIMD variable or the cached tier.
+        let _guard = tier_test_lock();
+        std::env::set_var("SHFL_SIMD", "turbo9000");
+        force_tier(None); // drop the cache so resolve() re-reads the env
+        let resolved = active_tier();
+        std::env::remove_var("SHFL_SIMD");
+        force_tier(None);
+        // The unknown name must not pick some arbitrary tier: the resolution
+        // warns (stderr) and lands exactly on the auto-detected tier.
+        assert_eq!(resolved, best_available());
     }
 
     #[test]

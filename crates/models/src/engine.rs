@@ -73,6 +73,7 @@ use shfl_kernels::plan::SpmmPlan;
 use shfl_kernels::{KernelError, KernelResult};
 use shfl_serving::engine::ServingEngine;
 use shfl_serving::server::{Server, ServerConfig};
+use shfl_serving::session::DecodeModel;
 pub use shfl_serving::ServingError;
 use std::sync::Arc;
 use std::time::Instant;
@@ -434,6 +435,48 @@ impl ModelEngine {
     /// [`Server::shutdown`] (or drop it) when done.
     pub fn server(&self, config: ServerConfig) -> Server {
         Server::start(self.serving_shared(), config)
+    }
+
+    /// The model's stateful decode step function, bound to this engine's
+    /// serving layer ids — the [`DecodeModel`] a decode session
+    /// ([`Server::open_session`]) runs. `None` for ResNet-50: image
+    /// classification has no autoregressive decode loop.
+    pub fn decode_model(&self) -> Option<Arc<dyn DecodeModel>> {
+        let layer = |name: &str| self.serving.layer_index(name);
+        match self.model {
+            DnnModel::Gnmt => Some(Arc::new(crate::gnmt::GnmtDecodeModel::new(
+                layer("decoder.lstm.gates")?,
+                layer("attention.query")?,
+                layer("decoder.softmax")?,
+            )) as Arc<dyn DecodeModel>),
+            DnnModel::Transformer => {
+                Some(Arc::new(crate::transformer::TransformerDecodeModel::new(
+                    layer("decoder.self_attn.qkv")?,
+                    layer("decoder.self_attn.out")?,
+                    layer("decoder.ffn1")?,
+                    layer("decoder.ffn2")?,
+                )) as Arc<dyn DecodeModel>)
+            }
+            DnnModel::Resnet50 => None,
+        }
+    }
+
+    /// A deterministic decode prompt for session `session`: the step-0 input
+    /// activation, synthesised from the engine seed so every run (and the
+    /// cold oracle) sees identical values. Empty when the model has no
+    /// decode loop.
+    pub fn decode_prompt(&self, session: u64) -> Vec<f32> {
+        let Some(model) = self.decode_model() else {
+            return Vec::new();
+        };
+        let mut rng = StdRng::seed_from_u64(
+            self.config
+                .seed
+                .wrapping_add(session.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        );
+        (0..model.prompt_len())
+            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .collect()
     }
 
     /// Indices of the linear (matrix-served) layers — the targets external

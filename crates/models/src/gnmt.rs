@@ -8,6 +8,7 @@
 //! a whole source sentence.
 
 use crate::workload::Layer;
+use shfl_serving::session::{DecodeModel, DecodeStage, DecodeState};
 
 /// LSTM hidden size.
 pub const HIDDEN: usize = 1024;
@@ -60,6 +61,133 @@ pub fn layers(batch: usize) -> Vec<Layer> {
     layers
 }
 
+/// The real GNMT decoder step function over persistent recurrent state: the
+/// [`DecodeModel`] the serving tier's decode sessions run.
+///
+/// One decode step is the 8-layer decoder LSTM stack (every layer's gate
+/// GEMM runs on the one shared `decoder.lstm.gates` serving layer — the
+/// weight reuse across steps and stack positions EIE's decode evaluation is
+/// built on), the attention query projection with a residual, and the
+/// vocabulary projection folded back to the hidden width so the token stays
+/// `HIDDEN` floats. All non-GEMM math (gate nonlinearities, the cell
+/// update) is pure per-sequence f32 arithmetic in [`DecodeModel::post`], so
+/// the interleaved session path stays bit-identical to the cold oracle.
+///
+/// State layout ([`DecodeState::slots`]): slots `0..8` are the per-layer
+/// hidden vectors `h`, slots `8..16` the cell vectors `c`, slot `16` the
+/// attention residual scratch — all `HIDDEN` wide. Sigmoid/tanh saturation
+/// keeps every value bounded over arbitrarily long decodes.
+pub struct GnmtDecodeModel {
+    stages: Vec<DecodeStage>,
+}
+
+/// Logistic sigmoid, the LSTM gate nonlinearity.
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl GnmtDecodeModel {
+    /// Builds the decode model over the serving-engine layer ids of the
+    /// three decoder GEMMs (`decoder.lstm.gates`, `attention.query`,
+    /// `decoder.softmax`), as registered by the model engine.
+    pub fn new(lstm_gates: usize, attention_query: usize, softmax: usize) -> GnmtDecodeModel {
+        let mut stages = Vec::with_capacity(DECODER_LAYERS + 2);
+        for l in 0..DECODER_LAYERS {
+            stages.push(DecodeStage {
+                name: format!("decoder.lstm.gates[{l}]"),
+                layer: lstm_gates,
+            });
+        }
+        stages.push(DecodeStage {
+            name: "attention.query".into(),
+            layer: attention_query,
+        });
+        stages.push(DecodeStage {
+            name: "decoder.softmax".into(),
+            layer: softmax,
+        });
+        GnmtDecodeModel { stages }
+    }
+}
+
+impl DecodeModel for GnmtDecodeModel {
+    fn name(&self) -> &str {
+        "gnmt-decode"
+    }
+
+    fn stages(&self) -> &[DecodeStage] {
+        &self.stages
+    }
+
+    fn init_state(&self) -> DecodeState {
+        DecodeState {
+            slots: vec![vec![0.0; HIDDEN]; 2 * DECODER_LAYERS + 1],
+        }
+    }
+
+    fn pre(&self, stage: usize, input: &[f32], state: &mut DecodeState) -> Vec<f32> {
+        if stage < DECODER_LAYERS {
+            // LSTM layer `stage`: gate input is [x ; h_stage] (2·HIDDEN).
+            let mut col = Vec::with_capacity(2 * HIDDEN);
+            col.extend_from_slice(input);
+            col.extend_from_slice(&state.slots[stage]);
+            col
+        } else if stage == DECODER_LAYERS {
+            // Attention query: stash the residual, project x as-is.
+            state.slots[2 * DECODER_LAYERS] = input.to_vec();
+            input.to_vec()
+        } else {
+            input.to_vec()
+        }
+    }
+
+    fn post(&self, stage: usize, gemm_out: &[f32], state: &mut DecodeState) -> Vec<f32> {
+        if stage < DECODER_LAYERS {
+            // The 4·HIDDEN gate pre-activations in [i, f, g, o] quarter
+            // order drive the classic cell update.
+            let (h, c): (Vec<f32>, Vec<f32>) = (0..HIDDEN)
+                .map(|j| {
+                    let i_gate = sigmoid(gemm_out[j]);
+                    let f_gate = sigmoid(gemm_out[HIDDEN + j]);
+                    let g = gemm_out[2 * HIDDEN + j].tanh();
+                    let o_gate = sigmoid(gemm_out[3 * HIDDEN + j]);
+                    let c_new = f_gate * state.slots[DECODER_LAYERS + stage][j] + i_gate * g;
+                    (o_gate * c_new.tanh(), c_new)
+                })
+                .unzip();
+            state.slots[stage] = h.clone();
+            state.slots[DECODER_LAYERS + stage] = c;
+            h
+        } else if stage == DECODER_LAYERS {
+            // Attention query with the stashed residual, tanh-bounded.
+            gemm_out
+                .iter()
+                .zip(&state.slots[2 * DECODER_LAYERS])
+                .map(|(y, r)| (y + r).tanh())
+                .collect()
+        } else {
+            // Fold the 32k-vocabulary logits back to HIDDEN width by strided
+            // sums so the streamed token stays compact and bounded.
+            let stride = HIDDEN;
+            (0..HIDDEN)
+                .map(|j| {
+                    let mut acc = 0.0f32;
+                    let mut idx = j;
+                    while idx < gemm_out.len() {
+                        acc += gemm_out[idx];
+                        idx += stride;
+                    }
+                    (acc / 32.0).tanh()
+                })
+                .collect()
+        }
+    }
+
+    fn prompt_len(&self) -> usize {
+        HIDDEN
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -90,5 +218,52 @@ mod tests {
     fn batch_drives_the_n_dimension() {
         let (_, n, _) = layers(256)[0].kind.gemm_shape();
         assert_eq!(n, 256);
+    }
+
+    #[test]
+    fn decode_model_runs_the_full_decoder_stack_per_step() {
+        let model = GnmtDecodeModel::new(2, 3, 5);
+        assert_eq!(model.stages().len(), DECODER_LAYERS + 2);
+        assert!(model.stages()[..DECODER_LAYERS]
+            .iter()
+            .all(|s| s.layer == 2));
+        assert_eq!(model.stages()[DECODER_LAYERS].layer, 3);
+        assert_eq!(model.stages()[DECODER_LAYERS + 1].layer, 5);
+        let state = model.init_state();
+        assert_eq!(state.slots.len(), 2 * DECODER_LAYERS + 1);
+        assert!(state.slots.iter().all(|s| s.len() == HIDDEN));
+        assert_eq!(model.prompt_len(), HIDDEN);
+    }
+
+    #[test]
+    fn lstm_cell_update_is_the_classic_gate_math_over_persistent_state() {
+        let model = GnmtDecodeModel::new(0, 1, 2);
+        let mut state = model.init_state();
+        state.slots[DECODER_LAYERS][0] = 0.5; // pre-existing cell value, layer 0
+        state.slots[0][7] = -0.25; // pre-existing hidden value, layer 0
+        let x = vec![0.125f32; HIDDEN];
+        let col = model.pre(0, &x, &mut state);
+        assert_eq!(col.len(), 2 * HIDDEN);
+        assert_eq!(col[0], 0.125);
+        assert_eq!(col[HIDDEN + 7], -0.25); // h rides in the second half
+                                            // Synthetic gate pre-activations: i=f=o=0 (σ=0.5), g=1.
+        let mut gates = vec![0.0f32; 4 * HIDDEN];
+        for j in 0..HIDDEN {
+            gates[2 * HIDDEN + j] = 1.0;
+        }
+        let h = model.post(0, &gates, &mut state);
+        let g = 1.0f32.tanh();
+        let c_expected = 0.5 * 0.5 + 0.5 * g; // f·c + i·g at element 0
+        assert_eq!(
+            state.slots[DECODER_LAYERS][0].to_bits(),
+            c_expected.to_bits()
+        );
+        assert_eq!(h[0].to_bits(), (0.5 * c_expected.tanh()).to_bits());
+        assert_eq!(state.slots[0], h); // hidden state persisted
+                                       // The vocabulary fold keeps the token at HIDDEN width, bounded.
+        let logits = vec![0.75f32; 32_000];
+        let token = model.post(DECODER_LAYERS + 1, &logits, &mut state);
+        assert_eq!(token.len(), HIDDEN);
+        assert!(token.iter().all(|v| v.abs() <= 1.0));
     }
 }

@@ -51,6 +51,21 @@
 //!   probe fails, driving the consecutive-failure health transitions
 //!   (`Healthy` → `Degraded` → `Down`) without any real fault.
 //!
+//! The decode-session tier ([`crate::session::SessionManager`]) adds two
+//! session-scoped fault points, scripted over the *decode step* sequence
+//! number (every ready session's step in one interleave round advances the
+//! counter once, in session-id order, so a step index names one session's
+//! one step deterministically):
+//!
+//! * **session evictions** ([`FaultPlan::evict_session_at`]) — the session
+//!   whose N-th decode step is reached is evicted instead: its state is
+//!   snapshotted, its ticket surfaces a typed
+//!   [`ServingError::Evicted`](crate::ServingError::Evicted), and
+//!   `resume_session` must continue it bit-identically.
+//! * **step panics** ([`FaultPlan::panic_step_at`]) — the session whose N-th
+//!   decode step is reached panics mid-step; only that session's ticket
+//!   fails with a typed error, every co-interleaved session keeps streaming.
+//!
 //! The plan is attached to a server via
 //! [`ServerConfig::with_fault_plan`](crate::server::ServerConfig::with_fault_plan)
 //! and consumed by injection points compiled only under the `chaos` feature;
@@ -108,11 +123,27 @@ pub struct FaultPlan {
     revive_replicas: HashMap<u64, Vec<usize>>,
     slow_replicas: HashMap<usize, u64>,
     fail_probes: Vec<u64>,
+    evict_sessions: Vec<u64>,
+    panic_steps: Vec<u64>,
     submit_seq: AtomicU64,
     exec_seq: AtomicU64,
     update_seq: AtomicU64,
     attempt_seq: AtomicU64,
     probe_seq: AtomicU64,
+    step_seq: AtomicU64,
+}
+
+/// What a decode-step injection point should do (crate internal; the public
+/// surface is [`FaultPlan`]'s builder).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StepFault {
+    /// No scripted fault at this decode-step index.
+    None,
+    /// Evict the session about to take this step (snapshot + typed
+    /// `Evicted` error on its ticket; resumable).
+    Evict,
+    /// Panic mid-step: only this session's ticket fails with a typed error.
+    Panic,
 }
 
 /// What a replica-attempt injection point should do (crate internal; the
@@ -214,6 +245,24 @@ impl FaultPlan {
         self
     }
 
+    /// Scripts the session whose `idx`-th decode step (0-based, counted
+    /// across the session manager's lifetime in session-id order per round)
+    /// is reached to be evicted instead of stepped: state snapshotted, a
+    /// typed `Evicted` error on its ticket, resumable bit-identically.
+    pub fn evict_session_at(mut self, idx: u64) -> Self {
+        self.evict_sessions.push(idx);
+        self
+    }
+
+    /// Scripts the session whose `idx`-th decode step is reached to panic
+    /// mid-step; the containment path must fail only that session's ticket
+    /// with a typed error while every co-interleaved session keeps
+    /// streaming.
+    pub fn panic_step_at(mut self, idx: u64) -> Self {
+        self.panic_steps.push(idx);
+        self
+    }
+
     /// Total number of scripted fault points (used by tests to sanity-check
     /// a schedule drove everything it meant to).
     pub fn scripted_faults(&self) -> usize {
@@ -227,6 +276,8 @@ impl FaultPlan {
             + self.revive_replicas.values().map(Vec::len).sum::<usize>()
             + self.slow_replicas.len()
             + self.fail_probes.len()
+            + self.evict_sessions.len()
+            + self.panic_steps.len()
     }
 
     /// Number of submissions the attached server has counted so far.
@@ -254,6 +305,12 @@ impl FaultPlan {
     /// far.
     pub fn probes_seen(&self) -> u64 {
         self.probe_seq.load(Ordering::SeqCst)
+    }
+
+    /// Number of decode steps the attached session manager has counted so
+    /// far.
+    pub fn steps_seen(&self) -> u64 {
+        self.step_seq.load(Ordering::SeqCst)
     }
 
     /// Advances the submission counter and reports whether this submission
@@ -316,6 +373,20 @@ impl FaultPlan {
         let idx = self.probe_seq.fetch_add(1, Ordering::SeqCst);
         self.fail_probes.contains(&idx)
     }
+
+    /// Advances the decode-step counter and returns the fault to inject at
+    /// this step (eviction wins when both are scripted at one index — an
+    /// evicted session is resumable, so the schedule stays recoverable).
+    pub(crate) fn poll_step(&self) -> StepFault {
+        let idx = self.step_seq.fetch_add(1, Ordering::SeqCst);
+        if self.evict_sessions.contains(&idx) {
+            StepFault::Evict
+        } else if self.panic_steps.contains(&idx) {
+            StepFault::Panic
+        } else {
+            StepFault::None
+        }
+    }
 }
 
 #[cfg(test)]
@@ -350,6 +421,21 @@ mod tests {
         assert_eq!(plan.poll_update(), ExecFault::None); // update 1
         assert_eq!(plan.poll_update(), ExecFault::Panic); // update 2
         assert_eq!(plan.updates_seen(), 3);
+    }
+
+    #[test]
+    fn session_step_faults_fire_at_exact_step_indices() {
+        let plan = FaultPlan::new()
+            .evict_session_at(1)
+            .panic_step_at(2)
+            .evict_session_at(3)
+            .panic_step_at(3); // eviction wins a scripted collision
+        assert_eq!(plan.scripted_faults(), 4);
+        assert_eq!(plan.poll_step(), StepFault::None); // step 0
+        assert_eq!(plan.poll_step(), StepFault::Evict); // step 1
+        assert_eq!(plan.poll_step(), StepFault::Panic); // step 2
+        assert_eq!(plan.poll_step(), StepFault::Evict); // step 3
+        assert_eq!(plan.steps_seen(), 4);
     }
 
     #[test]

@@ -406,6 +406,15 @@ impl ServingEngine {
         self.layer(layer).map(|l| l.name.clone())
     }
 
+    /// The id of the first registered layer with display name `name`, or
+    /// `None` when no layer was registered under it. Decode models address
+    /// their GEMM stages by registration name; this is the name→id lookup
+    /// that binds a [`crate::session::DecodeModel`]'s stage table to this
+    /// engine's layer ids.
+    pub fn layer_index(&self, name: &str) -> Option<usize> {
+        (0..self.layers.len()).find(|&i| self.layer(i).is_ok_and(|l| l.name == name))
+    }
+
     /// Reduction dimension (`k`) a layer's requests must match (stable across
     /// live updates — an update may not change a layer's logical shape).
     ///

@@ -78,6 +78,7 @@ pub mod replica;
 pub mod router;
 pub mod scheduler;
 pub mod server;
+pub mod session;
 
 pub use engine::{ServingEngine, ServingStats, UpdateError, UpdateReport, UpdateStats};
 pub use policy::{Fifo, GroupMeta, Lpt, QueuePolicy, ShortestJobFirst, SloAware};
@@ -85,6 +86,10 @@ pub use replica::{ReplicaConfig, ReplicaHealth, ReplicaSet, ReplicaSetStats, Rep
 pub use router::HashRing;
 pub use scheduler::{Request, Response, Scheduler};
 pub use server::{Completion, Server, ServerConfig, ServerStats, SubmitError, Ticket};
+pub use session::{
+    decode_oracle, DecodeModel, DecodeStage, DecodeState, DecodeToken, SessionHandle, SessionStats,
+    SessionTicket,
+};
 
 use shfl_kernels::KernelError;
 use std::fmt;
@@ -116,7 +121,9 @@ pub enum ServingError {
     /// The request was shed by overload protection: it was queued bulk-class
     /// work evicted (oldest first) to make room for latency-sensitive
     /// traffic when the bounded queue was full. Only bulk-class requests are
-    /// ever shed; resubmit when the overload clears.
+    /// ever shed; resubmit when the overload clears. A decode-session resume
+    /// refused under capacity pressure (no Bulk victim to evict) surfaces
+    /// the same error — retry once the session tier drains.
     Shed,
     /// The worker thread serving this request's group panicked mid-service.
     /// Only the group's own tickets fail — the worker is respawned and the
@@ -136,6 +143,20 @@ pub enum ServingError {
     ReplicaDown {
         /// The last replica the dispatch tried.
         replica: usize,
+    },
+    /// The decode session was evicted under capacity pressure (or by an
+    /// explicit eviction request). Its state was snapshotted first:
+    /// [`server::Server::resume_session`] continues the sequence
+    /// bit-identically from the evicted step.
+    Evicted {
+        /// The evicted session's id.
+        session: u64,
+    },
+    /// [`server::Server::resume_session`] was asked for a session id with no
+    /// parked snapshot — never opened, still live, or already resumed.
+    UnknownSession {
+        /// The offending session id.
+        session: u64,
     },
 }
 
@@ -169,6 +190,14 @@ impl fmt::Display for ServingError {
             ServingError::ReplicaDown { replica } => write!(
                 f,
                 "replica {replica} is down and no surviving replica could take the request"
+            ),
+            ServingError::Evicted { session } => write!(
+                f,
+                "decode session {session} was evicted under pressure; resume_session({session}) continues it bit-identically"
+            ),
+            ServingError::UnknownSession { session } => write!(
+                f,
+                "no parked snapshot for decode session {session}; it was never opened, is still live, or was already resumed"
             ),
         }
     }

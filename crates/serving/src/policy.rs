@@ -60,6 +60,36 @@ pub struct GroupMeta {
     pub requests: usize,
 }
 
+impl GroupMeta {
+    /// Meta for one decode-session interleave sweep: `width` live sequences
+    /// contributing one column each (`columns == requests == width`), the
+    /// group's most urgent member's `kind`, and the earliest per-token due
+    /// time among the deadline-class members. `arrival_seq` is the lowest
+    /// session id in the sweep (decode sessions step in id order, so the id
+    /// doubles as the FIFO key) and `est_flops` is the sweep's summed GEMM
+    /// work across its stages (`2·m·k` per stage times `width`). This is the
+    /// meta the [`SessionManager`](crate::session::SessionManager) driver
+    /// hands the [`QueuePolicy`] to order same-round sweeps of different
+    /// models.
+    pub fn decode_sweep(
+        kind: SloKind,
+        lowest_session: u64,
+        due_us: Option<u64>,
+        est_flops: u128,
+        width: usize,
+    ) -> GroupMeta {
+        GroupMeta {
+            layer: 0,
+            kind,
+            arrival_seq: lowest_session,
+            due_us,
+            est_flops,
+            columns: width,
+            requests: width,
+        }
+    }
+}
+
 /// A total order over ready groups: `compare(a, b) == Less` dispatches `a`
 /// before `b`. Implementations must be consistent (a strict weak ordering) —
 /// the server keeps its dispatch queue sorted by this comparator.
@@ -167,6 +197,17 @@ mod tests {
             columns: 4,
             requests: 1,
         }
+    }
+
+    #[test]
+    fn decode_sweep_meta_orders_like_any_other_group() {
+        let urgent = GroupMeta::decode_sweep(SloKind::Deadline, 7, Some(500), 1_000, 4);
+        let lazy = GroupMeta::decode_sweep(SloKind::Bulk, 2, None, 9_000, 9);
+        assert_eq!(urgent.columns, 4);
+        assert_eq!(urgent.requests, 4);
+        assert_eq!(SloAware.compare(&urgent, &lazy), Ordering::Less);
+        // FIFO falls back to the lowest session id in the sweep.
+        assert_eq!(Fifo.compare(&lazy, &urgent), Ordering::Less);
     }
 
     #[test]

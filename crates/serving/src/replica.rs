@@ -924,7 +924,7 @@ fn is_replica_fault(err: &ServingError) -> bool {
 }
 
 /// Renders a caught panic payload (mirrors the server's containment).
-fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -953,6 +953,15 @@ pub(crate) trait GroupExecutor: Sync {
         kind: SloKind,
         slack_us: Option<u64>,
     ) -> Result<(DenseMatrix, f64), ServingError>;
+
+    /// The replica a layer's traffic homes to (always 0 for a lone engine).
+    /// Decode sessions record their sweeps against the home replica so
+    /// session state and the warm plan cache co-reside; a replicated
+    /// executor answers with its consistent-hash route.
+    fn home_replica(&self, layer: usize) -> usize {
+        let _ = layer;
+        0
+    }
 }
 
 impl GroupExecutor for ServingEngine {
@@ -990,6 +999,10 @@ impl GroupExecutor for ReplicaSet {
         slack_us: Option<u64>,
     ) -> Result<(DenseMatrix, f64), ServingError> {
         self.dispatch(layer, activations, fused, kind, slack_us)
+    }
+
+    fn home_replica(&self, layer: usize) -> usize {
+        self.home(layer)
     }
 }
 

@@ -92,6 +92,7 @@ use crate::engine::{ServingEngine, UpdateError, UpdateReport};
 use crate::policy::{Fifo, GroupMeta, QueuePolicy};
 use crate::replica::{GroupExecutor, ReplicaSet, ReplicaSetStats};
 use crate::scheduler::{Request, Response};
+use crate::session::{DecodeModel, SessionHandle, SessionManager, SessionStats};
 use crate::ServingError;
 use shfl_core::formats::ShflBwMatrix;
 use shfl_core::matrix::DenseMatrix;
@@ -137,6 +138,11 @@ pub struct ServerConfig {
     pub coalesce_cap: Option<usize>,
     /// Dispatch order of ready groups.
     pub policy: Arc<dyn QueuePolicy>,
+    /// Bound on concurrently live decode sessions (minimum 1). At the bound,
+    /// opening another session evicts the Bulk-class session with the most
+    /// unconsumed tokens — or is rejected when no Bulk session is live (see
+    /// [`Server::open_session`]).
+    pub session_capacity: usize,
     /// Scripted fault schedule for chaos testing (`chaos` feature only):
     /// the server's submit and execute paths poll the plan and inject the
     /// scripted faults deterministically. Attach a fresh plan per server —
@@ -155,6 +161,7 @@ impl Default for ServerConfig {
             coalesce: true,
             coalesce_cap: None,
             policy: Arc::new(Fifo),
+            session_capacity: 64,
             #[cfg(feature = "chaos")]
             fault_plan: None,
         }
@@ -225,6 +232,13 @@ impl ServerConfig {
     /// Sets the dispatch-order policy.
     pub fn with_policy(mut self, policy: Arc<dyn QueuePolicy>) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Bounds the number of concurrently live decode sessions (clamped to
+    /// ≥ 1).
+    pub fn with_session_capacity(mut self, capacity: usize) -> Self {
+        self.session_capacity = capacity.max(1);
         self
     }
 
@@ -1546,6 +1560,7 @@ impl Drop for StopOnDrop<'_> {
 pub struct Server {
     core: Arc<ServerCore>,
     replicas: Arc<ReplicaSet>,
+    sessions: Arc<SessionManager>,
     threads: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -1579,7 +1594,13 @@ impl Server {
         };
         let replicas = Arc::new(replicas);
         let core = Arc::new(ServerCore::new(config));
-        let mut threads = Vec::with_capacity(core.cfg.workers + 1);
+        #[allow(unused_mut)]
+        let mut sessions =
+            SessionManager::new(core.cfg.session_capacity, Arc::clone(&core.cfg.policy));
+        #[cfg(feature = "chaos")]
+        sessions.set_fault_plan(core.cfg.fault_plan.clone());
+        let sessions = Arc::new(sessions);
+        let mut threads = Vec::with_capacity(core.cfg.workers + 2);
         for _ in 0..core.cfg.workers.max(1) {
             let core = Arc::clone(&core);
             let reps = Arc::clone(&replicas);
@@ -1592,9 +1613,15 @@ impl Server {
                 core.dispatch_loop(reps.as_ref())
             }));
         }
+        {
+            let sessions = Arc::clone(&sessions);
+            let reps = Arc::clone(&replicas);
+            threads.push(std::thread::spawn(move || sessions.drive(reps.as_ref())));
+        }
         Server {
             core,
             replicas,
+            sessions,
             threads,
         }
     }
@@ -1728,18 +1755,76 @@ impl Server {
             })
     }
 
+    /// Opens a stateful decode session: the session driver steps it every
+    /// interleave round, coalescing its per-stage columns with every other
+    /// live session of the same model, and streams tokens to the returned
+    /// handle's [`SessionTicket`](crate::session::SessionTicket)s. `class`
+    /// is the **whole-sequence** SLO class; deadline-class budgets are split
+    /// into per-token deadlines ([`SloClass::per_token`]) and every token
+    /// carries its verdict. Engine-level problems (wrong prompt length,
+    /// layer errors) surface as typed errors on the ticket, not here.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::NotAccepting`] after shutdown began; at the session
+    /// capacity with no evictable Bulk session, [`SubmitError::Shed`] for a
+    /// Bulk opener and [`SubmitError::QueueFull`] otherwise.
+    pub fn open_session(
+        &self,
+        model: Arc<dyn DecodeModel>,
+        prompt: Vec<f32>,
+        class: SloClass,
+        max_steps: usize,
+    ) -> Result<SessionHandle, SubmitError> {
+        self.sessions.open(model, prompt, class, max_steps)
+    }
+
+    /// Re-admits an evicted session from its parked snapshot, under the same
+    /// id: the returned handle's stream continues exactly where the evicted
+    /// stream stopped, bit-identical to a never-evicted run.
+    ///
+    /// # Errors
+    ///
+    /// [`ServingError::UnknownSession`] when no snapshot is parked under
+    /// `id`; [`ServingError::Shed`] when the session tier is at capacity
+    /// with no evictable Bulk session; [`ServingError::ShutDown`] after
+    /// shutdown began.
+    pub fn resume_session(&self, id: u64) -> Result<SessionHandle, ServingError> {
+        self.sessions.resume(id)
+    }
+
+    /// Requests eviction of a live decode session (any class): on the next
+    /// round its state is snapshotted, its ticket surfaces a typed
+    /// [`ServingError::Evicted`], and [`Server::resume_session`] continues
+    /// it bit-identically. Returns `false` when `id` is not live. This is
+    /// the deterministic pressure lever the benches and chaos tests pull;
+    /// organic capacity pressure evicts Bulk sessions on its own.
+    pub fn evict_session(&self, id: u64) -> bool {
+        self.sessions.evict(id)
+    }
+
+    /// Counters of the decode-session tier: sessions
+    /// opened/completed/evicted/resumed/cancelled, tokens streamed, sweep
+    /// counts, and the mean interleave width.
+    pub fn session_stats(&self) -> SessionStats {
+        self.sessions.stats()
+    }
+
     /// Stops admission and blocks until every outstanding ticket has been
     /// delivered. The server stays alive (more `drain` calls are no-ops);
     /// submissions after a drain are rejected with
-    /// [`SubmitError::NotAccepting`].
+    /// [`SubmitError::NotAccepting`]. Decode sessions are not drained —
+    /// they keep streaming until they finish or the server shuts down.
     pub fn drain(&self) {
         self.core.drain();
     }
 
-    /// Graceful shutdown: drains, stops the threads, and joins them.
+    /// Graceful shutdown: drains, stops the threads, and joins them. Live
+    /// decode sessions fail typed with [`ServingError::ShutDown`].
     pub fn shutdown(mut self) {
         self.core.drain();
         self.core.stop();
+        self.sessions.stop();
         for handle in self.threads.drain(..) {
             let _ = handle.join();
         }
@@ -1754,6 +1839,7 @@ impl Drop for Server {
         // Non-drained drop: still-queued requests fail with
         // `ServingError::ShutDown` so no ticket waits forever.
         self.core.stop();
+        self.sessions.stop();
         for handle in self.threads.drain(..) {
             let _ = handle.join();
         }

@@ -508,3 +508,322 @@ fn compound_schedule_mixes_update_faults_with_serving_faults() {
     assert!(update_stats.repack_bytes < update_stats.rebuild_bytes);
     server.shutdown();
 }
+
+// ---------------------------------------------------------------------------
+// Decode-session fault schedules.
+// ---------------------------------------------------------------------------
+
+use shfl_serving::{decode_oracle, DecodeModel, DecodeStage, DecodeState, DecodeToken};
+
+/// Recurrent two-stage decode model over the chaos engine's two layers
+/// (stage 0 mixes the hidden state into the GEMM input, stage 1 writes its
+/// tanh-bounded output back), so state mishandling under faults breaks
+/// bit-identity immediately.
+struct ToyDecode {
+    stages: Vec<DecodeStage>,
+}
+
+impl ToyDecode {
+    fn new() -> ToyDecode {
+        ToyDecode {
+            stages: vec![
+                DecodeStage {
+                    name: "layer0".into(),
+                    layer: 0,
+                },
+                DecodeStage {
+                    name: "layer1".into(),
+                    layer: 1,
+                },
+            ],
+        }
+    }
+}
+
+impl DecodeModel for ToyDecode {
+    fn name(&self) -> &str {
+        "toy-decode"
+    }
+
+    fn stages(&self) -> &[DecodeStage] {
+        &self.stages
+    }
+
+    fn init_state(&self) -> DecodeState {
+        DecodeState {
+            slots: vec![vec![0.0; 16]],
+        }
+    }
+
+    fn pre(&self, stage: usize, input: &[f32], state: &mut DecodeState) -> Vec<f32> {
+        match stage {
+            0 => input
+                .iter()
+                .zip(&state.slots[0])
+                .map(|(x, h)| x + 0.5 * h)
+                .collect(),
+            _ => input.to_vec(),
+        }
+    }
+
+    fn post(&self, stage: usize, gemm_out: &[f32], state: &mut DecodeState) -> Vec<f32> {
+        let bounded: Vec<f32> = gemm_out.iter().map(|y| y.tanh()).collect();
+        if stage == 1 {
+            state.slots[0] = bounded.clone();
+        }
+        bounded
+    }
+
+    fn prompt_len(&self) -> usize {
+        16
+    }
+}
+
+fn session_prompt(seed: u64) -> Vec<f32> {
+    (0..16)
+        .map(|j| (seed.wrapping_mul(31).wrapping_add(j) % 17) as f32 / 17.0 - 0.5)
+        .collect()
+}
+
+/// How one decode session ended under a fault schedule.
+#[derive(Debug, PartialEq, Eq)]
+enum SessionOutcome {
+    Done,
+    Evicted,
+    Panicked,
+}
+
+/// Drains one session's stream to its terminal, collecting every token and
+/// asserting that only the scripted typed errors ever surface.
+fn drain_session(
+    ticket: &shfl_serving::SessionTicket,
+    tokens: &mut Vec<DecodeToken>,
+) -> SessionOutcome {
+    loop {
+        match ticket.wait_timeout(Duration::from_secs(10)) {
+            Ok(Some(tok)) => tokens.push(tok),
+            Ok(None) => return SessionOutcome::Done,
+            Err(ServingError::Evicted { .. }) => return SessionOutcome::Evicted,
+            Err(ServingError::WorkerPanic { context }) => {
+                assert!(
+                    context.contains("injected decode-step panic"),
+                    "unscripted panic context: {context}"
+                );
+                return SessionOutcome::Panicked;
+            }
+            Err(other) => panic!("session surfaced an unscripted error: {other}"),
+        }
+    }
+}
+
+/// Checks collected tokens against the cold oracle: `full` demands the whole
+/// sequence, otherwise an exact prefix (a panicked session keeps every token
+/// it streamed before the fault).
+fn assert_oracle_match(tokens: &[DecodeToken], seed: u64, steps: usize, full: bool) {
+    let cold = engine_with_layers(2);
+    let oracle = decode_oracle(&cold, &ToyDecode::new(), &session_prompt(seed), steps).unwrap();
+    if full {
+        assert_eq!(tokens.len(), steps, "accepted tokens were lost");
+    } else {
+        assert!(tokens.len() <= steps);
+    }
+    for (i, tok) in tokens.iter().enumerate() {
+        assert_eq!(tok.step, i);
+        for (a, b) in tok.values.iter().zip(&oracle[i]) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "step {i} diverged from the cold oracle under faults"
+            );
+        }
+    }
+}
+
+/// Compound decode-only schedule: a scripted mid-flight eviction plus a
+/// scripted step panic against four interleaved sessions. Every accepted
+/// token resolves — completed sessions bit-identical to the cold oracle, the
+/// evicted session resumes and completes bit-identically, the panicked
+/// session keeps an exact oracle prefix behind its typed error.
+#[test]
+fn compound_session_schedule_resolves_every_accepted_token() {
+    let plan = Arc::new(FaultPlan::new().evict_session_at(5).panic_step_at(11));
+    let server = Server::start(
+        engine_with_layers(2),
+        ServerConfig::new()
+            .with_workers(2)
+            .with_fault_plan(Arc::clone(&plan)),
+    );
+    let model = Arc::new(ToyDecode::new());
+    let steps = 8usize;
+    let classes = [
+        SloClass::Standard,
+        SloClass::Bulk,
+        SloClass::Deadline {
+            deadline_us: 2_000_000,
+        },
+        SloClass::Bulk,
+    ];
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            server
+                .open_session(
+                    Arc::clone(&model) as Arc<dyn DecodeModel>,
+                    session_prompt(900 + i),
+                    classes[i as usize],
+                    steps,
+                )
+                .unwrap()
+        })
+        .collect();
+
+    let mut outcomes = Vec::new();
+    for (i, handle) in handles.iter().enumerate() {
+        let mut tokens = Vec::new();
+        let mut outcome = drain_session(&handle.ticket(), &mut tokens);
+        if outcome == SessionOutcome::Evicted {
+            // The scripted eviction parks a snapshot; resume must continue
+            // the very same stream bit-identically.
+            let resumed = server.resume_session(handle.id()).unwrap();
+            outcome = drain_session(&resumed.ticket(), &mut tokens);
+            assert_eq!(outcome, SessionOutcome::Done, "resumed session must finish");
+        }
+        assert_oracle_match(
+            &tokens,
+            900 + i as u64,
+            steps,
+            outcome == SessionOutcome::Done,
+        );
+        outcomes.push(outcome);
+    }
+
+    let done = outcomes
+        .iter()
+        .filter(|o| **o == SessionOutcome::Done)
+        .count();
+    let panicked = outcomes
+        .iter()
+        .filter(|o| **o == SessionOutcome::Panicked)
+        .count();
+    assert_eq!(panicked, 1, "exactly one scripted step panic: {outcomes:?}");
+    assert_eq!(
+        done, 3,
+        "every non-panicked session completes: {outcomes:?}"
+    );
+    let stats = server.session_stats();
+    assert_eq!(stats.evicted, 1, "exactly one scripted eviction");
+    assert_eq!(stats.resumed, 1);
+    assert!(plan.steps_seen() > 11, "both step faults must have fired");
+    server.shutdown();
+}
+
+/// Compound schedule mixing decode-session faults with request-path faults
+/// under concurrent submit traffic: request tickets resolve bit-identically
+/// or with their scripted typed errors, session streams resolve per the
+/// session fault script, and neither tier's faults leak into the other.
+#[test]
+fn compound_schedule_mixes_session_and_request_faults_under_traffic() {
+    let engine = engine_with_layers(2);
+    let mut rng = StdRng::seed_from_u64(73);
+    let requests: Vec<Request> = (0..10)
+        .map(|i| Request {
+            id: i,
+            layer: (i % 2) as usize,
+            activations: DenseMatrix::random(&mut rng, 16, 1 + (i as usize * 5) % 20),
+        })
+        .collect();
+    let expected: Vec<DenseMatrix> = requests
+        .iter()
+        .map(|r| engine.execute(r.layer, &r.activations).unwrap())
+        .collect();
+
+    let plan = Arc::new(
+        FaultPlan::new()
+            .fail_build_at(3)
+            .panic_at(6)
+            .evict_session_at(4)
+            .panic_step_at(9),
+    );
+    let server = Server::start(
+        engine,
+        ServerConfig::new()
+            .with_workers(2)
+            .with_admission_window_us(100)
+            .with_fault_plan(Arc::clone(&plan)),
+    );
+
+    let model = Arc::new(ToyDecode::new());
+    let steps = 8usize;
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            server
+                .open_session(
+                    Arc::clone(&model) as Arc<dyn DecodeModel>,
+                    session_prompt(700 + i),
+                    if i % 2 == 0 {
+                        SloClass::Standard
+                    } else {
+                        SloClass::Bulk
+                    },
+                    steps,
+                )
+                .unwrap()
+        })
+        .collect();
+
+    // Request traffic rides alongside the decoding sessions.
+    let mut tickets = Vec::new();
+    for (i, request) in requests.into_iter().enumerate() {
+        match server.submit(request) {
+            Ok(ticket) => tickets.push((i, ticket)),
+            Err(SubmitError::QueueFull { .. }) => {}
+            Err(other) => panic!("unexpected rejection: {other}"),
+        }
+    }
+    for (i, ticket) in tickets {
+        match ticket.wait().result {
+            Ok(got) => assert_eq!(
+                bits(&got),
+                bits(&expected[i]),
+                "request {i} must stay bit-identical despite session churn"
+            ),
+            Err(ServingError::WorkerPanic { context }) => {
+                assert!(context.contains("injected worker panic"), "{context}");
+            }
+            Err(ServingError::Kernel(e)) => {
+                assert!(e.to_string().contains("injected plan-build failure"), "{e}");
+            }
+            Err(other) => panic!("request {i} failed with an unscripted error: {other}"),
+        }
+    }
+
+    let mut outcomes = Vec::new();
+    for (i, handle) in handles.iter().enumerate() {
+        let mut tokens = Vec::new();
+        let mut outcome = drain_session(&handle.ticket(), &mut tokens);
+        if outcome == SessionOutcome::Evicted {
+            let resumed = server.resume_session(handle.id()).unwrap();
+            outcome = drain_session(&resumed.ticket(), &mut tokens);
+            assert_eq!(outcome, SessionOutcome::Done);
+        }
+        assert_oracle_match(
+            &tokens,
+            700 + i as u64,
+            steps,
+            outcome == SessionOutcome::Done,
+        );
+        outcomes.push(outcome);
+    }
+    let panicked = outcomes
+        .iter()
+        .filter(|o| **o == SessionOutcome::Panicked)
+        .count();
+    assert_eq!(panicked, 1, "exactly one scripted step panic: {outcomes:?}");
+    let stats = server.session_stats();
+    assert_eq!(stats.evicted, 1);
+    assert_eq!(stats.resumed, 1);
+    // Accounting on the request side stays exact despite the session tier.
+    server.drain();
+    let server_stats = server.stats();
+    assert_eq!(server_stats.completed, server_stats.submitted);
+    server.shutdown();
+}
